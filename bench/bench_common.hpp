@@ -1,0 +1,47 @@
+#pragma once
+// Shared helpers for the figure/table reproduction benches: the standard
+// 48-core space, the 10 paper workloads as surface models and recorded
+// traces, and distance-from-optimum utilities.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "opt/config_space.hpp"
+#include "sim/surface.hpp"
+#include "sim/trace.hpp"
+#include "sim/workload.hpp"
+
+namespace autopn::bench {
+
+/// The paper's machine: 4x AMD Opteron 6168 = 48 cores, |S| = 198.
+inline constexpr int kCores = 48;
+
+struct WorkloadSurface {
+  sim::WorkloadParams params;
+  sim::SurfaceModel model;
+  sim::SurfaceModel::Optimum opt;
+};
+
+/// All 10 workloads with their models and optima over the given space.
+inline std::vector<WorkloadSurface> paper_surfaces(const opt::ConfigSpace& space) {
+  std::vector<WorkloadSurface> out;
+  for (const sim::WorkloadParams& params : sim::paper_workloads()) {
+    sim::SurfaceModel model{params, space.cores()};
+    auto optimum = model.optimum(space);
+    out.push_back(WorkloadSurface{params, std::move(model), optimum});
+  }
+  return out;
+}
+
+/// Distance-from-optimum fraction for a config on one surface.
+inline double dfo(const WorkloadSurface& ws, const opt::Config& cfg) {
+  return (ws.opt.throughput - ws.model.mean_throughput(cfg)) / ws.opt.throughput;
+}
+
+/// Slowdown factor opt/cfg (how many times slower than the optimum).
+inline double slowdown(const WorkloadSurface& ws, const opt::Config& cfg) {
+  return ws.opt.throughput / ws.model.mean_throughput(cfg);
+}
+
+}  // namespace autopn::bench

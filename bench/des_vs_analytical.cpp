@@ -1,0 +1,164 @@
+// Cross-validation of the two testbed substitutes (DESIGN.md §3): the
+// closed-form SurfaceModel against the discrete-event simulator, where
+// throughput emerges from sampled read/write sets and first-committer-wins
+// validation. The optimizer study only needs the *shape* of the surface, so
+// the check is rank agreement over a probe set of configurations, plus a
+// full AutoPN tuning run measured on DES commit events through the adaptive
+// monitor (the paper pipeline end-to-end at 48 simulated cores).
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "bench/bench_common.hpp"
+#include "opt/autopn_optimizer.hpp"
+#include "runtime/monitor.hpp"
+#include "sim/des.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace autopn;
+
+namespace {
+
+/// Spearman rank correlation of two equally-long value lists.
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> order(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> rank(v.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      rank[order[i]] = static_cast<double>(i);
+    }
+    return rank;
+  };
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  const auto n = static_cast<double>(a.size());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  }
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+}  // namespace
+
+int main() {
+  const opt::ConfigSpace space{bench::kCores};
+  const std::vector<opt::Config> probes{
+      {1, 1},  {1, 8},  {1, 48}, {2, 9},  {4, 4},  {8, 2},  {8, 6},
+      {12, 4}, {16, 3}, {20, 2}, {24, 2}, {32, 1}, {48, 1},
+  };
+
+  std::cout << "== DES vs analytical model: shape agreement ==\n";
+  util::TextTable agreement{
+      {"workload", "rank corr", "analytical argmax", "DES argmax"}};
+  for (const char* name : {"tpcc-med", "tpcc-high", "vacation-med", "array-90"}) {
+    const auto wl = sim::workload_by_name(name);
+    const sim::SurfaceModel analytical{wl, bench::kCores};
+    const sim::DesParams des_params = sim::des_from_workload(wl, bench::kCores);
+
+    std::vector<double> model_values;
+    std::vector<double> des_values;
+    opt::Config model_best{1, 1};
+    opt::Config des_best{1, 1};
+    for (const opt::Config& cfg : probes) {
+      const double model_thr = analytical.mean_throughput(cfg);
+      sim::DesSimulator sim{des_params, cfg, 101};
+      const double des_thr = sim.run(1.5).throughput();
+      model_values.push_back(model_thr);
+      des_values.push_back(des_thr);
+      if (model_thr > analytical.mean_throughput(model_best)) model_best = cfg;
+      if (des_values.back() >=
+          *std::max_element(des_values.begin(), des_values.end())) {
+        des_best = cfg;
+      }
+    }
+    agreement.add_row({name, util::fmt_double(spearman(model_values, des_values), 2),
+                       model_best.to_string(), des_best.to_string()});
+  }
+  agreement.print(std::cout);
+  std::cout
+      << "(rank correlation ~1 = same configuration ordering. The two\n"
+         "substitutes agree on moderate-contention workloads; they diverge on\n"
+         "extremes because the DES's lazy commit-time validation floors\n"
+         "heavily contended configurations — aborted attempts never publish\n"
+         "writes, so winners keep committing — while the closed-form model is\n"
+         "calibrated to JVSTM's harsher measured degradation. See DESIGN.md.)\n";
+
+  std::cout << "\n== AutoPN tuning on the DES through the adaptive monitor ==\n";
+  const auto wl = sim::workload_by_name("tpcc-med");
+  const sim::DesParams des_params = sim::des_from_workload(wl, bench::kCores);
+
+  // Each proposed configuration is simulated and measured by the CV-adaptive
+  // policy consuming the DES's own commit events.
+  opt::AutoPnOptimizer optimizer{space, {}, 21};
+  runtime::CvAdaptivePolicy policy{0.10, 10};
+  double reference = 0.0;
+  double virtual_seconds = 0.0;
+  std::size_t explorations = 0;
+  while (auto proposal = optimizer.propose()) {
+    sim::DesSimulator sim{des_params, *proposal, 500 + explorations};
+    if (reference > 0.0) policy.set_reference_throughput(reference);
+    // Collect commit timestamps through the policy until stable/timeout.
+    std::vector<double> pending;
+    sim.set_commit_callback([&](double at) { pending.push_back(at); });
+    policy.begin_window(0.0);
+    runtime::Measurement m;
+    bool complete = false;
+    while (!complete) {
+      pending.clear();
+      const auto chunk = sim.run_commits(64, /*max_seconds=*/1.0);
+      std::size_t i = 0;
+      for (; i < pending.size() && !complete; ++i) {
+        const auto deadline = policy.deadline();
+        if (deadline.has_value() && pending[i] > *deadline) {
+          m = policy.finish(*deadline, true);
+          complete = true;
+        } else if (policy.on_commit(pending[i])) {
+          m = policy.finish(pending[i], false);
+          complete = true;
+        }
+      }
+      if (!complete && chunk.commits == 0) {
+        m = policy.finish(sim.now(), true);  // starved window
+        complete = true;
+      }
+    }
+    virtual_seconds += m.elapsed;
+    ++explorations;
+    optimizer.observe(*proposal, m.throughput);
+    if (proposal->t == 1 && proposal->c == 1 && m.throughput > 0.0) {
+      reference = m.throughput;
+    }
+  }
+  const opt::Config chosen = optimizer.best();
+  // Score the choice on a long DES run against the probe-set best.
+  auto long_run = [&](opt::Config cfg) {
+    sim::DesSimulator sim{des_params, cfg, 999};
+    return sim.run(3.0).throughput();
+  };
+  const double chosen_thr = long_run(chosen);
+  double best_probe_thr = 0.0;
+  opt::Config best_probe{1, 1};
+  for (const opt::Config& cfg : probes) {
+    const double thr = long_run(cfg);
+    if (thr > best_probe_thr) {
+      best_probe_thr = thr;
+      best_probe = cfg;
+    }
+  }
+  std::cout << "autopn chose " << chosen.to_string() << " after " << explorations
+            << " explorations (" << util::fmt_double(virtual_seconds, 2)
+            << "s virtual); long-run throughput "
+            << util::fmt_double(chosen_thr, 0) << " vs best probe "
+            << best_probe.to_string() << " @ " << util::fmt_double(best_probe_thr, 0)
+            << " (" << util::fmt_percent(chosen_thr / best_probe_thr)
+            << " of probe best)\n";
+  std::cout << "(the point of a black-box tuner: it converges to the optimum of\n"
+               "whichever system it measures — analytical, DES, or the real STM)\n";
+  return 0;
+}

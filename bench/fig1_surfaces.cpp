@@ -1,0 +1,91 @@
+// Reproduces paper Fig 1: throughput of PN-TM workloads as a function of the
+// parallelism configuration (t, c).
+//
+//  * Fig 1a: TPC-C (medium contention) surface — best configuration (20,2),
+//    about 9x over the worst (1,1) and 2-3x over most other configurations.
+//  * Fig 1b: a workload whose best configuration is (near) the worst of
+//    another — we contrast array-0 (pure scans; loves (48,1)) with array-90
+//    (write-heavy scans; loves (2,c) and collapses at (48,1)).
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "util/table.hpp"
+
+using namespace autopn;
+
+namespace {
+
+void print_surface(const bench::WorkloadSurface& ws, const opt::ConfigSpace& space) {
+  std::cout << "\n-- " << ws.params.name << " throughput surface (commits/s) --\n";
+  const std::vector<int> t_values{1, 2, 4, 8, 12, 16, 20, 24, 32, 40, 48};
+  const std::vector<int> c_values{1, 2, 3, 4, 6, 8, 12, 16, 24, 48};
+  std::vector<std::string> header{"t\\c"};
+  for (int c : c_values) header.push_back(std::to_string(c));
+  util::TextTable table{header};
+  for (int t : t_values) {
+    std::vector<std::string> row{std::to_string(t)};
+    for (int c : c_values) {
+      const opt::Config cfg{t, c};
+      row.push_back(space.valid(cfg)
+                        ? util::fmt_double(ws.model.mean_throughput(cfg), 0)
+                        : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  const double worst = [&] {
+    double w = 1e300;
+    for (const opt::Config& cfg : space.all()) {
+      w = std::min(w, ws.model.mean_throughput(cfg));
+    }
+    return w;
+  }();
+  std::cout << "optimum " << ws.opt.config.to_string() << " @ "
+            << util::fmt_double(ws.opt.throughput, 0) << "/s; vs (1,1) "
+            << util::fmt_double(
+                   ws.opt.throughput / ws.model.mean_throughput(opt::Config{1, 1}), 2)
+            << "x; vs worst " << util::fmt_double(ws.opt.throughput / worst, 2)
+            << "x\n";
+}
+
+}  // namespace
+
+int main() {
+  const opt::ConfigSpace space{bench::kCores};
+  const auto surfaces = bench::paper_surfaces(space);
+
+  std::cout << "== Fig 1a: TPC-C performance vs parallelism configuration ==\n";
+  std::cout << "paper: best (20,2), ~9x over worst (1,1), 2-3x over most others\n";
+  for (const auto& ws : surfaces) {
+    if (ws.params.name == "tpcc-med") {
+      print_surface(ws, space);
+      // Fraction of the space at least 2x below the optimum ("most of the
+      // remaining configurations").
+      std::size_t below_2x = 0;
+      for (const opt::Config& cfg : space.all()) {
+        if (ws.opt.throughput / ws.model.mean_throughput(cfg) >= 2.0) ++below_2x;
+      }
+      std::cout << "configurations >=2x below optimum: " << below_2x << "/"
+                << space.size() << "\n";
+    }
+  }
+
+  std::cout << "\n== Fig 1b: the best configuration of one workload is (near) the "
+               "worst of another ==\n";
+  for (const auto& ws : surfaces) {
+    if (ws.params.name == "array-0" || ws.params.name == "array-90") {
+      print_surface(ws, space);
+    }
+  }
+  const auto& scan = surfaces[6];       // array-0
+  const auto& contended = surfaces[9];  // array-90
+  std::cout << "\ncross check: " << scan.params.name << " optimum "
+            << scan.opt.config.to_string() << " has DFO "
+            << util::fmt_percent(bench::dfo(contended, scan.opt.config)) << " on "
+            << contended.params.name << "; " << contended.params.name << " optimum "
+            << contended.opt.config.to_string() << " has DFO "
+            << util::fmt_percent(bench::dfo(scan, contended.opt.config)) << " on "
+            << scan.params.name << "\n";
+  return 0;
+}

@@ -1,0 +1,184 @@
+// Micro-benchmarks (google-benchmark) of the building blocks whose cost the
+// paper argues must stay negligible (§V-B model choice, §VII-E):
+//  * STM primitives: transactional read/write, top-level commit, nested
+//    spawn/merge;
+//  * M5 model-tree training and prediction at online training-set sizes;
+//  * bagging ensemble fit (k=10) and EI sweep over the full 198-point space;
+//  * KPI monitor per-commit cost.
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <memory>
+
+#include "ml/bagging.hpp"
+#include "opt/config_space.hpp"
+#include "opt/ei.hpp"
+#include "runtime/monitor.hpp"
+#include "stm/containers.hpp"
+#include "stm/stm.hpp"
+#include "util/rng.hpp"
+
+using namespace autopn;
+
+namespace {
+
+stm::StmConfig bench_config() {
+  stm::StmConfig cfg;
+  cfg.pool_threads = 2;
+  cfg.initial_top = 4;
+  cfg.initial_children = 4;
+  return cfg;
+}
+
+void BM_StmReadOnlyTx(benchmark::State& state) {
+  stm::Stm stm{bench_config()};
+  stm::VBox<int> box{42};
+  for (auto _ : state) {
+    int v = 0;
+    stm.run_top([&](stm::Tx& tx) { v = box.read(tx); });
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_StmReadOnlyTx);
+
+void BM_StmWriteCommit(benchmark::State& state) {
+  // Arg selects the commit strategy: 0 = global lock, 1 = lock-free helping.
+  stm::StmConfig cfg = bench_config();
+  cfg.commit_strategy = state.range(0) == 0 ? stm::CommitStrategy::kGlobalLock
+                                            : stm::CommitStrategy::kLockFree;
+  stm::Stm stm{cfg};
+  stm::VBox<int> box{0};
+  int i = 0;
+  for (auto _ : state) {
+    stm.run_top([&](stm::Tx& tx) { box.write(tx, ++i); });
+  }
+}
+BENCHMARK(BM_StmWriteCommit)->Arg(0)->Arg(1);
+
+void BM_StmContendedCommit(benchmark::State& state) {
+  // Two application threads hammering one box, per strategy.
+  stm::StmConfig cfg = bench_config();
+  cfg.commit_strategy = state.range(0) == 0 ? stm::CommitStrategy::kGlobalLock
+                                            : stm::CommitStrategy::kLockFree;
+  static stm::Stm* shared_stm = nullptr;
+  static stm::VBox<long>* shared_box = nullptr;
+  if (state.thread_index() == 0) {
+    shared_stm = new stm::Stm{cfg};
+    shared_box = new stm::VBox<long>{0L};
+  }
+  for (auto _ : state) {
+    shared_stm->run_top(
+        [&](stm::Tx& tx) { shared_box->write(tx, shared_box->read(tx) + 1); });
+  }
+  if (state.thread_index() == 0) {
+    delete shared_box;
+    delete shared_stm;
+    shared_box = nullptr;
+    shared_stm = nullptr;
+  }
+}
+BENCHMARK(BM_StmContendedCommit)->Arg(0)->Arg(1)->Threads(2)->UseRealTime();
+
+void BM_StmReadsPerTx(benchmark::State& state) {
+  const auto reads = static_cast<std::size_t>(state.range(0));
+  stm::Stm stm{bench_config()};
+  stm::TArray<int> arr{reads, 1};
+  for (auto _ : state) {
+    long sum = 0;
+    stm.run_top([&](stm::Tx& tx) {
+      for (std::size_t k = 0; k < reads; ++k) sum += arr.read(tx, k);
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(reads));
+}
+BENCHMARK(BM_StmReadsPerTx)->Arg(16)->Arg(256);
+
+void BM_StmNestedSpawnMerge(benchmark::State& state) {
+  const auto children = static_cast<std::size_t>(state.range(0));
+  stm::Stm stm{bench_config()};
+  stm::TArray<int> arr{children, 0};
+  for (auto _ : state) {
+    stm.run_top([&](stm::Tx& tx) {
+      std::vector<std::function<void(stm::Tx&)>> kids;
+      kids.reserve(children);
+      for (std::size_t k = 0; k < children; ++k) {
+        kids.emplace_back([&arr, k](stm::Tx& child) { arr.write(child, k, 1); });
+      }
+      tx.run_children(std::move(kids));
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(children));
+}
+BENCHMARK(BM_StmNestedSpawnMerge)->Arg(2)->Arg(8);
+
+ml::Dataset make_training_set(std::size_t n) {
+  util::Rng rng{11};
+  ml::Dataset data{2};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 1.0 + static_cast<double>(rng.uniform_index(48));
+    const double c = 1.0 + static_cast<double>(rng.uniform_index(8));
+    data.add(std::array{t, c}, t * 10.0 / (1.0 + 0.05 * t * c));
+  }
+  return data;
+}
+
+void BM_M5TreeFit(benchmark::State& state) {
+  const auto data = make_training_set(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto tree = ml::M5Tree::fit(data);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_M5TreeFit)->Arg(9)->Arg(30)->Arg(100);
+
+void BM_M5TreePredict(benchmark::State& state) {
+  const auto tree = ml::M5Tree::fit(make_training_set(30));
+  const std::array<double, 2> x{20.0, 2.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict(x));
+  }
+}
+BENCHMARK(BM_M5TreePredict);
+
+void BM_BaggingFit10(benchmark::State& state) {
+  const auto data = make_training_set(static_cast<std::size_t>(state.range(0)));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto ensemble = ml::BaggingEnsemble::fit(data, 10, {}, ++seed);
+    benchmark::DoNotOptimize(ensemble);
+  }
+}
+BENCHMARK(BM_BaggingFit10)->Arg(9)->Arg(30);
+
+void BM_EiSweepFullSpace(benchmark::State& state) {
+  // One SMBO iteration's acquisition cost: predict + EI over all 198 configs.
+  const auto ensemble = ml::BaggingEnsemble::fit(make_training_set(30), 10, {}, 3);
+  const opt::ConfigSpace space{48};
+  for (auto _ : state) {
+    double best = 0.0;
+    for (const opt::Config& cfg : space.all()) {
+      const auto p = ensemble.predict(
+          std::array{static_cast<double>(cfg.t), static_cast<double>(cfg.c)});
+      best = std::max(best, opt::expected_improvement(p.mean, p.stddev(), 100.0));
+    }
+    benchmark::DoNotOptimize(best);
+  }
+}
+BENCHMARK(BM_EiSweepFullSpace);
+
+void BM_MonitorOnCommit(benchmark::State& state) {
+  runtime::CvAdaptivePolicy policy{0.10, 1000000};  // never completes
+  policy.begin_window(0.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.001;
+    benchmark::DoNotOptimize(policy.on_commit(t));
+  }
+}
+BENCHMARK(BM_MonitorOnCommit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

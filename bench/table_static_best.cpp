@@ -1,0 +1,86 @@
+// Reproduces the static-configuration facts of paper §VII-A:
+//
+//   "the best average configuration over all the workloads (i.e., 24 top
+//    level and 2 nested transactions) has an average Distance From Optimum
+//    of 21.8%, its 90-th percentile is 2.56x worse than optimum and, in the
+//    worst case (Array high contention), 3.22x slower."
+//
+// Prints each workload's optimum, the best-on-average static configuration,
+// and that configuration's DFO statistics across the 10 workloads.
+
+#include <iostream>
+
+#include "bench/bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace autopn;
+
+int main() {
+  const opt::ConfigSpace space{bench::kCores};
+  const auto surfaces = bench::paper_surfaces(space);
+
+  std::cout << "== Paper §VII-A: workload optima and the best static configuration ==\n";
+  std::cout << "search space: n=" << space.cores() << ", |S|=" << space.size()
+            << " (paper: 198)\n\n";
+
+  util::TextTable per_workload{
+      {"workload", "optimum(t,c)", "thr@opt", "thr@(1,1)", "opt/(1,1)", "abort@opt"}};
+  for (const auto& ws : surfaces) {
+    const double seq = ws.model.mean_throughput(opt::Config{1, 1});
+    per_workload.add_row({ws.params.name, ws.opt.config.to_string(),
+                          util::fmt_double(ws.opt.throughput, 0),
+                          util::fmt_double(seq, 0),
+                          util::fmt_double(ws.opt.throughput / seq, 2),
+                          util::fmt_percent(ws.model.top_abort_probability(ws.opt.config))});
+  }
+  per_workload.print(std::cout);
+
+  // Best static configuration: the one minimizing average DFO across all
+  // workloads.
+  opt::Config best_static{1, 1};
+  double best_avg_dfo = 1e9;
+  for (const opt::Config& cfg : space.all()) {
+    double total = 0.0;
+    for (const auto& ws : surfaces) total += bench::dfo(ws, cfg);
+    const double avg = total / static_cast<double>(surfaces.size());
+    if (avg < best_avg_dfo) {
+      best_avg_dfo = avg;
+      best_static = cfg;
+    }
+  }
+
+  std::vector<double> dfos;
+  std::vector<double> slowdowns;
+  std::string worst_name;
+  double worst_slowdown = 0.0;
+  for (const auto& ws : surfaces) {
+    dfos.push_back(bench::dfo(ws, best_static));
+    const double s = bench::slowdown(ws, best_static);
+    slowdowns.push_back(s);
+    if (s > worst_slowdown) {
+      worst_slowdown = s;
+      worst_name = ws.params.name;
+    }
+  }
+
+  std::cout << "\n== Best static configuration across all workloads ==\n";
+  util::TextTable summary{{"metric", "paper", "measured"}};
+  summary.add_row({"best static config", "(24,2)", best_static.to_string()});
+  summary.add_row({"avg DFO", "21.8%", util::fmt_percent(util::mean_of(dfos))});
+  summary.add_row({"p90 slowdown", "2.56x",
+                   util::fmt_double(util::percentile(slowdowns, 0.90), 2) + "x"});
+  summary.add_row({"worst slowdown", "3.22x (array-high)",
+                   util::fmt_double(worst_slowdown, 2) + "x (" + worst_name + ")"});
+  summary.print(std::cout);
+
+  std::cout << "\nper-workload DFO of the best static config "
+            << best_static.to_string() << ":\n";
+  util::TextTable detail{{"workload", "DFO", "slowdown"}};
+  for (std::size_t i = 0; i < surfaces.size(); ++i) {
+    detail.add_row({surfaces[i].params.name, util::fmt_percent(dfos[i]),
+                    util::fmt_double(slowdowns[i], 2) + "x"});
+  }
+  detail.print(std::cout);
+  return 0;
+}

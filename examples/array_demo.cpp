@@ -1,0 +1,96 @@
+// Array microbenchmark demo (paper §VII-A): shows why the optimal (t, c)
+// depends on the workload. Runs the Array benchmark live at several
+// configurations for a read-only and for a write-heavy variant and prints
+// the measured throughput — the Fig 1b phenomenon on real transactions.
+//
+// Run: ./build/examples/array_demo
+
+#include <atomic>
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "stm/stm.hpp"
+#include "util/table.hpp"
+#include "workloads/array_bench.hpp"
+
+using namespace autopn;
+
+namespace {
+
+struct Sample {
+  double commits_per_second = 0.0;
+  double aborts_per_second = 0.0;
+};
+
+/// Runs the Array workload live at a fixed (t, c) for `seconds` and returns
+/// throughput/abort rates. Also asserts the update invariant.
+Sample measure(double update_fraction, std::size_t top, std::size_t children,
+               double seconds) {
+  stm::StmConfig cfg;
+  cfg.max_cores = 8;
+  cfg.pool_threads = 2;
+  cfg.initial_top = top;
+  cfg.initial_children = children;
+  stm::Stm stm{cfg};
+
+  workloads::ArrayConfig acfg;
+  acfg.array_size = 512;
+  acfg.update_fraction = update_fraction;
+  workloads::ArrayBenchmark bench{stm, acfg};
+
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> drivers;
+  for (std::size_t d = 0; d < top; ++d) {
+    drivers.emplace_back([&, d] {
+      util::Rng rng{7 * (d + 1)};
+      while (!stop.load(std::memory_order_relaxed)) bench.run_one(rng);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  drivers.clear();
+
+  if (bench.checksum() != bench.committed_updates()) {
+    std::cerr << "INVARIANT VIOLATION\n";
+    std::abort();
+  }
+  const auto stats = stm.stats();
+  return Sample{static_cast<double>(stats.top_commits) / seconds,
+                static_cast<double>(stats.top_aborts) / seconds};
+}
+
+}  // namespace
+
+int main() {
+  const double kSeconds = 1.0;
+  struct Variant {
+    const char* name;
+    double update_fraction;
+  };
+  const std::vector<Variant> variants{{"read-only scan (0% updates)", 0.0},
+                                      {"write-heavy scan (90% updates)", 0.9}};
+  const std::vector<std::pair<std::size_t, std::size_t>> configs{
+      {1, 1}, {4, 1}, {2, 2}, {1, 4}, {4, 2}};
+
+  std::cout << "Array microbenchmark on the live PN-STM (" << kSeconds
+            << "s per cell; this machine, not the paper's 48-core box)\n\n";
+  for (const Variant& v : variants) {
+    std::cout << "== " << v.name << " ==\n";
+    util::TextTable table{{"(t,c)", "throughput (tx/s)", "top aborts/s"}};
+    for (const auto& [t, c] : configs) {
+      const Sample s = measure(v.update_fraction, t, c, kSeconds);
+      table.add_row({"(" + std::to_string(t) + "," + std::to_string(c) + ")",
+                     util::fmt_double(s.commits_per_second, 0),
+                     util::fmt_double(s.aborts_per_second, 0)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "note how the write-heavy variant suffers from top-level\n"
+               "parallelism (concurrent whole-array scans conflict) while the\n"
+               "read-only variant tolerates it — no single static (t,c)\n"
+               "serves both, which is exactly what AutoPN tunes online.\n";
+  return 0;
+}

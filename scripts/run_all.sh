@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Builds everything, runs the test suite and every figure/table bench,
+# collecting outputs under results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for bench in build/bench/*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  echo "== $name =="
+  if [ "$name" = micro_costs ]; then
+    "$bench" --benchmark_min_time=0.1 | tee "results/$name.txt"
+  else
+    "$bench" | tee "results/$name.txt"
+  fi
+done
+echo "outputs written to results/"

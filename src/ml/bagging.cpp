@@ -1,0 +1,28 @@
+#include "ml/bagging.hpp"
+
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace autopn::ml {
+
+double BaggingEnsemble::Prediction::stddev() const { return std::sqrt(variance); }
+
+BaggingEnsemble BaggingEnsemble::fit(const Dataset& data, std::size_t k,
+                                     const M5Params& params, std::uint64_t seed) {
+  BaggingEnsemble ensemble;
+  ensemble.members_.reserve(k);
+  util::Rng rng{seed};
+  for (std::size_t i = 0; i < k; ++i) {
+    ensemble.members_.push_back(M5Tree::fit(data.bootstrap_sample(rng), params));
+  }
+  return ensemble;
+}
+
+BaggingEnsemble::Prediction BaggingEnsemble::predict(std::span<const double> x) const {
+  util::RunningStats stats;
+  for (const M5Tree& tree : members_) stats.add(tree.predict(x));
+  return Prediction{stats.mean(), stats.variance()};
+}
+
+}  // namespace autopn::ml

@@ -1,0 +1,42 @@
+#pragma once
+// Bagging ensemble of M5 model trees — AutoPN's surrogate model (paper §V-B).
+//
+// Each of the k learners is trained on a bootstrap resample of the training
+// set; the ensemble's prediction mean feeds Expected Improvement's mu and the
+// prediction variance its sigma^2, approximating the Gaussian posterior SMBO
+// assumes. The paper uses k = 10, found large enough to generate sufficient
+// model diversity at negligible overhead (§VII-E).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/m5tree.hpp"
+
+namespace autopn::ml {
+
+class BaggingEnsemble {
+ public:
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+    [[nodiscard]] double stddev() const;
+  };
+
+  /// Trains `k` M5 trees on bootstrap resamples drawn with `seed`.
+  [[nodiscard]] static BaggingEnsemble fit(const Dataset& data, std::size_t k,
+                                           const M5Params& params,
+                                           std::uint64_t seed);
+
+  /// Ensemble mean and (sample) variance across member predictions.
+  [[nodiscard]] Prediction predict(std::span<const double> x) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] const M5Tree& member(std::size_t i) const { return members_.at(i); }
+
+ private:
+  std::vector<M5Tree> members_;
+};
+
+}  // namespace autopn::ml

@@ -1,0 +1,48 @@
+#include "ml/dataset.hpp"
+
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace autopn::ml {
+
+Dataset::Dataset(std::size_t dims) : dims_(dims) {
+  if (dims == 0) throw std::invalid_argument{"Dataset needs >= 1 feature"};
+}
+
+void Dataset::add(std::span<const double> x, double y) {
+  if (x.size() != dims_) throw std::invalid_argument{"feature arity mismatch"};
+  features_.insert(features_.end(), x.begin(), x.end());
+  targets_.push_back(y);
+}
+
+Dataset Dataset::bootstrap_sample(util::Rng& rng) const {
+  Dataset out{dims_};
+  out.features_.reserve(features_.size());
+  out.targets_.reserve(targets_.size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    const std::size_t pick = rng.uniform_index(size());
+    out.add(x(pick), y(pick));
+  }
+  return out;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> rows) const {
+  Dataset out{dims_};
+  for (std::size_t row : rows) out.add(x(row), y(row));
+  return out;
+}
+
+double Dataset::target_stddev() const {
+  util::RunningStats s;
+  for (double t : targets_) s.add(t);
+  return s.stddev();
+}
+
+double Dataset::target_mean() const {
+  util::RunningStats s;
+  for (double t : targets_) s.add(t);
+  return s.mean();
+}
+
+}  // namespace autopn::ml

@@ -1,0 +1,51 @@
+#pragma once
+// Supervised regression datasets for the online learners. In AutoPN the
+// feature space is deliberately minimalist — (t, c) only (paper §V-B) — but
+// the containers are dimension-generic so the heterogeneous-workload
+// extension (paper §VIII) can reuse them.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autopn::ml {
+
+/// A growable set of (x, y) examples with fixed feature dimensionality.
+class Dataset {
+ public:
+  explicit Dataset(std::size_t dims);
+
+  /// Appends one example; x must have exactly dims() entries.
+  void add(std::span<const double> x, double y);
+
+  [[nodiscard]] std::size_t size() const noexcept { return targets_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return targets_.empty(); }
+  [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
+
+  /// Feature vector of example i (contiguous view, dims() long).
+  [[nodiscard]] std::span<const double> x(std::size_t i) const {
+    return {features_.data() + i * dims_, dims_};
+  }
+  [[nodiscard]] double y(std::size_t i) const { return targets_.at(i); }
+
+  /// Bootstrap resample of the same size (uniform with replacement) — the
+  /// randomization behind the bagging ensemble (paper §V-B).
+  [[nodiscard]] Dataset bootstrap_sample(util::Rng& rng) const;
+
+  /// Restriction to the given row indices.
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> rows) const;
+
+  /// Sample standard deviation of the targets (0 for < 2 rows).
+  [[nodiscard]] double target_stddev() const;
+  [[nodiscard]] double target_mean() const;
+
+ private:
+  std::size_t dims_;
+  std::vector<double> features_;  // row-major, size() * dims_
+  std::vector<double> targets_;
+};
+
+}  // namespace autopn::ml

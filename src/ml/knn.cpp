@@ -1,0 +1,66 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace autopn::ml {
+
+double KnnRegressor::Prediction::stddev() const { return std::sqrt(variance); }
+
+KnnRegressor::KnnRegressor(const Dataset& data, std::size_t k, double distance_scale)
+    : data_(data), k_(std::max<std::size_t>(1, k)), distance_scale_(distance_scale) {}
+
+KnnRegressor::Prediction KnnRegressor::predict(std::span<const double> x) const {
+  if (data_.empty()) return {};
+  const std::size_t k = std::min(k_, data_.size());
+
+  // Squared distances to every training point; partial-select the k nearest.
+  std::vector<std::pair<double, std::size_t>> by_distance;
+  by_distance.reserve(data_.size());
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const auto xi = data_.x(i);
+    double d2 = 0.0;
+    for (std::size_t f = 0; f < data_.dims(); ++f) {
+      const double diff = xi[f] - x[f];
+      d2 += diff * diff;
+    }
+    by_distance.emplace_back(d2, i);
+  }
+  std::nth_element(by_distance.begin(),
+                   by_distance.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   by_distance.end());
+
+  // Inverse-distance weighted mean and disagreement.
+  double weight_sum = 0.0;
+  double mean = 0.0;
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto [d2, idx] = by_distance[j];
+    const double w = 1.0 / (1.0 + d2);
+    weight_sum += w;
+    mean += w * data_.y(idx);
+  }
+  mean /= weight_sum;
+
+  double disagreement = 0.0;
+  double nearest_d2 = by_distance[0].first;
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto [d2, idx] = by_distance[j];
+    const double w = 1.0 / (1.0 + d2);
+    const double diff = data_.y(idx) - mean;
+    disagreement += w * diff * diff;
+    nearest_d2 = std::min(nearest_d2, d2);
+  }
+  disagreement /= weight_sum;
+
+  Prediction out;
+  out.mean = mean;
+  // Exploration term: far from the data, the prediction is uncertain in
+  // proportion to the distance and the target scale.
+  out.variance = disagreement + distance_scale_ * nearest_d2 *
+                                    (std::abs(mean) * 0.01 + 1e-9) *
+                                    (std::abs(mean) * 0.01 + 1e-9);
+  return out;
+}
+
+}  // namespace autopn::ml

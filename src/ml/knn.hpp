@@ -1,0 +1,39 @@
+#pragma once
+// k-nearest-neighbour regressor — an alternative lightweight surrogate for
+// the SMBO ablation (the paper motivates choosing bagged M5 trees over
+// heavier regressors; kNN is the natural even-cheaper contender). Predicts
+// a distance-weighted mean of the k nearest training points and exposes a
+// variance estimate combining neighbour disagreement and distance (so EI's
+// exploration term still has signal away from the data).
+
+#include <cstddef>
+#include <span>
+
+#include "ml/dataset.hpp"
+
+namespace autopn::ml {
+
+class KnnRegressor {
+ public:
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+    [[nodiscard]] double stddev() const;
+  };
+
+  /// Keeps a reference-free copy of the data. `k` is clamped to the dataset
+  /// size at prediction time; `distance_scale` converts squared distance to
+  /// extra predictive variance (exploration signal).
+  KnnRegressor(const Dataset& data, std::size_t k, double distance_scale = 1.0);
+
+  [[nodiscard]] Prediction predict(std::span<const double> x) const;
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+
+ private:
+  Dataset data_;
+  std::size_t k_;
+  double distance_scale_;
+};
+
+}  // namespace autopn::ml

@@ -1,0 +1,101 @@
+#include "ml/linear.hpp"
+
+#include <cmath>
+
+namespace autopn::ml {
+
+bool solve_linear_system(std::vector<std::vector<double>>& a, std::vector<double>& b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row][col] / a[col][col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) a[row][k] -= factor * a[col][k];
+      b[row] -= factor * b[col];
+    }
+  }
+  for (std::size_t col = n; col-- > 0;) {
+    double acc = b[col];
+    for (std::size_t k = col + 1; k < n; ++k) acc -= a[col][k] * b[k];
+    b[col] = acc / a[col][col];
+  }
+  return true;
+}
+
+LinearModel LinearModel::fit(const Dataset& data, double ridge) {
+  const std::size_t d = data.dims();
+  if (data.empty()) return LinearModel{0.0, std::vector<double>(d, 0.0)};
+  if (data.size() == 1) return LinearModel{data.y(0), std::vector<double>(d, 0.0)};
+
+  // Normal equations over augmented features [x, 1].
+  const std::size_t n = d + 1;
+  std::vector<std::vector<double>> gram(n, std::vector<double>(n, 0.0));
+  std::vector<double> rhs(n, 0.0);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto xi = data.x(i);
+    const double yi = data.y(i);
+    for (std::size_t a = 0; a < d; ++a) {
+      for (std::size_t b = a; b < d; ++b) gram[a][b] += xi[a] * xi[b];
+      gram[a][d] += xi[a];
+      rhs[a] += xi[a] * yi;
+    }
+    gram[d][d] += 1.0;
+    rhs[d] += yi;
+  }
+  for (std::size_t a = 0; a < d; ++a) {
+    for (std::size_t b = 0; b < a; ++b) gram[a][b] = gram[b][a];
+    gram[a][a] += ridge;
+  }
+  for (std::size_t b = 0; b < d; ++b) gram[d][b] = gram[b][d];
+
+  if (!solve_linear_system(gram, rhs)) {
+    // Degenerate: fall back to the constant mean model.
+    return LinearModel{data.target_mean(), std::vector<double>(d, 0.0)};
+  }
+  std::vector<double> weights(rhs.begin(), rhs.begin() + static_cast<std::ptrdiff_t>(d));
+  return LinearModel{rhs[d], std::move(weights)};
+}
+
+double LinearModel::predict(std::span<const double> x) const {
+  double acc = bias_;
+  const std::size_t d = std::min(x.size(), weights_.size());
+  for (std::size_t i = 0; i < d; ++i) acc += weights_[i] * x[i];
+  return acc;
+}
+
+double LinearModel::rmse(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double err = predict(data.x(i)) - data.y(i);
+    acc += err * err;
+  }
+  return std::sqrt(acc / static_cast<double>(data.size()));
+}
+
+double LinearModel::mae(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    acc += std::abs(predict(data.x(i)) - data.y(i));
+  }
+  return acc / static_cast<double>(data.size());
+}
+
+std::size_t LinearModel::effective_params() const {
+  std::size_t count = 1;  // bias
+  for (double w : weights_) {
+    if (std::abs(w) > 1e-12) ++count;
+  }
+  return count;
+}
+
+}  // namespace autopn::ml

@@ -1,0 +1,51 @@
+#pragma once
+// Ordinary least squares linear regression — the leaf models of the M5 model
+// tree. Fitting solves the (d+1)x(d+1) normal equations with a small ridge
+// term for robustness against rank-deficient leaves (e.g. a leaf whose rows
+// all share the same t).
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace autopn::ml {
+
+/// y = bias + w · x.
+class LinearModel {
+ public:
+  /// Constant model (used for empty/degenerate fits).
+  explicit LinearModel(double bias = 0.0, std::vector<double> weights = {})
+      : bias_(bias), weights_(std::move(weights)) {}
+
+  /// Fits OLS over the whole dataset. `ridge` is added to the Gram matrix's
+  /// diagonal (not the bias row) for numerical robustness. An empty dataset
+  /// yields the zero model; a single-row dataset yields a constant.
+  [[nodiscard]] static LinearModel fit(const Dataset& data, double ridge = 1e-9);
+
+  [[nodiscard]] double predict(std::span<const double> x) const;
+
+  [[nodiscard]] double bias() const noexcept { return bias_; }
+  [[nodiscard]] const std::vector<double>& weights() const noexcept { return weights_; }
+
+  /// Root-mean-square error over a dataset (0 for an empty one).
+  [[nodiscard]] double rmse(const Dataset& data) const;
+
+  /// Mean absolute error over a dataset (0 for an empty one).
+  [[nodiscard]] double mae(const Dataset& data) const;
+
+  /// Number of estimated parameters, excluding near-zero weights; used by
+  /// M5's pruning error correction.
+  [[nodiscard]] std::size_t effective_params() const;
+
+ private:
+  double bias_;
+  std::vector<double> weights_;
+};
+
+/// Solves the symmetric positive (semi-)definite system A w = b in place via
+/// Gaussian elimination with partial pivoting. Returns false when singular
+/// beyond repair. Exposed for testing.
+bool solve_linear_system(std::vector<std::vector<double>>& a, std::vector<double>& b);
+
+}  // namespace autopn::ml

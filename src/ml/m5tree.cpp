@@ -1,0 +1,348 @@
+#include "ml/m5tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace autopn::ml {
+
+namespace {
+
+/// Population standard deviation from count/sum/sum-of-squares.
+double sd_from_moments(double n, double sum, double sum_sq) {
+  if (n < 1.0) return 0.0;
+  const double mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - mean * mean);
+  return std::sqrt(var);
+}
+
+/// M5 complexity correction: inflate the observed error of a model with p
+/// parameters trained on n cases.
+double error_correction(std::size_t n, std::size_t p) {
+  const auto nd = static_cast<double>(n);
+  const auto pd = static_cast<double>(p);
+  if (nd <= pd) return 10.0;  // heavily penalize over-parameterized fits
+  return (nd + pd) / (nd - pd);
+}
+
+struct Split {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double sdr = -std::numeric_limits<double>::infinity();
+  bool valid = false;
+};
+
+Split best_split(const Dataset& data, const std::vector<std::size_t>& rows,
+                 std::size_t min_leaf) {
+  Split best;
+  const std::size_t n = rows.size();
+  if (n < 2 * min_leaf) return best;
+
+  double total_sum = 0.0;
+  double total_sq = 0.0;
+  for (std::size_t r : rows) {
+    total_sum += data.y(r);
+    total_sq += data.y(r) * data.y(r);
+  }
+  const double total_sd = sd_from_moments(static_cast<double>(n), total_sum, total_sq);
+
+  std::vector<std::size_t> order(rows);
+  for (std::size_t f = 0; f < data.dims(); ++f) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return data.x(a)[f] < data.x(b)[f];
+    });
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const double yi = data.y(order[i]);
+      left_sum += yi;
+      left_sq += yi * yi;
+      const double xv = data.x(order[i])[f];
+      const double xnext = data.x(order[i + 1])[f];
+      if (xv == xnext) continue;  // can only split between distinct values
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = n - left_n;
+      if (left_n < min_leaf || right_n < min_leaf) continue;
+      const double sd_left =
+          sd_from_moments(static_cast<double>(left_n), left_sum, left_sq);
+      const double sd_right = sd_from_moments(static_cast<double>(right_n),
+                                              total_sum - left_sum,
+                                              total_sq - left_sq);
+      const double weighted = (static_cast<double>(left_n) * sd_left +
+                               static_cast<double>(right_n) * sd_right) /
+                              static_cast<double>(n);
+      const double sdr = total_sd - weighted;
+      if (sdr > best.sdr) {
+        best.sdr = sdr;
+        best.feature = f;
+        best.threshold = 0.5 * (xv + xnext);
+        best.valid = true;
+      }
+    }
+  }
+  if (best.valid && best.sdr <= 0.0) best.valid = false;
+  return best;
+}
+
+}  // namespace
+
+M5Tree M5Tree::fit(const Dataset& data, const M5Params& params) {
+  M5Tree tree;
+  tree.params_ = params;
+  if (data.empty()) {
+    Node root;
+    root.leaf = true;
+    root.model = LinearModel{0.0, std::vector<double>(data.dims(), 0.0)};
+    tree.nodes_.push_back(std::move(root));
+    return tree;
+  }
+  std::vector<std::size_t> rows(data.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  const double root_sd = data.target_stddev();
+  tree.build(data, rows, root_sd);
+  if (params.prune) tree.prune(0, data, rows);
+  return tree;
+}
+
+std::int32_t M5Tree::build(const Dataset& data, std::vector<std::size_t> rows,
+                           double root_sd) {
+  const auto index = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  {
+    Node& node = nodes_.back();
+    node.population = rows.size();
+    const Dataset sub = data.subset(rows);
+    node.model = LinearModel::fit(sub);
+    const bool too_small = rows.size() < 2 * params_.min_leaf;
+    const bool pure = sub.target_stddev() < params_.sd_fraction * root_sd;
+    if (too_small || pure) return index;
+  }
+
+  const Split split = best_split(data, rows, params_.min_leaf);
+  if (!split.valid) return index;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t r : rows) {
+    (data.x(r)[split.feature] <= split.threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+
+  // Children are appended after this node; assign fields through the index
+  // since recursion reallocates nodes_.
+  const std::int32_t left = build(data, std::move(left_rows), root_sd);
+  const std::int32_t right = build(data, std::move(right_rows), root_sd);
+  Node& node = nodes_[static_cast<std::size_t>(index)];
+  node.leaf = false;
+  node.feature = split.feature;
+  node.threshold = split.threshold;
+  node.left = left;
+  node.right = right;
+  return index;
+}
+
+double M5Tree::subtree_error(std::int32_t index, const Dataset& data,
+                             const std::vector<std::size_t>& rows) const {
+  // Raw RMSE of the (unsmoothed) subtree on its own training rows.
+  if (rows.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t r : rows) {
+    std::int32_t at = index;
+    while (!nodes_[static_cast<std::size_t>(at)].leaf) {
+      const Node& n = nodes_[static_cast<std::size_t>(at)];
+      at = data.x(r)[n.feature] <= n.threshold ? n.left : n.right;
+    }
+    const double err = nodes_[static_cast<std::size_t>(at)].model.predict(data.x(r)) -
+                       data.y(r);
+    acc += err * err;
+  }
+  return std::sqrt(acc / static_cast<double>(rows.size()));
+}
+
+void M5Tree::prune(std::int32_t index, const Dataset& data,
+                   const std::vector<std::size_t>& rows) {
+  Node& node = nodes_[static_cast<std::size_t>(index)];
+  if (node.leaf) return;
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  for (std::size_t r : rows) {
+    (data.x(r)[node.feature] <= node.threshold ? left_rows : right_rows).push_back(r);
+  }
+  prune(node.left, data, left_rows);
+  prune(node.right, data, right_rows);
+
+  const Dataset sub = data.subset(rows);
+  const std::size_t n = rows.size();
+
+  // Corrected error of replacing the subtree by this node's linear model.
+  const double model_err =
+      node.model.rmse(sub) * error_correction(n, node.model.effective_params());
+
+  // Corrected error of the subtree: parameters = leaf model params + splits.
+  std::size_t subtree_params = 0;
+  std::size_t splits = 0;
+  // Count over the subtree rooted here.
+  std::vector<std::int32_t> stack{index};
+  while (!stack.empty()) {
+    const Node& at = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (at.leaf) {
+      subtree_params += at.model.effective_params();
+    } else {
+      ++splits;
+      stack.push_back(at.left);
+      stack.push_back(at.right);
+    }
+  }
+  const double tree_err =
+      subtree_error(index, data, rows) * error_correction(n, subtree_params + splits);
+
+  if (model_err <= tree_err) {
+    node.leaf = true;
+    node.left = -1;
+    node.right = -1;
+  }
+}
+
+double M5Tree::predict(std::span<const double> x) const {
+  if (nodes_.empty()) return 0.0;
+  // Descend, recording the path for smoothing.
+  std::vector<std::int32_t> path;
+  std::int32_t at = 0;
+  for (;;) {
+    path.push_back(at);
+    const Node& n = nodes_[static_cast<std::size_t>(at)];
+    if (n.leaf) break;
+    at = x[n.feature] <= n.threshold ? n.left : n.right;
+  }
+  const Node& leaf = nodes_[static_cast<std::size_t>(path.back())];
+  double value = leaf.model.predict(x);
+  if (!params_.smooth) return value;
+  // Quinlan smoothing: blend upwards, weighting by the lower node's
+  // population against the smoothing constant k.
+  for (std::size_t i = path.size() - 1; i-- > 0;) {
+    const Node& lower = nodes_[static_cast<std::size_t>(path[i + 1])];
+    const Node& upper = nodes_[static_cast<std::size_t>(path[i])];
+    const auto pop = static_cast<double>(lower.population);
+    value = (pop * value + params_.smoothing_k * upper.model.predict(x)) /
+            (pop + params_.smoothing_k);
+  }
+  return value;
+}
+
+std::size_t M5Tree::leaf_count() const noexcept {
+  // Count only nodes reachable from the root: pruning detaches subtrees
+  // without erasing them from storage.
+  if (nodes_.empty()) return 0;
+  std::size_t count = 0;
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const Node& n = nodes_[static_cast<std::size_t>(stack.back())];
+    stack.pop_back();
+    if (n.leaf) {
+      ++count;
+    } else {
+      stack.push_back(n.left);
+      stack.push_back(n.right);
+    }
+  }
+  return count;
+}
+
+std::size_t M5Tree::depth_of(std::int32_t index) const {
+  const Node& n = nodes_[static_cast<std::size_t>(index)];
+  if (n.leaf) return 1;
+  return 1 + std::max(depth_of(n.left), depth_of(n.right));
+}
+
+std::size_t M5Tree::depth() const noexcept {
+  return nodes_.empty() ? 0 : depth_of(0);
+}
+
+namespace {
+std::string feature_label(std::span<const std::string> names, std::size_t index) {
+  if (index < names.size()) return names[index];
+  return "x" + std::to_string(index);
+}
+
+std::string model_label(const LinearModel& model,
+                        std::span<const std::string> names) {
+  std::string out = "y = " + std::to_string(model.bias());
+  for (std::size_t i = 0; i < model.weights().size(); ++i) {
+    if (std::abs(model.weights()[i]) < 1e-12) continue;
+    out += (model.weights()[i] >= 0 ? " + " : " - ") +
+           std::to_string(std::abs(model.weights()[i])) + "*" +
+           feature_label(names, i);
+  }
+  return out;
+}
+}  // namespace
+
+std::string M5Tree::to_string(std::span<const std::string> feature_names) const {
+  if (nodes_.empty()) return "(empty)\n";
+  std::string out;
+  // Depth-first with explicit stack of (node, depth).
+  std::vector<std::pair<std::int32_t, int>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [index, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[static_cast<std::size_t>(index)];
+    out.append(static_cast<std::size_t>(depth) * 2, ' ');
+    if (node.leaf) {
+      out += "leaf[n=" + std::to_string(node.population) + "] " +
+             model_label(node.model, feature_names) + "\n";
+    } else {
+      out += feature_label(feature_names, node.feature) +
+             " <= " + std::to_string(node.threshold) + " ?\n";
+      stack.emplace_back(node.right, depth + 1);
+      stack.emplace_back(node.left, depth + 1);
+    }
+  }
+  return out;
+}
+
+std::string M5Tree::to_dot(std::span<const std::string> feature_names) const {
+  std::string out = "digraph m5 {\n  node [shape=box];\n";
+  if (!nodes_.empty()) {
+    std::vector<std::int32_t> stack{0};
+    while (!stack.empty()) {
+      const std::int32_t index = stack.back();
+      stack.pop_back();
+      const Node& node = nodes_[static_cast<std::size_t>(index)];
+      out += "  n" + std::to_string(index) + " [label=\"";
+      if (node.leaf) {
+        out += "n=" + std::to_string(node.population) + "\\n" +
+               model_label(node.model, feature_names);
+      } else {
+        out += feature_label(feature_names, node.feature) +
+               " <= " + std::to_string(node.threshold);
+      }
+      out += "\"];\n";
+      if (!node.leaf) {
+        out += "  n" + std::to_string(index) + " -> n" + std::to_string(node.left) +
+               " [label=\"yes\"];\n";
+        out += "  n" + std::to_string(index) + " -> n" +
+               std::to_string(node.right) + " [label=\"no\"];\n";
+        stack.push_back(node.left);
+        stack.push_back(node.right);
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+double M5Tree::rmse(const Dataset& data) const {
+  if (data.empty()) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double err = predict(data.x(i)) - data.y(i);
+    acc += err * err;
+  }
+  return std::sqrt(acc / static_cast<double>(data.size()));
+}
+
+}  // namespace autopn::ml

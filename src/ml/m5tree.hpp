@@ -1,0 +1,84 @@
+#pragma once
+// M5 model tree (Quinlan 1992; M5' refinements by Wang & Witten 1997) — the
+// regressor AutoPN's SMBO phase bags into its surrogate model (paper §V-B).
+//
+// A model tree is a decision tree whose splits maximize standard-deviation
+// reduction (SDR) of the targets and whose leaves carry multivariate linear
+// models, yielding a piece-wise linear approximation of the unknown
+// performance function f(t, c). Pruning replaces subtrees by their node's
+// linear model when the complexity-corrected error does not improve, and
+// smoothing blends leaf predictions with ancestor models along the path to
+// the root, as in the original algorithm.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/linear.hpp"
+
+namespace autopn::ml {
+
+struct M5Params {
+  /// Minimum examples per leaf (M5' default 4).
+  std::size_t min_leaf = 4;
+  /// Stop splitting when a node's target stddev falls below this fraction of
+  /// the root stddev (M5' default 5%).
+  double sd_fraction = 0.05;
+  /// Enable complexity-corrected bottom-up pruning.
+  bool prune = true;
+  /// Enable leaf-to-root smoothing (smoothing constant k = 15, Quinlan).
+  bool smooth = true;
+  double smoothing_k = 15.0;
+};
+
+class M5Tree {
+ public:
+  /// Learns a model tree. An empty dataset yields a constant-zero model.
+  [[nodiscard]] static M5Tree fit(const Dataset& data, const M5Params& params = {});
+
+  [[nodiscard]] double predict(std::span<const double> x) const;
+
+  [[nodiscard]] std::size_t leaf_count() const noexcept;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t depth() const noexcept;
+
+  [[nodiscard]] double rmse(const Dataset& data) const;
+
+  /// Human-readable rendering of the (reachable) tree: one line per node,
+  /// indented by depth, leaves showing their linear model.
+  [[nodiscard]] std::string to_string(
+      std::span<const std::string> feature_names = {}) const;
+
+  /// Graphviz dot rendering (for docs/debugging).
+  [[nodiscard]] std::string to_dot(
+      std::span<const std::string> feature_names = {}) const;
+
+ private:
+  struct Node {
+    // Split (valid when !leaf).
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    std::int32_t left = -1;   // index into nodes_
+    std::int32_t right = -1;  // index into nodes_
+    bool leaf = true;
+    std::size_t population = 0;  // training rows that reached this node
+    LinearModel model;           // linear model at every node (used by
+                                 // pruning and smoothing; prediction at leaves)
+  };
+
+  M5Params params_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root when non-empty
+
+  std::int32_t build(const Dataset& data, std::vector<std::size_t> rows,
+                     double root_sd);
+  double subtree_error(std::int32_t index, const Dataset& data,
+                       const std::vector<std::size_t>& rows) const;
+  void prune(std::int32_t index, const Dataset& data,
+             const std::vector<std::size_t>& rows);
+  [[nodiscard]] std::size_t depth_of(std::int32_t index) const;
+};
+
+}  // namespace autopn::ml

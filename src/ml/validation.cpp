@@ -1,0 +1,59 @@
+#include "ml/validation.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autopn::ml {
+
+CvResult cross_validate(const Dataset& data, const ModelFactory& make,
+                        std::size_t folds, std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument{"cross_validate needs >= 2 folds"};
+  if (data.size() < folds) {
+    throw std::invalid_argument{"cross_validate needs >= folds rows"};
+  }
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  util::Rng rng{seed};
+  rng.shuffle(order);
+
+  double squared_error = 0.0;
+  double absolute_error = 0.0;
+  std::size_t held_out = 0;
+
+  const std::size_t base = data.size() / folds;
+  const std::size_t remainder = data.size() % folds;
+  std::size_t cursor = 0;
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    const std::size_t fold_size = base + (fold < remainder ? 1 : 0);
+    std::vector<std::size_t> test_rows(order.begin() + static_cast<std::ptrdiff_t>(cursor),
+                                       order.begin() +
+                                           static_cast<std::ptrdiff_t>(cursor + fold_size));
+    std::vector<std::size_t> train_rows;
+    train_rows.reserve(data.size() - fold_size);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const std::size_t row = order[i];
+      if (i < cursor || i >= cursor + fold_size) train_rows.push_back(row);
+    }
+    cursor += fold_size;
+
+    const Dataset train = data.subset(train_rows);
+    const auto predict = make(train);
+    for (std::size_t row : test_rows) {
+      const double err = predict(data.x(row)) - data.y(row);
+      squared_error += err * err;
+      absolute_error += std::abs(err);
+      ++held_out;
+    }
+  }
+  CvResult result;
+  result.rmse = std::sqrt(squared_error / static_cast<double>(held_out));
+  result.mae = absolute_error / static_cast<double>(held_out);
+  return result;
+}
+
+}  // namespace autopn::ml

@@ -1,0 +1,32 @@
+#pragma once
+// Model-validation utilities: k-fold cross-validation of regressors over a
+// Dataset. Used by the surrogate-selection study and mirrors the paper's
+// §VII-A calibration procedure ("10-fold cross-validation combined with
+// grid-search").
+
+#include <cstdint>
+#include <functional>
+
+#include "ml/dataset.hpp"
+
+namespace autopn::ml {
+
+/// Result of one cross-validation run.
+struct CvResult {
+  double rmse = 0.0;  ///< root mean squared error over held-out folds
+  double mae = 0.0;   ///< mean absolute error over held-out folds
+};
+
+/// A model factory paired with a predictor: `fit(train)` returns an opaque
+/// predict function evaluated on the held-out fold.
+using ModelFactory =
+    std::function<std::function<double(std::span<const double>)>(const Dataset&)>;
+
+/// k-fold cross-validation: shuffles rows with `seed`, splits into `folds`
+/// contiguous folds, trains on k-1 and scores the held-out fold, aggregating
+/// the errors over all held-out predictions. Requires folds >= 2 and at
+/// least `folds` rows.
+[[nodiscard]] CvResult cross_validate(const Dataset& data, const ModelFactory& make,
+                                      std::size_t folds, std::uint64_t seed);
+
+}  // namespace autopn::ml

@@ -1,0 +1,58 @@
+#include "opt/autopn_optimizer.hpp"
+
+namespace autopn::opt {
+
+AutoPnOptimizer::AutoPnOptimizer(const ConfigSpace& space, AutoPnParams params,
+                                 std::uint64_t seed)
+    : AutoPnOptimizer(space, params, seed,
+                      std::make_unique<EiThresholdStop>(params.ei_threshold)) {}
+
+AutoPnOptimizer::AutoPnOptimizer(const ConfigSpace& space, AutoPnParams params,
+                                 std::uint64_t seed,
+                                 std::unique_ptr<StopCriterion> stop)
+    : space_(&space), params_(params), seed_(seed) {
+  smbo_ = std::make_unique<Smbo>(space, space.biased_sample(params.initial_samples),
+                                 std::move(stop), params.smbo, seed);
+}
+
+std::optional<Config> AutoPnOptimizer::propose() {
+  if (phase_ == 1) {
+    if (auto next = smbo_->propose()) return next;
+    if (!params_.hill_climb_refinement) {
+      phase_ = 3;
+      return std::nullopt;
+    }
+    enter_refinement();
+  }
+  if (phase_ == 2) {
+    while (auto next = climber_->propose()) {
+      // The climber may ask for points the SMBO phase already measured;
+      // recycle those observations without spending a new exploration.
+      if (auto known = kpi_of(*next)) {
+        climber_->observe(*next, *known);
+        continue;
+      }
+      return next;
+    }
+    phase_ = 3;
+  }
+  return std::nullopt;
+}
+
+void AutoPnOptimizer::enter_refinement() {
+  phase_ = 2;
+  climber_ = std::make_unique<HillClimbing>(*space_, seed_ ^ 0xc1f651c67c62c6e0ULL,
+                                            smbo_->best(), /*diagonal_moves=*/true);
+  climber_->seed(smbo_->best(), smbo_->best_kpi());
+}
+
+void AutoPnOptimizer::on_observe(const Config& config, double kpi) {
+  if (phase_ == 1) {
+    ++smbo_explorations_;
+    smbo_->observe(config, kpi);
+  } else if (phase_ == 2) {
+    climber_->observe(config, kpi);
+  }
+}
+
+}  // namespace autopn::opt

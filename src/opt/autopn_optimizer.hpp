@@ -1,0 +1,66 @@
+#pragma once
+// AUTOPN — the paper's self-tuning optimizer (§V). Three phases, one
+// pull-driven state machine:
+//
+//   1. biased initial sampling of up to 9 boundary configurations (§V-A);
+//   2. SMBO with a bagged-M5 surrogate and EI acquisition until max EI falls
+//      below a threshold (§V-B) — quickly prunes unpromising macro-regions;
+//   3. hill-climbing refinement from the SMBO incumbent (§V), correcting the
+//      model's long-sightedness with a cheap local search.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "opt/baselines.hpp"
+#include "opt/optimizer.hpp"
+#include "opt/smbo.hpp"
+
+namespace autopn::opt {
+
+struct AutoPnParams {
+  /// Initial biased boundary samples: 3, 5, 7 or 9 (paper default 9).
+  std::size_t initial_samples = 9;
+  /// EI stop threshold as a fraction of the incumbent (paper: 1%-10%,
+  /// default evaluation setting 10%).
+  double ei_threshold = 0.10;
+  /// Skip phase 3 (the "AutoPN w/o local search" variant of Fig 5).
+  bool hill_climb_refinement = true;
+  SmboParams smbo;
+};
+
+class AutoPnOptimizer final : public BaseOptimizer {
+ public:
+  AutoPnOptimizer(const ConfigSpace& space, AutoPnParams params, std::uint64_t seed);
+
+  /// Variant with a custom SMBO stop criterion (Fig 6 stop-condition study);
+  /// overrides the ei_threshold-derived default.
+  AutoPnOptimizer(const ConfigSpace& space, AutoPnParams params, std::uint64_t seed,
+                  std::unique_ptr<StopCriterion> stop);
+
+  [[nodiscard]] std::optional<Config> propose() override;
+  [[nodiscard]] std::string name() const override { return "autopn"; }
+
+  /// Which phase the tuner is in (diagnostics; 1 = initial+SMBO, 2 = hill
+  /// climbing, 3 = done).
+  [[nodiscard]] int phase() const noexcept { return phase_; }
+
+  /// Explorations spent in the SMBO phase (incl. initial samples).
+  [[nodiscard]] std::size_t smbo_explorations() const noexcept {
+    return smbo_explorations_;
+  }
+
+ private:
+  void on_observe(const Config& config, double kpi) override;
+  void enter_refinement();
+
+  const ConfigSpace* space_;
+  AutoPnParams params_;
+  std::uint64_t seed_;
+  std::unique_ptr<Smbo> smbo_;
+  std::unique_ptr<HillClimbing> climber_;
+  int phase_ = 1;
+  std::size_t smbo_explorations_ = 0;
+};
+
+}  // namespace autopn::opt

@@ -1,0 +1,278 @@
+#include "opt/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autopn::opt {
+
+// ---- RandomSearch ----------------------------------------------------------
+
+RandomSearch::RandomSearch(const ConfigSpace& space, std::uint64_t seed,
+                           std::size_t no_improve_window, double no_improve_eps)
+    : space_(&space),
+      rng_(seed),
+      stop_(no_improve_window, no_improve_eps),
+      shuffled_(space.all()) {
+  rng_.shuffle(shuffled_);
+}
+
+std::optional<Config> RandomSearch::propose() {
+  if (stop_.should_stop() || cursor_ >= shuffled_.size()) return std::nullopt;
+  return shuffled_[cursor_++];
+}
+
+void RandomSearch::on_observe(const Config& /*config*/, double kpi) { stop_.add(kpi); }
+
+// ---- GridSearch ------------------------------------------------------------
+
+GridSearch::GridSearch(const ConfigSpace& space, std::size_t no_improve_window,
+                       double no_improve_eps)
+    : space_(&space), stop_(no_improve_window, no_improve_eps) {}
+
+std::optional<Config> GridSearch::propose() {
+  if (stop_.should_stop() || cursor_ >= space_->size()) return std::nullopt;
+  // ConfigSpace enumerates configurations with c sweeping fastest within
+  // each t — exactly the paper's "first c, then t" progressive sweep.
+  return space_->at(cursor_++);
+}
+
+void GridSearch::on_observe(const Config& /*config*/, double kpi) { stop_.add(kpi); }
+
+// ---- HillClimbing ----------------------------------------------------------
+
+HillClimbing::HillClimbing(const ConfigSpace& space, std::uint64_t seed,
+                           std::optional<Config> start, bool diagonal_moves)
+    : space_(&space), rng_(seed), diagonal_moves_(diagonal_moves), start_(start) {}
+
+void HillClimbing::seed(const Config& config, double kpi) {
+  current_ = config;
+  current_kpi_ = kpi;
+  have_current_ = true;
+  // Also feed the base bookkeeping so best() reflects the seed.
+  BaseOptimizer::observe(config, kpi);
+  refill_frontier();
+}
+
+void HillClimbing::refill_frontier() {
+  frontier_.clear();
+  round_.clear();
+  for (const Config& n : space_->neighbors(current_, diagonal_moves_)) {
+    if (!explored(n)) frontier_.push_back(n);
+  }
+}
+
+std::optional<Config> HillClimbing::propose() {
+  if (done_) return std::nullopt;
+  if (!have_current_) {
+    if (start_.has_value()) return *start_;
+    return space_->at(rng_.uniform_index(space_->size()));
+  }
+  if (!frontier_.empty()) {
+    const Config next = frontier_.front();
+    frontier_.pop_front();
+    return next;
+  }
+  // Round complete: move to the best measured neighbour if it improves.
+  const Observation* best_neighbor = nullptr;
+  for (const Observation& obs : round_) {
+    if (best_neighbor == nullptr || obs.kpi > best_neighbor->kpi) {
+      best_neighbor = &obs;
+    }
+  }
+  if (best_neighbor != nullptr && best_neighbor->kpi > current_kpi_) {
+    current_ = best_neighbor->config;
+    current_kpi_ = best_neighbor->kpi;
+    refill_frontier();
+    if (!frontier_.empty()) {
+      const Config next = frontier_.front();
+      frontier_.pop_front();
+      return next;
+    }
+    // All neighbours of the new incumbent already known: recurse into the
+    // move decision on the next propose() call.
+    round_.clear();
+    for (const Config& n : space_->neighbors(current_, diagonal_moves_)) {
+      round_.push_back(Observation{n, kpi_of(n).value()});
+    }
+    return propose();
+  }
+  done_ = true;  // local optimum
+  return std::nullopt;
+}
+
+void HillClimbing::on_observe(const Config& config, double kpi) {
+  if (!have_current_) {
+    current_ = config;
+    current_kpi_ = kpi;
+    have_current_ = true;
+    refill_frontier();
+    return;
+  }
+  round_.push_back(Observation{config, kpi});
+}
+
+// ---- SimulatedAnnealing ----------------------------------------------------
+
+SimulatedAnnealing::SimulatedAnnealing(const ConfigSpace& space, std::uint64_t seed,
+                                       SaParams params)
+    : space_(&space),
+      rng_(seed),
+      params_(params),
+      temperature_(params.initial_temperature),
+      stop_(params.no_improve_window, params.no_improve_eps) {}
+
+std::optional<Config> SimulatedAnnealing::propose() {
+  if (stop_.should_stop()) return std::nullopt;
+  if (!have_current_) return space_->at(rng_.uniform_index(space_->size()));
+  if (temperature_ < params_.min_temperature && stop_.should_stop()) {
+    return std::nullopt;
+  }
+  const auto neighbors = space_->neighbors(current_);
+  if (neighbors.empty()) return std::nullopt;
+  return neighbors[rng_.uniform_index(neighbors.size())];
+}
+
+void SimulatedAnnealing::on_observe(const Config& config, double kpi) {
+  stop_.add(kpi);
+  if (!have_current_) {
+    current_ = config;
+    current_kpi_ = kpi;
+    have_current_ = true;
+    return;
+  }
+  bool accept = kpi >= current_kpi_;
+  if (!accept && current_kpi_ > 0.0) {
+    const double relative_loss = (current_kpi_ - kpi) / current_kpi_;
+    accept = rng_.bernoulli(std::exp(-relative_loss / std::max(temperature_, 1e-9)));
+  }
+  if (accept) {
+    current_ = config;
+    current_kpi_ = kpi;
+  }
+  temperature_ *= params_.cooling;
+}
+
+// ---- GeneticAlgorithm ------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kCoordBits = 6;  // encodes t-1 and c-1 in [0, 63]
+constexpr std::uint32_t kCoordMask = (1u << kCoordBits) - 1;
+}  // namespace
+
+GeneticAlgorithm::GeneticAlgorithm(const ConfigSpace& space, std::uint64_t seed,
+                                   GaParams params)
+    : space_(&space), rng_(seed), params_(params) {
+  // Initial population: uniform random configurations (distinct where
+  // possible).
+  pending_.reserve(params_.population);
+  while (pending_.size() < params_.population) {
+    const Config candidate = space_->at(rng_.uniform_index(space_->size()));
+    const bool duplicate =
+        std::find(pending_.begin(), pending_.end(), candidate) != pending_.end();
+    if (!duplicate || pending_.size() + 1 >= space_->size()) {
+      pending_.push_back(candidate);
+    }
+  }
+}
+
+std::uint32_t GeneticAlgorithm::encode(const Config& config) {
+  const auto t = static_cast<std::uint32_t>(config.t - 1) & kCoordMask;
+  const auto c = static_cast<std::uint32_t>(config.c - 1) & kCoordMask;
+  return (t << kCoordBits) | c;
+}
+
+Config GeneticAlgorithm::decode_and_repair(std::uint32_t chromosome) const {
+  int t = static_cast<int>((chromosome >> kCoordBits) & kCoordMask) + 1;
+  int c = static_cast<int>(chromosome & kCoordMask) + 1;
+  t = std::min(t, space_->cores());
+  c = std::min(c, space_->cores());
+  // Repair over-subscribed offspring by shrinking c (keeps the t gene).
+  while (static_cast<long>(t) * c > space_->cores() && c > 1) --c;
+  return Config{t, c};
+}
+
+std::optional<Config> GeneticAlgorithm::propose() {
+  if (done_) return std::nullopt;
+  while (cursor_ < pending_.size()) {
+    const Config candidate = pending_[cursor_];
+    if (auto known = kpi_of(candidate)) {
+      // Already measured in an earlier generation: recycle the observation
+      // without spending an exploration.
+      generation_.push_back(Observation{candidate, *known});
+      ++cursor_;
+      continue;
+    }
+    return candidate;
+  }
+  spawn_next_generation();
+  if (done_) return std::nullopt;
+  return propose();
+}
+
+void GeneticAlgorithm::on_observe(const Config& config, double kpi) {
+  generation_.push_back(Observation{config, kpi});
+  ++cursor_;
+}
+
+void GeneticAlgorithm::spawn_next_generation() {
+  // Generation fully evaluated (measured or recycled): update the stale-
+  // generation stop statistic, then breed.
+  const double gen_best =
+      std::max_element(generation_.begin(), generation_.end(),
+                       [](const Observation& a, const Observation& b) {
+                         return a.kpi < b.kpi;
+                       })
+          ->kpi;
+  if (last_generation_best_ > 0.0 && gen_best <= last_generation_best_ * 1.0001) {
+    ++stale_generations_;
+  } else {
+    stale_generations_ = 0;
+  }
+  last_generation_best_ = std::max(last_generation_best_, gen_best);
+  if (stale_generations_ >= params_.no_improve_generations) {
+    done_ = true;
+    return;
+  }
+  // Rank current generation.
+  std::vector<Observation> ranked = generation_;
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Observation& a, const Observation& b) { return a.kpi > b.kpi; });
+
+  std::vector<Config> next;
+  next.reserve(params_.population);
+  for (std::size_t i = 0; i < std::min(params_.elites, ranked.size()); ++i) {
+    next.push_back(ranked[i].config);
+  }
+  // Random immigrants keep the broad search going (the "data greedy"
+  // behaviour the paper observes in GA).
+  for (std::size_t i = 0;
+       i < params_.random_immigrants && next.size() < params_.population; ++i) {
+    next.push_back(space_->at(rng_.uniform_index(space_->size())));
+  }
+  // Fitness-proportional (rank-based) parent selection.
+  auto pick_parent = [&]() -> const Config& {
+    // Tournament of 2 over the ranked list.
+    const std::size_t a = rng_.uniform_index(ranked.size());
+    const std::size_t b = rng_.uniform_index(ranked.size());
+    return ranked[std::min(a, b)].config;
+  };
+  while (next.size() < params_.population) {
+    std::uint32_t child = encode(pick_parent());
+    if (rng_.bernoulli(params_.crossover_rate)) {
+      const std::uint32_t other = encode(pick_parent());
+      const std::uint32_t cut = 1 + static_cast<std::uint32_t>(
+                                        rng_.uniform_index(2 * kCoordBits - 1));
+      const std::uint32_t mask = (1u << cut) - 1;
+      child = (child & ~mask) | (other & mask);
+    }
+    for (std::uint32_t bit = 0; bit < 2 * kCoordBits; ++bit) {
+      if (rng_.bernoulli(params_.mutation_rate)) child ^= (1u << bit);
+    }
+    next.push_back(decode_and_repair(child));
+  }
+  pending_ = std::move(next);
+  generation_.clear();
+  cursor_ = 0;
+}
+
+}  // namespace autopn::opt

@@ -1,0 +1,161 @@
+#pragma once
+// The five general-purpose online tuners AutoPN is compared against
+// (paper §VII-A): random search, grid search, hill climbing, simulated
+// annealing and a genetic algorithm. Each implements the pull-driven
+// Optimizer interface.
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "opt/config_space.hpp"
+#include "opt/optimizer.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::opt {
+
+/// Uniform random exploration; stops when the last 5 samples improved the
+/// incumbent by less than 10% (paper's parity rule with AutoPN's EI < 10%).
+class RandomSearch final : public BaseOptimizer {
+ public:
+  RandomSearch(const ConfigSpace& space, std::uint64_t seed,
+               std::size_t no_improve_window = 5, double no_improve_eps = 0.10);
+
+  [[nodiscard]] std::optional<Config> propose() override;
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+ private:
+  void on_observe(const Config& config, double kpi) override;
+
+  const ConfigSpace* space_;
+  util::Rng rng_;
+  NoImprovementTracker stop_;
+  std::vector<Config> shuffled_;  // sampling without replacement
+  std::size_t cursor_ = 0;
+};
+
+/// Deterministic sweep: for increasing t, sweep c (the paper sweeps "first c
+/// then t"); same no-improvement stopping rule as random search.
+class GridSearch final : public BaseOptimizer {
+ public:
+  GridSearch(const ConfigSpace& space, std::size_t no_improve_window = 5,
+             double no_improve_eps = 0.10);
+
+  [[nodiscard]] std::optional<Config> propose() override;
+  [[nodiscard]] std::string name() const override { return "grid"; }
+
+ private:
+  void on_observe(const Config& config, double kpi) override;
+
+  const ConfigSpace* space_;
+  NoImprovementTracker stop_;
+  std::size_t cursor_ = 0;
+};
+
+/// Plain steepest-ascent hill climbing from a random start: measure the whole
+/// (Chebyshev-1) neighbourhood of the incumbent, move to the best improving
+/// neighbour, stop at a local optimum.
+class HillClimbing final : public BaseOptimizer {
+ public:
+  /// `start` fixes the initial configuration (used by AutoPN's refinement
+  /// phase); when std::nullopt, a random start is drawn (plain HC baseline).
+  /// `diagonal_moves` selects the 8-way Chebyshev neighbourhood instead of
+  /// the classic 4-way axis neighbourhood used by prior TM tuners.
+  HillClimbing(const ConfigSpace& space, std::uint64_t seed,
+               std::optional<Config> start = std::nullopt,
+               bool diagonal_moves = false);
+
+  [[nodiscard]] std::optional<Config> propose() override;
+  [[nodiscard]] std::string name() const override { return "hill-climbing"; }
+
+  /// Seeds the incumbent with an already-measured point so the climb starts
+  /// there without re-measuring (refinement-phase entry).
+  void seed(const Config& config, double kpi);
+
+ private:
+  void on_observe(const Config& config, double kpi) override;
+  void refill_frontier();
+
+  const ConfigSpace* space_;
+  util::Rng rng_;
+  bool diagonal_moves_;
+  Config current_{};
+  double current_kpi_ = 0.0;
+  bool have_current_ = false;
+  std::optional<Config> start_;
+  std::deque<Config> frontier_;      // unexplored neighbours of current_
+  std::vector<Observation> round_;   // measured neighbours this round
+  bool done_ = false;
+};
+
+/// Simulated annealing (paper baseline iv): random-neighbour walk accepting
+/// degradations with probability exp(-rel_loss / temperature); geometric
+/// cooling. Meta-parameters follow the paper's offline grid-search
+/// calibration procedure (see bench/ablation_meta).
+struct SaParams {
+  double initial_temperature = 0.20;  ///< relative-loss scale
+  double cooling = 0.95;              ///< geometric decay per step
+  double min_temperature = 0.01;      ///< freeze point: switch to descent-stop
+  std::size_t no_improve_window = 15;
+  double no_improve_eps = 0.03;
+};
+
+class SimulatedAnnealing final : public BaseOptimizer {
+ public:
+  SimulatedAnnealing(const ConfigSpace& space, std::uint64_t seed,
+                     SaParams params = {});
+
+  [[nodiscard]] std::optional<Config> propose() override;
+  [[nodiscard]] std::string name() const override { return "simulated-annealing"; }
+
+ private:
+  void on_observe(const Config& config, double kpi) override;
+
+  const ConfigSpace* space_;
+  util::Rng rng_;
+  SaParams params_;
+  double temperature_;
+  Config current_{};
+  double current_kpi_ = 0.0;
+  bool have_current_ = false;
+  NoImprovementTracker stop_;
+};
+
+/// Genetic algorithm (paper baseline v): configurations encoded as bit-string
+/// chromosomes (6 bits per coordinate), elitism, single-point crossover,
+/// per-bit mutation, invalid offspring repaired by shrinking c.
+struct GaParams {
+  std::size_t population = 10;
+  std::size_t elites = 2;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.08;            ///< per-bit
+  std::size_t random_immigrants = 2;      ///< fresh random individuals per gen
+  std::size_t no_improve_generations = 6; ///< stop after this many stale gens
+};
+
+class GeneticAlgorithm final : public BaseOptimizer {
+ public:
+  GeneticAlgorithm(const ConfigSpace& space, std::uint64_t seed,
+                   GaParams params = {});
+
+  [[nodiscard]] std::optional<Config> propose() override;
+  [[nodiscard]] std::string name() const override { return "genetic"; }
+
+ private:
+  void on_observe(const Config& config, double kpi) override;
+  void spawn_next_generation();
+  [[nodiscard]] Config decode_and_repair(std::uint32_t chromosome) const;
+  [[nodiscard]] static std::uint32_t encode(const Config& config);
+
+  const ConfigSpace* space_;
+  util::Rng rng_;
+  GaParams params_;
+  std::vector<Config> pending_;            // individuals awaiting evaluation
+  std::vector<Observation> generation_;    // evaluated individuals
+  std::size_t cursor_ = 0;
+  std::size_t stale_generations_ = 0;
+  double last_generation_best_ = 0.0;
+  bool done_ = false;
+};
+
+}  // namespace autopn::opt

@@ -1,0 +1,75 @@
+#include "opt/config_space.hpp"
+
+#include <stdexcept>
+
+namespace autopn::opt {
+
+std::string Config::to_string() const {
+  return "(" + std::to_string(t) + "," + std::to_string(c) + ")";
+}
+
+ConfigSpace::ConfigSpace(int cores) : cores_(cores) {
+  if (cores < 1) throw std::invalid_argument{"ConfigSpace needs >= 1 core"};
+  for (int t = 1; t <= cores; ++t) {
+    for (int c = 1; static_cast<long>(t) * c <= cores; ++c) {
+      all_.push_back(Config{t, c});
+    }
+  }
+}
+
+std::optional<std::size_t> ConfigSpace::index_of(const Config& cfg) const {
+  if (!valid(cfg)) return std::nullopt;
+  // Rows are grouped by t in construction order; offset of row t is the
+  // number of configs with smaller t. Compute by summation (spaces are tiny;
+  // clarity over micro-optimization).
+  std::size_t offset = 0;
+  for (int t = 1; t < cfg.t; ++t) offset += static_cast<std::size_t>(cores_ / t);
+  return offset + static_cast<std::size_t>(cfg.c - 1);
+}
+
+std::vector<Config> ConfigSpace::neighbors(const Config& cfg,
+                                           bool include_diagonals) const {
+  std::vector<Config> out;
+  out.reserve(8);
+  for (int dt = -1; dt <= 1; ++dt) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      if (dt == 0 && dc == 0) continue;
+      if (!include_diagonals && dt != 0 && dc != 0) continue;
+      const Config candidate{cfg.t + dt, cfg.c + dc};
+      if (valid(candidate)) out.push_back(candidate);
+    }
+  }
+  return out;
+}
+
+std::vector<Config> ConfigSpace::biased_sample(std::size_t count) const {
+  const int n = cores_;
+  std::vector<Config> points;
+  // 3 pivots.
+  points.push_back(Config{1, 1});
+  points.push_back(Config{n, 1});
+  points.push_back(Config{1, n});
+  if (count >= 5) {
+    points.push_back(Config{n - 1, 1});
+    points.push_back(Config{1, n - 1});
+  }
+  if (count >= 7) {
+    points.push_back(Config{2, 1});
+    points.push_back(Config{1, 2});
+  }
+  if (count >= 9) {
+    points.push_back(Config{n / 2, 2});
+    points.push_back(Config{2, n / 2});
+  }
+  // Deduplicate (degenerate for tiny n) and keep only valid points.
+  std::vector<Config> out;
+  for (const Config& p : points) {
+    if (!valid(p)) continue;
+    bool seen = false;
+    for (const Config& q : out) seen = seen || (q == p);
+    if (!seen) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace autopn::opt

@@ -1,0 +1,74 @@
+#pragma once
+// The bi-dimensional search space of parallel-nesting configurations
+// (paper §III-B): S = { (t, c) : t, c >= 1 and t * c <= n }, where t is the
+// number of concurrent top-level transactions, c the number of concurrent
+// nested transactions per tree, and n the core count. For n = 48 the space
+// holds exactly 198 configurations, matching the paper's evaluation.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace autopn::opt {
+
+/// One parallelism configuration.
+struct Config {
+  int t = 1;  ///< concurrent top-level transactions
+  int c = 1;  ///< concurrent nested transactions per tree
+
+  friend bool operator==(const Config&, const Config&) = default;
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct ConfigHash {
+  [[nodiscard]] std::size_t operator()(const Config& cfg) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cfg.t)) << 32) |
+        static_cast<std::uint32_t>(cfg.c));
+  }
+};
+
+/// Enumeration, validity and neighbourhood structure of S.
+class ConfigSpace {
+ public:
+  /// Builds the space for an n-core machine (n >= 1).
+  explicit ConfigSpace(int cores);
+
+  [[nodiscard]] int cores() const noexcept { return cores_; }
+  [[nodiscard]] std::size_t size() const noexcept { return all_.size(); }
+  [[nodiscard]] const std::vector<Config>& all() const noexcept { return all_; }
+  [[nodiscard]] const Config& at(std::size_t index) const { return all_.at(index); }
+
+  [[nodiscard]] bool valid(const Config& cfg) const noexcept {
+    return cfg.t >= 1 && cfg.c >= 1 &&
+           static_cast<long>(cfg.t) * cfg.c <= static_cast<long>(cores_);
+  }
+
+  /// Index of a configuration in all(), if valid.
+  [[nodiscard]] std::optional<std::size_t> index_of(const Config& cfg) const;
+
+  /// Valid lattice neighbours at Chebyshev distance 1 (up to 8), or only the
+  /// four axis-aligned moves when `include_diagonals` is false.
+  [[nodiscard]] std::vector<Config> neighbors(const Config& cfg,
+                                              bool include_diagonals = true) const;
+
+  // ---- the paper's biased initial-sampling sets (§V-A) -----------------
+  //
+  // Three pivots anchor the extremes of inter-/intra-transaction
+  // parallelism: (1,1) sequential, (n,1) all-top-level, (1,n) all-nested.
+  // The 5- and 7-point sets add the pivots' axis neighbours (per the paper's
+  // footnote); the full 9-point set adds one boundary neighbour of each
+  // saturated pivot along the t*c = n hyperbola, completing "3 points per
+  // boundary region" (documented inference, see DESIGN.md).
+
+  [[nodiscard]] std::vector<Config> biased_sample(std::size_t count) const;
+
+ private:
+  int cores_;
+  std::vector<Config> all_;
+};
+
+}  // namespace autopn::opt

@@ -1,0 +1,27 @@
+#include "opt/ei.hpp"
+
+#include <cmath>
+
+namespace autopn::opt {
+
+namespace {
+constexpr double kInvSqrt2Pi = 0.39894228040143267794;  // 1/sqrt(2*pi)
+constexpr double kInvSqrt2 = 0.70710678118654752440;    // 1/sqrt(2)
+}  // namespace
+
+double norm_pdf(double z) { return kInvSqrt2Pi * std::exp(-0.5 * z * z); }
+
+double norm_cdf(double z) { return 0.5 * std::erfc(-z * kInvSqrt2); }
+
+double expected_improvement(double mu, double sigma, double f_max) {
+  if (sigma <= 0.0) return mu > f_max ? mu - f_max : 0.0;
+  const double z = (mu - f_max) / sigma;
+  return (mu - f_max) * norm_cdf(z) + sigma * norm_pdf(z);
+}
+
+double probability_of_improvement(double mu, double sigma, double f_max) {
+  if (sigma <= 0.0) return mu > f_max ? 1.0 : 0.0;
+  return norm_cdf((mu - f_max) / sigma);
+}
+
+}  // namespace autopn::opt

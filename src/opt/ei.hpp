@@ -1,0 +1,29 @@
+#pragma once
+// Expected Improvement acquisition (paper §V-B, Eq. 1). Assuming the
+// surrogate's posterior at x is Gaussian N(mu, sigma^2), the expected
+// positive improvement over the incumbent f_max has the closed form
+//
+//   EI(x) = (mu - f_max) * Phi(z) + sigma * phi(z),   z = (mu - f_max) / sigma
+//
+// with Phi/phi the standard normal CDF/PDF. EI is what balances exploitation
+// (high mu) against exploration (high sigma) in AutoPN's SMBO phase.
+
+namespace autopn::opt {
+
+/// Standard normal probability density.
+[[nodiscard]] double norm_pdf(double z);
+
+/// Standard normal cumulative distribution.
+[[nodiscard]] double norm_cdf(double z);
+
+/// Closed-form Gaussian Expected Improvement of sampling a point with
+/// posterior mean `mu` and standard deviation `sigma` over incumbent
+/// `f_max` (maximization). With sigma == 0 this degenerates to
+/// max(mu - f_max, 0).
+[[nodiscard]] double expected_improvement(double mu, double sigma, double f_max);
+
+/// Probability of Improvement, the simpler acquisition AutoPN rejects in
+/// favour of EI (kept for the acquisition ablation bench): Phi(z).
+[[nodiscard]] double probability_of_improvement(double mu, double sigma, double f_max);
+
+}  // namespace autopn::opt

@@ -1,0 +1,114 @@
+#include "opt/hetero.hpp"
+
+#include <stdexcept>
+
+namespace autopn::opt {
+
+std::string HeteroConfig::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < per_type.size(); ++i) {
+    if (i > 0) out += " ";
+    out += per_type[i].to_string();
+  }
+  return out + "]";
+}
+
+long HeteroConfig::cores_used() const {
+  long used = 0;
+  for (const Config& cfg : per_type) used += static_cast<long>(cfg.t) * cfg.c;
+  return used;
+}
+
+HeteroSpace::HeteroSpace(int cores, std::size_t types) : cores_(cores), types_(types) {
+  if (types == 0) throw std::invalid_argument{"HeteroSpace needs >= 1 type"};
+  if (cores < static_cast<int>(types)) {
+    throw std::invalid_argument{"need at least one core per type"};
+  }
+}
+
+bool HeteroSpace::valid(const HeteroConfig& cfg) const {
+  if (cfg.per_type.size() != types_) return false;
+  for (const Config& c : cfg.per_type) {
+    if (c.t < 1 || c.c < 1) return false;
+  }
+  return cfg.cores_used() <= cores_;
+}
+
+HeteroConfig HeteroSpace::sequential() const {
+  HeteroConfig cfg;
+  cfg.per_type.assign(types_, Config{1, 1});
+  return cfg;
+}
+
+int HeteroSpace::budget_for(const HeteroConfig& cfg, std::size_t k) const {
+  long frozen = 0;
+  for (std::size_t j = 0; j < cfg.per_type.size(); ++j) {
+    if (j != k) frozen += static_cast<long>(cfg.per_type[j].t) * cfg.per_type[j].c;
+  }
+  return static_cast<int>(cores_ - frozen);
+}
+
+HeteroCoordinateTuner::HeteroCoordinateTuner(const HeteroSpace& space,
+                                             HeteroTunerParams params,
+                                             std::uint64_t seed)
+    : space_(&space), params_(params), seed_(seed), current_(space.sequential()) {
+  start_inner();
+}
+
+void HeteroCoordinateTuner::start_inner() {
+  const int budget = space_->budget_for(current_, active_type_);
+  inner_space_ = std::make_unique<ConfigSpace>(std::max(1, budget));
+  inner_ = std::make_unique<AutoPnOptimizer>(
+      *inner_space_, params_.autopn,
+      seed_ ^ (0x9e3779b97f4a7c15ULL * (round_ * space_->types() + active_type_ + 1)));
+  inner_pending_.reset();
+}
+
+bool HeteroCoordinateTuner::advance() {
+  // The inner tuner finished: adopt its best choice for the active type.
+  const Config chosen = inner_->best();
+  if (!(chosen == current_.per_type[active_type_])) {
+    round_changed_ = true;
+    current_.per_type[active_type_] = chosen;
+  }
+  ++active_type_;
+  if (active_type_ >= space_->types()) {
+    ++round_;
+    if (!round_changed_ || round_ >= params_.max_rounds) return false;
+    active_type_ = 0;
+    round_changed_ = false;
+  }
+  start_inner();
+  return true;
+}
+
+std::optional<HeteroConfig> HeteroCoordinateTuner::propose() {
+  if (done_) return std::nullopt;
+  for (;;) {
+    if (auto candidate = inner_->propose()) {
+      inner_pending_ = candidate;
+      HeteroConfig joint = current_;
+      joint.per_type[active_type_] = *candidate;
+      return joint;
+    }
+    if (!advance()) {
+      done_ = true;
+      current_ = best_;
+      return std::nullopt;
+    }
+  }
+}
+
+void HeteroCoordinateTuner::observe(const HeteroConfig& config, double kpi) {
+  if (inner_pending_.has_value()) {
+    inner_->observe(*inner_pending_, kpi);
+    inner_pending_.reset();
+  }
+  if (!have_best_ || kpi > best_kpi_) {
+    best_ = config;
+    best_kpi_ = kpi;
+    have_best_ = true;
+  }
+}
+
+}  // namespace autopn::opt

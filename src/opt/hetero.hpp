@@ -1,0 +1,105 @@
+#pragma once
+// Heterogeneous transaction types — the paper's §VIII future-work extension:
+// "modeling the search space as a set of distinct (t_k, c_k) pairs for each
+// type of top-level transaction, k".
+//
+// The joint space grows exponentially in the number of types, so exhaustive
+// SMBO over the product lattice is impractical (the very dimensionality
+// concern the paper raises). We implement the natural tractable design the
+// paper's black-box architecture admits: coordinate descent over types —
+// each round re-tunes one type's (t_k, c_k) with the standard AutoPN
+// pipeline while the other types stay frozen, under a shared core budget
+// sum_k t_k * c_k <= n. Rounds repeat until a full sweep changes nothing.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "opt/autopn_optimizer.hpp"
+#include "opt/config_space.hpp"
+
+namespace autopn::opt {
+
+/// One (t_k, c_k) assignment per transaction type.
+struct HeteroConfig {
+  std::vector<Config> per_type;
+
+  friend bool operator==(const HeteroConfig&, const HeteroConfig&) = default;
+  [[nodiscard]] std::string to_string() const;
+  /// Total cores consumed: sum of t_k * c_k.
+  [[nodiscard]] long cores_used() const;
+};
+
+/// The joint admissible space: every type has t_k, c_k >= 1 and the shared
+/// budget holds.
+class HeteroSpace {
+ public:
+  HeteroSpace(int cores, std::size_t types);
+
+  [[nodiscard]] int cores() const noexcept { return cores_; }
+  [[nodiscard]] std::size_t types() const noexcept { return types_; }
+  [[nodiscard]] bool valid(const HeteroConfig& cfg) const;
+
+  /// The all-sequential starting point: (1,1) for every type.
+  [[nodiscard]] HeteroConfig sequential() const;
+
+  /// Core budget available to type k when the other types of `cfg` are
+  /// frozen.
+  [[nodiscard]] int budget_for(const HeteroConfig& cfg, std::size_t k) const;
+
+ private:
+  int cores_;
+  std::size_t types_;
+};
+
+struct HeteroTunerParams {
+  AutoPnParams autopn;
+  /// Maximum coordinate-descent sweeps over the types.
+  std::size_t max_rounds = 3;
+};
+
+/// Pull-driven coordinate-descent tuner over the heterogeneous space.
+/// Proposals are full HeteroConfigs (the active type's candidate substituted
+/// into the frozen assignment); feedback is the measured KPI of the whole
+/// system under that joint configuration.
+class HeteroCoordinateTuner {
+ public:
+  HeteroCoordinateTuner(const HeteroSpace& space, HeteroTunerParams params,
+                        std::uint64_t seed);
+
+  [[nodiscard]] std::optional<HeteroConfig> propose();
+  void observe(const HeteroConfig& config, double kpi);
+
+  /// Best joint configuration observed so far.
+  [[nodiscard]] HeteroConfig best() const { return best_; }
+  [[nodiscard]] double best_kpi() const noexcept { return best_kpi_; }
+  [[nodiscard]] std::size_t rounds_completed() const noexcept { return round_; }
+
+ private:
+  /// Starts (or restarts) the inner AutoPN tuner for the active type.
+  void start_inner();
+  /// Advances to the next type / round; returns false when fully converged.
+  bool advance();
+
+  const HeteroSpace* space_;
+  HeteroTunerParams params_;
+  std::uint64_t seed_;
+
+  HeteroConfig current_;  // frozen assignment (active type's slot is stale)
+  std::size_t active_type_ = 0;
+  std::size_t round_ = 0;
+  bool round_changed_ = false;
+  bool done_ = false;
+
+  std::unique_ptr<ConfigSpace> inner_space_;
+  std::unique_ptr<AutoPnOptimizer> inner_;
+  std::optional<Config> inner_pending_;
+
+  HeteroConfig best_;
+  double best_kpi_ = 0.0;
+  bool have_best_ = false;
+};
+
+}  // namespace autopn::opt

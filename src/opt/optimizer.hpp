@@ -1,0 +1,123 @@
+#pragma once
+// Common interface of all online tuners (AutoPN and the five baselines of
+// paper §VII-A). Optimizers are pull-driven state machines:
+//
+//   while (auto cfg = optimizer.propose()) {
+//     double kpi = <measure cfg on the system or a trace>;
+//     optimizer.observe(*cfg, kpi);
+//   }
+//   Config chosen = optimizer.best();
+//
+// This decouples the search policy from how KPIs are obtained, so the same
+// optimizer code runs against the live STM (runtime::TuningController), the
+// analytical surface model, and recorded traces (the paper's §VII-B
+// methodology).
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/config_space.hpp"
+
+namespace autopn::opt {
+
+/// One measurement taken during tuning.
+struct Observation {
+  Config config;
+  double kpi = 0.0;
+};
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Next configuration to measure; std::nullopt once converged. A proposal
+  /// must be answered by observe() before the next propose().
+  [[nodiscard]] virtual std::optional<Config> propose() = 0;
+
+  /// Feedback for the most recent proposal.
+  virtual void observe(const Config& config, double kpi) = 0;
+
+  /// Best configuration observed so far (highest KPI).
+  [[nodiscard]] virtual Config best() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Base with the bookkeeping every tuner needs: the history, the dedup map of
+/// explored configurations and the incumbent.
+class BaseOptimizer : public Optimizer {
+ public:
+  void observe(const Config& config, double kpi) override {
+    history_.push_back(Observation{config, kpi});
+    explored_.insert_or_assign(config, kpi);
+    if (history_.size() == 1 || kpi > best_kpi_) {
+      best_kpi_ = kpi;
+      best_ = config;
+    }
+    on_observe(config, kpi);
+  }
+
+  [[nodiscard]] Config best() const override { return best_; }
+  [[nodiscard]] double best_kpi() const noexcept { return best_kpi_; }
+  [[nodiscard]] const std::vector<Observation>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] bool explored(const Config& config) const {
+    return explored_.contains(config);
+  }
+  [[nodiscard]] std::optional<double> kpi_of(const Config& config) const {
+    auto it = explored_.find(config);
+    if (it == explored_.end()) return std::nullopt;
+    return it->second;
+  }
+  [[nodiscard]] std::size_t explored_count() const noexcept { return explored_.size(); }
+
+ protected:
+  /// Subclass hook called after the base bookkeeping.
+  virtual void on_observe(const Config& config, double kpi) = 0;
+
+ private:
+  std::vector<Observation> history_;
+  std::unordered_map<Config, double, ConfigHash> explored_;
+  Config best_{};
+  double best_kpi_ = 0.0;
+};
+
+/// Relative no-improvement stopping rule: stop when the last `window`
+/// observations did not improve the incumbent by more than `epsilon`
+/// (relative). The paper applies window=5, epsilon=10% to random and grid
+/// search for parity with AutoPN's EI < 10% criterion.
+class NoImprovementTracker {
+ public:
+  NoImprovementTracker(std::size_t window, double epsilon)
+      : window_(window), epsilon_(epsilon) {}
+
+  void add(double kpi) {
+    if (count_ == 0 || kpi > best_ * (1.0 + epsilon_)) {
+      stale_ = 0;
+    } else {
+      ++stale_;
+    }
+    if (count_ == 0 || kpi > best_) best_ = kpi;
+    ++count_;
+  }
+
+  [[nodiscard]] bool should_stop() const noexcept { return stale_ >= window_; }
+  void reset() noexcept {
+    stale_ = 0;
+    count_ = 0;
+    best_ = 0.0;
+  }
+
+ private:
+  std::size_t window_;
+  double epsilon_;
+  std::size_t stale_ = 0;
+  std::size_t count_ = 0;
+  double best_ = 0.0;
+};
+
+}  // namespace autopn::opt

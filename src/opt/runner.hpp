@@ -1,0 +1,50 @@
+#pragma once
+// Drives an Optimizer against any KPI source to convergence, recording the
+// exploration trace. Benches use this with trace/surface evaluators
+// (paper §VII-B methodology); the live runtime uses the same optimizers
+// through runtime::TuningController instead.
+
+#include <functional>
+#include <vector>
+
+#include "opt/optimizer.hpp"
+
+namespace autopn::opt {
+
+/// Maps a configuration to a measured KPI sample.
+using Evaluator = std::function<double(const Config&)>;
+
+struct TraceStep {
+  Config config;
+  double kpi = 0.0;
+  double best_kpi = 0.0;  ///< incumbent after this step
+};
+
+struct RunResult {
+  std::vector<TraceStep> steps;
+  Config final_best{};
+  double final_best_kpi = 0.0;
+
+  [[nodiscard]] std::size_t explorations() const noexcept { return steps.size(); }
+};
+
+/// Pulls proposals until the optimizer stops (or `max_steps` is hit — a
+/// safety net against non-terminating policies).
+inline RunResult run_to_convergence(Optimizer& optimizer, const Evaluator& evaluate,
+                                    std::size_t max_steps = 1000) {
+  RunResult result;
+  double best = 0.0;
+  while (result.steps.size() < max_steps) {
+    const auto proposal = optimizer.propose();
+    if (!proposal.has_value()) break;
+    const double kpi = evaluate(*proposal);
+    optimizer.observe(*proposal, kpi);
+    if (result.steps.empty() || kpi > best) best = kpi;
+    result.steps.push_back(TraceStep{*proposal, kpi, best});
+  }
+  result.final_best = optimizer.best();
+  result.final_best_kpi = best;
+  return result;
+}
+
+}  // namespace autopn::opt

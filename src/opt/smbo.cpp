@@ -1,0 +1,152 @@
+#include "opt/smbo.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "opt/ei.hpp"
+#include "util/table.hpp"
+
+namespace autopn::opt {
+
+std::string EiThresholdStop::name() const {
+  return "ei<" + util::fmt_percent(threshold_, 0);
+}
+
+bool NoImproveStop::should_stop(double, double last_kpi, double best_kpi) {
+  if (first_) {
+    tracked_best_ = best_kpi;
+    stale_ = last_kpi > 0.0 ? 0 : 1;
+    first_ = false;
+    return false;
+  }
+  if (last_kpi > tracked_best_ * (1.0 + epsilon_)) {
+    stale_ = 0;
+  } else {
+    ++stale_;
+  }
+  tracked_best_ = std::max(tracked_best_, last_kpi);
+  return stale_ >= window_;
+}
+
+std::string NoImproveStop::name() const {
+  return "no-improve(K=" + std::to_string(window_) + ")";
+}
+
+Smbo::Smbo(const ConfigSpace& space, std::vector<Config> initial_samples,
+           std::unique_ptr<StopCriterion> stop, SmboParams params,
+           std::uint64_t seed)
+    : space_(&space),
+      initial_(std::move(initial_samples)),
+      stop_(std::move(stop)),
+      params_(params),
+      seed_(seed) {}
+
+std::optional<Config> Smbo::propose() {
+  if (done_) return std::nullopt;
+  // Phase 1: evaluate the injected initial samples.
+  while (initial_cursor_ < initial_.size()) {
+    const Config candidate = initial_[initial_cursor_];
+    if (explored(candidate)) {
+      ++initial_cursor_;
+      continue;
+    }
+    return candidate;
+  }
+  // Phase 2: model-driven exploration.
+  if (iterations_ >= params_.max_iterations ||
+      explored_count() >= space_->size()) {
+    done_ = true;
+    return std::nullopt;
+  }
+  auto next = model_step();
+  if (!next.has_value()) done_ = true;
+  return next;
+}
+
+std::optional<Config> Smbo::model_step() {
+  // Train the surrogate on everything observed so far.
+  ml::Dataset data{2};
+  for (const Observation& obs : history()) {
+    data.add(std::array{static_cast<double>(obs.config.t),
+                        static_cast<double>(obs.config.c)},
+             obs.kpi);
+  }
+  // A fresh sub-seed per refresh keeps bootstrap draws independent across
+  // iterations while preserving overall determinism.
+  std::optional<ml::BaggingEnsemble> ensemble;
+  std::optional<ml::KnnRegressor> knn;
+  if (params_.surrogate == SmboParams::Surrogate::kBaggedM5) {
+    ensemble = ml::BaggingEnsemble::fit(data, params_.ensemble_size, params_.tree,
+                                        seed_ + 0x9e37 * model_updates_);
+  } else {
+    knn.emplace(data, params_.knn_k);
+  }
+  ++model_updates_;
+
+  auto posterior = [&](const Config& candidate) -> std::pair<double, double> {
+    const std::array<double, 2> x{static_cast<double>(candidate.t),
+                                  static_cast<double>(candidate.c)};
+    if (ensemble.has_value()) {
+      const auto p = ensemble->predict(x);
+      return {p.mean, p.stddev()};
+    }
+    const auto p = knn->predict(x);
+    return {p.mean, p.stddev()};
+  };
+
+  const double incumbent = best_kpi();
+  double max_score = -1.0;
+  std::optional<Config> argmax;
+  for (const Config& candidate : space_->all()) {
+    if (explored(candidate)) continue;
+    const auto [mu, sigma] = posterior(candidate);
+    double score = 0.0;
+    switch (params_.acquisition) {
+      case SmboParams::Acquisition::kEi:
+        score = expected_improvement(mu, sigma, incumbent);
+        break;
+      case SmboParams::Acquisition::kPi:
+        score = probability_of_improvement(mu, sigma, incumbent);
+        break;
+      case SmboParams::Acquisition::kUcb:
+        score = mu + params_.ucb_beta * sigma;
+        break;
+    }
+    if (score > max_score) {
+      max_score = score;
+      argmax = candidate;
+    }
+  }
+  if (!argmax.has_value()) return std::nullopt;
+
+  // Normalize the stop statistic by the incumbent so thresholds are
+  // scale-free: EI is an expected gain; UCB's analogue is the optimistic
+  // headroom above the incumbent; PI is already a probability.
+  switch (params_.acquisition) {
+    case SmboParams::Acquisition::kEi:
+      last_max_ei_fraction_ = incumbent > 0.0 ? max_score / incumbent : 1.0;
+      break;
+    case SmboParams::Acquisition::kPi:
+      last_max_ei_fraction_ = max_score;
+      break;
+    case SmboParams::Acquisition::kUcb:
+      last_max_ei_fraction_ =
+          incumbent > 0.0 ? std::max(0.0, max_score - incumbent) / incumbent : 1.0;
+      break;
+  }
+  if (stop_->should_stop(last_max_ei_fraction_, last_kpi_, incumbent)) {
+    return std::nullopt;
+  }
+  ++iterations_;
+  return argmax;
+}
+
+void Smbo::on_observe(const Config& config, double kpi) {
+  last_kpi_ = kpi;
+  if (initial_cursor_ < initial_.size() && config == initial_[initial_cursor_]) {
+    ++initial_cursor_;
+  }
+}
+
+}  // namespace autopn::opt

@@ -1,0 +1,179 @@
+#pragma once
+// Sequential Model-Based Bayesian Optimization over the (t, c) lattice
+// (paper §V-B). The surrogate is a bagging ensemble of M5 model trees whose
+// member mean/variance feed the Gaussian EI closed form; the stop criterion
+// is pluggable (EI threshold — AutoPN's default —, no-improvement, hybrids,
+// and the "stubborn" oracle used only in the Fig 6 study).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ml/bagging.hpp"
+#include "ml/knn.hpp"
+#include "opt/config_space.hpp"
+#include "opt/optimizer.hpp"
+
+namespace autopn::opt {
+
+/// Stop criteria evaluated after every SMBO iteration.
+class StopCriterion {
+ public:
+  virtual ~StopCriterion() = default;
+  /// `max_ei_fraction` is max-EI over unexplored points divided by the
+  /// incumbent KPI; `last_kpi` the most recent observation; `best_kpi` the
+  /// incumbent. Returns true to end the SMBO phase.
+  [[nodiscard]] virtual bool should_stop(double max_ei_fraction, double last_kpi,
+                                         double best_kpi) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// AutoPN default: stop when max EI drops below a fraction of the incumbent
+/// (typical thresholds 1%-10%, paper §V-B).
+class EiThresholdStop final : public StopCriterion {
+ public:
+  explicit EiThresholdStop(double threshold) : threshold_(threshold) {}
+  [[nodiscard]] bool should_stop(double max_ei_fraction, double, double) override {
+    return max_ei_fraction < threshold_;
+  }
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  double threshold_;
+};
+
+/// Heuristic: stop after `window` consecutive observations that fail to
+/// improve the incumbent by `epsilon` (relative).
+class NoImproveStop final : public StopCriterion {
+ public:
+  NoImproveStop(std::size_t window, double epsilon)
+      : window_(window), epsilon_(epsilon) {}
+  [[nodiscard]] bool should_stop(double, double last_kpi, double best_kpi) override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  std::size_t window_;
+  double epsilon_;
+  std::size_t stale_ = 0;
+  double tracked_best_ = 0.0;
+  bool first_ = true;
+};
+
+/// Hybrid combinators (paper Fig 6 "hybrid" schemes).
+class AnyStop final : public StopCriterion {
+ public:
+  AnyStop(std::unique_ptr<StopCriterion> a, std::unique_ptr<StopCriterion> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  [[nodiscard]] bool should_stop(double ei, double last, double best) override {
+    const bool sa = a_->should_stop(ei, last, best);
+    const bool sb = b_->should_stop(ei, last, best);
+    return sa || sb;
+  }
+  [[nodiscard]] std::string name() const override {
+    return a_->name() + "|" + b_->name();
+  }
+
+ private:
+  std::unique_ptr<StopCriterion> a_;
+  std::unique_ptr<StopCriterion> b_;
+};
+
+class AllStop final : public StopCriterion {
+ public:
+  AllStop(std::unique_ptr<StopCriterion> a, std::unique_ptr<StopCriterion> b)
+      : a_(std::move(a)), b_(std::move(b)) {}
+  [[nodiscard]] bool should_stop(double ei, double last, double best) override {
+    const bool sa = a_->should_stop(ei, last, best);
+    const bool sb = b_->should_stop(ei, last, best);
+    return sa && sb;
+  }
+  [[nodiscard]] std::string name() const override {
+    return a_->name() + "&" + b_->name();
+  }
+
+ private:
+  std::unique_ptr<StopCriterion> a_;
+  std::unique_ptr<StopCriterion> b_;
+};
+
+/// Oracle criterion for the Fig 6 study: stops only once the known optimum
+/// has been observed. Not implementable in production (the optimum is not
+/// known a priori) — study use only.
+class StubbornStop final : public StopCriterion {
+ public:
+  explicit StubbornStop(double optimum_kpi, double tolerance = 1e-9)
+      : optimum_(optimum_kpi), tolerance_(tolerance) {}
+  [[nodiscard]] bool should_stop(double, double, double best_kpi) override {
+    return best_kpi >= optimum_ - tolerance_;
+  }
+  [[nodiscard]] std::string name() const override { return "stubborn"; }
+
+ private:
+  double optimum_;
+  double tolerance_;
+};
+
+struct SmboParams {
+  /// Bagged M5 learners in the surrogate (paper uses 10).
+  std::size_t ensemble_size = 10;
+  /// Surrogate tree settings. Leaf-to-root smoothing is disabled here: with
+  /// the tiny online training sets of SMBO (9-40 points) smoothing shrinks
+  /// every bootstrap member toward one global fit, collapsing the ensemble
+  /// variance that EI's exploration term needs. (M5Tree's default keeps
+  /// smoothing on for general regression use.)
+  ml::M5Params tree{.min_leaf = 4, .sd_fraction = 0.05, .prune = true,
+                    .smooth = false, .smoothing_k = 15.0};
+  /// Acquisition: EI (AutoPN default), PI or GP-UCB (ablations; the paper
+  /// names all three and argues EI needs the fewest knobs, §V-B).
+  enum class Acquisition { kEi, kPi, kUcb } acquisition = Acquisition::kEi;
+  /// Exploration weight of the UCB acquisition (mu + beta * sigma).
+  double ucb_beta = 2.0;
+  /// Surrogate model: bagged M5 trees (paper) or kNN (ablation).
+  enum class Surrogate { kBaggedM5, kKnn } surrogate = Surrogate::kBaggedM5;
+  /// Neighbour count for the kNN surrogate.
+  std::size_t knn_k = 5;
+  /// Safety cap on SMBO explorations (excludes the initial samples).
+  std::size_t max_iterations = 200;
+};
+
+/// SMBO engine implementing the pull-driven Optimizer protocol. The initial
+/// sample list is injected (AutoPN passes the biased boundary points; the
+/// Fig 6 study passes uniform-random sets).
+class Smbo final : public BaseOptimizer {
+ public:
+  Smbo(const ConfigSpace& space, std::vector<Config> initial_samples,
+       std::unique_ptr<StopCriterion> stop, SmboParams params, std::uint64_t seed);
+
+  [[nodiscard]] std::optional<Config> propose() override;
+  [[nodiscard]] std::string name() const override { return "smbo"; }
+
+  /// Highest EI (as a fraction of the incumbent) at the last model refresh.
+  [[nodiscard]] double last_max_ei_fraction() const noexcept {
+    return last_max_ei_fraction_;
+  }
+  /// Number of surrogate (re)trainings so far.
+  [[nodiscard]] std::size_t model_updates() const noexcept { return model_updates_; }
+
+ private:
+  void on_observe(const Config& config, double kpi) override;
+
+  /// Retrains the ensemble and finds the unexplored argmax-EI point.
+  [[nodiscard]] std::optional<Config> model_step();
+
+  const ConfigSpace* space_;
+  std::vector<Config> initial_;
+  std::size_t initial_cursor_ = 0;
+  std::unique_ptr<StopCriterion> stop_;
+  SmboParams params_;
+  std::uint64_t seed_;
+  double last_kpi_ = 0.0;
+  double last_max_ei_fraction_ = 1.0;
+  std::size_t iterations_ = 0;
+  std::size_t model_updates_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace autopn::opt

@@ -1,0 +1,61 @@
+#pragma once
+// The actuator (paper §VI): applies a parallelism configuration to the
+// PN-STM at run-time by resizing the semaphores that gate top-level
+// admission (t) and per-tree child spawns (c). Fully transparent to
+// application code — transactions already in flight drain naturally.
+//
+// For the overhead study (§VII-E) the actuator can be inhibited: the tuning
+// pipeline then pays all monitoring/modeling costs without the system ever
+// changing configuration.
+
+#include <atomic>
+
+#include "opt/config_space.hpp"
+#include "stm/stm.hpp"
+
+namespace autopn::runtime {
+
+class Actuator {
+ public:
+  explicit Actuator(stm::Stm& stm) : stm_(&stm) {
+    current_.store(pack(opt::Config{static_cast<int>(stm.top_limit()),
+                                    static_cast<int>(stm.child_limit())}),
+                   std::memory_order_relaxed);
+  }
+
+  /// Applies (t, c) to the runtime. No-op while inhibited (the requested
+  /// configuration is still remembered as `current` for bookkeeping).
+  void apply(const opt::Config& config) {
+    current_.store(pack(config), std::memory_order_relaxed);
+    if (!enabled_.load(std::memory_order_relaxed)) return;
+    stm_->set_top_limit(static_cast<std::size_t>(config.t));
+    stm_->set_child_limit(static_cast<std::size_t>(config.c));
+  }
+
+  /// The configuration most recently requested through the actuator. The
+  /// ad-hoc API of paper §VI: applications may query the tuned degree of
+  /// inter-/intra-transaction parallelism (e.g. to adapt partitioning).
+  [[nodiscard]] opt::Config current() const {
+    return unpack(current_.load(std::memory_order_relaxed));
+  }
+
+  /// Enables/disables actuation (disable for the §VII-E overhead study).
+  void set_enabled(bool enabled) { enabled_.store(enabled, std::memory_order_relaxed); }
+  [[nodiscard]] bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  static std::uint64_t pack(const opt::Config& cfg) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(cfg.t)) << 32) |
+           static_cast<std::uint32_t>(cfg.c);
+  }
+  static opt::Config unpack(std::uint64_t packed) {
+    return opt::Config{static_cast<int>(packed >> 32),
+                       static_cast<int>(packed & 0xffffffffu)};
+  }
+
+  stm::Stm* stm_;
+  std::atomic<std::uint64_t> current_{0};
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace autopn::runtime

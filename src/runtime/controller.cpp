@@ -1,0 +1,170 @@
+#include "runtime/controller.hpp"
+
+#include <chrono>
+
+namespace autopn::runtime {
+
+TuningController::TuningController(stm::Stm& stm,
+                                   std::unique_ptr<opt::Optimizer> optimizer,
+                                   std::unique_ptr<MonitorPolicy> policy,
+                                   const util::Clock& clock, ControllerParams params)
+    : stm_(&stm),
+      optimizer_(std::move(optimizer)),
+      policy_(std::move(policy)),
+      clock_(&clock),
+      params_(params),
+      actuator_(stm) {
+  actuator_.set_enabled(params_.actuate);
+}
+
+TuningController::~TuningController() { stm_->set_commit_callback(nullptr); }
+
+Measurement TuningController::run_live_window() {
+  using namespace std::chrono_literals;
+  {
+    std::scoped_lock lock{mutex_};
+    pending_commits_.clear();
+  }
+  // Install the probe for the duration of this window.
+  auto callback = std::make_shared<const std::function<void()>>([this] {
+    {
+      std::scoped_lock lock{mutex_};
+      pending_commits_.push_back(clock_->now());
+    }
+    cv_.notify_one();
+  });
+  stm_->set_commit_callback(callback);
+
+  const double start = clock_->now();
+  policy_->begin_window(start);
+  const double hard_cap =
+      params_.max_window_seconds > 0.0 ? start + params_.max_window_seconds : 1e18;
+
+  Measurement result;
+  bool done = false;
+  while (!done) {
+    double commit_at = 0.0;
+    bool have_commit = false;
+    {
+      std::unique_lock lock{mutex_};
+      cv_.wait_for(lock, 2ms, [this] { return !pending_commits_.empty(); });
+      if (!pending_commits_.empty()) {
+        commit_at = pending_commits_.front();
+        pending_commits_.pop_front();
+        have_commit = true;
+      }
+    }
+    const double now = clock_->now();
+    const auto deadline = policy_->deadline();
+    if (have_commit) {
+      if (deadline.has_value() && commit_at > *deadline) {
+        result = policy_->finish(*deadline, /*timed_out=*/true);
+        done = true;
+      } else if (policy_->on_commit(commit_at)) {
+        result = policy_->finish(commit_at, /*timed_out=*/false);
+        done = true;
+      }
+    } else if (deadline.has_value() && now > *deadline) {
+      result = policy_->finish(*deadline, /*timed_out=*/true);
+      done = true;
+    }
+    if (!done && now > hard_cap) {
+      result = policy_->finish(now, /*timed_out=*/true);
+      done = true;
+    }
+  }
+  stm_->set_commit_callback(nullptr);
+  return result;
+}
+
+Measurement TuningController::measure_once() { return run_live_window(); }
+
+double TuningController::kpi_of(const Measurement& measurement,
+                                const stm::StmStatsSnapshot& before,
+                                const stm::StmStatsSnapshot& after) const {
+  switch (params_.kpi) {
+    case KpiKind::kThroughput:
+      return measurement.throughput;
+    case KpiKind::kLatency:
+      // Inverse mean inter-commit latency; identical ordering to throughput
+      // for steady windows but reported in 1/seconds-per-commit terms.
+      return measurement.commits > 0 && measurement.elapsed > 0.0
+                 ? static_cast<double>(measurement.commits) / measurement.elapsed
+                 : 0.0;
+    case KpiKind::kAbortRate: {
+      const auto commits = after.top_commits - before.top_commits;
+      const auto aborts = after.top_aborts - before.top_aborts;
+      const double attempts = static_cast<double>(commits + aborts);
+      // Commit efficiency in [0, 1]; 1 = no aborts. Zero-commit windows are
+      // worthless configurations.
+      return commits > 0 && attempts > 0.0
+                 ? static_cast<double>(commits) / attempts
+                 : 0.0;
+    }
+  }
+  return measurement.throughput;
+}
+
+TuningReport TuningController::tune() {
+  TuningReport report;
+  while (auto proposal = optimizer_->propose()) {
+    actuator_.apply(*proposal);
+    const stm::StmStatsSnapshot before = stm_->stats();
+    const Measurement m = run_live_window();
+    const stm::StmStatsSnapshot after = stm_->stats();
+    const double kpi = kpi_of(m, before, after);
+    report.tuning_seconds += m.elapsed;
+    ++report.explorations;
+    optimizer_->observe(*proposal, kpi);
+    report.observations.push_back(opt::Observation{*proposal, kpi});
+
+    // Learn the adaptive-timeout reference from the sequential configuration
+    // (always part of AutoPN's biased initial samples).
+    if (proposal->t == 1 && proposal->c == 1 && m.throughput > 0.0) {
+      if (auto* adaptive = dynamic_cast<CvAdaptivePolicy*>(policy_.get())) {
+        adaptive->set_reference_throughput(m.throughput);
+      } else if (auto* wpnoc = dynamic_cast<WpnocPolicy*>(policy_.get())) {
+        wpnoc->set_reference_throughput(m.throughput);
+      }
+    }
+  }
+  report.chosen = optimizer_->best();
+  actuator_.apply(report.chosen);
+  arm_change_detector(0.0);  // caller re-arms with a steady-state sample
+  return report;
+}
+
+std::size_t TuningController::tune_and_watch(
+    const std::function<std::unique_ptr<opt::Optimizer>()>& make_optimizer,
+    double duration_seconds) {
+  const double end_time = clock_->now() + duration_seconds;
+  cusum_ = CusumDetector{params_.cusum_drift, params_.cusum_threshold};
+  std::size_t rounds = 0;
+  for (;;) {
+    optimizer_ = make_optimizer();
+    (void)tune();
+    ++rounds;
+    // Arm the detector on an averaged steady-state level of the chosen
+    // configuration (single windows are too noisy to anchor on).
+    double reference = 0.0;
+    std::size_t reference_count = 0;
+    for (std::size_t i = 0; i < std::max<std::size_t>(1, params_.reference_windows);
+         ++i) {
+      const Measurement steady = run_live_window();
+      if (steady.throughput > 0.0) {
+        reference += steady.throughput;
+        ++reference_count;
+      }
+    }
+    arm_change_detector(reference_count > 0 ? reference / reference_count : 0.0);
+    // Watch until a change fires or time runs out.
+    bool changed = false;
+    while (!changed && clock_->now() < end_time) {
+      const Measurement sample = run_live_window();
+      changed = check_for_change(sample.throughput);
+    }
+    if (!changed) return rounds;
+  }
+}
+
+}  // namespace autopn::runtime

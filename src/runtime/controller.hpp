@@ -1,0 +1,123 @@
+#pragma once
+// The live tuning controller — the glue of Fig 2: optimizer proposes a
+// configuration, the actuator applies it, the KPI monitor measures it on the
+// running PN-STM, and the observation feeds back into the optimizer until
+// the search converges. Runs entirely online against a live Stm while
+// application threads keep executing transactions.
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "opt/config_space.hpp"
+#include "opt/optimizer.hpp"
+#include "runtime/actuator.hpp"
+#include "runtime/cusum.hpp"
+#include "runtime/monitor.hpp"
+#include "stm/stm.hpp"
+#include "util/clock.hpp"
+
+namespace autopn::runtime {
+
+/// Which key performance indicator the optimizer maximizes (paper §IV: the
+/// evaluation uses throughput, "although autoPN could be used to optimize
+/// different metrics (e.g., latency or abort rate)"). All KPIs are expressed
+/// as maximization problems: lower-is-better metrics are negated-inverted.
+enum class KpiKind {
+  kThroughput,    ///< committed top-level transactions per second
+  kLatency,       ///< inverse mean commit-to-commit latency (1/latency)
+  kAbortRate,     ///< commit efficiency: commits / attempts over the window
+};
+
+struct ControllerParams {
+  /// Inhibit actuation (paper §VII-E overhead study: pay all self-tuning
+  /// costs, never change the configuration).
+  bool actuate = true;
+  /// The metric fed to the optimizer.
+  KpiKind kpi = KpiKind::kThroughput;
+  /// Hard per-window cap (seconds) as a final safety net for policies
+  /// without their own deadline. 0 disables.
+  double max_window_seconds = 30.0;
+  /// Change-detector sensitivity for tune_and_watch. Live measurements carry
+  /// 10-20% window-to-window noise, so the defaults are deliberately wider
+  /// than the CusumDetector's (which suit low-noise sample streams).
+  double cusum_drift = 0.15;
+  double cusum_threshold = 1.5;
+  /// Windows averaged into the change detector's reference level.
+  std::size_t reference_windows = 3;
+};
+
+/// Summary of one completed tuning run.
+struct TuningReport {
+  opt::Config chosen{};
+  std::size_t explorations = 0;
+  double tuning_seconds = 0.0;  ///< total time spent measuring windows
+  std::vector<opt::Observation> observations;
+};
+
+class TuningController {
+ public:
+  /// The controller borrows the Stm, optimizer, policy and clock; all must
+  /// outlive it. It installs a commit callback on the Stm for the duration
+  /// of each measurement window.
+  TuningController(stm::Stm& stm, std::unique_ptr<opt::Optimizer> optimizer,
+                   std::unique_ptr<MonitorPolicy> policy, const util::Clock& clock,
+                   ControllerParams params = {});
+  ~TuningController();
+
+  TuningController(const TuningController&) = delete;
+  TuningController& operator=(const TuningController&) = delete;
+
+  /// Runs the optimization to convergence and applies the winning
+  /// configuration. Blocks the calling thread; application threads must be
+  /// driving transactions concurrently (otherwise windows only end by
+  /// timeout).
+  TuningReport tune();
+
+  /// Measures the current configuration once with the controller's policy
+  /// (used by the change-detection loop and the overhead study).
+  [[nodiscard]] Measurement measure_once();
+
+  /// Feeds a steady-state sample to the change detector; returns true when a
+  /// workload shift is detected (caller then re-runs tune()).
+  [[nodiscard]] bool check_for_change(double sample) { return cusum_.add(sample); }
+  void arm_change_detector(double reference) { cusum_.reset(reference); }
+
+  /// The managed loop (paper §V dynamic workloads): tunes, then keeps taking
+  /// steady-state measurements; whenever the CUSUM detector fires, a fresh
+  /// optimizer from `make_optimizer` re-runs the whole tuning process. Runs
+  /// for `duration_seconds` of clock time and returns the number of tuning
+  /// rounds performed (>= 1).
+  std::size_t tune_and_watch(
+      const std::function<std::unique_ptr<opt::Optimizer>()>& make_optimizer,
+      double duration_seconds);
+
+  [[nodiscard]] Actuator& actuator() noexcept { return actuator_; }
+
+ private:
+  /// Blocks until the policy completes a window (or its deadline/safety cap
+  /// fires) while the commit callback feeds events.
+  Measurement run_live_window();
+
+  /// Converts a window measurement (plus STM counter deltas) into the
+  /// configured KPI, as a maximization value.
+  [[nodiscard]] double kpi_of(const Measurement& measurement,
+                              const stm::StmStatsSnapshot& before,
+                              const stm::StmStatsSnapshot& after) const;
+
+  stm::Stm* stm_;
+  std::unique_ptr<opt::Optimizer> optimizer_;
+  std::unique_ptr<MonitorPolicy> policy_;
+  const util::Clock* clock_;
+  ControllerParams params_;
+  Actuator actuator_;
+  CusumDetector cusum_;
+
+  // Commit-event channel filled by the Stm callback.
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<double> pending_commits_;
+};
+
+}  // namespace autopn::runtime

@@ -1,0 +1,49 @@
+#pragma once
+// Two-sided CUSUM change detector (paper §V "dynamic workloads"): watches a
+// stream of KPI samples for statistically relevant shifts away from a
+// reference level and, on detection, lets the controller trigger a fresh
+// self-tuning round.
+
+#include <algorithm>
+#include <cmath>
+
+namespace autopn::runtime {
+
+class CusumDetector {
+ public:
+  /// `drift`: allowed slack per sample in relative units (deviations smaller
+  /// than this never accumulate). `threshold`: cumulative relative deviation
+  /// that signals a change.
+  explicit CusumDetector(double drift = 0.05, double threshold = 0.5)
+      : drift_(drift), threshold_(threshold) {}
+
+  /// (Re)arms the detector around a reference KPI level.
+  void reset(double reference) {
+    reference_ = reference;
+    high_ = 0.0;
+    low_ = 0.0;
+  }
+
+  /// Feeds one sample; returns true when a change (in either direction) is
+  /// detected. The detector stays latched until reset().
+  [[nodiscard]] bool add(double sample) {
+    if (reference_ <= 0.0) return false;
+    const double deviation = (sample - reference_) / reference_;
+    high_ = std::max(0.0, high_ + deviation - drift_);
+    low_ = std::max(0.0, low_ - deviation - drift_);
+    return high_ > threshold_ || low_ > threshold_;
+  }
+
+  [[nodiscard]] double reference() const noexcept { return reference_; }
+  [[nodiscard]] double upper_statistic() const noexcept { return high_; }
+  [[nodiscard]] double lower_statistic() const noexcept { return low_; }
+
+ private:
+  double drift_;
+  double threshold_;
+  double reference_ = 0.0;
+  double high_ = 0.0;
+  double low_ = 0.0;
+};
+
+}  // namespace autopn::runtime

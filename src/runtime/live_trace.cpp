@@ -1,0 +1,40 @@
+#include "runtime/live_trace.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "opt/baselines.hpp"
+#include "runtime/actuator.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/monitor.hpp"
+#include "util/stats.hpp"
+
+namespace autopn::runtime {
+
+sim::SurfaceTrace record_live_surface(stm::Stm& stm, const opt::ConfigSpace& space,
+                                      const std::string& workload_name,
+                                      const util::Clock& clock,
+                                      LiveTraceParams params) {
+  sim::SurfaceTrace trace{workload_name, space.cores()};
+  ControllerParams controller_params;
+  controller_params.max_window_seconds = params.window_seconds * 10.0;
+  // A throwaway grid optimizer satisfies the controller's constructor; only
+  // measure_once() is used here.
+  TuningController controller{
+      stm, std::make_unique<opt::GridSearch>(space),
+      std::make_unique<FixedTimePolicy>(params.window_seconds), clock,
+      controller_params};
+
+  for (const opt::Config& cfg : space.all()) {
+    controller.actuator().apply(cfg);
+    std::this_thread::sleep_for(std::chrono::duration<double>(params.settle_seconds));
+    util::RunningStats stats;
+    for (std::size_t run = 0; run < params.runs; ++run) {
+      stats.add(controller.measure_once().throughput);
+    }
+    trace.set(cfg, sim::SurfaceTrace::Entry{stats.mean(), stats.stddev()});
+  }
+  return trace;
+}
+
+}  // namespace autopn::runtime

@@ -1,0 +1,36 @@
+#pragma once
+// Records a performance surface from the *live* PN-STM: for every
+// configuration in a space, apply it through the actuator, measure it
+// `runs` times with a fixed-time window, and store mean/stddev in the same
+// sim::SurfaceTrace format the analytical model emits. This is the bridge
+// between the real system and the trace-driven studies (paper §VII-B): on a
+// machine with enough cores, the optimizer benches can run on surfaces
+// recorded here instead of the simulator's.
+
+#include <cstddef>
+
+#include "opt/config_space.hpp"
+#include "sim/trace.hpp"
+#include "stm/stm.hpp"
+#include "util/clock.hpp"
+
+namespace autopn::runtime {
+
+struct LiveTraceParams {
+  std::size_t runs = 3;
+  double window_seconds = 0.2;
+  /// Settle time after each reconfiguration before measuring (drains
+  /// transactions admitted under the previous configuration).
+  double settle_seconds = 0.02;
+};
+
+/// Measures every configuration of `space` on the running system. The
+/// workload must already be driven by application threads; the function
+/// blocks for roughly |S| * runs * (window + settle) seconds.
+[[nodiscard]] sim::SurfaceTrace record_live_surface(stm::Stm& stm,
+                                                    const opt::ConfigSpace& space,
+                                                    const std::string& workload_name,
+                                                    const util::Clock& clock,
+                                                    LiveTraceParams params = {});
+
+}  // namespace autopn::runtime

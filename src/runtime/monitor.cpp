@@ -1,0 +1,106 @@
+#include "runtime/monitor.hpp"
+
+#include <cmath>
+
+#include "util/table.hpp"
+
+namespace autopn::runtime {
+
+void MonitorPolicy::begin_window(double now) {
+  start_ = now;
+  last_commit_ = now;
+  commits_ = 0;
+}
+
+bool MonitorPolicy::on_commit(double now) {
+  ++commits_;
+  last_commit_ = now;
+  return window_complete(now);
+}
+
+Measurement MonitorPolicy::finish(double now, bool timed_out) const {
+  Measurement m;
+  m.commits = commits_;
+  m.elapsed = now - start_;
+  m.timed_out = timed_out;
+  m.throughput = m.elapsed > 0.0 && commits_ > 0
+                     ? static_cast<double>(commits_) / m.elapsed
+                     : 0.0;
+  return m;
+}
+
+std::string FixedTimePolicy::name() const {
+  return "fixed-time(" + util::fmt_double(window_, 3) + "s)";
+}
+
+std::string FixedCommitsPolicy::name() const {
+  return "fixed-commits(" + std::to_string(target_) + ")";
+}
+
+void CvAdaptivePolicy::begin_window(double now) {
+  MonitorPolicy::begin_window(now);
+  estimates_.clear();
+}
+
+double CvAdaptivePolicy::current_cv() const {
+  util::RunningStats stats;
+  for (double e : estimates_) stats.add(e);
+  return stats.cv();
+}
+
+bool CvAdaptivePolicy::window_complete(double now) {
+  const double elapsed = now - start_;
+  if (elapsed <= 0.0) return false;
+  estimates_.push_back(static_cast<double>(commits_) / elapsed);
+  if (estimates_.size() > cv_window_) estimates_.pop_front();
+  if (commits_ < min_commits_ || estimates_.size() < cv_window_) {
+    return false;
+  }
+  // Stability requires both low dispersion and low drift of the recent
+  // estimates: a post-reconfiguration warm-up ramp produces a monotone
+  // low-dispersion sequence that is nevertheless still converging.
+  const double first = estimates_.front();
+  const double last = estimates_.back();
+  const double mid = 0.5 * (first + last);
+  const double drift = mid > 0.0 ? std::abs(last - first) / mid : 1.0;
+  return current_cv() < cv_threshold_ && drift < cv_threshold_;
+}
+
+std::optional<double> CvAdaptivePolicy::deadline() const {
+  const auto interval = timeout_interval(timeout_scale_);
+  if (!interval.has_value()) return std::nullopt;
+  return last_commit_ + *interval;
+}
+
+std::string CvAdaptivePolicy::name() const {
+  return "cv-adaptive(" + util::fmt_percent(cv_threshold_, 0) + ")";
+}
+
+std::optional<double> WpnocPolicy::deadline() const {
+  if (!adaptive_timeout_) return std::nullopt;
+  const auto interval = timeout_interval(timeout_scale_);
+  if (!interval.has_value()) return std::nullopt;
+  return last_commit_ + *interval;
+}
+
+std::string WpnocPolicy::name() const {
+  return "wpnoc" + std::to_string(target_) + (adaptive_timeout_ ? "+adaptTO" : "");
+}
+
+Measurement run_window_on_stream(MonitorPolicy& policy,
+                                 const std::function<double()>& next_commit,
+                                 double start_time) {
+  policy.begin_window(start_time);
+  for (;;) {
+    const double commit_at = next_commit();
+    if (const auto deadline = policy.deadline();
+        deadline.has_value() && commit_at > *deadline) {
+      return policy.finish(*deadline, /*timed_out=*/true);
+    }
+    if (policy.on_commit(commit_at)) {
+      return policy.finish(commit_at, /*timed_out=*/false);
+    }
+  }
+}
+
+}  // namespace autopn::runtime

@@ -1,0 +1,145 @@
+#pragma once
+// Discrete-event simulation of a PN-TM executing on an n-core machine — the
+// high-fidelity complement to the closed-form SurfaceModel (DESIGN.md §3).
+//
+// Instead of a formula, throughput *emerges* from simulated concurrency:
+//
+//  * `t` top-level transaction slots run concurrently (the actuator's
+//    t-gate); each attempt samples a service time and a read/write set of
+//    data granules;
+//  * nested execution splits the parallel fraction across `c` children with
+//    per-child spawn overhead; sibling conflicts are sampled from the
+//    children's granule picks and retried child-locally (closed-nesting
+//    partial aborts), stretching the attempt;
+//  * commits use multi-version timestamp validation, exactly like the real
+//    STM: an attempt records the global version at start and aborts at
+//    commit when any granule it read was re-written since (first committer
+//    wins), then retries with fresh samples after backoff;
+//  * every commit fires an optional callback with the virtual timestamp, so
+//    the KPI monitor policies run in-the-loop unchanged.
+//
+// The DES validates the analytical model (bench/des_vs_analytical) and lets
+// the entire tuning pipeline run at paper scale (48 cores) on this host.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "opt/config_space.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::sim {
+
+struct DesParams {
+  int cores = 48;
+
+  /// Mean CPU time of one top-level transaction body at c = 1 (seconds);
+  /// sampled per attempt from a lognormal-ish jitter around the mean.
+  double base_work = 5e-4;
+  /// Relative jitter of the service time.
+  double work_jitter = 0.2;
+
+  /// Fraction of base_work the children parallelize.
+  double parallel_fraction = 0.75;
+  /// Imbalance: the slowest child chunk takes parallel_work / c^exponent.
+  double child_speedup_exponent = 0.85;
+  /// Per-child activation overhead (seconds).
+  double spawn_overhead = 1e-5;
+
+  /// Shared data: number of granules (cache-line/object granularity).
+  std::size_t data_granules = 4096;
+  /// Granules read / written by one top-level transaction (its children's
+  /// accesses included). Writes are a subset drawn uniformly.
+  std::size_t reads_per_tx = 64;
+  std::size_t writes_per_tx = 8;
+  /// Fraction of the accesses drawn from a small hot region (contention
+  /// knob; 0 = uniform access).
+  double hot_fraction = 0.0;
+  std::size_t hot_granules = 32;
+
+  /// Probability that two concurrent siblings of one tree conflict per pair
+  /// (their chunks touch adjacent granules).
+  double sibling_conflict_prob = 0.02;
+
+  /// Retry backoff: mean pause after an abort, in units of base_work.
+  double backoff_fraction = 0.1;
+
+  /// Shared-resource saturation: service times inflate by
+  /// (1 + saturation * used_cores / cores), as in the analytical model
+  /// (memory bandwidth / cache pressure grows with utilization).
+  double saturation = 0.0;
+};
+
+/// Derives DES parameters approximating one of the analytical presets (used
+/// by the cross-validation bench).
+[[nodiscard]] DesParams des_from_workload(const struct WorkloadParams& params,
+                                          int cores);
+
+class DesSimulator {
+ public:
+  DesSimulator(DesParams params, opt::Config config, std::uint64_t seed);
+
+  struct Result {
+    std::uint64_t commits = 0;
+    std::uint64_t aborts = 0;
+    std::uint64_t sibling_retries = 0;
+    double sim_seconds = 0.0;
+
+    [[nodiscard]] double throughput() const {
+      return sim_seconds > 0.0 ? static_cast<double>(commits) / sim_seconds : 0.0;
+    }
+    [[nodiscard]] double abort_rate() const {
+      const double attempts = static_cast<double>(commits + aborts);
+      return attempts > 0 ? static_cast<double>(aborts) / attempts : 0.0;
+    }
+  };
+
+  /// Runs the simulation for `sim_seconds` of virtual time.
+  Result run(double sim_seconds);
+
+  /// Runs until `commits` transactions committed (or `max_seconds` passed).
+  Result run_commits(std::uint64_t commits, double max_seconds = 1e9);
+
+  /// Called at each commit with the virtual timestamp (monitor hook).
+  void set_commit_callback(std::function<void(double)> callback) {
+    commit_callback_ = std::move(callback);
+  }
+
+  /// Current virtual time (advances across run() calls).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  /// Reconfigures the parallelism degree; applies to attempts started after
+  /// the call (in-flight attempts drain, as with the real actuator).
+  void reconfigure(opt::Config config);
+
+ private:
+  struct Slot {
+    double completion_time = 0.0;
+    std::uint64_t start_version = 0;
+    std::vector<std::uint32_t> reads;
+    std::vector<std::uint32_t> writes;
+    unsigned attempt = 0;
+  };
+
+  /// Samples an attempt for a slot starting at `start`: service time
+  /// (including nested execution and sibling retries) and access sets.
+  void start_attempt(Slot& slot, double start);
+
+  /// Index of the slot with the earliest completion.
+  [[nodiscard]] std::size_t next_slot() const;
+
+  /// Processes one completion event; returns true if it committed.
+  bool step();
+
+  DesParams params_;
+  opt::Config config_;
+  util::Rng rng_;
+  double now_ = 0.0;
+  std::uint64_t global_version_ = 0;
+  std::vector<std::uint64_t> granule_version_;
+  std::vector<Slot> slots_;
+  Result totals_;
+  std::function<void(double)> commit_callback_;
+};
+
+}  // namespace autopn::sim

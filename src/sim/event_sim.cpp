@@ -1,0 +1,46 @@
+#include "sim/event_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autopn::sim {
+
+CommitStream::CommitStream(const SurfaceModel& model, const opt::Config& config,
+                           std::uint64_t seed, double start_time,
+                           StreamParams params)
+    : mean_rate_(model.mean_throughput(config)),
+      warmup_seconds_(model.params().warmup_seconds),
+      start_time_(start_time),
+      params_(params),
+      rng_(seed),
+      now_(start_time) {}
+
+double CommitStream::next_commit() {
+  // AR(1) step of the multiplicative rate modulation.
+  modulation_ = 1.0 + params_.modulation_rho * (modulation_ - 1.0) +
+                params_.modulation_sigma * rng_.gaussian();
+  modulation_ = std::clamp(modulation_, params_.modulation_min, params_.modulation_max);
+
+  // Warm-up ramp from warmup_start_fraction to 1; progress advances with
+  // elapsed time and with committed transactions, whichever is faster.
+  double ramp = 1.0;
+  if (warmup_seconds_ > 0.0) {
+    const double time_progress =
+        std::clamp((now_ - start_time_) / warmup_seconds_, 0.0, 1.0);
+    const double commit_progress =
+        params_.warmup_commits > 0
+            ? std::clamp(static_cast<double>(commits_) /
+                             static_cast<double>(params_.warmup_commits),
+                         0.0, 1.0)
+            : 1.0;
+    const double progress = std::max(time_progress, commit_progress);
+    ramp = params_.warmup_start_fraction +
+           (1.0 - params_.warmup_start_fraction) * progress;
+  }
+  const double rate = std::max(1e-9, mean_rate_ * modulation_ * ramp);
+  now_ += rng_.exponential(rate);
+  ++commits_;
+  return now_;
+}
+
+}  // namespace autopn::sim

@@ -1,0 +1,68 @@
+#pragma once
+// Virtual-time commit-event streams. The Fig 7 monitoring study (paper
+// §VII-D) needs per-commit event semantics — the KPI monitor computes a
+// throughput estimate upon *each commit* and decides when the measurement is
+// stable — without depending on wall-clock execution. A CommitStream
+// generates the commit instants a PN-STM under the given configuration would
+// produce:
+//
+//   * base rate = the surface model's mean throughput;
+//   * a warm-up ramp after (re)configuration (caches/queues refilling), the
+//     effect that makes too-short static windows inaccurate;
+//   * multiplicative AR(1) rate modulation for realistic over-dispersion
+//     (measured CVs exceed the Poisson floor).
+
+#include <cstdint>
+
+#include "opt/config_space.hpp"
+#include "sim/surface.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::sim {
+
+struct StreamParams {
+  /// AR(1) persistence of the rate-modulation factor.
+  double modulation_rho = 0.8;
+  /// Innovation stddev of the modulation factor (stationary rate wobble
+  /// sigma/sqrt(1-rho^2) ~ 8%).
+  double modulation_sigma = 0.05;
+  /// Clamp band of the modulation factor.
+  double modulation_min = 0.25;
+  double modulation_max = 3.0;
+  /// Rate multiplier at the instant of reconfiguration (ramps to 1).
+  double warmup_start_fraction = 0.5;
+  /// Warm-up also completes after this many commits (caches/queues warm with
+  /// accesses, not only with time): the ramp progress is the faster of the
+  /// time-based and the commit-based one.
+  std::size_t warmup_commits = 40;
+};
+
+class CommitStream {
+ public:
+  /// Starts a stream at absolute virtual time `start_time` for a workload
+  /// running under `config`.
+  CommitStream(const SurfaceModel& model, const opt::Config& config,
+               std::uint64_t seed, double start_time = 0.0,
+               StreamParams params = {});
+
+  /// Absolute virtual timestamp of the next commit event (strictly
+  /// increasing).
+  [[nodiscard]] double next_commit();
+
+  /// Current virtual time (timestamp of the last commit, or start time).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  [[nodiscard]] double mean_rate() const noexcept { return mean_rate_; }
+
+ private:
+  double mean_rate_;
+  double warmup_seconds_;
+  double start_time_;
+  StreamParams params_;
+  util::Rng rng_;
+  double now_;
+  double modulation_ = 1.0;
+  std::size_t commits_ = 0;
+};
+
+}  // namespace autopn::sim

@@ -1,0 +1,103 @@
+#include "sim/surface.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace autopn::sim {
+
+namespace {
+/// Retry expansion 1/(1-p), truncated at a starvation cap.
+double retry_expansion(double abort_prob, double cap) {
+  return std::min(1.0 / std::max(1e-9, 1.0 - abort_prob), cap);
+}
+}  // namespace
+
+SurfaceModel::SurfaceModel(WorkloadParams params, int cores)
+    : params_(std::move(params)), cores_(cores) {
+  if (cores < 1) throw std::invalid_argument{"SurfaceModel needs >= 1 core"};
+}
+
+double SurfaceModel::sibling_abort_probability(const opt::Config& config) const {
+  // Each additional concurrent sibling adds a roughly constant pairwise
+  // conflict hazard per attempt (sibling chunks cover disjoint-but-adjacent
+  // data regions whose overlap does not shrink with chunk length).
+  if (config.c <= 1) return 0.0;
+  return 1.0 - std::exp(-params_.sibling_conflict * (config.c - 1));
+}
+
+/// Duration of one top-level attempt (no top-level retries), in seconds.
+static double single_attempt_duration(const WorkloadParams& p, int cores,
+                                      const opt::Config& config,
+                                      double sibling_abort) {
+  const double w = p.base_work;
+  double attempt = 0.0;
+  if (config.c <= 1) {
+    // Nesting disabled: sequential body, no nesting overheads.
+    attempt = w;
+  } else {
+    const double serial = w * (1.0 - p.parallel_fraction);
+    const double chunk =
+        w * p.parallel_fraction / std::pow(config.c, p.child_speedup_exponent);
+    const double sibling_attempts =
+        retry_expansion(sibling_abort, SurfaceModel::kMaxSiblingAttempts);
+    attempt = serial + chunk * sibling_attempts + p.spawn_overhead * config.c +
+              p.batch_overhead;
+  }
+  const double used = static_cast<double>(config.t) * config.c;
+  return attempt * (1.0 + p.saturation * used / static_cast<double>(cores));
+}
+
+double SurfaceModel::top_abort_probability(const opt::Config& config) const {
+  if (config.t <= 1) return 0.0;
+  const double single = single_attempt_duration(params_, cores_, config,
+                                                sibling_abort_probability(config));
+  const double exposure = single / params_.base_work;
+  return 1.0 - std::exp(-params_.top_conflict * (config.t - 1) * exposure);
+}
+
+double SurfaceModel::mean_throughput(const opt::Config& config) const {
+  const double single = single_attempt_duration(params_, cores_, config,
+                                                sibling_abort_probability(config));
+  const double contended =
+      static_cast<double>(config.t) /
+      (single * retry_expansion(top_abort_probability(config), kMaxTopAttempts));
+  // Winner-per-round floor: extreme contention serializes commits rather
+  // than starving the system entirely. The floor cannot admit more winners
+  // than there are concurrent transactions.
+  const double floor =
+      std::min(static_cast<double>(config.t), params_.contention_floor) / single;
+  return std::max(contended, floor);
+}
+
+double SurfaceModel::mean_latency(const opt::Config& config) const {
+  return static_cast<double>(config.t) / mean_throughput(config);
+}
+
+SurfaceModel::Optimum SurfaceModel::optimum(const opt::ConfigSpace& space) const {
+  Optimum best;
+  for (const opt::Config& cfg : space.all()) {
+    const double thr = mean_throughput(cfg);
+    if (thr > best.throughput) {
+      best.throughput = thr;
+      best.config = cfg;
+    }
+  }
+  return best;
+}
+
+double SurfaceModel::distance_from_optimum(const opt::ConfigSpace& space,
+                                           const opt::Config& config) const {
+  const Optimum best = optimum(space);
+  return (best.throughput - mean_throughput(config)) / best.throughput;
+}
+
+double SurfaceModel::sample(const opt::Config& config, double window_seconds,
+                            util::Rng& rng) const {
+  const double mean = mean_throughput(config);
+  const double commits = std::max(1.0, mean * window_seconds);
+  const double cv = params_.measurement_cv / std::sqrt(commits);
+  return std::max(1e-9, mean * (1.0 + cv * rng.gaussian()));
+}
+
+}  // namespace autopn::sim

@@ -1,0 +1,76 @@
+#pragma once
+// Analytical PN-TM performance model — the stand-in for the paper's 48-core
+// testbed (see DESIGN.md §3). It produces, for every configuration (t, c),
+// the mean steady-state throughput of a workload, composed from:
+//
+//   * Amdahl-style work splitting across c children with sub-linear speedup
+//     and per-child spawn overheads;
+//   * sibling-level conflicts inflating the child phase via retry expansion
+//     (the partial-abort cost of closed nesting);
+//   * top-level conflicts whose window of vulnerability grows with the
+//     attempt duration — the reason long transactions abort so much (§I) —
+//     with retry expansion capped at a starvation limit;
+//   * a resource-saturation term coupling utilization to latency.
+//
+// The same object also provides *noisy sampling* (finite measurement windows
+// have a CV that shrinks with the number of commits observed) so optimizer
+// studies can be run against realistic feedback.
+
+#include <cstdint>
+
+#include "opt/config_space.hpp"
+#include "sim/workload.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::sim {
+
+class SurfaceModel {
+ public:
+  SurfaceModel(WorkloadParams params, int cores);
+
+  [[nodiscard]] const WorkloadParams& params() const noexcept { return params_; }
+  [[nodiscard]] int cores() const noexcept { return cores_; }
+
+  /// Mean steady-state throughput (committed top-level transactions per
+  /// second) at the given configuration. Deterministic.
+  [[nodiscard]] double mean_throughput(const opt::Config& config) const;
+
+  /// Expected duration of one successful top-level transaction (seconds),
+  /// including retry expansion.
+  [[nodiscard]] double mean_latency(const opt::Config& config) const;
+
+  /// Top-level abort probability per attempt.
+  [[nodiscard]] double top_abort_probability(const opt::Config& config) const;
+
+  /// Sibling abort probability per child attempt.
+  [[nodiscard]] double sibling_abort_probability(const opt::Config& config) const;
+
+  /// Best configuration and its throughput over a space.
+  struct Optimum {
+    opt::Config config;
+    double throughput = 0.0;
+  };
+  [[nodiscard]] Optimum optimum(const opt::ConfigSpace& space) const;
+
+  /// Distance from optimum of a configuration, as a fraction in [0, 1):
+  /// (f_opt - f_cfg) / f_opt.
+  [[nodiscard]] double distance_from_optimum(const opt::ConfigSpace& space,
+                                             const opt::Config& config) const;
+
+  /// One noisy measurement over a window observing approximately
+  /// `window_seconds` of steady-state execution: relative noise with
+  /// CV = measurement_cv / sqrt(max(1, commits_in_window)).
+  [[nodiscard]] double sample(const opt::Config& config, double window_seconds,
+                              util::Rng& rng) const;
+
+  /// Retry-expansion cap modelling starvation (attempts are truncated here;
+  /// beyond it a configuration is effectively livelocked).
+  static constexpr double kMaxTopAttempts = 50.0;
+  static constexpr double kMaxSiblingAttempts = 10.0;
+
+ private:
+  WorkloadParams params_;
+  int cores_;
+};
+
+}  // namespace autopn::sim

@@ -1,0 +1,111 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace autopn::sim {
+
+SurfaceTrace::SurfaceTrace(std::string workload, int cores)
+    : workload_(std::move(workload)), cores_(cores) {}
+
+SurfaceTrace SurfaceTrace::record(const SurfaceModel& model,
+                                  const opt::ConfigSpace& space, std::size_t runs,
+                                  double window_seconds, std::uint64_t seed) {
+  SurfaceTrace trace{model.params().name, space.cores()};
+  util::Rng rng{seed};
+  for (const opt::Config& cfg : space.all()) {
+    util::RunningStats stats;
+    for (std::size_t r = 0; r < runs; ++r) {
+      stats.add(model.sample(cfg, window_seconds, rng));
+    }
+    trace.set(cfg, Entry{stats.mean(), stats.stddev()});
+  }
+  return trace;
+}
+
+void SurfaceTrace::set(const opt::Config& config, Entry entry) {
+  entries_.insert_or_assign(config, entry);
+}
+
+const SurfaceTrace::Entry& SurfaceTrace::at(const opt::Config& config) const {
+  auto it = entries_.find(config);
+  if (it == entries_.end()) {
+    throw std::out_of_range{"no trace entry for " + config.to_string()};
+  }
+  return it->second;
+}
+
+bool SurfaceTrace::contains(const opt::Config& config) const {
+  return entries_.contains(config);
+}
+
+double SurfaceTrace::sample(const opt::Config& config, util::Rng& rng) const {
+  const Entry& e = at(config);
+  return std::max(1e-9, rng.gaussian(e.mean, e.stddev));
+}
+
+SurfaceModel::Optimum SurfaceTrace::optimum() const {
+  SurfaceModel::Optimum best;
+  for (const auto& [cfg, entry] : entries_) {
+    if (entry.mean > best.throughput) {
+      best.throughput = entry.mean;
+      best.config = cfg;
+    }
+  }
+  return best;
+}
+
+double SurfaceTrace::distance_from_optimum(const opt::Config& config) const {
+  const auto best = optimum();
+  return (best.throughput - mean(config)) / best.throughput;
+}
+
+void SurfaceTrace::save(std::ostream& out) const {
+  out.precision(17);  // lossless double round-trip
+  out << "autopn-trace v1\n";
+  out << "workload " << workload_ << '\n';
+  out << "cores " << cores_ << '\n';
+  out << "entries " << entries_.size() << '\n';
+  // Deterministic order for diff-friendliness.
+  std::vector<std::pair<opt::Config, Entry>> sorted(entries_.begin(), entries_.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.first.t != b.first.t ? a.first.t < b.first.t : a.first.c < b.first.c;
+  });
+  for (const auto& [cfg, entry] : sorted) {
+    out << cfg.t << ' ' << cfg.c << ' ' << entry.mean << ' ' << entry.stddev << '\n';
+  }
+}
+
+SurfaceTrace SurfaceTrace::load(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "autopn-trace v1") {
+    throw std::runtime_error{"bad trace header"};
+  }
+  std::string keyword;
+  std::string workload;
+  int cores = 0;
+  std::size_t count = 0;
+  in >> keyword >> workload;
+  if (keyword != "workload") throw std::runtime_error{"expected 'workload'"};
+  in >> keyword >> cores;
+  if (keyword != "cores") throw std::runtime_error{"expected 'cores'"};
+  in >> keyword >> count;
+  if (keyword != "entries") throw std::runtime_error{"expected 'entries'"};
+  SurfaceTrace trace{workload, cores};
+  for (std::size_t i = 0; i < count; ++i) {
+    opt::Config cfg;
+    Entry entry;
+    if (!(in >> cfg.t >> cfg.c >> entry.mean >> entry.stddev)) {
+      throw std::runtime_error{"truncated trace"};
+    }
+    trace.set(cfg, entry);
+  }
+  return trace;
+}
+
+}  // namespace autopn::sim

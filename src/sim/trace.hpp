@@ -1,0 +1,69 @@
+#pragma once
+// Recorded performance surfaces. The paper's optimizer study (§VII-B) feeds
+// the tuners with "off-line collected traces, obtained by evaluating
+// exhaustively every configuration in the solution space" (10 runs of >= 10
+// minutes each). SurfaceTrace is that artifact: per-configuration mean and
+// standard deviation of the measured KPI, recordable from the analytical
+// model or from the live STM, serializable to a small text format.
+
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "opt/config_space.hpp"
+#include "sim/surface.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::sim {
+
+class SurfaceTrace {
+ public:
+  struct Entry {
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+
+  SurfaceTrace(std::string workload, int cores);
+
+  /// Records `runs` noisy measurements of every configuration in `space`
+  /// from the analytical model, each over `window_seconds` of simulated
+  /// execution — the simulation analogue of the paper's exhaustive offline
+  /// measurement campaign.
+  [[nodiscard]] static SurfaceTrace record(const SurfaceModel& model,
+                                           const opt::ConfigSpace& space,
+                                           std::size_t runs, double window_seconds,
+                                           std::uint64_t seed);
+
+  void set(const opt::Config& config, Entry entry);
+  [[nodiscard]] const Entry& at(const opt::Config& config) const;
+  [[nodiscard]] bool contains(const opt::Config& config) const;
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  [[nodiscard]] const std::string& workload() const noexcept { return workload_; }
+  [[nodiscard]] int cores() const noexcept { return cores_; }
+
+  /// Mean KPI of a configuration (throws when absent).
+  [[nodiscard]] double mean(const opt::Config& config) const { return at(config).mean; }
+
+  /// Draws one measurement: Gaussian around the recorded mean/stddev,
+  /// truncated at a small positive floor.
+  [[nodiscard]] double sample(const opt::Config& config, util::Rng& rng) const;
+
+  /// Best recorded configuration.
+  [[nodiscard]] SurfaceModel::Optimum optimum() const;
+
+  /// Distance-from-optimum fraction of a configuration.
+  [[nodiscard]] double distance_from_optimum(const opt::Config& config) const;
+
+  // ---- serialization ----------------------------------------------------
+  void save(std::ostream& out) const;
+  [[nodiscard]] static SurfaceTrace load(std::istream& in);
+
+ private:
+  std::string workload_;
+  int cores_;
+  std::unordered_map<opt::Config, Entry, opt::ConfigHash> entries_;
+};
+
+}  // namespace autopn::sim

@@ -1,0 +1,102 @@
+#include "sim/workload.hpp"
+
+#include <stdexcept>
+
+namespace autopn::sim {
+
+std::vector<WorkloadParams> paper_workloads() {
+  std::vector<WorkloadParams> out;
+
+  // TPC-C port: mid-sized transactions (new-order/payment mixes) with
+  // moderate parallelizable work per transaction and contention that rises
+  // with the fraction of cross-warehouse orders. Calibrated so the medium
+  // variant peaks near (20, 2) at roughly 9x the sequential throughput
+  // (paper Fig 1a).
+  auto tpcc = [](const char* name, double top_conflict, double sibling_conflict,
+                 double floor_winners) {
+    WorkloadParams p;
+    p.name = name;
+    p.base_work = 5e-4;
+    p.parallel_fraction = 0.75;
+    p.child_speedup_exponent = 0.85;
+    p.spawn_overhead = 1e-5;
+    p.batch_overhead = 1e-5;
+    p.top_conflict = top_conflict;
+    p.sibling_conflict = sibling_conflict;
+    p.saturation = 0.30;
+    p.measurement_cv = 0.12;
+    p.warmup_seconds = 0.05;
+    // TPC-C conflicts are warehouse-local, so several non-overlapping
+    // winners commit per round even under pressure.
+    p.contention_floor = floor_winners;
+    return p;
+  };
+  out.push_back(tpcc("tpcc-low", 0.015, 0.12, 2.0));
+  out.push_back(tpcc("tpcc-med", 0.033, 0.22, 2.0));
+  out.push_back(tpcc("tpcc-high", 0.120, 0.30, 3.2));
+
+  // Vacation (STAMP): shorter transactions over reservation tables; less
+  // parallelizable work per transaction, smaller spawn costs.
+  auto vacation = [](const char* name, double top_conflict, double sibling_conflict,
+                     double floor_winners) {
+    WorkloadParams p;
+    p.name = name;
+    p.base_work = 2e-4;
+    p.parallel_fraction = 0.55;
+    p.child_speedup_exponent = 0.72;
+    p.spawn_overhead = 6e-6;
+    p.batch_overhead = 5e-6;
+    p.top_conflict = top_conflict;
+    p.sibling_conflict = sibling_conflict;
+    p.saturation = 0.20;
+    p.measurement_cv = 0.15;
+    p.warmup_seconds = 0.03;
+    // Reservation tables conflict per-item: partially disjoint write sets.
+    p.contention_floor = floor_winners;
+    return p;
+  };
+  out.push_back(vacation("vacation-low", 0.008, 0.10, 2.0));
+  out.push_back(vacation("vacation-med", 0.050, 0.18, 2.0));
+  out.push_back(vacation("vacation-high", 0.150, 0.28, 2.8));
+
+  // Array microbenchmark: long transactions scanning a large shared array
+  // and updating a fraction of it. Scans are highly parallelizable across
+  // children on disjoint segments (siblings barely conflict); the update
+  // fraction drives top-level contention, since every pair of concurrent
+  // scans overlaps. base_work is large, so these are the low-throughput
+  // workloads of the Fig 7 monitoring study.
+  auto array = [](const char* name, double top_conflict, double sibling_conflict,
+                  double update_cv, double floor_winners) {
+    WorkloadParams p;
+    p.name = name;
+    p.base_work = 2e-2;
+    p.parallel_fraction = 0.90;
+    p.child_speedup_exponent = 0.80;
+    p.spawn_overhead = 1e-4;
+    p.batch_overhead = 5e-5;
+    p.top_conflict = top_conflict;
+    p.sibling_conflict = sibling_conflict;
+    p.saturation = 0.15;
+    p.measurement_cv = update_cv;
+    p.warmup_seconds = 0.10;
+    // Partial write-set overlap between concurrent scans leaves room for
+    // several winners per round at moderate update fractions.
+    p.contention_floor = floor_winners;
+    return p;
+  };
+  out.push_back(array("array-0", 0.0, 0.0, 0.10, 1.2));
+  out.push_back(array("array-0.01", 0.020, 0.01, 0.12, 1.2));
+  out.push_back(array("array-50", 0.350, 0.04, 0.20, 1.90));
+  out.push_back(array("array-90", 0.900, 0.06, 0.25, 0.72));
+
+  return out;
+}
+
+WorkloadParams workload_by_name(const std::string& name) {
+  for (const WorkloadParams& w : paper_workloads()) {
+    if (w.name == name) return w;
+  }
+  throw std::invalid_argument{"unknown workload: " + name};
+}
+
+}  // namespace autopn::sim

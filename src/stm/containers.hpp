@@ -1,0 +1,202 @@
+#pragma once
+// Transactional containers built on versioned boxes. These are the building
+// blocks the benchmark ports use: TArray backs the Array microbenchmark,
+// TMap backs Vacation's reservation tables and TPC-C's relations.
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "stm/tx.hpp"
+
+namespace autopn::stm {
+
+/// Fixed-size transactional array. Each slot is an independent VBox, so
+/// disjoint-slot accesses never conflict.
+template <typename T>
+class TArray {
+ public:
+  TArray(std::size_t size, const T& initial) {
+    slots_.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) {
+      slots_.push_back(std::make_unique<VBox<T>>(initial));
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+
+  [[nodiscard]] T read(Tx& tx, std::size_t index) const {
+    return slot(index).read(tx);
+  }
+
+  void write(Tx& tx, std::size_t index, T value) const {
+    slot(index).write(tx, std::move(value));
+  }
+
+  /// Non-transactional read of the newest committed value (verification).
+  [[nodiscard]] T peek(std::size_t index) const { return slot(index).peek(); }
+
+  [[nodiscard]] const VBox<T>& slot(std::size_t index) const {
+    return *slots_.at(index);
+  }
+
+ private:
+  std::vector<std::unique_ptr<VBox<T>>> slots_;
+};
+
+/// Transactional hash map with a fixed bucket array. Each bucket is a VBox
+/// holding an immutable vector of key/value pairs; writers copy the bucket
+/// (copy-on-write), so bucket granularity is the conflict unit. Sized so the
+/// expected bucket population stays small, this matches the red-black-tree
+/// tables of the original STAMP Vacation port in conflict behaviour while
+/// remaining simple to reason about.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class TMap {
+ public:
+  /// `name`, when given, labels every bucket ("name[i]") for the contention
+  /// profiler (Stm::contention_hotspots).
+  explicit TMap(std::size_t bucket_count, const std::string& name = {})
+      : buckets_() {
+    if (bucket_count == 0) throw std::invalid_argument{"TMap needs >= 1 bucket"};
+    buckets_.reserve(bucket_count);
+    for (std::size_t i = 0; i < bucket_count; ++i) {
+      buckets_.push_back(std::make_unique<VBox<Bucket>>(Bucket{}));
+      if (!name.empty()) {
+        buckets_.back()->set_label(name + "[" + std::to_string(i) + "]");
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+  /// Looks a key up; std::nullopt when absent.
+  [[nodiscard]] std::optional<Value> get(Tx& tx, const Key& key) const {
+    const Bucket bucket = box_for(key).read(tx);
+    for (const auto& [k, v] : bucket) {
+      if (k == key) return v;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool contains(Tx& tx, const Key& key) const {
+    return get(tx, key).has_value();
+  }
+
+  /// Inserts or overwrites.
+  void put(Tx& tx, const Key& key, Value value) const {
+    const VBox<Bucket>& box = box_for(key);
+    Bucket bucket = box.read(tx);
+    for (auto& [k, v] : bucket) {
+      if (k == key) {
+        v = std::move(value);
+        box.write(tx, std::move(bucket));
+        return;
+      }
+    }
+    bucket.emplace_back(key, std::move(value));
+    box.write(tx, std::move(bucket));
+  }
+
+  /// Removes a key; returns whether it was present.
+  bool erase(Tx& tx, const Key& key) const {
+    const VBox<Bucket>& box = box_for(key);
+    Bucket bucket = box.read(tx);
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (bucket[i].first == key) {
+        bucket.erase(bucket.begin() + static_cast<std::ptrdiff_t>(i));
+        box.write(tx, std::move(bucket));
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Applies `fn(key, value)` to every committed entry, newest versions,
+  /// inside the given transaction (scans every bucket; O(capacity)).
+  void for_each(Tx& tx, const std::function<void(const Key&, const Value&)>& fn) const {
+    for (const auto& box : buckets_) {
+      const Bucket bucket = box->read(tx);
+      for (const auto& [k, v] : bucket) fn(k, v);
+    }
+  }
+
+  /// Number of entries visible to the transaction (O(capacity)).
+  [[nodiscard]] std::size_t size(Tx& tx) const {
+    std::size_t n = 0;
+    for (const auto& box : buckets_) n += box->read(tx).size();
+    return n;
+  }
+
+ private:
+  using Bucket = std::vector<std::pair<Key, Value>>;
+
+  [[nodiscard]] const VBox<Bucket>& box_for(const Key& key) const {
+    return *buckets_[Hash{}(key) % buckets_.size()];
+  }
+
+  std::vector<std::unique_ptr<VBox<Bucket>>> buckets_;
+};
+
+/// Bounded transactional FIFO queue over a ring of VBox slots. Head and tail
+/// cursors are independent boxes, so a push and a pop at different ends do
+/// not conflict unless the queue is near-empty/near-full; two pushes (or two
+/// pops) conflict on the shared cursor, giving the usual queue hotspot
+/// semantics.
+template <typename T>
+class TQueue {
+ public:
+  explicit TQueue(std::size_t capacity)
+      : capacity_(capacity), slots_(capacity, T{}), head_(0), tail_(0) {
+    if (capacity == 0) throw std::invalid_argument{"TQueue needs capacity >= 1"};
+  }
+
+  /// Appends an element; returns false when the queue is full.
+  bool push(Tx& tx, T value) const {
+    const std::size_t head = head_.read(tx);
+    const std::size_t tail = tail_.read(tx);
+    if (tail - head >= capacity_) return false;
+    slots_.write(tx, tail % capacity_, std::move(value));
+    tail_.write(tx, tail + 1);
+    return true;
+  }
+
+  /// Removes the oldest element; std::nullopt when empty.
+  [[nodiscard]] std::optional<T> pop(Tx& tx) const {
+    const std::size_t head = head_.read(tx);
+    const std::size_t tail = tail_.read(tx);
+    if (head == tail) return std::nullopt;
+    T value = slots_.read(tx, head % capacity_);
+    head_.write(tx, head + 1);
+    return value;
+  }
+
+  /// Oldest element without removing it; std::nullopt when empty.
+  [[nodiscard]] std::optional<T> front(Tx& tx) const {
+    const std::size_t head = head_.read(tx);
+    if (head == tail_.read(tx)) return std::nullopt;
+    return slots_.read(tx, head % capacity_);
+  }
+
+  [[nodiscard]] std::size_t size(Tx& tx) const {
+    return tail_.read(tx) - head_.read(tx);
+  }
+  [[nodiscard]] bool empty(Tx& tx) const { return size(tx) == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Committed element count outside any transaction (verification).
+  [[nodiscard]] std::size_t peek_size() const {
+    return tail_.peek() - head_.peek();
+  }
+
+ private:
+  std::size_t capacity_;
+  TArray<T> slots_;
+  VBox<std::size_t> head_;
+  VBox<std::size_t> tail_;
+};
+
+}  // namespace autopn::stm

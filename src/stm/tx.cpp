@@ -1,0 +1,224 @@
+#include "stm/tx.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "stm/stm.hpp"
+#include "util/thread_pool.hpp"
+
+namespace autopn::stm {
+
+// Counter definitions live in stm.cpp; Tx bumps them through these hooks.
+namespace detail {
+void bump_reads(Stm& stm);
+void bump_writes(Stm& stm);
+void bump_child_commit(Stm& stm);
+void bump_child_abort(Stm& stm, ConflictKind kind);
+}  // namespace detail
+
+Tx::Tx(Stm& stm, Tx* parent, std::uint64_t snapshot)
+    : stm_(&stm),
+      parent_(parent),
+      root_(parent != nullptr ? parent->root_ : this),
+      snapshot_(snapshot),
+      depth_(parent != nullptr ? parent->depth_ + 1 : 0) {}
+
+std::shared_ptr<const void> Tx::read_raw(const VBoxBase& cbox) {
+  auto* box = const_cast<VBoxBase*>(&cbox);
+  detail::bump_reads(*stm_);
+
+  // 1. own (tentative) writes win.
+  if (auto it = writes_.find(box); it != writes_.end()) return it->second.value;
+  // 2. cached reads: repeatable within one attempt regardless of concurrent
+  //    sibling merges (the conflict surfaces at commit-time validation).
+  if (auto it = anc_reads_.find(box); it != anc_reads_.end()) return it->second.value;
+  if (auto it = global_reads_.find(box); it != global_reads_.end()) return it->second.value;
+  // 3. nearest-ancestor writes, towards the root.
+  for (Tx* anc = parent_; anc != nullptr; anc = anc->parent_) {
+    std::scoped_lock lock{anc->merge_mutex_};
+    if (auto it = anc->writes_.find(box); it != anc->writes_.end()) {
+      anc_reads_.emplace(box, AncestorRead{anc, it->second.stamp, it->second.value});
+      return it->second.value;
+    }
+  }
+  // 4. global version chain at the root snapshot.
+  const Body* body = box->body_at(root_->snapshot_);
+  if (body == nullptr) {
+    throw std::logic_error{"transactional read of an uninitialized VBox"};
+  }
+  global_reads_.emplace(box, GlobalRead{body->version, body->value});
+  return body->value;
+}
+
+void Tx::write_raw(const VBoxBase& cbox, std::shared_ptr<const void> value) {
+  if (root_->read_only_) {
+    throw std::logic_error{"write inside a read-only transaction"};
+  }
+  auto* box = const_cast<VBoxBase*>(&cbox);
+  detail::bump_writes(*stm_);
+  auto [it, inserted] = writes_.try_emplace(box, WriteEntry{nullptr, next_stamp_});
+  if (inserted) {
+    ++next_stamp_;
+  }
+  it->second.value = std::move(value);
+}
+
+void Tx::commit_into_parent() {
+  Tx* parent = parent_;
+  std::scoped_lock lock{parent->merge_mutex_};
+
+  // Validate reads against sibling commits that merged into the parent since
+  // this child started:
+  //  * entries this child read *from the parent* must carry an unchanged
+  //    writer stamp;
+  //  * boxes this child read from higher ancestors or from the global chain
+  //    must not have appeared in the parent's write set at all (had they been
+  //    there at read time, the ancestor walk would have found them first, so
+  //    presence now proves a sibling wrote after our read).
+  for (const auto& [box, ancestor_read] : anc_reads_) {
+    if (ancestor_read.owner == parent) {
+      auto it = parent->writes_.find(box);
+      if (it == parent->writes_.end() || it->second.stamp != ancestor_read.stamp) {
+        throw ConflictError{ConflictKind::kSiblingWrite};
+      }
+    } else if (parent->writes_.contains(box)) {
+      throw ConflictError{ConflictKind::kSiblingWrite};
+    }
+  }
+  for (const auto& [box, global_read] : global_reads_) {
+    if (parent->writes_.contains(box)) {
+      throw ConflictError{ConflictKind::kSiblingWrite};
+    }
+  }
+
+  // Merge tentative writes into the parent with fresh stamps (this is the
+  // serialization point of the child among its siblings).
+  for (auto& [box, write_entry] : writes_) {
+    auto& slot = parent->writes_[box];
+    slot.value = std::move(write_entry.value);
+    slot.stamp = parent->next_stamp_++;
+  }
+  // Propagate non-parent reads upwards; they are validated when the parent
+  // itself commits one level up (compositional validation). Existing entries
+  // are kept: within one tree all global reads resolve against the same root
+  // snapshot, so duplicates agree.
+  for (const auto& [box, global_read] : global_reads_) {
+    parent->global_reads_.emplace(box, global_read);
+  }
+  for (const auto& [box, ancestor_read] : anc_reads_) {
+    if (ancestor_read.owner != parent) {
+      parent->anc_reads_.emplace(box, ancestor_read);
+    }
+  }
+}
+
+void Tx::run_children(std::vector<std::function<void(Tx&)>> bodies) {
+  if (bodies.empty()) return;
+  using namespace std::chrono_literals;
+
+  util::WaitGroup wait_group;
+  wait_group.add(bodies.size());
+
+  // A nested caller holds a tree-gate token itself; release it while blocked
+  // waiting for children so the configured limit c counts *running* nested
+  // transactions (and so c == 1 cannot self-deadlock on deeper nests).
+  const bool released_own_token = !is_top_level();
+  if (released_own_token) root_->tree_gate_->release();
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  for (auto& body : bodies) {
+    stm_->acquire_child_token(*root_->tree_gate_);
+    stm_->pool().submit([this, task = std::move(body), &wait_group, &error_mutex,
+                         &first_error] {
+      unsigned attempt = 0;
+      for (;;) {
+        Tx child{*stm_, this, snapshot_};
+        try {
+          task(child);
+          child.commit_into_parent();
+          detail::bump_child_commit(*stm_);
+          break;
+        } catch (const ConflictError& conflict) {
+          detail::bump_child_abort(*stm_, conflict.kind());
+          stm_->backoff(attempt++);
+        } catch (...) {
+          std::scoped_lock lock{error_mutex};
+          if (!first_error) first_error = std::current_exception();
+          break;
+        }
+      }
+      root_->tree_gate_->release();
+      wait_group.done();
+    });
+  }
+
+  // Help drain the nested pool while waiting; required for progress when the
+  // pool is smaller than the fan-out (e.g. single-core machines).
+  while (!wait_group.wait_for(200us)) {
+    while (stm_->pool().try_run_one()) {
+    }
+  }
+
+  if (released_own_token) stm_->acquire_child_token(*root_->tree_gate_);
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Tx::commit_top_level() {
+  // Read-only transactions commit trivially: their snapshot is a consistent
+  // cut of the multi-version store.
+  if (writes_.empty()) return;
+
+  if (stm_->config_.commit_strategy == CommitStrategy::kGlobalLock) {
+    std::scoped_lock lock{stm_->commit_mutex_};
+    for (const auto& [box, global_read] : global_reads_) {
+      if (box->newest_version() > snapshot_) {
+        stm_->note_conflict(box);
+        throw ConflictError{ConflictKind::kTopLevelValidation};
+      }
+    }
+    const std::uint64_t version = stm_->clock_.load(std::memory_order_relaxed) + 1;
+    const std::uint64_t min_active = stm_->min_active_snapshot();
+    for (const auto& [box, write_entry] : writes_) {
+      box->install(write_entry.value, version, min_active);
+    }
+    stm_->clock_.store(version, std::memory_order_release);
+    return;
+  }
+
+  // Lock-free commit (JVSTM-style). Loop invariant maintained by helping:
+  // whenever a record for version v+1 is CAS'd onto the chain, the record
+  // for version v has completed its writeback — so after help_commit(cur)
+  // every committed version is visible and validation against the boxes'
+  // newest versions is exact.
+  auto record = std::make_shared<Stm::CommitRecord>();
+  record->writes.reserve(writes_.size());
+  for (const auto& [box, write_entry] : writes_) {
+    record->writes.emplace_back(box, write_entry.value);
+  }
+  for (;;) {
+    auto current = stm_->latest_record_.load(std::memory_order_acquire);
+    stm_->help_commit(*current);
+    for (const auto& [box, global_read] : global_reads_) {
+      if (box->newest_version() > snapshot_) {
+        stm_->note_conflict(box);
+        throw ConflictError{ConflictKind::kTopLevelValidation};
+      }
+    }
+    record->version = current->version + 1;
+    record->done.store(false, std::memory_order_relaxed);
+    if (stm_->latest_record_.compare_exchange_strong(
+            current, record, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      stm_->help_commit(*record);
+      return;
+    }
+    // Lost the race: a concurrent commit claimed the version. Help it and
+    // re-validate against the new state.
+  }
+}
+
+}  // namespace autopn::stm

@@ -1,0 +1,148 @@
+#pragma once
+// Transaction contexts for the multi-version PN-STM with closed parallel
+// nesting (paper §III-A).
+//
+// Model: a top-level (root) transaction takes a snapshot of the global
+// version clock; all reads in its tree resolve against that snapshot plus the
+// tree's tentative writes, so snapshots are always consistent and no
+// read-time validation is needed. A transaction may spawn children that run
+// in parallel with one another (never with their parent — the parent blocks
+// in run_children, matching the nested transaction model where only
+// childless transactions access data).
+//
+// Read resolution order for a transaction X reading box B:
+//   1. X's own write set;
+//   2. X's cached reads (repeatable reads within one attempt);
+//   3. nearest-ancestor write sets, walking towards the root (each guarded by
+//      the ancestor's merge mutex, since X's siblings commit-merge into those
+//      sets concurrently);
+//   4. the global version chain at the root snapshot.
+//
+// Child commit merges the child's write set into the parent under the
+// parent's merge mutex after validating the child's reads against sibling
+// updates; reads of higher ancestors and of global state are propagated
+// upwards and validated when the enclosing transaction itself commits
+// (compositional validation). Top-level commit validates the global read set
+// against the version chains and installs new versions under the Stm's
+// commit mutex.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <mutex>
+#include <vector>
+
+#include "stm/exceptions.hpp"
+#include "stm/vbox.hpp"
+#include "util/semaphore.hpp"
+
+namespace autopn::stm {
+
+class Stm;
+
+/// Transaction handle passed to user code. Created and retried by the Stm
+/// runtime (top-level) or by Tx::run_children (nested); never constructed by
+/// applications directly.
+class Tx {
+ public:
+  Tx(const Tx&) = delete;
+  Tx& operator=(const Tx&) = delete;
+
+  /// Runs each body as a child transaction of this transaction. Children of
+  /// one batch execute in parallel with each other on the Stm's nested-
+  /// transaction pool, subject to the actuator's per-tree concurrency limit
+  /// `c`; the caller blocks (helping to drain the pool) until all children
+  /// have committed. A child that hits a sibling conflict is retried alone.
+  void run_children(std::vector<std::function<void(Tx&)>> bodies);
+
+  /// Requests an abort-and-retry of this transaction attempt.
+  [[noreturn]] void retry() { throw ConflictError{ConflictKind::kExplicitRetry}; }
+
+  /// True for a top-level transaction.
+  [[nodiscard]] bool is_top_level() const noexcept { return parent_ == nullptr; }
+
+  /// Nesting depth: 0 for top-level, 1 for its children, ...
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+
+  /// The root snapshot all global reads in this tree resolve against.
+  [[nodiscard]] std::uint64_t snapshot() const noexcept { return snapshot_; }
+
+  /// Untyped transactional read; returns the value's erased pointer.
+  /// VBox<T>::read is the typed entry point.
+  [[nodiscard]] std::shared_ptr<const void> read_raw(const VBoxBase& box);
+
+  /// Untyped transactional write (buffered).
+  void write_raw(const VBoxBase& box, std::shared_ptr<const void> value);
+
+  /// Number of entries in the write set (diagnostics).
+  [[nodiscard]] std::size_t write_set_size() const noexcept { return writes_.size(); }
+
+  /// Number of global read-set entries (diagnostics).
+  [[nodiscard]] std::size_t read_set_size() const noexcept { return global_reads_.size(); }
+
+ private:
+  friend class Stm;
+
+  struct WriteEntry {
+    std::shared_ptr<const void> value;
+    std::uint64_t stamp;  ///< parent-local monotone stamp; bumped on merge
+  };
+  struct GlobalRead {
+    std::uint64_t version;
+    std::shared_ptr<const void> value;  ///< cached for repeatable reads
+  };
+  struct AncestorRead {
+    Tx* owner;
+    std::uint64_t stamp;
+    std::shared_ptr<const void> value;
+  };
+
+  Tx(Stm& stm, Tx* parent, std::uint64_t snapshot);
+
+  /// Validates this child's reads against the parent's current write set and
+  /// merges writes/reads upwards. Throws ConflictError on a sibling conflict.
+  void commit_into_parent();
+
+  /// Top-level commit: validate global reads, install writes. Throws
+  /// ConflictError on validation failure.
+  void commit_top_level();
+
+  Stm* stm_;
+  Tx* parent_;
+  Tx* root_;
+  std::uint64_t snapshot_;
+  int depth_;
+
+  // merge_mutex_ guards writes_/global_reads_/anc_reads_/next_stamp_ when the
+  // transaction is suspended in run_children and its children read from or
+  // merge into it. While the transaction itself runs, nobody else touches its
+  // sets, but children lock unconditionally for simplicity (uncontended fast
+  // path).
+  std::mutex merge_mutex_;
+  std::unordered_map<VBoxBase*, WriteEntry> writes_;
+  std::unordered_map<VBoxBase*, GlobalRead> global_reads_;
+  std::unordered_map<VBoxBase*, AncestorRead> anc_reads_;
+  std::uint64_t next_stamp_ = 1;
+
+  /// Per-tree child-concurrency gate (capacity c); owned by the root.
+  std::unique_ptr<util::ResizableSemaphore> tree_gate_;
+
+  /// Set on roots created by Stm::read_only(); writes anywhere in the tree
+  /// then throw std::logic_error (checked in write_raw via the root).
+  bool read_only_ = false;
+};
+
+// ---- typed VBox accessors (need the full Tx definition) --------------------
+
+template <typename T>
+T VBox<T>::read(Tx& tx) const {
+  return *static_cast<const T*>(tx.read_raw(*this).get());
+}
+
+template <typename T>
+void VBox<T>::write(Tx& tx, T value) const {
+  tx.write_raw(*this, std::make_shared<const T>(std::move(value)));
+}
+
+}  // namespace autopn::stm

@@ -1,0 +1,79 @@
+#include "stm/vbox.hpp"
+
+namespace autopn::stm {
+
+VBoxBase::~VBoxBase() {
+  Body* b = head_.load(std::memory_order_relaxed);
+  while (b != nullptr) {
+    Body* next = b->next;
+    delete b;
+    b = next;
+  }
+}
+
+const Body* VBoxBase::body_at(std::uint64_t snapshot) const noexcept {
+  const Body* b = head_.load(std::memory_order_acquire);
+  while (b != nullptr && b->version > snapshot) b = b->next;
+  return b;
+}
+
+void VBoxBase::install(std::shared_ptr<const void> value, std::uint64_t version,
+                       std::uint64_t min_active_snapshot) {
+  Body* old_head = head_.load(std::memory_order_relaxed);
+  auto* body = new Body{version, std::move(value), old_head};
+  head_.store(body, std::memory_order_release);
+
+  // Prune bodies unreachable by any active snapshot: keep every body newer
+  // than min_active_snapshot plus the newest body at or below it. A reader
+  // with snapshot s >= min_active_snapshot stops its traversal on a retained
+  // body, so freeing older ones is safe (see header contract).
+  Body* keep = body;
+  while (keep->next != nullptr && keep->version > min_active_snapshot) keep = keep->next;
+  Body* doomed = keep->next;
+  keep->next = nullptr;
+  while (doomed != nullptr) {
+    Body* next = doomed->next;
+    delete doomed;
+    doomed = next;
+  }
+}
+
+bool VBoxBase::install_cas(const std::shared_ptr<const void>& value,
+                           std::uint64_t version,
+                           std::uint64_t min_active_snapshot) {
+  Body* old_head = head_.load(std::memory_order_acquire);
+  for (;;) {
+    if (old_head != nullptr && old_head->version >= version) {
+      return false;  // another helper already installed this (or a newer) body
+    }
+    auto* body = new Body{version, value, old_head};
+    if (head_.compare_exchange_weak(old_head, body, std::memory_order_release,
+                                    std::memory_order_acquire)) {
+      // We own this version's installation: prune exactly as install() does.
+      // Record ordering guarantees no concurrent install/prune of another
+      // version on this box (version v+1's writeback starts only after v's
+      // record is done).
+      Body* keep = body;
+      while (keep->next != nullptr && keep->version > min_active_snapshot) {
+        keep = keep->next;
+      }
+      Body* doomed = keep->next;
+      keep->next = nullptr;
+      while (doomed != nullptr) {
+        Body* next = doomed->next;
+        delete doomed;
+        doomed = next;
+      }
+      return true;
+    }
+    delete body;  // lost the race; re-examine the new head
+  }
+}
+
+std::size_t VBoxBase::chain_length() const noexcept {
+  std::size_t n = 0;
+  for (const Body* b = newest(); b != nullptr; b = b->next) ++n;
+  return n;
+}
+
+}  // namespace autopn::stm

@@ -1,0 +1,114 @@
+#pragma once
+// Versioned boxes — the multi-version storage cells of the PN-STM (the C++
+// analogue of JVSTM's VBox). Each box keeps a chain of immutable bodies,
+// newest first; a transaction reads the newest body whose version does not
+// exceed its root snapshot, which makes every read set trivially consistent
+// (multi-version snapshot reads) and confines validation to commit time.
+//
+// Concurrency contract:
+//  * readers traverse the chain lock-free (acquire-load of the head);
+//  * writers install new bodies only while holding the Stm's global commit
+//    mutex, and opportunistically prune bodies no active snapshot can reach;
+//  * values are immutable once published (held via shared_ptr<const void>).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace autopn::stm {
+
+class Tx;
+
+/// One committed version of a box's value.
+struct Body {
+  std::uint64_t version;
+  std::shared_ptr<const void> value;
+  Body* next;  ///< next-older body; immutable after publication
+};
+
+/// Type-erased box base. All transactional machinery (read/write sets,
+/// validation, installation) works on VBoxBase; VBox<T> adds the typed API.
+class VBoxBase {
+ public:
+  VBoxBase() = default;
+  ~VBoxBase();
+
+  VBoxBase(const VBoxBase&) = delete;
+  VBoxBase& operator=(const VBoxBase&) = delete;
+
+  /// Newest committed body, or nullptr if the box was never initialized.
+  [[nodiscard]] const Body* newest() const noexcept {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Newest body with version <= snapshot, or nullptr if none exists.
+  [[nodiscard]] const Body* body_at(std::uint64_t snapshot) const noexcept;
+
+  /// Version of the newest committed body (0 if never written).
+  [[nodiscard]] std::uint64_t newest_version() const noexcept {
+    const Body* b = newest();
+    return b != nullptr ? b->version : 0;
+  }
+
+  /// Installs a new body. Caller must hold the global commit mutex.
+  /// `min_active_snapshot` lets the box prune bodies that no active or future
+  /// transaction can observe (all bodies strictly older than the newest body
+  /// with version <= min_active_snapshot).
+  void install(std::shared_ptr<const void> value, std::uint64_t version,
+               std::uint64_t min_active_snapshot);
+
+  /// Lock-free idempotent installation for the helping commit protocol:
+  /// succeeds (and prunes) only if this box's newest version is still older
+  /// than `version`; returns false when the body is already present (another
+  /// helper won). The commit-record chain guarantees versions are installed
+  /// in increasing order, so a CAS loss implies the work is done.
+  bool install_cas(const std::shared_ptr<const void>& value, std::uint64_t version,
+                   std::uint64_t min_active_snapshot);
+
+  /// Number of retained bodies (test/diagnostic helper; O(chain)).
+  [[nodiscard]] std::size_t chain_length() const noexcept;
+
+  /// Optional diagnostic label shown by the contention profiler (e.g.
+  /// "district[3]"). Not thread-safe; set during data-structure setup.
+  void set_label(std::string label) {
+    label_ = std::make_unique<std::string>(std::move(label));
+  }
+  [[nodiscard]] const std::string* label() const noexcept { return label_.get(); }
+
+ private:
+  std::atomic<Body*> head_{nullptr};
+  std::unique_ptr<std::string> label_;
+};
+
+/// Typed versioned box.
+///
+/// Transactional access goes through read(tx)/write(tx, v); `peek()` returns
+/// the newest committed value without transactional bookkeeping (useful for
+/// post-run verification), and `put_initial` seeds the box before concurrent
+/// execution starts (requires quiescence).
+template <typename T>
+class VBox : public VBoxBase {
+ public:
+  VBox() = default;
+  explicit VBox(T initial) { put_initial(std::move(initial)); }
+
+  /// Transactional read; records the access in tx's read set.
+  [[nodiscard]] T read(Tx& tx) const;
+
+  /// Transactional write; buffered in tx's write set until commit.
+  void write(Tx& tx, T value) const;
+
+  /// Newest committed value. Requires the box to have been initialized.
+  [[nodiscard]] T peek() const {
+    return *static_cast<const T*>(newest()->value.get());
+  }
+
+  /// Seeds the box with an initial version-0 value. Not thread-safe; call
+  /// before transactions touch the box.
+  void put_initial(T value) {
+    install(std::make_shared<const T>(std::move(value)), 0, 0);
+  }
+};
+
+}  // namespace autopn::stm

@@ -1,0 +1,66 @@
+#pragma once
+// Time sources. The KPI monitor (paper §VI) is written against the abstract
+// Clock interface so the same policy code runs both live (WallClock, inside
+// the STM runtime) and in virtual time (VirtualClock, driven by sim::EventSim
+// for the Fig 7 monitoring experiments).
+
+#include <atomic>
+#include <chrono>
+
+namespace autopn::util {
+
+/// Monotonic time source measured in seconds.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+/// Wraps std::chrono::steady_clock.
+class WallClock final : public Clock {
+ public:
+  WallClock() : origin_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double now() const override {
+    const auto elapsed = std::chrono::steady_clock::now() - origin_;
+    return std::chrono::duration<double>(elapsed).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Manually advanced clock for discrete-event simulation. Thread-safe reads;
+/// advancing is the simulator's responsibility (single driver thread).
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] double now() const override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  /// Moves time forward by `dt` seconds (must be >= 0).
+  void advance(double dt) {
+    now_.store(now_.load(std::memory_order_relaxed) + dt, std::memory_order_release);
+  }
+
+  /// Jumps to an absolute time (must not move backwards).
+  void set(double t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<double> now_{0.0};
+};
+
+/// RAII stopwatch over a Clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock) : clock_(&clock), start_(clock.now()) {}
+
+  [[nodiscard]] double elapsed() const { return clock_->now() - start_; }
+  void restart() { start_ = clock_->now(); }
+
+ private:
+  const Clock* clock_;
+  double start_;
+};
+
+}  // namespace autopn::util

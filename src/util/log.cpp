@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <atomic>
+
+namespace autopn::util {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+std::mutex g_log_mutex;
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view tag, const std::string& message) {
+  const char* prefix = "";
+  switch (level) {
+    case LogLevel::kError: prefix = "E"; break;
+    case LogLevel::kInfo: prefix = "I"; break;
+    case LogLevel::kDebug: prefix = "D"; break;
+    case LogLevel::kOff: return;
+  }
+  std::scoped_lock lock{g_log_mutex};
+  std::cerr << '[' << prefix << "][" << tag << "] " << message << '\n';
+}
+
+}  // namespace detail
+
+}  // namespace autopn::util

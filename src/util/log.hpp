@@ -1,0 +1,44 @@
+#pragma once
+// Minimal leveled logger. Off by default so the STM hot path and benches are
+// silent; tests and examples can raise the level for diagnosis.
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace autopn::util {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kInfo = 2, kDebug = 3 };
+
+/// Global log level; plain function interface to avoid static-init ordering
+/// issues across translation units.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+namespace detail {
+void log_line(LogLevel level, std::string_view tag, const std::string& message);
+}
+
+/// Logs `message` at the given level if enabled. The message is built lazily
+/// by the caller via an ostringstream in the macro below.
+template <typename Fn>
+void log_if(LogLevel level, std::string_view tag, Fn&& build_message) {
+  if (static_cast<int>(level) <= static_cast<int>(log_level())) {
+    std::ostringstream os;
+    build_message(os);
+    detail::log_line(level, tag, os.str());
+  }
+}
+
+}  // namespace autopn::util
+
+#define AUTOPN_LOG(level, tag, expr)                                        \
+  ::autopn::util::log_if((level), (tag),                                    \
+                         [&](std::ostringstream& os_) { os_ << expr; })
+#define AUTOPN_LOG_INFO(tag, expr) \
+  AUTOPN_LOG(::autopn::util::LogLevel::kInfo, (tag), expr)
+#define AUTOPN_LOG_DEBUG(tag, expr) \
+  AUTOPN_LOG(::autopn::util::LogLevel::kDebug, (tag), expr)
+#define AUTOPN_LOG_ERROR(tag, expr) \
+  AUTOPN_LOG(::autopn::util::LogLevel::kError, (tag), expr)

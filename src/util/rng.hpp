@@ -1,0 +1,111 @@
+#pragma once
+// Deterministic pseudo-random number generation for AutoPN.
+//
+// Every stochastic component in the library (optimizers, noise models,
+// workload generators) takes an explicit 64-bit seed so that experiments are
+// reproducible run-to-run. The generator is xoshiro256**, seeded through
+// splitmix64 as recommended by its authors; it is small, fast, and of far
+// higher quality than std::minstd_rand while avoiding the heavy state of
+// std::mt19937_64.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace autopn::util {
+
+/// splitmix64 step; used for seed expansion and as a cheap stateless mixer.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** engine. Satisfies UniformRandomBitGenerator so it can be used
+/// with <random> distributions, though the convenience members below are
+/// preferred inside the library (they are portable across standard libraries).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    for (auto& word : state_) word = splitmix64(seed);
+    has_gauss_ = false;
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t uniform_index(std::size_t n) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+  /// Standard normal deviate (Marsaglia polar method, cached pair).
+  [[nodiscard]] double gaussian() noexcept;
+
+  /// Normal deviate with the given mean and standard deviation.
+  [[nodiscard]] double gaussian(double mean, double stddev) noexcept;
+
+  /// Exponential deviate with the given rate (mean 1/rate). Requires rate > 0.
+  [[nodiscard]] double exponential(double rate) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[uniform_index(i)]);
+    }
+  }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  [[nodiscard]] const T& pick(const std::vector<T>& items) noexcept {
+    return items[uniform_index(items.size())];
+  }
+
+  /// Derives an independent child generator; used to give each parallel task
+  /// its own stream without sharing mutable state.
+  [[nodiscard]] Rng split() noexcept { return Rng{(*this)()}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  double cached_gauss_ = 0.0;
+  bool has_gauss_ = false;
+};
+
+}  // namespace autopn::util

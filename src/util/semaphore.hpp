@@ -1,0 +1,92 @@
+#pragma once
+// Resizable counting semaphore — the actuator's primitive (paper §VI).
+//
+// The actuator bounds the number of concurrent top-level transactions (t) and
+// concurrent nested transactions per tree (c) by intercepting begin/commit.
+// Unlike std::counting_semaphore, the capacity here can be changed at
+// run-time: growing releases waiters immediately, shrinking lets in-flight
+// holders drain naturally (no transaction is ever interrupted).
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace autopn::util {
+
+class ResizableSemaphore {
+ public:
+  explicit ResizableSemaphore(std::size_t capacity) : capacity_(capacity) {}
+
+  ResizableSemaphore(const ResizableSemaphore&) = delete;
+  ResizableSemaphore& operator=(const ResizableSemaphore&) = delete;
+
+  /// Blocks until a permit is available.
+  void acquire() {
+    std::unique_lock lock{mutex_};
+    cv_.wait(lock, [this] { return in_use_ < capacity_; });
+    ++in_use_;
+  }
+
+  /// Non-blocking acquire; returns false if no permit is free.
+  [[nodiscard]] bool try_acquire() {
+    std::scoped_lock lock{mutex_};
+    if (in_use_ >= capacity_) return false;
+    ++in_use_;
+    return true;
+  }
+
+  void release() {
+    // Notify under the lock (see WaitGroup::done): a waiter that observes
+    // the freed permit may own the semaphore's lifetime and destroy it as
+    // soon as it can re-acquire the mutex.
+    std::scoped_lock lock{mutex_};
+    --in_use_;
+    cv_.notify_one();
+  }
+
+  /// Changes the permit capacity. Growing wakes waiters; shrinking never
+  /// revokes permits already held — in_use_ may temporarily exceed capacity
+  /// until holders release.
+  void set_capacity(std::size_t capacity) {
+    std::scoped_lock lock{mutex_};
+    capacity_ = capacity;
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const {
+    std::scoped_lock lock{mutex_};
+    return capacity_;
+  }
+
+  [[nodiscard]] std::size_t in_use() const {
+    std::scoped_lock lock{mutex_};
+    return in_use_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+};
+
+/// RAII permit holder (CP.20: never plain acquire/release).
+class SemaphoreGuard {
+ public:
+  explicit SemaphoreGuard(ResizableSemaphore& sem) : sem_(&sem) { sem_->acquire(); }
+  ~SemaphoreGuard() {
+    if (sem_ != nullptr) sem_->release();
+  }
+
+  SemaphoreGuard(const SemaphoreGuard&) = delete;
+  SemaphoreGuard& operator=(const SemaphoreGuard&) = delete;
+  SemaphoreGuard(SemaphoreGuard&& other) noexcept : sem_(other.sem_) {
+    other.sem_ = nullptr;
+  }
+  SemaphoreGuard& operator=(SemaphoreGuard&&) = delete;
+
+ private:
+  ResizableSemaphore* sem_;
+};
+
+}  // namespace autopn::util

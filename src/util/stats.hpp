@@ -1,0 +1,73 @@
+#pragma once
+// Streaming and batch statistics used throughout AutoPN: the KPI monitor's
+// coefficient-of-variation test (paper §VI), distance-from-optimum summaries
+// in the benches (paper §VII), and the bagging ensemble's mean/variance
+// aggregation (paper §V-B).
+
+#include <cstddef>
+#include <vector>
+
+namespace autopn::util {
+
+/// Welford's online algorithm for mean/variance; numerically stable and O(1)
+/// per sample, suitable for per-commit updates on the STM hot path.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Coefficient of variation, stddev/mean; 0 when the mean is 0.
+  [[nodiscard]] double cv() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator (Chan et al. parallel combination).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile with linear interpolation between closest ranks; `q` in [0,1].
+/// Sorts a copy; intended for offline summaries, not hot paths.
+[[nodiscard]] double percentile(std::vector<double> values, double q);
+
+/// Arithmetic mean of a vector; 0 for an empty vector.
+[[nodiscard]] double mean_of(const std::vector<double>& values);
+
+/// Sample standard deviation of a vector; 0 for fewer than two values.
+[[nodiscard]] double stddev_of(const std::vector<double>& values);
+
+/// Fixed-bin histogram over [lo, hi); samples outside are clamped to the
+/// boundary bins. Used by benches to summarize distance-from-optimum spreads.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  [[nodiscard]] std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Lower edge of the given bin.
+  [[nodiscard]] double bin_lo(std::size_t bin) const noexcept;
+  [[nodiscard]] double bin_width() const noexcept { return width_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace autopn::util

@@ -1,0 +1,76 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace autopn::util {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument{"table needs at least one column"};
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument{"row arity does not match header"};
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << std::left << std::setw(static_cast<int>(widths[i])) << row[i];
+      if (i + 1 < row.size()) out << "  ";
+    }
+    out << '\n';
+  };
+  print_row(header_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    rule.append(widths[i], '-');
+    if (i + 1 < widths.size()) rule.append("  ");
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    const std::string& f = fields[i];
+    const bool needs_quote =
+        f.find_first_of(",\"\n") != std::string::npos;
+    if (needs_quote) {
+      *out_ << '"';
+      for (char ch : f) {
+        if (ch == '"') *out_ << '"';
+        *out_ << ch;
+      }
+      *out_ << '"';
+    } else {
+      *out_ << f;
+    }
+    if (i + 1 < fields.size()) *out_ << ',';
+  }
+  *out_ << '\n';
+}
+
+std::string fmt_double(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string fmt_percent(double fraction, int precision) {
+  return fmt_double(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace autopn::util

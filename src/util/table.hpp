@@ -1,0 +1,49 @@
+#pragma once
+// Plain-text table and CSV emitters used by the bench harness to print the
+// rows/series of each paper figure in a reproducible, diff-friendly format.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace autopn::util {
+
+/// Column-aligned text table. Collects rows of strings and renders with
+/// per-column width alignment. Numbers should be pre-formatted by callers
+/// (see fmt_double) so that benches control precision explicitly.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with two-space column separation.
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// CSV writer with minimal quoting (fields containing comma/quote/newline).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Formats a double with fixed precision, trimming to a compact form.
+[[nodiscard]] std::string fmt_double(double value, int precision = 3);
+
+/// Formats a fraction as a percentage string, e.g. 0.218 -> "21.8%".
+[[nodiscard]] std::string fmt_percent(double fraction, int precision = 1);
+
+}  // namespace autopn::util

@@ -1,0 +1,99 @@
+#pragma once
+// Fixed-size worker pool executing queued tasks, plus a WaitGroup for
+// fork/join over task batches. This is the substrate for the PN-STM's shared
+// nested-transaction thread set P (paper §III-A): child transactions of all
+// families are executed by this pool while the per-tree concurrency limit c
+// is enforced separately by the actuator's semaphores.
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace autopn::util {
+
+/// Counts outstanding tasks; wait() blocks until the count returns to zero.
+/// Mirrors Go's sync.WaitGroup, restricted to add-before-submit usage.
+class WaitGroup {
+ public:
+  void add(std::size_t n = 1) {
+    std::scoped_lock lock{mutex_};
+    pending_ += n;
+  }
+
+  void done() {
+    // Notify while holding the mutex: the waiter may destroy this WaitGroup
+    // the moment it observes pending_ == 0 (it can wake through a timed
+    // re-check without ever consuming the notification), so signalling after
+    // unlocking would touch a potentially destroyed condition variable.
+    // Notifying under the lock makes destruction safe: the waiter cannot
+    // re-acquire the mutex — and therefore cannot return and destroy us —
+    // until this critical section is complete.
+    std::scoped_lock lock{mutex_};
+    if (--pending_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock lock{mutex_};
+    cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Waits up to `timeout`; returns true once the count reached zero. Used by
+  /// helpers that interleave waiting with draining a task queue.
+  template <typename Rep, typename Period>
+  [[nodiscard]] bool wait_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock lock{mutex_};
+    return cv_.wait_for(lock, timeout, [this] { return pending_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t pending_ = 0;
+};
+
+/// Fixed worker pool over a FIFO queue. Tasks must not throw (wrap anything
+/// that can fail); exceptions escaping a task terminate, per CP.42.
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution by any worker.
+  void submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is immediately
+  /// available; returns false when the queue is empty. This is the "helping"
+  /// primitive: a thread blocked on a fork/join drains the queue instead of
+  /// idling, which keeps nested spawns deadlock-free even on a single-worker
+  /// pool.
+  bool try_run_one();
+
+  /// Runs every task in `tasks` on the pool and blocks until all complete,
+  /// helping to drain the queue while waiting.
+  void run_and_wait(std::vector<std::function<void()>> tasks);
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+ private:
+  /// Pops one task; returns false if the pool is stopping and the queue is
+  /// empty. `block` selects waiting vs. immediate return on an empty queue.
+  bool pop_task(std::function<void()>& task, bool block);
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::jthread> threads_;
+};
+
+}  // namespace autopn::util

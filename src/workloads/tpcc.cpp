@@ -1,0 +1,352 @@
+#include "workloads/tpcc.hpp"
+
+#include <algorithm>
+
+#include <functional>
+
+namespace autopn::workloads {
+
+namespace {
+std::size_t buckets_for(std::size_t entries) {
+  return std::max<std::size_t>(16, entries / 2);
+}
+}  // namespace
+
+TpccBenchmark::TpccBenchmark(stm::Stm& stm, TpccConfig config)
+    : stm_(&stm),
+      config_(config),
+      warehouses_(buckets_for(config.warehouses), "warehouse"),
+      districts_(buckets_for(config.warehouses * config.districts_per_warehouse),
+                 "district"),
+      customers_(buckets_for(config.warehouses * config.districts_per_warehouse *
+                             config.customers_per_district),
+                 "customer"),
+      stock_(buckets_for(config.warehouses * config.items), "stock"),
+      orders_(buckets_for(1024), "orders"),
+      new_orders_(0LL),
+      total_payments_(0LL) {
+  new_orders_.set_label("new_orders_counter");
+  total_payments_.set_label("total_payments_counter");
+  stm_->run_top([&](stm::Tx& tx) {
+    for (std::size_t w = 0; w < config_.warehouses; ++w) {
+      warehouses_.put(tx, static_cast<int>(w), WarehouseRow{});
+      for (std::size_t d = 0; d < config_.districts_per_warehouse; ++d) {
+        districts_.put(tx, district_key(static_cast<int>(w), static_cast<int>(d)),
+                       DistrictRow{});
+        for (std::size_t c = 0; c < config_.customers_per_district; ++c) {
+          customers_.put(tx,
+                         customer_key(static_cast<int>(w), static_cast<int>(d),
+                                      static_cast<int>(c)),
+                         CustomerRow{});
+        }
+      }
+      for (std::size_t i = 0; i < config_.items; ++i) {
+        stock_.put(tx, stock_key(static_cast<int>(w), static_cast<int>(i)),
+                   StockRow{initial_stock_quantity_, 0});
+      }
+    }
+  });
+}
+
+int TpccBenchmark::district_key(int warehouse, int district) const {
+  return warehouse * static_cast<int>(config_.districts_per_warehouse) + district;
+}
+
+int TpccBenchmark::customer_key(int warehouse, int district, int customer) const {
+  return district_key(warehouse, district) *
+             static_cast<int>(config_.customers_per_district) +
+         customer;
+}
+
+int TpccBenchmark::stock_key(int warehouse, int item) const {
+  return warehouse * static_cast<int>(config_.items) + item;
+}
+
+int TpccBenchmark::order_key(int warehouse, int district, int order_id) const {
+  return (district_key(warehouse, district) << 16) | order_id;
+}
+
+long long TpccBenchmark::new_order(int warehouse, int district, int customer,
+                                   util::Rng& rng) {
+  const std::uint64_t tx_seed = rng();
+  long long order_total = 0;
+  stm_->run_top([&](stm::Tx& tx) {
+    util::Rng order_rng{tx_seed};
+    const std::size_t line_count =
+        config_.min_order_lines +
+        order_rng.uniform_index(config_.max_order_lines - config_.min_order_lines + 1);
+
+    // Allocate the order id from the district row (the classic TPC-C
+    // district hotspot).
+    const int dkey = district_key(warehouse, district);
+    DistrictRow drow = districts_.get(tx, dkey).value();
+    const int order_id = drow.next_order_id;
+    drow.next_order_id += 1;
+    districts_.put(tx, dkey, drow);
+
+    // Draw the order lines up front so every attempt of every child works on
+    // a stable picture.
+    struct LinePick {
+      int item;
+      int supply_warehouse;
+      int quantity;
+    };
+    std::vector<LinePick> picks(line_count);
+    for (std::size_t l = 0; l < line_count; ++l) {
+      picks[l].item = static_cast<int>(order_rng.uniform_index(config_.items));
+      picks[l].supply_warehouse =
+          order_rng.bernoulli(config_.remote_item_fraction) && config_.warehouses > 1
+              ? static_cast<int>(order_rng.uniform_index(config_.warehouses))
+              : warehouse;
+      picks[l].quantity = 1 + static_cast<int>(order_rng.uniform_index(10));
+    }
+
+    // Process order lines in parallel child transactions: each line updates
+    // its stock row and computes its amount.
+    std::vector<OrderLine> lines(line_count);
+    std::vector<std::function<void(stm::Tx&)>> children;
+    children.reserve(line_count);
+    for (std::size_t l = 0; l < line_count; ++l) {
+      children.emplace_back([&, l](stm::Tx& child) {
+        const LinePick& pick = picks[l];
+        const int skey = stock_key(pick.supply_warehouse, pick.item);
+        StockRow srow = stock_.get(child, skey).value();
+        if (srow.quantity >= pick.quantity + 10) {
+          srow.quantity -= pick.quantity;
+        } else {
+          srow.quantity = srow.quantity - pick.quantity + 91;  // TPC-C restock
+        }
+        srow.ytd += pick.quantity;
+        stock_.put(child, skey, srow);
+        lines[l] = OrderLine{pick.item, pick.supply_warehouse, pick.quantity,
+                             static_cast<long long>(pick.quantity) *
+                                 (1 + pick.item % 100)};
+      });
+    }
+    tx.run_children(std::move(children));
+
+    order_total = 0;
+    for (const OrderLine& line : lines) order_total += line.amount;
+    orders_.put(tx, order_key(warehouse, district, order_id),
+                OrderRow{customer, false, lines});
+    new_orders_.write(tx, new_orders_.read(tx) + 1);
+  });
+  return order_total;
+}
+
+void TpccBenchmark::payment(int warehouse, int district, int customer,
+                            long long amount) {
+  stm_->run_top([&](stm::Tx& tx) {
+    WarehouseRow wrow = warehouses_.get(tx, warehouse).value();
+    wrow.ytd += amount;
+    warehouses_.put(tx, warehouse, wrow);
+
+    const int dkey = district_key(warehouse, district);
+    DistrictRow drow = districts_.get(tx, dkey).value();
+    drow.ytd += amount;
+    districts_.put(tx, dkey, drow);
+
+    const int ckey = customer_key(warehouse, district, customer);
+    CustomerRow crow = customers_.get(tx, ckey).value();
+    crow.balance -= amount;
+    crow.payment_count += 1;
+    customers_.put(tx, ckey, crow);
+
+    total_payments_.write(tx, total_payments_.read(tx) + amount);
+  });
+}
+
+long long TpccBenchmark::order_status(int warehouse, int district, int customer) {
+  return stm_->run_top_returning<long long>([&](stm::Tx& tx) {
+    const int dkey = district_key(warehouse, district);
+    const DistrictRow drow = districts_.get(tx, dkey).value();
+    // Scan back for the customer's most recent order.
+    for (int oid = drow.next_order_id - 1; oid >= 1; --oid) {
+      const auto order = orders_.get(tx, order_key(warehouse, district, oid));
+      if (order.has_value() && order->customer_id == customer) {
+        long long total = 0;
+        for (const OrderLine& line : order->lines) total += line.amount;
+        return total;
+      }
+    }
+    return 0LL;
+  });
+}
+
+int TpccBenchmark::delivery(int warehouse) {
+  int delivered_total = 0;
+  stm_->run_top([&](stm::Tx& tx) {
+    const std::size_t districts = config_.districts_per_warehouse;
+    std::vector<int> delivered(districts, 0);
+    std::vector<std::function<void(stm::Tx&)>> children;
+    children.reserve(districts);
+    for (std::size_t d = 0; d < districts; ++d) {
+      children.emplace_back([&, d](stm::Tx& child) {
+        const int dkey = district_key(warehouse, static_cast<int>(d));
+        DistrictRow drow = districts_.get(child, dkey).value();
+        if (drow.next_delivery_id >= drow.next_order_id) {
+          delivered[d] = 0;
+          return;  // nothing undelivered in this district
+        }
+        const int oid = drow.next_delivery_id;
+        const int okey = order_key(warehouse, static_cast<int>(d), oid);
+        OrderRow order = orders_.get(child, okey).value();
+        order.delivered = true;
+        long long total = 0;
+        for (const OrderLine& line : order.lines) total += line.amount;
+        orders_.put(child, okey, order);
+
+        const int ckey =
+            customer_key(warehouse, static_cast<int>(d), order.customer_id);
+        CustomerRow crow = customers_.get(child, ckey).value();
+        crow.balance += total;
+        crow.delivery_count += 1;
+        customers_.put(child, ckey, crow);
+
+        drow.next_delivery_id += 1;
+        districts_.put(child, dkey, drow);
+        delivered[d] = 1;
+      });
+    }
+    tx.run_children(std::move(children));
+    delivered_total = 0;
+    for (int d : delivered) delivered_total += d;
+  });
+  return delivered_total;
+}
+
+int TpccBenchmark::stock_level(int warehouse, int district, int threshold,
+                               int recent_orders) {
+  return stm_->run_top_returning<int>([&](stm::Tx& tx) {
+    const int dkey = district_key(warehouse, district);
+    const DistrictRow drow = districts_.get(tx, dkey).value();
+    std::vector<int> seen;
+    int low = 0;
+    const int newest = drow.next_order_id - 1;
+    const int oldest = std::max(1, newest - recent_orders + 1);
+    for (int oid = newest; oid >= oldest; --oid) {
+      const auto order = orders_.get(tx, order_key(warehouse, district, oid));
+      if (!order.has_value()) continue;
+      for (const OrderLine& line : order->lines) {
+        if (std::find(seen.begin(), seen.end(), line.item_id) != seen.end()) {
+          continue;
+        }
+        seen.push_back(line.item_id);
+        const StockRow srow =
+            stock_.get(tx, stock_key(line.supply_warehouse, line.item_id)).value();
+        if (srow.quantity < threshold) ++low;
+      }
+    }
+    return low;
+  });
+}
+
+void TpccBenchmark::run_one(util::Rng& rng) {
+  const int warehouse = static_cast<int>(rng.uniform_index(config_.warehouses));
+  const int district =
+      static_cast<int>(rng.uniform_index(config_.districts_per_warehouse));
+  const int customer =
+      static_cast<int>(rng.uniform_index(config_.customers_per_district));
+  const double op = rng.uniform();
+  double cut = config_.new_order_fraction;
+  if (op < cut) {
+    (void)new_order(warehouse, district, customer, rng);
+    return;
+  }
+  cut += config_.payment_fraction;
+  if (op < cut) {
+    payment(warehouse, district, customer,
+            1 + static_cast<long long>(rng.uniform_index(5000)));
+    return;
+  }
+  cut += config_.order_status_fraction;
+  if (op < cut) {
+    (void)order_status(warehouse, district, customer);
+    return;
+  }
+  cut += config_.delivery_fraction;
+  if (op < cut) {
+    (void)delivery(warehouse);
+    return;
+  }
+  (void)stock_level(warehouse, district, /*threshold=*/900);
+}
+
+void TpccBenchmark::run_many(std::size_t count, util::Rng& rng) {
+  for (std::size_t i = 0; i < count; ++i) run_one(rng);
+}
+
+bool TpccBenchmark::verify_consistency() {
+  return stm_->run_top_returning<bool>([&](stm::Tx& tx) {
+    bool ok = true;
+
+    // Orders per district match the allocated ids, and stock YTD matches
+    // the order lines.
+    std::vector<long long> stock_ordered(config_.warehouses * config_.items, 0);
+    std::vector<int> orders_per_district(
+        config_.warehouses * config_.districts_per_warehouse, 0);
+    orders_.for_each(tx, [&](const int& key, const OrderRow& order) {
+      const int dkey = key >> 16;
+      orders_per_district[static_cast<std::size_t>(dkey)]++;
+      for (const OrderLine& line : order.lines) {
+        stock_ordered[static_cast<std::size_t>(
+            stock_key(line.supply_warehouse, line.item_id))] += line.quantity;
+      }
+    });
+    for (std::size_t w = 0; w < config_.warehouses; ++w) {
+      for (std::size_t d = 0; d < config_.districts_per_warehouse; ++d) {
+        const int dkey = district_key(static_cast<int>(w), static_cast<int>(d));
+        const DistrictRow drow = districts_.get(tx, dkey).value();
+        if (drow.next_order_id - 1 != orders_per_district[static_cast<std::size_t>(dkey)]) {
+          ok = false;
+        }
+      }
+      for (std::size_t i = 0; i < config_.items; ++i) {
+        const int skey = stock_key(static_cast<int>(w), static_cast<int>(i));
+        const StockRow srow = stock_.get(tx, skey).value();
+        if (srow.ytd != stock_ordered[static_cast<std::size_t>(skey)]) ok = false;
+        // quantity is restocked in units of 91, so track only ytd linkage
+        // and non-negativity.
+        if (srow.quantity < 0) ok = false;
+      }
+    }
+
+    // Warehouse YTD equals the sum of its districts' YTD.
+    for (std::size_t w = 0; w < config_.warehouses; ++w) {
+      long long district_sum = 0;
+      for (std::size_t d = 0; d < config_.districts_per_warehouse; ++d) {
+        district_sum +=
+            districts_.get(tx, district_key(static_cast<int>(w), static_cast<int>(d)))
+                .value()
+                .ytd;
+      }
+      if (warehouses_.get(tx, static_cast<int>(w)).value().ytd != district_sum) {
+        ok = false;
+      }
+    }
+
+    // Delivery bookkeeping: an order is delivered iff its id is below the
+    // district's delivery watermark, and money is conserved — the sum of all
+    // customer balances equals delivered order totals minus payments.
+    long long delivered_total = 0;
+    orders_.for_each(tx, [&](const int& key, const OrderRow& order) {
+      const int dkey = key >> 16;
+      const int oid = key & 0xffff;
+      const DistrictRow drow = districts_.get(tx, dkey).value();
+      const bool should_be_delivered = oid < drow.next_delivery_id;
+      if (order.delivered != should_be_delivered) ok = false;
+      if (order.delivered) {
+        for (const OrderLine& line : order.lines) delivered_total += line.amount;
+      }
+    });
+    long long balance_total = 0;
+    customers_.for_each(tx, [&](const int&, const CustomerRow& crow) {
+      balance_total += crow.balance;
+    });
+    if (balance_total != delivered_total - total_payments_.read(tx)) ok = false;
+
+    return ok;
+  });
+}
+
+}  // namespace autopn::workloads

@@ -1,0 +1,93 @@
+// Tests for the kNN surrogate regressor.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "ml/knn.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::ml {
+namespace {
+
+Dataset grid_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  Dataset data{2};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::array<double, 2> x{rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+    data.add(x, 3.0 * x[0] + x[1]);
+  }
+  return data;
+}
+
+TEST(Knn, EmptyDataIsZero) {
+  Dataset data{2};
+  KnnRegressor knn{data, 3};
+  const auto p = knn.predict(std::array{1.0, 2.0});
+  EXPECT_DOUBLE_EQ(p.mean, 0.0);
+  EXPECT_DOUBLE_EQ(p.variance, 0.0);
+}
+
+TEST(Knn, ExactHitReturnsNeighborValue) {
+  Dataset data{2};
+  data.add(std::array{1.0, 1.0}, 5.0);
+  KnnRegressor knn{data, 1};
+  EXPECT_NEAR(knn.predict(std::array{1.0, 1.0}).mean, 5.0, 1e-12);
+}
+
+TEST(Knn, InterpolatesSmoothFunction) {
+  const Dataset data = grid_data(500, 1);
+  KnnRegressor knn{data, 5};
+  for (double t : {2.0, 5.0, 8.0}) {
+    for (double c : {2.0, 5.0, 8.0}) {
+      const double truth = 3.0 * t + c;
+      EXPECT_NEAR(knn.predict(std::array{t, c}).mean, truth, 2.5)
+          << "at (" << t << "," << c << ")";
+    }
+  }
+}
+
+TEST(Knn, KClampedToDatasetSize) {
+  Dataset data{1};
+  data.add(std::array{0.0}, 1.0);
+  data.add(std::array{1.0}, 3.0);
+  KnnRegressor knn{data, 50};
+  // Uses both points; weighted mean between 1 and 3.
+  const double mean = knn.predict(std::array{0.5}).mean;
+  EXPECT_GT(mean, 1.0);
+  EXPECT_LT(mean, 3.0);
+}
+
+TEST(Knn, VarianceGrowsWithDistance) {
+  Dataset data{1};
+  for (double x : {0.0, 1.0, 2.0}) data.add(std::array{x}, 10.0);
+  KnnRegressor knn{data, 3};
+  const double near_var = knn.predict(std::array{1.0}).variance;
+  const double far_var = knn.predict(std::array{50.0}).variance;
+  EXPECT_GT(far_var, near_var);
+}
+
+TEST(Knn, DisagreementContributesVariance) {
+  Dataset data{1};
+  data.add(std::array{1.0}, 0.0);
+  data.add(std::array{1.1}, 100.0);  // close points, wildly different labels
+  KnnRegressor knn{data, 2};
+  EXPECT_GT(knn.predict(std::array{1.05}).variance, 100.0);
+}
+
+TEST(Knn, StddevIsSqrtVariance) {
+  const Dataset data = grid_data(50, 2);
+  KnnRegressor knn{data, 3};
+  const auto p = knn.predict(std::array{4.0, 4.0});
+  EXPECT_NEAR(p.stddev(), std::sqrt(p.variance), 1e-12);
+}
+
+TEST(Knn, MinimumKIsOne) {
+  const Dataset data = grid_data(10, 3);
+  KnnRegressor knn{data, 0};
+  EXPECT_EQ(knn.k(), 1u);
+  (void)knn.predict(std::array{1.0, 1.0});  // must not crash
+}
+
+}  // namespace
+}  // namespace autopn::ml

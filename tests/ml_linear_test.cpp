@@ -1,0 +1,169 @@
+// Tests for Dataset and OLS linear regression.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/linear.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::ml {
+namespace {
+
+Dataset make_linear_data(double w0, double w1, double bias, std::size_t n,
+                         double noise, std::uint64_t seed) {
+  util::Rng rng{seed};
+  Dataset data{2};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::array<double, 2> x{rng.uniform(0.0, 10.0), rng.uniform(0.0, 10.0)};
+    data.add(x, w0 * x[0] + w1 * x[1] + bias + noise * rng.gaussian());
+  }
+  return data;
+}
+
+TEST(Dataset, AddAndAccess) {
+  Dataset d{2};
+  d.add(std::array{1.0, 2.0}, 3.0);
+  d.add(std::array{4.0, 5.0}, 6.0);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.dims(), 2u);
+  EXPECT_DOUBLE_EQ(d.x(1)[0], 4.0);
+  EXPECT_DOUBLE_EQ(d.y(0), 3.0);
+}
+
+TEST(Dataset, ArityMismatchThrows) {
+  Dataset d{2};
+  EXPECT_THROW(d.add(std::array{1.0}, 2.0), std::invalid_argument);
+}
+
+TEST(Dataset, ZeroDimsRejected) { EXPECT_THROW(Dataset{0}, std::invalid_argument); }
+
+TEST(Dataset, SubsetSelectsRows) {
+  Dataset d{1};
+  for (int i = 0; i < 5; ++i) d.add(std::array{double(i)}, 10.0 * i);
+  const std::vector<std::size_t> rows{1, 3};
+  const Dataset sub = d.subset(rows);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.y(0), 10.0);
+  EXPECT_DOUBLE_EQ(sub.y(1), 30.0);
+}
+
+TEST(Dataset, BootstrapSameSizeDrawsFromOriginal) {
+  util::Rng rng{5};
+  Dataset d{1};
+  for (int i = 0; i < 20; ++i) d.add(std::array{double(i)}, double(i));
+  const Dataset boot = d.bootstrap_sample(rng);
+  EXPECT_EQ(boot.size(), d.size());
+  for (std::size_t i = 0; i < boot.size(); ++i) {
+    EXPECT_DOUBLE_EQ(boot.x(i)[0], boot.y(i));  // pairs stay intact
+    EXPECT_GE(boot.y(i), 0.0);
+    EXPECT_LT(boot.y(i), 20.0);
+  }
+}
+
+TEST(Dataset, BootstrapVaries) {
+  util::Rng rng{6};
+  Dataset d{1};
+  for (int i = 0; i < 50; ++i) d.add(std::array{double(i)}, double(i));
+  const Dataset a = d.bootstrap_sample(rng);
+  const Dataset b = d.bootstrap_sample(rng);
+  bool differ = false;
+  for (std::size_t i = 0; i < a.size() && !differ; ++i) differ = (a.y(i) != b.y(i));
+  EXPECT_TRUE(differ);
+}
+
+TEST(Dataset, TargetMoments) {
+  Dataset d{1};
+  for (double y : {1.0, 2.0, 3.0}) d.add(std::array{0.0}, y);
+  EXPECT_DOUBLE_EQ(d.target_mean(), 2.0);
+  EXPECT_NEAR(d.target_stddev(), 1.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, Identity) {
+  std::vector<std::vector<double>> a{{1, 0}, {0, 1}};
+  std::vector<double> b{3.0, 4.0};
+  ASSERT_TRUE(solve_linear_system(a, b));
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+  EXPECT_DOUBLE_EQ(b[1], 4.0);
+}
+
+TEST(SolveLinearSystem, KnownSolution) {
+  // 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+  std::vector<std::vector<double>> a{{2, 1}, {1, 3}};
+  std::vector<double> b{5.0, 10.0};
+  ASSERT_TRUE(solve_linear_system(a, b));
+  EXPECT_NEAR(b[0], 1.0, 1e-12);
+  EXPECT_NEAR(b[1], 3.0, 1e-12);
+}
+
+TEST(SolveLinearSystem, SingularDetected) {
+  std::vector<std::vector<double>> a{{1, 2}, {2, 4}};
+  std::vector<double> b{1.0, 2.0};
+  EXPECT_FALSE(solve_linear_system(a, b));
+}
+
+TEST(SolveLinearSystem, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  std::vector<std::vector<double>> a{{0, 1}, {1, 0}};
+  std::vector<double> b{2.0, 7.0};
+  ASSERT_TRUE(solve_linear_system(a, b));
+  EXPECT_NEAR(b[0], 7.0, 1e-12);
+  EXPECT_NEAR(b[1], 2.0, 1e-12);
+}
+
+TEST(LinearModel, RecoversExactPlane) {
+  const Dataset data = make_linear_data(2.0, -1.5, 4.0, 50, 0.0, 11);
+  const LinearModel model = LinearModel::fit(data);
+  EXPECT_NEAR(model.weights()[0], 2.0, 1e-6);
+  EXPECT_NEAR(model.weights()[1], -1.5, 1e-6);
+  EXPECT_NEAR(model.bias(), 4.0, 1e-5);
+  EXPECT_NEAR(model.rmse(data), 0.0, 1e-6);
+}
+
+TEST(LinearModel, NoisyFitCloseToTruth) {
+  const Dataset data = make_linear_data(1.0, 3.0, -2.0, 500, 0.5, 12);
+  const LinearModel model = LinearModel::fit(data);
+  EXPECT_NEAR(model.weights()[0], 1.0, 0.05);
+  EXPECT_NEAR(model.weights()[1], 3.0, 0.05);
+  EXPECT_NEAR(model.bias(), -2.0, 0.3);
+}
+
+TEST(LinearModel, EmptyDataGivesZeroModel) {
+  Dataset data{2};
+  const LinearModel model = LinearModel::fit(data);
+  EXPECT_DOUBLE_EQ(model.predict(std::array{5.0, 5.0}), 0.0);
+}
+
+TEST(LinearModel, SingleRowGivesConstant) {
+  Dataset data{2};
+  data.add(std::array{1.0, 2.0}, 9.0);
+  const LinearModel model = LinearModel::fit(data);
+  EXPECT_DOUBLE_EQ(model.predict(std::array{100.0, -3.0}), 9.0);
+}
+
+TEST(LinearModel, DegenerateFeatureFallsBack) {
+  // All x identical: slope indeterminate; must not blow up, prediction near
+  // the target mean at that x.
+  Dataset data{1};
+  for (double y : {1.0, 2.0, 3.0, 4.0}) data.add(std::array{5.0}, y);
+  const LinearModel model = LinearModel::fit(data);
+  EXPECT_NEAR(model.predict(std::array{5.0}), 2.5, 1e-3);
+}
+
+TEST(LinearModel, MaeAndRmseRelation) {
+  const Dataset data = make_linear_data(1.0, 1.0, 0.0, 200, 1.0, 13);
+  const LinearModel model = LinearModel::fit(data);
+  EXPECT_LE(model.mae(data), model.rmse(data) + 1e-12);  // Jensen
+  EXPECT_GT(model.mae(data), 0.0);
+}
+
+TEST(LinearModel, EffectiveParamsCountsNonZero) {
+  const LinearModel m{1.0, {0.0, 2.0, 0.0}};
+  EXPECT_EQ(m.effective_params(), 2u);  // bias + one weight
+}
+
+}  // namespace
+}  // namespace autopn::ml

@@ -1,0 +1,239 @@
+// Tests for the M5 model tree and the bagging ensemble.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "ml/bagging.hpp"
+#include "ml/m5tree.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::ml {
+namespace {
+
+/// Piece-wise linear 1-D target: two regimes with different slopes — the
+/// canonical function a model tree represents exactly and a single linear
+/// model cannot.
+double two_regime(double x) { return x < 5.0 ? 2.0 * x : 20.0 - 1.0 * (x - 5.0); }
+
+Dataset two_regime_data(std::size_t n, double noise, std::uint64_t seed) {
+  util::Rng rng{seed};
+  Dataset data{1};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    data.add(std::array{x}, two_regime(x) + noise * rng.gaussian());
+  }
+  return data;
+}
+
+TEST(M5Tree, EmptyDataConstantZero) {
+  Dataset data{2};
+  const M5Tree tree = M5Tree::fit(data);
+  EXPECT_DOUBLE_EQ(tree.predict(std::array{1.0, 2.0}), 0.0);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(M5Tree, SmallDataSingleLeafLinear) {
+  Dataset data{1};
+  for (double x : {1.0, 2.0, 3.0}) data.add(std::array{x}, 10.0 * x);
+  M5Params params;
+  params.min_leaf = 4;
+  const M5Tree tree = M5Tree::fit(data, params);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_NEAR(tree.predict(std::array{2.5}), 25.0, 1e-6);
+}
+
+TEST(M5Tree, SplitsTwoRegimes) {
+  const Dataset data = two_regime_data(400, 0.0, 31);
+  M5Params params;
+  params.smooth = false;
+  const M5Tree tree = M5Tree::fit(data, params);
+  EXPECT_GE(tree.leaf_count(), 2u);
+  // Predictions match the generating function away from the breakpoint.
+  for (double x : {1.0, 3.0, 7.0, 9.0}) {
+    EXPECT_NEAR(tree.predict(std::array{x}), two_regime(x), 0.5) << "x=" << x;
+  }
+}
+
+TEST(M5Tree, BeatsSingleLinearModelOnPiecewiseData) {
+  const Dataset data = two_regime_data(400, 0.1, 32);
+  const M5Tree tree = M5Tree::fit(data);
+  const LinearModel line = LinearModel::fit(data);
+  EXPECT_LT(tree.rmse(data), 0.5 * line.rmse(data));
+}
+
+TEST(M5Tree, PruningShrinksOrKeepsTree) {
+  const Dataset data = two_regime_data(200, 2.0, 33);  // noisy
+  M5Params no_prune;
+  no_prune.prune = false;
+  M5Params with_prune;
+  with_prune.prune = true;
+  const M5Tree grown = M5Tree::fit(data, no_prune);
+  const M5Tree pruned = M5Tree::fit(data, with_prune);
+  EXPECT_LE(pruned.leaf_count(), grown.leaf_count());
+}
+
+TEST(M5Tree, HighNoisePrunesToFewLeaves) {
+  // Pure noise: the corrected error should collapse the tree to (almost)
+  // a single linear model.
+  util::Rng rng{34};
+  Dataset data{1};
+  for (int i = 0; i < 200; ++i) {
+    data.add(std::array{rng.uniform(0.0, 10.0)}, rng.gaussian());
+  }
+  const M5Tree tree = M5Tree::fit(data);
+  EXPECT_LE(tree.leaf_count(), 4u);
+}
+
+TEST(M5Tree, SmoothingIsContinuousAcrossSplit) {
+  // With smoothing, the prediction jump across the split threshold shrinks
+  // relative to the unsmoothed tree.
+  const Dataset data = two_regime_data(400, 0.5, 35);
+  M5Params smooth;
+  smooth.smooth = true;
+  M5Params crisp;
+  crisp.smooth = false;
+  const M5Tree ts = M5Tree::fit(data, smooth);
+  const M5Tree tc = M5Tree::fit(data, crisp);
+  const double jump_s =
+      std::abs(ts.predict(std::array{5.001}) - ts.predict(std::array{4.999}));
+  const double jump_c =
+      std::abs(tc.predict(std::array{5.001}) - tc.predict(std::array{4.999}));
+  EXPECT_LE(jump_s, jump_c + 1e-9);
+}
+
+TEST(M5Tree, TwoDimensionalSplit) {
+  // Target depends on x1 only via a step; tree must split on feature 1.
+  util::Rng rng{36};
+  Dataset data{2};
+  for (int i = 0; i < 300; ++i) {
+    const std::array<double, 2> x{rng.uniform(0.0, 1.0), rng.uniform(0.0, 10.0)};
+    data.add(x, x[1] < 5.0 ? 1.0 : 100.0);
+  }
+  const M5Tree tree = M5Tree::fit(data);
+  EXPECT_NEAR(tree.predict(std::array{0.5, 2.0}), 1.0, 10.0);
+  EXPECT_NEAR(tree.predict(std::array{0.5, 8.0}), 100.0, 10.0);
+}
+
+TEST(M5Tree, DepthAndNodeCountConsistent) {
+  const Dataset data = two_regime_data(200, 0.0, 37);
+  const M5Tree tree = M5Tree::fit(data);
+  EXPECT_GE(tree.depth(), 1u);
+  EXPECT_GE(tree.node_count(), tree.leaf_count());
+}
+
+TEST(M5Tree, ConstantTargetsOneLeaf) {
+  Dataset data{1};
+  for (int i = 0; i < 50; ++i) data.add(std::array{double(i)}, 7.0);
+  const M5Tree tree = M5Tree::fit(data);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_NEAR(tree.predict(std::array{25.0}), 7.0, 1e-6);
+}
+
+TEST(M5Tree, ToStringShowsStructure) {
+  const Dataset data = two_regime_data(400, 0.0, 51);
+  const M5Tree tree = M5Tree::fit(data);
+  const std::vector<std::string> names{"t"};
+  const std::string rendered = tree.to_string(names);
+  EXPECT_NE(rendered.find("t <= "), std::string::npos);
+  EXPECT_NE(rendered.find("leaf[n="), std::string::npos);
+  // Unnamed features fall back to x<i>.
+  const std::string anonymous = tree.to_string();
+  EXPECT_NE(anonymous.find("x0 <= "), std::string::npos);
+}
+
+TEST(M5Tree, ToDotIsWellFormed) {
+  const Dataset data = two_regime_data(200, 0.0, 52);
+  const M5Tree tree = M5Tree::fit(data);
+  const std::string dot = tree.to_dot();
+  EXPECT_EQ(dot.find("digraph m5 {"), 0u);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+TEST(M5Tree, SingleLeafRenderings) {
+  Dataset data{1};
+  for (int i = 0; i < 3; ++i) data.add(std::array{double(i)}, 5.0);
+  const M5Tree tree = M5Tree::fit(data);
+  EXPECT_NE(tree.to_string().find("leaf"), std::string::npos);
+  EXPECT_EQ(tree.to_dot().find("digraph"), 0u);
+}
+
+TEST(Bagging, DeterministicGivenSeed) {
+  const Dataset data = two_regime_data(100, 0.5, 38);
+  const auto a = BaggingEnsemble::fit(data, 5, {}, 99);
+  const auto b = BaggingEnsemble::fit(data, 5, {}, 99);
+  for (double x : {1.0, 5.0, 9.0}) {
+    EXPECT_DOUBLE_EQ(a.predict(std::array{x}).mean, b.predict(std::array{x}).mean);
+  }
+}
+
+TEST(Bagging, MeanTracksTarget) {
+  const Dataset data = two_regime_data(400, 0.2, 39);
+  const auto ensemble = BaggingEnsemble::fit(data, 10, {}, 7);
+  for (double x : {1.0, 3.0, 7.0, 9.0}) {
+    EXPECT_NEAR(ensemble.predict(std::array{x}).mean, two_regime(x), 1.0);
+  }
+}
+
+TEST(Bagging, VarianceConcentratesAtAmbiguousRegion) {
+  // Bootstrap jitter moves each member's split threshold a little, so member
+  // disagreement (variance) peaks near the regime breakpoint and is small in
+  // a smooth regime interior — exactly the uncertainty signal EI exploits.
+  const Dataset data = two_regime_data(300, 0.3, 40);
+  const auto ensemble = BaggingEnsemble::fit(data, 10, {}, 8);
+  const double var_breakpoint = ensemble.predict(std::array{5.0}).variance;
+  const double var_interior = ensemble.predict(std::array{2.0}).variance;
+  EXPECT_GT(var_breakpoint, var_interior);
+}
+
+TEST(Bagging, SizeAndMembers) {
+  const Dataset data = two_regime_data(50, 0.1, 41);
+  const auto ensemble = BaggingEnsemble::fit(data, 4, {}, 9);
+  EXPECT_EQ(ensemble.size(), 4u);
+  (void)ensemble.member(3);
+  EXPECT_THROW((void)ensemble.member(4), std::out_of_range);
+}
+
+TEST(Bagging, PredictionStddevConsistent) {
+  const Dataset data = two_regime_data(100, 1.0, 42);
+  const auto ensemble = BaggingEnsemble::fit(data, 10, {}, 10);
+  const auto p = ensemble.predict(std::array{5.0});
+  EXPECT_NEAR(p.stddev(), std::sqrt(p.variance), 1e-12);
+}
+
+// Property sweep: trained on the paper's actual feature lattice (t, c), the
+// ensemble must interpolate a smooth synthetic throughput surface within a
+// reasonable tolerance from few samples — the premise of SMBO's usefulness.
+class SurfaceFit : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SurfaceFit, InterpolatesThroughputSurface) {
+  const std::size_t samples_n = GetParam();
+  util::Rng rng{43 + samples_n};
+  auto surface = [](double t, double c) {
+    return t * 10.0 / (1.0 + 0.05 * t * c) + 5.0 * c;
+  };
+  Dataset data{2};
+  for (std::size_t i = 0; i < samples_n; ++i) {
+    const double t = 1.0 + static_cast<double>(rng.uniform_index(48));
+    const double c = 1.0 + static_cast<double>(rng.uniform_index(8));
+    data.add(std::array{t, c}, surface(t, c));
+  }
+  const auto ensemble = BaggingEnsemble::fit(data, 10, {}, 44);
+  // Mean relative error over a probe grid.
+  double total_rel = 0.0;
+  int probes = 0;
+  for (double t : {4.0, 12.0, 24.0, 40.0}) {
+    for (double c : {1.0, 2.0, 4.0}) {
+      const double truth = surface(t, c);
+      total_rel += std::abs(ensemble.predict(std::array{t, c}).mean - truth) / truth;
+      ++probes;
+    }
+  }
+  EXPECT_LT(total_rel / probes, 0.35);
+}
+
+INSTANTIATE_TEST_SUITE_P(SampleCounts, SurfaceFit, ::testing::Values(40u, 80u, 160u));
+
+}  // namespace
+}  // namespace autopn::ml

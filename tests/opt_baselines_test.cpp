@@ -1,0 +1,218 @@
+// Tests for the five baseline optimizers against synthetic surfaces.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "opt/baselines.hpp"
+#include "opt/runner.hpp"
+
+namespace autopn::opt {
+namespace {
+
+/// Smooth unimodal surface peaking at (20, 2).
+double unimodal(const Config& cfg) {
+  const double dt = (cfg.t - 20) / 10.0;
+  const double dc = (cfg.c - 2) / 2.0;
+  return 1000.0 * std::exp(-(dt * dt + dc * dc));
+}
+
+/// Deceptive surface: global optimum at (1, 40), strong local optimum ridge
+/// around (30, 1) — traps purely local searches started in the wrong basin.
+double deceptive(const Config& cfg) {
+  const double local = 600.0 * std::exp(-std::pow((cfg.t - 30) / 6.0, 2) -
+                                        std::pow((cfg.c - 1) / 1.0, 2));
+  const double global = 1000.0 * std::exp(-std::pow((cfg.t - 1) / 2.0, 2) -
+                                          std::pow((cfg.c - 40) / 5.0, 2));
+  return local + global;
+}
+
+TEST(RandomSearch, StopsAndFindsDecentConfig) {
+  ConfigSpace space{48};
+  RandomSearch rs{space, 1};
+  const auto result = run_to_convergence(rs, unimodal);
+  EXPECT_GT(result.explorations(), 5u);
+  EXPECT_LT(result.explorations(), space.size());
+  EXPECT_GT(result.final_best_kpi, 0.0);
+}
+
+TEST(RandomSearch, NeverRepeatsConfigs) {
+  ConfigSpace space{16};
+  RandomSearch rs{space, 2};
+  std::set<std::pair<int, int>> seen;
+  const auto result = run_to_convergence(rs, unimodal);
+  for (const auto& step : result.steps) {
+    EXPECT_TRUE(seen.emplace(step.config.t, step.config.c).second);
+  }
+}
+
+TEST(RandomSearch, DifferentSeedsDifferentOrder) {
+  ConfigSpace space{48};
+  RandomSearch a{space, 10};
+  RandomSearch b{space, 11};
+  const auto first_a = a.propose();
+  const auto first_b = b.propose();
+  ASSERT_TRUE(first_a && first_b);
+  // Overwhelmingly likely to differ over a 198-point space.
+  EXPECT_NE(first_a->t * 100 + first_a->c, first_b->t * 100 + first_b->c);
+}
+
+TEST(GridSearch, SweepsCFirstThenT) {
+  ConfigSpace space{48};
+  GridSearch gs{space};
+  const auto p1 = gs.propose();
+  gs.observe(*p1, 1.0);
+  const auto p2 = gs.propose();
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(*p1, (Config{1, 1}));
+  EXPECT_EQ(*p2, (Config{1, 2}));
+}
+
+TEST(GridSearch, StopsEarlyOnPlateau) {
+  ConfigSpace space{48};
+  GridSearch gs{space};
+  // Flat surface: after the window of stale observations it must stop.
+  const auto result = run_to_convergence(gs, [](const Config&) { return 100.0; });
+  EXPECT_LE(result.explorations(), 7u);
+}
+
+TEST(HillClimbing, ClimbsToLocalOptimumOnUnimodal) {
+  ConfigSpace space{48};
+  // Many random starts: on a unimodal surface HC must always end at the peak.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    HillClimbing hc{space, seed};
+    const auto result = run_to_convergence(hc, unimodal);
+    EXPECT_NEAR(result.final_best_kpi, unimodal(Config{20, 2}),
+                unimodal(Config{20, 2}) * 0.02)
+        << "seed " << seed;
+  }
+}
+
+TEST(HillClimbing, FixedStartClimbs) {
+  ConfigSpace space{48};
+  HillClimbing hc{space, 0, Config{15, 1}};
+  const auto result = run_to_convergence(hc, unimodal);
+  EXPECT_EQ(result.final_best, (Config{20, 2}));
+}
+
+TEST(HillClimbing, SeededStartSkipsRemeasurement) {
+  ConfigSpace space{48};
+  HillClimbing hc{space, 0};
+  hc.seed(Config{19, 2}, unimodal(Config{19, 2}));
+  int measured_seed_point = 0;
+  const auto result = run_to_convergence(hc, [&](const Config& cfg) {
+    if (cfg == Config{19, 2}) ++measured_seed_point;
+    return unimodal(cfg);
+  });
+  EXPECT_EQ(measured_seed_point, 0);
+  EXPECT_EQ(result.final_best, (Config{20, 2}));
+}
+
+TEST(HillClimbing, GetsTrappedOnDeceptiveSurface) {
+  // The motivating failure of pure local search (paper Fig 5): started in
+  // the wrong basin it converges to the local ridge, far from optimum.
+  ConfigSpace space{48};
+  HillClimbing hc{space, 0, Config{28, 1}};
+  const auto result = run_to_convergence(hc, deceptive);
+  EXPECT_LT(result.final_best_kpi, 700.0);  // stuck near the 600-high ridge
+}
+
+TEST(SimulatedAnnealing, ConvergesOnUnimodal) {
+  ConfigSpace space{48};
+  double best = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    SimulatedAnnealing sa{space, seed};
+    const auto result = run_to_convergence(sa, unimodal);
+    best = std::max(best, result.final_best_kpi);
+  }
+  EXPECT_GT(best, 0.8 * unimodal(Config{20, 2}));
+}
+
+TEST(SimulatedAnnealing, AcceptsDownhillMovesEarly) {
+  ConfigSpace space{48};
+  SimulatedAnnealing sa{space, 3};
+  const auto result = run_to_convergence(sa, unimodal, 400);
+  // The walk must have explored more than a pure descent would (which stops
+  // at the first local optimum after ~1 neighbourhood).
+  EXPECT_GT(result.explorations(), 10u);
+}
+
+TEST(GeneticAlgorithm, EvaluatesInitialPopulation) {
+  ConfigSpace space{48};
+  GaParams params;
+  params.population = 8;
+  GeneticAlgorithm ga{space, 4, params};
+  const auto result = run_to_convergence(ga, unimodal, 500);
+  EXPECT_GE(result.explorations(), params.population);
+}
+
+TEST(GeneticAlgorithm, FindsGoodSolutionOnDeceptive) {
+  // GA's broad search should usually escape the deceptive ridge (the paper
+  // finds GA the best baseline). Check the best of a few seeds gets close to
+  // the global optimum.
+  ConfigSpace space{48};
+  double best = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    GeneticAlgorithm ga{space, seed};
+    const auto result = run_to_convergence(ga, deceptive, 500);
+    best = std::max(best, result.final_best_kpi);
+  }
+  EXPECT_GT(best, 900.0);
+}
+
+TEST(GeneticAlgorithm, OffspringAlwaysValid) {
+  ConfigSpace space{48};
+  GeneticAlgorithm ga{space, 5};
+  const auto result = run_to_convergence(ga, deceptive, 500);
+  for (const auto& step : result.steps) {
+    EXPECT_TRUE(space.valid(step.config)) << step.config.to_string();
+  }
+}
+
+TEST(GeneticAlgorithm, RecyclesKnownConfigsWithoutSpendingExplorations) {
+  ConfigSpace space{8};  // tiny space forces repeats across generations
+  GeneticAlgorithm ga{space, 6};
+  std::set<std::pair<int, int>> distinct;
+  const auto result = run_to_convergence(ga, unimodal, 500);
+  for (const auto& step : result.steps) {
+    EXPECT_TRUE(distinct.emplace(step.config.t, step.config.c).second)
+        << "re-measured " << step.config.to_string();
+  }
+}
+
+TEST(BaseOptimizerBookkeeping, TracksBestAndHistory) {
+  ConfigSpace space{48};
+  RandomSearch rs{space, 7};
+  const auto c1 = rs.propose();
+  rs.observe(*c1, 10.0);
+  const auto c2 = rs.propose();
+  rs.observe(*c2, 5.0);
+  EXPECT_EQ(rs.best(), *c1);
+  EXPECT_EQ(rs.history().size(), 2u);
+  EXPECT_TRUE(rs.explored(*c1));
+  EXPECT_EQ(rs.kpi_of(*c2).value(), 5.0);
+}
+
+TEST(NoImprovementTrackerTest, StopsAfterWindow) {
+  NoImprovementTracker tracker{3, 0.10};
+  tracker.add(100.0);
+  tracker.add(101.0);  // < 10% improvement -> stale
+  tracker.add(102.0);  // stale
+  EXPECT_FALSE(tracker.should_stop());
+  tracker.add(103.0);  // stale x3
+  EXPECT_TRUE(tracker.should_stop());
+}
+
+TEST(NoImprovementTrackerTest, ImprovementResets) {
+  NoImprovementTracker tracker{2, 0.10};
+  tracker.add(100.0);
+  tracker.add(100.0);
+  tracker.add(150.0);  // big improvement resets
+  EXPECT_FALSE(tracker.should_stop());
+  tracker.add(151.0);
+  tracker.add(151.0);
+  EXPECT_TRUE(tracker.should_stop());
+}
+
+}  // namespace
+}  // namespace autopn::opt

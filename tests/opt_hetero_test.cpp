@@ -1,0 +1,152 @@
+// Tests for the heterogeneous-transaction-types extension (paper §VIII).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/hetero.hpp"
+
+namespace autopn::opt {
+namespace {
+
+TEST(HeteroConfigTest, CoresUsedAndToString) {
+  HeteroConfig cfg;
+  cfg.per_type = {Config{4, 2}, Config{3, 1}};
+  EXPECT_EQ(cfg.cores_used(), 11);
+  EXPECT_EQ(cfg.to_string(), "[(4,2) (3,1)]");
+}
+
+TEST(HeteroSpaceTest, ValidityRules) {
+  HeteroSpace space{16, 2};
+  HeteroConfig ok;
+  ok.per_type = {Config{4, 2}, Config{4, 2}};  // 16 total
+  EXPECT_TRUE(space.valid(ok));
+  HeteroConfig over;
+  over.per_type = {Config{4, 3}, Config{4, 2}};  // 20 total
+  EXPECT_FALSE(space.valid(over));
+  HeteroConfig wrong_arity;
+  wrong_arity.per_type = {Config{1, 1}};
+  EXPECT_FALSE(space.valid(wrong_arity));
+  HeteroConfig degenerate;
+  degenerate.per_type = {Config{0, 1}, Config{1, 1}};
+  EXPECT_FALSE(space.valid(degenerate));
+}
+
+TEST(HeteroSpaceTest, SequentialStart) {
+  HeteroSpace space{8, 3};
+  const HeteroConfig seq = space.sequential();
+  EXPECT_EQ(seq.per_type.size(), 3u);
+  EXPECT_EQ(seq.cores_used(), 3);
+  EXPECT_TRUE(space.valid(seq));
+}
+
+TEST(HeteroSpaceTest, BudgetForFreezesOthers) {
+  HeteroSpace space{16, 2};
+  HeteroConfig cfg;
+  cfg.per_type = {Config{2, 3}, Config{1, 1}};  // type 0 uses 6
+  EXPECT_EQ(space.budget_for(cfg, 0), 15);      // 16 - 1
+  EXPECT_EQ(space.budget_for(cfg, 1), 10);      // 16 - 6
+}
+
+TEST(HeteroSpaceTest, RejectsImpossibleShapes) {
+  EXPECT_THROW((HeteroSpace{4, 0}), std::invalid_argument);
+  EXPECT_THROW((HeteroSpace{2, 3}), std::invalid_argument);
+}
+
+/// Separable two-type objective with different optima per type.
+double separable(const HeteroConfig& cfg) {
+  const Config& a = cfg.per_type[0];
+  const Config& b = cfg.per_type[1];
+  // Type 0 wants (8, 1); type 1 wants (1, 4).
+  const double fa = 100.0 * std::exp(-std::pow((a.t - 8) / 3.0, 2) -
+                                     std::pow((a.c - 1) / 1.5, 2));
+  const double fb = 100.0 * std::exp(-std::pow((b.t - 1) / 1.5, 2) -
+                                     std::pow((b.c - 4) / 2.0, 2));
+  return fa + fb;
+}
+
+TEST(HeteroTuner, ProposalsAlwaysValid) {
+  HeteroSpace space{16, 2};
+  HeteroCoordinateTuner tuner{space, {}, 1};
+  int steps = 0;
+  while (auto proposal = tuner.propose()) {
+    EXPECT_TRUE(space.valid(*proposal)) << proposal->to_string();
+    tuner.observe(*proposal, separable(*proposal));
+    if (++steps > 500) FAIL() << "tuner did not converge";
+  }
+}
+
+TEST(HeteroTuner, FindsPerTypeOptimaOnSeparableObjective) {
+  HeteroSpace space{16, 2};
+  HeteroCoordinateTuner tuner{space, {}, 2};
+  while (auto proposal = tuner.propose()) {
+    tuner.observe(*proposal, separable(*proposal));
+  }
+  const HeteroConfig best = tuner.best();
+  EXPECT_NEAR(separable(best), 200.0, 10.0) << best.to_string();
+  EXPECT_EQ(best.per_type[0], (Config{8, 1}));
+  EXPECT_EQ(best.per_type[1], (Config{1, 4}));
+}
+
+TEST(HeteroTuner, BeatsSharedConfigOnAsymmetricObjective) {
+  HeteroSpace space{16, 2};
+  HeteroCoordinateTuner tuner{space, {}, 3};
+  while (auto proposal = tuner.propose()) {
+    tuner.observe(*proposal, separable(*proposal));
+  }
+  // Best shared configuration: evaluate every (t,c) used for both types.
+  double best_shared = 0.0;
+  ConfigSpace shared_space{8};  // 2 * t * c <= 16
+  for (const Config& cfg : shared_space.all()) {
+    HeteroConfig joint;
+    joint.per_type = {cfg, cfg};
+    best_shared = std::max(best_shared, separable(joint));
+  }
+  EXPECT_GT(tuner.best_kpi(), best_shared * 1.2);
+}
+
+TEST(HeteroTuner, StopsWhenSweepChangesNothing) {
+  // Constant objective: the first sweep picks something, the second sweep
+  // changes nothing, so rounds_completed stays small.
+  HeteroSpace space{8, 2};
+  HeteroTunerParams params;
+  params.max_rounds = 5;
+  HeteroCoordinateTuner tuner{space, params, 4};
+  while (auto proposal = tuner.propose()) {
+    tuner.observe(*proposal, 42.0);
+  }
+  EXPECT_LE(tuner.rounds_completed(), 2u);
+}
+
+TEST(HeteroTuner, RespectsMaxRounds) {
+  HeteroSpace space{16, 2};
+  HeteroTunerParams params;
+  params.max_rounds = 1;
+  HeteroCoordinateTuner tuner{space, params, 5};
+  int steps = 0;
+  while (auto proposal = tuner.propose()) {
+    // Ever-improving noisy objective would keep changing choices; max_rounds
+    // must still terminate the process.
+    tuner.observe(*proposal, static_cast<double>(++steps));
+  }
+  EXPECT_EQ(tuner.rounds_completed(), 1u);
+}
+
+TEST(HeteroTuner, ThreeTypes) {
+  HeteroSpace space{24, 3};
+  HeteroCoordinateTuner tuner{space, {}, 6};
+  auto objective = [](const HeteroConfig& cfg) {
+    double total = 0.0;
+    for (const Config& c : cfg.per_type) {
+      total += 10.0 * c.t / (1.0 + 0.2 * c.t) + 2.0 * c.c;
+    }
+    return total;
+  };
+  while (auto proposal = tuner.propose()) {
+    tuner.observe(*proposal, objective(*proposal));
+  }
+  EXPECT_TRUE(space.valid(tuner.best()));
+  EXPECT_GT(tuner.best_kpi(), objective(space.sequential()));
+}
+
+}  // namespace
+}  // namespace autopn::opt

@@ -1,0 +1,82 @@
+// Tests for the convergence runner and the optimizers' common protocol.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "opt/autopn_optimizer.hpp"
+#include "opt/baselines.hpp"
+#include "opt/runner.hpp"
+
+namespace autopn::opt {
+namespace {
+
+TEST(Runner, MaxStepsBoundsRunawayOptimizers) {
+  // Random search on a surface that keeps improving would explore the whole
+  // space; max_steps cuts it off.
+  ConfigSpace space{48};
+  RandomSearch rs{space, 1, /*no_improve_window=*/1000, /*no_improve_eps=*/0.0};
+  int calls = 0;
+  const auto result = run_to_convergence(
+      rs, [&](const Config&) { return static_cast<double>(++calls); }, 10);
+  EXPECT_EQ(result.explorations(), 10u);
+}
+
+TEST(Runner, TraceTracksBestSoFar) {
+  ConfigSpace space{8};
+  GridSearch gs{space, /*window=*/100, /*eps=*/0.0};
+  const auto result = run_to_convergence(
+      gs, [](const Config& cfg) { return static_cast<double>(cfg.t * 10 - cfg.c); },
+      20);
+  double best = -1e18;
+  for (const auto& step : result.steps) {
+    best = std::max(best, step.kpi);
+    EXPECT_DOUBLE_EQ(step.best_kpi, best);
+  }
+  EXPECT_DOUBLE_EQ(result.final_best_kpi, best);
+}
+
+TEST(Runner, FinalBestMatchesOptimizerBest) {
+  ConfigSpace space{16};
+  AutoPnOptimizer autopn{space, {}, 3};
+  const auto result = run_to_convergence(
+      autopn, [](const Config& cfg) { return 100.0 / (1.0 + std::abs(cfg.t - 4)); });
+  EXPECT_EQ(result.final_best, autopn.best());
+}
+
+TEST(Runner, ZeroStepsWhenOptimizerStartsConverged) {
+  // An optimizer that immediately returns nullopt produces an empty trace.
+  ConfigSpace space{4};
+  class Done final : public Optimizer {
+   public:
+    std::optional<Config> propose() override { return std::nullopt; }
+    void observe(const Config&, double) override {}
+    Config best() const override { return Config{1, 1}; }
+    std::string name() const override { return "done"; }
+  } done;
+  const auto result = run_to_convergence(done, [](const Config&) { return 1.0; });
+  EXPECT_EQ(result.explorations(), 0u);
+  EXPECT_EQ(result.final_best, (Config{1, 1}));
+}
+
+TEST(OptimizerNames, AreStable) {
+  ConfigSpace space{8};
+  EXPECT_EQ(RandomSearch(space, 1).name(), "random");
+  EXPECT_EQ(GridSearch(space).name(), "grid");
+  EXPECT_EQ(HillClimbing(space, 1).name(), "hill-climbing");
+  EXPECT_EQ(SimulatedAnnealing(space, 1).name(), "simulated-annealing");
+  EXPECT_EQ(GeneticAlgorithm(space, 1).name(), "genetic");
+  EXPECT_EQ(AutoPnOptimizer(space, {}, 1).name(), "autopn");
+}
+
+TEST(Runner, NegativeKpisHandled) {
+  // Minimization problems are often encoded as negated KPIs; the bookkeeping
+  // must not assume positivity.
+  ConfigSpace space{8};
+  GridSearch gs{space, 3, 0.10};
+  const auto result = run_to_convergence(
+      gs, [](const Config& cfg) { return -static_cast<double>(cfg.t + cfg.c); }, 50);
+  EXPECT_LT(result.final_best_kpi, 0.0);
+}
+
+}  // namespace
+}  // namespace autopn::opt

@@ -1,0 +1,259 @@
+// Tests for EI, the SMBO engine, stop criteria, and the AutoPN optimizer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "opt/autopn_optimizer.hpp"
+#include "opt/ei.hpp"
+#include "opt/runner.hpp"
+#include "opt/smbo.hpp"
+#include "sim/surface.hpp"
+#include "sim/workload.hpp"
+
+namespace autopn::opt {
+namespace {
+
+TEST(NormalDistribution, PdfCdfKnownValues) {
+  EXPECT_NEAR(norm_pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(norm_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(norm_cdf(1.6448536), 0.95, 1e-6);
+  EXPECT_NEAR(norm_cdf(-1.6448536), 0.05, 1e-6);
+}
+
+TEST(ExpectedImprovement, ZeroSigmaDegenerates) {
+  EXPECT_DOUBLE_EQ(expected_improvement(10.0, 0.0, 8.0), 2.0);
+  EXPECT_DOUBLE_EQ(expected_improvement(7.0, 0.0, 8.0), 0.0);
+}
+
+TEST(ExpectedImprovement, MatchesNumericIntegration) {
+  // EI = integral over the Gaussian of max(x - fmax, 0).
+  const double mu = 5.0;
+  const double sigma = 2.0;
+  const double fmax = 6.0;
+  double numeric = 0.0;
+  const int steps = 200000;
+  const double lo = mu - 10 * sigma;
+  const double hi = mu + 10 * sigma;
+  const double dx = (hi - lo) / steps;
+  for (int i = 0; i < steps; ++i) {
+    const double x = lo + (i + 0.5) * dx;
+    const double density = norm_pdf((x - mu) / sigma) / sigma;
+    numeric += std::max(x - fmax, 0.0) * density * dx;
+  }
+  EXPECT_NEAR(expected_improvement(mu, sigma, fmax), numeric, 1e-4);
+}
+
+TEST(ExpectedImprovement, MonotoneInMeanAndUncertainty) {
+  // Higher mean -> higher EI; higher sigma (below incumbent) -> higher EI.
+  EXPECT_GT(expected_improvement(9.0, 1.0, 8.0), expected_improvement(7.0, 1.0, 8.0));
+  EXPECT_GT(expected_improvement(5.0, 3.0, 8.0), expected_improvement(5.0, 1.0, 8.0));
+  EXPECT_GT(expected_improvement(5.0, 1.0, 8.0), 0.0);  // always positive w/ sigma
+}
+
+TEST(ProbabilityOfImprovement, Basics) {
+  EXPECT_DOUBLE_EQ(probability_of_improvement(10.0, 0.0, 8.0), 1.0);
+  EXPECT_DOUBLE_EQ(probability_of_improvement(7.0, 0.0, 8.0), 0.0);
+  EXPECT_NEAR(probability_of_improvement(8.0, 1.0, 8.0), 0.5, 1e-12);
+}
+
+TEST(StopCriteria, EiThreshold) {
+  EiThresholdStop stop{0.10};
+  EXPECT_FALSE(stop.should_stop(0.5, 0, 0));
+  EXPECT_TRUE(stop.should_stop(0.05, 0, 0));
+}
+
+TEST(StopCriteria, NoImprove) {
+  NoImproveStop stop{2, 0.10};
+  EXPECT_FALSE(stop.should_stop(0, 100.0, 100.0));  // first
+  EXPECT_FALSE(stop.should_stop(0, 101.0, 101.0));  // stale x1
+  EXPECT_TRUE(stop.should_stop(0, 102.0, 102.0));   // stale x2
+}
+
+TEST(StopCriteria, Hybrids) {
+  AnyStop any{std::make_unique<EiThresholdStop>(0.10),
+              std::make_unique<EiThresholdStop>(0.01)};
+  EXPECT_TRUE(any.should_stop(0.05, 0, 0));   // first fires
+  AllStop all{std::make_unique<EiThresholdStop>(0.10),
+              std::make_unique<EiThresholdStop>(0.01)};
+  EXPECT_FALSE(all.should_stop(0.05, 0, 0));  // second does not
+  EXPECT_TRUE(all.should_stop(0.005, 0, 0));
+}
+
+TEST(StopCriteria, StubbornOnlyAtOptimum) {
+  StubbornStop stop{1000.0};
+  EXPECT_FALSE(stop.should_stop(0.0, 999.0, 999.0));
+  EXPECT_TRUE(stop.should_stop(1.0, 0.0, 1000.0));
+}
+
+/// The tpcc-med surface model as a deterministic evaluator.
+struct TpccMedFixture {
+  ConfigSpace space{48};
+  sim::SurfaceModel model{sim::workload_by_name("tpcc-med"), 48};
+  Evaluator eval = [this](const Config& cfg) { return model.mean_throughput(cfg); };
+  sim::SurfaceModel::Optimum opt = model.optimum(space);
+};
+
+TEST(Smbo, ExploresInitialSamplesFirst) {
+  TpccMedFixture fx;
+  const auto initial = fx.space.biased_sample(9);
+  Smbo smbo{fx.space, initial, std::make_unique<EiThresholdStop>(0.10), {}, 1};
+  for (std::size_t i = 0; i < initial.size(); ++i) {
+    const auto p = smbo.propose();
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(*p, initial[i]);
+    smbo.observe(*p, fx.eval(*p));
+  }
+  EXPECT_EQ(smbo.model_updates(), 0u);  // no model needed yet
+}
+
+TEST(Smbo, ConvergesNearOptimumOnTpccMed) {
+  TpccMedFixture fx;
+  Smbo smbo{fx.space, fx.space.biased_sample(9),
+            std::make_unique<EiThresholdStop>(0.10), {}, 2};
+  const auto result = run_to_convergence(smbo, fx.eval);
+  const double dfo = (fx.opt.throughput - result.final_best_kpi) / fx.opt.throughput;
+  EXPECT_LT(dfo, 0.15);
+  // Far fewer explorations than the 198-point space.
+  EXPECT_LT(result.explorations(), 60u);
+}
+
+TEST(Smbo, NeverProposesExploredConfig) {
+  TpccMedFixture fx;
+  Smbo smbo{fx.space, fx.space.biased_sample(9),
+            std::make_unique<EiThresholdStop>(0.01), {}, 3};
+  std::set<std::pair<int, int>> seen;
+  const auto result = run_to_convergence(smbo, fx.eval);
+  for (const auto& step : result.steps) {
+    EXPECT_TRUE(seen.emplace(step.config.t, step.config.c).second);
+  }
+}
+
+TEST(Smbo, TighterThresholdExploresMore) {
+  TpccMedFixture fx;
+  Smbo loose{fx.space, fx.space.biased_sample(9),
+             std::make_unique<EiThresholdStop>(0.10), {}, 4};
+  Smbo tight{fx.space, fx.space.biased_sample(9),
+             std::make_unique<EiThresholdStop>(0.01), {}, 4};
+  const auto r_loose = run_to_convergence(loose, fx.eval);
+  const auto r_tight = run_to_convergence(tight, fx.eval);
+  EXPECT_GE(r_tight.explorations(), r_loose.explorations());
+}
+
+TEST(Smbo, StubbornExploresUntilOptimumFound) {
+  TpccMedFixture fx;
+  Smbo smbo{fx.space, fx.space.biased_sample(9),
+            std::make_unique<StubbornStop>(fx.opt.throughput), {}, 5};
+  const auto result = run_to_convergence(smbo, fx.eval, 250);
+  EXPECT_NEAR(result.final_best_kpi, fx.opt.throughput,
+              fx.opt.throughput * 1e-9);
+}
+
+TEST(Smbo, MaxIterationCap) {
+  TpccMedFixture fx;
+  SmboParams params;
+  params.max_iterations = 3;
+  Smbo smbo{fx.space, fx.space.biased_sample(3),
+            std::make_unique<StubbornStop>(1e18), params, 6};
+  const auto result = run_to_convergence(smbo, fx.eval);
+  EXPECT_EQ(result.explorations(), 3u + 3u);  // initial + capped iterations
+}
+
+TEST(Smbo, UcbAcquisitionConverges) {
+  TpccMedFixture fx;
+  SmboParams params;
+  params.acquisition = SmboParams::Acquisition::kUcb;
+  Smbo smbo{fx.space, fx.space.biased_sample(9),
+            std::make_unique<EiThresholdStop>(0.10), params, 11};
+  const auto result = run_to_convergence(smbo, fx.eval);
+  const double dfo = (fx.opt.throughput - result.final_best_kpi) / fx.opt.throughput;
+  EXPECT_LT(dfo, 0.20);
+}
+
+TEST(Smbo, KnnSurrogateConverges) {
+  TpccMedFixture fx;
+  SmboParams params;
+  params.surrogate = SmboParams::Surrogate::kKnn;
+  Smbo smbo{fx.space, fx.space.biased_sample(9),
+            std::make_unique<EiThresholdStop>(0.10), params, 12};
+  const auto result = run_to_convergence(smbo, fx.eval);
+  const double dfo = (fx.opt.throughput - result.final_best_kpi) / fx.opt.throughput;
+  EXPECT_LT(dfo, 0.30);
+  EXPECT_LT(result.explorations(), 198u);
+}
+
+TEST(Smbo, UcbBetaZeroIsPureExploitation) {
+  // beta = 0 makes UCB = mu: the stop statistic is the predicted headroom,
+  // which collapses quickly; the run must still terminate near a good point.
+  TpccMedFixture fx;
+  SmboParams params;
+  params.acquisition = SmboParams::Acquisition::kUcb;
+  params.ucb_beta = 0.0;
+  Smbo smbo{fx.space, fx.space.biased_sample(9),
+            std::make_unique<EiThresholdStop>(0.10), params, 13};
+  const auto result = run_to_convergence(smbo, fx.eval);
+  EXPECT_GT(result.final_best_kpi, 0.0);
+  EXPECT_LT(result.explorations(), 100u);
+}
+
+TEST(AutoPn, ConvergesWithinOnePercentOnTpccMed) {
+  // The paper's headline accuracy: ~1% average DFO. On the deterministic
+  // tpcc-med surface AutoPN (SMBO + hill climbing) should essentially nail
+  // the optimum.
+  TpccMedFixture fx;
+  AutoPnParams params;
+  AutoPnOptimizer autopn{fx.space, params, 7};
+  const auto result = run_to_convergence(autopn, fx.eval);
+  const double dfo = (fx.opt.throughput - result.final_best_kpi) / fx.opt.throughput;
+  EXPECT_LT(dfo, 0.01);
+  EXPECT_LT(result.explorations(), 80u);
+}
+
+TEST(AutoPn, RefinementImprovesOrMatchesSmboOnly) {
+  TpccMedFixture fx;
+  AutoPnParams with;
+  AutoPnParams without;
+  without.hill_climb_refinement = false;
+  double dfo_with = 0.0;
+  double dfo_without = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    AutoPnOptimizer a{fx.space, with, seed};
+    AutoPnOptimizer b{fx.space, without, seed};
+    dfo_with += fx.opt.throughput - run_to_convergence(a, fx.eval).final_best_kpi;
+    dfo_without += fx.opt.throughput - run_to_convergence(b, fx.eval).final_best_kpi;
+  }
+  EXPECT_LE(dfo_with, dfo_without + 1e-9);
+}
+
+TEST(AutoPn, PhaseProgression) {
+  TpccMedFixture fx;
+  AutoPnOptimizer autopn{fx.space, {}, 8};
+  EXPECT_EQ(autopn.phase(), 1);
+  (void)run_to_convergence(autopn, fx.eval);
+  EXPECT_EQ(autopn.phase(), 3);
+  EXPECT_GE(autopn.smbo_explorations(), 9u);
+}
+
+TEST(AutoPn, WorksOnNoisySamples) {
+  TpccMedFixture fx;
+  util::Rng rng{99};
+  AutoPnOptimizer autopn{fx.space, {}, 9};
+  const auto result = run_to_convergence(autopn, [&](const Config& cfg) {
+    return fx.model.sample(cfg, /*window_seconds=*/1.0, rng);
+  });
+  const double dfo =
+      fx.model.distance_from_optimum(fx.space, result.final_best);
+  EXPECT_LT(dfo, 0.15);
+}
+
+TEST(AutoPn, SmallInitialSampleStillRuns) {
+  TpccMedFixture fx;
+  AutoPnParams params;
+  params.initial_samples = 3;
+  AutoPnOptimizer autopn{fx.space, params, 10};
+  const auto result = run_to_convergence(autopn, fx.eval);
+  EXPECT_GE(result.explorations(), 3u);
+  EXPECT_GT(result.final_best_kpi, 0.0);
+}
+
+}  // namespace
+}  // namespace autopn::opt

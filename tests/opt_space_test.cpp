@@ -1,0 +1,159 @@
+// Tests for the (t, c) configuration lattice and the biased sampling sets.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "opt/config_space.hpp"
+
+namespace autopn::opt {
+namespace {
+
+TEST(ConfigSpace, Paper48CoreSpaceHas198Configs) {
+  // The paper reports exactly 198 configurations for the 48-core machine.
+  ConfigSpace space{48};
+  EXPECT_EQ(space.size(), 198u);
+}
+
+TEST(ConfigSpace, SmallSpacesEnumerated) {
+  // n=4: (1,1..4),(2,1..2),(3,1),(4,1) = 8 configs.
+  ConfigSpace space{4};
+  EXPECT_EQ(space.size(), 8u);
+}
+
+TEST(ConfigSpace, SingleCore) {
+  ConfigSpace space{1};
+  ASSERT_EQ(space.size(), 1u);
+  EXPECT_EQ(space.at(0), (Config{1, 1}));
+}
+
+TEST(ConfigSpace, RejectsZeroCores) {
+  EXPECT_THROW(ConfigSpace{0}, std::invalid_argument);
+}
+
+TEST(ConfigSpace, ValidityMatchesDefinition) {
+  ConfigSpace space{48};
+  EXPECT_TRUE(space.valid(Config{48, 1}));
+  EXPECT_TRUE(space.valid(Config{24, 2}));
+  EXPECT_TRUE(space.valid(Config{6, 8}));
+  EXPECT_FALSE(space.valid(Config{25, 2}));
+  EXPECT_FALSE(space.valid(Config{0, 1}));
+  EXPECT_FALSE(space.valid(Config{1, 0}));
+  EXPECT_FALSE(space.valid(Config{49, 1}));
+}
+
+TEST(ConfigSpace, AllEntriesValidAndUnique) {
+  ConfigSpace space{48};
+  std::set<std::pair<int, int>> seen;
+  for (const Config& cfg : space.all()) {
+    EXPECT_TRUE(space.valid(cfg));
+    EXPECT_TRUE(seen.emplace(cfg.t, cfg.c).second);
+  }
+}
+
+TEST(ConfigSpace, IndexOfRoundTrips) {
+  ConfigSpace space{48};
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto idx = space.index_of(space.at(i));
+    ASSERT_TRUE(idx.has_value());
+    EXPECT_EQ(*idx, i);
+  }
+  EXPECT_FALSE(space.index_of(Config{30, 2}).has_value());
+}
+
+TEST(ConfigSpace, NeighborsInteriorHas8) {
+  ConfigSpace space{48};
+  const auto n = space.neighbors(Config{4, 4});
+  EXPECT_EQ(n.size(), 8u);
+  for (const Config& cfg : n) {
+    EXPECT_TRUE(space.valid(cfg));
+    EXPECT_LE(std::abs(cfg.t - 4), 1);
+    EXPECT_LE(std::abs(cfg.c - 4), 1);
+    EXPECT_FALSE((cfg == Config{4, 4}));
+  }
+}
+
+TEST(ConfigSpace, NeighborsCornerClipped) {
+  ConfigSpace space{48};
+  const auto n = space.neighbors(Config{1, 1});
+  EXPECT_EQ(n.size(), 3u);  // (1,2),(2,1),(2,2)
+}
+
+TEST(ConfigSpace, NeighborsBoundaryRespectsBudget) {
+  ConfigSpace space{48};
+  for (const Config& cfg : space.neighbors(Config{24, 2})) {
+    EXPECT_TRUE(space.valid(cfg));
+  }
+  // Only (23,1), (24,1), (25,1) and (23,2) fit the t*c <= 48 budget.
+  EXPECT_EQ(space.neighbors(Config{24, 2}).size(), 4u);
+}
+
+TEST(ConfigSpace, BiasedSampleSizes) {
+  ConfigSpace space{48};
+  EXPECT_EQ(space.biased_sample(3).size(), 3u);
+  EXPECT_EQ(space.biased_sample(5).size(), 5u);
+  EXPECT_EQ(space.biased_sample(7).size(), 7u);
+  EXPECT_EQ(space.biased_sample(9).size(), 9u);
+}
+
+TEST(ConfigSpace, BiasedSamplePivots) {
+  ConfigSpace space{48};
+  const auto pivots = space.biased_sample(3);
+  EXPECT_EQ(pivots[0], (Config{1, 1}));
+  EXPECT_EQ(pivots[1], (Config{48, 1}));
+  EXPECT_EQ(pivots[2], (Config{1, 48}));
+}
+
+TEST(ConfigSpace, BiasedSampleFootnoteSubsets) {
+  // The paper's footnote: 5 adds (n-1,1),(1,n-1); 7 adds (2,1),(1,2).
+  ConfigSpace space{48};
+  const auto five = space.biased_sample(5);
+  EXPECT_EQ(five[3], (Config{47, 1}));
+  EXPECT_EQ(five[4], (Config{1, 47}));
+  const auto seven = space.biased_sample(7);
+  EXPECT_EQ(seven[5], (Config{2, 1}));
+  EXPECT_EQ(seven[6], (Config{1, 2}));
+}
+
+TEST(ConfigSpace, BiasedSampleNinePointsOnBoundary) {
+  ConfigSpace space{48};
+  for (const Config& cfg : space.biased_sample(9)) {
+    EXPECT_TRUE(space.valid(cfg));
+    // Every biased point lies on a boundary of S: an axis or the hyperbola.
+    const bool on_axis = cfg.t == 1 || cfg.c == 1;
+    const bool near_hyperbola = cfg.t * cfg.c >= 47;
+    EXPECT_TRUE(on_axis || near_hyperbola) << cfg.to_string();
+  }
+}
+
+TEST(ConfigSpace, BiasedSampleDedupsOnTinySpaces) {
+  ConfigSpace space{2};  // (1,1),(1,2),(2,1)
+  const auto pts = space.biased_sample(9);
+  std::set<std::pair<int, int>> seen;
+  for (const Config& cfg : pts) {
+    EXPECT_TRUE(space.valid(cfg));
+    EXPECT_TRUE(seen.emplace(cfg.t, cfg.c).second) << "duplicate " << cfg.to_string();
+  }
+}
+
+TEST(Config, ToStringAndEquality) {
+  EXPECT_EQ((Config{20, 2}).to_string(), "(20,2)");
+  EXPECT_EQ((Config{1, 1}), (Config{1, 1}));
+  EXPECT_NE((Config{1, 2}), (Config{2, 1}));
+  EXPECT_NE(ConfigHash{}(Config{1, 2}), ConfigHash{}(Config{2, 1}));
+}
+
+// Property: |S| equals sum over t of floor(n/t).
+class SpaceSize : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpaceSize, MatchesClosedForm) {
+  const int n = GetParam();
+  ConfigSpace space{n};
+  std::size_t expected = 0;
+  for (int t = 1; t <= n; ++t) expected += static_cast<std::size_t>(n / t);
+  EXPECT_EQ(space.size(), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SpaceSize, ::testing::Values(1, 2, 3, 8, 16, 48, 64));
+
+}  // namespace
+}  // namespace autopn::opt

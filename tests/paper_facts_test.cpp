@@ -1,0 +1,134 @@
+// Regression tests locking in the calibration facts the reproduction rests
+// on (paper §VII-A / Fig 1). If a change to the surface model or workload
+// presets drifts these, the figure benches silently stop matching the paper
+// — these tests make that drift loud.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "opt/config_space.hpp"
+#include "sim/surface.hpp"
+#include "sim/workload.hpp"
+#include "util/stats.hpp"
+
+namespace autopn {
+namespace {
+
+struct Fixture {
+  opt::ConfigSpace space{48};
+  std::vector<sim::SurfaceModel> models;
+  std::vector<sim::SurfaceModel::Optimum> optima;
+
+  Fixture() {
+    for (const auto& params : sim::paper_workloads()) {
+      models.emplace_back(params, 48);
+    }
+    for (const auto& model : models) optima.push_back(model.optimum(space));
+  }
+
+  [[nodiscard]] opt::Config best_static() const {
+    opt::Config best{1, 1};
+    double best_avg = 1e18;
+    for (const opt::Config& cfg : space.all()) {
+      double total = 0.0;
+      for (std::size_t w = 0; w < models.size(); ++w) {
+        total += (optima[w].throughput - models[w].mean_throughput(cfg)) /
+                 optima[w].throughput;
+      }
+      if (total < best_avg) {
+        best_avg = total;
+        best = cfg;
+      }
+    }
+    return best;
+  }
+};
+
+TEST(PaperFacts, SearchSpaceHas198Configurations) {
+  EXPECT_EQ(opt::ConfigSpace{48}.size(), 198u);
+}
+
+TEST(PaperFacts, BestStaticConfigurationIs24x2) {
+  Fixture fx;
+  EXPECT_EQ(fx.best_static(), (opt::Config{24, 2}));
+}
+
+TEST(PaperFacts, BestStaticDfoStatisticsMatchPaperBand) {
+  // Paper: avg 21.8%, p90 slowdown 2.56x, worst 3.22x on Array-high.
+  Fixture fx;
+  const opt::Config static_best = fx.best_static();
+  std::vector<double> dfos;
+  std::vector<double> slowdowns;
+  std::size_t worst_index = 0;
+  double worst = 0.0;
+  for (std::size_t w = 0; w < fx.models.size(); ++w) {
+    const double thr = fx.models[w].mean_throughput(static_best);
+    dfos.push_back((fx.optima[w].throughput - thr) / fx.optima[w].throughput);
+    const double slowdown = fx.optima[w].throughput / thr;
+    slowdowns.push_back(slowdown);
+    if (slowdown > worst) {
+      worst = slowdown;
+      worst_index = w;
+    }
+  }
+  EXPECT_GT(util::mean_of(dfos), 0.15);
+  EXPECT_LT(util::mean_of(dfos), 0.32);
+  EXPECT_GT(util::percentile(slowdowns, 0.90), 2.0);
+  EXPECT_LT(util::percentile(slowdowns, 0.90), 3.4);
+  EXPECT_GT(worst, 2.8);
+  EXPECT_LT(worst, 4.2);
+  // The worst case is the high-contention Array workload, as in the paper.
+  EXPECT_EQ(fx.models[worst_index].params().name, "array-90");
+}
+
+TEST(PaperFacts, TpccMedPeaksAt20x2Around9x) {
+  Fixture fx;
+  const auto& tpcc = fx.models[1];  // tpcc-med
+  ASSERT_EQ(tpcc.params().name, "tpcc-med");
+  const auto optimum = tpcc.optimum(fx.space);
+  EXPECT_EQ(optimum.config, (opt::Config{20, 2}));
+  const double ratio =
+      optimum.throughput / tpcc.mean_throughput(opt::Config{1, 1});
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+TEST(PaperFacts, Fig1bCrossPessimum) {
+  Fixture fx;
+  const auto& scan = fx.models[6];       // array-0
+  const auto& contended = fx.models[9];  // array-90
+  ASSERT_EQ(scan.params().name, "array-0");
+  ASSERT_EQ(contended.params().name, "array-90");
+  // Each workload's optimum is far from optimal on the other.
+  EXPECT_GT(contended.distance_from_optimum(fx.space, scan.optimum(fx.space).config),
+            0.5);
+  EXPECT_GT(scan.distance_from_optimum(fx.space, contended.optimum(fx.space).config),
+            0.5);
+}
+
+TEST(PaperFacts, EveryWorkloadScalesPastSequential) {
+  // Obs. of §VI: "PN-TM workloads are expected to scale, so the throughput in
+  // the (1,1) configuration is typically much lower than in the optimal one".
+  Fixture fx;
+  for (std::size_t w = 0; w < fx.models.size(); ++w) {
+    const double seq = fx.models[w].mean_throughput(opt::Config{1, 1});
+    EXPECT_GT(fx.optima[w].throughput, 2.0 * seq)
+        << fx.models[w].params().name;
+  }
+}
+
+TEST(PaperFacts, TpccMedMostConfigsAtLeast2xBelowOptimum) {
+  // Fig 1a: the best configuration is 2-3x better than most others.
+  Fixture fx;
+  const auto& tpcc = fx.models[1];
+  const auto optimum = tpcc.optimum(fx.space);
+  std::size_t below_2x = 0;
+  for (const opt::Config& cfg : fx.space.all()) {
+    if (optimum.throughput / tpcc.mean_throughput(cfg) >= 2.0) ++below_2x;
+  }
+  EXPECT_GT(below_2x, fx.space.size() / 2);
+}
+
+}  // namespace
+}  // namespace autopn

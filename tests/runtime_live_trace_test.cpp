@@ -1,0 +1,90 @@
+// Tests for the live-surface recorder (runtime <-> sim bridge).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/live_trace.hpp"
+#include "workloads/array_bench.hpp"
+
+namespace autopn::runtime {
+namespace {
+
+TEST(LiveTrace, RecordsEveryConfiguration) {
+  stm::StmConfig cfg;
+  cfg.max_cores = 3;
+  cfg.pool_threads = 2;
+  cfg.initial_top = 1;
+  cfg.initial_children = 1;
+  stm::Stm stm{cfg};
+
+  workloads::ArrayConfig acfg;
+  acfg.array_size = 64;
+  acfg.update_fraction = 0.1;
+  workloads::ArrayBenchmark bench{stm, acfg};
+
+  std::atomic<bool> stop{false};
+  std::vector<std::jthread> drivers;
+  for (int d = 0; d < 2; ++d) {
+    drivers.emplace_back([&, d] {
+      util::Rng rng{static_cast<std::uint64_t>(5 + d)};
+      while (!stop.load(std::memory_order_relaxed)) bench.run_one(rng);
+    });
+  }
+
+  const opt::ConfigSpace space{3};  // (1,1),(1,2),(1,3),(2,1),(3,1) = 5 configs
+  util::WallClock clock;
+  LiveTraceParams params;
+  params.runs = 2;
+  params.window_seconds = 0.03;
+  params.settle_seconds = 0.005;
+  const sim::SurfaceTrace trace =
+      record_live_surface(stm, space, "test-array", clock, params);
+  stop.store(true);
+  drivers.clear();
+
+  EXPECT_EQ(trace.size(), space.size());
+  EXPECT_EQ(trace.workload(), "test-array");
+  EXPECT_EQ(trace.cores(), 3);
+  for (const opt::Config& c : space.all()) {
+    EXPECT_TRUE(trace.contains(c));
+    EXPECT_GT(trace.mean(c), 0.0) << c.to_string();
+  }
+  // A live-measured optimum exists and is a valid configuration.
+  EXPECT_TRUE(space.valid(trace.optimum().config));
+}
+
+TEST(LiveTrace, RestoresNothingButLeavesLastConfigApplied) {
+  // The recorder sweeps configurations; afterwards the last applied one is
+  // in force (callers re-apply their choice via the actuator).
+  stm::StmConfig cfg;
+  cfg.max_cores = 2;
+  cfg.pool_threads = 1;
+  stm::Stm stm{cfg};
+
+  workloads::ArrayConfig acfg;
+  acfg.array_size = 16;
+  workloads::ArrayBenchmark bench{stm, acfg};
+  std::atomic<bool> stop{false};
+  std::jthread driver{[&] {
+    util::Rng rng{9};
+    while (!stop.load(std::memory_order_relaxed)) bench.run_one(rng);
+  }};
+
+  const opt::ConfigSpace space{2};  // (1,1),(1,2),(2,1)
+  util::WallClock clock;
+  LiveTraceParams params;
+  params.runs = 1;
+  params.window_seconds = 0.02;
+  params.settle_seconds = 0.002;
+  (void)record_live_surface(stm, space, "x", clock, params);
+  stop.store(true);
+  driver.join();
+
+  const opt::Config last = space.at(space.size() - 1);
+  EXPECT_EQ(static_cast<int>(stm.top_limit()), last.t);
+  EXPECT_EQ(static_cast<int>(stm.child_limit()), last.c);
+}
+
+}  // namespace
+}  // namespace autopn::runtime

@@ -1,0 +1,227 @@
+// Tests for the KPI monitoring policies (paper §VI) driven in virtual time.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "runtime/cusum.hpp"
+#include "runtime/monitor.hpp"
+#include "sim/event_sim.hpp"
+#include "sim/workload.hpp"
+
+namespace autopn::runtime {
+namespace {
+
+/// Commit source ticking at a perfectly regular rate.
+std::function<double()> regular_stream(double rate, double start = 0.0) {
+  auto t = std::make_shared<double>(start);
+  return [t, rate] {
+    *t += 1.0 / rate;
+    return *t;
+  };
+}
+
+TEST(FixedTime, CompletesAtWindowEnd) {
+  FixedTimePolicy policy{1.0};
+  const auto m = run_window_on_stream(policy, regular_stream(100.0), 0.0);
+  EXPECT_NEAR(m.elapsed, 1.0, 0.02);
+  EXPECT_NEAR(m.throughput, 100.0, 2.0);
+  EXPECT_GE(m.commits, 99u);
+}
+
+TEST(FixedTime, LowRateWindowHasFewCommits) {
+  FixedTimePolicy policy{0.5};
+  const auto m = run_window_on_stream(policy, regular_stream(2.0), 0.0);
+  EXPECT_LE(m.commits, 1u);  // 2/s for 0.5s
+}
+
+TEST(FixedCommits, WaitsForExactCount) {
+  FixedCommitsPolicy policy{30};
+  const auto m = run_window_on_stream(policy, regular_stream(10.0), 0.0);
+  EXPECT_EQ(m.commits, 30u);
+  EXPECT_NEAR(m.elapsed, 3.0, 0.01);
+  EXPECT_FALSE(m.timed_out);
+}
+
+TEST(FixedCommits, NoTimeoutEvenWhenSlow) {
+  // The vulnerability the paper calls out: a "bad" configuration committing
+  // at a crawl keeps the monitor stuck for commits/rate seconds.
+  FixedCommitsPolicy policy{30};
+  const auto m = run_window_on_stream(policy, regular_stream(0.1), 0.0);
+  EXPECT_NEAR(m.elapsed, 300.0, 1.0);  // 30 commits at 0.1/s
+}
+
+TEST(CvAdaptive, StabilizesOnSteadyStream) {
+  const sim::SurfaceModel model{sim::workload_by_name("vacation-med"), 48};
+  sim::CommitStream stream{model, opt::Config{8, 2}, 21};
+  CvAdaptivePolicy policy{0.10, 5};
+  const auto m =
+      run_window_on_stream(policy, [&] { return stream.next_commit(); }, 0.0);
+  EXPECT_FALSE(m.timed_out);
+  EXPECT_GE(m.commits, 5u);
+  const double truth = model.mean_throughput(opt::Config{8, 2});
+  EXPECT_NEAR(m.throughput, truth, truth * 0.5);
+}
+
+TEST(CvAdaptive, TighterThresholdNeedsMoreCommits) {
+  const sim::SurfaceModel model{sim::workload_by_name("tpcc-med"), 48};
+  std::size_t commits_loose = 0;
+  std::size_t commits_tight = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    sim::CommitStream s1{model, opt::Config{8, 2}, seed};
+    sim::CommitStream s2{model, opt::Config{8, 2}, seed};
+    CvAdaptivePolicy loose{0.20, 5};
+    CvAdaptivePolicy tight{0.02, 5};
+    commits_loose +=
+        run_window_on_stream(loose, [&] { return s1.next_commit(); }, 0.0).commits;
+    commits_tight +=
+        run_window_on_stream(tight, [&] { return s2.next_commit(); }, 0.0).commits;
+  }
+  EXPECT_LT(commits_loose, commits_tight);
+}
+
+TEST(CvAdaptive, TimesOutOnStarvingConfiguration) {
+  // Reference throughput 100/s with the default 3x scale => timeout after
+  // 30ms without a commit. The stream commits every 10s: the window must cut
+  // at the timeout, not wait.
+  CvAdaptivePolicy policy{0.10, 5};
+  policy.set_reference_throughput(100.0);
+  const auto m = run_window_on_stream(policy, regular_stream(0.1), 0.0);
+  EXPECT_TRUE(m.timed_out);
+  EXPECT_NEAR(m.elapsed, 0.03, 1e-9);
+  EXPECT_EQ(m.commits, 0u);
+  EXPECT_DOUBLE_EQ(m.throughput, 0.0);
+}
+
+TEST(CvAdaptive, NoTimeoutWithoutReference) {
+  CvAdaptivePolicy policy{0.50, 3};
+  policy.begin_window(0.0);
+  EXPECT_FALSE(policy.deadline().has_value());
+}
+
+TEST(CvAdaptive, AdaptiveTimeoutTracksLastCommit) {
+  // Explicit scale 1.0 so the interval is exactly 1/T(1,1).
+  CvAdaptivePolicy policy{0.001, 1000, 1.0};  // effectively never CV-stable
+  policy.set_reference_throughput(10.0);  // timeout interval 0.1s
+  policy.begin_window(0.0);
+  EXPECT_NEAR(policy.deadline().value(), 0.1, 1e-12);
+  EXPECT_FALSE(policy.on_commit(0.05));
+  EXPECT_NEAR(policy.deadline().value(), 0.15, 1e-12);
+}
+
+TEST(Wpnoc, CompletesOnCommitCount) {
+  // Stream faster than the sequential reference (the scaling regime the
+  // paper's timeout is designed around): the count completes normally.
+  WpnocPolicy policy{10, /*adaptive_timeout=*/true};
+  policy.set_reference_throughput(100.0);
+  const auto m = run_window_on_stream(policy, regular_stream(200.0), 0.0);
+  EXPECT_EQ(m.commits, 10u);
+  EXPECT_FALSE(m.timed_out);
+}
+
+TEST(Wpnoc, StreamSlowerThanSequentialTimesOut) {
+  // A configuration slower than (1,1) is by definition low quality; the
+  // adaptive timeout cuts it rather than waiting for the full count.
+  WpnocPolicy policy{10, /*adaptive_timeout=*/true};
+  policy.set_reference_throughput(100.0);
+  const auto m = run_window_on_stream(policy, regular_stream(20.0), 0.0);
+  EXPECT_TRUE(m.timed_out);
+  EXPECT_LT(m.elapsed, 0.05);
+}
+
+TEST(Wpnoc, AdaptiveTimeoutCutsSlowStream) {
+  WpnocPolicy policy{30, /*adaptive_timeout=*/true};
+  policy.set_reference_throughput(100.0);  // 30ms timeout (3x scale)
+  const auto m = run_window_on_stream(policy, regular_stream(1.0), 0.0);
+  EXPECT_TRUE(m.timed_out);
+  EXPECT_LT(m.elapsed, 0.1);
+}
+
+TEST(Wpnoc, WithoutTimeoutWaitsForever) {
+  WpnocPolicy policy{5, /*adaptive_timeout=*/false};
+  policy.set_reference_throughput(100.0);  // ignored without the flag
+  const auto m = run_window_on_stream(policy, regular_stream(1.0), 0.0);
+  EXPECT_EQ(m.commits, 5u);
+  EXPECT_NEAR(m.elapsed, 5.0, 0.01);
+}
+
+TEST(MeasurementMath, ThroughputIsCommitsOverElapsed) {
+  FixedCommitsPolicy policy{20};
+  const auto m = run_window_on_stream(policy, regular_stream(40.0), 0.0);
+  EXPECT_NEAR(m.throughput, 40.0, 1e-6);
+}
+
+TEST(PolicyNames, AreDescriptive) {
+  EXPECT_EQ(FixedTimePolicy{0.5}.name(), "fixed-time(0.500s)");
+  EXPECT_EQ(FixedCommitsPolicy{30}.name(), "fixed-commits(30)");
+  EXPECT_EQ((CvAdaptivePolicy{0.10}).name(), "cv-adaptive(10%)");
+  EXPECT_EQ((WpnocPolicy{10, true}).name(), "wpnoc10+adaptTO");
+  EXPECT_EQ((WpnocPolicy{30, false}).name(), "wpnoc30");
+}
+
+// Property sweep: the CV-adaptive policy's measurement error shrinks as the
+// CV threshold tightens (accuracy/latency trade-off of §VI).
+class CvAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(CvAccuracy, ErrorBoundedByThreshold) {
+  const double threshold = GetParam();
+  const sim::SurfaceModel model{sim::workload_by_name("tpcc-med"), 48};
+  const opt::Config cfg{20, 2};
+  const double truth = model.mean_throughput(cfg);
+  double total_rel_err = 0.0;
+  const int runs = 20;
+  for (int r = 0; r < runs; ++r) {
+    sim::CommitStream stream{model, cfg, 100 + static_cast<std::uint64_t>(r)};
+    CvAdaptivePolicy policy{threshold, 5};
+    const auto m =
+        run_window_on_stream(policy, [&] { return stream.next_commit(); }, 0.0);
+    total_rel_err += std::abs(m.throughput - truth) / truth;
+  }
+  // Generous bound: mean relative error within 4x the CV threshold plus the
+  // warmup bias floor.
+  EXPECT_LT(total_rel_err / runs, 4.0 * threshold + 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, CvAccuracy, ::testing::Values(0.02, 0.05, 0.10));
+
+TEST(Cusum, DetectsUpwardShift) {
+  CusumDetector detector{0.05, 0.5};
+  detector.reset(100.0);
+  bool detected = false;
+  for (int i = 0; i < 10 && !detected; ++i) detected = detector.add(130.0);
+  EXPECT_TRUE(detected);
+}
+
+TEST(Cusum, DetectsDownwardShift) {
+  CusumDetector detector{0.05, 0.5};
+  detector.reset(100.0);
+  bool detected = false;
+  for (int i = 0; i < 10 && !detected; ++i) detected = detector.add(70.0);
+  EXPECT_TRUE(detected);
+}
+
+TEST(Cusum, IgnoresSmallFluctuations) {
+  CusumDetector detector{0.05, 0.5};
+  detector.reset(100.0);
+  util::Rng rng{5};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(detector.add(rng.gaussian(100.0, 2.0))) << "at sample " << i;
+  }
+}
+
+TEST(Cusum, UnarmedNeverFires) {
+  CusumDetector detector;
+  EXPECT_FALSE(detector.add(1e9));
+}
+
+TEST(Cusum, ResetRearms) {
+  CusumDetector detector{0.05, 0.3};
+  detector.reset(100.0);
+  while (!detector.add(150.0)) {
+  }
+  detector.reset(150.0);
+  EXPECT_FALSE(detector.add(150.0));
+  EXPECT_DOUBLE_EQ(detector.reference(), 150.0);
+}
+
+}  // namespace
+}  // namespace autopn::runtime

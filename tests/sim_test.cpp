@@ -1,0 +1,276 @@
+// Tests for the analytical surface model, workload presets, commit streams
+// and trace record/replay.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/event_sim.hpp"
+#include "sim/surface.hpp"
+#include "sim/trace.hpp"
+#include "sim/workload.hpp"
+#include "util/stats.hpp"
+
+namespace autopn::sim {
+namespace {
+
+TEST(Workloads, TenPresets) {
+  const auto all = paper_workloads();
+  EXPECT_EQ(all.size(), 10u);
+  for (const auto& w : all) {
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_GT(w.base_work, 0.0);
+    EXPECT_GT(w.parallel_fraction, 0.0);
+    EXPECT_LT(w.parallel_fraction, 1.0);
+  }
+}
+
+TEST(Workloads, LookupByName) {
+  EXPECT_EQ(workload_by_name("tpcc-med").name, "tpcc-med");
+  EXPECT_EQ(workload_by_name("array-90").name, "array-90");
+  EXPECT_THROW(workload_by_name("nope"), std::invalid_argument);
+}
+
+TEST(SurfaceModel, SequentialThroughputIsInverseWork) {
+  // At (1,1) throughput is 1/base_work up to the (tiny) single-core
+  // saturation term 1 + saturation/n.
+  const auto params = workload_by_name("tpcc-med");
+  const SurfaceModel model{params, 48};
+  const double expected = 1.0 / (params.base_work * (1.0 + params.saturation / 48.0));
+  EXPECT_NEAR(model.mean_throughput(opt::Config{1, 1}), expected, 1e-6);
+}
+
+TEST(SurfaceModel, NoAbortsWithoutContention) {
+  const SurfaceModel model{workload_by_name("array-0"), 48};
+  EXPECT_DOUBLE_EQ(model.top_abort_probability(opt::Config{48, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(model.sibling_abort_probability(opt::Config{1, 48}), 0.0);
+}
+
+TEST(SurfaceModel, AbortsGrowWithTopParallelism) {
+  const SurfaceModel model{workload_by_name("tpcc-med"), 48};
+  const double p4 = model.top_abort_probability(opt::Config{4, 1});
+  const double p16 = model.top_abort_probability(opt::Config{16, 1});
+  const double p48 = model.top_abort_probability(opt::Config{48, 1});
+  EXPECT_LT(p4, p16);
+  EXPECT_LT(p16, p48);
+}
+
+TEST(SurfaceModel, NestingShortensLatencyForParallelizableWork) {
+  const SurfaceModel model{workload_by_name("array-0"), 48};
+  EXPECT_LT(model.mean_latency(opt::Config{1, 8}),
+            model.mean_latency(opt::Config{1, 1}));
+}
+
+TEST(SurfaceModel, TpccMedPaperFacts) {
+  // Fig 1a: optimum (20,2), about 9x over (1,1), 2-3x over most others.
+  const opt::ConfigSpace space{48};
+  const SurfaceModel model{workload_by_name("tpcc-med"), 48};
+  const auto opt = model.optimum(space);
+  EXPECT_EQ(opt.config, (opt::Config{20, 2}));
+  const double ratio = opt.throughput / model.mean_throughput(opt::Config{1, 1});
+  EXPECT_GT(ratio, 7.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+TEST(SurfaceModel, BestWorkloadSpecificConfigsDiverge) {
+  // Fig 1b: the best configuration of one workload is (near) the worst of
+  // another. array-0 peaks at full top-level parallelism; array-90 peaks at
+  // single top-level with many children, and (48,1) is terrible for it.
+  const opt::ConfigSpace space{48};
+  const SurfaceModel scan{workload_by_name("array-0"), 48};
+  const SurfaceModel contended{workload_by_name("array-90"), 48};
+  EXPECT_EQ(scan.optimum(space).config, (opt::Config{48, 1}));
+  const auto contended_opt = contended.optimum(space);
+  EXPECT_EQ(contended_opt.config.t, 2);
+  EXPECT_GE(contended_opt.config.c, 8);
+  EXPECT_GT(contended.distance_from_optimum(space, opt::Config{48, 1}), 0.5);
+}
+
+TEST(SurfaceModel, DistanceFromOptimumBounds) {
+  const opt::ConfigSpace space{48};
+  const SurfaceModel model{workload_by_name("vacation-med"), 48};
+  for (const opt::Config& cfg : space.all()) {
+    const double dfo = model.distance_from_optimum(space, cfg);
+    EXPECT_GE(dfo, 0.0);
+    EXPECT_LT(dfo, 1.0);
+  }
+  EXPECT_NEAR(model.distance_from_optimum(space, model.optimum(space).config), 0.0,
+              1e-12);
+}
+
+TEST(SurfaceModel, SamplesCenterOnMeanWithShrinkingNoise) {
+  const SurfaceModel model{workload_by_name("tpcc-med"), 48};
+  const opt::Config cfg{20, 2};
+  util::Rng rng{1};
+  util::RunningStats narrow;
+  util::RunningStats wide;
+  for (int i = 0; i < 3000; ++i) {
+    narrow.add(model.sample(cfg, 10.0, rng));
+    wide.add(model.sample(cfg, 0.001, rng));
+  }
+  const double mean = model.mean_throughput(cfg);
+  EXPECT_NEAR(narrow.mean(), mean, mean * 0.01);
+  EXPECT_LT(narrow.cv(), wide.cv());
+}
+
+TEST(SurfaceModel, ContentionFloorPreventsStarvation) {
+  const opt::ConfigSpace space{48};
+  const SurfaceModel model{workload_by_name("array-90"), 48};
+  // Even the most contended configuration stays within a moderate factor of
+  // sequential throughput (winners keep committing).
+  const double seq = model.mean_throughput(opt::Config{1, 1});
+  for (const opt::Config& cfg : space.all()) {
+    EXPECT_GT(model.mean_throughput(cfg), seq / 4.0) << cfg.to_string();
+  }
+}
+
+// Property sweep over all 10 workloads: structural sanity of every surface.
+class AllWorkloads : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllWorkloads, SurfaceStructurallySane) {
+  const auto params = paper_workloads()[static_cast<std::size_t>(GetParam())];
+  const opt::ConfigSpace space{48};
+  const SurfaceModel model{params, 48};
+  const auto opt = model.optimum(space);
+  // Throughput positive and bounded everywhere; optimum dominates.
+  for (const opt::Config& cfg : space.all()) {
+    const double thr = model.mean_throughput(cfg);
+    EXPECT_GT(thr, 0.0) << params.name << " " << cfg.to_string();
+    EXPECT_LE(thr, opt.throughput + 1e-9) << params.name << " " << cfg.to_string();
+    // Latency and throughput are consistent: thr * latency == t.
+    EXPECT_NEAR(thr * model.mean_latency(cfg), cfg.t, 1e-6 * cfg.t);
+    // Abort probabilities are probabilities (extreme contention rounds to
+    // 1.0 in double precision, hence <=).
+    EXPECT_GE(model.top_abort_probability(cfg), 0.0);
+    EXPECT_LE(model.top_abort_probability(cfg), 1.0);
+    EXPECT_GE(model.sibling_abort_probability(cfg), 0.0);
+    EXPECT_LT(model.sibling_abort_probability(cfg), 1.0);
+  }
+  // Every workload scales: the optimum beats sequential.
+  EXPECT_GT(opt.throughput, model.mean_throughput(opt::Config{1, 1}));
+}
+
+TEST_P(AllWorkloads, AbortsMonotoneInTopParallelismAtFixedC) {
+  const auto params = paper_workloads()[static_cast<std::size_t>(GetParam())];
+  const SurfaceModel model{params, 48};
+  for (int c : {1, 2, 4}) {
+    double prev = -1.0;
+    for (int t = 1; t * c <= 48; t *= 2) {
+      const double p = model.top_abort_probability(opt::Config{t, c});
+      EXPECT_GE(p, prev) << params.name << " t=" << t << " c=" << c;
+      prev = p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Presets, AllWorkloads, ::testing::Range(0, 10),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           std::string name =
+                               paper_workloads()[static_cast<std::size_t>(
+                                                     info.param)]
+                                   .name;
+                           for (char& ch : name) {
+                             if (ch == '-' || ch == '.') ch = '_';
+                           }
+                           return name;
+                         });
+
+TEST(CommitStreamTest, TimestampsStrictlyIncrease) {
+  const SurfaceModel model{workload_by_name("vacation-med"), 48};
+  CommitStream stream{model, opt::Config{8, 2}, 42};
+  double prev = stream.now();
+  for (int i = 0; i < 1000; ++i) {
+    const double t = stream.next_commit();
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CommitStreamTest, LongRunRateMatchesModel) {
+  const SurfaceModel model{workload_by_name("vacation-med"), 48};
+  const opt::Config cfg{8, 2};
+  CommitStream stream{model, cfg, 7};
+  const int commits = 60000;
+  double last = 0.0;
+  for (int i = 0; i < commits; ++i) last = stream.next_commit();
+  const double measured_rate = commits / last;
+  const double expected = model.mean_throughput(cfg);
+  EXPECT_NEAR(measured_rate, expected, expected * 0.08);
+}
+
+TEST(CommitStreamTest, WarmupSlowsEarlyCommits) {
+  WorkloadParams params = workload_by_name("array-0");
+  params.warmup_seconds = 1.0;
+  const SurfaceModel model{params, 48};
+  const opt::Config cfg{4, 1};
+  // Average rate over the first 20 commits vs a late window.
+  CommitStream stream{model, cfg, 11};
+  for (int i = 0; i < 20; ++i) (void)stream.next_commit();
+  const double early_rate = 20.0 / stream.now();
+  double start_late = 0.0;
+  for (int i = 0; i < 400; ++i) {
+    const double t = stream.next_commit();
+    if (i == 199) start_late = t;
+  }
+  const double late_rate = 200.0 / (stream.now() - start_late);
+  EXPECT_LT(early_rate, late_rate);
+}
+
+TEST(CommitStreamTest, StartTimeOffsetsStream) {
+  const SurfaceModel model{workload_by_name("vacation-low"), 48};
+  CommitStream stream{model, opt::Config{2, 1}, 3, /*start_time=*/100.0};
+  EXPECT_DOUBLE_EQ(stream.now(), 100.0);
+  EXPECT_GT(stream.next_commit(), 100.0);
+}
+
+TEST(SurfaceTraceTest, RecordCoversSpaceAndFindsOptimum) {
+  const opt::ConfigSpace space{16};
+  const SurfaceModel model{workload_by_name("tpcc-med"), 16};
+  const auto trace = SurfaceTrace::record(model, space, 10, 10.0, 5);
+  EXPECT_EQ(trace.size(), space.size());
+  const auto model_opt = model.optimum(space);
+  const auto trace_opt = trace.optimum();
+  // With 10 long runs the recorded optimum should be the model's optimum or
+  // an immediate neighbour in KPI.
+  EXPECT_NEAR(trace_opt.throughput, model_opt.throughput,
+              model_opt.throughput * 0.05);
+}
+
+TEST(SurfaceTraceTest, SaveLoadRoundTrip) {
+  const opt::ConfigSpace space{8};
+  const SurfaceModel model{workload_by_name("array-50"), 8};
+  const auto trace = SurfaceTrace::record(model, space, 5, 5.0, 6);
+  std::stringstream buffer;
+  trace.save(buffer);
+  const auto loaded = SurfaceTrace::load(buffer);
+  EXPECT_EQ(loaded.workload(), trace.workload());
+  EXPECT_EQ(loaded.cores(), trace.cores());
+  EXPECT_EQ(loaded.size(), trace.size());
+  for (const opt::Config& cfg : space.all()) {
+    EXPECT_DOUBLE_EQ(loaded.at(cfg).mean, trace.at(cfg).mean);
+    EXPECT_DOUBLE_EQ(loaded.at(cfg).stddev, trace.at(cfg).stddev);
+  }
+}
+
+TEST(SurfaceTraceTest, LoadRejectsGarbage) {
+  std::stringstream buffer{"not a trace"};
+  EXPECT_THROW(SurfaceTrace::load(buffer), std::runtime_error);
+}
+
+TEST(SurfaceTraceTest, MissingEntryThrows) {
+  SurfaceTrace trace{"x", 8};
+  EXPECT_THROW((void)trace.at(opt::Config{1, 1}), std::out_of_range);
+  EXPECT_FALSE(trace.contains(opt::Config{1, 1}));
+}
+
+TEST(SurfaceTraceTest, SampleRespectsRecordedMoments) {
+  SurfaceTrace trace{"x", 8};
+  trace.set(opt::Config{2, 2}, SurfaceTrace::Entry{100.0, 10.0});
+  util::Rng rng{8};
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(trace.sample(opt::Config{2, 2}, rng));
+  EXPECT_NEAR(stats.mean(), 100.0, 0.5);
+  EXPECT_NEAR(stats.stddev(), 10.0, 0.3);
+}
+
+}  // namespace
+}  // namespace autopn::sim

@@ -1,0 +1,383 @@
+// Single-threaded semantics of the multi-version STM: versioned boxes,
+// read-your-writes, snapshot isolation, commit/abort, statistics.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "stm/stm.hpp"
+
+namespace autopn::stm {
+namespace {
+
+StmConfig small_config() {
+  StmConfig cfg;
+  cfg.pool_threads = 2;
+  cfg.initial_top = 4;
+  cfg.initial_children = 4;
+  return cfg;
+}
+
+TEST(VBoxTest, InitialValueVisible) {
+  VBox<int> box{42};
+  EXPECT_EQ(box.peek(), 42);
+  EXPECT_EQ(box.newest_version(), 0u);
+}
+
+TEST(VBoxTest, BodyAtSelectsVersion) {
+  VBox<int> box{1};
+  box.install(std::make_shared<const int>(2), 5, 0);
+  box.install(std::make_shared<const int>(3), 9, 0);
+  EXPECT_EQ(*static_cast<const int*>(box.body_at(0)->value.get()), 1);
+  EXPECT_EQ(*static_cast<const int*>(box.body_at(5)->value.get()), 2);
+  EXPECT_EQ(*static_cast<const int*>(box.body_at(7)->value.get()), 2);
+  EXPECT_EQ(*static_cast<const int*>(box.body_at(100)->value.get()), 3);
+  EXPECT_EQ(box.newest_version(), 9u);
+}
+
+TEST(VBoxTest, PruneKeepsReachableBodies) {
+  VBox<int> box{0};
+  // min_active_snapshot = 4: versions 1..4 are only reachable via the newest
+  // body <= 4.
+  box.install(std::make_shared<const int>(1), 1, 0);
+  box.install(std::make_shared<const int>(2), 2, 0);
+  box.install(std::make_shared<const int>(3), 3, 0);
+  EXPECT_EQ(box.chain_length(), 4u);
+  box.install(std::make_shared<const int>(4), 4, 3);
+  // Bodies with version < 3 are gone except the newest <= 3.
+  EXPECT_EQ(box.chain_length(), 2u);
+  EXPECT_EQ(*static_cast<const int*>(box.body_at(3)->value.get()), 3);
+}
+
+TEST(VBoxTest, PruneAllWhenNoReaders) {
+  VBox<int> box{0};
+  for (int i = 1; i <= 10; ++i) {
+    box.install(std::make_shared<const int>(i), static_cast<std::uint64_t>(i),
+                static_cast<std::uint64_t>(i));
+  }
+  EXPECT_EQ(box.chain_length(), 1u);
+  EXPECT_EQ(box.peek(), 10);
+}
+
+TEST(StmBasic, ReadInitialValue) {
+  Stm stm{small_config()};
+  VBox<int> box{7};
+  int seen = 0;
+  stm.run_top([&](Tx& tx) { seen = box.read(tx); });
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(StmBasic, WriteCommitsAndBumpsClock) {
+  Stm stm{small_config()};
+  VBox<int> box{0};
+  EXPECT_EQ(stm.clock(), 0u);
+  stm.run_top([&](Tx& tx) { box.write(tx, 5); });
+  EXPECT_EQ(box.peek(), 5);
+  EXPECT_EQ(stm.clock(), 1u);
+}
+
+TEST(StmBasic, ReadYourOwnWrite) {
+  Stm stm{small_config()};
+  VBox<int> box{1};
+  stm.run_top([&](Tx& tx) {
+    box.write(tx, 10);
+    EXPECT_EQ(box.read(tx), 10);
+    box.write(tx, 20);
+    EXPECT_EQ(box.read(tx), 20);
+  });
+  EXPECT_EQ(box.peek(), 20);
+}
+
+TEST(StmBasic, RepeatableReads) {
+  Stm stm{small_config()};
+  VBox<int> box{3};
+  stm.run_top([&](Tx& tx) {
+    EXPECT_EQ(box.read(tx), 3);
+    EXPECT_EQ(box.read(tx), 3);
+    EXPECT_EQ(tx.read_set_size(), 1u);  // cached, not re-recorded
+  });
+}
+
+TEST(StmBasic, ReadOnlyTxDoesNotBumpClock) {
+  Stm stm{small_config()};
+  VBox<int> box{1};
+  stm.run_top([&](Tx& tx) { (void)box.read(tx); });
+  EXPECT_EQ(stm.clock(), 0u);
+}
+
+TEST(StmBasic, UserExceptionAbortsAndPropagates) {
+  Stm stm{small_config()};
+  VBox<int> box{0};
+  EXPECT_THROW(stm.run_top([&](Tx& tx) {
+    box.write(tx, 99);
+    throw std::runtime_error{"boom"};
+  }),
+               std::runtime_error);
+  EXPECT_EQ(box.peek(), 0);  // write discarded
+  EXPECT_EQ(stm.stats().top_commits, 0u);
+}
+
+TEST(StmBasic, RunTopReturningValue) {
+  Stm stm{small_config()};
+  VBox<int> box{21};
+  const int doubled =
+      stm.run_top_returning<int>([&](Tx& tx) { return 2 * box.read(tx); });
+  EXPECT_EQ(doubled, 42);
+}
+
+TEST(StmBasic, SequentialTransactionsSeeEachOther) {
+  Stm stm{small_config()};
+  VBox<int> box{0};
+  for (int i = 1; i <= 10; ++i) {
+    stm.run_top([&](Tx& tx) { box.write(tx, box.read(tx) + 1); });
+  }
+  EXPECT_EQ(box.peek(), 10);
+  EXPECT_EQ(stm.stats().top_commits, 10u);
+  EXPECT_EQ(stm.stats().top_aborts, 0u);
+}
+
+TEST(StmBasic, StatsCountReadsWrites) {
+  Stm stm{small_config()};
+  VBox<int> a{0};
+  VBox<int> b{0};
+  stm.run_top([&](Tx& tx) {
+    (void)a.read(tx);
+    (void)b.read(tx);
+    a.write(tx, 1);
+  });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.reads, 2u);
+  EXPECT_EQ(stats.writes, 1u);
+  stm.reset_stats();
+  EXPECT_EQ(stm.stats().reads, 0u);
+}
+
+TEST(StmBasic, ReadUninitializedBoxThrowsLogicError) {
+  Stm stm{small_config()};
+  VBox<int> box;  // never put_initial
+  EXPECT_THROW(stm.run_top([&](Tx& tx) { (void)box.read(tx); }), std::logic_error);
+}
+
+TEST(StmBasic, StringValues) {
+  Stm stm{small_config()};
+  VBox<std::string> box{std::string{"hello"}};
+  stm.run_top([&](Tx& tx) { box.write(tx, box.read(tx) + " world"); });
+  EXPECT_EQ(box.peek(), "hello world");
+}
+
+TEST(StmBasic, CommitCallbackFires) {
+  Stm stm{small_config()};
+  VBox<int> box{0};
+  int calls = 0;
+  stm.set_commit_callback(
+      std::make_shared<const std::function<void()>>([&calls] { ++calls; }));
+  stm.run_top([&](Tx& tx) { box.write(tx, 1); });
+  stm.run_top([&](Tx& tx) { (void)box.read(tx); });
+  EXPECT_EQ(calls, 2);
+  stm.set_commit_callback(nullptr);
+  stm.run_top([&](Tx& tx) { box.write(tx, 2); });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(StmBasic, ActuatorLimitsQueryable) {
+  StmConfig cfg = small_config();
+  cfg.initial_top = 3;
+  cfg.initial_children = 5;
+  Stm stm{cfg};
+  EXPECT_EQ(stm.top_limit(), 3u);
+  EXPECT_EQ(stm.child_limit(), 5u);
+  stm.set_top_limit(8);
+  stm.set_child_limit(2);
+  EXPECT_EQ(stm.top_limit(), 8u);
+  EXPECT_EQ(stm.child_limit(), 2u);
+  // Limits clamp to >= 1.
+  stm.set_top_limit(0);
+  stm.set_child_limit(0);
+  EXPECT_EQ(stm.top_limit(), 1u);
+  EXPECT_EQ(stm.child_limit(), 1u);
+}
+
+TEST(StmBasic, ExplicitRetryIsCountedAsAbort) {
+  Stm stm{small_config()};
+  VBox<int> box{0};
+  int attempts = 0;
+  stm.run_top([&](Tx& tx) {
+    ++attempts;
+    box.write(tx, attempts);
+    if (attempts < 3) tx.retry();
+  });
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(box.peek(), 3);
+  EXPECT_EQ(stm.stats().top_aborts, 2u);
+  EXPECT_EQ(stm.stats().top_commits, 1u);
+}
+
+TEST(StmBasic, AbortBreakdownByKind) {
+  Stm stm{small_config()};
+  VBox<int> box{0};
+  // Explicit retries are attributed to the explicit counter.
+  int attempts = 0;
+  stm.run_top([&](Tx& tx) {
+    box.write(tx, 1);
+    if (++attempts < 3) tx.retry();
+  });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.aborts_explicit, 2u);
+  EXPECT_EQ(stats.aborts_validation, 0u);
+  EXPECT_EQ(stats.aborts_sibling, 0u);
+  EXPECT_EQ(stats.top_aborts,
+            stats.aborts_validation + stats.aborts_sibling + stats.aborts_explicit);
+}
+
+TEST(StmBasic, SiblingAbortsAttributedToSiblingCounter) {
+  StmConfig cfg = small_config();
+  cfg.initial_children = 4;
+  Stm stm{cfg};
+  VBox<int> hot{0};
+  stm.run_top([&](Tx& tx) {
+    std::vector<std::function<void(Tx&)>> kids;
+    for (int k = 0; k < 8; ++k) {
+      kids.emplace_back([&](Tx& child) { hot.write(child, hot.read(child) + 1); });
+    }
+    tx.run_children(std::move(kids));
+  });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.child_aborts, stats.aborts_sibling);
+  EXPECT_EQ(stats.aborts_validation, 0u);
+}
+
+TEST(StmBasic, ContentionProfilerNamesHotBox) {
+  StmConfig cfg = small_config();
+  cfg.initial_top = 4;
+  Stm stm{cfg};
+  VBox<int> hot{0};
+  hot.set_label("hot-counter");
+  VBox<int> cold{0};
+  stm.set_contention_profiling(true);
+
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        stm.run_top([&](Tx& tx) {
+          const int v = hot.read(tx);
+          std::this_thread::yield();
+          hot.write(tx, v + 1);
+        });
+      }
+    });
+  }
+  threads.clear();
+  ASSERT_GT(stm.stats().aborts_validation, 0u);
+  const auto hotspots = stm.contention_hotspots(3);
+  ASSERT_FALSE(hotspots.empty());
+  EXPECT_EQ(hotspots[0].label, "hot-counter");
+  EXPECT_GT(hotspots[0].conflicts, 0u);
+
+  stm.reset_contention_profile();
+  EXPECT_TRUE(stm.contention_hotspots().empty());
+}
+
+TEST(StmBasic, ProfilerOffRecordsNothing) {
+  StmConfig cfg = small_config();
+  cfg.initial_top = 4;
+  Stm stm{cfg};
+  VBox<int> hot{0};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 30; ++i) {
+        stm.run_top([&](Tx& tx) { hot.write(tx, hot.read(tx) + 1); });
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_TRUE(stm.contention_hotspots().empty());
+}
+
+TEST(StmBasic, UnlabeledHotspotRendersPointer) {
+  StmConfig cfg = small_config();
+  cfg.initial_top = 4;
+  Stm stm{cfg};
+  VBox<int> hot{0};
+  stm.set_contention_profiling(true);
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 50; ++i) {
+        stm.run_top([&](Tx& tx) {
+          const int v = hot.read(tx);
+          std::this_thread::yield();
+          hot.write(tx, v + 1);
+        });
+      }
+    });
+  }
+  threads.clear();
+  const auto hotspots = stm.contention_hotspots();
+  ASSERT_FALSE(hotspots.empty());
+  EXPECT_EQ(hotspots[0].label.rfind("box@", 0), 0u);
+}
+
+TEST(StmBasic, ReadOnlyFastPath) {
+  Stm stm{small_config()};
+  VBox<int> a{10};
+  VBox<int> b{32};
+  const int sum =
+      stm.read_only<int>([&](Tx& tx) { return a.read(tx) + b.read(tx); });
+  EXPECT_EQ(sum, 42);
+  EXPECT_EQ(stm.stats().top_commits, 1u);
+  EXPECT_EQ(stm.stats().top_aborts, 0u);
+}
+
+TEST(StmBasic, ReadOnlyRejectsWrites) {
+  Stm stm{small_config()};
+  VBox<int> box{1};
+  EXPECT_THROW((void)stm.read_only<int>([&](Tx& tx) {
+    box.write(tx, 2);
+    return 0;
+  }),
+               std::logic_error);
+  EXPECT_EQ(box.peek(), 1);
+}
+
+TEST(StmBasic, ReadOnlyChildrenMayRead) {
+  Stm stm{small_config()};
+  VBox<int> box{7};
+  const int value = stm.read_only<int>([&](Tx& tx) {
+    int seen = 0;
+    tx.run_children({[&](Tx& child) { seen = box.read(child); }});
+    return seen;
+  });
+  EXPECT_EQ(value, 7);
+}
+
+TEST(StmBasic, ReadOnlyChildWriteRejected) {
+  Stm stm{small_config()};
+  VBox<int> box{1};
+  EXPECT_THROW((void)stm.read_only<int>([&](Tx& tx) {
+    tx.run_children({[&](Tx& child) { box.write(child, 9); }});
+    return 0;
+  }),
+               std::logic_error);
+  EXPECT_EQ(box.peek(), 1);
+}
+
+TEST(StmBasic, WriteSetSizeTracksDistinctBoxes) {
+  Stm stm{small_config()};
+  VBox<int> a{0};
+  VBox<int> b{0};
+  stm.run_top([&](Tx& tx) {
+    a.write(tx, 1);
+    a.write(tx, 2);
+    b.write(tx, 3);
+    EXPECT_EQ(tx.write_set_size(), 2u);
+    EXPECT_TRUE(tx.is_top_level());
+    EXPECT_EQ(tx.depth(), 0);
+  });
+}
+
+}  // namespace
+}  // namespace autopn::stm

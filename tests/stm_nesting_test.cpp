@@ -1,0 +1,249 @@
+// Closed parallel-nesting semantics: child visibility rules, merge-on-commit,
+// sibling conflict detection and child-local retry, multi-level nesting.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "stm/containers.hpp"
+#include "stm/stm.hpp"
+
+namespace autopn::stm {
+namespace {
+
+StmConfig nest_config(std::size_t pool = 4, std::size_t c = 8) {
+  StmConfig cfg;
+  cfg.pool_threads = pool;
+  cfg.initial_top = 4;
+  cfg.initial_children = c;
+  return cfg;
+}
+
+TEST(Nesting, ChildSeesParentTentativeWrite) {
+  Stm stm{nest_config()};
+  VBox<int> box{1};
+  stm.run_top([&](Tx& tx) {
+    box.write(tx, 100);
+    int child_saw = 0;
+    tx.run_children({[&](Tx& child) { child_saw = box.read(child); }});
+    EXPECT_EQ(child_saw, 100);
+  });
+}
+
+TEST(Nesting, ChildSeesGlobalSnapshotWhenParentSilent) {
+  Stm stm{nest_config()};
+  VBox<int> box{55};
+  stm.run_top([&](Tx& tx) {
+    int child_saw = 0;
+    tx.run_children({[&](Tx& child) { child_saw = box.read(child); }});
+    EXPECT_EQ(child_saw, 55);
+  });
+}
+
+TEST(Nesting, ChildWriteVisibleToParentAfterJoin) {
+  Stm stm{nest_config()};
+  VBox<int> box{0};
+  stm.run_top([&](Tx& tx) {
+    tx.run_children({[&](Tx& child) { box.write(child, 9); }});
+    EXPECT_EQ(box.read(tx), 9);  // merged into parent's write set
+  });
+  EXPECT_EQ(box.peek(), 9);  // and committed globally with the root
+}
+
+TEST(Nesting, ChildWriteNotGloballyVisibleUntilRootCommits) {
+  Stm stm{nest_config()};
+  VBox<int> box{0};
+  stm.run_top([&](Tx& tx) {
+    tx.run_children({[&](Tx& child) { box.write(child, 5); }});
+    // Closed nesting: still private to the tree before root commit.
+    EXPECT_EQ(box.peek(), 0);
+  });
+  EXPECT_EQ(box.peek(), 5);
+}
+
+TEST(Nesting, DisjointSiblingsAllMerge) {
+  Stm stm{nest_config()};
+  TArray<int> arr{16, 0};
+  stm.run_top([&](Tx& tx) {
+    std::vector<std::function<void(Tx&)>> kids;
+    for (std::size_t i = 0; i < 16; ++i) {
+      kids.emplace_back([&arr, i](Tx& child) {
+        arr.write(child, i, static_cast<int>(i) + 1);
+      });
+    }
+    tx.run_children(std::move(kids));
+  });
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(arr.peek(i), static_cast<int>(i) + 1);
+  }
+  EXPECT_EQ(stm.stats().child_commits, 16u);
+  EXPECT_EQ(stm.stats().child_aborts, 0u);
+}
+
+TEST(Nesting, ConflictingSiblingsSerializeViaRetry) {
+  // All children increment one counter: sibling conflicts force retries but
+  // the final sum must equal the number of children (atomic increments).
+  Stm stm{nest_config(/*pool=*/4, /*c=*/8)};
+  VBox<int> counter{0};
+  const int kids_n = 12;
+  stm.run_top([&](Tx& tx) {
+    std::vector<std::function<void(Tx&)>> kids;
+    for (int i = 0; i < kids_n; ++i) {
+      kids.emplace_back([&](Tx& child) { counter.write(child, counter.read(child) + 1); });
+    }
+    tx.run_children(std::move(kids));
+  });
+  EXPECT_EQ(counter.peek(), kids_n);
+  EXPECT_EQ(stm.stats().child_commits, static_cast<std::uint64_t>(kids_n));
+}
+
+TEST(Nesting, SiblingConflictRetriesChildOnlyNotRoot) {
+  Stm stm{nest_config()};
+  VBox<int> counter{0};
+  std::atomic<int> root_attempts{0};
+  stm.run_top([&](Tx& tx) {
+    root_attempts.fetch_add(1);
+    std::vector<std::function<void(Tx&)>> kids;
+    for (int i = 0; i < 8; ++i) {
+      kids.emplace_back([&](Tx& child) { counter.write(child, counter.read(child) + 1); });
+    }
+    tx.run_children(std::move(kids));
+  });
+  EXPECT_EQ(root_attempts.load(), 1);  // partial aborts stayed inside the tree
+  EXPECT_EQ(counter.peek(), 8);
+}
+
+TEST(Nesting, TwoLevelNesting) {
+  Stm stm{nest_config(/*pool=*/4, /*c=*/4)};
+  TArray<int> arr{8, 0};
+  stm.run_top([&](Tx& tx) {
+    std::vector<std::function<void(Tx&)>> kids;
+    for (std::size_t half = 0; half < 2; ++half) {
+      kids.emplace_back([&arr, half](Tx& child) {
+        std::vector<std::function<void(Tx&)>> grandkids;
+        for (std::size_t i = 0; i < 4; ++i) {
+          const std::size_t idx = half * 4 + i;
+          grandkids.emplace_back([&arr, idx](Tx& grandchild) {
+            arr.write(grandchild, idx, 7);
+            EXPECT_EQ(grandchild.depth(), 2);
+          });
+        }
+        child.run_children(std::move(grandkids));
+        // Grandchildren's writes merged into the child.
+        for (std::size_t i = 0; i < 4; ++i) {
+          EXPECT_EQ(arr.read(child, half * 4 + i), 7);
+        }
+      });
+    }
+    tx.run_children(std::move(kids));
+  });
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(arr.peek(i), 7);
+}
+
+TEST(Nesting, DeepNestingWithChildLimitOne) {
+  // c=1 must not deadlock: a nested spawner releases its token while waiting.
+  Stm stm{nest_config(/*pool=*/2, /*c=*/1)};
+  VBox<int> box{0};
+  stm.run_top([&](Tx& tx) {
+    tx.run_children({[&](Tx& child) {
+      child.run_children({[&](Tx& grandchild) {
+        grandchild.run_children({[&](Tx& ggchild) { box.write(ggchild, 3); }});
+      }});
+    }});
+  });
+  EXPECT_EQ(box.peek(), 3);
+}
+
+TEST(Nesting, ChildReadValidatedAgainstSiblingWrite) {
+  // Construct a deterministic sibling conflict: both children read-modify-
+  // write the same box; exactly one must retry (or more, but commits == 2 and
+  // result == 2).
+  Stm stm{nest_config(/*pool=*/2, /*c=*/2)};
+  VBox<int> box{0};
+  stm.run_top([&](Tx& tx) {
+    std::vector<std::function<void(Tx&)>> kids;
+    for (int i = 0; i < 2; ++i) {
+      kids.emplace_back([&](Tx& child) { box.write(child, box.read(child) + 1); });
+    }
+    tx.run_children(std::move(kids));
+  });
+  EXPECT_EQ(box.peek(), 2);
+}
+
+TEST(Nesting, EmptyChildBatchIsNoop) {
+  Stm stm{nest_config()};
+  VBox<int> box{1};
+  stm.run_top([&](Tx& tx) {
+    tx.run_children({});
+    box.write(tx, 2);
+  });
+  EXPECT_EQ(box.peek(), 2);
+}
+
+TEST(Nesting, UserExceptionInChildPropagatesToParent) {
+  Stm stm{nest_config()};
+  VBox<int> box{0};
+  EXPECT_THROW(stm.run_top([&](Tx& tx) {
+    tx.run_children({[&](Tx&) { throw std::runtime_error{"child boom"}; }});
+    box.write(tx, 1);
+  }),
+               std::runtime_error);
+  EXPECT_EQ(box.peek(), 0);
+}
+
+TEST(Nesting, SequentialChildBatches) {
+  Stm stm{nest_config()};
+  VBox<int> box{0};
+  stm.run_top([&](Tx& tx) {
+    tx.run_children({[&](Tx& child) { box.write(child, box.read(child) + 1); }});
+    tx.run_children({[&](Tx& child) { box.write(child, box.read(child) + 1); }});
+    EXPECT_EQ(box.read(tx), 2);
+  });
+  EXPECT_EQ(box.peek(), 2);
+}
+
+TEST(Nesting, ParentReadThenChildWriteThenParentRead) {
+  // Parent reads X, a child overwrites it, parent reads again and must see
+  // the child's (merged) value — nested program-order semantics.
+  Stm stm{nest_config()};
+  VBox<int> box{10};
+  stm.run_top([&](Tx& tx) {
+    EXPECT_EQ(box.read(tx), 10);
+    tx.run_children({[&](Tx& child) { box.write(child, 20); }});
+    EXPECT_EQ(box.read(tx), 20);
+  });
+  EXPECT_EQ(box.peek(), 20);
+}
+
+TEST(Nesting, ManyChildrenWithSmallPool) {
+  // Fan-out far above the pool size; help-draining keeps progress.
+  Stm stm{nest_config(/*pool=*/1, /*c=*/4)};
+  TArray<long> arr{64, 0L};
+  stm.run_top([&](Tx& tx) {
+    std::vector<std::function<void(Tx&)>> kids;
+    for (std::size_t i = 0; i < 64; ++i) {
+      kids.emplace_back([&arr, i](Tx& child) { arr.write(child, i, 1L); });
+    }
+    tx.run_children(std::move(kids));
+  });
+  long sum = 0;
+  for (std::size_t i = 0; i < 64; ++i) sum += arr.peek(i);
+  EXPECT_EQ(sum, 64L);
+}
+
+TEST(Nesting, GrandchildSeesGrandparentTentativeWrite) {
+  Stm stm{nest_config()};
+  VBox<int> box{1};
+  stm.run_top([&](Tx& tx) {
+    box.write(tx, 42);
+    int seen = 0;
+    tx.run_children({[&](Tx& child) {
+      child.run_children({[&](Tx& grandchild) { seen = box.read(grandchild); }});
+    }});
+    EXPECT_EQ(seen, 42);
+  });
+}
+
+}  // namespace
+}  // namespace autopn::stm

@@ -1,0 +1,221 @@
+// Property-style randomized tests of the PN-STM: for random interleavings of
+// random transaction programs, the committed history must be equivalent to
+// some sequential execution (checked via conserved quantities and
+// monotonicity witnesses), across a parameter sweep of (threads, t, c, pool).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "stm/containers.hpp"
+#include "stm/stm.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::stm {
+namespace {
+
+struct SweepParam {
+  int app_threads;
+  std::size_t top;
+  std::size_t children;
+  std::size_t pool;
+};
+
+class StmSweep : public ::testing::TestWithParam<SweepParam> {};
+
+// Random transfers between accounts preserve the total balance. Transfers
+// are executed by parallel children (each child moves money along one edge
+// of a random path), so sibling merges and partial aborts are exercised.
+TEST_P(StmSweep, RandomTransfersConserveTotal) {
+  const auto [app_threads, top, children, pool] = GetParam();
+  StmConfig cfg;
+  cfg.initial_top = top;
+  cfg.initial_children = children;
+  cfg.pool_threads = pool;
+  Stm stm{cfg};
+
+  constexpr std::size_t kAccounts = 24;
+  constexpr long long kInitial = 100;
+  TArray<long long> accounts{kAccounts, kInitial};
+
+  std::vector<std::jthread> threads;
+  for (int thread_id = 0; thread_id < app_threads; ++thread_id) {
+    threads.emplace_back([&, thread_id] {
+      util::Rng rng{static_cast<std::uint64_t>(1000 + thread_id)};
+      for (int i = 0; i < 25; ++i) {
+        const std::uint64_t tx_seed = rng();
+        stm.run_top([&](Tx& tx) {
+          util::Rng tx_rng{tx_seed};
+          const std::size_t hops = 1 + tx_rng.uniform_index(4);
+          std::vector<std::function<void(Tx&)>> kids;
+          for (std::size_t h = 0; h < hops; ++h) {
+            const std::size_t from = tx_rng.uniform_index(kAccounts);
+            const std::size_t to = tx_rng.uniform_index(kAccounts);
+            const long long amount = 1 + static_cast<long long>(tx_rng.uniform_index(5));
+            kids.emplace_back([&accounts, from, to, amount](Tx& child) {
+              accounts.write(child, from, accounts.read(child, from) - amount);
+              accounts.write(child, to, accounts.read(child, to) + amount);
+            });
+          }
+          tx.run_children(std::move(kids));
+        });
+      }
+    });
+  }
+  threads.clear();
+
+  long long total = 0;
+  for (std::size_t i = 0; i < kAccounts; ++i) total += accounts.peek(i);
+  EXPECT_EQ(total, static_cast<long long>(kAccounts) * kInitial);
+}
+
+// A strictly monotone sequence number: every committed transaction writes
+// seq+1; under serializability the final value equals the commit count.
+TEST_P(StmSweep, SequenceNumberMatchesCommitCount) {
+  const auto [app_threads, top, children, pool] = GetParam();
+  StmConfig cfg;
+  cfg.initial_top = top;
+  cfg.initial_children = children;
+  cfg.pool_threads = pool;
+  Stm stm{cfg};
+
+  VBox<long long> sequence{0LL};
+  std::vector<std::jthread> threads;
+  for (int thread_id = 0; thread_id < app_threads; ++thread_id) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 30; ++i) {
+        stm.run_top([&](Tx& tx) {
+          // Bounce the increment through a child to exercise merge paths.
+          tx.run_children(
+              {[&](Tx& child) { sequence.write(child, sequence.read(child) + 1); }});
+        });
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(sequence.peek(),
+            static_cast<long long>(stm.stats().top_commits));
+  EXPECT_EQ(sequence.peek(), static_cast<long long>(app_threads) * 30);
+}
+
+// Readers sampling two coupled boxes never observe a torn invariant while
+// writers update them through children.
+TEST_P(StmSweep, CoupledInvariantNeverTorn) {
+  const auto [app_threads, top, children, pool] = GetParam();
+  StmConfig cfg;
+  cfg.initial_top = top;
+  cfg.initial_children = children;
+  cfg.pool_threads = pool;
+  Stm stm{cfg};
+
+  VBox<long long> positive{500LL};
+  VBox<long long> negative{-500LL};
+  std::atomic<int> violations{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::jthread> threads;
+  for (int w = 0; w < std::max(1, app_threads - 1); ++w) {
+    threads.emplace_back([&, w] {
+      util::Rng rng{static_cast<std::uint64_t>(2000 + w)};
+      for (int i = 0; i < 40; ++i) {
+        const long long delta = 1 + static_cast<long long>(rng.uniform_index(9));
+        stm.run_top([&](Tx& tx) {
+          tx.run_children({[&](Tx& child) {
+            positive.write(child, positive.read(child) + delta);
+            negative.write(child, negative.read(child) - delta);
+          }});
+        });
+      }
+    });
+  }
+  threads.emplace_back([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      stm.run_top([&](Tx& tx) {
+        if (positive.read(tx) + negative.read(tx) != 0) violations.fetch_add(1);
+      });
+    }
+  });
+  for (std::size_t i = 0; i + 1 < threads.size(); ++i) threads[i].join();
+  stop.store(true);
+  threads.clear();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(positive.peek() + negative.peek(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TcPoolGrid, StmSweep,
+    ::testing::Values(SweepParam{1, 1, 1, 1}, SweepParam{2, 2, 2, 1},
+                      SweepParam{3, 2, 4, 2}, SweepParam{4, 4, 1, 2},
+                      SweepParam{4, 4, 4, 4}, SweepParam{2, 1, 8, 2}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      const auto& p = info.param;
+      return "app" + std::to_string(p.app_threads) + "_t" + std::to_string(p.top) +
+             "_c" + std::to_string(p.children) + "_pool" + std::to_string(p.pool);
+    });
+
+// Chain-pruning property: after quiescence, every box's version chain has
+// bounded length no matter how much history was written.
+TEST(StmPruning, ChainsBoundedAfterChurn) {
+  StmConfig cfg;
+  cfg.initial_top = 4;
+  cfg.pool_threads = 2;
+  Stm stm{cfg};
+  TArray<int> arr{8, 0};
+  std::vector<std::jthread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < 100; ++i) {
+        stm.run_top([&](Tx& tx) {
+          const std::size_t idx = static_cast<std::size_t>((w + i) % 8);
+          arr.write(tx, idx, i);
+        });
+      }
+    });
+  }
+  threads.clear();
+  // One more commit per slot prunes with no active snapshots.
+  stm.run_top([&](Tx& tx) {
+    for (std::size_t i = 0; i < 8; ++i) arr.write(tx, i, -1);
+  });
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_LE(arr.slot(i).chain_length(), 3u) << "slot " << i;
+  }
+}
+
+// Abort storms must not leak tree gates: after heavy sibling conflicts the
+// runtime still accepts new transactions promptly.
+TEST(StmRobustness, GateTokensSurviveAbortStorms) {
+  StmConfig cfg;
+  cfg.initial_top = 2;
+  cfg.initial_children = 2;
+  cfg.pool_threads = 2;
+  Stm stm{cfg};
+  VBox<int> hot{0};
+  std::vector<std::jthread> threads;
+  for (int w = 0; w < 2; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 20; ++i) {
+        stm.run_top([&](Tx& tx) {
+          std::vector<std::function<void(Tx&)>> kids;
+          for (int k = 0; k < 6; ++k) {
+            kids.emplace_back(
+                [&](Tx& child) { hot.write(child, hot.read(child) + 1); });
+          }
+          tx.run_children(std::move(kids));
+        });
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(hot.peek(), 2 * 20 * 6);
+  // A fresh transaction still runs fine (no leaked tokens/deadlock).
+  stm.run_top([&](Tx& tx) {
+    tx.run_children({[&](Tx& child) { hot.write(child, 0); }});
+  });
+  EXPECT_EQ(hot.peek(), 0);
+}
+
+}  // namespace
+}  // namespace autopn::stm

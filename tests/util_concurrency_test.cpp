@@ -1,0 +1,200 @@
+// Tests for the concurrency primitives: resizable semaphore, thread pool,
+// wait group, and clocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/semaphore.hpp"
+#include "util/thread_pool.hpp"
+
+namespace autopn::util {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(ResizableSemaphore, TryAcquireRespectsCapacity) {
+  ResizableSemaphore sem{2};
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_EQ(sem.in_use(), 2u);
+}
+
+TEST(ResizableSemaphore, GrowReleasesWaiter) {
+  ResizableSemaphore sem{1};
+  sem.acquire();
+  std::atomic<bool> acquired{false};
+  std::jthread waiter{[&] {
+    sem.acquire();
+    acquired.store(true);
+    sem.release();
+  }};
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(acquired.load());
+  sem.set_capacity(2);
+  for (int i = 0; i < 200 && !acquired.load(); ++i) std::this_thread::sleep_for(5ms);
+  EXPECT_TRUE(acquired.load());
+  sem.release();
+}
+
+TEST(ResizableSemaphore, ShrinkDoesNotRevoke) {
+  ResizableSemaphore sem{3};
+  sem.acquire();
+  sem.acquire();
+  sem.set_capacity(1);
+  EXPECT_EQ(sem.in_use(), 2u);  // still held
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  EXPECT_FALSE(sem.try_acquire());  // 1 in use == new capacity
+  sem.release();
+  EXPECT_TRUE(sem.try_acquire());
+  sem.release();
+}
+
+TEST(ResizableSemaphore, GuardReleasesOnScopeExit) {
+  ResizableSemaphore sem{1};
+  {
+    SemaphoreGuard guard{sem};
+    EXPECT_EQ(sem.in_use(), 1u);
+  }
+  EXPECT_EQ(sem.in_use(), 0u);
+}
+
+TEST(ResizableSemaphore, ConcurrentStress) {
+  ResizableSemaphore sem{4};
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::vector<std::jthread> threads;
+  threads.reserve(16);
+  for (int i = 0; i < 16; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < 50; ++j) {
+        SemaphoreGuard guard{sem};
+        const int now = concurrent.fetch_add(1) + 1;
+        int expected = peak.load();
+        while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+        }
+        std::this_thread::yield();
+        concurrent.fetch_sub(1);
+      }
+    });
+  }
+  threads.clear();  // join
+  EXPECT_LE(peak.load(), 4);
+  EXPECT_GE(peak.load(), 1);
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool{2};
+  std::atomic<int> counter{0};
+  WaitGroup wg;
+  wg.add(100);
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&] {
+      counter.fetch_add(1);
+      wg.done();
+    });
+  }
+  wg.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, RunAndWaitCompletesAll) {
+  ThreadPool pool{3};
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) tasks.emplace_back([&] { counter.fetch_add(1); });
+  pool.run_and_wait(std::move(tasks));
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, NestedForkJoinOnSingleWorker) {
+  // A task that itself forks and joins must not deadlock a 1-worker pool
+  // thanks to help-draining.
+  ThreadPool pool{1};
+  std::atomic<int> leaves{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.emplace_back([&] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 4; ++j) inner.emplace_back([&] { leaves.fetch_add(1); });
+      pool.run_and_wait(std::move(inner));
+    });
+  }
+  pool.run_and_wait(std::move(outer));
+  EXPECT_EQ(leaves.load(), 16);
+}
+
+TEST(ThreadPool, TryRunOneDrainsQueue) {
+  ThreadPool pool{1};
+  // Stall the single worker so tasks stay queued.
+  std::atomic<bool> release{false};
+  WaitGroup stall;
+  stall.add(1);
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+    stall.done();
+  });
+  std::this_thread::sleep_for(10ms);
+  std::atomic<int> ran{0};
+  pool.submit([&] { ran.fetch_add(1); });
+  pool.submit([&] { ran.fetch_add(1); });
+  while (pool.try_run_one()) {
+  }
+  EXPECT_EQ(ran.load(), 2);
+  release.store(true);
+  stall.wait();
+}
+
+TEST(ThreadPool, WorkerCountClamped) {
+  ThreadPool pool{0};
+  EXPECT_EQ(pool.worker_count(), 1u);
+}
+
+TEST(WaitGroup, WaitForTimesOut) {
+  WaitGroup wg;
+  wg.add(1);
+  EXPECT_FALSE(wg.wait_for(5ms));
+  wg.done();
+  EXPECT_TRUE(wg.wait_for(5ms));
+}
+
+TEST(VirtualClock, AdvanceAndSet) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+  clock.advance(1.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 1.5);
+  clock.advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 2.0);
+  clock.set(10.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+}
+
+TEST(WallClock, MonotonicAndAdvancing) {
+  WallClock clock;
+  const double a = clock.now();
+  std::this_thread::sleep_for(5ms);
+  const double b = clock.now();
+  EXPECT_GT(b, a);
+  EXPECT_GE(b - a, 0.004);
+}
+
+TEST(Stopwatch, MeasuresVirtualTime) {
+  VirtualClock clock;
+  Stopwatch sw{clock};
+  clock.advance(3.0);
+  EXPECT_DOUBLE_EQ(sw.elapsed(), 3.0);
+  sw.restart();
+  EXPECT_DOUBLE_EQ(sw.elapsed(), 0.0);
+  clock.advance(1.0);
+  EXPECT_DOUBLE_EQ(sw.elapsed(), 1.0);
+}
+
+}  // namespace
+}  // namespace autopn::util

@@ -1,0 +1,180 @@
+// Unit and property tests for streaming statistics, percentiles and
+// histograms — the machinery behind the CV-based KPI monitor (paper §VI).
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace autopn::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cv(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of that classic sequence is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, CvMatchesDefinition) {
+  RunningStats s;
+  for (double x : {10.0, 12.0, 8.0, 11.0, 9.0}) s.add(x);
+  EXPECT_NEAR(s.cv(), s.stddev() / s.mean(), 1e-15);
+}
+
+TEST(RunningStats, CvOfConstantIsZero) {
+  RunningStats s;
+  for (int i = 0; i < 10; ++i) s.add(3.14);
+  EXPECT_NEAR(s.cv(), 0.0, 1e-12);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng{21};
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(3.0, 1.5);
+    whole.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-8);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Percentile, MedianOfOdd) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(Percentile, Interpolates) {
+  // p25 of {1,2,3,4} with linear interpolation = 1.75.
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0, 3.0, 4.0}, 0.25), 1.75);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 0.9), 7.0);
+}
+
+TEST(Percentile, EmptyThrows) {
+  EXPECT_THROW((void)percentile({}, 0.5), std::invalid_argument);
+}
+
+TEST(Percentile, ClampedQuantile) {
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({1.0, 2.0}, -1.0), 1.0);
+}
+
+TEST(VectorHelpers, MeanAndStddev) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(v), 2.5);
+  EXPECT_NEAR(stddev_of(v), std::sqrt(5.0 / 3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev_of({1.0}), 0.0);
+}
+
+TEST(Histogram, BinsCorrectly) {
+  Histogram h{0.0, 10.0, 5};
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.0);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(-5.0);
+  h.add(42.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(1.0, 0.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+// Property sweep: CV of throughput samples shrinks as more samples arrive
+// from a stationary process — the premise of the monitor's stability test.
+class CvConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(CvConvergence, CvOfRunningMeanShrinks) {
+  const double noise = GetParam();
+  Rng rng{99};
+  RunningStats throughputs;
+  std::vector<double> cv_trace;
+  for (int i = 0; i < 400; ++i) {
+    throughputs.add(100.0 * (1.0 + noise * rng.gaussian()));
+    if (i >= 10 && i % 50 == 0) cv_trace.push_back(throughputs.cv());
+  }
+  // CV stabilizes near the generating noise level rather than diverging.
+  EXPECT_NEAR(cv_trace.back(), noise, noise * 0.5 + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(NoiseLevels, CvConvergence,
+                         ::testing::Values(0.01, 0.05, 0.1, 0.3));
+
+}  // namespace
+}  // namespace autopn::util

@@ -1,0 +1,378 @@
+// Correctness tests for the three benchmark ports: invariants must hold
+// under concurrent execution at various (t, c) settings.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "workloads/array_bench.hpp"
+#include "workloads/tpcc.hpp"
+#include "workloads/vacation.hpp"
+
+namespace autopn::workloads {
+namespace {
+
+stm::StmConfig cfg(std::size_t top, std::size_t children) {
+  stm::StmConfig c;
+  c.max_cores = 8;
+  c.pool_threads = 2;
+  c.initial_top = top;
+  c.initial_children = children;
+  return c;
+}
+
+// ---- Array ------------------------------------------------------------
+
+TEST(ArrayWorkload, ReadOnlyScanLeavesArrayUntouched) {
+  stm::Stm stm{cfg(2, 2)};
+  ArrayConfig acfg;
+  acfg.array_size = 128;
+  acfg.update_fraction = 0.0;
+  ArrayBenchmark bench{stm, acfg};
+  util::Rng rng{1};
+  bench.run_many(20, rng);
+  EXPECT_EQ(bench.checksum(), 0);
+  EXPECT_EQ(bench.committed_updates(), 0);
+}
+
+TEST(ArrayWorkload, ChecksumMatchesUpdateCounter) {
+  // Core invariant: every committed update added exactly 1 to one element
+  // and 1 to the counter, even across aborts/retries.
+  stm::Stm stm{cfg(3, 2)};
+  ArrayConfig acfg;
+  acfg.array_size = 64;
+  acfg.update_fraction = 0.5;
+  ArrayBenchmark bench{stm, acfg};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&bench, t] {
+      util::Rng rng{static_cast<std::uint64_t>(10 + t)};
+      bench.run_many(15, rng);
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(bench.checksum(), bench.committed_updates());
+  EXPECT_GT(bench.committed_updates(), 0);
+  EXPECT_EQ(stm.stats().top_commits, 45u);
+}
+
+TEST(ArrayWorkload, HighUpdateFractionCausesTopLevelConflicts) {
+  stm::Stm stm{cfg(4, 1)};
+  ArrayConfig acfg;
+  acfg.array_size = 32;
+  acfg.update_fraction = 0.9;
+  ArrayBenchmark bench{stm, acfg};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&bench, t] {
+      util::Rng rng{static_cast<std::uint64_t>(20 + t)};
+      bench.run_many(10, rng);
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(bench.checksum(), bench.committed_updates());
+  EXPECT_GT(stm.stats().top_aborts, 0u);  // full-array scans must collide
+}
+
+TEST(ArrayWorkload, SegmentationCoversWholeArrayForAnyChildLimit) {
+  for (std::size_t c : {1u, 2u, 3u, 5u, 8u}) {
+    stm::Stm stm{cfg(1, c)};
+    ArrayConfig acfg;
+    acfg.array_size = 37;  // not divisible by typical c
+    acfg.update_fraction = 1.0;
+    ArrayBenchmark bench{stm, acfg};
+    util::Rng rng{static_cast<std::uint64_t>(c)};
+    bench.run_one(rng);
+    // Every element updated exactly once.
+    EXPECT_EQ(bench.checksum(), 37) << "c=" << c;
+  }
+}
+
+// ---- Vacation ---------------------------------------------------------
+
+TEST(VacationWorkload, ReservationsAreConserved) {
+  stm::Stm stm{cfg(3, 2)};
+  VacationConfig vcfg;
+  vcfg.relations = 16;
+  vcfg.customers = 16;
+  VacationBenchmark bench{stm, vcfg};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&bench, t] {
+      util::Rng rng{static_cast<std::uint64_t>(30 + t)};
+      bench.run_many(40, rng);
+    });
+  }
+  threads.clear();
+  EXPECT_TRUE(bench.verify_consistency());
+}
+
+TEST(VacationWorkload, MakeThenDeleteRestoresCapacity) {
+  stm::Stm stm{cfg(1, 2)};
+  VacationConfig vcfg;
+  vcfg.relations = 8;
+  vcfg.customers = 4;
+  VacationBenchmark bench{stm, vcfg};
+  util::Rng rng{7};
+  const int reserved = bench.make_reservation(0, rng);
+  EXPECT_GT(reserved, 0);
+  EXPECT_GT(bench.query_customer_total(0), 0);
+  bench.delete_customer_reservations(0);
+  EXPECT_EQ(bench.query_customer_total(0), 0);
+  EXPECT_TRUE(bench.verify_consistency());
+}
+
+TEST(VacationWorkload, CapacityNeverExceeded) {
+  // Tiny table with tiny capacity: concurrent reservations must never
+  // oversell (used <= capacity is part of verify_consistency).
+  stm::Stm stm{cfg(4, 2)};
+  VacationConfig vcfg;
+  vcfg.relations = 2;
+  vcfg.customers = 8;
+  vcfg.initial_capacity = 3;
+  vcfg.make_fraction = 1.0;
+  vcfg.delete_fraction = 0.0;
+  vcfg.update_fraction = 0.0;
+  VacationBenchmark bench{stm, vcfg};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&bench, t] {
+      util::Rng rng{static_cast<std::uint64_t>(40 + t)};
+      bench.run_many(20, rng);
+    });
+  }
+  threads.clear();
+  EXPECT_TRUE(bench.verify_consistency());
+}
+
+TEST(VacationWorkload, ManagerUpdatesKeepConsistency) {
+  stm::Stm stm{cfg(2, 2)};
+  VacationConfig vcfg;
+  vcfg.relations = 8;
+  vcfg.customers = 8;
+  vcfg.make_fraction = 0.5;
+  vcfg.delete_fraction = 0.2;
+  vcfg.update_fraction = 0.3;
+  VacationBenchmark bench{stm, vcfg};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&bench, t] {
+      util::Rng rng{static_cast<std::uint64_t>(50 + t)};
+      bench.run_many(60, rng);
+    });
+  }
+  threads.clear();
+  EXPECT_TRUE(bench.verify_consistency());
+}
+
+// ---- TPC-C ------------------------------------------------------------
+
+TEST(TpccWorkload, NewOrderUpdatesStockAndOrders) {
+  stm::Stm stm{cfg(1, 2)};
+  TpccConfig tcfg;
+  tcfg.warehouses = 1;
+  tcfg.items = 50;
+  TpccBenchmark bench{stm, tcfg};
+  util::Rng rng{8};
+  const long long total = bench.new_order(0, 0, 0, rng);
+  EXPECT_GT(total, 0);
+  EXPECT_EQ(bench.new_orders_committed(), 1);
+  EXPECT_TRUE(bench.verify_consistency());
+}
+
+TEST(TpccWorkload, PaymentFlowsToWarehouseDistrictCustomer) {
+  stm::Stm stm{cfg(1, 1)};
+  TpccConfig tcfg;
+  tcfg.warehouses = 1;
+  tcfg.items = 10;
+  TpccBenchmark bench{stm, tcfg};
+  bench.payment(0, 0, 0, 500);
+  bench.payment(0, 1, 0, 300);
+  EXPECT_TRUE(bench.verify_consistency());
+}
+
+TEST(TpccWorkload, OrderStatusFindsLatestOrder) {
+  stm::Stm stm{cfg(1, 2)};
+  TpccConfig tcfg;
+  tcfg.warehouses = 1;
+  tcfg.items = 50;
+  TpccBenchmark bench{stm, tcfg};
+  util::Rng rng{9};
+  const long long total = bench.new_order(0, 0, 3, rng);
+  EXPECT_EQ(bench.order_status(0, 0, 3), total);
+  EXPECT_EQ(bench.order_status(0, 0, 4), 0);  // no order for this customer
+}
+
+TEST(TpccWorkload, DeliveryCreditsCustomerAndAdvancesWatermark) {
+  stm::Stm stm{cfg(1, 4)};
+  TpccConfig tcfg;
+  tcfg.warehouses = 1;
+  tcfg.districts_per_warehouse = 3;
+  tcfg.items = 30;
+  TpccBenchmark bench{stm, tcfg};
+  util::Rng rng{17};
+  // One order in each of two districts.
+  const long long total0 = bench.new_order(0, 0, 2, rng);
+  const long long total1 = bench.new_order(0, 1, 3, rng);
+  // Delivery sweeps all districts in parallel children.
+  EXPECT_EQ(bench.delivery(0), 2);
+  EXPECT_TRUE(bench.verify_consistency());
+  // A second delivery has nothing left.
+  EXPECT_EQ(bench.delivery(0), 0);
+  EXPECT_GT(total0 + total1, 0);
+}
+
+TEST(TpccWorkload, DeliveryMoneyConservation) {
+  // Balances = delivered totals - payments (checked by verify_consistency).
+  stm::Stm stm{cfg(1, 2)};
+  TpccConfig tcfg;
+  tcfg.warehouses = 1;
+  tcfg.districts_per_warehouse = 2;
+  tcfg.items = 20;
+  TpccBenchmark bench{stm, tcfg};
+  util::Rng rng{18};
+  (void)bench.new_order(0, 0, 1, rng);
+  bench.payment(0, 0, 1, 250);
+  EXPECT_TRUE(bench.verify_consistency());
+  (void)bench.delivery(0);
+  EXPECT_TRUE(bench.verify_consistency());
+}
+
+TEST(TpccWorkload, StockLevelCountsLowStock) {
+  stm::Stm stm{cfg(1, 2)};
+  TpccConfig tcfg;
+  tcfg.warehouses = 1;
+  tcfg.districts_per_warehouse = 1;
+  tcfg.items = 10;
+  TpccBenchmark bench{stm, tcfg};
+  util::Rng rng{19};
+  // No orders yet: nothing to count.
+  EXPECT_EQ(bench.stock_level(0, 0, /*threshold=*/2000), 0);
+  (void)bench.new_order(0, 0, 0, rng);
+  // Threshold above the initial quantity: every ordered item counts.
+  const int high = bench.stock_level(0, 0, /*threshold=*/2000);
+  EXPECT_GT(high, 0);
+  // Threshold of 0: no stock row can be below it.
+  EXPECT_EQ(bench.stock_level(0, 0, /*threshold=*/0), 0);
+}
+
+TEST(TpccWorkload, FullMixWithDeliveriesStaysConsistent) {
+  stm::Stm stm{cfg(3, 3)};
+  TpccConfig tcfg;
+  tcfg.warehouses = 2;
+  tcfg.districts_per_warehouse = 3;
+  tcfg.items = 30;
+  tcfg.customers_per_district = 4;
+  tcfg.new_order_fraction = 0.4;
+  tcfg.payment_fraction = 0.3;
+  tcfg.order_status_fraction = 0.1;
+  tcfg.delivery_fraction = 0.15;
+  TpccBenchmark bench{stm, tcfg};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&bench, t] {
+      util::Rng rng{static_cast<std::uint64_t>(80 + t)};
+      bench.run_many(40, rng);
+    });
+  }
+  threads.clear();
+  EXPECT_TRUE(bench.verify_consistency());
+}
+
+TEST(TpccWorkload, ConcurrentMixedLoadStaysConsistent) {
+  stm::Stm stm{cfg(4, 2)};
+  TpccConfig tcfg;
+  tcfg.warehouses = 2;
+  tcfg.items = 40;
+  tcfg.customers_per_district = 5;
+  tcfg.districts_per_warehouse = 3;
+  TpccBenchmark bench{stm, tcfg};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&bench, t] {
+      util::Rng rng{static_cast<std::uint64_t>(60 + t)};
+      bench.run_many(30, rng);
+    });
+  }
+  threads.clear();
+  EXPECT_TRUE(bench.verify_consistency());
+  EXPECT_GT(bench.new_orders_committed(), 0);
+}
+
+TEST(TpccWorkload, SingleWarehouseIsHighContention) {
+  // One warehouse, one district: every new-order serializes on the district
+  // row; concurrent execution must produce aborts yet keep order ids dense.
+  stm::Stm stm{cfg(4, 2)};
+  TpccConfig tcfg;
+  tcfg.warehouses = 1;
+  tcfg.districts_per_warehouse = 1;
+  tcfg.items = 30;
+  tcfg.new_order_fraction = 1.0;
+  tcfg.payment_fraction = 0.0;
+  TpccBenchmark bench{stm, tcfg};
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&bench, t] {
+      util::Rng rng{static_cast<std::uint64_t>(70 + t)};
+      for (int i = 0; i < 10; ++i) (void)bench.new_order(0, 0, 0, rng);
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(bench.new_orders_committed(), 40);
+  EXPECT_TRUE(bench.verify_consistency());
+  EXPECT_GT(stm.stats().top_aborts, 0u);
+}
+
+// Property sweep: invariants hold across (t, c) settings for all three
+// workloads under the same concurrent drive.
+struct TcParam {
+  std::size_t t;
+  std::size_t c;
+};
+class WorkloadInvariantSweep : public ::testing::TestWithParam<TcParam> {};
+
+TEST_P(WorkloadInvariantSweep, AllBenchmarksStayConsistent) {
+  const auto [top, children] = GetParam();
+  stm::Stm stm{cfg(top, children)};
+
+  ArrayConfig acfg;
+  acfg.array_size = 48;
+  acfg.update_fraction = 0.3;
+  ArrayBenchmark array{stm, acfg};
+
+  VacationConfig vcfg;
+  vcfg.relations = 8;
+  vcfg.customers = 8;
+  VacationBenchmark vacation{stm, vcfg};
+
+  TpccConfig tcfg;
+  tcfg.warehouses = 1;
+  tcfg.districts_per_warehouse = 2;
+  tcfg.items = 20;
+  tcfg.customers_per_district = 4;
+  TpccBenchmark tpcc{stm, tcfg};
+
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng{static_cast<std::uint64_t>(100 + t)};
+      for (int i = 0; i < 8; ++i) {
+        array.run_one(rng);
+        vacation.run_one(rng);
+        tpcc.run_one(rng);
+      }
+    });
+  }
+  threads.clear();
+  EXPECT_EQ(array.checksum(), array.committed_updates());
+  EXPECT_TRUE(vacation.verify_consistency());
+  EXPECT_TRUE(tpcc.verify_consistency());
+}
+
+INSTANTIATE_TEST_SUITE_P(TcGrid, WorkloadInvariantSweep,
+                         ::testing::Values(TcParam{1, 1}, TcParam{1, 4},
+                                           TcParam{2, 2}, TcParam{4, 1},
+                                           TcParam{4, 2}, TcParam{8, 1}));
+
+}  // namespace
+}  // namespace autopn::workloads

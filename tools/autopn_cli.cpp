@@ -1,0 +1,249 @@
+// autopn — command-line interface to the library's studies.
+//
+//   autopn workloads                      list the 10 paper workloads & optima
+//   autopn surface <workload>             print a throughput surface
+//   autopn tune <workload> [opts]         run one tuner trace-driven, log steps
+//   autopn compare <workload> [--seed N]  all tuners on one workload
+//   autopn record <workload> <file>       record an offline trace to a file
+//   autopn info <file>                    summarize a recorded trace
+//
+// tune options: --optimizer autopn|smbo|random|grid|hc|sa|ga  --seed N
+//               --cores N (default 48)
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "opt/autopn_optimizer.hpp"
+#include "opt/baselines.hpp"
+#include "opt/runner.hpp"
+#include "sim/des.hpp"
+#include "sim/surface.hpp"
+#include "sim/trace.hpp"
+#include "sim/workload.hpp"
+#include "util/table.hpp"
+
+using namespace autopn;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: autopn <workloads|surface|tune|compare|des-tune|record|info> ...\n"
+               "  autopn workloads\n"
+               "  autopn surface <workload> [--cores N]\n"
+               "  autopn tune <workload> [--optimizer NAME] [--seed N] [--cores N]\n"
+               "  autopn compare <workload> [--seed N] [--cores N]\n"
+               "  autopn des-tune <workload> [--optimizer NAME] [--seed N]\n"
+               "  autopn record <workload> <file> [--cores N]\n"
+               "  autopn info <file>\n";
+  return 2;
+}
+
+struct Options {
+  std::string optimizer = "autopn";
+  std::uint64_t seed = 1;
+  int cores = 48;
+};
+
+Options parse_options(const std::vector<std::string>& args, std::size_t start) {
+  Options opts;
+  for (std::size_t i = start; i + 1 < args.size(); i += 2) {
+    if (args[i] == "--optimizer") {
+      opts.optimizer = args[i + 1];
+    } else if (args[i] == "--seed") {
+      opts.seed = std::stoull(args[i + 1]);
+    } else if (args[i] == "--cores") {
+      opts.cores = std::stoi(args[i + 1]);
+    } else {
+      throw std::invalid_argument{"unknown option " + args[i]};
+    }
+  }
+  return opts;
+}
+
+std::unique_ptr<opt::Optimizer> make_optimizer(const std::string& name,
+                                               const opt::ConfigSpace& space,
+                                               std::uint64_t seed) {
+  if (name == "autopn") {
+    return std::make_unique<opt::AutoPnOptimizer>(space, opt::AutoPnParams{}, seed);
+  }
+  if (name == "smbo") {
+    opt::AutoPnParams params;
+    params.hill_climb_refinement = false;
+    return std::make_unique<opt::AutoPnOptimizer>(space, params, seed);
+  }
+  if (name == "random") return std::make_unique<opt::RandomSearch>(space, seed);
+  if (name == "grid") return std::make_unique<opt::GridSearch>(space);
+  if (name == "hc") return std::make_unique<opt::HillClimbing>(space, seed);
+  if (name == "sa") return std::make_unique<opt::SimulatedAnnealing>(space, seed);
+  if (name == "ga") return std::make_unique<opt::GeneticAlgorithm>(space, seed);
+  throw std::invalid_argument{"unknown optimizer " + name};
+}
+
+int cmd_workloads() {
+  const opt::ConfigSpace space{48};
+  util::TextTable table{{"workload", "optimum", "thr@opt", "opt/(1,1)"}};
+  for (const auto& params : sim::paper_workloads()) {
+    const sim::SurfaceModel model{params, 48};
+    const auto optimum = model.optimum(space);
+    table.add_row({params.name, optimum.config.to_string(),
+                   util::fmt_double(optimum.throughput, 0),
+                   util::fmt_double(optimum.throughput /
+                                        model.mean_throughput(opt::Config{1, 1}),
+                                    2)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_surface(const std::string& workload, const Options& opts) {
+  const opt::ConfigSpace space{opts.cores};
+  const sim::SurfaceModel model{sim::workload_by_name(workload), opts.cores};
+  util::TextTable table{{"(t,c)", "thr", "latency(ms)", "abort", "DFO"}};
+  for (const opt::Config& cfg : space.all()) {
+    table.add_row({cfg.to_string(), util::fmt_double(model.mean_throughput(cfg), 0),
+                   util::fmt_double(model.mean_latency(cfg) * 1e3, 3),
+                   util::fmt_percent(model.top_abort_probability(cfg)),
+                   util::fmt_percent(model.distance_from_optimum(space, cfg))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_tune(const std::string& workload, const Options& opts) {
+  const opt::ConfigSpace space{opts.cores};
+  const sim::SurfaceModel model{sim::workload_by_name(workload), opts.cores};
+  auto optimizer = make_optimizer(opts.optimizer, space, opts.seed);
+  util::Rng noise{opts.seed ^ 0xabc};
+  std::cout << "tuning " << workload << " with " << optimizer->name() << " over "
+            << space.size() << " configurations\n";
+  util::TextTable steps{{"step", "config", "measured", "best so far", "DFO"}};
+  std::size_t step = 0;
+  double best = 0.0;
+  opt::Config incumbent{1, 1};
+  while (auto proposal = optimizer->propose()) {
+    const double kpi = model.sample(*proposal, 1.0, noise);
+    optimizer->observe(*proposal, kpi);
+    if (kpi > best) {
+      best = kpi;
+      incumbent = *proposal;
+    }
+    steps.add_row({std::to_string(++step), proposal->to_string(),
+                   util::fmt_double(kpi, 0), incumbent.to_string(),
+                   util::fmt_percent(model.distance_from_optimum(space, incumbent))});
+    if (step > 400) break;
+  }
+  steps.print(std::cout);
+  std::cout << "final: " << incumbent.to_string() << " (DFO "
+            << util::fmt_percent(model.distance_from_optimum(space, incumbent))
+            << ") after " << step << " explorations\n";
+  return 0;
+}
+
+int cmd_compare(const std::string& workload, const Options& opts) {
+  const opt::ConfigSpace space{opts.cores};
+  const sim::SurfaceModel model{sim::workload_by_name(workload), opts.cores};
+  util::TextTable table{{"optimizer", "chosen", "DFO", "explorations"}};
+  for (const std::string name : {"autopn", "smbo", "random", "grid", "hc", "sa", "ga"}) {
+    auto optimizer = make_optimizer(name, space, opts.seed);
+    util::Rng noise{opts.seed ^ 0xdef};
+    const auto result = opt::run_to_convergence(
+        *optimizer, [&](const opt::Config& c) { return model.sample(c, 1.0, noise); },
+        400);
+    table.add_row({name, result.final_best.to_string(),
+                   util::fmt_percent(
+                       model.distance_from_optimum(space, result.final_best)),
+                   std::to_string(result.explorations())});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_record(const std::string& workload, const std::string& file,
+               const Options& opts) {
+  const opt::ConfigSpace space{opts.cores};
+  const sim::SurfaceModel model{sim::workload_by_name(workload), opts.cores};
+  const auto trace = sim::SurfaceTrace::record(model, space, 10, 600.0, opts.seed);
+  std::ofstream out{file};
+  if (!out) {
+    std::cerr << "cannot open " << file << "\n";
+    return 1;
+  }
+  trace.save(out);
+  std::cout << "recorded " << trace.size() << " configurations of " << workload
+            << " to " << file << "\n";
+  return 0;
+}
+
+int cmd_des_tune(const std::string& workload, const Options& opts) {
+  const opt::ConfigSpace space{opts.cores};
+  const sim::DesParams des_params =
+      sim::des_from_workload(sim::workload_by_name(workload), opts.cores);
+  auto optimizer = make_optimizer(opts.optimizer, space, opts.seed);
+  std::cout << "tuning " << workload << " on the discrete-event simulator with "
+            << optimizer->name() << "\n";
+  std::size_t step = 0;
+  while (auto proposal = optimizer->propose()) {
+    sim::DesSimulator sim{des_params, *proposal, opts.seed + step};
+    const auto window = sim.run_commits(200, 5.0);
+    optimizer->observe(*proposal, window.throughput());
+    ++step;
+    if (step > 400) break;
+  }
+  const opt::Config chosen = optimizer->best();
+  sim::DesSimulator verify{des_params, chosen, opts.seed ^ 0xfff};
+  const auto long_run = verify.run(3.0);
+  std::cout << "chosen " << chosen.to_string() << " after " << step
+            << " explorations; long-run DES throughput "
+            << util::fmt_double(long_run.throughput(), 0) << " tx/s, abort rate "
+            << util::fmt_percent(long_run.abort_rate()) << "\n";
+  return 0;
+}
+
+int cmd_info(const std::string& file) {
+  std::ifstream in{file};
+  if (!in) {
+    std::cerr << "cannot open " << file << "\n";
+    return 1;
+  }
+  const auto trace = sim::SurfaceTrace::load(in);
+  const auto optimum = trace.optimum();
+  std::cout << "workload: " << trace.workload() << "\ncores: " << trace.cores()
+            << "\nconfigurations: " << trace.size()
+            << "\noptimum: " << optimum.config.to_string() << " @ "
+            << util::fmt_double(optimum.throughput, 1) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  try {
+    if (args.empty()) return usage();
+    const std::string& cmd = args[0];
+    if (cmd == "workloads") return cmd_workloads();
+    if (cmd == "surface" && args.size() >= 2) {
+      return cmd_surface(args[1], parse_options(args, 2));
+    }
+    if (cmd == "tune" && args.size() >= 2) {
+      return cmd_tune(args[1], parse_options(args, 2));
+    }
+    if (cmd == "compare" && args.size() >= 2) {
+      return cmd_compare(args[1], parse_options(args, 2));
+    }
+    if (cmd == "des-tune" && args.size() >= 2) {
+      return cmd_des_tune(args[1], parse_options(args, 2));
+    }
+    if (cmd == "record" && args.size() >= 3) {
+      return cmd_record(args[1], args[2], parse_options(args, 3));
+    }
+    if (cmd == "info" && args.size() >= 2) return cmd_info(args[1]);
+    return usage();
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}
