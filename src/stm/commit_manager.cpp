@@ -1,0 +1,93 @@
+#include "stm/commit_manager.hpp"
+
+#include "stm/exceptions.hpp"
+
+namespace autopn::stm {
+
+void CommitManager::validate_or_throw(const CommitRequest& req) const {
+  for (const VBoxBase* box : req.read_boxes) {
+    if (box->newest_version() > req.snapshot) {
+      profiler_->note(box);
+      throw ConflictError{ConflictKind::kTopLevelValidation};
+    }
+  }
+}
+
+void GlobalLockCommitManager::commit(CommitRequest& req) {
+  std::scoped_lock lock{mutex_};
+  validate_or_throw(req);
+  const std::uint64_t version = clock_->load(std::memory_order_relaxed) + 1;
+  const std::uint64_t min_active = snapshots_->min_active();
+  for (auto& [box, value] : req.writes) {
+    box->install(std::move(value), version, min_active);
+  }
+  // seq_cst publish so the snapshot registry's publish-and-validate handshake
+  // (snapshot_registry.hpp) totally orders this against registrations.
+  clock_->store(version, std::memory_order_seq_cst);
+}
+
+LockFreeCommitManager::LockFreeCommitManager(std::atomic<std::uint64_t>& clock,
+                                             SnapshotRegistry& snapshots,
+                                             ContentionProfiler& profiler)
+    : CommitManager(clock, snapshots, profiler) {
+  // Sentinel record: version 0, already written back.
+  latest_.store(std::make_shared<CommitRecord>());
+}
+
+void LockFreeCommitManager::help_commit(CommitRecord& record) {
+  if (!record.done.load(std::memory_order_acquire)) {
+    const std::uint64_t min_active = snapshots_->min_active();
+    for (const auto& [box, value] : record.writes) {
+      (void)box->install_cas(value, record.version, min_active);
+    }
+    record.done.store(true, std::memory_order_release);
+  }
+  // Publish the version (monotone max; helpers may race with later records).
+  // seq_cst for the registry handshake, as in the global-lock manager.
+  std::uint64_t current = clock_->load(std::memory_order_relaxed);
+  while (current < record.version &&
+         !clock_->compare_exchange_weak(current, record.version,
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+  }
+}
+
+void LockFreeCommitManager::commit(CommitRequest& req) {
+  // Loop invariant maintained by helping: whenever a record for version v+1
+  // is CAS'd onto the chain, the record for version v has completed its
+  // writeback — so after help_commit(current) every committed version is
+  // visible and validation against the boxes' newest versions is exact.
+  auto record = std::make_shared<CommitRecord>();
+  record->writes = std::move(req.writes);
+  for (;;) {
+    auto current = latest_.load(std::memory_order_acquire);
+    help_commit(*current);
+    validate_or_throw(req);
+    record->version = current->version + 1;
+    record->done.store(false, std::memory_order_relaxed);
+    if (latest_.compare_exchange_strong(current, record,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+      help_commit(*record);
+      return;
+    }
+    // Lost the race: a concurrent commit claimed the version. Help it and
+    // re-validate against the new state.
+  }
+}
+
+std::unique_ptr<CommitManager> make_commit_manager(
+    CommitStrategy strategy, std::atomic<std::uint64_t>& clock,
+    SnapshotRegistry& snapshots, ContentionProfiler& profiler) {
+  switch (strategy) {
+    case CommitStrategy::kGlobalLock:
+      return std::make_unique<GlobalLockCommitManager>(clock, snapshots,
+                                                       profiler);
+    case CommitStrategy::kLockFree:
+      return std::make_unique<LockFreeCommitManager>(clock, snapshots,
+                                                     profiler);
+  }
+  return std::make_unique<LockFreeCommitManager>(clock, snapshots, profiler);
+}
+
+}  // namespace autopn::stm

@@ -1,0 +1,150 @@
+#pragma once
+// Pluggable top-level commit protocols. A CommitManager owns the STM's
+// serialization point: it validates a transaction's global read set against
+// the version chains and installs its write set at a fresh clock version.
+// Two protocols are provided, selected by StmConfig::commit_strategy at
+// construction:
+//
+//  * GlobalLockCommitManager — validate + install under one commit mutex
+//    (simple, predictable; the conservative baseline);
+//  * LockFreeCommitManager — JVSTM-style helping commit: commit records are
+//    CAS'd onto a chain and written back cooperatively (any thread may help
+//    complete the latest record), so no thread ever blocks on a lock to
+//    commit. Caveat measured by bench/stm_scaling and documented in
+//    DESIGN.md §6: std::atomic<std::shared_ptr> is itself lock-BASED on
+//    libstdc++, so the chain head CAS degrades to a tiny spinlock there;
+//    serialization_lock_free() reports the truth for the build platform.
+//
+// Both managers depend only on the narrow runtime environment they are
+// constructed with (clock, snapshot registry for pruning bounds, contention
+// profiler for conflict attribution), never on Stm itself — they are
+// independently constructible and unit-tested (tests/stm_commit_manager_test).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "stm/snapshot_registry.hpp"
+#include "stm/stats.hpp"
+#include "stm/vbox.hpp"
+
+namespace autopn::stm {
+
+/// How top-level commits serialize.
+enum class CommitStrategy {
+  /// Validate + install under a global commit mutex (simple, predictable).
+  kGlobalLock,
+  /// JVSTM-style lock-free commit: commit records are CAS'd onto a chain and
+  /// written back cooperatively (any thread may help complete the latest
+  /// record), so no thread ever blocks on a lock to commit.
+  kLockFree,
+};
+
+/// One top-level commit, materialized from the transaction's read/write sets.
+struct CommitRequest {
+  /// The root snapshot the transaction read from.
+  std::uint64_t snapshot = 0;
+  /// Boxes read from the global version chain; the commit is valid only while
+  /// each still has newest_version() <= snapshot at serialization time.
+  std::vector<const VBoxBase*> read_boxes;
+  /// New values to install, one entry per written box.
+  std::vector<std::pair<VBoxBase*, std::shared_ptr<const void>>> writes;
+};
+
+class CommitManager {
+ public:
+  virtual ~CommitManager() = default;
+
+  CommitManager(const CommitManager&) = delete;
+  CommitManager& operator=(const CommitManager&) = delete;
+
+  /// Serializes one top-level commit: validates `req.read_boxes` and installs
+  /// `req.writes` at a fresh version, publishing it to the clock. Throws
+  /// ConflictError{kTopLevelValidation} when a read is stale (the failing box
+  /// is reported to the contention profiler first). `req.writes` may be
+  /// consumed even on failure; the caller rebuilds it on retry.
+  virtual void commit(CommitRequest& req) = 0;
+
+  /// Protocol name for diagnostics and bench labels.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Whether the serialization point is genuinely lock-free *on this build
+  /// platform* (see file comment; false for kGlobalLock by construction, and
+  /// false for kLockFree when atomic<shared_ptr> is lock-based).
+  [[nodiscard]] virtual bool serialization_lock_free() const noexcept = 0;
+
+ protected:
+  CommitManager(std::atomic<std::uint64_t>& clock, SnapshotRegistry& snapshots,
+                ContentionProfiler& profiler)
+      : clock_(&clock), snapshots_(&snapshots), profiler_(&profiler) {}
+
+  /// Shared validation: every read box's newest version must still be at or
+  /// below the snapshot. Reports the first stale box and throws.
+  void validate_or_throw(const CommitRequest& req) const;
+
+  std::atomic<std::uint64_t>* clock_;
+  SnapshotRegistry* snapshots_;
+  ContentionProfiler* profiler_;
+};
+
+/// Strategy kGlobalLock: one mutex serializes validate + install.
+class GlobalLockCommitManager final : public CommitManager {
+ public:
+  GlobalLockCommitManager(std::atomic<std::uint64_t>& clock,
+                          SnapshotRegistry& snapshots,
+                          ContentionProfiler& profiler)
+      : CommitManager(clock, snapshots, profiler) {}
+
+  void commit(CommitRequest& req) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "global-lock";
+  }
+  [[nodiscard]] bool serialization_lock_free() const noexcept override {
+    return false;
+  }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Strategy kLockFree: JVSTM-style commit-record chain with helping.
+class LockFreeCommitManager final : public CommitManager {
+ public:
+  LockFreeCommitManager(std::atomic<std::uint64_t>& clock,
+                        SnapshotRegistry& snapshots,
+                        ContentionProfiler& profiler);
+
+  void commit(CommitRequest& req) override;
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "lock-free";
+  }
+  [[nodiscard]] bool serialization_lock_free() const noexcept override {
+    return latest_.is_lock_free();
+  }
+
+ private:
+  /// One commit's payload: the version it claims and the write set to
+  /// install. `done` flips after every body is (idempotently) installed.
+  struct CommitRecord {
+    std::uint64_t version = 0;
+    std::vector<std::pair<VBoxBase*, std::shared_ptr<const void>>> writes;
+    std::atomic<bool> done{true};
+  };
+
+  /// Completes a record's writeback (idempotent; any thread may help) and
+  /// publishes its version to the clock.
+  void help_commit(CommitRecord& record);
+
+  std::atomic<std::shared_ptr<CommitRecord>> latest_;
+};
+
+/// Builds the manager for `strategy` over the given runtime environment.
+[[nodiscard]] std::unique_ptr<CommitManager> make_commit_manager(
+    CommitStrategy strategy, std::atomic<std::uint64_t>& clock,
+    SnapshotRegistry& snapshots, ContentionProfiler& profiler);
+
+}  // namespace autopn::stm

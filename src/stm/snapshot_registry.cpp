@@ -1,0 +1,122 @@
+#include "stm/snapshot_registry.hpp"
+
+#include <algorithm>
+
+namespace autopn::stm {
+
+SnapshotRegistry::SnapshotRegistry(const std::atomic<std::uint64_t>& clock,
+                                   std::size_t slots)
+    : clock_(&clock),
+      slots_(util::ceil_pow2(std::max<std::size_t>(1, slots))),
+      slot_mask_(slots_.size() - 1) {
+  for (auto& slot : slots_) {
+    slot.value.store(kEmpty, std::memory_order_relaxed);
+  }
+}
+
+SnapshotRegistry::Handle SnapshotRegistry::acquire() {
+  const std::size_t start = util::thread_shard_token() & slot_mask_;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const std::size_t index = (start + i) & slot_mask_;
+    auto& slot = slots_[index].value;
+    std::uint64_t expected = kEmpty;
+    std::uint64_t snap = clock_->load(std::memory_order_seq_cst);
+    if (!slot.compare_exchange_strong(expected, snap,
+                                      std::memory_order_seq_cst)) {
+      continue;  // occupied; probe the next slot
+    }
+    // Publish-and-validate: if the clock moved between our read and the slot
+    // store, a committer may have computed a pruning minimum above `snap`
+    // without seeing us — re-publish at the newer value until stable (see
+    // header). Terminates because the clock only advances on commits.
+    for (;;) {
+      const std::uint64_t now = clock_->load(std::memory_order_seq_cst);
+      if (now == snap) break;
+      snap = now;
+      slot.store(snap, std::memory_order_seq_cst);
+    }
+    Handle handle;
+    handle.registry_ = this;
+    handle.slot_ = index;
+    handle.snapshot_ = snap;
+    return handle;
+  }
+
+  // Every slot is busy: fall back to the overflow multiset. The counter is
+  // bumped first so a committer that observes 0 is ordered before our insert
+  // and its clock floor-read before our validation re-read.
+  overflow_active_.fetch_add(1, std::memory_order_seq_cst);
+  std::uint64_t snap;
+  {
+    std::scoped_lock lock{overflow_mutex_};
+    snap = clock_->load(std::memory_order_seq_cst);
+    auto it = overflow_.insert(snap);
+    for (;;) {
+      const std::uint64_t now = clock_->load(std::memory_order_seq_cst);
+      if (now == snap) break;
+      overflow_.erase(it);
+      snap = now;
+      it = overflow_.insert(snap);
+    }
+  }
+  Handle handle;
+  handle.registry_ = this;
+  handle.slot_ = Handle::kOverflowSlot;
+  handle.snapshot_ = snap;
+  return handle;
+}
+
+void SnapshotRegistry::Handle::release() noexcept {
+  if (registry_ == nullptr) return;
+  if (slot_ == kOverflowSlot) {
+    registry_->release_overflow(snapshot_);
+  } else {
+    registry_->release_slot(slot_);
+  }
+  registry_ = nullptr;
+}
+
+void SnapshotRegistry::release_slot(std::size_t slot) noexcept {
+  slots_[slot].value.store(kEmpty, std::memory_order_seq_cst);
+}
+
+void SnapshotRegistry::release_overflow(std::uint64_t snapshot) noexcept {
+  {
+    std::scoped_lock lock{overflow_mutex_};
+    overflow_.erase(overflow_.find(snapshot));
+  }
+  overflow_active_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+std::uint64_t SnapshotRegistry::min_active() const {
+  // Clock floor FIRST, then the slots: a scan that misses a concurrent
+  // registration at snapshot s is thereby guaranteed a floor <= s (header
+  // argument), so the returned minimum can never prune a body a registered
+  // snapshot still needs. Taking min(floor, slots) is conservative when both
+  // are present — it can only retain more bodies than strictly necessary.
+  std::uint64_t min = clock_->load(std::memory_order_seq_cst);
+  for (const auto& slot : slots_) {
+    const std::uint64_t v = slot.value.load(std::memory_order_seq_cst);
+    if (v != kEmpty && v < min) min = v;
+  }
+  if (overflow_active_.load(std::memory_order_seq_cst) != 0) {
+    std::scoped_lock lock{overflow_mutex_};
+    if (!overflow_.empty()) min = std::min(min, *overflow_.begin());
+  }
+  return min;
+}
+
+std::size_t SnapshotRegistry::active_count() const {
+  std::size_t count = 0;
+  for (const auto& slot : slots_) {
+    if (slot.value.load(std::memory_order_relaxed) != kEmpty) ++count;
+  }
+  return count + overflow_count();
+}
+
+std::size_t SnapshotRegistry::overflow_count() const {
+  std::scoped_lock lock{overflow_mutex_};
+  return overflow_.size();
+}
+
+}  // namespace autopn::stm

@@ -1,0 +1,147 @@
+#pragma once
+// Lock-free active-snapshot registry. Every top-level transaction publishes
+// the clock value it reads from (its snapshot) so that committers can compute
+// the oldest snapshot any active transaction may still need
+// (min_active()) and prune version-chain bodies nothing can reach.
+//
+// The registry replaces a global mutex + std::multiset that serialized every
+// top-level begin/end. Structure: a fixed array of cache-line-padded atomic
+// slots (one store to register, one store to deregister, a wait-free scan for
+// the minimum) plus a mutex-protected overflow multiset used only when more
+// transactions are simultaneously active than there are slots.
+//
+// Correctness (the pruning race of DESIGN.md §8 bug 2, restated): a snapshot
+// `s` must never be invisible to a committer whose pruning minimum exceeds
+// `s`. The old design made read-clock-and-register atomic under the registry
+// mutex. Lock-free, the same guarantee comes from a publish-and-validate
+// handshake with seq_cst ordering:
+//
+//   register:           min_active (committer):
+//     s = clock            floor = clock        // clock FIRST, then slots
+//     slot = s             for each slot: m = min(m, slot)
+//     if clock != s:       return min(floor, m)
+//       retry with new s
+//
+// If a committer's scan misses our slot (reads it before our store in the
+// seq_cst total order), then its floor-read of the clock precedes our
+// validation re-read; so either its floor <= s (its minimum cannot exceed s:
+// safe), or some version > s was already published before our re-read — and
+// then the re-read observes clock != s and we retry with the newer value.
+// Conversely a scan after our store sees the slot. Deregistration is a single
+// release of the slot: removing a snapshot only raises future minima, which
+// prunes more, never less. All registry and clock-publish operations use
+// seq_cst so the total-order argument holds; they run once per transaction
+// and once per commit, never on the read path.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "util/sharded.hpp"
+
+namespace autopn::stm {
+
+class SnapshotRegistry {
+ public:
+  /// `clock` is the runtime's global version clock (must outlive the
+  /// registry); `slots` is rounded up to a power of two. Transactions beyond
+  /// the slot capacity fall back to the mutex-protected overflow set.
+  explicit SnapshotRegistry(const std::atomic<std::uint64_t>& clock,
+                            std::size_t slots = kDefaultSlots);
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  static constexpr std::size_t kDefaultSlots = 64;
+
+  /// RAII registration: holds the snapshot alive in the registry until
+  /// destroyed (or release()d).
+  class Handle {
+   public:
+    Handle() = default;
+    ~Handle() { release(); }
+
+    Handle(Handle&& other) noexcept
+        : registry_(other.registry_),
+          slot_(other.slot_),
+          snapshot_(other.snapshot_) {
+      other.registry_ = nullptr;
+    }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        release();
+        registry_ = other.registry_;
+        slot_ = other.slot_;
+        snapshot_ = other.snapshot_;
+        other.registry_ = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    /// The registered snapshot (valid while the handle is live).
+    [[nodiscard]] std::uint64_t snapshot() const noexcept { return snapshot_; }
+    [[nodiscard]] bool live() const noexcept { return registry_ != nullptr; }
+    /// True when this registration landed in the overflow set (diagnostics).
+    [[nodiscard]] bool overflowed() const noexcept {
+      return registry_ != nullptr && slot_ == kOverflowSlot;
+    }
+
+    /// Deregisters early; idempotent.
+    void release() noexcept;
+
+   private:
+    friend class SnapshotRegistry;
+    static constexpr std::size_t kOverflowSlot = ~std::size_t{0};
+
+    SnapshotRegistry* registry_ = nullptr;
+    std::size_t slot_ = kOverflowSlot;
+    std::uint64_t snapshot_ = 0;
+  };
+
+  /// Registers the calling transaction at the current clock value and returns
+  /// the handle carrying the snapshot it must read from.
+  [[nodiscard]] Handle acquire();
+
+  /// Smallest snapshot any active transaction may read from; the current
+  /// clock value when none is active. Wait-free over the slot array (the
+  /// overflow set is consulted, under its mutex, only while it is non-empty).
+  /// The result is a safe pruning bound: it never exceeds the snapshot of any
+  /// transaction whose registration completed.
+  [[nodiscard]] std::uint64_t min_active() const;
+
+  // ---- diagnostics ------------------------------------------------------
+
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return slots_.size();
+  }
+  /// Registrations currently active (racy snapshot; exact at quiescence).
+  [[nodiscard]] std::size_t active_count() const;
+  /// Registrations currently parked in the overflow set.
+  [[nodiscard]] std::size_t overflow_count() const;
+
+ private:
+  /// Slot value meaning "free". The clock would need 2^64 - 1 commits to
+  /// collide with it.
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+
+  void release_slot(std::size_t slot) noexcept;
+  void release_overflow(std::uint64_t snapshot) noexcept;
+
+  const std::atomic<std::uint64_t>* clock_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> slots_;
+  std::size_t slot_mask_;
+
+  /// Count of overflow registrations, bumped BEFORE the protected insert so a
+  /// committer that reads 0 is ordered before any overflow entry it could
+  /// have missed (same publish-and-validate argument as the slots).
+  std::atomic<std::size_t> overflow_active_{0};
+  mutable std::mutex overflow_mutex_;
+  std::multiset<std::uint64_t> overflow_;
+};
+
+}  // namespace autopn::stm

@@ -1,94 +1,22 @@
 #include "stm/stm.hpp"
 
-#include "stm/exceptions.hpp"
-
 #include <algorithm>
-#include <cstdio>
 #include <chrono>
 #include <thread>
 
+#include "stm/exceptions.hpp"
 #include "util/rng.hpp"
 
 namespace autopn::stm {
 
-/// Runtime counters; padded to distinct cache lines to avoid false sharing
-/// between the hot read/write counters and the commit counters (Per.16/19).
-struct Stm::Counters {
-  alignas(64) std::atomic<std::uint64_t> top_commits{0};
-  alignas(64) std::atomic<std::uint64_t> top_aborts{0};
-  alignas(64) std::atomic<std::uint64_t> child_commits{0};
-  alignas(64) std::atomic<std::uint64_t> child_aborts{0};
-  alignas(64) std::atomic<std::uint64_t> reads{0};
-  alignas(64) std::atomic<std::uint64_t> writes{0};
-  // Abort breakdown; colder counters share a line.
-  alignas(64) std::atomic<std::uint64_t> aborts_validation{0};
-  std::atomic<std::uint64_t> aborts_sibling{0};
-  std::atomic<std::uint64_t> aborts_explicit{0};
-};
-
-namespace {
-/// RAII registration of a root snapshot in the active-snapshot registry.
-///
-/// The snapshot MUST be taken from the clock while holding the registry
-/// mutex: reading the clock first and registering afterwards opens a window
-/// in which a committer computes min_active_snapshot() without this
-/// transaction, advances past its snapshot and prunes the very bodies it
-/// needs (observed in the wild as "read of an uninitialized VBox" under
-/// load). With the atomic read-and-register, any committer either sees this
-/// snapshot in the registry or computed its minimum from a clock value that
-/// is <= this snapshot — both retain every body the snapshot can reach.
-class SnapshotGuard {
- public:
-  SnapshotGuard(std::mutex& mutex, std::multiset<std::uint64_t>& registry,
-                const std::atomic<std::uint64_t>& clock)
-      : mutex_(&mutex), registry_(&registry) {
-    std::scoped_lock lock{*mutex_};
-    snapshot_ = clock.load(std::memory_order_acquire);
-    it_ = registry_->insert(snapshot_);
-  }
-  ~SnapshotGuard() {
-    std::scoped_lock lock{*mutex_};
-    registry_->erase(it_);
-  }
-  SnapshotGuard(const SnapshotGuard&) = delete;
-  SnapshotGuard& operator=(const SnapshotGuard&) = delete;
-
-  [[nodiscard]] std::uint64_t snapshot() const noexcept { return snapshot_; }
-
- private:
-  std::mutex* mutex_;
-  std::multiset<std::uint64_t>* registry_;
-  std::uint64_t snapshot_ = 0;
-  std::multiset<std::uint64_t>::iterator it_;
-};
-}  // namespace
-
 Stm::Stm(StmConfig config)
     : config_(config),
+      snapshots_(clock_, config.snapshot_slots),
+      commit_manager_(make_commit_manager(config.commit_strategy, clock_,
+                                          snapshots_, profiler_)),
       top_gate_(std::max<std::size_t>(1, config.initial_top)),
       child_limit_(std::max<std::size_t>(1, config.initial_children)),
-      pool_(std::max<std::size_t>(1, config.pool_threads)),
-      counters_(std::make_unique<Counters>()) {
-  // Sentinel record: version 0, already written back.
-  latest_record_.store(std::make_shared<CommitRecord>());
-}
-
-void Stm::help_commit(CommitRecord& record) {
-  if (!record.done.load(std::memory_order_acquire)) {
-    const std::uint64_t min_active = min_active_snapshot();
-    for (const auto& [box, value] : record.writes) {
-      (void)box->install_cas(value, record.version, min_active);
-    }
-    record.done.store(true, std::memory_order_release);
-  }
-  // Publish the version (monotone max; helpers may race with later records).
-  std::uint64_t current = clock_.load(std::memory_order_relaxed);
-  while (current < record.version &&
-         !clock_.compare_exchange_weak(current, record.version,
-                                       std::memory_order_release,
-                                       std::memory_order_relaxed)) {
-  }
-}
+      pool_(std::max<std::size_t>(1, config.pool_threads)) {}
 
 Stm::~Stm() = default;
 
@@ -96,34 +24,38 @@ void Stm::run_top(const std::function<void(Tx&)>& body) {
   util::SemaphoreGuard top_permit{top_gate_};
   unsigned attempt = 0;
   for (;;) {
-    SnapshotGuard snapshot_guard{snap_mutex_, active_snapshots_, clock_};
-    Tx root{*this, nullptr, snapshot_guard.snapshot()};
+    SnapshotRegistry::Handle snapshot = snapshots_.acquire();
+    Tx root{*this, nullptr, snapshot.snapshot()};
     root.tree_gate_ = std::make_unique<util::ResizableSemaphore>(
         child_limit_.load(std::memory_order_relaxed));
     try {
       body(root);
       root.commit_top_level();
     } catch (const ConflictError& conflict) {
-      counters_->top_aborts.fetch_add(1, std::memory_order_relaxed);
-      detail::bump_conflict_kind(*this, conflict.kind());
+      stats_.bump_top_abort(conflict.kind());
       backoff(attempt++);
       continue;
     }
-    counters_->top_commits.fetch_add(1, std::memory_order_relaxed);
-    if (auto cb = commit_cb_.load(std::memory_order_acquire); cb && *cb) (*cb)();
+    stats_.bump_top_commit();
+    notify_commit();
     return;
   }
 }
 
 void Stm::run_read_only_impl(const std::function<void(Tx&)>& body) {
   util::SemaphoreGuard top_permit{top_gate_};
-  SnapshotGuard snapshot_guard{snap_mutex_, active_snapshots_, clock_};
-  Tx root{*this, nullptr, snapshot_guard.snapshot()};
+  SnapshotRegistry::Handle snapshot = snapshots_.acquire();
+  Tx root{*this, nullptr, snapshot.snapshot()};
   root.read_only_ = true;
   root.tree_gate_ = std::make_unique<util::ResizableSemaphore>(
       child_limit_.load(std::memory_order_relaxed));
   body(root);  // snapshot reads cannot conflict: no retry loop, no validation
-  counters_->top_commits.fetch_add(1, std::memory_order_relaxed);
+  stats_.bump_top_commit();
+  notify_commit();
+}
+
+void Stm::notify_commit() {
+  if (!has_commit_cb_.load(std::memory_order_acquire)) return;
   if (auto cb = commit_cb_.load(std::memory_order_acquire); cb && *cb) (*cb)();
 }
 
@@ -136,79 +68,12 @@ void Stm::set_child_limit(std::size_t c) {
 }
 
 void Stm::set_commit_callback(std::shared_ptr<const std::function<void()>> cb) {
+  // Store the callback before raising the flag so a committer that observes
+  // the flag always finds the callback. A commit racing with installation may
+  // miss one notification; the monitor's windows tolerate that.
+  const bool installed = cb != nullptr;
   commit_cb_.store(std::move(cb), std::memory_order_release);
-}
-
-StmStatsSnapshot Stm::stats() const {
-  StmStatsSnapshot snap;
-  snap.top_commits = counters_->top_commits.load(std::memory_order_relaxed);
-  snap.top_aborts = counters_->top_aborts.load(std::memory_order_relaxed);
-  snap.child_commits = counters_->child_commits.load(std::memory_order_relaxed);
-  snap.child_aborts = counters_->child_aborts.load(std::memory_order_relaxed);
-  snap.reads = counters_->reads.load(std::memory_order_relaxed);
-  snap.writes = counters_->writes.load(std::memory_order_relaxed);
-  snap.aborts_validation = counters_->aborts_validation.load(std::memory_order_relaxed);
-  snap.aborts_sibling = counters_->aborts_sibling.load(std::memory_order_relaxed);
-  snap.aborts_explicit = counters_->aborts_explicit.load(std::memory_order_relaxed);
-  return snap;
-}
-
-void Stm::reset_stats() {
-  counters_->top_commits.store(0, std::memory_order_relaxed);
-  counters_->top_aborts.store(0, std::memory_order_relaxed);
-  counters_->child_commits.store(0, std::memory_order_relaxed);
-  counters_->child_aborts.store(0, std::memory_order_relaxed);
-  counters_->reads.store(0, std::memory_order_relaxed);
-  counters_->writes.store(0, std::memory_order_relaxed);
-  counters_->aborts_validation.store(0, std::memory_order_relaxed);
-  counters_->aborts_sibling.store(0, std::memory_order_relaxed);
-  counters_->aborts_explicit.store(0, std::memory_order_relaxed);
-}
-
-void Stm::set_contention_profiling(bool enabled) {
-  profiling_.store(enabled, std::memory_order_relaxed);
-}
-
-void Stm::note_conflict(const VBoxBase* box) {
-  if (!profiling_.load(std::memory_order_relaxed)) return;
-  std::scoped_lock lock{profile_mutex_};
-  ++conflict_counts_[box];
-}
-
-std::vector<Stm::Hotspot> Stm::contention_hotspots(std::size_t top_n) const {
-  std::vector<Hotspot> out;
-  {
-    std::scoped_lock lock{profile_mutex_};
-    out.reserve(conflict_counts_.size());
-    for (const auto& [box, count] : conflict_counts_) {
-      Hotspot entry;
-      entry.conflicts = count;
-      if (const std::string* label = box->label()) {
-        entry.label = *label;
-      } else {
-        char buffer[32];
-        std::snprintf(buffer, sizeof buffer, "box@%p", static_cast<const void*>(box));
-        entry.label = buffer;
-      }
-      out.push_back(std::move(entry));
-    }
-  }
-  std::sort(out.begin(), out.end(), [](const Hotspot& a, const Hotspot& b) {
-    return a.conflicts > b.conflicts;
-  });
-  if (out.size() > top_n) out.resize(top_n);
-  return out;
-}
-
-void Stm::reset_contention_profile() {
-  std::scoped_lock lock{profile_mutex_};
-  conflict_counts_.clear();
-}
-
-std::uint64_t Stm::min_active_snapshot() {
-  std::scoped_lock lock{snap_mutex_};
-  if (active_snapshots_.empty()) return clock_.load(std::memory_order_relaxed);
-  return *active_snapshots_.begin();
+  has_commit_cb_.store(installed, std::memory_order_release);
 }
 
 void Stm::acquire_child_token(util::ResizableSemaphore& gate) {
@@ -226,36 +91,5 @@ void Stm::backoff(unsigned attempt) {
   const auto ceiling = std::chrono::microseconds{(1u << capped) * 20u};
   std::this_thread::sleep_for(ceiling * rng.uniform(0.5, 1.0));
 }
-
-namespace detail {
-void bump_reads(Stm& stm) {
-  stm.counters_->reads.fetch_add(1, std::memory_order_relaxed);
-}
-void bump_writes(Stm& stm) {
-  stm.counters_->writes.fetch_add(1, std::memory_order_relaxed);
-}
-void bump_child_commit(Stm& stm) {
-  stm.counters_->child_commits.fetch_add(1, std::memory_order_relaxed);
-}
-void bump_conflict_kind(Stm& stm, ConflictKind kind) {
-  auto& counters = *stm.counters_;
-  switch (kind) {
-    case ConflictKind::kTopLevelValidation:
-      counters.aborts_validation.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ConflictKind::kSiblingWrite:
-    case ConflictKind::kStaleReRead:
-      counters.aborts_sibling.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case ConflictKind::kExplicitRetry:
-      counters.aborts_explicit.fetch_add(1, std::memory_order_relaxed);
-      break;
-  }
-}
-void bump_child_abort(Stm& stm, ConflictKind kind) {
-  stm.counters_->child_aborts.fetch_add(1, std::memory_order_relaxed);
-  bump_conflict_kind(stm, kind);
-}
-}  // namespace detail
 
 }  // namespace autopn::stm

@@ -1,52 +1,38 @@
 #pragma once
-// The PN-STM runtime: global version clock, commit serialization, active-
-// snapshot registry (for version pruning), the shared nested-transaction
-// thread pool (set P of paper §III-A), the actuator gates bounding top-level
-// (t) and per-tree nested (c) concurrency, and statistics.
+// The PN-STM runtime, composed from independently testable components: a
+// global version clock, a pluggable CommitManager (commit serialization), a
+// lock-free SnapshotRegistry (active snapshots for version pruning), sharded
+// StmStats/ContentionProfiler (statistics and hotspot profiling), the shared
+// nested-transaction thread pool (set P of paper §III-A), and the actuator
+// gates bounding top-level (t) and per-tree nested (c) concurrency.
 //
 // This is the C++ counterpart of JVSTM extended with the paper's actuator
 // hooks: begin/commit of top-level transactions pass through a resizable
 // semaphore of capacity t; child spawns pass through a per-tree semaphore of
 // capacity c (created per top-level attempt from the current setting, so
 // reconfigurations drain naturally and never interrupt running transactions).
+//
+// Stm itself owns no serialization state: commit ordering lives in the
+// CommitManager, snapshot tracking in the SnapshotRegistry, and statistics
+// in sharded per-thread counters, so nothing here globally serializes
+// run_top beyond the actuator's own t-gate.
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <set>
-#include <unordered_map>
+#include <optional>
+#include <utility>
 #include <vector>
 
+#include "stm/commit_manager.hpp"
+#include "stm/snapshot_registry.hpp"
+#include "stm/stats.hpp"
 #include "stm/tx.hpp"
 #include "util/semaphore.hpp"
 #include "util/thread_pool.hpp"
 
 namespace autopn::stm {
-
-class Stm;
-
-enum class ConflictKind;
-
-namespace detail {
-// Counter shims used by Tx (keeps the padded counter block private to Stm).
-void bump_reads(Stm& stm);
-void bump_writes(Stm& stm);
-void bump_child_commit(Stm& stm);
-void bump_child_abort(Stm& stm, ConflictKind kind);
-void bump_conflict_kind(Stm& stm, ConflictKind kind);
-}  // namespace detail
-
-/// How top-level commits serialize.
-enum class CommitStrategy {
-  /// Validate + install under a global commit mutex (simple, predictable).
-  kGlobalLock,
-  /// JVSTM-style lock-free commit: commit records are CAS'd onto a chain and
-  /// written back cooperatively (any thread may help complete the latest
-  /// record), so no thread ever blocks on a lock to commit.
-  kLockFree,
-};
 
 /// Construction-time parameters of the runtime.
 struct StmConfig {
@@ -62,26 +48,10 @@ struct StmConfig {
   /// Top-level commit serialization (paper-faithful default: lock-free, as
   /// JVSTM; kGlobalLock is the conservative alternative).
   CommitStrategy commit_strategy = CommitStrategy::kLockFree;
-};
-
-/// Point-in-time copy of the runtime counters.
-struct StmStatsSnapshot {
-  std::uint64_t top_commits = 0;
-  std::uint64_t top_aborts = 0;
-  std::uint64_t child_commits = 0;
-  std::uint64_t child_aborts = 0;
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  // Abort breakdown by conflict kind (top_aborts + child_aborts ==
-  // validation + sibling + explicit).
-  std::uint64_t aborts_validation = 0;  ///< top-level read-set validation
-  std::uint64_t aborts_sibling = 0;     ///< child vs sibling merge conflicts
-  std::uint64_t aborts_explicit = 0;    ///< user-requested retry()
-
-  [[nodiscard]] double top_abort_rate() const {
-    const double attempts = static_cast<double>(top_commits + top_aborts);
-    return attempts > 0 ? static_cast<double>(top_aborts) / attempts : 0.0;
-  }
+  /// Slots in the lock-free active-snapshot registry; transactions beyond
+  /// this many simultaneously active fall back to a mutex-protected overflow
+  /// path (see SnapshotRegistry).
+  std::size_t snapshot_slots = SnapshotRegistry::kDefaultSlots;
 };
 
 class Stm {
@@ -99,18 +69,24 @@ class Stm {
   void run_top(const std::function<void(Tx&)>& body);
 
   /// Convenience wrapper returning a value computed inside the transaction.
+  /// T needs no default constructor; the result of the committed attempt is
+  /// moved out (earlier aborted attempts overwrite theirs).
   template <typename T>
   [[nodiscard]] T run_top_returning(const std::function<T(Tx&)>& body) {
-    T result{};
-    run_top([&](Tx& tx) { result = body(tx); });
-    return result;
+    std::optional<T> result;
+    run_top([&](Tx& tx) { result.emplace(body(tx)); });
+    return std::move(*result);
   }
 
   /// Read-only transaction fast path: in a multi-version STM a snapshot read
   /// can never conflict, so there is no retry loop and no commit validation.
   /// The body MUST NOT write (enforced: a write throws std::logic_error).
   template <typename T>
-  [[nodiscard]] T read_only(const std::function<T(Tx&)>& body);
+  [[nodiscard]] T read_only(const std::function<T(Tx&)>& body) {
+    std::optional<T> result;
+    run_read_only_impl([&](Tx& tx) { result.emplace(body(tx)); });
+    return std::move(*result);
+  }
 
   // ---- actuator interface ---------------------------------------------
 
@@ -127,34 +103,36 @@ class Stm {
   // ---- monitoring interface -------------------------------------------
 
   /// Installs a callback invoked after every successful top-level commit
-  /// (outside the commit lock). Pass nullptr to remove. The KPI monitor uses
-  /// this to timestamp commit events (paper §VI).
+  /// (outside the commit serialization). Pass nullptr to remove. The KPI
+  /// monitor uses this to timestamp commit events (paper §VI).
   void set_commit_callback(std::shared_ptr<const std::function<void()>> cb);
 
-  [[nodiscard]] StmStatsSnapshot stats() const;
-  void reset_stats();
+  [[nodiscard]] StmStatsSnapshot stats() const { return stats_.snapshot(); }
+  void reset_stats() { stats_.reset(); }
 
-  // ---- contention profiling ---------------------------------------------
+  // ---- contention profiling -------------------------------------------
 
-  /// One hotspot entry: a box (by label, or pointer rendering when
-  /// unlabeled) and how many validation conflicts it caused.
-  struct Hotspot {
-    std::string label;
-    std::uint64_t conflicts = 0;
-  };
+  using Hotspot = ContentionProfiler::Hotspot;
 
   /// Enables/disables recording of which box failed validation on each
   /// top-level abort (off by default; the check is one relaxed atomic load
   /// on the abort path only).
-  void set_contention_profiling(bool enabled);
+  void set_contention_profiling(bool enabled) {
+    profiler_.set_enabled(enabled);
+  }
   [[nodiscard]] bool contention_profiling() const {
-    return profiling_.load(std::memory_order_relaxed);
+    return profiler_.enabled();
   }
 
   /// The `top_n` most conflict-prone boxes observed since profiling was
   /// enabled (descending).
-  [[nodiscard]] std::vector<Hotspot> contention_hotspots(std::size_t top_n = 10) const;
-  void reset_contention_profile();
+  [[nodiscard]] std::vector<Hotspot> contention_hotspots(
+      std::size_t top_n = 10) const {
+    return profiler_.hotspots(top_n);
+  }
+  void reset_contention_profile() { profiler_.reset(); }
+
+  // ---- component access -----------------------------------------------
 
   /// Current global version clock value.
   [[nodiscard]] std::uint64_t clock() const {
@@ -163,19 +141,15 @@ class Stm {
 
   [[nodiscard]] const StmConfig& config() const noexcept { return config_; }
   [[nodiscard]] util::ThreadPool& pool() noexcept { return pool_; }
+  [[nodiscard]] CommitManager& commit_manager() noexcept {
+    return *commit_manager_;
+  }
+  [[nodiscard]] SnapshotRegistry& snapshots() noexcept { return snapshots_; }
+  [[nodiscard]] StmStats& counters() noexcept { return stats_; }
+  [[nodiscard]] ContentionProfiler& profiler() noexcept { return profiler_; }
 
  private:
   friend class Tx;
-  friend void detail::bump_reads(Stm&);
-  friend void detail::bump_writes(Stm&);
-  friend void detail::bump_child_commit(Stm&);
-  friend void detail::bump_child_abort(Stm&, ConflictKind);
-  friend void detail::bump_conflict_kind(Stm&, ConflictKind);
-
-  /// Smallest snapshot any active transaction may read from (the clock value
-  /// if none is active); versions older than the newest body at or below this
-  /// are pruned at install time.
-  [[nodiscard]] std::uint64_t min_active_snapshot();
 
   /// Acquires a child-gate token, helping to drain the nested pool while
   /// waiting so fork/join never deadlocks on a small pool.
@@ -187,48 +161,26 @@ class Stm {
   /// Non-template body of read_only().
   void run_read_only_impl(const std::function<void(Tx&)>& body);
 
-  /// Records a validation conflict on `box` (no-op unless profiling).
-  void note_conflict(const VBoxBase* box);
-
-  struct Counters;
-
-  /// One lock-free commit's payload: the version it claims and the write set
-  /// to install. `done` flips after every body is (idempotently) installed.
-  struct CommitRecord {
-    std::uint64_t version = 0;
-    std::vector<std::pair<VBoxBase*, std::shared_ptr<const void>>> writes;
-    std::atomic<bool> done{true};
-  };
-
-  /// Completes a record's writeback (idempotent; any thread may help) and
-  /// publishes its version to the clock.
-  void help_commit(CommitRecord& record);
+  /// Fires the commit callback if one is installed. The common no-callback
+  /// case is a single acquire load of a plain bool: the callback itself lives
+  /// in an atomic<shared_ptr>, which is lock-BASED on libstdc++ (measured in
+  /// bench/stm_scaling, documented in DESIGN.md §6), so its load must stay
+  /// off the fast path.
+  void notify_commit();
 
   StmConfig config_;
   std::atomic<std::uint64_t> clock_{0};
-  std::mutex commit_mutex_;
-  std::atomic<std::shared_ptr<CommitRecord>> latest_record_;
-
-  std::mutex snap_mutex_;
-  std::multiset<std::uint64_t> active_snapshots_;
+  SnapshotRegistry snapshots_;
+  StmStats stats_;
+  ContentionProfiler profiler_;
+  std::unique_ptr<CommitManager> commit_manager_;
 
   util::ResizableSemaphore top_gate_;
   std::atomic<std::size_t> child_limit_;
   util::ThreadPool pool_;
 
-  std::unique_ptr<Counters> counters_;
+  std::atomic<bool> has_commit_cb_{false};
   std::atomic<std::shared_ptr<const std::function<void()>>> commit_cb_{nullptr};
-
-  std::atomic<bool> profiling_{false};
-  mutable std::mutex profile_mutex_;
-  std::unordered_map<const VBoxBase*, std::uint64_t> conflict_counts_;
 };
-
-template <typename T>
-T Stm::read_only(const std::function<T(Tx&)>& body) {
-  T result{};
-  run_read_only_impl([&](Tx& tx) { result = body(tx); });
-  return result;
-}
 
 }  // namespace autopn::stm

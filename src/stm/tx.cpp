@@ -5,18 +5,11 @@
 #include <stdexcept>
 #include <utility>
 
+#include "stm/commit_manager.hpp"
 #include "stm/stm.hpp"
 #include "util/thread_pool.hpp"
 
 namespace autopn::stm {
-
-// Counter definitions live in stm.cpp; Tx bumps them through these hooks.
-namespace detail {
-void bump_reads(Stm& stm);
-void bump_writes(Stm& stm);
-void bump_child_commit(Stm& stm);
-void bump_child_abort(Stm& stm, ConflictKind kind);
-}  // namespace detail
 
 Tx::Tx(Stm& stm, Tx* parent, std::uint64_t snapshot)
     : stm_(&stm),
@@ -27,7 +20,7 @@ Tx::Tx(Stm& stm, Tx* parent, std::uint64_t snapshot)
 
 std::shared_ptr<const void> Tx::read_raw(const VBoxBase& cbox) {
   auto* box = const_cast<VBoxBase*>(&cbox);
-  detail::bump_reads(*stm_);
+  stm_->counters().bump_read();
 
   // 1. own (tentative) writes win.
   if (auto it = writes_.find(box); it != writes_.end()) return it->second.value;
@@ -57,7 +50,7 @@ void Tx::write_raw(const VBoxBase& cbox, std::shared_ptr<const void> value) {
     throw std::logic_error{"write inside a read-only transaction"};
   }
   auto* box = const_cast<VBoxBase*>(&cbox);
-  detail::bump_writes(*stm_);
+  stm_->counters().bump_write();
   auto [it, inserted] = writes_.try_emplace(box, WriteEntry{nullptr, next_stamp_});
   if (inserted) {
     ++next_stamp_;
@@ -140,10 +133,10 @@ void Tx::run_children(std::vector<std::function<void(Tx&)>> bodies) {
         try {
           task(child);
           child.commit_into_parent();
-          detail::bump_child_commit(*stm_);
+          stm_->counters().bump_child_commit();
           break;
         } catch (const ConflictError& conflict) {
-          detail::bump_child_abort(*stm_, conflict.kind());
+          stm_->counters().bump_child_abort(conflict.kind());
           stm_->backoff(attempt++);
         } catch (...) {
           std::scoped_lock lock{error_mutex};
@@ -172,53 +165,20 @@ void Tx::commit_top_level() {
   // cut of the multi-version store.
   if (writes_.empty()) return;
 
-  if (stm_->config_.commit_strategy == CommitStrategy::kGlobalLock) {
-    std::scoped_lock lock{stm_->commit_mutex_};
-    for (const auto& [box, global_read] : global_reads_) {
-      if (box->newest_version() > snapshot_) {
-        stm_->note_conflict(box);
-        throw ConflictError{ConflictKind::kTopLevelValidation};
-      }
-    }
-    const std::uint64_t version = stm_->clock_.load(std::memory_order_relaxed) + 1;
-    const std::uint64_t min_active = stm_->min_active_snapshot();
-    for (const auto& [box, write_entry] : writes_) {
-      box->install(write_entry.value, version, min_active);
-    }
-    stm_->clock_.store(version, std::memory_order_release);
-    return;
+  // Materialize the read/write sets once and hand the request to the commit
+  // manager; the serialization protocol (global lock vs lock-free helping) is
+  // entirely the manager's concern.
+  CommitRequest request;
+  request.snapshot = snapshot_;
+  request.read_boxes.reserve(global_reads_.size());
+  for (const auto& [box, global_read] : global_reads_) {
+    request.read_boxes.push_back(box);
   }
-
-  // Lock-free commit (JVSTM-style). Loop invariant maintained by helping:
-  // whenever a record for version v+1 is CAS'd onto the chain, the record
-  // for version v has completed its writeback — so after help_commit(cur)
-  // every committed version is visible and validation against the boxes'
-  // newest versions is exact.
-  auto record = std::make_shared<Stm::CommitRecord>();
-  record->writes.reserve(writes_.size());
-  for (const auto& [box, write_entry] : writes_) {
-    record->writes.emplace_back(box, write_entry.value);
+  request.writes.reserve(writes_.size());
+  for (auto& [box, write_entry] : writes_) {
+    request.writes.emplace_back(box, std::move(write_entry.value));
   }
-  for (;;) {
-    auto current = stm_->latest_record_.load(std::memory_order_acquire);
-    stm_->help_commit(*current);
-    for (const auto& [box, global_read] : global_reads_) {
-      if (box->newest_version() > snapshot_) {
-        stm_->note_conflict(box);
-        throw ConflictError{ConflictKind::kTopLevelValidation};
-      }
-    }
-    record->version = current->version + 1;
-    record->done.store(false, std::memory_order_relaxed);
-    if (stm_->latest_record_.compare_exchange_strong(
-            current, record, std::memory_order_acq_rel,
-            std::memory_order_acquire)) {
-      stm_->help_commit(*record);
-      return;
-    }
-    // Lost the race: a concurrent commit claimed the version. Help it and
-    // re-validate against the new state.
-  }
+  stm_->commit_manager().commit(request);
 }
 
 }  // namespace autopn::stm

@@ -22,9 +22,11 @@
 // parent's merge mutex after validating the child's reads against sibling
 // updates; reads of higher ancestors and of global state are propagated
 // upwards and validated when the enclosing transaction itself commits
-// (compositional validation). Top-level commit validates the global read set
-// against the version chains and installs new versions under the Stm's
-// commit mutex.
+// (compositional validation). Top-level commit materializes the global read
+// and write sets into a CommitRequest and hands it to the Stm's pluggable
+// CommitManager, which validates against the version chains and installs new
+// versions under its serialization protocol (global lock or lock-free
+// helping — see stm/commit_manager.hpp).
 
 #include <cstdint>
 #include <functional>

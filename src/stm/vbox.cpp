@@ -5,7 +5,7 @@ namespace autopn::stm {
 VBoxBase::~VBoxBase() {
   Body* b = head_.load(std::memory_order_relaxed);
   while (b != nullptr) {
-    Body* next = b->next;
+    Body* next = b->next.load(std::memory_order_relaxed);
     delete b;
     b = next;
   }
@@ -13,8 +13,32 @@ VBoxBase::~VBoxBase() {
 
 const Body* VBoxBase::body_at(std::uint64_t snapshot) const noexcept {
   const Body* b = head_.load(std::memory_order_acquire);
-  while (b != nullptr && b->version > snapshot) b = b->next;
+  while (b != nullptr && b->version > snapshot) {
+    b = b->next.load(std::memory_order_acquire);
+  }
   return b;
+}
+
+void VBoxBase::prune(Body* from, std::uint64_t min_active_snapshot) noexcept {
+  // At most one pruner per box: a helper delayed inside an older version's
+  // install could otherwise traverse the tail while the newer version's
+  // installer truncates and frees it. Pruning is an optimization, so on
+  // contention we simply skip — the next install retries with a fresher
+  // (larger) min_active_snapshot and reclaims strictly more.
+  if (prune_busy_.test_and_set(std::memory_order_acquire)) return;
+  Body* keep = from;
+  for (;;) {
+    Body* next = keep->next.load(std::memory_order_relaxed);
+    if (next == nullptr || keep->version <= min_active_snapshot) break;
+    keep = next;
+  }
+  Body* doomed = keep->next.exchange(nullptr, std::memory_order_release);
+  while (doomed != nullptr) {
+    Body* next = doomed->next.load(std::memory_order_relaxed);
+    delete doomed;
+    doomed = next;
+  }
+  prune_busy_.clear(std::memory_order_release);
 }
 
 void VBoxBase::install(std::shared_ptr<const void> value, std::uint64_t version,
@@ -27,15 +51,7 @@ void VBoxBase::install(std::shared_ptr<const void> value, std::uint64_t version,
   // than min_active_snapshot plus the newest body at or below it. A reader
   // with snapshot s >= min_active_snapshot stops its traversal on a retained
   // body, so freeing older ones is safe (see header contract).
-  Body* keep = body;
-  while (keep->next != nullptr && keep->version > min_active_snapshot) keep = keep->next;
-  Body* doomed = keep->next;
-  keep->next = nullptr;
-  while (doomed != nullptr) {
-    Body* next = doomed->next;
-    delete doomed;
-    doomed = next;
-  }
+  prune(body, min_active_snapshot);
 }
 
 bool VBoxBase::install_cas(const std::shared_ptr<const void>& value,
@@ -49,21 +65,10 @@ bool VBoxBase::install_cas(const std::shared_ptr<const void>& value,
     auto* body = new Body{version, value, old_head};
     if (head_.compare_exchange_weak(old_head, body, std::memory_order_release,
                                     std::memory_order_acquire)) {
-      // We own this version's installation: prune exactly as install() does.
-      // Record ordering guarantees no concurrent install/prune of another
-      // version on this box (version v+1's writeback starts only after v's
-      // record is done).
-      Body* keep = body;
-      while (keep->next != nullptr && keep->version > min_active_snapshot) {
-        keep = keep->next;
-      }
-      Body* doomed = keep->next;
-      keep->next = nullptr;
-      while (doomed != nullptr) {
-        Body* next = doomed->next;
-        delete doomed;
-        doomed = next;
-      }
+      // We own this version's installation; prune opportunistically (skipped
+      // if a helper delayed in an older version's install still holds the
+      // box's prune guard).
+      prune(body, min_active_snapshot);
       return true;
     }
     delete body;  // lost the race; re-examine the new head
@@ -72,7 +77,10 @@ bool VBoxBase::install_cas(const std::shared_ptr<const void>& value,
 
 std::size_t VBoxBase::chain_length() const noexcept {
   std::size_t n = 0;
-  for (const Body* b = newest(); b != nullptr; b = b->next) ++n;
+  for (const Body* b = newest(); b != nullptr;
+       b = b->next.load(std::memory_order_acquire)) {
+    ++n;
+  }
   return n;
 }
 

@@ -7,8 +7,10 @@
 //
 // Concurrency contract:
 //  * readers traverse the chain lock-free (acquire-load of the head);
-//  * writers install new bodies only while holding the Stm's global commit
-//    mutex, and opportunistically prune bodies no active snapshot can reach;
+//  * writers install new bodies only from within a CommitManager's
+//    serialization protocol (under the global commit mutex, or as the
+//    lock-free helping protocol's idempotent install_cas), and
+//    opportunistically prune bodies no active snapshot can reach;
 //  * values are immutable once published (held via shared_ptr<const void>).
 
 #include <atomic>
@@ -24,7 +26,10 @@ class Tx;
 struct Body {
   std::uint64_t version;
   std::shared_ptr<const void> value;
-  Body* next;  ///< next-older body; immutable after publication
+  /// Next-older body. Atomic because pruning truncates it (stores nullptr)
+  /// while readers traverse; a reader never follows it past a body at or
+  /// below its snapshot, so truncated tails are unreachable to it.
+  std::atomic<Body*> next;
 };
 
 /// Type-erased box base. All transactional machinery (read/write sets,
@@ -66,7 +71,9 @@ class VBoxBase {
   bool install_cas(const std::shared_ptr<const void>& value, std::uint64_t version,
                    std::uint64_t min_active_snapshot);
 
-  /// Number of retained bodies (test/diagnostic helper; O(chain)).
+  /// Number of retained bodies (test/diagnostic helper; O(chain)). Requires
+  /// quiescence: it walks the full chain, including bodies a concurrent
+  /// pruner may free.
   [[nodiscard]] std::size_t chain_length() const noexcept;
 
   /// Optional diagnostic label shown by the contention profiler (e.g.
@@ -77,7 +84,14 @@ class VBoxBase {
   [[nodiscard]] const std::string* label() const noexcept { return label_.get(); }
 
  private:
+  /// Truncates and frees bodies older than the newest one at or below
+  /// `min_active_snapshot`, starting the scan at `from`. Opportunistic: if
+  /// another thread is already pruning this box (a delayed helper from an
+  /// older commit record), skips — the next install will catch up.
+  void prune(Body* from, std::uint64_t min_active_snapshot) noexcept;
+
   std::atomic<Body*> head_{nullptr};
+  std::atomic_flag prune_busy_{};  ///< serializes pruning per box
   std::unique_ptr<std::string> label_;
 };
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "stm/stm.hpp"
@@ -125,6 +126,28 @@ TEST(StmBasic, RunTopReturningValue) {
   const int doubled =
       stm.run_top_returning<int>([&](Tx& tx) { return 2 * box.read(tx); });
   EXPECT_EQ(doubled, 42);
+}
+
+TEST(StmBasic, ReturningApisAcceptNonDefaultConstructibleTypes) {
+  // run_top_returning/read_only buffer the body's result in std::optional, so
+  // T needs neither a default constructor nor copy assignment.
+  struct Opaque {
+    explicit Opaque(int v) : value(v) {}
+    Opaque(const Opaque&) = delete;
+    Opaque(Opaque&&) = default;
+    int value;
+  };
+  static_assert(!std::is_default_constructible_v<Opaque>);
+
+  Stm stm{small_config()};
+  VBox<int> box{21};
+  const Opaque doubled = stm.run_top_returning<Opaque>(
+      [&](Tx& tx) { return Opaque{2 * box.read(tx)}; });
+  EXPECT_EQ(doubled.value, 42);
+
+  const Opaque observed =
+      stm.read_only<Opaque>([&](Tx& tx) { return Opaque{box.read(tx)}; });
+  EXPECT_EQ(observed.value, 21);
 }
 
 TEST(StmBasic, SequentialTransactionsSeeEachOther) {
