@@ -8,16 +8,20 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
-# Race-check the STM core: rebuild just the stm_* test binaries under
-# ThreadSanitizer (the tsan preset) and run them directly. We invoke the
-# binaries rather than ctest -R because gtest test names don't match target
-# names.
+# Race-check the STM core and the serving engine: rebuild just those test
+# binaries under ThreadSanitizer (the tsan preset) and run them directly. We
+# invoke the binaries rather than ctest -R because gtest test names don't
+# match target names.
 cmake --preset tsan
 cmake --build build-tsan --target \
   stm_basic_test stm_nesting_test stm_concurrency_test stm_containers_test \
   stm_property_test stm_commit_strategy_test stm_snapshot_registry_test \
-  stm_commit_manager_test stm_stats_test
-for t in build-tsan/tests/stm_*_test; do
+  stm_commit_manager_test stm_stats_test \
+  serve_queue_test serve_engine_test serve_e2e_test \
+  util_concurrency_test runtime_controller_test
+for t in build-tsan/tests/stm_*_test build-tsan/tests/serve_*_test \
+         build-tsan/tests/util_concurrency_test \
+         build-tsan/tests/runtime_controller_test; do
   echo "== tsan: $(basename "$t") =="
   "$t"
 done

@@ -25,6 +25,8 @@ Measurement TuningController::run_live_window() {
     std::scoped_lock lock{mutex_};
     pending_commits_.clear();
   }
+  // Discard request latencies recorded before this window started.
+  if (latency_source_ != nullptr) (void)latency_source_->drain_latencies();
   // Install the probe for the duration of this window.
   auto callback = std::make_shared<const std::function<void()>>([this] {
     {
@@ -74,6 +76,12 @@ Measurement TuningController::run_live_window() {
     }
   }
   stm_->set_commit_callback(nullptr);
+  if (latency_source_ != nullptr) {
+    // Request latencies trump the policy's commit-to-commit gap estimate.
+    if (auto samples = latency_source_->drain_latencies(); !samples.empty()) {
+      attach_latency_samples(result, std::move(samples));
+    }
+  }
   return result;
 }
 
@@ -86,8 +94,11 @@ double TuningController::kpi_of(const Measurement& measurement,
     case KpiKind::kThroughput:
       return measurement.throughput;
     case KpiKind::kLatency:
-      // Inverse mean inter-commit latency; identical ordering to throughput
-      // for steady windows but reported in 1/seconds-per-commit terms.
+      // Inverse mean latency, as a maximization value. With a LatencySource
+      // attached this is real request latency (queueing + execution); without
+      // one it degrades to inverse mean commit-to-commit gap, which orders
+      // identically to throughput on steady windows.
+      if (measurement.mean_latency > 0.0) return 1.0 / measurement.mean_latency;
       return measurement.commits > 0 && measurement.elapsed > 0.0
                  ? static_cast<double>(measurement.commits) / measurement.elapsed
                  : 0.0;

@@ -79,6 +79,12 @@ class TuningController {
   /// (used by the change-detection loop and the overhead study).
   [[nodiscard]] Measurement measure_once();
 
+  /// Attaches a request-latency provider (borrowed; may be nullptr). When
+  /// set, every measurement window drains the source and the Measurement's
+  /// latency fields carry real request latencies (enqueue→commit) instead of
+  /// commit-to-commit gaps — the producer KpiKind::kLatency was missing.
+  void set_latency_source(LatencySource* source) { latency_source_ = source; }
+
   /// Feeds a steady-state sample to the change detector; returns true when a
   /// workload shift is detected (caller then re-runs tune()).
   [[nodiscard]] bool check_for_change(double sample) { return cusum_.add(sample); }
@@ -113,6 +119,7 @@ class TuningController {
   ControllerParams params_;
   Actuator actuator_;
   CusumDetector cusum_;
+  LatencySource* latency_source_ = nullptr;
 
   // Commit-event channel filled by the Stm callback.
   std::mutex mutex_;

@@ -6,14 +6,23 @@
 
 namespace autopn::runtime {
 
+void attach_latency_samples(Measurement& m, std::vector<double> samples) {
+  if (samples.empty()) return;
+  m.latency_samples = samples.size();
+  m.mean_latency = util::mean_of(samples);
+  m.p99_latency = util::percentile(std::move(samples), 0.99);
+}
+
 void MonitorPolicy::begin_window(double now) {
   start_ = now;
   last_commit_ = now;
   commits_ = 0;
+  gaps_.clear();
 }
 
 bool MonitorPolicy::on_commit(double now) {
   ++commits_;
+  gaps_.push_back(now - last_commit_);
   last_commit_ = now;
   return window_complete(now);
 }
@@ -26,6 +35,10 @@ Measurement MonitorPolicy::finish(double now, bool timed_out) const {
   m.throughput = m.elapsed > 0.0 && commits_ > 0
                      ? static_cast<double>(commits_) / m.elapsed
                      : 0.0;
+  // Commit-to-commit gaps double as the default latency estimate (the first
+  // gap is window-start to first commit). A LatencySource replaces these with
+  // real request latencies downstream.
+  attach_latency_samples(m, gaps_);
   return m;
 }
 

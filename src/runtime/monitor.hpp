@@ -27,6 +27,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "util/stats.hpp"
 
@@ -38,6 +39,28 @@ struct Measurement {
   std::size_t commits = 0;
   double elapsed = 0.0;  ///< seconds from window start to completion
   bool timed_out = false;
+  /// Latency statistics over the window (seconds; all 0 without samples).
+  /// By default these are commit-to-commit gaps observed by the policy; a
+  /// LatencySource (e.g. the serving engine's enqueue→commit tracker)
+  /// overrides them with true per-request latencies.
+  double mean_latency = 0.0;
+  double p99_latency = 0.0;
+  std::size_t latency_samples = 0;
+};
+
+/// Fills the latency fields of `m` from raw samples in seconds; leaves `m`
+/// untouched when `samples` is empty.
+void attach_latency_samples(Measurement& m, std::vector<double> samples);
+
+/// Provider of request-level latency samples gathered while a measurement
+/// window runs. drain_latencies() hands over (and clears) everything recorded
+/// since the previous drain, so the controller can discard pre-window samples
+/// and attach in-window ones to the Measurement (KpiKind::kLatency then
+/// optimizes real request latency instead of inverse throughput).
+class LatencySource {
+ public:
+  virtual ~LatencySource() = default;
+  [[nodiscard]] virtual std::vector<double> drain_latencies() = 0;
 };
 
 class MonitorPolicy {
@@ -69,6 +92,7 @@ class MonitorPolicy {
   double start_ = 0.0;
   double last_commit_ = 0.0;
   std::size_t commits_ = 0;
+  std::vector<double> gaps_;  ///< inter-commit gaps of the current window
 };
 
 /// Static window of fixed duration.

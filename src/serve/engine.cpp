@@ -1,0 +1,96 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+
+namespace autopn::serve {
+
+ServeEngine::ServeEngine(stm::Stm& stm, RequestHandler default_handler,
+                         const util::Clock& clock, ServeConfig config)
+    : stm_(&stm),
+      default_handler_(std::move(default_handler)),
+      clock_(&clock),
+      config_(config),
+      queue_(config.queue_capacity, config.shed_watermark) {
+  kpi_.mark_start(clock_->now());
+  const std::size_t workers = std::max<std::size_t>(config_.workers, 1);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ServeEngine::~ServeEngine() { drain_and_stop(); }
+
+SubmitResult ServeEngine::submit(RequestHandler work,
+                                 std::function<void()> on_complete) {
+  Request request;
+  request.work = std::move(work);
+  request.on_complete = std::move(on_complete);
+  request.enqueue_time = clock_->now();
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  const RequestQueue::Admit admit = queue_.try_push(std::move(request));
+
+  SubmitResult result;
+  result.queue_depth = queue_.depth();
+  result.admitted = admit == RequestQueue::Admit::kAdmitted;
+  if (!result.admitted) result.retry_after = retry_after_hint(result.queue_depth);
+  return result;
+}
+
+double ServeEngine::retry_after_hint(std::size_t depth) const {
+  // Backlog that must drain before admission reopens, served at the engine's
+  // observed completion rate. Before any completion has been observed, fall
+  // back to a nominal 10 ms per excess request. Capped so clients never
+  // stall on a transient estimate.
+  const double excess = std::max(
+      static_cast<double>(depth) - static_cast<double>(queue_.watermark()) + 1.0,
+      1.0);
+  const double rate = kpi_.completion_rate(clock_->now());
+  const double hint = rate > 0.0 ? excess / rate : 0.010 * excess;
+  return std::min(hint, 5.0);
+}
+
+void ServeEngine::worker_loop(std::size_t index) {
+  util::Rng rng{config_.seed + 0x9e3779b9ULL * (index + 1)};
+  while (auto request = queue_.pop()) {
+    bool ok = true;
+    try {
+      if (request->work) {
+        request->work(rng);
+      } else {
+        default_handler_(rng);
+      }
+    } catch (...) {
+      // A failing handler must not take down the engine; the request counts
+      // as failed and contributes no latency sample.
+      ok = false;
+      failed_.add(1);
+    }
+    if (ok) kpi_.record(clock_->now() - request->enqueue_time);
+    if (request->on_complete) request->on_complete();
+  }
+}
+
+void ServeEngine::drain_and_stop() {
+  std::scoped_lock lock{stop_mutex_};
+  if (workers_.empty()) return;
+  queue_.close();
+  workers_.clear();  // joins; workers exit once the backlog is drained
+}
+
+ServeReport ServeEngine::report() const {
+  ServeReport r;
+  r.offered = queue_.offered();
+  r.admitted = queue_.admitted();
+  r.shed = queue_.shed();
+  r.completed = kpi_.completed();
+  r.failed = failed_.load();
+  r.queue_depth = queue_.depth();
+  r.shed_fraction =
+      r.offered > 0 ? static_cast<double>(r.shed) / static_cast<double>(r.offered)
+                    : 0.0;
+  r.latency = kpi_.latency_summary();
+  return r;
+}
+
+}  // namespace autopn::serve

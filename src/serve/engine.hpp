@@ -1,0 +1,109 @@
+#pragma once
+// ServeEngine — the request-serving front of the PN-STM. Producers submit
+// requests through the bounded admission queue (backpressure + load-shedding
+// with a retry-after hint); a pool of worker threads executes each admitted
+// request as a top-level parallel-nesting transaction — the workload handler
+// calls Stm::run_top internally, so every request passes through the
+// actuator's t/c gates and the AutoPN tuner shapes live service parallelism.
+// Per-request latency (enqueue→commit) lands in the ServiceKpiSource, which
+// feeds the TuningController real latency KPIs and the engine's SLO report.
+//
+// Dataflow:
+//   loadgen/clients → submit() → RequestQueue → workers → Stm.run_top
+//        → commit → ServiceKpiSource → TuningController → Actuator → gates
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "serve/kpi_source.hpp"
+#include "serve/request_queue.hpp"
+#include "stm/stm.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::serve {
+
+/// A request handler: executes one unit of application work, typically one
+/// or more top-level transactions on the engine's Stm.
+using RequestHandler = std::function<void(util::Rng&)>;
+
+struct ServeConfig {
+  std::size_t workers = 4;
+  std::size_t queue_capacity = 256;
+  /// Depth at which admission starts shedding; 0 derives 3/4 of capacity.
+  std::size_t shed_watermark = 0;
+  std::uint64_t seed = 7;
+};
+
+/// Outcome of one submit().
+struct SubmitResult {
+  bool admitted = false;
+  /// Backoff hint (seconds) when shed: expected time for the backlog above
+  /// the watermark to drain at the observed service rate.
+  double retry_after = 0.0;
+  std::size_t queue_depth = 0;
+};
+
+/// Cumulative service statistics.
+struct ServeReport {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;  ///< handler threw (request counted, no latency)
+  std::size_t queue_depth = 0;
+  double shed_fraction = 0.0;
+  LatencyRecorder::Summary latency;  ///< enqueue→commit, seconds
+};
+
+class ServeEngine {
+ public:
+  /// The engine borrows the Stm and clock (both must outlive it) and spawns
+  /// its workers immediately.
+  ServeEngine(stm::Stm& stm, RequestHandler default_handler,
+              const util::Clock& clock, ServeConfig config = {});
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Submits a request for the default handler.
+  SubmitResult submit() { return submit({}, {}); }
+
+  /// Submits custom work (empty = default handler) with an optional
+  /// completion hook (runs on the worker after execution — even when the
+  /// handler throws — so closed-loop clients never hang).
+  SubmitResult submit(RequestHandler work, std::function<void()> on_complete);
+
+  /// Stops admission, lets the workers drain the backlog, and joins them.
+  /// Idempotent; the destructor calls it.
+  void drain_and_stop();
+
+  [[nodiscard]] ServeReport report() const;
+
+  [[nodiscard]] ServiceKpiSource& kpi_source() noexcept { return kpi_; }
+  [[nodiscard]] const RequestQueue& queue() const noexcept { return queue_; }
+  [[nodiscard]] stm::Stm& stm() noexcept { return *stm_; }
+
+ private:
+  void worker_loop(std::size_t index);
+  [[nodiscard]] double retry_after_hint(std::size_t depth) const;
+
+  stm::Stm* stm_;
+  RequestHandler default_handler_;
+  const util::Clock* clock_;
+  ServeConfig config_;
+
+  RequestQueue queue_;
+  ServiceKpiSource kpi_;
+  util::ShardedCounter failed_;
+  std::atomic<std::uint64_t> next_id_{0};
+
+  std::mutex stop_mutex_;  ///< serializes drain_and_stop against itself
+  std::vector<std::jthread> workers_;
+};
+
+}  // namespace autopn::serve

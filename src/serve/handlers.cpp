@@ -1,0 +1,56 @@
+#include "serve/handlers.hpp"
+
+#include <stdexcept>
+
+namespace autopn::serve {
+
+RequestHandler make_array_handler(workloads::ArrayBenchmark& bench) {
+  return [&bench](util::Rng& rng) { bench.run_one(rng); };
+}
+
+RequestHandler make_vacation_handler(workloads::VacationBenchmark& bench) {
+  return [&bench](util::Rng& rng) { bench.run_one(rng); };
+}
+
+RequestHandler make_tpcc_handler(workloads::TpccBenchmark& bench) {
+  return [&bench](util::Rng& rng) { bench.run_one(rng); };
+}
+
+ServableWorkload make_servable_workload(const std::string& name, stm::Stm& stm,
+                                        std::uint64_t seed) {
+  ServableWorkload out;
+  out.name = name;
+  if (name == "array" || name == "array-high") {
+    workloads::ArrayConfig cfg;
+    cfg.array_size = 256;
+    cfg.update_fraction = name == "array-high" ? 0.9 : 0.01;
+    cfg.seed = seed;
+    auto bench = std::make_shared<workloads::ArrayBenchmark>(stm, cfg);
+    out.handler = make_array_handler(*bench);
+    out.verify = [bench] { return bench->checksum() >= 0; };
+    out.state = std::move(bench);
+    return out;
+  }
+  if (name == "vacation") {
+    workloads::VacationConfig cfg;
+    cfg.seed = seed;
+    auto bench = std::make_shared<workloads::VacationBenchmark>(stm, cfg);
+    out.handler = make_vacation_handler(*bench);
+    out.verify = [bench] { return bench->verify_consistency(); };
+    out.state = std::move(bench);
+    return out;
+  }
+  if (name == "tpcc") {
+    workloads::TpccConfig cfg;
+    cfg.warehouses = 2;
+    cfg.seed = seed;
+    auto bench = std::make_shared<workloads::TpccBenchmark>(stm, cfg);
+    out.handler = make_tpcc_handler(*bench);
+    out.verify = [bench] { return bench->verify_consistency(); };
+    out.state = std::move(bench);
+    return out;
+  }
+  throw std::invalid_argument{"unknown servable workload " + name};
+}
+
+}  // namespace autopn::serve

@@ -1,0 +1,41 @@
+#pragma once
+// Request-handler adapters: wrap the benchmark workloads (Array, Vacation,
+// TPC-C) as serving-engine handlers. Each handler executes one transaction
+// from the workload's configured mix — exactly what run_one does — so a
+// request admitted by the engine becomes one top-level parallel-nesting
+// transaction behind the actuator gates.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "serve/engine.hpp"
+#include "workloads/array_bench.hpp"
+#include "workloads/tpcc.hpp"
+#include "workloads/vacation.hpp"
+
+namespace autopn::serve {
+
+[[nodiscard]] RequestHandler make_array_handler(workloads::ArrayBenchmark& bench);
+[[nodiscard]] RequestHandler make_vacation_handler(
+    workloads::VacationBenchmark& bench);
+[[nodiscard]] RequestHandler make_tpcc_handler(workloads::TpccBenchmark& bench);
+
+/// A workload instance bundled with its handler and consistency check —
+/// what the CLI and benches need to put "tpcc" behind the engine in one
+/// call. `state` owns the benchmark; `handler` and `verify` borrow it.
+struct ServableWorkload {
+  std::string name;
+  RequestHandler handler;
+  std::function<bool()> verify;  ///< transactional consistency check
+  std::shared_ptr<void> state;
+};
+
+/// Builds a servable workload by name: "array" (1% updates),
+/// "array-high" (90% updates), "vacation", or "tpcc". Throws
+/// std::invalid_argument for unknown names.
+[[nodiscard]] ServableWorkload make_servable_workload(const std::string& name,
+                                                      stm::Stm& stm,
+                                                      std::uint64_t seed = 11);
+
+}  // namespace autopn::serve

@@ -1,0 +1,38 @@
+#include "serve/kpi_source.hpp"
+
+namespace autopn::serve {
+
+ServiceKpiSource::ServiceKpiSource(std::size_t stripes)
+    : recorder_(stripes),
+      buffers_(util::ceil_pow2(stripes == 0 ? 1 : stripes)),
+      mask_(buffers_.size() - 1) {}
+
+void ServiceKpiSource::record(double latency_seconds) {
+  recorder_.record(latency_seconds);
+  completed_.add(1);
+  auto& buffer = buffers_[util::thread_shard_token() & mask_].value;
+  std::scoped_lock lock{buffer.mutex};
+  if (buffer.samples.size() < kMaxBufferedSamples) {
+    buffer.samples.push_back(latency_seconds);
+  }
+}
+
+std::vector<double> ServiceKpiSource::drain_latencies() {
+  std::vector<double> all;
+  for (auto& padded : buffers_) {
+    auto& buffer = padded.value;
+    std::scoped_lock lock{buffer.mutex};
+    all.insert(all.end(), buffer.samples.begin(), buffer.samples.end());
+    buffer.samples.clear();
+  }
+  return all;
+}
+
+double ServiceKpiSource::completion_rate(double now) const {
+  const double start = start_time_.load(std::memory_order_relaxed);
+  const double elapsed = now - start;
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(completed_.load()) / elapsed;
+}
+
+}  // namespace autopn::serve

@@ -1,0 +1,68 @@
+#pragma once
+// ServiceKpiSource — the bridge from the serving engine to the AutoPN tuning
+// loop. Workers record every request's enqueue→commit latency here; the
+// TuningController (via the runtime::LatencySource interface) drains the
+// per-window sample buffers so KpiKind::kLatency optimizes real request
+// latency, while throughput continues to flow through the STM's commit
+// callback that the controller already installs. The cumulative striped
+// histogram additionally backs the engine's SLO report (p50/p95/p99).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "runtime/monitor.hpp"
+#include "serve/latency.hpp"
+#include "util/sharded.hpp"
+
+namespace autopn::serve {
+
+class ServiceKpiSource final : public runtime::LatencySource {
+ public:
+  explicit ServiceKpiSource(std::size_t stripes = 8);
+
+  /// Called by a worker after a request's transaction committed. Lock-free
+  /// on the histogram; one striped mutex push for the window buffer.
+  void record(double latency_seconds);
+
+  /// runtime::LatencySource: hands over (and clears) the samples recorded
+  /// since the previous drain.
+  [[nodiscard]] std::vector<double> drain_latencies() override;
+
+  [[nodiscard]] std::uint64_t completed() const { return completed_.load(); }
+  [[nodiscard]] LatencyRecorder::Summary latency_summary() const {
+    return recorder_.summary();
+  }
+
+  /// Clears the cumulative histogram (not the window buffers or the
+  /// completion counter) — benches use it to measure steady-state SLOs
+  /// after a tuning transient.
+  void reset_latency_histogram() { recorder_.reset(); }
+
+  /// Mean completion rate (requests/s) since mark_start; the engine's
+  /// retry-after hints are derived from it.
+  void mark_start(double now) {
+    start_time_.store(now, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double completion_rate(double now) const;
+
+ private:
+  /// Per-stripe buffer cap: a window that nobody drains (tuner idle) must
+  /// not grow without bound; excess samples only fall out of the *window*
+  /// statistics — the histogram still sees every request.
+  static constexpr std::size_t kMaxBufferedSamples = 8192;
+
+  struct Buffer {
+    std::mutex mutex;
+    std::vector<double> samples;
+  };
+
+  LatencyRecorder recorder_;
+  util::ShardedCounter completed_;
+  std::vector<util::Padded<Buffer>> buffers_;
+  std::size_t mask_;
+  std::atomic<double> start_time_{0.0};
+};
+
+}  // namespace autopn::serve

@@ -1,0 +1,80 @@
+#include "serve/latency.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autopn::serve {
+
+LatencyRecorder::LatencyRecorder(std::size_t stripes)
+    : stripes_(util::ceil_pow2(stripes == 0 ? 1 : stripes)),
+      mask_(stripes_.size() - 1) {}
+
+std::size_t LatencyRecorder::bin_of(double seconds) noexcept {
+  if (!(seconds > kMinLatency)) return 0;  // also catches NaN
+  const double decades = std::log10(seconds / kMinLatency);
+  const auto bin = static_cast<long>(decades * kBinsPerDecade);
+  return std::min(static_cast<std::size_t>(std::max(bin, 0L)), kBins - 1);
+}
+
+double LatencyRecorder::bin_value(std::size_t bin) noexcept {
+  return kMinLatency *
+         std::pow(10.0, (static_cast<double>(bin) + 0.5) / kBinsPerDecade);
+}
+
+void LatencyRecorder::record(double seconds) noexcept {
+  auto& stripe = stripes_[util::thread_shard_token() & mask_].value;
+  stripe.bins[bin_of(seconds)].fetch_add(1, std::memory_order_relaxed);
+  stripe.count.fetch_add(1, std::memory_order_relaxed);
+  const double nanos = std::max(seconds, 0.0) * 1e9;
+  stripe.sum_nanos.fetch_add(static_cast<std::uint64_t>(nanos),
+                             std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyRecorder::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    total += stripe.value.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+LatencyRecorder::Summary LatencyRecorder::summary() const {
+  std::array<std::uint64_t, kBins> bins{};
+  Summary out;
+  std::uint64_t sum_nanos = 0;
+  for (const auto& stripe : stripes_) {
+    out.count += stripe.value.count.load(std::memory_order_relaxed);
+    sum_nanos += stripe.value.sum_nanos.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kBins; ++b) {
+      bins[b] += stripe.value.bins[b].load(std::memory_order_relaxed);
+    }
+  }
+  if (out.count == 0) return out;
+  out.mean = static_cast<double>(sum_nanos) * 1e-9 / static_cast<double>(out.count);
+  const auto percentile_of = [&](double q) {
+    // Smallest bin whose cumulative count covers rank ceil(q * count).
+    const auto rank = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(out.count))));
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBins; ++b) {
+      cumulative += bins[b];
+      if (cumulative >= rank) return bin_value(b);
+    }
+    return bin_value(kBins - 1);
+  };
+  out.p50 = percentile_of(0.50);
+  out.p95 = percentile_of(0.95);
+  out.p99 = percentile_of(0.99);
+  return out;
+}
+
+void LatencyRecorder::reset() noexcept {
+  for (auto& stripe : stripes_) {
+    stripe.value.count.store(0, std::memory_order_relaxed);
+    stripe.value.sum_nanos.store(0, std::memory_order_relaxed);
+    for (auto& bin : stripe.value.bins) bin.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace autopn::serve

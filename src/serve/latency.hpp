@@ -1,0 +1,66 @@
+#pragma once
+// Lock-free striped latency histogram — the serving engine's per-request
+// tracker. record() is two relaxed fetch_adds on a stripe private to the
+// calling thread (no mutex, no allocation), so workers can stamp every
+// request on the commit path. Bins are log-spaced (16 per decade from 1 µs
+// to 1000 s), which bounds the relative error of extracted percentiles to
+// one bin width (10^(1/16) ≈ 15%) — the right trade-off for SLO reporting,
+// where p99 magnitude matters and exact rank statistics do not.
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/sharded.hpp"
+
+namespace autopn::serve {
+
+class LatencyRecorder {
+ public:
+  static constexpr double kMinLatency = 1e-6;  ///< left edge of bin 0 (1 µs)
+  static constexpr std::size_t kBinsPerDecade = 16;
+  static constexpr std::size_t kDecades = 9;  ///< covers up to 1000 s
+  static constexpr std::size_t kBins = kBinsPerDecade * kDecades + 1;
+
+  explicit LatencyRecorder(std::size_t stripes = 8);
+
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
+
+  /// Records one latency sample (seconds; clamped into the bin range).
+  void record(double seconds) noexcept;
+
+  struct Summary {
+    std::uint64_t count = 0;
+    double mean = 0.0;  ///< exact (from a striped sum, not the bins)
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+
+  /// Aggregates all stripes. Exact for samples that happened-before the
+  /// call; concurrent records may or may not be included.
+  [[nodiscard]] Summary summary() const;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  struct Stripe {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_nanos{0};
+    std::array<std::atomic<std::uint64_t>, kBins> bins{};
+  };
+
+  [[nodiscard]] static std::size_t bin_of(double seconds) noexcept;
+  /// Representative latency of a bin (geometric midpoint of its edges).
+  [[nodiscard]] static double bin_value(std::size_t bin) noexcept;
+
+  std::vector<util::Padded<Stripe>> stripes_;
+  std::size_t mask_;
+};
+
+}  // namespace autopn::serve

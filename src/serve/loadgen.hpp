@@ -1,0 +1,66 @@
+#pragma once
+// Load generators for the serving engine (wall-clock driven).
+//
+//  * Open loop — Poisson arrivals at a target rate, independent of service
+//    progress: the canonical model of internet traffic, and the one that
+//    exposes queue growth and load-shedding when the offered rate exceeds
+//    capacity (an open loop never self-throttles).
+//  * Closed loop — N simulated clients that submit, wait for their request
+//    to complete, think (exponential think time), and repeat: throughput
+//    self-limits at N / (latency + think), the classic interactive model.
+//
+// Both return admission/occupancy summaries; latency and throughput come
+// from the engine's own report.
+
+#include <cstdint>
+
+#include "serve/engine.hpp"
+
+namespace autopn::serve {
+
+struct OpenLoopParams {
+  double rate = 100.0;    ///< mean arrivals per second (Poisson)
+  double duration = 1.0;  ///< seconds of wall time to generate for
+  std::uint64_t seed = 1;
+};
+
+struct OpenLoopResult {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  double duration = 0.0;  ///< actual generation time (seconds)
+  std::size_t max_queue_depth = 0;
+  double mean_queue_depth = 0.0;  ///< sampled at each arrival
+
+  [[nodiscard]] double shed_fraction() const {
+    return offered > 0
+               ? static_cast<double>(shed) / static_cast<double>(offered)
+               : 0.0;
+  }
+};
+
+/// Drives the engine open-loop from the calling thread until `duration`
+/// elapses. Arrivals the engine sheds are counted, not retried (open-loop
+/// semantics: the offered load does not care about the system's state).
+OpenLoopResult run_open_loop(ServeEngine& engine, const OpenLoopParams& params);
+
+struct ClosedLoopParams {
+  std::size_t clients = 8;
+  double think_time = 0.001;  ///< mean think time (seconds, exponential)
+  double duration = 1.0;      ///< seconds of wall time per client
+  std::uint64_t seed = 1;
+};
+
+struct ClosedLoopResult {
+  std::uint64_t issued = 0;
+  std::uint64_t completed = 0;  ///< admitted requests waited to completion
+  std::uint64_t shed = 0;       ///< rejections (client backs off retry_after)
+  double duration = 0.0;
+};
+
+/// Spawns `clients` threads, each running the submit→wait→think loop until
+/// `duration` elapses; blocks until all clients finish.
+ClosedLoopResult run_closed_loop(ServeEngine& engine,
+                                 const ClosedLoopParams& params);
+
+}  // namespace autopn::serve

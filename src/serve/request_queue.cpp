@@ -1,0 +1,75 @@
+#include "serve/request_queue.hpp"
+
+#include <algorithm>
+
+namespace autopn::serve {
+
+namespace {
+std::size_t derive_watermark(std::size_t capacity, std::size_t watermark) {
+  if (watermark == 0) watermark = capacity - capacity / 4;
+  return std::clamp<std::size_t>(watermark, 1, capacity);
+}
+}  // namespace
+
+RequestQueue::RequestQueue(std::size_t capacity, std::size_t shed_watermark)
+    : capacity_(std::max<std::size_t>(capacity, 1)),
+      watermark_(derive_watermark(capacity_, shed_watermark)) {}
+
+RequestQueue::Admit RequestQueue::try_push(Request request) {
+  std::scoped_lock lock{mutex_};
+  ++offered_;
+  if (closed_) {
+    ++shed_;
+    return Admit::kClosed;
+  }
+  if (queue_.size() >= watermark_) {
+    ++shed_;
+    return Admit::kShed;
+  }
+  queue_.push_back(std::move(request));
+  ++admitted_;
+  cv_.notify_one();
+  return Admit::kAdmitted;
+}
+
+std::optional<Request> RequestQueue::pop() {
+  std::unique_lock lock{mutex_};
+  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  Request request = std::move(queue_.front());
+  queue_.pop_front();
+  return request;
+}
+
+void RequestQueue::close() {
+  std::scoped_lock lock{mutex_};
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::scoped_lock lock{mutex_};
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::scoped_lock lock{mutex_};
+  return queue_.size();
+}
+
+std::uint64_t RequestQueue::offered() const {
+  std::scoped_lock lock{mutex_};
+  return offered_;
+}
+
+std::uint64_t RequestQueue::admitted() const {
+  std::scoped_lock lock{mutex_};
+  return admitted_;
+}
+
+std::uint64_t RequestQueue::shed() const {
+  std::scoped_lock lock{mutex_};
+  return shed_;
+}
+
+}  // namespace autopn::serve

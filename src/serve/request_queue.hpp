@@ -1,0 +1,81 @@
+#pragma once
+// Bounded MPMC admission queue with watermark load-shedding — the front door
+// of the serving engine. Producers (load generators, eventually a network
+// front-end) push requests; the engine's workers pop them FIFO. When the
+// backlog reaches the shed watermark the queue rejects new requests instead
+// of queueing them into an ever-growing latency bomb: the caller receives a
+// shed decision and (from the engine) a retry-after hint. close() stops
+// admission but lets poppers drain the backlog — the shutdown path never
+// drops an admitted request.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+
+#include "util/rng.hpp"
+
+namespace autopn::serve {
+
+/// One unit of admitted work. `work` runs on an engine worker (empty means
+/// the engine's default handler); `on_complete` fires after execution —
+/// closed-loop clients block on it.
+struct Request {
+  std::function<void(util::Rng&)> work;
+  std::function<void()> on_complete;
+  double enqueue_time = 0.0;  ///< clock timestamp at admission
+  std::uint64_t id = 0;
+};
+
+class RequestQueue {
+ public:
+  enum class Admit {
+    kAdmitted,  ///< queued; a worker will execute it
+    kShed,      ///< backlog at or above the watermark — load-shed
+    kClosed,    ///< queue closed (engine draining/stopped)
+  };
+
+  /// `shed_watermark` = 0 derives 3/4 of capacity; it is clamped to
+  /// [1, capacity].
+  RequestQueue(std::size_t capacity, std::size_t shed_watermark = 0);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  [[nodiscard]] Admit try_push(Request request);
+
+  /// Blocks for the next request; std::nullopt once the queue is closed and
+  /// fully drained.
+  [[nodiscard]] std::optional<Request> pop();
+
+  /// Stops admission and wakes all poppers; already-queued requests remain
+  /// poppable (drain semantics).
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t watermark() const noexcept { return watermark_; }
+
+  // Admission counters (offered == admitted + shed; kClosed counts as shed).
+  [[nodiscard]] std::uint64_t offered() const;
+  [[nodiscard]] std::uint64_t admitted() const;
+  [[nodiscard]] std::uint64_t shed() const;
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t watermark_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Request> queue_;
+  bool closed_ = false;
+  std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace autopn::serve

@@ -56,7 +56,13 @@ void Stm::run_read_only_impl(const std::function<void(Tx&)>& body) {
 
 void Stm::notify_commit() {
   if (!has_commit_cb_.load(std::memory_order_acquire)) return;
-  if (auto cb = commit_cb_.load(std::memory_order_acquire); cb && *cb) (*cb)();
+  // seq_cst RMW: orders against set_commit_callback's nullptr store, so a
+  // committer that increments after the removal necessarily reloads null
+  // below, and one that loaded a live callback is visible to the remover's
+  // quiescence spin.
+  commit_cb_inflight_.fetch_add(1);
+  if (auto cb = commit_cb_.load(); cb && *cb) (*cb)();
+  commit_cb_inflight_.fetch_sub(1);
 }
 
 void Stm::set_top_limit(std::size_t t) {
@@ -72,8 +78,14 @@ void Stm::set_commit_callback(std::shared_ptr<const std::function<void()>> cb) {
   // the flag always finds the callback. A commit racing with installation may
   // miss one notification; the monitor's windows tolerate that.
   const bool installed = cb != nullptr;
-  commit_cb_.store(std::move(cb), std::memory_order_release);
+  commit_cb_.store(std::move(cb));
   has_commit_cb_.store(installed, std::memory_order_release);
+  if (!installed) {
+    // Quiesce removal: committers that loaded the old callback may still be
+    // inside it; wait them out so the caller can safely tear down whatever
+    // the callback captured.
+    while (commit_cb_inflight_.load() != 0) std::this_thread::yield();
+  }
 }
 
 void Stm::acquire_child_token(util::ResizableSemaphore& gate) {

@@ -105,6 +105,9 @@ class Stm {
   /// Installs a callback invoked after every successful top-level commit
   /// (outside the commit serialization). Pass nullptr to remove. The KPI
   /// monitor uses this to timestamp commit events (paper §VI).
+  /// Removal quiesces: when the call returns, no invocation of the previous
+  /// callback is still running, so the caller may destroy state the
+  /// callback captured (the controller's condition variable, for one).
   void set_commit_callback(std::shared_ptr<const std::function<void()>> cb);
 
   [[nodiscard]] StmStatsSnapshot stats() const { return stats_.snapshot(); }
@@ -181,6 +184,7 @@ class Stm {
 
   std::atomic<bool> has_commit_cb_{false};
   std::atomic<std::shared_ptr<const std::function<void()>>> commit_cb_{nullptr};
+  std::atomic<int> commit_cb_inflight_{0};
 };
 
 }  // namespace autopn::stm

@@ -267,6 +267,70 @@ TEST(Controller, TuneAndWatchRetunesOnWorkloadShift) {
   EXPECT_GE(rounds, 2u);  // the shift forced at least one re-tuning
 }
 
+/// Hands out a fixed batch of request latencies on every drain.
+class FakeLatencySource final : public LatencySource {
+ public:
+  explicit FakeLatencySource(std::vector<double> batch) : batch_(std::move(batch)) {}
+  std::vector<double> drain_latencies() override {
+    ++drains_;
+    return batch_;
+  }
+  [[nodiscard]] int drains() const noexcept { return drains_; }
+
+ private:
+  std::vector<double> batch_;
+  int drains_ = 0;
+};
+
+TEST(Controller, LatencySourceSamplesOverrideWindowGaps) {
+  stm::Stm stm{live_config()};
+  workloads::ArrayConfig acfg;
+  acfg.array_size = 64;
+  workloads::ArrayBenchmark bench{stm, acfg};
+  WorkloadDriver driver{bench, 2};
+
+  util::WallClock clock;
+  opt::ConfigSpace space{4};
+  ControllerParams params;
+  params.max_window_seconds = 2.0;
+  TuningController controller{
+      stm, std::make_unique<opt::GridSearch>(space),
+      std::make_unique<FixedTimePolicy>(0.05), clock, params};
+  FakeLatencySource source{std::vector<double>(100, 0.010)};
+  controller.set_latency_source(&source);
+
+  const Measurement m = controller.measure_once();
+  // Drained twice: once to discard pre-window samples, once at window end.
+  EXPECT_EQ(source.drains(), 2);
+  EXPECT_EQ(m.latency_samples, 100u);
+  EXPECT_NEAR(m.mean_latency, 0.010, 1e-9);
+  EXPECT_NEAR(m.p99_latency, 0.010, 1e-9);
+}
+
+TEST(Controller, LatencyKpiUsesRequestLatencies) {
+  stm::Stm stm{live_config()};
+  workloads::ArrayConfig acfg;
+  acfg.array_size = 64;
+  workloads::ArrayBenchmark bench{stm, acfg};
+  WorkloadDriver driver{bench, 2};
+
+  util::WallClock clock;
+  opt::ConfigSpace space{4};
+  ControllerParams params;
+  params.kpi = KpiKind::kLatency;
+  params.max_window_seconds = 1.0;
+  TuningController controller{
+      stm, std::make_unique<opt::GridSearch>(space),
+      std::make_unique<FixedTimePolicy>(0.02), clock, params};
+  FakeLatencySource source{std::vector<double>(10, 0.004)};
+  controller.set_latency_source(&source);
+
+  const auto report = controller.tune();
+  ASSERT_FALSE(report.observations.empty());
+  // Every window saw the 4 ms request latency => KPI = 1/0.004 = 250.
+  for (const auto& obs : report.observations) EXPECT_NEAR(obs.kpi, 250.0, 1e-6);
+}
+
 TEST(Controller, ChangeDetectorRoundTrip) {
   stm::Stm stm{live_config()};
   util::WallClock clock;

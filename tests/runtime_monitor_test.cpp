@@ -150,6 +150,61 @@ TEST(MeasurementMath, ThroughputIsCommitsOverElapsed) {
   EXPECT_NEAR(m.throughput, 40.0, 1e-6);
 }
 
+TEST(MeasurementMath, CommitToCommitLatencyOnRegularStream) {
+  // 40 commits/s => every gap is exactly 25 ms; mean == p99 == 25 ms.
+  FixedCommitsPolicy policy{20};
+  const auto m = run_window_on_stream(policy, regular_stream(40.0), 0.0);
+  EXPECT_EQ(m.latency_samples, 20u);
+  EXPECT_NEAR(m.mean_latency, 0.025, 1e-9);
+  EXPECT_NEAR(m.p99_latency, 0.025, 1e-9);
+}
+
+TEST(MeasurementMath, LatencyStatsMatchGapDistribution) {
+  // Gaps 10/20/.../1000 ms: mean = 505 ms; p99 must match the library's
+  // percentile definition over the same sample set.
+  FixedCommitsPolicy policy{100};
+  std::vector<double> gaps;
+  for (int i = 1; i <= 100; ++i) gaps.push_back(0.010 * i);
+  std::size_t next = 0;
+  double t = 0.0;
+  const auto m = run_window_on_stream(
+      policy,
+      [&] {
+        t += gaps[next++];
+        return t;
+      },
+      0.0);
+  EXPECT_EQ(m.latency_samples, 100u);
+  EXPECT_NEAR(m.mean_latency, 0.505, 1e-9);
+  EXPECT_NEAR(m.p99_latency, util::percentile(gaps, 0.99), 1e-9);
+  EXPECT_GT(m.p99_latency, m.mean_latency);
+}
+
+TEST(MeasurementMath, ZeroCommitWindowHasNoLatency) {
+  CvAdaptivePolicy policy{0.10, 5};
+  policy.set_reference_throughput(100.0);
+  const auto m = run_window_on_stream(policy, regular_stream(0.1), 0.0);
+  EXPECT_EQ(m.commits, 0u);
+  EXPECT_EQ(m.latency_samples, 0u);
+  EXPECT_DOUBLE_EQ(m.mean_latency, 0.0);
+  EXPECT_DOUBLE_EQ(m.p99_latency, 0.0);
+}
+
+TEST(MeasurementMath, AttachLatencySamplesOverridesGapEstimate) {
+  Measurement m;
+  m.mean_latency = 9.9;  // stale gap-derived estimate
+  attach_latency_samples(m, {0.001, 0.002, 0.003, 0.004});
+  EXPECT_EQ(m.latency_samples, 4u);
+  EXPECT_NEAR(m.mean_latency, 0.0025, 1e-12);
+  EXPECT_NEAR(m.p99_latency, util::percentile({0.001, 0.002, 0.003, 0.004}, 0.99),
+              1e-12);
+  // Empty sample sets leave the measurement untouched.
+  Measurement untouched;
+  attach_latency_samples(untouched, {});
+  EXPECT_EQ(untouched.latency_samples, 0u);
+  EXPECT_DOUBLE_EQ(untouched.mean_latency, 0.0);
+}
+
 TEST(PolicyNames, AreDescriptive) {
   EXPECT_EQ(FixedTimePolicy{0.5}.name(), "fixed-time(0.500s)");
   EXPECT_EQ(FixedCommitsPolicy{30}.name(), "fixed-commits(30)");

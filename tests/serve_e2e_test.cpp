@@ -1,0 +1,159 @@
+// End-to-end serving tests: the AutoPN tuning controller retuning (t, c)
+// live while the engine serves traffic, with real request latencies feeding
+// KpiKind::kLatency through the ServiceKpiSource.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "opt/autopn_optimizer.hpp"
+#include "opt/baselines.hpp"
+#include "runtime/controller.hpp"
+#include "serve/engine.hpp"
+#include "serve/handlers.hpp"
+#include "serve/loadgen.hpp"
+
+namespace autopn::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+stm::StmConfig small_stm() {
+  stm::StmConfig cfg;
+  cfg.max_cores = 4;
+  cfg.pool_threads = 2;
+  cfg.initial_top = 1;
+  cfg.initial_children = 1;
+  return cfg;
+}
+
+/// Open-loop traffic from a background thread until destruction.
+class TrafficDriver {
+ public:
+  TrafficDriver(ServeEngine& engine, double rate) {
+    thread_ = std::jthread{[this, &engine, rate] {
+      util::Rng rng{99};
+      while (!stop_.load(std::memory_order_relaxed)) {
+        (void)engine.submit();
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            rng.exponential(rate)));
+      }
+    }};
+  }
+  ~TrafficDriver() { stop_.store(true); }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::jthread thread_;
+};
+
+TEST(ServeE2E, AutoPnConvergesOnSmallLatticeUnderLiveTraffic) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  auto workload = make_servable_workload("array", stm);
+  ServeConfig scfg;
+  scfg.workers = 3;
+  ServeEngine engine{stm, workload.handler, clock, scfg};
+  TrafficDriver traffic{engine, 2000.0};
+
+  opt::ConfigSpace space{4};  // 8-configuration lattice
+  opt::AutoPnParams ap;
+  ap.initial_samples = 5;
+  runtime::ControllerParams params;
+  params.max_window_seconds = 0.5;
+  runtime::TuningController controller{
+      stm, std::make_unique<opt::AutoPnOptimizer>(space, ap, 1),
+      std::make_unique<runtime::CvAdaptivePolicy>(0.30, 3), clock, params};
+  controller.set_latency_source(&engine.kpi_source());
+
+  const runtime::TuningReport report = controller.tune();
+  EXPECT_TRUE(space.valid(report.chosen));
+  EXPECT_GE(report.explorations, 3u);
+  EXPECT_LE(report.explorations, space.size());
+  // The tuned configuration was applied to the live gates.
+  EXPECT_EQ(static_cast<int>(stm.top_limit()), report.chosen.t);
+  EXPECT_EQ(static_cast<int>(stm.child_limit()), report.chosen.c);
+  // Observations carry positive KPIs — live traffic flowed during tuning.
+  std::size_t positive = 0;
+  for (const auto& obs : report.observations) positive += obs.kpi > 0.0;
+  EXPECT_GT(positive, 0u);
+
+  engine.drain_and_stop();
+  EXPECT_GT(engine.report().completed, 0u);
+  EXPECT_GT(engine.report().latency.p99, 0.0);
+  EXPECT_TRUE(workload.verify());
+}
+
+TEST(ServeE2E, LatencyKpiWindowsCarryRequestLatencies) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  auto workload = make_servable_workload("array", stm);
+  ServeEngine engine{stm, workload.handler, clock, {}};
+  TrafficDriver traffic{engine, 2000.0};
+
+  opt::ConfigSpace space{4};
+  runtime::ControllerParams params;
+  params.kpi = runtime::KpiKind::kLatency;
+  params.max_window_seconds = 1.0;
+  runtime::TuningController controller{
+      stm, std::make_unique<opt::GridSearch>(space),
+      std::make_unique<runtime::FixedTimePolicy>(0.05), clock, params};
+  controller.set_latency_source(&engine.kpi_source());
+
+  const runtime::Measurement m = controller.measure_once();
+  EXPECT_GT(m.commits, 0u);
+  EXPECT_GT(m.latency_samples, 0u);
+  EXPECT_GT(m.mean_latency, 0.0);
+  EXPECT_GE(m.p99_latency, m.mean_latency * 0.5);
+  engine.drain_and_stop();
+}
+
+TEST(ServeE2E, RateShiftTriggersRetuneThroughCusum) {
+  // Phase 1: light traffic. Phase 2: a much heavier arrival rate. The
+  // throughput jump must fire the CUSUM detector and force a second tuning
+  // round — the live re-tune path the CLI's `serve` command exercises.
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  auto workload = make_servable_workload("array", stm);
+  ServeConfig scfg;
+  scfg.workers = 3;
+  scfg.queue_capacity = 512;
+  ServeEngine engine{stm, workload.handler, clock, scfg};
+
+  std::atomic<bool> shifted{false};
+  std::atomic<bool> stop{false};
+  std::jthread traffic{[&] {
+    util::Rng rng{123};
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)engine.submit();
+      const double rate = shifted.load(std::memory_order_relaxed) ? 4000.0 : 150.0;
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(rng.exponential(rate)));
+    }
+  }};
+
+  opt::ConfigSpace space{4};
+  runtime::ControllerParams params;
+  params.max_window_seconds = 0.5;
+  runtime::TuningController controller{
+      stm, std::make_unique<opt::GridSearch>(space),
+      std::make_unique<runtime::FixedTimePolicy>(0.02), clock, params};
+  controller.set_latency_source(&engine.kpi_source());
+
+  std::jthread shifter{[&] {
+    std::this_thread::sleep_for(500ms);
+    shifted.store(true);
+  }};
+  const std::size_t rounds = controller.tune_and_watch(
+      [&space] { return std::make_unique<opt::GridSearch>(space); },
+      /*duration_seconds=*/2.5);
+  stop.store(true);
+  traffic = {};
+  EXPECT_GE(rounds, 2u) << "arrival-rate shift did not trigger a re-tune";
+  engine.drain_and_stop();
+  EXPECT_GT(engine.report().completed, 0u);
+}
+
+}  // namespace
+}  // namespace autopn::serve

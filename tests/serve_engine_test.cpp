@@ -1,0 +1,224 @@
+// Tests for the serving engine: transactional execution, overload shedding,
+// drain-on-shutdown with in-flight transactions, KPI-source windows, and the
+// open-/closed-loop load generators.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "serve/engine.hpp"
+#include "serve/handlers.hpp"
+#include "serve/loadgen.hpp"
+
+namespace autopn::serve {
+namespace {
+
+using namespace std::chrono_literals;
+
+stm::StmConfig small_stm() {
+  stm::StmConfig cfg;
+  cfg.max_cores = 4;
+  cfg.pool_threads = 2;
+  cfg.initial_top = 2;
+  cfg.initial_children = 1;
+  return cfg;
+}
+
+/// Submits until `count` requests were admitted, waiting out shed periods.
+void submit_admitted(ServeEngine& engine, std::size_t count,
+                     RequestHandler work = {}) {
+  std::size_t admitted = 0;
+  while (admitted < count) {
+    const auto r = engine.submit(work, {});
+    if (r.admitted) {
+      ++admitted;
+    } else {
+      std::this_thread::sleep_for(1ms);
+    }
+  }
+}
+
+TEST(ServeEngine, ExecutesRequestsAsTransactions) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  auto workload = make_servable_workload("array", stm);
+  ServeConfig cfg;
+  cfg.workers = 2;
+  ServeEngine engine{stm, workload.handler, clock, cfg};
+
+  submit_admitted(engine, 50);
+  engine.drain_and_stop();
+
+  const ServeReport report = engine.report();
+  EXPECT_EQ(report.admitted, 50u);
+  EXPECT_EQ(report.completed, 50u);
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.queue_depth, 0u);
+  // Every request ran at least one top-level transaction on the STM.
+  EXPECT_GE(stm.stats().top_commits, 50u);
+  EXPECT_TRUE(workload.verify());
+}
+
+TEST(ServeEngine, LatencyReportIsPopulatedAndOrdered) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  auto workload = make_servable_workload("array", stm);
+  ServeEngine engine{stm, workload.handler, clock, {}};
+  submit_admitted(engine, 100);
+  engine.drain_and_stop();
+
+  const auto latency = engine.report().latency;
+  EXPECT_EQ(latency.count, 100u);
+  EXPECT_GT(latency.mean, 0.0);
+  EXPECT_LE(latency.p50, latency.p95);
+  EXPECT_LE(latency.p95, latency.p99);
+}
+
+TEST(ServeEngine, ShedsUnderOverloadWithRetryAfterHint) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  // A deliberately slow handler so one worker cannot keep up.
+  const RequestHandler slow = [](util::Rng&) {
+    std::this_thread::sleep_for(5ms);
+  };
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.shed_watermark = 4;
+  ServeEngine engine{stm, slow, clock, cfg};
+
+  bool saw_shed = false;
+  double retry_after = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const auto r = engine.submit();
+    if (!r.admitted) {
+      saw_shed = true;
+      retry_after = r.retry_after;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_shed);
+  EXPECT_GT(retry_after, 0.0);
+  EXPECT_LE(retry_after, 5.0);
+  engine.drain_and_stop();
+  const auto report = engine.report();
+  EXPECT_GT(report.shed, 0u);
+  EXPECT_GT(report.shed_fraction, 0.0);
+}
+
+TEST(ServeEngine, DrainOnShutdownCompletesInFlightRequests) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  std::atomic<int> executed{0};
+  const RequestHandler slow = [&executed](util::Rng&) {
+    std::this_thread::sleep_for(2ms);
+    executed.fetch_add(1);
+  };
+  ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  cfg.shed_watermark = 64;
+  ServeEngine engine{stm, slow, clock, cfg};
+
+  std::size_t admitted = 0;
+  for (int i = 0; i < 32; ++i) admitted += engine.submit().admitted;
+  engine.drain_and_stop();  // must wait for the whole backlog
+  EXPECT_EQ(executed.load(), static_cast<int>(admitted));
+  EXPECT_EQ(engine.report().completed, admitted);
+  // Stopped engines shed everything and drain_and_stop stays idempotent.
+  EXPECT_FALSE(engine.submit().admitted);
+  engine.drain_and_stop();
+}
+
+TEST(ServeEngine, FailingHandlerCountsFailureAndKeepsServing) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  std::atomic<int> calls{0};
+  const RequestHandler flaky = [&calls](util::Rng&) {
+    if (calls.fetch_add(1) % 2 == 0) throw std::runtime_error{"boom"};
+  };
+  ServeEngine engine{stm, flaky, clock, {}};
+  submit_admitted(engine, 20);
+  engine.drain_and_stop();
+  const auto report = engine.report();
+  EXPECT_EQ(report.completed + report.failed, 20u);
+  EXPECT_GT(report.failed, 0u);
+  EXPECT_GT(report.completed, 0u);
+}
+
+TEST(ServiceKpiSource, DrainReturnsWindowSamplesOnce) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  auto workload = make_servable_workload("array", stm);
+  ServeEngine engine{stm, workload.handler, clock, {}};
+  (void)engine.kpi_source().drain_latencies();  // discard pre-window noise
+  submit_admitted(engine, 25);
+  engine.drain_and_stop();
+
+  const auto samples = engine.kpi_source().drain_latencies();
+  EXPECT_EQ(samples.size(), 25u);
+  for (double s : samples) EXPECT_GE(s, 0.0);
+  EXPECT_TRUE(engine.kpi_source().drain_latencies().empty());  // drained
+  // The cumulative histogram is unaffected by draining windows.
+  EXPECT_EQ(engine.kpi_source().latency_summary().count, 25u);
+}
+
+TEST(Loadgen, OpenLoopOffersAtConfiguredRate) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  auto workload = make_servable_workload("array", stm);
+  ServeEngine engine{stm, workload.handler, clock, {}};
+  OpenLoopParams params;
+  params.rate = 400.0;
+  params.duration = 0.5;
+  const OpenLoopResult result = run_open_loop(engine, params);
+  engine.drain_and_stop();
+  EXPECT_EQ(result.offered, result.admitted + result.shed);
+  // Poisson(rate * duration) = 200 expected arrivals; allow wide slack for
+  // slow CI machines (the generator degrades to back-to-back, never over).
+  EXPECT_GT(result.offered, 50u);
+  EXPECT_LT(result.offered, 400u);
+  EXPECT_NEAR(result.duration, 0.5, 0.2);
+}
+
+TEST(Loadgen, OpenLoopOverloadGrowsQueueAndSheds) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  const RequestHandler slow = [](util::Rng&) {
+    std::this_thread::sleep_for(2ms);
+  };
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 16;
+  cfg.shed_watermark = 8;
+  ServeEngine engine{stm, slow, clock, cfg};
+  OpenLoopParams params;
+  params.rate = 2000.0;  // far beyond ~500/s service capacity
+  params.duration = 0.4;
+  const OpenLoopResult result = run_open_loop(engine, params);
+  engine.drain_and_stop();
+  EXPECT_GT(result.shed, 0u);
+  EXPECT_GT(result.shed_fraction(), 0.3);
+  EXPECT_GE(result.max_queue_depth, 8u);  // backlog reached the watermark
+}
+
+TEST(Loadgen, ClosedLoopClientsCompleteTheirRequests) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  auto workload = make_servable_workload("array", stm);
+  ServeEngine engine{stm, workload.handler, clock, {}};
+  ClosedLoopParams params;
+  params.clients = 4;
+  params.think_time = 0.0005;
+  params.duration = 0.4;
+  const ClosedLoopResult result = run_closed_loop(engine, params);
+  engine.drain_and_stop();
+  EXPECT_GT(result.issued, 0u);
+  EXPECT_EQ(result.issued, result.completed + result.shed);
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_GE(engine.report().completed, result.completed);
+}
+
+}  // namespace
+}  // namespace autopn::serve

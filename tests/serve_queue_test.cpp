@@ -1,0 +1,181 @@
+// Tests for the serving engine's admission queue (backpressure, shedding,
+// FIFO fairness, drain-on-close) and the striped latency histogram.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "serve/latency.hpp"
+#include "serve/request_queue.hpp"
+
+namespace autopn::serve {
+namespace {
+
+Request request_with_id(std::uint64_t id) {
+  Request r;
+  r.id = id;
+  return r;
+}
+
+TEST(RequestQueue, AdmitsBelowWatermarkShedsAtIt) {
+  RequestQueue queue{8, 4};
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(queue.try_push(request_with_id(i)), RequestQueue::Admit::kAdmitted);
+  }
+  EXPECT_EQ(queue.try_push(request_with_id(4)), RequestQueue::Admit::kShed);
+  EXPECT_EQ(queue.depth(), 4u);
+  // Draining one request reopens admission.
+  ASSERT_TRUE(queue.pop().has_value());
+  EXPECT_EQ(queue.try_push(request_with_id(5)), RequestQueue::Admit::kAdmitted);
+  EXPECT_EQ(queue.offered(), 6u);
+  EXPECT_EQ(queue.admitted(), 5u);
+  EXPECT_EQ(queue.shed(), 1u);
+}
+
+TEST(RequestQueue, WatermarkDefaultsToThreeQuartersOfCapacity) {
+  RequestQueue queue{100};
+  EXPECT_EQ(queue.capacity(), 100u);
+  EXPECT_EQ(queue.watermark(), 75u);
+  // Watermark never exceeds capacity and never drops to zero.
+  EXPECT_EQ((RequestQueue{4, 900}).watermark(), 4u);
+  EXPECT_EQ((RequestQueue{1}).watermark(), 1u);
+}
+
+TEST(RequestQueue, FifoOrderPreserved) {
+  RequestQueue queue{128, 128};
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    ASSERT_EQ(queue.try_push(request_with_id(i)), RequestQueue::Admit::kAdmitted);
+  }
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const auto r = queue.pop();
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(r->id, i);
+  }
+}
+
+TEST(RequestQueue, CloseDrainsBacklogThenSignalsEnd) {
+  RequestQueue queue{16};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(queue.try_push(request_with_id(i)), RequestQueue::Admit::kAdmitted);
+  }
+  queue.close();
+  EXPECT_EQ(queue.try_push(request_with_id(99)), RequestQueue::Admit::kClosed);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto r = queue.pop();
+    ASSERT_TRUE(r.has_value()) << "request " << i << " lost on close";
+    EXPECT_EQ(r->id, i);
+  }
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(RequestQueue, CloseWakesBlockedPoppers) {
+  RequestQueue queue{4};
+  std::atomic<int> finished{0};
+  std::vector<std::jthread> poppers;
+  for (int i = 0; i < 3; ++i) {
+    poppers.emplace_back([&] {
+      while (queue.pop().has_value()) {
+      }
+      finished.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds{10});
+  queue.close();
+  poppers.clear();  // join
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(RequestQueue, ConcurrentCountsConserve) {
+  RequestQueue queue{64, 32};
+  std::atomic<std::uint64_t> popped{0};
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  {
+    std::vector<std::jthread> consumers;
+    for (int i = 0; i < kConsumers; ++i) {
+      consumers.emplace_back([&] {
+        while (queue.pop().has_value()) {
+          popped.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+    {
+      std::vector<std::jthread> producers;
+      for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&, p] {
+          for (int i = 0; i < kPerProducer; ++i) {
+            (void)queue.try_push(request_with_id(
+                static_cast<std::uint64_t>(p) * kPerProducer + i));
+          }
+        });
+      }
+    }  // join producers
+    queue.close();
+  }  // join consumers
+  EXPECT_EQ(queue.offered(), kProducers * kPerProducer);
+  EXPECT_EQ(queue.admitted() + queue.shed(), queue.offered());
+  EXPECT_EQ(popped.load(), queue.admitted());  // nothing admitted was lost
+  EXPECT_EQ(queue.depth(), 0u);
+}
+
+TEST(LatencyRecorder, PercentilesWithinBinResolution) {
+  LatencyRecorder recorder;
+  // 1..1000 ms uniformly: p50 ≈ 0.5 s scaled — use exact ranks instead:
+  // samples k ms for k in [1, 1000]; p50 = 500 ms, p99 = 990 ms.
+  for (int k = 1; k <= 1000; ++k) recorder.record(k * 1e-3);
+  const auto s = recorder.summary();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_NEAR(s.mean, 0.5005, 1e-4);
+  // Log bins are 10^(1/16) wide => relative error bound ~16%.
+  EXPECT_NEAR(s.p50, 0.500, 0.500 * 0.16);
+  EXPECT_NEAR(s.p95, 0.950, 0.950 * 0.16);
+  EXPECT_NEAR(s.p99, 0.990, 0.990 * 0.16);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+}
+
+TEST(LatencyRecorder, ClampsOutOfRangeSamples) {
+  LatencyRecorder recorder;
+  recorder.record(0.0);     // below the 1 µs floor
+  recorder.record(-1.0);    // nonsense input must not crash or wrap
+  recorder.record(1e6);     // beyond the top decade
+  const auto s = recorder.summary();
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_GT(s.p99, 100.0);  // clamped into the top bin, not lost
+}
+
+TEST(LatencyRecorder, ResetClears) {
+  LatencyRecorder recorder;
+  for (int i = 0; i < 10; ++i) recorder.record(0.01);
+  recorder.reset();
+  const auto s = recorder.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 0.0);
+}
+
+TEST(LatencyRecorder, ConcurrentRecordsAllCounted) {
+  LatencyRecorder recorder{8};
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  {
+    std::vector<std::jthread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          recorder.record(1e-3 * (1 + (t + i) % 10));
+        }
+      });
+    }
+  }
+  EXPECT_EQ(recorder.count(), kThreads * kPerThread);
+  const auto s = recorder.summary();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_GT(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace autopn::serve

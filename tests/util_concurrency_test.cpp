@@ -90,6 +90,52 @@ TEST(ResizableSemaphore, ConcurrentStress) {
   EXPECT_GE(peak.load(), 1);
 }
 
+TEST(ResizableSemaphore, ShrinkBelowInFlightNeverDeadlocksNorOverAdmits) {
+  // The live-reconfiguration path the serving engine hammers: the actuator
+  // resizes the t-gate below the number of in-flight holders while worker
+  // threads keep acquiring. Shrinking must neither deadlock waiters nor
+  // admit more holders than the largest capacity ever set.
+  constexpr std::size_t kMaxCapacity = 6;
+  ResizableSemaphore sem{4};
+  std::atomic<int> concurrent{0};
+  std::atomic<int> peak{0};
+  std::atomic<bool> stop{false};
+  {
+    std::vector<std::jthread> workers;
+    for (int i = 0; i < 8; ++i) {
+      workers.emplace_back([&] {
+        while (!stop.load(std::memory_order_relaxed)) {
+          SemaphoreGuard guard{sem};
+          const int now = concurrent.fetch_add(1) + 1;
+          int expected = peak.load();
+          while (now > expected && !peak.compare_exchange_weak(expected, now)) {
+          }
+          std::this_thread::yield();
+          concurrent.fetch_sub(1);
+        }
+      });
+    }
+    // Hammer the capacity through repeated shrink-below-in-flight / regrow
+    // cycles, including shrinking to 1 while up to 6 holders are inside.
+    constexpr std::size_t kCycle[] = {1, 3, 2, kMaxCapacity, 1, 4};
+    for (int round = 0; round < 600; ++round) {
+      sem.set_capacity(kCycle[round % std::size(kCycle)]);
+      if (round % 16 == 0) std::this_thread::sleep_for(1ms);
+    }
+    sem.set_capacity(2);
+    stop.store(true);
+  }  // join — completing at all proves no waiter deadlocked
+  EXPECT_LE(peak.load(), static_cast<int>(kMaxCapacity));
+  EXPECT_GE(peak.load(), 1);
+  EXPECT_EQ(sem.in_use(), 0u);  // fully drained after the storm
+  // The final shrunk capacity is enforced once holders drained.
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_TRUE(sem.try_acquire());
+  EXPECT_FALSE(sem.try_acquire());
+  sem.release();
+  sem.release();
+}
+
 TEST(ThreadPool, ExecutesSubmittedTasks) {
   ThreadPool pool{2};
   std::atomic<int> counter{0};

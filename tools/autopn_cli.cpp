@@ -6,19 +6,27 @@
 //   autopn compare <workload> [--seed N]  all tuners on one workload
 //   autopn record <workload> <file>       record an offline trace to a file
 //   autopn info <file>                    summarize a recorded trace
+//   autopn serve [--workload W] [opts]    live serving engine + AutoPN tuning
 //
 // tune options: --optimizer autopn|smbo|random|grid|hc|sa|ga  --seed N
 //               --cores N (default 48)
+// serve options: --workload array|array-high|vacation|tpcc  --rate R
+//                --duration S  --workers N  --shift F  --cores N  --seed N
 
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "opt/autopn_optimizer.hpp"
 #include "opt/baselines.hpp"
 #include "opt/runner.hpp"
+#include "runtime/controller.hpp"
+#include "serve/engine.hpp"
+#include "serve/handlers.hpp"
+#include "serve/loadgen.hpp"
 #include "sim/des.hpp"
 #include "sim/surface.hpp"
 #include "sim/trace.hpp"
@@ -30,14 +38,16 @@ using namespace autopn;
 namespace {
 
 int usage() {
-  std::cerr << "usage: autopn <workloads|surface|tune|compare|des-tune|record|info> ...\n"
+  std::cerr << "usage: autopn <workloads|surface|tune|compare|des-tune|record|info|serve> ...\n"
                "  autopn workloads\n"
                "  autopn surface <workload> [--cores N]\n"
                "  autopn tune <workload> [--optimizer NAME] [--seed N] [--cores N]\n"
                "  autopn compare <workload> [--seed N] [--cores N]\n"
                "  autopn des-tune <workload> [--optimizer NAME] [--seed N]\n"
                "  autopn record <workload> <file> [--cores N]\n"
-               "  autopn info <file>\n";
+               "  autopn info <file>\n"
+               "  autopn serve [--workload W] [--rate R] [--duration S] [--workers N]\n"
+               "               [--shift F] [--optimizer NAME] [--cores N] [--seed N]\n";
   return 2;
 }
 
@@ -45,6 +55,13 @@ struct Options {
   std::string optimizer = "autopn";
   std::uint64_t seed = 1;
   int cores = 48;
+  bool cores_given = false;
+  // serve-only knobs
+  std::string workload = "tpcc";
+  double rate = 600.0;      ///< open-loop arrivals/s before the shift
+  double duration = 4.0;    ///< total serving time; the rate shifts halfway
+  double shift = 4.0;       ///< rate multiplier for the second phase
+  std::size_t workers = 4;  ///< engine worker threads
 };
 
 Options parse_options(const std::vector<std::string>& args, std::size_t start) {
@@ -56,6 +73,17 @@ Options parse_options(const std::vector<std::string>& args, std::size_t start) {
       opts.seed = std::stoull(args[i + 1]);
     } else if (args[i] == "--cores") {
       opts.cores = std::stoi(args[i + 1]);
+      opts.cores_given = true;
+    } else if (args[i] == "--workload") {
+      opts.workload = args[i + 1];
+    } else if (args[i] == "--rate") {
+      opts.rate = std::stod(args[i + 1]);
+    } else if (args[i] == "--duration") {
+      opts.duration = std::stod(args[i + 1]);
+    } else if (args[i] == "--shift") {
+      opts.shift = std::stod(args[i + 1]);
+    } else if (args[i] == "--workers") {
+      opts.workers = std::stoul(args[i + 1]);
     } else {
       throw std::invalid_argument{"unknown option " + args[i]};
     }
@@ -202,6 +230,91 @@ int cmd_des_tune(const std::string& workload, const Options& opts) {
   return 0;
 }
 
+int cmd_serve(const Options& opts) {
+  // The live path: a real PN-STM behind the serving engine, open-loop
+  // traffic whose arrival rate shifts halfway through, and the AutoPN
+  // controller retuning (t, c) on the running system via CUSUM.
+  const int cores = opts.cores_given ? opts.cores : 8;
+  stm::StmConfig stm_cfg;
+  stm_cfg.max_cores = static_cast<std::size_t>(cores);
+  stm_cfg.pool_threads = std::max<std::size_t>(2, opts.workers);
+  stm::Stm stm{stm_cfg};
+  util::WallClock clock;
+  auto workload = serve::make_servable_workload(opts.workload, stm, opts.seed ^ 0x5e);
+
+  serve::ServeConfig serve_cfg;
+  serve_cfg.workers = opts.workers;
+  serve_cfg.queue_capacity = 512;
+  serve_cfg.seed = opts.seed;
+  serve::ServeEngine engine{stm, workload.handler, clock, serve_cfg};
+
+  const opt::ConfigSpace space{cores};
+  runtime::ControllerParams params;
+  params.max_window_seconds = 0.5;
+  runtime::TuningController controller{
+      stm, make_optimizer(opts.optimizer, space, opts.seed),
+      std::make_unique<runtime::FixedTimePolicy>(0.05), clock, params};
+  controller.set_latency_source(&engine.kpi_source());
+
+  const double shifted_rate = opts.rate * opts.shift;
+  std::cout << "serving " << opts.workload << ": " << opts.workers
+            << " workers, queue " << serve_cfg.queue_capacity << ", open-loop "
+            << util::fmt_double(opts.rate, 0) << " req/s shifting to "
+            << util::fmt_double(shifted_rate, 0) << " req/s at t="
+            << util::fmt_double(opts.duration / 2, 1) << "s; "
+            << opts.optimizer << " tuning live over " << space.size()
+            << " configurations\n";
+
+  const double start = clock.now();
+  std::size_t rounds = 0;
+  std::jthread tuner{[&] {
+    rounds = controller.tune_and_watch(
+        [&] { return make_optimizer(opts.optimizer, space, opts.seed); },
+        opts.duration);
+  }};
+
+  serve::OpenLoopParams phase;
+  phase.rate = opts.rate;
+  phase.duration = opts.duration / 2;
+  phase.seed = opts.seed ^ 0xaa;
+  const serve::OpenLoopResult p1 = serve::run_open_loop(engine, phase);
+  phase.rate = shifted_rate;
+  phase.seed = opts.seed ^ 0xbb;
+  const serve::OpenLoopResult p2 = serve::run_open_loop(engine, phase);
+  tuner.join();
+  const double elapsed = clock.now() - start;
+  engine.drain_and_stop();
+
+  util::TextTable phases{{"phase", "rate", "offered", "shed", "max depth"}};
+  phases.add_row({"1", util::fmt_double(opts.rate, 0), std::to_string(p1.offered),
+                  util::fmt_percent(p1.shed_fraction()),
+                  std::to_string(p1.max_queue_depth)});
+  phases.add_row({"2", util::fmt_double(shifted_rate, 0), std::to_string(p2.offered),
+                  util::fmt_percent(p2.shed_fraction()),
+                  std::to_string(p2.max_queue_depth)});
+  phases.print(std::cout);
+
+  const serve::ServeReport report = engine.report();
+  std::cout << "tuning rounds: " << rounds
+            << (rounds >= 2 ? " (the rate shift triggered a re-tune)" : "")
+            << "\nchosen (t,c):  (" << stm.top_limit() << "," << stm.child_limit()
+            << ")\nthroughput:    "
+            << util::fmt_double(static_cast<double>(report.completed) / elapsed, 0)
+            << " req/s (" << report.completed << " completed in "
+            << util::fmt_double(elapsed, 2) << "s)\nlatency (ms):  p50 "
+            << util::fmt_double(report.latency.p50 * 1e3, 2) << "  p95 "
+            << util::fmt_double(report.latency.p95 * 1e3, 2) << "  p99 "
+            << util::fmt_double(report.latency.p99 * 1e3, 2)
+            << "\nshed fraction: " << util::fmt_percent(report.shed_fraction)
+            << " (" << report.shed << "/" << report.offered << " offered)\n";
+  if (!workload.verify()) {
+    std::cerr << "consistency check FAILED\n";
+    return 1;
+  }
+  std::cout << "consistency:   OK\n";
+  return 0;
+}
+
 int cmd_info(const std::string& file) {
   std::ifstream in{file};
   if (!in) {
@@ -241,6 +354,15 @@ int main(int argc, char** argv) {
       return cmd_record(args[1], args[2], parse_options(args, 3));
     }
     if (cmd == "info" && args.size() >= 2) return cmd_info(args[1]);
+    if (cmd == "serve") {
+      // Accept both `serve tpcc` and `serve --workload tpcc`.
+      if (args.size() >= 2 && args[1][0] != '-') {
+        Options opts = parse_options(args, 2);
+        opts.workload = args[1];
+        return cmd_serve(opts);
+      }
+      return cmd_serve(parse_options(args, 1));
+    }
     return usage();
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
