@@ -1,0 +1,254 @@
+// chaos_soak: randomized failpoint schedules against the full serving stack
+// (PN-STM + ServeEngine + live TuningController) with end-of-run invariant
+// assertions. The driver flips a random subset of injection sites on and off
+// every few hundred milliseconds while open-loop traffic flows and the
+// controller retunes; at the end it checks that no request was lost, the
+// workload's transactional state is consistent, and progress was made.
+//
+//   chaos_soak [--seconds S] [--seed N] [--workload NAME] [--workers N]
+//              [--rate R] [--timeout S]
+//
+// Exits 0 when every invariant holds, 1 on any violation (or an unexpected
+// exception). When the failpoint framework is compiled out the soak degrades
+// to a clean-run smoke test and says so.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "opt/baselines.hpp"
+#include "runtime/controller.hpp"
+#include "serve/engine.hpp"
+#include "serve/handlers.hpp"
+#include "util/clock.hpp"
+#include "util/failpoint.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace autopn;
+
+struct SoakParams {
+  double seconds = 5.0;
+  std::uint64_t seed = 42;
+  std::string workload = "array";
+  std::size_t workers = 3;
+  double rate = 1500.0;        ///< open-loop arrivals per second
+  double request_timeout = 0.05;
+};
+
+SoakParams parse_args(int argc, char** argv) {
+  SoakParams params;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--seconds") {
+      params.seconds = std::stod(next());
+    } else if (arg == "--seed") {
+      params.seed = std::stoull(next());
+    } else if (arg == "--workload") {
+      params.workload = next();
+    } else if (arg == "--workers") {
+      params.workers = std::stoul(next());
+    } else if (arg == "--rate") {
+      params.rate = std::stod(next());
+    } else if (arg == "--timeout") {
+      params.request_timeout = std::stod(next());
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  return params;
+}
+
+/// Draws a random failpoint schedule: each site independently armed with a
+/// random probability (errors) or delay (stalls). Roughly half the sites are
+/// active in any given epoch so healthy and faulty paths interleave.
+std::string random_schedule(util::Rng& rng) {
+  std::ostringstream spec;
+  auto add = [&](const std::string& s) {
+    if (spec.tellp() > 0) spec << ';';
+    spec << s;
+  };
+  auto coin = [&] { return rng.uniform(0.0, 1.0) < 0.5; };
+  if (coin()) {
+    std::ostringstream s;
+    s << "stm.commit.validate=error(p=" << rng.uniform(0.05, 0.5) << ")";
+    add(s.str());
+  }
+  if (coin()) {
+    std::ostringstream s;
+    s << "stm.child.merge=error(p=" << rng.uniform(0.05, 0.3) << ")";
+    add(s.str());
+  }
+  if (coin()) {
+    std::ostringstream s;
+    s << "stm.commit.helping=delay(d=" << rng.uniform_int(20, 200)
+      << "us,p=0.3)";
+    add(s.str());
+  }
+  if (coin()) {
+    std::ostringstream s;
+    s << "stm.vbox.prune=delay(d=" << rng.uniform_int(20, 100) << "us,p=0.5)";
+    add(s.str());
+  }
+  if (coin()) {
+    std::ostringstream s;
+    s << "serve.worker.fail=error(p=" << rng.uniform(0.02, 0.2) << ")";
+    add(s.str());
+  }
+  if (coin()) {
+    std::ostringstream s;
+    s << "serve.worker.begin=delay(d=" << rng.uniform_int(100, 2000)
+      << "us,p=0.3)";
+    add(s.str());
+  }
+  if (coin()) {
+    std::ostringstream s;
+    s << "serve.queue.push=delay(d=" << rng.uniform_int(10, 100)
+      << "us,p=0.2)";
+    add(s.str());
+  }
+  if (coin()) {
+    // Occasionally blind the monitor entirely: the watchdog must notice the
+    // stalled windows and revert the actuator without wedging the run.
+    add("runtime.monitor.drop_commit=error(p=1)");
+  }
+  return spec.str();
+}
+
+int check(bool ok, const std::string& what, int& failures) {
+  if (ok) {
+    std::cout << "  [ok]   " << what << "\n";
+  } else {
+    std::cout << "  [FAIL] " << what << "\n";
+    ++failures;
+  }
+  return failures;
+}
+
+int run_soak(const SoakParams& params) {
+  stm::StmConfig stm_cfg;
+  stm_cfg.pool_threads = 2;
+  stm_cfg.initial_top = 2;
+  stm_cfg.initial_children = 2;
+  stm::Stm stm{stm_cfg};
+  util::WallClock clock;
+  auto workload = serve::make_servable_workload(params.workload, stm,
+                                                params.seed);
+  serve::ServeConfig serve_cfg;
+  serve_cfg.workers = params.workers;
+  serve_cfg.queue_capacity = 256;
+  serve_cfg.request_timeout = params.request_timeout;
+  serve::ServeEngine engine{stm, workload.handler, clock, serve_cfg};
+
+  // Open-loop traffic for the whole soak.
+  std::atomic<bool> stop{false};
+  std::jthread traffic{[&] {
+    util::Rng rng{params.seed ^ 0x9e3779b97f4a7c15ull};
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)engine.submit();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(rng.exponential(params.rate)));
+    }
+  }};
+
+  // Live tuning with the watchdog armed: chaos epochs that blind the monitor
+  // should surface as stalled windows + reverts, not a wedged controller.
+  const opt::ConfigSpace space{4};
+  runtime::ControllerParams ctl_params;
+  ctl_params.max_window_seconds = 0.2;
+  ctl_params.watchdog_stall_windows = 2;
+  runtime::TuningController controller{
+      stm, std::make_unique<opt::RandomSearch>(space, params.seed),
+      std::make_unique<runtime::FixedTimePolicy>(0.05), clock, ctl_params};
+  controller.set_latency_source(&engine.kpi_source());
+  std::jthread tuner{[&] {
+    controller.tune_and_watch(
+        [&] {
+          return std::make_unique<opt::RandomSearch>(space, params.seed + 1);
+        },
+        params.seconds);
+  }};
+
+  // Chaos epochs: a fresh randomized schedule every 200-500 ms.
+  util::Rng chaos_rng{params.seed};
+  std::size_t epochs = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(params.seconds);
+  const bool inject = util::FailpointRegistry::compiled_in();
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (inject) {
+      const std::string spec = random_schedule(chaos_rng);
+      util::FailpointRegistry::instance().disarm_all();
+      if (!spec.empty()) {
+        util::FailpointRegistry::instance().arm_from_string(spec);
+      }
+      ++epochs;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds{chaos_rng.uniform_int(200, 500)});
+  }
+  util::FailpointRegistry::instance().disarm_all();
+
+  stop.store(true, std::memory_order_relaxed);
+  traffic = {};  // join the submitter before closing admission
+  tuner = {};
+  engine.drain_and_stop();
+  const serve::ServeReport report = engine.report();
+  const runtime::WatchdogReport& watchdog = controller.watchdog();
+
+  std::cout << "chaos_soak: workload=" << params.workload
+            << " seconds=" << params.seconds << " seed=" << params.seed
+            << " epochs=" << epochs << (inject ? "" : " (failpoints compiled out)")
+            << "\n";
+  std::cout << "  offered=" << report.offered << " admitted=" << report.admitted
+            << " shed=" << report.shed << " completed=" << report.completed
+            << " expired=" << report.expired << " failed=" << report.failed
+            << "\n";
+  std::cout << "  watchdog: stalled_windows=" << watchdog.stalled_windows
+            << " reverts=" << watchdog.reverts << "\n";
+
+  int failures = 0;
+  check(report.offered == report.admitted + report.shed,
+        "offered == admitted + shed", failures);
+  check(report.admitted ==
+            report.completed + report.expired + report.failed,
+        "admitted == completed + expired + failed", failures);
+  check(report.queue_depth == 0, "queue drained to depth 0", failures);
+  check(report.completed > 0, "bounded completion: progress was made",
+        failures);
+  check(workload.verify(), "workload transactional state consistent",
+        failures);
+  if (failures != 0) {
+    std::cout << "chaos_soak: " << failures << " invariant violation(s)\n";
+    return 1;
+  }
+  std::cout << "chaos_soak: all invariants hold\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_soak(parse_args(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "chaos_soak: unexpected exception: " << e.what() << "\n";
+    return 1;
+  }
+}

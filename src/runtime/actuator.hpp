@@ -12,6 +12,7 @@
 
 #include "opt/config_space.hpp"
 #include "stm/stm.hpp"
+#include "util/failpoint.hpp"
 
 namespace autopn::runtime {
 
@@ -26,6 +27,9 @@ class Actuator {
   /// Applies (t, c) to the runtime. No-op while inhibited (the requested
   /// configuration is still remembered as `current` for bookkeeping).
   void apply(const opt::Config& config) {
+    // Chaos hook (delay mode): stall a reconfiguration mid-apply, stretching
+    // the interval in which transactions run under a half-applied (t, c).
+    AUTOPN_FAILPOINT("runtime.actuator.apply");
     current_.store(pack(config), std::memory_order_relaxed);
     if (!enabled_.load(std::memory_order_relaxed)) return;
     stm_->set_top_limit(static_cast<std::size_t>(config.t));

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "util/failpoint.hpp"
+
 namespace autopn::runtime {
 
 TuningController::TuningController(stm::Stm& stm,
@@ -29,6 +31,10 @@ Measurement TuningController::run_live_window() {
   if (latency_source_ != nullptr) (void)latency_source_->drain_latencies();
   // Install the probe for the duration of this window.
   auto callback = std::make_shared<const std::function<void()>>([this] {
+    // Chaos hook: swallow the commit event before it reaches the monitor —
+    // the window then only ends by timeout, which is exactly the stall the
+    // watchdog exists to detect.
+    AUTOPN_FAILPOINT("runtime.monitor.drop_commit", return);
     {
       std::scoped_lock lock{mutex_};
       pending_commits_.push_back(clock_->now());
@@ -82,7 +88,30 @@ Measurement TuningController::run_live_window() {
       attach_latency_samples(result, std::move(samples));
     }
   }
+  note_window(result);
   return result;
+}
+
+void TuningController::note_window(const Measurement& measurement) {
+  if (measurement.commits > 0) {
+    // The configuration demonstrably makes progress: remember it as the
+    // revert target and clear any stall streak.
+    watchdog_.has_last_known_good = true;
+    watchdog_.last_known_good = actuator_.current();
+    stall_streak_ = 0;
+    return;
+  }
+  if (!measurement.timed_out) return;
+  ++watchdog_.stalled_windows;
+  if (params_.watchdog_stall_windows == 0) return;
+  if (++stall_streak_ < params_.watchdog_stall_windows) return;
+  stall_streak_ = 0;
+  if (!watchdog_.has_last_known_good) return;  // nothing safe to revert to
+  const opt::Config from = actuator_.current();
+  actuator_.apply(watchdog_.last_known_good);
+  ++watchdog_.reverts;
+  watchdog_.events.push_back(
+      WatchdogEvent{clock_->now(), from, watchdog_.last_known_good});
 }
 
 Measurement TuningController::measure_once() { return run_live_window(); }

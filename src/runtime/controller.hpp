@@ -46,6 +46,27 @@ struct ControllerParams {
   double cusum_threshold = 1.5;
   /// Windows averaged into the change detector's reference level.
   std::size_t reference_windows = 3;
+  /// Self-healing watchdog: after this many *consecutive* measurement
+  /// windows that end by timeout with zero commit events, the controller
+  /// declares the KPI monitor stalled and reverts the actuator to the last
+  /// configuration whose window produced commits. 0 disables the watchdog.
+  std::size_t watchdog_stall_windows = 2;
+};
+
+/// One watchdog intervention (kept in WatchdogReport::events as a trace).
+struct WatchdogEvent {
+  double at = 0.0;  ///< clock time of the revert
+  opt::Config reverted_from{};
+  opt::Config reverted_to{};
+};
+
+/// Running account of monitor stalls and watchdog interventions.
+struct WatchdogReport {
+  std::size_t stalled_windows = 0;  ///< windows timed out with zero commits
+  std::size_t reverts = 0;          ///< actuator reverts performed
+  bool has_last_known_good = false;
+  opt::Config last_known_good{};  ///< last configuration that produced commits
+  std::vector<WatchdogEvent> events;
 };
 
 /// Summary of one completed tuning run.
@@ -101,10 +122,21 @@ class TuningController {
 
   [[nodiscard]] Actuator& actuator() noexcept { return actuator_; }
 
+  /// Stalls observed and interventions performed so far (see
+  /// ControllerParams::watchdog_stall_windows).
+  [[nodiscard]] const WatchdogReport& watchdog() const noexcept {
+    return watchdog_;
+  }
+
  private:
   /// Blocks until the policy completes a window (or its deadline/safety cap
   /// fires) while the commit callback feeds events.
   Measurement run_live_window();
+
+  /// Watchdog accounting for one completed window: remembers the last
+  /// configuration that produced commits, counts zero-commit timeouts, and
+  /// reverts the actuator after a configured stall streak.
+  void note_window(const Measurement& measurement);
 
   /// Converts a window measurement (plus STM counter deltas) into the
   /// configured KPI, as a maximization value.
@@ -120,6 +152,9 @@ class TuningController {
   Actuator actuator_;
   CusumDetector cusum_;
   LatencySource* latency_source_ = nullptr;
+
+  WatchdogReport watchdog_;
+  std::size_t stall_streak_ = 0;  ///< consecutive zero-commit timeouts
 
   // Commit-event channel filled by the Stm callback.
   std::mutex mutex_;

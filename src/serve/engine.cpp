@@ -1,6 +1,10 @@
 #include "serve/engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+
+#include "stm/exceptions.hpp"
+#include "util/failpoint.hpp"
 
 namespace autopn::serve {
 
@@ -27,6 +31,9 @@ SubmitResult ServeEngine::submit(RequestHandler work,
   request.work = std::move(work);
   request.on_complete = std::move(on_complete);
   request.enqueue_time = clock_->now();
+  if (config_.request_timeout > 0.0) {
+    request.deadline = request.enqueue_time + config_.request_timeout;
+  }
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   const RequestQueue::Admit admit = queue_.try_push(std::move(request));
 
@@ -39,34 +46,73 @@ SubmitResult ServeEngine::submit(RequestHandler work,
 
 double ServeEngine::retry_after_hint(std::size_t depth) const {
   // Backlog that must drain before admission reopens, served at the engine's
-  // observed completion rate. Before any completion has been observed, fall
-  // back to a nominal 10 ms per excess request. Capped so clients never
-  // stall on a transient estimate.
+  // observed completion rate. The rate estimate is trusted only after enough
+  // completions: right after start (or during a stall) a handful of commits
+  // over a long elapsed time yields a near-zero rate whose excess/rate hint
+  // explodes, and a burst over a tiny elapsed time yields a huge rate whose
+  // hint collapses to ~0 and invites a thundering-herd resubmit. Until then,
+  // fall back to a nominal 10 ms per excess request; either way the hint is
+  // clamped to [1 ms, 5 s].
+  constexpr std::uint64_t kMinCompletionsForRate = 8;
+  constexpr double kFallbackSecondsPerRequest = 0.010;
+  constexpr double kMinHint = 0.001;
+  constexpr double kMaxHint = 5.0;
   const double excess = std::max(
       static_cast<double>(depth) - static_cast<double>(queue_.watermark()) + 1.0,
       1.0);
   const double rate = kpi_.completion_rate(clock_->now());
-  const double hint = rate > 0.0 ? excess / rate : 0.010 * excess;
-  return std::min(hint, 5.0);
+  const bool rate_trustworthy =
+      kpi_.completed() >= kMinCompletionsForRate && rate > 0.0;
+  const double hint = rate_trustworthy ? excess / rate
+                                       : kFallbackSecondsPerRequest * excess;
+  return std::clamp(hint, kMinHint, kMaxHint);
 }
 
 void ServeEngine::worker_loop(std::size_t index) {
   util::Rng rng{config_.seed + 0x9e3779b9ULL * (index + 1)};
   while (auto request = queue_.pop()) {
-    bool ok = true;
+    // Chaos hook (delay mode): stall the worker between dequeue and
+    // execution — queued deadlines keep ticking, driving requests expired.
+    AUTOPN_FAILPOINT("serve.worker.begin");
+    const double deadline = request->deadline;
+    if (deadline > 0.0 && clock_->now() >= deadline) {
+      // Expired while queued: never execute it (running doomed work only
+      // steals service capacity from requests that can still make it).
+      expired_.add(1);
+      if (request->on_complete) request->on_complete();
+      continue;
+    }
+    enum class Outcome { kCompleted, kExpired, kFailed } outcome =
+        Outcome::kCompleted;
     try {
+      // Propagate the deadline into every Stm::run_top retry loop the
+      // handler enters on this thread; an expired predicate surfaces here as
+      // DeadlineExceeded between attempts.
+      stm::ScopedDeadline scoped{
+          deadline > 0.0 ? std::function<bool()>{[this, deadline] {
+            return clock_->now() >= deadline;
+          }}
+                         : std::function<bool()>{}};
+      // Chaos hook: make the handler itself throw.
+      AUTOPN_FAILPOINT("serve.worker.fail",
+                       throw std::runtime_error{"injected handler failure"});
       if (request->work) {
         request->work(rng);
       } else {
         default_handler_(rng);
       }
+    } catch (const stm::DeadlineExceeded&) {
+      outcome = Outcome::kExpired;
+      expired_.add(1);
     } catch (...) {
       // A failing handler must not take down the engine; the request counts
       // as failed and contributes no latency sample.
-      ok = false;
+      outcome = Outcome::kFailed;
       failed_.add(1);
     }
-    if (ok) kpi_.record(clock_->now() - request->enqueue_time);
+    if (outcome == Outcome::kCompleted) {
+      kpi_.record(clock_->now() - request->enqueue_time);
+    }
     if (request->on_complete) request->on_complete();
   }
 }
@@ -84,6 +130,7 @@ ServeReport ServeEngine::report() const {
   r.admitted = queue_.admitted();
   r.shed = queue_.shed();
   r.completed = kpi_.completed();
+  r.expired = expired_.load();
   r.failed = failed_.load();
   r.queue_depth = queue_.depth();
   r.shed_fraction =

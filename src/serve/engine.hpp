@@ -36,6 +36,11 @@ struct ServeConfig {
   /// Depth at which admission starts shedding; 0 derives 3/4 of capacity.
   std::size_t shed_watermark = 0;
   std::uint64_t seed = 7;
+  /// Per-request deadline, seconds from submit; 0 = none. An expired request
+  /// is dropped at dequeue without executing, and a request whose deadline
+  /// passes mid-retry gives up through the transaction layer's ambient
+  /// ScopedDeadline — either way it counts as `expired`, never `completed`.
+  double request_timeout = 0.0;
 };
 
 /// Outcome of one submit().
@@ -47,12 +52,15 @@ struct SubmitResult {
   std::size_t queue_depth = 0;
 };
 
-/// Cumulative service statistics.
+/// Cumulative service statistics. Accounting invariant (exact after
+/// drain_and_stop): offered == admitted + shed and
+/// admitted == completed + expired + failed — no request is ever lost.
 struct ServeReport {
   std::uint64_t offered = 0;
   std::uint64_t admitted = 0;
   std::uint64_t shed = 0;
   std::uint64_t completed = 0;
+  std::uint64_t expired = 0;  ///< deadline passed before/during execution
   std::uint64_t failed = 0;  ///< handler threw (request counted, no latency)
   std::size_t queue_depth = 0;
   double shed_fraction = 0.0;
@@ -100,6 +108,7 @@ class ServeEngine {
   RequestQueue queue_;
   ServiceKpiSource kpi_;
   util::ShardedCounter failed_;
+  util::ShardedCounter expired_;
   std::atomic<std::uint64_t> next_id_{0};
 
   std::mutex stop_mutex_;  ///< serializes drain_and_stop against itself

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/failpoint.hpp"
+
 namespace autopn::serve {
 
 namespace {
@@ -16,6 +18,9 @@ RequestQueue::RequestQueue(std::size_t capacity, std::size_t shed_watermark)
       watermark_(derive_watermark(capacity_, shed_watermark)) {}
 
 RequestQueue::Admit RequestQueue::try_push(Request request) {
+  // Chaos hook (delay mode): hold the producer between its admission
+  // decision upstream and the queue lock, widening the submit/close race.
+  AUTOPN_FAILPOINT("serve.queue.push");
   std::scoped_lock lock{mutex_};
   ++offered_;
   if (closed_) {
@@ -42,6 +47,9 @@ std::optional<Request> RequestQueue::pop() {
 }
 
 void RequestQueue::close() {
+  // Chaos hook (delay mode): stall shutdown before admission stops, letting
+  // producers keep racing pushes against the imminent close.
+  AUTOPN_FAILPOINT("serve.queue.close");
   std::scoped_lock lock{mutex_};
   closed_ = true;
   cv_.notify_all();

@@ -27,6 +27,10 @@ struct Request {
   std::function<void(util::Rng&)> work;
   std::function<void()> on_complete;
   double enqueue_time = 0.0;  ///< clock timestamp at admission
+  /// Absolute clock time after which the request must not start executing
+  /// (workers drop it as expired at dequeue, and an in-flight transaction
+  /// retry loop gives up via ScopedDeadline). 0 = no deadline.
+  double deadline = 0.0;
   std::uint64_t id = 0;
 };
 

@@ -1,6 +1,7 @@
 #include "stm/commit_manager.hpp"
 
 #include "stm/exceptions.hpp"
+#include "util/failpoint.hpp"
 
 namespace autopn::stm {
 
@@ -61,6 +62,10 @@ void LockFreeCommitManager::commit(CommitRequest& req) {
   record->writes = std::move(req.writes);
   for (;;) {
     auto current = latest_.load(std::memory_order_acquire);
+    // Chaos hook (delay mode): stall this committer between loading the chain
+    // head and helping it, widening the window in which concurrent commits
+    // CAS past us and force helping/re-validation.
+    AUTOPN_FAILPOINT("stm.commit.helping");
     help_commit(*current);
     validate_or_throw(req);
     record->version = current->version + 1;

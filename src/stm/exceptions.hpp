@@ -15,6 +15,7 @@ enum class ConflictKind {
   kSiblingWrite,        ///< a sibling committed a write this child had read
   kStaleReRead,         ///< re-read observed a changed ancestor entry
   kExplicitRetry,       ///< user-requested retry
+  kInjected,            ///< fault injected by an armed failpoint (chaos tests)
 };
 
 class ConflictError final : public std::exception {
@@ -29,12 +30,24 @@ class ConflictError final : public std::exception {
       case ConflictKind::kSiblingWrite: return "sibling write conflict";
       case ConflictKind::kStaleReRead: return "stale re-read conflict";
       case ConflictKind::kExplicitRetry: return "explicit retry";
+      case ConflictKind::kInjected: return "injected fault";
     }
     return "conflict";
   }
 
  private:
   ConflictKind kind_;
+};
+
+/// Thrown by Stm::run_top when a give-up predicate (an explicit
+/// RunOptions::give_up or the thread-ambient ScopedDeadline installed by the
+/// serving layer) reports the caller's deadline passed between retry
+/// attempts. The transaction has NOT committed; nothing was installed.
+class DeadlineExceeded final : public std::exception {
+ public:
+  [[nodiscard]] const char* what() const noexcept override {
+    return "transaction deadline exceeded before commit";
+  }
 };
 
 }  // namespace autopn::stm

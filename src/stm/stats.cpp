@@ -17,7 +17,9 @@ StmStats::StmStats(std::size_t shards)
       writes_(shards),
       aborts_validation_(shards),
       aborts_sibling_(shards),
-      aborts_explicit_(shards) {}
+      aborts_explicit_(shards),
+      aborts_injected_(shards),
+      top_escalations_(shards) {}
 
 void StmStats::bump_conflict_kind(ConflictKind kind) noexcept {
   switch (kind) {
@@ -30,6 +32,9 @@ void StmStats::bump_conflict_kind(ConflictKind kind) noexcept {
       break;
     case ConflictKind::kExplicitRetry:
       aborts_explicit_.add();
+      break;
+    case ConflictKind::kInjected:
+      aborts_injected_.add();
       break;
   }
 }
@@ -45,6 +50,8 @@ StmStatsSnapshot StmStats::snapshot() const {
   snap.aborts_validation = aborts_validation_.load();
   snap.aborts_sibling = aborts_sibling_.load();
   snap.aborts_explicit = aborts_explicit_.load();
+  snap.aborts_injected = aborts_injected_.load();
+  snap.top_escalations = top_escalations_.load();
   return snap;
 }
 
@@ -58,6 +65,8 @@ void StmStats::reset() noexcept {
   aborts_validation_.reset();
   aborts_sibling_.reset();
   aborts_explicit_.reset();
+  aborts_injected_.reset();
+  top_escalations_.reset();
 }
 
 ContentionProfiler::ContentionProfiler(std::size_t capacity)

@@ -34,10 +34,14 @@ struct StmStatsSnapshot {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
   // Abort breakdown by conflict kind (top_aborts + child_aborts ==
-  // validation + sibling + explicit).
+  // validation + sibling + explicit + injected).
   std::uint64_t aborts_validation = 0;  ///< top-level read-set validation
   std::uint64_t aborts_sibling = 0;     ///< child vs sibling merge conflicts
   std::uint64_t aborts_explicit = 0;    ///< user-requested retry()
+  std::uint64_t aborts_injected = 0;    ///< failpoint-injected faults
+  /// Top-level transactions that exhausted their retry budget and completed
+  /// through exclusive serialized execution (the starvation-escalation path).
+  std::uint64_t top_escalations = 0;
 
   [[nodiscard]] double top_abort_rate() const {
     const double attempts = static_cast<double>(top_commits + top_aborts);
@@ -67,6 +71,7 @@ class StmStats {
     child_aborts_.add();
     bump_conflict_kind(kind);
   }
+  void bump_top_escalation() noexcept { top_escalations_.add(); }
 
   [[nodiscard]] StmStatsSnapshot snapshot() const;
   void reset() noexcept;
@@ -83,6 +88,8 @@ class StmStats {
   util::ShardedCounter aborts_validation_;
   util::ShardedCounter aborts_sibling_;
   util::ShardedCounter aborts_explicit_;
+  util::ShardedCounter aborts_injected_;
+  util::ShardedCounter top_escalations_;
 };
 
 /// Lock-free contention-hotspot profiler: counts, per VBox, how many

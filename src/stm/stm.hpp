@@ -18,9 +18,11 @@
 // run_top beyond the actuator's own t-gate.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -31,6 +33,10 @@
 #include "stm/tx.hpp"
 #include "util/semaphore.hpp"
 #include "util/thread_pool.hpp"
+
+namespace autopn::util {
+class Rng;
+}  // namespace autopn::util
 
 namespace autopn::stm {
 
@@ -52,7 +58,53 @@ struct StmConfig {
   /// this many simultaneously active fall back to a mutex-protected overflow
   /// path (see SnapshotRegistry).
   std::size_t snapshot_slots = SnapshotRegistry::kDefaultSlots;
+  /// Self-healing guardrail: conflict-aborts a top-level transaction may
+  /// suffer before its next attempt runs escalated — exclusive of all other
+  /// commits, so validation cannot fail and the starved transaction is
+  /// guaranteed to finish. 0 disables escalation (retry forever, the old
+  /// behavior).
+  unsigned retry_budget = 16;
 };
+
+/// Per-call knobs of Stm::run_top.
+struct RunOptions {
+  /// Overrides StmConfig::retry_budget when nonzero.
+  unsigned retry_budget = 0;
+  /// Checked between retry attempts (never mid-attempt); when it returns
+  /// true the run stops retrying and throws DeadlineExceeded. Empty falls
+  /// back to the thread-ambient predicate installed by ScopedDeadline.
+  std::function<bool()> give_up;
+};
+
+/// Installs a thread-ambient give-up predicate consulted by every
+/// Stm::run_top retry loop on this thread while the scope is alive — how the
+/// serving layer propagates a request's deadline into transaction retry
+/// loops without threading options through handler signatures. Scopes nest;
+/// the innermost wins and the previous predicate is restored on destruction.
+class ScopedDeadline {
+ public:
+  explicit ScopedDeadline(std::function<bool()> expired);
+  ~ScopedDeadline();
+
+  ScopedDeadline(const ScopedDeadline&) = delete;
+  ScopedDeadline& operator=(const ScopedDeadline&) = delete;
+
+  /// The calling thread's current predicate result (false when none).
+  [[nodiscard]] static bool expired_now();
+
+ private:
+  std::function<bool()> expired_;
+  const std::function<bool()>* previous_;
+};
+
+/// Backoff schedule between top-level retry attempts: exponential in the
+/// attempt number with the growth capped (kBackoffCapAttempt doublings of
+/// kBackoffBase) and multiplicative per-call jitter in [0.5, 1.0) so
+/// colliding transactions do not retry in lockstep. Pure — unit-testable.
+inline constexpr std::chrono::microseconds kBackoffBase{20};
+inline constexpr unsigned kBackoffCapAttempt = 6;
+[[nodiscard]] std::chrono::microseconds backoff_delay(unsigned attempt,
+                                                      util::Rng& rng) noexcept;
 
 class Stm {
  public:
@@ -62,11 +114,16 @@ class Stm {
   Stm(const Stm&) = delete;
   Stm& operator=(const Stm&) = delete;
 
-  /// Executes `body` as a top-level transaction, retrying on conflicts until
-  /// it commits. Blocks at the actuator's t-gate while the configured number
-  /// of concurrent top-level transactions is reached. User exceptions abort
-  /// the transaction and propagate.
-  void run_top(const std::function<void(Tx&)>& body);
+  /// Executes `body` as a top-level transaction, retrying on conflicts with
+  /// capped+jittered backoff. After the retry budget is exhausted the next
+  /// attempt runs escalated — serialized exclusively against all other
+  /// commits — so a starved transaction is guaranteed to finish. Blocks at
+  /// the actuator's t-gate while the configured number of concurrent
+  /// top-level transactions is reached. User exceptions abort the
+  /// transaction and propagate; an expired give-up predicate (explicit or
+  /// ambient ScopedDeadline) throws DeadlineExceeded between attempts.
+  void run_top(const std::function<void(Tx&)>& body,
+               const RunOptions& options = {});
 
   /// Convenience wrapper returning a value computed inside the transaction.
   /// T needs no default constructor; the result of the committed attempt is
@@ -158,17 +215,24 @@ class Stm {
   /// waiting so fork/join never deadlocks on a small pool.
   void acquire_child_token(util::ResizableSemaphore& gate);
 
-  /// Exponential backoff with jitter between transaction retries.
+  /// Exponential backoff with jitter between transaction retries
+  /// (backoff_delay applied to a per-thread Rng).
   void backoff(unsigned attempt);
+
+  /// One escalated attempt: waits until no normal-phase attempt is in
+  /// flight, then runs body + commit exclusively. Loops on the (rare)
+  /// conflicts still possible under exclusivity (explicit user retry).
+  void run_top_escalated(const std::function<void(Tx&)>& body,
+                         const std::function<bool()>* give_up);
 
   /// Non-template body of read_only().
   void run_read_only_impl(const std::function<void(Tx&)>& body);
 
   /// Fires the commit callback if one is installed. The common no-callback
-  /// case is a single acquire load of a plain bool: the callback itself lives
-  /// in an atomic<shared_ptr>, which is lock-BASED on libstdc++ (measured in
-  /// bench/stm_scaling, documented in DESIGN.md §6), so its load must stay
-  /// off the fast path.
+  /// case is a single acquire load of a plain bool; the callback pointer
+  /// itself is a raw-pointer atomic (atomic<shared_ptr> is lock-based on
+  /// libstdc++ and opaque to TSan), with ownership pinned in
+  /// commit_cb_owner_ until set_commit_callback quiesces in-flight callers.
   void notify_commit();
 
   StmConfig config_;
@@ -183,8 +247,24 @@ class Stm {
   util::ThreadPool pool_;
 
   std::atomic<bool> has_commit_cb_{false};
-  std::atomic<std::shared_ptr<const std::function<void()>>> commit_cb_{nullptr};
+  std::atomic<const std::function<void()>*> commit_cb_{nullptr};
   std::atomic<int> commit_cb_inflight_{0};
+  /// Keeps the installed callback alive while committers may hold the raw
+  /// pointer. Written only by set_commit_callback (single installer — the
+  /// tuning controller), after quiescing the previous callback.
+  std::shared_ptr<const std::function<void()>> commit_cb_owner_;
+
+  // Starvation-escalation gate (a hand-rolled writer-preferring rwlock whose
+  // read side is two seq_cst RMWs, so the normal path never touches a
+  // mutex): normal attempts hold a "normal phase" share across body+commit;
+  // an escalated attempt announces itself in escalated_waiting_, drains the
+  // shares, and then runs body+commit exclusively — no concurrent commit can
+  // invalidate its reads, so it commits on the first try. seq_cst on both
+  // sides closes the Dekker race (normal: add share, then check waiting;
+  // escalated: announce, then check shares).
+  std::atomic<int> escalated_waiting_{0};
+  std::atomic<int> normal_phase_{0};
+  std::mutex escalation_mutex_;  ///< serializes escalated attempts
 };
 
 }  // namespace autopn::stm

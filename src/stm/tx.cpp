@@ -7,6 +7,7 @@
 
 #include "stm/commit_manager.hpp"
 #include "stm/stm.hpp"
+#include "util/failpoint.hpp"
 #include "util/thread_pool.hpp"
 
 namespace autopn::stm {
@@ -59,6 +60,12 @@ void Tx::write_raw(const VBoxBase& cbox, std::shared_ptr<const void> value) {
 }
 
 void Tx::commit_into_parent() {
+  // Chaos hook: forge a sibling conflict on the child merge path. Escalated
+  // trees are exempt so the guaranteed-completion path cannot be sabotaged.
+  if (!root_->escalated_) {
+    AUTOPN_FAILPOINT("stm.child.merge",
+                     throw ConflictError{ConflictKind::kInjected});
+  }
   Tx* parent = parent_;
   std::scoped_lock lock{parent->merge_mutex_};
 
@@ -128,6 +135,7 @@ void Tx::run_children(std::vector<std::function<void(Tx&)>> bodies) {
     stm_->pool().submit([this, task = std::move(body), &wait_group, &error_mutex,
                          &first_error] {
       unsigned attempt = 0;
+      const unsigned budget = stm_->config().retry_budget;
       for (;;) {
         Tx child{*stm_, this, snapshot_};
         try {
@@ -137,7 +145,18 @@ void Tx::run_children(std::vector<std::function<void(Tx&)>> bodies) {
           break;
         } catch (const ConflictError& conflict) {
           stm_->counters().bump_child_abort(conflict.kind());
-          stm_->backoff(attempt++);
+          ++attempt;
+          if (budget != 0 && attempt >= budget) {
+            // The child is starving among its siblings: give up on the
+            // partial-abort retry and surface the conflict to the top level,
+            // whose own budget guarantees completion (escalated, if need
+            // be). Without this bound a pathologically conflicting child
+            // pins its whole tree in run_children forever.
+            std::scoped_lock lock{error_mutex};
+            if (!first_error) first_error = std::current_exception();
+            break;
+          }
+          stm_->backoff(attempt);
         } catch (...) {
           std::scoped_lock lock{error_mutex};
           if (!first_error) first_error = std::current_exception();
@@ -164,6 +183,14 @@ void Tx::commit_top_level() {
   // Read-only transactions commit trivially: their snapshot is a consistent
   // cut of the multi-version store.
   if (writes_.empty()) return;
+
+  // Chaos hook: forge a top-level validation failure just before the commit
+  // manager runs the real protocol. Skipped for escalated attempts — under
+  // exclusivity the retry loop relies on commits not failing.
+  if (!escalated_) {
+    AUTOPN_FAILPOINT("stm.commit.validate",
+                     throw ConflictError{ConflictKind::kInjected});
+  }
 
   // Materialize the read/write sets once and hand the request to the commit
   // manager; the serialization protocol (global lock vs lock-free helping) is

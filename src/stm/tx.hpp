@@ -133,6 +133,11 @@ class Tx {
   /// Set on roots created by Stm::read_only(); writes anywhere in the tree
   /// then throw std::logic_error (checked in write_raw via the root).
   bool read_only_ = false;
+
+  /// Set on roots running the starvation-escalation path (exclusive of all
+  /// other commits). Failpoint sites skip injection for escalated trees so
+  /// an armed fault cannot sabotage the guaranteed-completion path.
+  bool escalated_ = false;
 };
 
 // ---- typed VBox accessors (need the full Tx definition) --------------------

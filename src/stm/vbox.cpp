@@ -1,5 +1,7 @@
 #include "stm/vbox.hpp"
 
+#include "util/failpoint.hpp"
+
 namespace autopn::stm {
 
 VBoxBase::~VBoxBase() {
@@ -26,6 +28,9 @@ void VBoxBase::prune(Body* from, std::uint64_t min_active_snapshot) noexcept {
   // contention we simply skip — the next install retries with a fresher
   // (larger) min_active_snapshot and reclaims strictly more.
   if (prune_busy_.test_and_set(std::memory_order_acquire)) return;
+  // Chaos hook (delay mode): hold the prune guard longer, forcing concurrent
+  // installers to skip pruning and stressing chain growth + deferred reclaim.
+  AUTOPN_FAILPOINT("stm.vbox.prune");
   Body* keep = from;
   for (;;) {
     Body* next = keep->next.load(std::memory_order_relaxed);

@@ -1,0 +1,257 @@
+#include "util/failpoint.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace autopn::util {
+
+namespace {
+
+/// Deterministic-per-process probability stream shared by every failpoint:
+/// one atomic splitmix64 state, so firing decisions cost one relaxed RMW and
+/// never touch thread-local setup.
+double next_uniform() {
+  static std::atomic<std::uint64_t> state{0x8f1e3a2bc45d9701ULL};
+  std::uint64_t z = state.fetch_add(0x9e3779b97f4a7c15ULL,
+                                    std::memory_order_relaxed) +
+                    0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;
+}
+
+/// Parses "500us" / "2ms" / "1s" / bare "250" (microseconds) into µs.
+std::uint64_t parse_duration_us(std::string_view text) {
+  std::size_t digits = 0;
+  while (digits < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[digits])) != 0 ||
+          text[digits] == '.')) {
+    ++digits;
+  }
+  if (digits == 0) throw std::invalid_argument{"failpoint delay: no digits"};
+  const double value = std::stod(std::string{text.substr(0, digits)});
+  const std::string_view unit = text.substr(digits);
+  double scale = 1.0;  // bare numbers are microseconds
+  if (unit == "us" || unit.empty()) {
+    scale = 1.0;
+  } else if (unit == "ms") {
+    scale = 1e3;
+  } else if (unit == "s") {
+    scale = 1e6;
+  } else {
+    throw std::invalid_argument{"failpoint delay: unknown unit '" +
+                                std::string{unit} + "'"};
+  }
+  return static_cast<std::uint64_t>(value * scale);
+}
+
+}  // namespace
+
+FailpointSpec parse_failpoint_spec(std::string_view text) {
+  FailpointSpec spec;
+  std::string_view kind = text;
+  std::string_view args;
+  if (const auto open = text.find('('); open != std::string_view::npos) {
+    if (text.back() != ')') {
+      throw std::invalid_argument{"failpoint spec: missing ')' in '" +
+                                  std::string{text} + "'"};
+    }
+    kind = text.substr(0, open);
+    args = text.substr(open + 1, text.size() - open - 2);
+  }
+  if (kind == "error") {
+    spec.mode = FailpointMode::kError;
+  } else if (kind == "delay" || kind == "sleep") {
+    spec.mode = FailpointMode::kDelay;
+  } else if (kind == "off") {
+    spec.mode = FailpointMode::kOff;
+  } else {
+    throw std::invalid_argument{"failpoint spec: unknown kind '" +
+                                std::string{kind} + "'"};
+  }
+  while (!args.empty()) {
+    const auto comma = args.find(',');
+    const std::string_view arg = args.substr(0, comma);
+    args = comma == std::string_view::npos ? std::string_view{}
+                                           : args.substr(comma + 1);
+    const auto eq = arg.find('=');
+    if (eq == std::string_view::npos || eq + 1 >= arg.size()) {
+      throw std::invalid_argument{"failpoint spec: malformed arg '" +
+                                  std::string{arg} + "'"};
+    }
+    const std::string_view key = arg.substr(0, eq);
+    const std::string value{arg.substr(eq + 1)};
+    if (key == "p") {
+      spec.probability = std::stod(value);
+      if (spec.probability < 0.0 || spec.probability > 1.0) {
+        throw std::invalid_argument{"failpoint spec: p outside [0,1]"};
+      }
+    } else if (key == "n") {
+      spec.max_fires = std::stoll(value);
+    } else if (key == "d") {
+      spec.delay_us = parse_duration_us(value);
+    } else {
+      throw std::invalid_argument{"failpoint spec: unknown arg '" +
+                                  std::string{key} + "'"};
+    }
+  }
+  if (spec.mode == FailpointMode::kDelay && spec.delay_us == 0) {
+    throw std::invalid_argument{"failpoint spec: delay mode needs d=<time>"};
+  }
+  return spec;
+}
+
+// ---- Failpoint -------------------------------------------------------------
+
+Failpoint::Failpoint(std::string_view name) : name_(name) {
+  FailpointRegistry::instance().register_site(this);
+}
+
+Failpoint::~Failpoint() { FailpointRegistry::instance().unregister_site(this); }
+
+void Failpoint::apply(const FailpointSpec& spec) {
+  std::scoped_lock lock{mutex_};
+  spec_ = spec;
+  remaining_ = spec.max_fires;
+  armed_.store(spec.mode != FailpointMode::kOff, std::memory_order_relaxed);
+}
+
+bool Failpoint::evaluate_slow() {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  FailpointMode mode;
+  std::uint64_t delay_us;
+  {
+    std::scoped_lock lock{mutex_};
+    if (spec_.mode == FailpointMode::kOff) return false;
+    if (spec_.probability < 1.0 && next_uniform() >= spec_.probability) {
+      return false;
+    }
+    if (remaining_ == 0) return false;
+    if (remaining_ > 0 && --remaining_ == 0) {
+      // Budget exhausted by this fire: self-disarm so one-shot faults cannot
+      // recur even if evaluations race past the decrement.
+      armed_.store(false, std::memory_order_relaxed);
+    }
+    mode = spec_.mode;
+    delay_us = spec_.delay_us;
+  }
+  fires_.fetch_add(1, std::memory_order_relaxed);
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds{delay_us});
+  }
+  return mode == FailpointMode::kError;
+}
+
+// ---- FailpointRegistry -----------------------------------------------------
+
+FailpointRegistry& FailpointRegistry::instance() {
+  // Leaked: failpoint sites are function-local statics whose destructors run
+  // at exit in unknowable order relative to any non-leaked singleton.
+  static auto* registry = new FailpointRegistry;
+  return *registry;
+}
+
+FailpointRegistry::FailpointRegistry() {
+  if (const char* env = std::getenv("AUTOPN_FAILPOINTS");
+      env != nullptr && *env != '\0') {
+    arm_from_string(env);
+  }
+}
+
+void FailpointRegistry::register_site(Failpoint* site) {
+  FailpointSpec pending_spec;
+  bool has_pending = false;
+  {
+    std::scoped_lock lock{mutex_};
+    sites_[site->name()] = site;
+    if (auto it = pending_.find(site->name()); it != pending_.end()) {
+      pending_spec = it->second;
+      has_pending = true;
+      pending_.erase(it);
+    }
+  }
+  if (has_pending) site->apply(pending_spec);
+}
+
+void FailpointRegistry::unregister_site(Failpoint* site) {
+  std::scoped_lock lock{mutex_};
+  if (auto it = sites_.find(site->name());
+      it != sites_.end() && it->second == site) {
+    sites_.erase(it);
+  }
+}
+
+void FailpointRegistry::arm(const std::string& name, FailpointSpec spec) {
+  Failpoint* site = nullptr;
+  {
+    std::scoped_lock lock{mutex_};
+    if (auto it = sites_.find(name); it != sites_.end()) {
+      site = it->second;
+    } else {
+      pending_[name] = spec;
+    }
+  }
+  if (site != nullptr) site->apply(spec);
+}
+
+void FailpointRegistry::disarm(const std::string& name) {
+  arm(name, FailpointSpec{});
+  std::scoped_lock lock{mutex_};
+  pending_.erase(name);
+}
+
+void FailpointRegistry::disarm_all() {
+  std::vector<Failpoint*> sites;
+  {
+    std::scoped_lock lock{mutex_};
+    pending_.clear();
+    sites.reserve(sites_.size());
+    for (auto& [name, site] : sites_) sites.push_back(site);
+  }
+  for (Failpoint* site : sites) site->apply(FailpointSpec{});
+}
+
+void FailpointRegistry::arm_from_string(const std::string& specs) {
+  std::string_view rest{specs};
+  while (!rest.empty()) {
+    const auto semi = rest.find(';');
+    const std::string_view one = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (one.empty()) continue;
+    const auto eq = one.find('=');
+    if (eq == std::string_view::npos || eq == 0 || eq + 1 >= one.size()) {
+      throw std::invalid_argument{"failpoint arming: expected name=spec, got '" +
+                                  std::string{one} + "'"};
+    }
+    arm(std::string{one.substr(0, eq)},
+        parse_failpoint_spec(one.substr(eq + 1)));
+  }
+}
+
+std::uint64_t FailpointRegistry::fire_count(const std::string& name) const {
+  std::scoped_lock lock{mutex_};
+  if (auto it = sites_.find(name); it != sites_.end()) {
+    return it->second->fire_count();
+  }
+  return 0;
+}
+
+std::vector<FailpointRegistry::Entry> FailpointRegistry::list() const {
+  std::scoped_lock lock{mutex_};
+  std::vector<Entry> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    out.push_back(Entry{name, site->armed_.load(std::memory_order_relaxed),
+                        site->fire_count(), site->hit_count()});
+  }
+  return out;
+}
+
+}  // namespace autopn::util

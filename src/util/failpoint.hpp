@@ -1,0 +1,181 @@
+#pragma once
+// Failpoint injection framework — named fault-injection sites compiled into
+// the hot paths of the STM, the tuning runtime, and the serving engine so
+// chaos tests and the chaos_soak bench can provoke the failure modes the
+// self-healing machinery (retry-budget escalation, request deadlines, the
+// controller watchdog) exists to absorb.
+//
+// A site is declared in place with the AUTOPN_FAILPOINT macro:
+//
+//   AUTOPN_FAILPOINT("stm.commit.validate",
+//                    throw ConflictError{ConflictKind::kInjected});
+//
+// The action statement runs only when the failpoint is armed in kError mode
+// and its probability/fire-budget evaluation fires; kDelay mode injects a
+// sleep and never executes the action, so every site doubles as a pure
+// latency-injection point. Disarmed cost is one relaxed atomic load (plus
+// the function-local static's initialization guard), and when the build
+// compiles failpoints out (CMake option AUTOPN_FAILPOINTS=OFF, the Release
+// preset) the macro expands to nothing.
+//
+// Arming:
+//   * programmatic — FailpointRegistry::instance().arm(name, spec);
+//   * environment  — AUTOPN_FAILPOINTS="a=error(p=0.5,n=3);b=delay(d=2ms)"
+//                    parsed on first registry access;
+//   * CLI          — `autopn serve --failpoints "<same syntax>"`.
+// Spec syntax: name=kind[(arg,...)] separated by ';' (or ','  between
+// specs is not allowed — ',' separates args). kind ∈ {error, delay, off};
+// args: p=<probability>, n=<max fires; 1 = one-shot>, d=<delay, e.g. 500us,
+// 2ms, 1s>. Sites not yet reached keep their spec pending and pick it up at
+// registration, so env/CLI arming works before any code path runs.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autopn::util {
+
+/// What an armed failpoint does when its evaluation fires.
+enum class FailpointMode {
+  kOff,    ///< disarmed
+  kError,  ///< sleep the configured delay (if any), then run the site action
+  kDelay,  ///< sleep the configured delay only; the site action never runs
+};
+
+/// Arming parameters of one failpoint.
+struct FailpointSpec {
+  FailpointMode mode = FailpointMode::kOff;
+  /// Chance each evaluation fires, in [0, 1].
+  double probability = 1.0;
+  /// Injected sleep when the evaluation fires (both modes).
+  std::uint64_t delay_us = 0;
+  /// Total evaluations allowed to fire; -1 = unlimited, 1 = one-shot. The
+  /// failpoint disarms itself once the budget is exhausted.
+  std::int64_t max_fires = -1;
+};
+
+/// One named injection site. Instances are function-local statics created by
+/// AUTOPN_FAILPOINT; they register with the global registry on first
+/// execution and stay registered for the life of the process.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string_view name);
+  ~Failpoint();
+
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  /// Evaluates the site. Returns true when the site's error action must run.
+  /// Disarmed fast path: one relaxed load.
+  [[nodiscard]] bool should_fail() {
+    if (!armed_.load(std::memory_order_relaxed)) return false;
+    return evaluate_slow();
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// Evaluations that fired (slept and/or triggered the action).
+  [[nodiscard]] std::uint64_t fire_count() const noexcept {
+    return fires_.load(std::memory_order_relaxed);
+  }
+  /// Evaluations while armed (fired or not).
+  [[nodiscard]] std::uint64_t hit_count() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class FailpointRegistry;
+
+  /// Armed path: checks probability and the fire budget, applies the delay.
+  bool evaluate_slow();
+
+  void apply(const FailpointSpec& spec);
+
+  const std::string name_;
+  std::atomic<bool> armed_{false};
+  std::atomic<std::uint64_t> fires_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::mutex mutex_;              ///< guards spec_/remaining_ (armed path only)
+  FailpointSpec spec_;            ///< under mutex_
+  std::int64_t remaining_ = -1;   ///< fires left; under mutex_
+};
+
+/// Process-wide failpoint directory: arming by name, env-var bootstrap, and
+/// introspection for the chaos driver. Singleton; never destroyed.
+class FailpointRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    bool armed = false;
+    std::uint64_t fires = 0;
+    std::uint64_t hits = 0;
+  };
+
+  static FailpointRegistry& instance();
+
+  /// Arms (or re-arms) `name`. Unknown names are kept pending and applied
+  /// when the site first registers, so arming works before any code runs.
+  void arm(const std::string& name, FailpointSpec spec);
+  /// Disarms `name` (and clears any pending spec). Unknown names are a no-op.
+  void disarm(const std::string& name);
+  /// Disarms every registered failpoint and clears all pending specs.
+  void disarm_all();
+
+  /// Parses and applies an arming string (see file comment for the syntax).
+  /// Throws std::invalid_argument on malformed input.
+  void arm_from_string(const std::string& specs);
+
+  /// Fires recorded for `name` (0 if never registered).
+  [[nodiscard]] std::uint64_t fire_count(const std::string& name) const;
+
+  /// Snapshot of every registered site.
+  [[nodiscard]] std::vector<Entry> list() const;
+
+  /// True when AUTOPN_FAILPOINT sites are compiled into this build. Chaos
+  /// tests skip themselves when false.
+  [[nodiscard]] static constexpr bool compiled_in() noexcept {
+#ifdef AUTOPN_FAILPOINTS_ENABLED
+    return true;
+#else
+    return false;
+#endif
+  }
+
+ private:
+  friend class Failpoint;
+
+  FailpointRegistry();
+
+  void register_site(Failpoint* site);
+  void unregister_site(Failpoint* site);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Failpoint*> sites_;
+  std::map<std::string, FailpointSpec> pending_;
+};
+
+/// Parses one spec's textual form ("error(p=0.5,n=3,d=2ms)") into a
+/// FailpointSpec. Exposed for tests. Throws std::invalid_argument.
+[[nodiscard]] FailpointSpec parse_failpoint_spec(std::string_view text);
+
+#ifdef AUTOPN_FAILPOINTS_ENABLED
+// `action` runs only when the failpoint is armed in kError mode and fires.
+// Delay-only sites pass `;` (or nothing) as the action.
+#define AUTOPN_FAILPOINT(name_literal, ...)                       \
+  do {                                                            \
+    static ::autopn::util::Failpoint autopn_failpoint_site_{      \
+        name_literal};                                            \
+    if (autopn_failpoint_site_.should_fail()) {                   \
+      __VA_ARGS__;                                                \
+    }                                                             \
+  } while (0)
+#else
+#define AUTOPN_FAILPOINT(name_literal, ...) \
+  do {                                      \
+  } while (0)
+#endif
+
+}  // namespace autopn::util

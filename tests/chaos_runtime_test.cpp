@@ -1,0 +1,134 @@
+// Chaos tests of the controller watchdog: when the KPI monitor stalls (no
+// commit events reach it), the controller counts the zero-commit timeout
+// windows, and after the configured streak reverts the actuator to the last
+// configuration that demonstrably made progress.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "opt/baselines.hpp"
+#include "runtime/controller.hpp"
+#include "runtime/monitor.hpp"
+#include "stm/stm.hpp"
+#include "stm/vbox.hpp"
+#include "util/clock.hpp"
+#include "util/failpoint.hpp"
+
+namespace autopn::runtime {
+namespace {
+
+class ChaosRuntimeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FailpointRegistry::instance().disarm_all(); }
+};
+
+/// Keeps the Stm committing in the background so measurement windows see
+/// commit events (unless a failpoint swallows them).
+class WorkloadDriver {
+ public:
+  explicit WorkloadDriver(stm::Stm& stm) : stm_(&stm) {
+    stm_->run_top([&](stm::Tx& tx) { box_.write(tx, 0); });
+    thread_ = std::jthread{[this] {
+      while (!stop_.load(std::memory_order_relaxed)) {
+        stm_->run_top(
+            [&](stm::Tx& tx) { box_.write(tx, box_.read(tx) + 1); });
+        std::this_thread::sleep_for(std::chrono::microseconds{200});
+      }
+    }};
+  }
+  ~WorkloadDriver() { stop_.store(true, std::memory_order_relaxed); }
+
+ private:
+  stm::Stm* stm_;
+  stm::VBox<long> box_;
+  std::atomic<bool> stop_{false};
+  std::jthread thread_;
+};
+
+TEST_F(ChaosRuntimeTest, WatchdogRevertsToLastKnownGoodOnMonitorStall) {
+  if (!util::FailpointRegistry::compiled_in()) GTEST_SKIP();
+  stm::StmConfig stm_config;
+  stm_config.pool_threads = 2;
+  stm::Stm stm{stm_config};
+  WorkloadDriver driver{stm};
+  util::WallClock clock;
+
+  const opt::ConfigSpace space{8};
+  ControllerParams params;
+  params.max_window_seconds = 0.05;  // stalled windows end quickly
+  params.watchdog_stall_windows = 2;
+  TuningController controller{
+      stm, std::make_unique<opt::RandomSearch>(space, 7),
+      std::make_unique<FixedTimePolicy>(0.03), clock, params};
+
+  // A healthy window under a known configuration: becomes last-known-good.
+  const opt::Config good{2, 2};
+  controller.actuator().apply(good);
+  const Measurement healthy = controller.measure_once();
+  ASSERT_GT(healthy.commits, 0u);
+  ASSERT_TRUE(controller.watchdog().has_last_known_good);
+  EXPECT_EQ(controller.watchdog().last_known_good.t, good.t);
+  EXPECT_EQ(controller.watchdog().last_known_good.c, good.c);
+
+  // Move to a different configuration, then stall the monitor: commit events
+  // are swallowed before they reach the controller's queue.
+  const opt::Config bad{7, 1};
+  controller.actuator().apply(bad);
+  util::FailpointRegistry::instance().arm_from_string(
+      "runtime.monitor.drop_commit=error(p=1)");
+  (void)controller.measure_once();  // stall 1 — streak building
+  (void)controller.measure_once();  // stall 2 — watchdog intervenes
+  util::FailpointRegistry::instance().disarm_all();
+
+  const WatchdogReport& report = controller.watchdog();
+  EXPECT_GE(report.stalled_windows, 2u);
+  EXPECT_GE(report.reverts, 1u);
+  ASSERT_FALSE(report.events.empty());
+  EXPECT_EQ(report.events.front().reverted_from.t, bad.t);
+  EXPECT_EQ(report.events.front().reverted_to.t, good.t);
+  EXPECT_EQ(report.events.front().reverted_to.c, good.c);
+  // The actuator really is back on the last-known-good configuration.
+  EXPECT_EQ(controller.actuator().current().t, good.t);
+  EXPECT_EQ(controller.actuator().current().c, good.c);
+  EXPECT_EQ(stm.top_limit(), static_cast<std::size_t>(good.t));
+
+  // Once events flow again, progress clears the streak and re-learns the
+  // last-known-good from the live configuration.
+  const Measurement recovered = controller.measure_once();
+  EXPECT_GT(recovered.commits, 0u);
+}
+
+TEST_F(ChaosRuntimeTest, WatchdogDisabledNeverReverts) {
+  if (!util::FailpointRegistry::compiled_in()) GTEST_SKIP();
+  stm::StmConfig stm_config;
+  stm_config.pool_threads = 2;
+  stm::Stm stm{stm_config};
+  WorkloadDriver driver{stm};
+  util::WallClock clock;
+
+  const opt::ConfigSpace space{8};
+  ControllerParams params;
+  params.max_window_seconds = 0.03;
+  params.watchdog_stall_windows = 0;  // disabled
+  TuningController controller{
+      stm, std::make_unique<opt::RandomSearch>(space, 7),
+      std::make_unique<FixedTimePolicy>(0.02), clock, params};
+  controller.actuator().apply(opt::Config{2, 2});
+  (void)controller.measure_once();
+  const opt::Config bad{5, 1};
+  controller.actuator().apply(bad);
+  util::FailpointRegistry::instance().arm_from_string(
+      "runtime.monitor.drop_commit=error(p=1)");
+  for (int i = 0; i < 3; ++i) (void)controller.measure_once();
+  util::FailpointRegistry::instance().disarm_all();
+  const WatchdogReport& report = controller.watchdog();
+  EXPECT_GE(report.stalled_windows, 3u);  // stalls are still counted
+  EXPECT_EQ(report.reverts, 0u);
+  EXPECT_EQ(controller.actuator().current().t, bad.t);
+}
+
+}  // namespace
+}  // namespace autopn::runtime

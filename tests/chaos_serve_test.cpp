@@ -1,0 +1,215 @@
+// Chaos tests of the serving layer's self-healing: request deadlines checked
+// at dequeue and propagated into transaction retry loops, injected handler
+// failures, and the accounting invariant
+// offered == admitted + shed, admitted == completed + expired + failed.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.hpp"
+#include "stm/stm.hpp"
+#include "stm/vbox.hpp"
+#include "util/clock.hpp"
+#include "util/failpoint.hpp"
+
+namespace autopn::serve {
+namespace {
+
+void expect_accounting_invariant(const ServeReport& report) {
+  EXPECT_EQ(report.offered, report.admitted + report.shed);
+  EXPECT_EQ(report.admitted,
+            report.completed + report.expired + report.failed);
+  EXPECT_EQ(report.queue_depth, 0u);
+}
+
+class ChaosServeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FailpointRegistry::instance().disarm_all(); }
+
+  stm::StmConfig stm_config() {
+    stm::StmConfig config;
+    config.pool_threads = 2;
+    config.initial_top = 4;
+    return config;
+  }
+};
+
+TEST_F(ChaosServeTest, QueuedRequestsExpireAtDequeueWithoutExecuting) {
+  if (!util::FailpointRegistry::compiled_in()) GTEST_SKIP();
+  stm::Stm stm{stm_config()};
+  util::WallClock clock;
+  std::atomic<int> executions{0};
+  ServeConfig config;
+  config.workers = 1;
+  config.queue_capacity = 64;
+  config.request_timeout = 0.005;  // 5 ms
+  // Stall the single worker 20 ms per dequeue: everything behind the first
+  // request is far past its deadline by the time it is popped.
+  util::FailpointRegistry::instance().arm_from_string(
+      "serve.worker.begin=delay(d=20ms)");
+  ServeEngine engine{
+      stm, [&](util::Rng&) { executions.fetch_add(1); }, clock, config};
+  constexpr int kRequests = 6;
+  int admitted = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    if (engine.submit().admitted) ++admitted;
+  }
+  engine.drain_and_stop();
+  const ServeReport report = engine.report();
+  expect_accounting_invariant(report);
+  EXPECT_EQ(report.admitted, static_cast<std::uint64_t>(admitted));
+  EXPECT_GT(report.expired, 0u);
+  // Expired requests never ran: executions only counts completed ones.
+  EXPECT_EQ(static_cast<std::uint64_t>(executions.load()), report.completed);
+}
+
+TEST_F(ChaosServeTest, DeadlinePassingMidRetryExpiresTheRequest) {
+  if (!util::FailpointRegistry::compiled_in()) GTEST_SKIP();
+  stm::StmConfig config = stm_config();
+  config.retry_budget = 0;  // never escalate: the deadline must break the loop
+  stm::Stm stm{config};
+  util::WallClock clock;
+  stm::VBox<int> box;
+  stm.run_top([&](stm::Tx& tx) { box.write(tx, 0); });
+  // Every commit attempt is injected-aborted, so the handler's transaction
+  // can only end when the request deadline fires through ScopedDeadline.
+  util::FailpointRegistry::instance().arm_from_string(
+      "stm.commit.validate=error(p=1)");
+  ServeConfig serve_config;
+  serve_config.workers = 2;
+  serve_config.request_timeout = 0.02;
+  ServeEngine engine{stm,
+                     [&](util::Rng&) {
+                       stm.run_top([&](stm::Tx& tx) {
+                         box.write(tx, box.read(tx) + 1);
+                       });
+                     },
+                     clock, serve_config};
+  constexpr int kRequests = 4;
+  std::atomic<int> done{0};
+  for (int i = 0; i < kRequests; ++i) {
+    (void)engine.submit({}, [&] { done.fetch_add(1); });
+  }
+  // on_complete fires for expired requests too — closed-loop clients never
+  // hang on a request the deadline killed.
+  const auto give_up = std::chrono::steady_clock::now() + std::chrono::seconds{20};
+  while (done.load() < kRequests &&
+         std::chrono::steady_clock::now() < give_up) {
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  EXPECT_EQ(done.load(), kRequests);
+  engine.drain_and_stop();
+  const ServeReport report = engine.report();
+  expect_accounting_invariant(report);
+  EXPECT_EQ(report.expired, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(report.completed, 0u);
+  // The injected aborts never committed anything.
+  util::FailpointRegistry::instance().disarm_all();
+  EXPECT_EQ(stm.read_only<int>([&](stm::Tx& tx) { return box.read(tx); }), 0);
+}
+
+TEST_F(ChaosServeTest, InjectedHandlerFailuresAreCountedNotFatal) {
+  if (!util::FailpointRegistry::compiled_in()) GTEST_SKIP();
+  stm::Stm stm{stm_config()};
+  util::WallClock clock;
+  util::FailpointRegistry::instance().arm_from_string(
+      "serve.worker.fail=error(p=0.5)");
+  ServeConfig config;
+  config.workers = 3;
+  ServeEngine engine{stm, [](util::Rng&) {}, clock, config};
+  constexpr int kRequests = 200;
+  std::atomic<int> done{0};
+  int admitted = 0;
+  for (int i = 0; i < kRequests; ++i) {
+    // Shed requests are rejected synchronously (admitted == false) and never
+    // reach a worker, so on_complete fires only for admitted ones.
+    if (engine.submit({}, [&] { done.fetch_add(1); }).admitted) ++admitted;
+  }
+  engine.drain_and_stop();
+  EXPECT_EQ(done.load(), admitted);
+  const ServeReport report = engine.report();
+  expect_accounting_invariant(report);
+  EXPECT_EQ(report.admitted, static_cast<std::uint64_t>(admitted));
+  EXPECT_GT(report.failed, 0u);
+  EXPECT_GT(report.completed, 0u);
+}
+
+TEST_F(ChaosServeTest, RetryAfterHintStaysBoundedWithoutCompletions) {
+  // Hint hardening: with zero observed completions (cold start) the hint
+  // must come from the nominal fallback, never divide-by-near-zero, and
+  // always land in [1 ms, 5 s].
+  stm::Stm stm{stm_config()};
+  util::WallClock clock;
+  std::atomic<bool> release{false};
+  ServeConfig config;
+  config.workers = 1;
+  config.queue_capacity = 4;
+  config.shed_watermark = 2;
+  ServeEngine engine{stm,
+                     [&](util::Rng&) {
+                       while (!release.load()) {
+                         std::this_thread::sleep_for(
+                             std::chrono::milliseconds{1});
+                       }
+                     },
+                     clock, config};
+  // Fill past the watermark with the single worker wedged: later submits
+  // are shed and must carry a sane hint despite completion_rate == 0.
+  std::vector<SubmitResult> results;
+  for (int i = 0; i < 10; ++i) results.push_back(engine.submit());
+  bool saw_shed = false;
+  for (const SubmitResult& r : results) {
+    if (r.admitted) continue;
+    saw_shed = true;
+    EXPECT_GE(r.retry_after, 0.001);
+    EXPECT_LE(r.retry_after, 5.0);
+  }
+  EXPECT_TRUE(saw_shed);
+  release.store(true);
+  engine.drain_and_stop();
+  expect_accounting_invariant(engine.report());
+}
+
+TEST_F(ChaosServeTest, AccountingHoldsUnderCombinedChaos) {
+  if (!util::FailpointRegistry::compiled_in()) GTEST_SKIP();
+  stm::Stm stm{stm_config()};
+  util::WallClock clock;
+  util::FailpointRegistry::instance().arm_from_string(
+      "serve.worker.fail=error(p=0.2);"
+      "serve.queue.push=delay(d=100us,p=0.2);"
+      "serve.worker.begin=delay(d=200us,p=0.3)");
+  ServeConfig config;
+  config.workers = 3;
+  config.queue_capacity = 16;
+  config.request_timeout = 0.003;
+  ServeEngine engine{stm,
+                     [](util::Rng& rng) {
+                       std::this_thread::sleep_for(
+                           std::chrono::microseconds{rng.uniform_int(50, 500)});
+                     },
+                     clock, config};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 100;
+  std::vector<std::jthread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        (void)engine.submit();
+        std::this_thread::sleep_for(std::chrono::microseconds{200});
+      }
+    });
+  }
+  producers.clear();  // join
+  engine.drain_and_stop();
+  const ServeReport report = engine.report();
+  EXPECT_EQ(report.offered,
+            static_cast<std::uint64_t>(kProducers * kPerProducer));
+  expect_accounting_invariant(report);
+}
+
+}  // namespace
+}  // namespace autopn::serve

@@ -80,8 +80,14 @@ TEST(ServeE2E, AutoPnConvergesOnSmallLatticeUnderLiveTraffic) {
   EXPECT_GT(positive, 0u);
 
   engine.drain_and_stop();
-  EXPECT_GT(engine.report().completed, 0u);
-  EXPECT_GT(engine.report().latency.p99, 0.0);
+  const ServeReport serve_report = engine.report();
+  EXPECT_GT(serve_report.completed, 0u);
+  EXPECT_GT(serve_report.latency.p99, 0.0);
+  // Accounting invariant after drain: nothing offered is ever lost.
+  EXPECT_EQ(serve_report.offered, serve_report.admitted + serve_report.shed);
+  EXPECT_EQ(serve_report.admitted,
+            serve_report.completed + serve_report.expired + serve_report.failed);
+  EXPECT_EQ(serve_report.queue_depth, 0u);
   EXPECT_TRUE(workload.verify());
 }
 
@@ -152,7 +158,11 @@ TEST(ServeE2E, RateShiftTriggersRetuneThroughCusum) {
   traffic = {};
   EXPECT_GE(rounds, 2u) << "arrival-rate shift did not trigger a re-tune";
   engine.drain_and_stop();
-  EXPECT_GT(engine.report().completed, 0u);
+  const ServeReport serve_report = engine.report();
+  EXPECT_GT(serve_report.completed, 0u);
+  EXPECT_EQ(serve_report.offered, serve_report.admitted + serve_report.shed);
+  EXPECT_EQ(serve_report.admitted,
+            serve_report.completed + serve_report.expired + serve_report.failed);
 }
 
 }  // namespace

@@ -121,6 +121,78 @@ TEST(RequestQueue, ConcurrentCountsConserve) {
   EXPECT_EQ(queue.depth(), 0u);
 }
 
+TEST(RequestQueue, CloseWhileSubmittingNeverLosesOrDuplicates) {
+  // Race close() against a storm of try_push: every offered request must be
+  // accounted exactly once (admitted ⊕ shed/closed), and every admitted one
+  // must still be poppable after close (drain semantics). Looped so the
+  // close lands at varying interleavings; run under TSan in run_all.sh.
+  constexpr int kRounds = 50;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 60;
+  for (int round = 0; round < kRounds; ++round) {
+    RequestQueue queue{1024, 1024};
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> admitted_by_producers{0};
+    std::vector<std::jthread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        for (int i = 0; i < kPerProducer; ++i) {
+          if (queue.try_push(request_with_id(
+                  static_cast<std::uint64_t>(p) * kPerProducer + i)) ==
+              RequestQueue::Admit::kAdmitted) {
+            admitted_by_producers.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    if (round % 2 == 1) std::this_thread::yield();
+    queue.close();
+    producers.clear();  // join
+    EXPECT_EQ(queue.offered(), kProducers * kPerProducer);
+    EXPECT_EQ(queue.admitted() + queue.shed(), queue.offered());
+    EXPECT_EQ(queue.admitted(), admitted_by_producers.load());
+    // Drain: exactly the admitted requests come out, then end-of-queue.
+    std::uint64_t drained = 0;
+    while (queue.pop().has_value()) ++drained;
+    EXPECT_EQ(drained, queue.admitted());
+    EXPECT_EQ(queue.depth(), 0u);
+  }
+}
+
+TEST(RequestQueue, DrainOnCloseRaceWithConcurrentPoppers) {
+  // close() while consumers are mid-pop: the backlog admitted before the
+  // close must be fully consumed — never dropped by a popper observing
+  // closed_ early — and all poppers must terminate.
+  constexpr int kRounds = 50;
+  constexpr int kConsumers = 3;
+  for (int round = 0; round < kRounds; ++round) {
+    RequestQueue queue{256, 256};
+    const std::uint64_t backlog = 40 + round % 7;
+    for (std::uint64_t i = 0; i < backlog; ++i) {
+      ASSERT_EQ(queue.try_push(request_with_id(i)),
+                RequestQueue::Admit::kAdmitted);
+    }
+    std::atomic<std::uint64_t> popped{0};
+    {
+      std::vector<std::jthread> consumers;
+      for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&] {
+          while (queue.pop().has_value()) {
+            popped.fetch_add(1, std::memory_order_relaxed);
+          }
+        });
+      }
+      if (round % 3 == 0) std::this_thread::yield();
+      queue.close();
+    }  // join consumers
+    EXPECT_EQ(popped.load(), backlog) << "round " << round;
+    EXPECT_FALSE(queue.pop().has_value());
+  }
+}
+
 TEST(LatencyRecorder, PercentilesWithinBinResolution) {
   LatencyRecorder recorder;
   // 1..1000 ms uniformly: p50 ≈ 0.5 s scaled — use exact ranks instead:

@@ -31,6 +31,7 @@
 #include "sim/surface.hpp"
 #include "sim/trace.hpp"
 #include "sim/workload.hpp"
+#include "util/failpoint.hpp"
 #include "util/table.hpp"
 
 using namespace autopn;
@@ -47,7 +48,12 @@ int usage() {
                "  autopn record <workload> <file> [--cores N]\n"
                "  autopn info <file>\n"
                "  autopn serve [--workload W] [--rate R] [--duration S] [--workers N]\n"
-               "               [--shift F] [--optimizer NAME] [--cores N] [--seed N]\n";
+               "               [--shift F] [--optimizer NAME] [--cores N] [--seed N]\n"
+               "               [--request-timeout S]\n"
+               "global: --failpoints 'name=kind(args)[;...]'  e.g.\n"
+               "        --failpoints 'stm.commit.validate=error(p=0.1);stm.vbox.prune=delay(d=1ms)'\n"
+               "        (also read from the AUTOPN_FAILPOINTS environment variable;\n"
+               "        no-op unless the build compiles failpoints in)\n";
   return 2;
 }
 
@@ -62,6 +68,7 @@ struct Options {
   double duration = 4.0;    ///< total serving time; the rate shifts halfway
   double shift = 4.0;       ///< rate multiplier for the second phase
   std::size_t workers = 4;  ///< engine worker threads
+  double request_timeout = 0.0;  ///< per-request deadline, seconds (0 = none)
 };
 
 Options parse_options(const std::vector<std::string>& args, std::size_t start) {
@@ -84,6 +91,12 @@ Options parse_options(const std::vector<std::string>& args, std::size_t start) {
       opts.shift = std::stod(args[i + 1]);
     } else if (args[i] == "--workers") {
       opts.workers = std::stoul(args[i + 1]);
+    } else if (args[i] == "--request-timeout") {
+      opts.request_timeout = std::stod(args[i + 1]);
+    } else if (args[i] == "--failpoints") {
+      // Arm immediately — global, not an Options field: failpoints are
+      // process-wide and must be live before any workload code runs.
+      util::FailpointRegistry::instance().arm_from_string(args[i + 1]);
     } else {
       throw std::invalid_argument{"unknown option " + args[i]};
     }
@@ -246,6 +259,7 @@ int cmd_serve(const Options& opts) {
   serve_cfg.workers = opts.workers;
   serve_cfg.queue_capacity = 512;
   serve_cfg.seed = opts.seed;
+  serve_cfg.request_timeout = opts.request_timeout;
   serve::ServeEngine engine{stm, workload.handler, clock, serve_cfg};
 
   const opt::ConfigSpace space{cores};
@@ -307,6 +321,13 @@ int cmd_serve(const Options& opts) {
             << util::fmt_double(report.latency.p99 * 1e3, 2)
             << "\nshed fraction: " << util::fmt_percent(report.shed_fraction)
             << " (" << report.shed << "/" << report.offered << " offered)\n";
+  if (report.expired > 0 || opts.request_timeout > 0.0) {
+    std::cout << "expired:       " << report.expired << " (deadline "
+              << util::fmt_double(opts.request_timeout * 1e3, 0) << " ms)\n";
+  }
+  if (report.failed > 0) {
+    std::cout << "failed:        " << report.failed << " (handler errors)\n";
+  }
   if (!workload.verify()) {
     std::cerr << "consistency check FAILED\n";
     return 1;
@@ -333,8 +354,14 @@ int cmd_info(const std::string& file) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::vector<std::string> args(argv + 1, argv + argc);
+  std::vector<std::string> args(argv + 1, argv + argc);
   try {
+    // The global --failpoints flag may precede the subcommand (it also works
+    // anywhere after it, handled in parse_options).
+    while (args.size() >= 2 && args[0] == "--failpoints") {
+      util::FailpointRegistry::instance().arm_from_string(args[1]);
+      args.erase(args.begin(), args.begin() + 2);
+    }
     if (args.empty()) return usage();
     const std::string& cmd = args[0];
     if (cmd == "workloads") return cmd_workloads();
