@@ -6,7 +6,14 @@
 // workload's transactional state is consistent, and progress was made.
 //
 //   chaos_soak [--seconds S] [--seed N] [--workload NAME] [--workers N]
-//              [--rate R] [--timeout S]
+//              [--rate R] [--timeout S] [--net]
+//
+// With --net the traffic arrives over a loopback TCP socket instead of
+// in-process submits: a NetServer fronts the engine, netload offers the
+// open-loop stream, and the schedule additionally flips the net.accept /
+// net.read / net.write failpoints — connection churn, mid-request
+// disconnects, and write faults on top of the engine-level chaos. The wire
+// ledger (decoded == written + dropped) joins the checked invariants.
 //
 // Exits 0 when every invariant holds, 1 on any violation (or an unexpected
 // exception). When the failpoint framework is compiled out the soak degrades
@@ -18,11 +25,14 @@
 #include <exception>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/netload.hpp"
+#include "net/server.hpp"
 #include "opt/baselines.hpp"
 #include "runtime/controller.hpp"
 #include "serve/engine.hpp"
@@ -42,6 +52,7 @@ struct SoakParams {
   std::size_t workers = 3;
   double rate = 1500.0;        ///< open-loop arrivals per second
   double request_timeout = 0.05;
+  bool net = false;            ///< front the engine with a loopback NetServer
 };
 
 SoakParams parse_args(int argc, char** argv) {
@@ -67,6 +78,8 @@ SoakParams parse_args(int argc, char** argv) {
       params.rate = std::stod(next());
     } else if (arg == "--timeout") {
       params.request_timeout = std::stod(next());
+    } else if (arg == "--net") {
+      params.net = true;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       std::exit(2);
@@ -77,8 +90,9 @@ SoakParams parse_args(int argc, char** argv) {
 
 /// Draws a random failpoint schedule: each site independently armed with a
 /// random probability (errors) or delay (stalls). Roughly half the sites are
-/// active in any given epoch so healthy and faulty paths interleave.
-std::string random_schedule(util::Rng& rng) {
+/// active in any given epoch so healthy and faulty paths interleave. With
+/// `net` the socket-edge sites join the lottery.
+std::string random_schedule(util::Rng& rng, bool net) {
   std::ostringstream spec;
   auto add = [&](const std::string& s) {
     if (spec.tellp() > 0) spec << ';';
@@ -128,6 +142,28 @@ std::string random_schedule(util::Rng& rng) {
     // stalled windows and revert the actuator without wedging the run.
     add("runtime.monitor.drop_commit=error(p=1)");
   }
+  if (net) {
+    if (coin()) {
+      std::ostringstream s;
+      s << "net.accept=error(p=" << rng.uniform(0.05, 0.3) << ")";
+      add(s.str());
+    }
+    if (coin()) {
+      std::ostringstream s;
+      s << "net.read=error(p=" << rng.uniform(0.005, 0.05) << ")";
+      add(s.str());
+    }
+    if (coin()) {
+      std::ostringstream s;
+      s << "net.write=error(p=" << rng.uniform(0.005, 0.05) << ")";
+      add(s.str());
+    }
+    if (coin()) {
+      std::ostringstream s;
+      s << "net.read=delay(d=" << rng.uniform_int(50, 500) << "us,p=0.2)";
+      add(s.str());
+    }
+  }
   return spec.str();
 }
 
@@ -156,9 +192,28 @@ int run_soak(const SoakParams& params) {
   serve_cfg.request_timeout = params.request_timeout;
   serve::ServeEngine engine{stm, workload.handler, clock, serve_cfg};
 
-  // Open-loop traffic for the whole soak.
+  // --net: put a loopback NetServer in front of the engine and offer the
+  // open-loop stream through real sockets (reconnecting through the churn
+  // the net.* failpoints inject).
+  std::unique_ptr<net::NetServer> server;
+  if (params.net) server = std::make_unique<net::NetServer>(engine, net::NetServer::HandlerTable{});
+
   std::atomic<bool> stop{false};
+  std::optional<net::NetLoadResult> net_result;
   std::jthread traffic{[&] {
+    if (params.net) {
+      net::NetLoadParams load;
+      load.port = server->port();
+      load.connections = 3;
+      load.rate = params.rate;
+      load.duration = params.seconds;
+      load.deadline_us =
+          static_cast<std::uint64_t>(params.request_timeout * 1e6);
+      load.seed = params.seed ^ 0x9e3779b97f4a7c15ull;
+      load.drain_grace = 1.0;
+      net_result = net::run_netload(load);
+      return;
+    }
     util::Rng rng{params.seed ^ 0x9e3779b97f4a7c15ull};
     while (!stop.load(std::memory_order_relaxed)) {
       (void)engine.submit();
@@ -193,7 +248,7 @@ int run_soak(const SoakParams& params) {
   const bool inject = util::FailpointRegistry::compiled_in();
   while (std::chrono::steady_clock::now() < deadline) {
     if (inject) {
-      const std::string spec = random_schedule(chaos_rng);
+      const std::string spec = random_schedule(chaos_rng, params.net);
       util::FailpointRegistry::instance().disarm_all();
       if (!spec.empty()) {
         util::FailpointRegistry::instance().arm_from_string(spec);
@@ -208,7 +263,11 @@ int run_soak(const SoakParams& params) {
   stop.store(true, std::memory_order_relaxed);
   traffic = {};  // join the submitter before closing admission
   tuner = {};
-  engine.drain_and_stop();
+  if (server) {
+    server->shutdown();  // ordered drain: engine + loop + flush
+  } else {
+    engine.drain_and_stop();
+  }
   const serve::ServeReport report = engine.report();
   const runtime::WatchdogReport& watchdog = controller.watchdog();
 
@@ -222,6 +281,22 @@ int run_soak(const SoakParams& params) {
             << "\n";
   std::cout << "  watchdog: stalled_windows=" << watchdog.stalled_windows
             << " reverts=" << watchdog.reverts << "\n";
+  if (server) {
+    const net::NetServerReport wire = server->report();
+    std::cout << "  wire: accepted=" << wire.accepted
+              << " rejected=" << wire.rejected_accepts
+              << " disconnects=" << wire.disconnects
+              << " decoded=" << wire.requests_decoded
+              << " written=" << wire.responses_written
+              << " dropped=" << wire.responses_dropped << "\n";
+    if (net_result) {
+      std::cout << "  client: sent=" << net_result->sent
+                << " ok=" << net_result->ok << " shed=" << net_result->shed
+                << " io_errors=" << net_result->io_errors
+                << " reconnects=" << net_result->reconnects
+                << " unanswered=" << net_result->unanswered << "\n";
+    }
+  }
 
   int failures = 0;
   check(report.offered == report.admitted + report.shed,
@@ -234,6 +309,16 @@ int run_soak(const SoakParams& params) {
         failures);
   check(workload.verify(), "workload transactional state consistent",
         failures);
+  if (server) {
+    const net::NetServerReport wire = server->report();
+    check(wire.requests_decoded == wire.responses_enqueued,
+          "wire: decoded == responses enqueued", failures);
+    check(wire.responses_enqueued ==
+              wire.responses_written + wire.responses_dropped,
+          "wire: enqueued == written + dropped", failures);
+    check(!net_result || net_result->sent > 0,
+          "wire: client offered traffic", failures);
+  }
   if (failures != 0) {
     std::cout << "chaos_soak: " << failures << " invariant violation(s)\n";
     return 1;

@@ -21,8 +21,10 @@ cmake --build build-tsan --target \
   stm_commit_manager_test stm_stats_test \
   serve_queue_test serve_engine_test serve_e2e_test \
   util_concurrency_test runtime_controller_test \
-  util_failpoint_test chaos_stm_test chaos_serve_test chaos_runtime_test
+  util_failpoint_test chaos_stm_test chaos_serve_test chaos_runtime_test \
+  net_wire_test net_loop_test net_server_test net_chaos_test
 for t in build-tsan/tests/stm_*_test build-tsan/tests/serve_*_test \
+         build-tsan/tests/net_*_test \
          build-tsan/tests/util_concurrency_test \
          build-tsan/tests/runtime_controller_test \
          build-tsan/tests/util_failpoint_test build-tsan/tests/chaos_*_test; do
@@ -30,16 +32,46 @@ for t in build-tsan/tests/stm_*_test build-tsan/tests/serve_*_test \
   "$t"
 done
 
+# The net tests exercise real sockets and cross-thread completion posting:
+# run them under AddressSanitizer as well (the TSan pass above already
+# covers them for races).
+cmake --preset asan
+cmake --build build-asan --target \
+  net_wire_test net_loop_test net_server_test net_chaos_test
+for t in build-asan/tests/net_*_test; do
+  echo "== asan: $(basename "$t") =="
+  "$t"
+done
+
 # Chaos smoke: short randomized-failpoint soaks under both sanitizers. The
 # soak exits nonzero on any accounting/consistency invariant violation, so a
-# plain invocation is the assertion.
-cmake --preset asan
+# plain invocation is the assertion. --net fronts the engine with a
+# NetServer and adds the wire response ledger to the checked invariants.
 cmake --build build-asan --target chaos_soak
 cmake --build build-tsan --target chaos_soak
 echo "== asan: chaos_soak =="
 build-asan/bench/chaos_soak --seconds 3 --seed 1
 echo "== tsan: chaos_soak =="
 build-tsan/bench/chaos_soak --seconds 3 --seed 2
+echo "== asan: chaos_soak --net =="
+build-asan/bench/chaos_soak --net --seconds 3 --seed 3
+echo "== tsan: chaos_soak --net =="
+build-tsan/bench/chaos_soak --net --seconds 3 --seed 4
+
+# Loopback smoke: a real two-process serve/netload run over TCP. The server
+# exits nonzero if the wire response ledger is inexact or the workload's
+# transactional state fails verification; netload exits nonzero if nothing
+# was answered.
+echo "== loopback serve/netload smoke =="
+portfile=$(mktemp)
+build/tools/autopn serve --listen 127.0.0.1:0 --port-file "$portfile" \
+  --duration 6 &
+serve_pid=$!
+for _ in $(seq 1 50); do [ -s "$portfile" ] && break; sleep 0.1; done
+build/tools/autopn netload --port-file "$portfile" --rate 300 --duration 3 \
+  --tenants 3
+wait "$serve_pid"
+rm -f "$portfile"
 
 mkdir -p results
 for bench in build/bench/*; do

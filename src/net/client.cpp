@@ -1,0 +1,240 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+namespace autopn::net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+template <typename TimePoint>
+double seconds_until(TimePoint deadline) {
+  return std::chrono::duration<double>(deadline - SteadyClock::now()).count();
+}
+
+/// Blocking full-buffer send; false on any I/O error.
+bool send_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Client Client::connect(const std::string& host, std::uint16_t port,
+                       double timeout_seconds) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::system_error{errno, std::generic_category(), "socket"};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::system_error{EINVAL, std::generic_category(), "inet_pton"};
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::system_error{saved, std::generic_category(), "connect"};
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  Client client;
+  client.fd_ = fd;
+
+  std::vector<std::uint8_t> hello;
+  encode_hello(hello);
+  if (!send_all(fd, hello.data(), hello.size())) {
+    client.close();
+    throw std::runtime_error{"handshake send failed"};
+  }
+  // Wait for the HelloAck before handing the client out: a version-
+  // mismatched server answers ok=false and the caller learns immediately.
+  const auto deadline =
+      SteadyClock::now() + std::chrono::duration<double>(timeout_seconds);
+  while (!client.handshaken_) {
+    if (!client.fill_buffer(seconds_until(deadline))) {
+      client.close();
+      throw std::runtime_error{"handshake: no HelloAck"};
+    }
+  }
+  return client;
+}
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_id_(other.next_id_.load()),
+      closed_(other.closed_.load()),
+      handshaken_(other.handshaken_),
+      decoder_(std::move(other.decoder_)),
+      pending_(std::move(other.pending_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_id_.store(other.next_id_.load());
+    closed_.store(other.closed_.load());
+    handshaken_ = other.handshaken_;
+    decoder_ = std::move(other.decoder_);
+    pending_ = std::move(other.pending_);
+  }
+  return *this;
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  closed_.store(true, std::memory_order_relaxed);
+}
+
+std::optional<std::uint64_t> Client::send(
+    std::uint16_t handler_id, std::uint16_t tenant_id, std::uint64_t deadline_us,
+    const std::vector<std::uint8_t>& payload) {
+  if (!connected()) return std::nullopt;
+  RequestFrame frame;
+  frame.request_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  frame.handler_id = handler_id;
+  frame.tenant_id = tenant_id;
+  frame.deadline_us = deadline_us;
+  frame.payload = payload;
+  std::vector<std::uint8_t> bytes;
+  encode_request(bytes, frame);
+  if (!send_all(fd_, bytes.data(), bytes.size())) {
+    closed_.store(true, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  return frame.request_id;
+}
+
+bool Client::fill_buffer(double timeout_seconds) {
+  const auto deadline =
+      SteadyClock::now() +
+      std::chrono::duration<double>(std::max(timeout_seconds, 0.0));
+  while (pending_.empty()) {
+    if (closed_.load(std::memory_order_relaxed) || fd_ < 0) return false;
+    const double remaining = seconds_until(deadline);
+    if (remaining <= 0.0) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, static_cast<int>(remaining * 1e3) + 1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      closed_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    if (rc == 0) return false;  // timeout
+    std::array<std::uint8_t, 16384> buf;
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+      closed_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    decoder_.feed(buf.data(), static_cast<std::size_t>(n));
+    while (auto frame = decoder_.next()) {
+      if (frame->type == FrameType::kHelloAck) {
+        const auto ack = parse_hello_ack(frame->body);
+        if (!ack || !ack->ok) {
+          closed_.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        handshaken_ = true;
+        continue;  // handshake complete; keep draining data frames
+      }
+      if (frame->type != FrameType::kResponse) {
+        closed_.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      auto response = parse_response(frame->body);
+      if (!response) {
+        closed_.store(true, std::memory_order_relaxed);
+        return false;
+      }
+      pending_.push_back(std::move(*response));
+    }
+    if (decoder_.failed()) {
+      closed_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    // The HelloAck alone leaves pending_ empty: report success so the
+    // handshake path can distinguish "ack received" from "timed out".
+    return true;
+  }
+  return true;
+}
+
+std::optional<ResponseFrame> Client::recv(double timeout_seconds) {
+  const auto deadline =
+      SteadyClock::now() +
+      std::chrono::duration<double>(std::max(timeout_seconds, 0.0));
+  while (pending_.empty()) {
+    if (!fill_buffer(seconds_until(deadline))) {
+      if (pending_.empty()) return std::nullopt;
+      break;
+    }
+  }
+  if (pending_.empty()) return std::nullopt;
+  ResponseFrame response = std::move(pending_.front());
+  pending_.pop_front();
+  return response;
+}
+
+std::optional<ResponseFrame> Client::call(std::uint16_t handler_id,
+                                          std::uint16_t tenant_id,
+                                          std::uint64_t deadline_us,
+                                          double timeout_seconds) {
+  const auto id = send(handler_id, tenant_id, deadline_us);
+  if (!id) return std::nullopt;
+  const auto deadline =
+      SteadyClock::now() + std::chrono::duration<double>(timeout_seconds);
+  for (;;) {
+    // Scan the reorder buffer for our id first.
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->request_id == *id) {
+        ResponseFrame response = std::move(*it);
+        pending_.erase(it);
+        return response;
+      }
+    }
+    const double remaining = seconds_until(deadline);
+    if (remaining <= 0.0 || closed_.load(std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    if (!fill_buffer(remaining) &&
+        closed_.load(std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+  }
+}
+
+}  // namespace autopn::net

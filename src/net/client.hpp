@@ -1,0 +1,90 @@
+#pragma once
+// Blocking client for the wire protocol — the counterpart of NetServer used
+// by netload, the benches, and the tests. One Client owns one TCP
+// connection; connect() performs the Hello/HelloAck handshake before
+// returning, so a constructed client is ready to send.
+//
+// Responses can arrive out of request order (the engine's workers complete
+// requests concurrently), so the client keeps a small reorder buffer:
+// recv() hands back responses in arrival order, call() filters for one
+// specific request id while buffering the rest.
+//
+// Thread model: at most one sender thread (send/call) and one receiver
+// thread (recv) — the socket is full-duplex and the two paths share only
+// the atomic request-id counter. netload's open-loop generator uses exactly
+// this split; single-threaded request/response use is the degenerate case.
+//
+// I/O failures (peer reset, mid-request disconnect chaos) are not
+// exceptions here: they mark the client closed, send() returns false and
+// recv() returns std::nullopt, and the caller decides whether to reconnect.
+// Only establishment errors (connect/handshake) throw.
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+
+namespace autopn::net {
+
+class Client {
+ public:
+  /// Connects and completes the handshake; throws std::system_error on
+  /// connection failure and std::runtime_error on a rejected/garbled
+  /// handshake. `timeout_seconds` bounds the handshake wait.
+  static Client connect(const std::string& host, std::uint16_t port,
+                        double timeout_seconds = 5.0);
+
+  Client() = default;  ///< disconnected shell; send/recv fail until connect
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request frame (blocking write — server-side read
+  /// backpressure propagates here as a stalled send). Returns the request
+  /// id, or std::nullopt when the connection is/became unusable.
+  std::optional<std::uint64_t> send(
+      std::uint16_t handler_id = 0, std::uint16_t tenant_id = 0,
+      std::uint64_t deadline_us = 0,
+      const std::vector<std::uint8_t>& payload = {});
+
+  /// Next response in arrival order; waits up to `timeout_seconds`.
+  /// std::nullopt on timeout or a dead connection (check closed()).
+  std::optional<ResponseFrame> recv(double timeout_seconds);
+
+  /// Simple RPC: send + wait for that id (other responses are buffered for
+  /// later recv/call). std::nullopt on timeout or connection loss.
+  std::optional<ResponseFrame> call(std::uint16_t handler_id = 0,
+                                    std::uint16_t tenant_id = 0,
+                                    std::uint64_t deadline_us = 0,
+                                    double timeout_seconds = 5.0);
+
+  [[nodiscard]] bool connected() const noexcept {
+    return fd_ >= 0 && !closed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool closed() const noexcept {
+    return closed_.load(std::memory_order_relaxed);
+  }
+
+  void close();
+
+ private:
+  /// Reads until ≥1 response is buffered or the deadline passes.
+  bool fill_buffer(double timeout_seconds);
+
+  int fd_ = -1;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<bool> closed_{false};  ///< either side may observe the break
+  bool handshaken_ = false;          ///< receiver side: HelloAck(ok) seen
+  FrameDecoder decoder_;
+  std::deque<ResponseFrame> pending_;
+};
+
+}  // namespace autopn::net

@@ -1,0 +1,280 @@
+#include "net/netload.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.hpp"
+#include "serve/loadgen.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::net {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double elapsed_seconds(SteadyClock::time_point since) {
+  return std::chrono::duration<double>(SteadyClock::now() - since).count();
+}
+
+/// Per-worker tallies, merged into the NetLoadResult at the end.
+struct WorkerStats {
+  std::uint64_t sent = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t io_errors = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t unanswered = 0;
+  double retry_after_sum = 0.0;
+  std::uint64_t retry_after_count = 0;
+};
+
+struct SharedState {
+  serve::LatencyRecorder latency{4};
+  std::mutex merge_mutex;
+  NetLoadResult result;
+};
+
+void merge(SharedState& shared, const WorkerStats& stats) {
+  std::scoped_lock lock{shared.merge_mutex};
+  NetLoadResult& r = shared.result;
+  r.sent += stats.sent;
+  r.ok += stats.ok;
+  r.shed += stats.shed;
+  r.expired += stats.expired;
+  r.failed += stats.failed;
+  r.rejected += stats.rejected;
+  r.io_errors += stats.io_errors;
+  r.reconnects += stats.reconnects;
+  r.unanswered += stats.unanswered;
+  r.mean_retry_after += stats.retry_after_sum;  // normalized after join
+}
+
+std::optional<Client> dial(const NetLoadParams& params) {
+  try {
+    return Client::connect(params.host, params.port, 2.0);
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+void count_response(const ResponseFrame& response, WorkerStats& stats,
+                    std::unordered_map<std::uint64_t, SteadyClock::time_point>&
+                        in_flight,
+                    SharedState& shared) {
+  auto it = in_flight.find(response.request_id);
+  const bool known = it != in_flight.end();
+  switch (response.status) {
+    case Status::kOk:
+      ++stats.ok;
+      if (known) {
+        shared.latency.record(
+            std::chrono::duration<double>(SteadyClock::now() - it->second)
+                .count());
+      }
+      break;
+    case Status::kShed:
+    case Status::kClosing:
+      ++stats.shed;
+      stats.retry_after_sum +=
+          static_cast<double>(response.retry_after_us) / 1e6;
+      ++stats.retry_after_count;
+      break;
+    case Status::kExpired:
+      ++stats.expired;
+      break;
+    case Status::kFailed:
+      ++stats.failed;
+      break;
+    case Status::kRejected:
+      ++stats.rejected;
+      break;
+  }
+  if (known) in_flight.erase(it);
+}
+
+/// One open-loop connection: paces its own Poisson stream, pipelines
+/// requests, and drains responses while waiting for the next arrival —
+/// single-threaded, so the Client never sees concurrent use.
+void open_loop_worker(const NetLoadParams& params, std::size_t index,
+                      SharedState& shared, SteadyClock::time_point start) {
+  WorkerStats stats;
+  std::unordered_map<std::uint64_t, SteadyClock::time_point> in_flight;
+  const auto end = start + std::chrono::duration<double>(params.duration);
+  serve::PoissonArrivals arrivals{
+      params.rate / static_cast<double>(std::max<std::size_t>(
+                        params.connections, 1)),
+      params.seed + 0x9e3779b9ull * (index + 1)};
+  const std::vector<std::uint8_t> payload(params.payload_bytes, 0xab);
+
+  auto client = dial(params);
+  auto abandon_in_flight = [&] {
+    stats.unanswered += in_flight.size();
+    in_flight.clear();
+  };
+  auto redial = [&]() -> bool {
+    // The old connection's pipelined requests died with it.
+    abandon_in_flight();
+    ++stats.io_errors;
+    if (!params.reconnect) return false;
+    while (SteadyClock::now() < end) {
+      client = dial(params);
+      if (client) {
+        ++stats.reconnects;
+        return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds{10});
+    }
+    return false;
+  };
+
+  std::uint64_t request_index = 0;
+  auto next_arrival = SteadyClock::now();
+  while (SteadyClock::now() < end) {
+    if (!client || client->closed()) {
+      if (!redial()) break;
+    }
+    next_arrival += std::chrono::duration_cast<SteadyClock::duration>(
+        std::chrono::duration<double>(arrivals.next_gap()));
+    // Drain responses while waiting out the gap (poll sleeps for us).
+    while (SteadyClock::now() < next_arrival) {
+      const double wait = std::min(
+          std::chrono::duration<double>(next_arrival - SteadyClock::now())
+              .count(),
+          0.010);
+      if (auto response = client->recv(std::max(wait, 0.0))) {
+        count_response(*response, stats, in_flight, shared);
+      } else if (client->closed()) {
+        break;
+      }
+    }
+    if (client->closed()) continue;  // redial at the top of the loop
+    const auto tenant =
+        static_cast<std::uint16_t>((index + request_index) %
+                                   std::max<std::uint16_t>(params.tenants, 1));
+    ++request_index;
+    const auto send_time = SteadyClock::now();
+    const auto id = client->send(params.handler_id, tenant, params.deadline_us,
+                                 payload);
+    if (!id) continue;  // closed mid-send; redial next iteration
+    ++stats.sent;
+    in_flight.emplace(*id, send_time);
+  }
+
+  // Grace period: collect stragglers for requests already on the wire.
+  const auto grace_end =
+      SteadyClock::now() + std::chrono::duration<double>(params.drain_grace);
+  while (!in_flight.empty() && client && !client->closed() &&
+         SteadyClock::now() < grace_end) {
+    if (auto response = client->recv(0.050)) {
+      count_response(*response, stats, in_flight, shared);
+    }
+  }
+  abandon_in_flight();
+  merge(shared, stats);
+}
+
+/// One closed-loop client: send, wait for that response, honor a shed
+/// retry-after, think, repeat.
+void closed_loop_worker(const NetLoadParams& params, std::size_t index,
+                        SharedState& shared, SteadyClock::time_point start) {
+  WorkerStats stats;
+  std::unordered_map<std::uint64_t, SteadyClock::time_point> in_flight;
+  util::Rng rng{params.seed + 7919 * (index + 1)};
+  const auto end = start + std::chrono::duration<double>(params.duration);
+  auto client = dial(params);
+
+  while (SteadyClock::now() < end) {
+    if (!client || client->closed()) {
+      ++stats.io_errors;
+      if (!params.reconnect) break;
+      client = dial(params);
+      if (!client) {
+        std::this_thread::sleep_for(std::chrono::milliseconds{10});
+        continue;
+      }
+      ++stats.reconnects;
+    }
+    const auto tenant = static_cast<std::uint16_t>(
+        index % std::max<std::uint16_t>(params.tenants, 1));
+    const auto send_time = SteadyClock::now();
+    const auto id = client->send(params.handler_id, tenant, params.deadline_us);
+    if (!id) continue;
+    ++stats.sent;
+    in_flight.emplace(*id, send_time);
+    auto response = client->recv(5.0);
+    if (!response) {
+      stats.unanswered += in_flight.size();
+      in_flight.clear();
+      continue;  // timeout or dead connection; redial above
+    }
+    const bool was_shed = response->status == Status::kShed ||
+                          response->status == Status::kClosing;
+    const double retry_after =
+        static_cast<double>(response->retry_after_us) / 1e6;
+    count_response(*response, stats, in_flight, shared);
+    if (was_shed) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          std::min(retry_after, 0.050)));
+    }
+    if (params.think_time > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(
+          rng.exponential(1.0 / params.think_time)));
+    }
+  }
+  stats.unanswered += in_flight.size();
+  merge(shared, stats);
+}
+
+}  // namespace
+
+NetLoadResult run_netload(const NetLoadParams& params) {
+  // Probe so a wrong port fails fast with a real error instead of a silent
+  // all-zero result. A few retries ride out transient failures (e.g. an
+  // armed net.accept/net.write failpoint killing the handshake) that the
+  // workers themselves would survive by redialling.
+  for (int attempt = 0;; ++attempt) {
+    try {
+      Client::connect(params.host, params.port, 2.0).close();
+      break;
+    } catch (...) {
+      if (attempt >= 4) throw;
+      std::this_thread::sleep_for(std::chrono::milliseconds{50});
+    }
+  }
+
+  SharedState shared;
+  const auto start = SteadyClock::now();
+  {
+    std::vector<std::jthread> workers;
+    const std::size_t n = std::max<std::size_t>(params.connections, 1);
+    workers.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      workers.emplace_back([&params, i, &shared, start] {
+        if (params.closed_loop) {
+          closed_loop_worker(params, i, shared, start);
+        } else {
+          open_loop_worker(params, i, shared, start);
+        }
+      });
+    }
+  }  // join
+  NetLoadResult result = shared.result;
+  result.duration = elapsed_seconds(start);
+  result.latency = shared.latency.summary();
+  // merge() accumulated the per-worker retry_after sums; normalize.
+  result.mean_retry_after =
+      result.shed > 0 ? result.mean_retry_after / static_cast<double>(result.shed)
+                      : 0.0;
+  return result;
+}
+
+}  // namespace autopn::net

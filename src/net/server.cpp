@@ -1,0 +1,488 @@
+#include "net/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <system_error>
+#include <utility>
+
+#include "util/failpoint.hpp"
+
+namespace autopn::net {
+
+namespace {
+
+constexpr std::uint32_t kEpollIn = EPOLLIN;
+constexpr std::uint32_t kEpollOut = EPOLLOUT;
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error{errno, std::generic_category(), what};
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Status status_of(serve::RequestOutcome outcome) {
+  switch (outcome) {
+    case serve::RequestOutcome::kCompleted: return Status::kOk;
+    case serve::RequestOutcome::kExpired: return Status::kExpired;
+    case serve::RequestOutcome::kFailed: return Status::kFailed;
+  }
+  return Status::kFailed;
+}
+
+std::uint64_t to_micros(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
+}
+
+}  // namespace
+
+NetServer::NetServer(serve::ServeEngine& engine, HandlerTable handlers,
+                     NetServerConfig config)
+    : engine_(&engine), handlers_(std::move(handlers)), config_(std::move(config)) {
+  setup_listener();  // before the loop thread exists — registration is safe
+  loop_thread_ = std::thread{[this] { loop_.run(); }};
+}
+
+NetServer::~NetServer() { shutdown(); }
+
+void NetServer::setup_listener() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = EINVAL;
+    throw_errno("inet_pton");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind/listen");
+  }
+  set_nonblocking(listen_fd_);
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(bound.sin_port);
+
+  loop_.add_fd(listen_fd_, kEpollIn, [this](std::uint32_t) { on_acceptable(); });
+}
+
+void NetServer::on_acceptable() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept error; the listener stays armed
+    }
+    // Chaos hook: reject (error mode) or stall (delay mode) fresh
+    // connections — connection-churn chaos at the very first step.
+    bool injected_reject = false;
+    AUTOPN_FAILPOINT("net.accept", injected_reject = true);
+    if (injected_reject || connections_.size() >= config_.max_connections ||
+        draining_.load(std::memory_order_relaxed)) {
+      ::close(fd);
+      rejected_accepts_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    set_nodelay(fd);
+    if (config_.so_sndbuf > 0) {
+      const int size = config_.so_sndbuf;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &size, sizeof size);
+    }
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    const std::uint64_t id = conn->id;
+    conn->handshake_timer = loop_.add_timer(config_.handshake_timeout, [this, id] {
+      auto it = connections_.find(id);
+      if (it != connections_.end() && !it->second->handshaken) {
+        close_connection(id, CloseReason::kProtocol);
+      }
+    });
+    connections_.emplace(id, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    open_connections_.store(connections_.size(), std::memory_order_relaxed);
+    loop_.add_fd(fd, kEpollIn,
+                 [this, id](std::uint32_t events) { on_connection_event(id, events); });
+  }
+}
+
+void NetServer::on_connection_event(std::uint64_t conn_id, std::uint32_t events) {
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    // Drain whatever the peer managed to send, then close; EPOLLHUP with
+    // readable data still delivers the data first under level triggering.
+    if ((events & EPOLLIN) == 0 || !on_readable(conn_id)) {
+      auto it = connections_.find(conn_id);
+      if (it != connections_.end()) close_connection(conn_id, CloseReason::kPeer);
+      return;
+    }
+    close_connection(conn_id, CloseReason::kPeer);
+    return;
+  }
+  if ((events & EPOLLIN) != 0 && !on_readable(conn_id)) return;
+  if ((events & EPOLLOUT) != 0) (void)flush(conn_id);
+}
+
+bool NetServer::on_readable(std::uint64_t conn_id) {
+  for (;;) {
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) return false;
+    Connection& conn = *it->second;
+    if (conn.reading_paused || conn.draining) return true;
+
+    // Chaos hooks: error mode fails the read (connection dropped
+    // mid-request), delay mode makes a slow network.
+    bool injected_fail = false;
+    AUTOPN_FAILPOINT("net.read", injected_fail = true);
+    if (injected_fail) {
+      close_connection(conn_id, CloseReason::kPeer);
+      return false;
+    }
+
+    std::array<std::uint8_t, 16384> buf;
+    const ssize_t n = ::read(conn.fd, buf.data(), buf.size());
+    if (n > 0) {
+      conn.decoder.feed(buf.data(), static_cast<std::size_t>(n));
+      if (!process_frames(conn_id)) return false;
+      continue;
+    }
+    if (n == 0) {  // orderly peer close
+      close_connection(conn_id, CloseReason::kPeer);
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    close_connection(conn_id, CloseReason::kPeer);
+    return false;
+  }
+}
+
+bool NetServer::process_frames(std::uint64_t conn_id) {
+  for (;;) {
+    auto it = connections_.find(conn_id);
+    if (it == connections_.end()) return false;
+    Connection& conn = *it->second;
+    auto frame = conn.decoder.next();
+    if (!frame) {
+      if (conn.decoder.failed()) {
+        close_connection(conn_id, CloseReason::kProtocol);
+        return false;
+      }
+      return true;  // partial frame — wait for more bytes
+    }
+    if (!conn.handshaken) {
+      const auto hello = frame->type == FrameType::kHello
+                             ? parse_hello(frame->body)
+                             : std::nullopt;
+      const bool ok = hello && hello->magic == kWireMagic &&
+                      hello->version == kWireVersion;
+      HelloAckFrame ack;
+      ack.ok = ok;
+      std::vector<std::uint8_t> bytes;
+      encode_hello_ack(bytes, ack);
+      // A failed write closes (and frees) the connection; `conn` is dead.
+      const bool alive = send_bytes(conn, bytes, /*is_response=*/false);
+      if (!ok) {
+        // Flush the NAK best-effort, then drop: a version-mismatched peer
+        // gets a definite answer instead of a silent reset.
+        close_connection(conn_id, CloseReason::kProtocol);
+        return false;
+      }
+      if (!alive) return false;
+      conn.handshaken = true;
+      loop_.cancel_timer(conn.handshake_timer);
+      continue;
+    }
+    if (frame->type != FrameType::kRequest) {
+      close_connection(conn_id, CloseReason::kProtocol);
+      return false;
+    }
+    auto request = parse_request(frame->body);
+    if (!request) {
+      close_connection(conn_id, CloseReason::kProtocol);
+      return false;
+    }
+    handle_request(conn, std::move(*request));
+  }
+}
+
+void NetServer::handle_request(Connection& conn, RequestFrame frame) {
+  requests_decoded_.fetch_add(1, std::memory_order_relaxed);
+
+  // Resolve the handler: an empty table exposes only id 0 (the engine's
+  // default handler); ids beyond the table are rejected at the edge and
+  // never consume queue capacity.
+  serve::RequestHandler handler;
+  const std::size_t table_size = std::max<std::size_t>(handlers_.size(), 1);
+  if (frame.handler_id >= table_size) {
+    ResponseFrame response;
+    response.request_id = frame.request_id;
+    response.status = Status::kRejected;
+    enqueue_response(conn, response);
+    return;
+  }
+  if (frame.handler_id < handlers_.size()) handler = handlers_[frame.handler_id];
+
+  const std::uint64_t conn_id = conn.id;
+  const std::uint64_t request_id = frame.request_id;
+  const serve::SubmitResult submit = engine_->submit(
+      std::move(handler),
+      [this, conn_id, request_id](const serve::RequestResult& result) {
+        complete_request(conn_id, request_id, result);
+      },
+      frame.tenant_id, static_cast<double>(frame.deadline_us) / 1e6);
+  if (submit.admitted) return;  // the completion callback owns the response
+
+  ResponseFrame response;
+  response.request_id = request_id;
+  response.status =
+      engine_->queue().closed() ? Status::kClosing : Status::kShed;
+  response.retry_after_us = to_micros(submit.retry_after);
+  shed_responses_.fetch_add(1, std::memory_order_relaxed);
+  enqueue_response(conn, response);
+}
+
+void NetServer::complete_request(std::uint64_t conn_id, std::uint64_t request_id,
+                                 const serve::RequestResult& result) {
+  // Engine-worker context: encode here (cheap, no shared state) and hand the
+  // bytes to the loop. The worker never touches the socket — a stalled or
+  // dead connection cannot stall transaction workers.
+  ResponseFrame response;
+  response.request_id = request_id;
+  response.status = status_of(result.outcome);
+  response.server_latency_us = to_micros(result.latency);
+  std::vector<std::uint8_t> bytes;
+  encode_response(bytes, response);
+  responses_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  loop_.post([this, conn_id, bytes = std::move(bytes)]() mutable {
+    deliver(conn_id, std::move(bytes));
+  });
+}
+
+void NetServer::deliver(std::uint64_t conn_id, std::vector<std::uint8_t> bytes) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) {
+    // Mid-request disconnect: the connection died while its request was in
+    // flight. The response is accounted and dropped — never a crash/leak.
+    responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  send_bytes(*it->second, bytes, /*is_response=*/true);
+}
+
+void NetServer::enqueue_response(Connection& conn, const ResponseFrame& response) {
+  std::vector<std::uint8_t> bytes;
+  encode_response(bytes, response);
+  responses_enqueued_.fetch_add(1, std::memory_order_relaxed);
+  send_bytes(conn, bytes, /*is_response=*/true);
+}
+
+bool NetServer::send_bytes(Connection& conn, const std::vector<std::uint8_t>& bytes,
+                           bool is_response) {
+  conn.outbuf.insert(conn.outbuf.end(), bytes.begin(), bytes.end());
+  conn.bytes_queued += bytes.size();
+  if (is_response) conn.response_ends.push_back(conn.bytes_queued);
+  return flush(conn.id);
+}
+
+bool NetServer::flush(std::uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return false;
+  Connection& conn = *it->second;
+  while (conn.outbuf_offset < conn.outbuf.size()) {
+    // Chaos hooks: error mode fails the write (peer reset under load),
+    // delay mode models a congested uplink and exercises backpressure.
+    bool injected_fail = false;
+    AUTOPN_FAILPOINT("net.write", injected_fail = true);
+    if (injected_fail) {
+      close_connection(conn_id, CloseReason::kPeer);
+      return false;
+    }
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data() + conn.outbuf_offset,
+               conn.outbuf.size() - conn.outbuf_offset, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outbuf_offset += static_cast<std::size_t>(n);
+      conn.bytes_flushed += static_cast<std::uint64_t>(n);
+      while (!conn.response_ends.empty() &&
+             conn.response_ends.front() <= conn.bytes_flushed) {
+        conn.response_ends.erase(conn.response_ends.begin());
+        responses_written_.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(conn_id, CloseReason::kPeer);
+    return false;
+  }
+  if (conn.outbuf_offset == conn.outbuf.size()) {
+    conn.outbuf.clear();
+    conn.outbuf_offset = 0;
+  } else if (conn.outbuf_offset > 65536) {
+    conn.outbuf.erase(conn.outbuf.begin(),
+                      conn.outbuf.begin() +
+                          static_cast<std::ptrdiff_t>(conn.outbuf_offset));
+    conn.outbuf_offset = 0;
+  }
+  update_interest(conn);
+  return true;
+}
+
+void NetServer::update_interest(Connection& conn) {
+  const std::size_t pending = conn.outbuf.size() - conn.outbuf_offset;
+  if (!conn.reading_paused && pending > config_.max_outbound_bytes) {
+    // Write backpressure: a reader that cannot keep up with its responses
+    // stops being read — its request stream throttles at the socket instead
+    // of growing this buffer without bound.
+    conn.reading_paused = true;
+    backpressure_pauses_.fetch_add(1, std::memory_order_relaxed);
+  } else if (conn.reading_paused && pending < config_.max_outbound_bytes / 2) {
+    conn.reading_paused = false;
+  }
+  std::uint32_t events = 0;
+  if (!conn.reading_paused && !conn.draining) events |= kEpollIn;
+  if (pending > 0) events |= kEpollOut;
+  loop_.modify_fd(conn.fd, events);
+}
+
+void NetServer::close_connection(std::uint64_t conn_id, CloseReason reason) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  Connection& conn = *it->second;
+  loop_.cancel_timer(conn.handshake_timer);
+  // Responses parked in the buffer (or still unsent past the flushed mark)
+  // die with the connection — counted, never leaked.
+  responses_dropped_.fetch_add(conn.response_ends.size(),
+                               std::memory_order_relaxed);
+  switch (reason) {
+    case CloseReason::kPeer:
+      disconnects_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CloseReason::kProtocol:
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CloseReason::kShutdown:
+      break;
+  }
+  loop_.remove_fd(conn.fd);
+  ::close(conn.fd);
+  connections_.erase(it);
+  open_connections_.store(connections_.size(), std::memory_order_relaxed);
+}
+
+bool NetServer::flushed_everything() const {
+  for (const auto& [id, conn] : connections_) {
+    if (conn->outbuf_offset < conn->outbuf.size()) return false;
+  }
+  return true;
+}
+
+void NetServer::shutdown() {
+  std::scoped_lock lock{shutdown_mutex_};
+  if (shut_down_) return;
+  shut_down_ = true;
+
+  // Phase 1 (loop): stop accepting and stop reading — after this task runs,
+  // no new request can enter the system through this server.
+  loop_.post([this] {
+    draining_.store(true, std::memory_order_relaxed);
+    if (listen_fd_ >= 0) {
+      loop_.remove_fd(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    for (auto& [id, conn] : connections_) {
+      conn->draining = true;
+      update_interest(*conn);
+    }
+  });
+  loop_.drain();
+
+  // Phase 2: drain the engine. Workers are joined inside, so on return every
+  // admitted request's completion has fired — and therefore every response
+  // has been posted to the loop. Phase 3 makes the loop deliver them.
+  engine_->drain_and_stop();
+  loop_.drain();
+
+  // Phase 4: flush buffered responses until every buffer is empty or the
+  // drain timeout passes (a dead/slow peer must not wedge shutdown).
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(config_.drain_timeout);
+  for (;;) {
+    std::promise<bool> done;
+    auto future = done.get_future();
+    loop_.post([this, &done] { done.set_value(flushed_everything()); });
+    if (future.get() || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+
+  // Phase 5: close every connection (leftover responses count as dropped),
+  // then stop the loop. After this the response ledger is exact.
+  loop_.post([this] {
+    std::vector<std::uint64_t> ids;
+    ids.reserve(connections_.size());
+    for (const auto& [id, conn] : connections_) ids.push_back(id);
+    for (const std::uint64_t id : ids) {
+      close_connection(id, CloseReason::kShutdown);
+    }
+  });
+  loop_.drain();
+  loop_.stop();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+NetServerReport NetServer::report() const {
+  NetServerReport r;
+  r.accepted = accepted_.load(std::memory_order_relaxed);
+  r.rejected_accepts = rejected_accepts_.load(std::memory_order_relaxed);
+  r.disconnects = disconnects_.load(std::memory_order_relaxed);
+  r.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  r.requests_decoded = requests_decoded_.load(std::memory_order_relaxed);
+  r.responses_enqueued = responses_enqueued_.load(std::memory_order_relaxed);
+  r.responses_written = responses_written_.load(std::memory_order_relaxed);
+  r.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
+  r.shed_responses = shed_responses_.load(std::memory_order_relaxed);
+  r.backpressure_pauses = backpressure_pauses_.load(std::memory_order_relaxed);
+  r.open_connections = open_connections_.load(std::memory_order_relaxed);
+  return r;
+}
+
+}  // namespace autopn::net

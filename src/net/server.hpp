@@ -1,0 +1,185 @@
+#pragma once
+// NetServer — the socket acceptor that puts the serving engine on the wire.
+// A single epoll EventLoop (own thread) owns the listening socket and every
+// connection; decoded Request frames are bridged into the existing
+// ServeEngine admission path, and the engine's completion callback posts the
+// response back onto the loop so engine workers never block on a socket.
+//
+// Dataflow (one request):
+//   client ──frame──▸ Connection::on_readable ─▸ FrameDecoder
+//        ─▸ ServeEngine::submit            (admission: shed ⇒ kShed + hint)
+//        ─▸ worker runs the PN transaction ─▸ on_complete(RequestResult)
+//        ─▸ loop_.post(deliver)            (worker returns immediately)
+//        ─▸ Connection outbound buffer ──write/EPOLLOUT──▸ client
+//
+// Backpressure: each connection's outbound buffer is bounded. While it holds
+// more than `max_outbound_bytes` the server stops reading that connection
+// (EPOLLIN dropped) — a slow reader throttles its own request stream instead
+// of ballooning server memory — and resumes once the buffer drains below
+// half the cap. EPOLLOUT is armed only while there are bytes to flush.
+//
+// Dead connections: completions address connections by id, never by pointer.
+// A response whose connection has gone (mid-request disconnect) is counted
+// `responses_dropped` and freed — it cannot crash the loop or leak.
+//
+// Shutdown is deterministic (see shutdown()): after it returns,
+//   requests_decoded == responses_enqueued and
+//   responses_enqueued == responses_written + responses_dropped —
+// the drain-on-close invariant extended from the queue to the socket.
+//
+// Failpoint sites: net.accept (reject/stall incoming connections), net.read
+// (fail/stall connection reads), net.write (fail/stall response writes).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/wire.hpp"
+#include "serve/engine.hpp"
+
+namespace autopn::net {
+
+struct NetServerConfig {
+  std::string bind_address = "127.0.0.1";  ///< IPv4 dotted quad
+  std::uint16_t port = 0;                  ///< 0 = kernel-assigned, see port()
+  std::size_t max_connections = 1024;
+  /// Outbound bytes per connection above which the server stops reading it.
+  std::size_t max_outbound_bytes = 256 * 1024;
+  /// Kernel send-buffer size per accepted connection; 0 keeps the system
+  /// default. Shrinking it makes write backpressure observable at loopback
+  /// speeds (tests, benches) — the kernel otherwise absorbs hundreds of KB
+  /// before the user-space outbound buffer ever fills.
+  int so_sndbuf = 0;
+  /// Seconds a fresh connection gets to complete the Hello handshake.
+  double handshake_timeout = 5.0;
+  /// Seconds shutdown() spends flushing buffered responses before it closes
+  /// lingering connections and counts the leftovers as dropped.
+  double drain_timeout = 2.0;
+};
+
+/// Wire-level accounting. After shutdown() the response ledger is exact:
+/// requests_decoded == responses_enqueued == responses_written +
+/// responses_dropped.
+struct NetServerReport {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_accepts = 0;  ///< over limit / injected accept fault
+  std::uint64_t disconnects = 0;       ///< peer closed or I/O error
+  std::uint64_t protocol_errors = 0;   ///< bad handshake/framing (closed)
+  std::uint64_t requests_decoded = 0;
+  std::uint64_t responses_enqueued = 0;
+  std::uint64_t responses_written = 0;  ///< fully flushed to the socket
+  std::uint64_t responses_dropped = 0;  ///< connection died first
+  std::uint64_t shed_responses = 0;     ///< kShed/kClosing sent
+  std::uint64_t backpressure_pauses = 0;  ///< reads paused on a full outbuf
+  std::size_t open_connections = 0;
+};
+
+class NetServer {
+ public:
+  /// Request frames select a handler by index; ids outside the table get a
+  /// kRejected response without touching the engine. Empty handlers fall
+  /// back to the engine's default handler.
+  using HandlerTable = std::vector<serve::RequestHandler>;
+
+  /// Binds, listens, and starts the loop thread. The engine must outlive
+  /// this server; destroy (or shutdown()) the server before stopping the
+  /// engine yourself — shutdown() drains the engine as part of its ordered
+  /// close. Throws std::system_error when the socket cannot be bound.
+  NetServer(serve::ServeEngine& engine, HandlerTable handlers,
+            NetServerConfig config = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The actually-bound port (resolves config.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Ordered deterministic drain; idempotent. Steps: stop accepting and
+  /// reading (no new requests), drain the engine (every in-flight
+  /// completion fires), drain the loop (every posted response reaches its
+  /// connection's buffer), flush buffers until empty or drain_timeout, then
+  /// close everything. Safe from any thread except the loop thread.
+  void shutdown();
+
+  [[nodiscard]] NetServerReport report() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t id = 0;
+    bool handshaken = false;
+    bool reading_paused = false;
+    bool draining = false;  ///< shutdown: no further reads, flush only
+    FrameDecoder decoder;
+    std::vector<std::uint8_t> outbuf;
+    std::size_t outbuf_offset = 0;  ///< flushed prefix of outbuf
+    /// Cumulative queued-byte marks at which each pending response ends —
+    /// how responses_written distinguishes fully-sent responses from bytes
+    /// parked in the buffer when the connection dies.
+    std::vector<std::uint64_t> response_ends;
+    std::uint64_t bytes_queued = 0;
+    std::uint64_t bytes_flushed = 0;
+    EventLoop::TimerId handshake_timer = 0;
+  };
+
+  enum class CloseReason { kPeer, kProtocol, kShutdown };
+
+  void setup_listener();
+  void on_acceptable();
+  void on_connection_event(std::uint64_t conn_id, std::uint32_t events);
+  // Close-capable paths address connections by id and report liveness, so a
+  // handler that lost its connection mid-call cannot touch freed state.
+  [[nodiscard]] bool on_readable(std::uint64_t conn_id);
+  [[nodiscard]] bool process_frames(std::uint64_t conn_id);
+  void handle_request(Connection& conn, RequestFrame frame);
+  /// Engine-worker side: packages the result and posts it to the loop.
+  void complete_request(std::uint64_t conn_id, std::uint64_t request_id,
+                        const serve::RequestResult& result);
+  /// Loop side: appends an encoded response to the connection (if alive).
+  void deliver(std::uint64_t conn_id, std::vector<std::uint8_t> bytes);
+  void enqueue_response(Connection& conn, const ResponseFrame& response);
+  /// Returns false if the write path closed (and freed) the connection —
+  /// the caller's `conn` reference is dangling and must not be touched.
+  bool send_bytes(Connection& conn, const std::vector<std::uint8_t>& bytes,
+                  bool is_response);
+  bool flush(std::uint64_t conn_id);
+  void update_interest(Connection& conn);
+  void close_connection(std::uint64_t conn_id, CloseReason reason);
+  [[nodiscard]] bool flushed_everything() const;
+
+  serve::ServeEngine* engine_;
+  HandlerTable handlers_;
+  NetServerConfig config_;
+
+  EventLoop loop_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t next_conn_id_ = 1;  ///< loop thread only
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> connections_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_accepts_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> requests_decoded_{0};
+  std::atomic<std::uint64_t> responses_enqueued_{0};
+  std::atomic<std::uint64_t> responses_written_{0};
+  std::atomic<std::uint64_t> responses_dropped_{0};
+  std::atomic<std::uint64_t> shed_responses_{0};
+  std::atomic<std::uint64_t> backpressure_pauses_{0};
+  std::atomic<std::size_t> open_connections_{0};
+
+  std::mutex shutdown_mutex_;
+  bool shut_down_ = false;
+  std::thread loop_thread_;
+};
+
+}  // namespace autopn::net

@@ -1,0 +1,258 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace autopn::net {
+
+namespace {
+
+// Little-endian primitive writers/readers. The cursor-based reader returns
+// false on underflow so parse_*() can reject truncated bodies uniformly.
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+struct Reader {
+  const std::vector<std::uint8_t>& data;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool get_u8(std::uint8_t& v) {
+    if (pos + 1 > data.size()) return false;
+    v = data[pos++];
+    return true;
+  }
+  [[nodiscard]] bool get_u16(std::uint16_t& v) {
+    if (pos + 2 > data.size()) return false;
+    v = static_cast<std::uint16_t>(data[pos] |
+                                   (static_cast<std::uint16_t>(data[pos + 1]) << 8));
+    pos += 2;
+    return true;
+  }
+  [[nodiscard]] bool get_u32(std::uint32_t& v) {
+    if (pos + 4 > data.size()) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 4;
+    return true;
+  }
+  [[nodiscard]] bool get_u64(std::uint64_t& v) {
+    if (pos + 8 > data.size()) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 8;
+    return true;
+  }
+  [[nodiscard]] bool get_bytes(std::vector<std::uint8_t>& out, std::size_t n) {
+    if (pos + n > data.size()) return false;
+    out.assign(data.begin() + static_cast<std::ptrdiff_t>(pos),
+               data.begin() + static_cast<std::ptrdiff_t>(pos + n));
+    pos += n;
+    return true;
+  }
+  /// A valid body is consumed exactly; leftovers mean a length/field
+  /// mismatch and the whole frame is rejected.
+  [[nodiscard]] bool exhausted() const { return pos == data.size(); }
+};
+
+/// Writes `length | type` with the length back-patched once the body is in.
+class FrameBuilder {
+ public:
+  FrameBuilder(std::vector<std::uint8_t>& out, FrameType type) : out_(out) {
+    length_at_ = out_.size();
+    put_u32(out_, 0);  // patched in finish()
+    put_u8(out_, static_cast<std::uint8_t>(type));
+  }
+
+  void finish() {
+    const std::size_t after_length = length_at_ + 4;
+    const auto length = static_cast<std::uint32_t>(out_.size() - after_length);
+    for (int i = 0; i < 4; ++i) {
+      out_[length_at_ + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(length >> (8 * i));
+    }
+  }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+  std::size_t length_at_;
+};
+
+}  // namespace
+
+std::string to_string(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kShed: return "shed";
+    case Status::kExpired: return "expired";
+    case Status::kFailed: return "failed";
+    case Status::kRejected: return "rejected";
+    case Status::kClosing: return "closing";
+  }
+  return "unknown";
+}
+
+void encode_hello(std::vector<std::uint8_t>& out, const HelloFrame& f) {
+  FrameBuilder b{out, FrameType::kHello};
+  put_u32(out, f.magic);
+  put_u16(out, f.version);
+  b.finish();
+}
+
+void encode_hello_ack(std::vector<std::uint8_t>& out, const HelloAckFrame& f) {
+  FrameBuilder b{out, FrameType::kHelloAck};
+  put_u32(out, f.magic);
+  put_u16(out, f.version);
+  put_u8(out, f.ok ? 1 : 0);
+  b.finish();
+}
+
+void encode_request(std::vector<std::uint8_t>& out, const RequestFrame& f) {
+  FrameBuilder b{out, FrameType::kRequest};
+  put_u64(out, f.request_id);
+  put_u16(out, f.handler_id);
+  put_u16(out, f.tenant_id);
+  put_u64(out, f.deadline_us);
+  put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  b.finish();
+}
+
+void encode_response(std::vector<std::uint8_t>& out, const ResponseFrame& f) {
+  FrameBuilder b{out, FrameType::kResponse};
+  put_u64(out, f.request_id);
+  put_u8(out, static_cast<std::uint8_t>(f.status));
+  put_u64(out, f.server_latency_us);
+  put_u64(out, f.retry_after_us);
+  put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+  b.finish();
+}
+
+std::optional<HelloFrame> parse_hello(const std::vector<std::uint8_t>& body) {
+  Reader r{body};
+  HelloFrame f;
+  if (!r.get_u32(f.magic) || !r.get_u16(f.version) || !r.exhausted()) {
+    return std::nullopt;
+  }
+  return f;
+}
+
+std::optional<HelloAckFrame> parse_hello_ack(
+    const std::vector<std::uint8_t>& body) {
+  Reader r{body};
+  HelloAckFrame f;
+  std::uint8_t ok = 0;
+  if (!r.get_u32(f.magic) || !r.get_u16(f.version) || !r.get_u8(ok) ||
+      !r.exhausted()) {
+    return std::nullopt;
+  }
+  f.ok = ok != 0;
+  return f;
+}
+
+std::optional<RequestFrame> parse_request(const std::vector<std::uint8_t>& body) {
+  Reader r{body};
+  RequestFrame f;
+  std::uint32_t payload_len = 0;
+  if (!r.get_u64(f.request_id) || !r.get_u16(f.handler_id) ||
+      !r.get_u16(f.tenant_id) || !r.get_u64(f.deadline_us) ||
+      !r.get_u32(payload_len) || payload_len > kMaxPayloadBytes ||
+      !r.get_bytes(f.payload, payload_len) || !r.exhausted()) {
+    return std::nullopt;
+  }
+  return f;
+}
+
+std::optional<ResponseFrame> parse_response(
+    const std::vector<std::uint8_t>& body) {
+  Reader r{body};
+  ResponseFrame f;
+  std::uint8_t status = 0;
+  std::uint32_t payload_len = 0;
+  if (!r.get_u64(f.request_id) || !r.get_u8(status) ||
+      status > static_cast<std::uint8_t>(Status::kClosing) ||
+      !r.get_u64(f.server_latency_us) || !r.get_u64(f.retry_after_us) ||
+      !r.get_u32(payload_len) || payload_len > kMaxPayloadBytes ||
+      !r.get_bytes(f.payload, payload_len) || !r.exhausted()) {
+    return std::nullopt;
+  }
+  f.status = static_cast<Status>(status);
+  return f;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t size) {
+  if (failed_) return;
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (failed_ || buffer_.size() < 4) return std::nullopt;
+  std::uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<std::uint32_t>(buffer_[static_cast<std::size_t>(i)])
+              << (8 * i);
+  }
+  if (length == 0) {
+    fail("zero-length frame");
+    return std::nullopt;
+  }
+  if (length > kMaxFrameBytes) {
+    fail("frame length " + std::to_string(length) + " exceeds cap");
+    return std::nullopt;
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) {
+    return std::nullopt;  // partial frame — wait for more bytes
+  }
+  const std::uint8_t type = buffer_[4];
+  if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
+      type > static_cast<std::uint8_t>(FrameType::kResponse)) {
+    fail("unknown frame type " + std::to_string(type));
+    return std::nullopt;
+  }
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.body.assign(buffer_.begin() + 5,
+                    buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(length));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + 4 + static_cast<std::ptrdiff_t>(length));
+  return frame;
+}
+
+void FrameDecoder::reset() {
+  buffer_.clear();
+  failed_ = false;
+  error_.clear();
+}
+
+void FrameDecoder::fail(std::string reason) {
+  failed_ = true;
+  error_ = std::move(reason);
+  buffer_.clear();
+}
+
+}  // namespace autopn::net

@@ -1,0 +1,152 @@
+#pragma once
+// Wire protocol of the network front-end — a length-prefixed binary framing
+// that puts the serving engine's admission semantics on the wire. Every
+// frame is
+//
+//   u32 length | u8 type | type-specific body
+//
+// with all integers little-endian and `length` counting everything after the
+// length field itself (so a reader needs exactly 4 bytes to learn how much
+// more to wait for). A connection opens with a Hello/HelloAck handshake that
+// pins magic and protocol version; after that the client streams Request
+// frames (handler id + tenant id + opaque payload + relative deadline) and
+// the server answers each with exactly one Response frame carrying the
+// engine's verdict. Load shedding is a first-class protocol outcome, not an
+// error: a `kShed` response carries the admission queue's clamped retry-after
+// hint so backoff policy lives at the protocol edge, where ContTune-style
+// distributed tuning needs it.
+//
+// FrameDecoder is a push parser: feed() it whatever the socket produced —
+// single bytes, half frames, three frames at once — and poll next() for
+// completed frames. Malformed input (oversized length, unknown type, a
+// truncated body) moves the decoder into a sticky error state; the caller
+// closes the connection, it never "resyncs" into attacker-chosen framing.
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace autopn::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x41504E31;  // "APN1"
+inline constexpr std::uint16_t kWireVersion = 1;
+/// Hard cap on `length`; a header announcing more is a protocol error (and
+/// the decoder's defense against unbounded buffering on garbage input).
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
+/// Largest request/response payload the protocol admits (fits kMaxFrameBytes
+/// with every fixed field).
+inline constexpr std::uint32_t kMaxPayloadBytes = kMaxFrameBytes - 64;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,     ///< client → server: magic + version
+  kHelloAck = 2,  ///< server → client: magic + version + accept flag
+  kRequest = 3,
+  kResponse = 4,
+};
+
+/// Engine verdict carried by a Response frame.
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kShed = 1,      ///< admission refused; retry_after_us is the backoff hint
+  kExpired = 2,   ///< deadline passed before/while executing
+  kFailed = 3,    ///< handler threw
+  kRejected = 4,  ///< unknown handler id — never reached the queue
+  kClosing = 5,   ///< server shutting down; admission closed
+};
+
+[[nodiscard]] std::string to_string(Status status);
+
+struct HelloFrame {
+  std::uint32_t magic = kWireMagic;
+  std::uint16_t version = kWireVersion;
+};
+
+struct HelloAckFrame {
+  std::uint32_t magic = kWireMagic;
+  std::uint16_t version = kWireVersion;
+  bool ok = true;
+};
+
+struct RequestFrame {
+  std::uint64_t request_id = 0;  ///< client-chosen; echoed in the response
+  std::uint16_t handler_id = 0;
+  std::uint16_t tenant_id = 0;
+  /// Client deadline relative to server receipt, microseconds; 0 = none.
+  std::uint64_t deadline_us = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct ResponseFrame {
+  std::uint64_t request_id = 0;
+  Status status = Status::kOk;
+  /// Server-side enqueue→completion latency, microseconds (reported for
+  /// every engine outcome; 0 for requests that never reached the queue).
+  std::uint64_t server_latency_us = 0;
+  /// Backoff hint, microseconds (nonzero only for kShed/kClosing).
+  std::uint64_t retry_after_us = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- Encoding ----------------------------------------------------------
+// Each encoder appends one complete frame (length prefix included) to `out`
+// so callers can batch several frames into a single write buffer.
+
+void encode_hello(std::vector<std::uint8_t>& out, const HelloFrame& f = {});
+void encode_hello_ack(std::vector<std::uint8_t>& out, const HelloAckFrame& f);
+void encode_request(std::vector<std::uint8_t>& out, const RequestFrame& f);
+void encode_response(std::vector<std::uint8_t>& out, const ResponseFrame& f);
+
+// ---- Decoding ----------------------------------------------------------
+
+/// One completed frame: the type tag plus its raw body (everything after the
+/// type byte). parse_*() turns bodies into typed frames.
+struct Frame {
+  FrameType type = FrameType::kHello;
+  std::vector<std::uint8_t> body;
+};
+
+/// Body parsers. std::nullopt = truncated/overlong body (protocol error —
+/// the body length must match the fields exactly; trailing garbage is not
+/// forward-compatibility, it is corruption under a length-prefixed framing).
+[[nodiscard]] std::optional<HelloFrame> parse_hello(
+    const std::vector<std::uint8_t>& body);
+[[nodiscard]] std::optional<HelloAckFrame> parse_hello_ack(
+    const std::vector<std::uint8_t>& body);
+[[nodiscard]] std::optional<RequestFrame> parse_request(
+    const std::vector<std::uint8_t>& body);
+[[nodiscard]] std::optional<ResponseFrame> parse_response(
+    const std::vector<std::uint8_t>& body);
+
+class FrameDecoder {
+ public:
+  /// Appends raw socket bytes. Accepts any fragmentation, including one byte
+  /// at a time. No-op once the decoder is in the error state.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  /// Pops the next completed frame, if any. Sets the error state (and
+  /// returns std::nullopt) on an oversized length, a zero-length frame, or
+  /// an unknown type tag.
+  [[nodiscard]] std::optional<Frame> next();
+
+  /// Sticky: a decoder that has seen malformed input stays failed until
+  /// reset(); the connection should be closed.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet consumed as frames (partial frame in flight).
+  [[nodiscard]] std::size_t buffered() const noexcept { return buffer_.size(); }
+
+  void reset();
+
+ private:
+  void fail(std::string reason);
+
+  std::deque<std::uint8_t> buffer_;
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace autopn::net

@@ -25,14 +25,20 @@ ServeEngine::ServeEngine(stm::Stm& stm, RequestHandler default_handler,
 
 ServeEngine::~ServeEngine() { drain_and_stop(); }
 
-SubmitResult ServeEngine::submit(RequestHandler work,
-                                 std::function<void()> on_complete) {
+SubmitResult ServeEngine::submit(RequestHandler work, CompletionFn on_complete,
+                                 std::uint16_t tenant_id,
+                                 double timeout_seconds) {
   Request request;
   request.work = std::move(work);
   request.on_complete = std::move(on_complete);
+  request.tenant_id = tenant_id;
   request.enqueue_time = clock_->now();
-  if (config_.request_timeout > 0.0) {
-    request.deadline = request.enqueue_time + config_.request_timeout;
+  double timeout = config_.request_timeout;
+  if (timeout_seconds > 0.0 && (timeout <= 0.0 || timeout_seconds < timeout)) {
+    timeout = timeout_seconds;
+  }
+  if (timeout > 0.0) {
+    request.deadline = request.enqueue_time + timeout;
   }
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   const RequestQueue::Admit admit = queue_.try_push(std::move(request));
@@ -75,15 +81,18 @@ void ServeEngine::worker_loop(std::size_t index) {
     // execution — queued deadlines keep ticking, driving requests expired.
     AUTOPN_FAILPOINT("serve.worker.begin");
     const double deadline = request->deadline;
+    RequestResult result;
+    result.tenant_id = request->tenant_id;
     if (deadline > 0.0 && clock_->now() >= deadline) {
       // Expired while queued: never execute it (running doomed work only
       // steals service capacity from requests that can still make it).
       expired_.add(1);
-      if (request->on_complete) request->on_complete();
+      result.outcome = RequestOutcome::kExpired;
+      result.latency = clock_->now() - request->enqueue_time;
+      if (request->on_complete) request->on_complete(result);
       continue;
     }
-    enum class Outcome { kCompleted, kExpired, kFailed } outcome =
-        Outcome::kCompleted;
+    RequestOutcome outcome = RequestOutcome::kCompleted;
     try {
       // Propagate the deadline into every Stm::run_top retry loop the
       // handler enters on this thread; an expired predicate surfaces here as
@@ -102,18 +111,20 @@ void ServeEngine::worker_loop(std::size_t index) {
         default_handler_(rng);
       }
     } catch (const stm::DeadlineExceeded&) {
-      outcome = Outcome::kExpired;
+      outcome = RequestOutcome::kExpired;
       expired_.add(1);
     } catch (...) {
       // A failing handler must not take down the engine; the request counts
       // as failed and contributes no latency sample.
-      outcome = Outcome::kFailed;
+      outcome = RequestOutcome::kFailed;
       failed_.add(1);
     }
-    if (outcome == Outcome::kCompleted) {
-      kpi_.record(clock_->now() - request->enqueue_time);
+    result.outcome = outcome;
+    result.latency = clock_->now() - request->enqueue_time;
+    if (outcome == RequestOutcome::kCompleted) {
+      kpi_.record(result.latency, request->tenant_id);
     }
-    if (request->on_complete) request->on_complete();
+    if (request->on_complete) request->on_complete(result);
   }
 }
 
@@ -136,7 +147,13 @@ ServeReport ServeEngine::report() const {
   r.shed_fraction =
       r.offered > 0 ? static_cast<double>(r.shed) / static_cast<double>(r.offered)
                     : 0.0;
+  r.retry_after_hint = retry_after_hint(r.queue_depth);
   r.latency = kpi_.latency_summary();
+  for (std::size_t slot = 0; slot < ServiceKpiSource::kTenantSlots; ++slot) {
+    auto summary = kpi_.tenant_summary(slot);
+    if (summary.count == 0) continue;
+    r.tenants.push_back({static_cast<std::uint16_t>(slot), summary});
+  }
   return r;
 }
 

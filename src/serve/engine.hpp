@@ -64,7 +64,19 @@ struct ServeReport {
   std::uint64_t failed = 0;  ///< handler threw (request counted, no latency)
   std::size_t queue_depth = 0;
   double shed_fraction = 0.0;
+  /// Backoff a request shed at the current depth would be told to wait —
+  /// the same clamped [1 ms, 5 s] hint SubmitResult carries at shed time,
+  /// surfaced continuously so SLO reports and the wire can see it.
+  double retry_after_hint = 0.0;
   LatencyRecorder::Summary latency;  ///< enqueue→commit, seconds
+
+  /// Per-tenant latency (only slots that completed ≥ 1 request). `tenant`
+  /// is the KPI source's slot index (tenant id modulo its slot count).
+  struct TenantLatency {
+    std::uint16_t tenant = 0;
+    LatencyRecorder::Summary latency;
+  };
+  std::vector<TenantLatency> tenants;
 };
 
 class ServeEngine {
@@ -83,11 +95,20 @@ class ServeEngine {
 
   /// Submits custom work (empty = default handler) with an optional
   /// completion hook (runs on the worker after execution — even when the
-  /// handler throws — so closed-loop clients never hang).
-  SubmitResult submit(RequestHandler work, std::function<void()> on_complete);
+  /// handler throws — so closed-loop clients never hang) on behalf of
+  /// `tenant_id` (0 = the anonymous/default tenant). `timeout_seconds`
+  /// overrides the engine-wide request deadline for this request (the wire
+  /// protocol carries client deadlines); 0 keeps the configured default,
+  /// and the effective deadline is the tighter of the two.
+  SubmitResult submit(RequestHandler work, CompletionFn on_complete,
+                      std::uint16_t tenant_id = 0,
+                      double timeout_seconds = 0.0);
 
   /// Stops admission, lets the workers drain the backlog, and joins them.
-  /// Idempotent; the destructor calls it.
+  /// After return no worker is running and every admitted request's
+  /// on_complete has fired — a network front-end can rely on this to drain
+  /// posted responses deterministically. Idempotent; the destructor calls
+  /// it.
   void drain_and_stop();
 
   [[nodiscard]] ServeReport report() const;

@@ -5,10 +5,16 @@ namespace autopn::serve {
 ServiceKpiSource::ServiceKpiSource(std::size_t stripes)
     : recorder_(stripes),
       buffers_(util::ceil_pow2(stripes == 0 ? 1 : stripes)),
-      mask_(buffers_.size() - 1) {}
+      mask_(buffers_.size() - 1) {
+  tenants_.reserve(kTenantSlots);
+  for (std::size_t i = 0; i < kTenantSlots; ++i) {
+    tenants_.push_back(std::make_unique<LatencyRecorder>(4));
+  }
+}
 
-void ServiceKpiSource::record(double latency_seconds) {
+void ServiceKpiSource::record(double latency_seconds, std::uint16_t tenant_id) {
   recorder_.record(latency_seconds);
+  tenants_[tenant_slot(tenant_id)]->record(latency_seconds);
   completed_.add(1);
   auto& buffer = buffers_[util::thread_shard_token() & mask_].value;
   std::scoped_lock lock{buffer.mutex};

@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -20,11 +21,17 @@ namespace autopn::serve {
 
 class ServiceKpiSource final : public runtime::LatencySource {
  public:
+  /// Fixed number of per-tenant latency slots; tenant ids map onto slots by
+  /// modulo. Small on purpose: the point is isolating a handful of SLO
+  /// classes (noisy neighbour vs victim), not an unbounded tenant directory.
+  static constexpr std::size_t kTenantSlots = 8;
+
   explicit ServiceKpiSource(std::size_t stripes = 8);
 
   /// Called by a worker after a request's transaction committed. Lock-free
-  /// on the histogram; one striped mutex push for the window buffer.
-  void record(double latency_seconds);
+  /// on the histograms (global + the tenant's slot); one striped mutex push
+  /// for the window buffer.
+  void record(double latency_seconds, std::uint16_t tenant_id = 0);
 
   /// runtime::LatencySource: hands over (and clears) the samples recorded
   /// since the previous drain.
@@ -33,6 +40,15 @@ class ServiceKpiSource final : public runtime::LatencySource {
   [[nodiscard]] std::uint64_t completed() const { return completed_.load(); }
   [[nodiscard]] LatencyRecorder::Summary latency_summary() const {
     return recorder_.summary();
+  }
+
+  [[nodiscard]] static constexpr std::size_t tenant_slot(
+      std::uint16_t tenant_id) noexcept {
+    return tenant_id % kTenantSlots;
+  }
+  /// Cumulative latency of one tenant slot (count == 0 when unused).
+  [[nodiscard]] LatencyRecorder::Summary tenant_summary(std::size_t slot) const {
+    return tenants_[slot % kTenantSlots]->summary();
   }
 
   /// Clears the cumulative histogram (not the window buffers or the
@@ -59,6 +75,10 @@ class ServiceKpiSource final : public runtime::LatencySource {
   };
 
   LatencyRecorder recorder_;
+  /// Per-tenant recorders, fewer stripes than the global one (per-tenant
+  /// traffic is a fraction of the total). unique_ptr because LatencyRecorder
+  /// is neither copyable nor movable.
+  std::vector<std::unique_ptr<LatencyRecorder>> tenants_;
   util::ShardedCounter completed_;
   std::vector<util::Padded<Buffer>> buffers_;
   std::size_t mask_;

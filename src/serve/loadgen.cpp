@@ -25,14 +25,14 @@ double elapsed_seconds(SteadyClock::time_point since) {
 }  // namespace
 
 OpenLoopResult run_open_loop(ServeEngine& engine, const OpenLoopParams& params) {
-  util::Rng rng{params.seed};
+  PoissonArrivals arrivals{params.rate, params.seed};
   OpenLoopResult result;
   const auto start = SteadyClock::now();
   const auto deadline = start + to_duration(params.duration);
   auto next_arrival = start;
   double depth_sum = 0.0;
   for (;;) {
-    next_arrival += to_duration(rng.exponential(std::max(params.rate, 1e-9)));
+    next_arrival += to_duration(arrivals.next_gap());
     if (next_arrival >= deadline) break;
     // When the generator falls behind schedule (offered rate above what one
     // thread can submit), sleep_until returns immediately and arrivals
@@ -70,7 +70,8 @@ ClosedLoopResult run_closed_loop(ServeEngine& engine,
         while (SteadyClock::now() < deadline) {
           util::WaitGroup done;
           done.add(1);
-          const SubmitResult r = engine.submit({}, [&done] { done.done(); });
+          const SubmitResult r =
+              engine.submit({}, [&done](const RequestResult&) { done.done(); });
           issued.fetch_add(1, std::memory_order_relaxed);
           if (r.admitted) {
             done.wait();

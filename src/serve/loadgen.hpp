@@ -12,11 +12,28 @@
 // Both return admission/occupancy summaries; latency and throughput come
 // from the engine's own report.
 
+#include <algorithm>
 #include <cstdint>
 
 #include "serve/engine.hpp"
 
 namespace autopn::serve {
+
+/// Poisson arrival schedule — the open-loop arrival process shared by the
+/// in-process generator below and the network generator (src/net/netload):
+/// independent exponential gaps at a mean `rate` per second.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double rate, std::uint64_t seed)
+      : rng_(seed), rate_(std::max(rate, 1e-9)) {}
+
+  /// Seconds until the next arrival.
+  [[nodiscard]] double next_gap() { return rng_.exponential(rate_); }
+
+ private:
+  util::Rng rng_;
+  double rate_;
+};
 
 struct OpenLoopParams {
   double rate = 100.0;    ///< mean arrivals per second (Poisson)

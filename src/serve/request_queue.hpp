@@ -20,18 +20,41 @@
 
 namespace autopn::serve {
 
+/// How one admitted request ended.
+enum class RequestOutcome : std::uint8_t {
+  kCompleted,  ///< handler ran to completion (latency recorded)
+  kExpired,    ///< deadline passed before or during execution
+  kFailed,     ///< handler threw
+};
+
+/// Delivered to `Request::on_complete` exactly once per admitted request —
+/// the network front-end turns this into the wire response, so it carries
+/// everything a protocol edge needs: verdict, measured latency, tenant.
+struct RequestResult {
+  RequestOutcome outcome = RequestOutcome::kCompleted;
+  double latency = 0.0;  ///< enqueue→completion seconds (all outcomes)
+  std::uint16_t tenant_id = 0;
+};
+
+/// Completion hook; fires on the worker after execution — even when the
+/// handler throws or the deadline expired — so callers (closed-loop clients,
+/// socket connections) never hang on a lost request.
+using CompletionFn = std::function<void(const RequestResult&)>;
+
 /// One unit of admitted work. `work` runs on an engine worker (empty means
-/// the engine's default handler); `on_complete` fires after execution —
-/// closed-loop clients block on it.
+/// the engine's default handler).
 struct Request {
   std::function<void(util::Rng&)> work;
-  std::function<void()> on_complete;
+  CompletionFn on_complete;
   double enqueue_time = 0.0;  ///< clock timestamp at admission
   /// Absolute clock time after which the request must not start executing
   /// (workers drop it as expired at dequeue, and an in-flight transaction
   /// retry loop gives up via ScopedDeadline). 0 = no deadline.
   double deadline = 0.0;
   std::uint64_t id = 0;
+  /// Originating tenant — selects the per-tenant latency recorder so
+  /// noisy-neighbour effects are visible per SLO, not only in the global mix.
+  std::uint16_t tenant_id = 0;
 };
 
 class RequestQueue {

@@ -92,7 +92,7 @@ TEST_F(ChaosServeTest, DeadlinePassingMidRetryExpiresTheRequest) {
   constexpr int kRequests = 4;
   std::atomic<int> done{0};
   for (int i = 0; i < kRequests; ++i) {
-    (void)engine.submit({}, [&] { done.fetch_add(1); });
+    (void)engine.submit({}, [&](const RequestResult&) { done.fetch_add(1); });
   }
   // on_complete fires for expired requests too — closed-loop clients never
   // hang on a request the deadline killed.
@@ -127,7 +127,10 @@ TEST_F(ChaosServeTest, InjectedHandlerFailuresAreCountedNotFatal) {
   for (int i = 0; i < kRequests; ++i) {
     // Shed requests are rejected synchronously (admitted == false) and never
     // reach a worker, so on_complete fires only for admitted ones.
-    if (engine.submit({}, [&] { done.fetch_add(1); }).admitted) ++admitted;
+    if (engine.submit({}, [&](const RequestResult&) { done.fetch_add(1); })
+            .admitted) {
+      ++admitted;
+    }
   }
   engine.drain_and_stop();
   EXPECT_EQ(done.load(), admitted);

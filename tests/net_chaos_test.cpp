@@ -1,0 +1,207 @@
+// Chaos tests of the network front-end: injected accept rejections, read
+// faults (mid-request disconnects), and write faults must never crash the
+// loop, leak a response, or break the wire-level ledger
+//   requests_decoded == responses_enqueued ==
+//   responses_written + responses_dropped
+// — the engine-side accounting invariant extended to the socket edge.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/netload.hpp"
+#include "net/server.hpp"
+#include "serve/engine.hpp"
+#include "stm/stm.hpp"
+#include "util/clock.hpp"
+#include "util/failpoint.hpp"
+
+namespace autopn::net {
+namespace {
+
+using namespace std::chrono_literals;
+
+stm::StmConfig small_stm() {
+  stm::StmConfig cfg;
+  cfg.max_cores = 4;
+  cfg.pool_threads = 2;
+  cfg.initial_top = 2;
+  cfg.initial_children = 1;
+  return cfg;
+}
+
+void expect_ledger_exact(const NetServerReport& report) {
+  EXPECT_EQ(report.requests_decoded, report.responses_enqueued);
+  EXPECT_EQ(report.responses_enqueued,
+            report.responses_written + report.responses_dropped);
+}
+
+void expect_engine_invariant(const serve::ServeReport& report) {
+  EXPECT_EQ(report.offered, report.admitted + report.shed);
+  EXPECT_EQ(report.admitted,
+            report.completed + report.expired + report.failed);
+}
+
+class NetChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!util::FailpointRegistry::compiled_in()) {
+      GTEST_SKIP() << "failpoints compiled out";
+    }
+  }
+  void TearDown() override {
+    util::FailpointRegistry::instance().disarm_all();
+  }
+};
+
+TEST_F(NetChaosTest, InjectedAcceptFaultRejectsConnectionsThenRecovers) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  serve::ServeEngine engine{stm, [](util::Rng&) {}, clock, {}};
+  NetServer server{engine, {}};
+
+  // One-shot accept fault: the first connection attempt dies, later ones go
+  // through — connect() either throws or yields a client whose handshake
+  // never completes, depending on how fast the kernel surfaces the close.
+  util::FailpointRegistry::instance().arm_from_string("net.accept=error(n=1)");
+  try {
+    auto doomed = Client::connect("127.0.0.1", server.port(), 0.5);
+    (void)doomed.call(0, 0, 0, 0.5);
+  } catch (const std::exception&) {
+    // expected path: the server closed the socket before/after the accept
+  }
+  util::FailpointRegistry::instance().disarm_all();
+
+  auto client = Client::connect("127.0.0.1", server.port());
+  const auto response = client.call();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, Status::kOk);
+
+  server.shutdown();
+  const auto report = server.report();
+  EXPECT_GE(report.rejected_accepts, 1u);
+  expect_ledger_exact(report);
+  expect_engine_invariant(engine.report());
+}
+
+TEST_F(NetChaosTest, ReadFaultsForceDisconnectsWithoutBreakingLedger) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  serve::ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 1024;
+  serve::ServeEngine engine{stm, [](util::Rng&) {}, clock, cfg};
+  NetServer server{engine, {}};
+
+  // Every ~10th read attempt kills the connection — mid-request disconnect
+  // chaos. netload keeps reconnecting and offering load throughout.
+  util::FailpointRegistry::instance().arm_from_string(
+      "net.read=error(p=0.1)");
+  NetLoadParams params;
+  params.port = server.port();
+  params.connections = 3;
+  params.rate = 600.0;
+  params.duration = 0.5;
+  params.drain_grace = 1.0;
+  const auto result = run_netload(params);
+  util::FailpointRegistry::instance().disarm_all();
+
+  EXPECT_GT(result.sent, 0u);
+  EXPECT_GT(result.io_errors, 0u);  // the chaos actually bit
+  EXPECT_EQ(result.answered() + result.unanswered, result.sent);
+
+  server.shutdown();
+  const auto report = server.report();
+  EXPECT_GT(report.disconnects, 0u);
+  expect_ledger_exact(report);
+  expect_engine_invariant(engine.report());
+}
+
+TEST_F(NetChaosTest, WriteFaultsDropResponsesAccountably) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  serve::ServeConfig cfg;
+  cfg.workers = 2;
+  serve::ServeEngine engine{stm, [](util::Rng&) {}, clock, cfg};
+  NetServer server{engine, {}};
+
+  util::FailpointRegistry::instance().arm_from_string(
+      "net.write=error(p=0.2)");
+  NetLoadParams params;
+  params.port = server.port();
+  params.connections = 2;
+  params.rate = 400.0;
+  params.duration = 0.4;
+  params.drain_grace = 1.0;
+  const auto result = run_netload(params);
+  util::FailpointRegistry::instance().disarm_all();
+
+  EXPECT_GT(result.sent, 0u);
+
+  server.shutdown();
+  const auto report = server.report();
+  // Responses that hit the write fault died with their connection — they
+  // must all be accounted as dropped, never lost.
+  EXPECT_GT(report.responses_dropped, 0u);
+  expect_ledger_exact(report);
+  expect_engine_invariant(engine.report());
+}
+
+TEST_F(NetChaosTest, SlowNetworkDelayInjectionStillCompletes) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  serve::ServeEngine engine{stm, [](util::Rng&) {}, clock, {}};
+  NetServer server{engine, {}};
+
+  // Delay mode: every read stalls 2 ms (slow network), no failures.
+  util::FailpointRegistry::instance().arm_from_string(
+      "net.read=delay(d=2ms)");
+  auto client = Client::connect("127.0.0.1", server.port());
+  for (int i = 0; i < 10; ++i) {
+    const auto response = client.call(0, 0, 0, 10.0);
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, Status::kOk);
+  }
+  util::FailpointRegistry::instance().disarm_all();
+
+  server.shutdown();
+  const auto report = server.report();
+  EXPECT_EQ(report.requests_decoded, 10u);
+  expect_ledger_exact(report);
+}
+
+TEST_F(NetChaosTest, CombinedChurnSoakHoldsBothInvariants) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  serve::ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 256;
+  cfg.shed_watermark = 64;
+  serve::ServeEngine engine{stm, [](util::Rng&) {}, clock, cfg};
+  NetServer server{engine, {}};
+
+  util::FailpointRegistry::instance().arm_from_string(
+      "net.accept=error(p=0.05);net.read=error(p=0.02);"
+      "net.write=error(p=0.02)");
+  NetLoadParams params;
+  params.port = server.port();
+  params.connections = 4;
+  params.rate = 800.0;
+  params.duration = 0.6;
+  params.tenants = 3;
+  params.drain_grace = 1.0;
+  const auto result = run_netload(params);
+  util::FailpointRegistry::instance().disarm_all();
+
+  EXPECT_GT(result.sent, 0u);
+  EXPECT_EQ(result.answered() + result.unanswered, result.sent);
+
+  server.shutdown();
+  expect_ledger_exact(server.report());
+  expect_engine_invariant(engine.report());
+}
+
+}  // namespace
+}  // namespace autopn::net

@@ -1,0 +1,245 @@
+// Wire-protocol framing tests: encode/decode round-trips across random
+// payload sizes (including empty and maximum), split-delivery decoding one
+// byte at a time, and rejection of truncated, oversized, zero-length,
+// unknown-type, and magic/version-mismatched frames — the decoder's sticky
+// error state is the connection-close contract.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::net {
+namespace {
+
+std::vector<std::uint8_t> random_payload(util::Rng& rng, std::size_t size) {
+  std::vector<std::uint8_t> payload(size);
+  for (auto& b : payload) {
+    b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  return payload;
+}
+
+/// Feeds `bytes` to a fresh decoder in one call and returns all frames.
+std::vector<Frame> decode_all(const std::vector<std::uint8_t>& bytes) {
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  std::vector<Frame> frames;
+  while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+  EXPECT_FALSE(decoder.failed()) << decoder.error();
+  return frames;
+}
+
+TEST(NetWire, HelloRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  encode_hello(bytes);
+  const auto frames = decode_all(bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, FrameType::kHello);
+  const auto hello = parse_hello(frames[0].body);
+  ASSERT_TRUE(hello.has_value());
+  EXPECT_EQ(hello->magic, kWireMagic);
+  EXPECT_EQ(hello->version, kWireVersion);
+}
+
+TEST(NetWire, HelloAckRoundTripBothVerdicts) {
+  for (const bool ok : {true, false}) {
+    std::vector<std::uint8_t> bytes;
+    HelloAckFrame ack;
+    ack.ok = ok;
+    encode_hello_ack(bytes, ack);
+    const auto frames = decode_all(bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    const auto parsed = parse_hello_ack(frames[0].body);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->ok, ok);
+  }
+}
+
+TEST(NetWire, RequestRoundTripPropertyOverPayloadSizes) {
+  util::Rng rng{42};
+  // Boundary sizes plus a random spread; kMaxPayloadBytes must round-trip.
+  std::vector<std::size_t> sizes{0, 1, 2, 255, 256, 65536, kMaxPayloadBytes};
+  for (int i = 0; i < 20; ++i) {
+    sizes.push_back(static_cast<std::size_t>(rng.uniform_int(0, 100000)));
+  }
+  for (const std::size_t size : sizes) {
+    RequestFrame frame;
+    frame.request_id = rng.uniform_int(0, 1 << 30);
+    frame.handler_id = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    frame.tenant_id = static_cast<std::uint16_t>(rng.uniform_int(0, 65535));
+    frame.deadline_us = rng.uniform_int(0, 1 << 30);
+    frame.payload = random_payload(rng, size);
+
+    std::vector<std::uint8_t> bytes;
+    encode_request(bytes, frame);
+    const auto frames = decode_all(bytes);
+    ASSERT_EQ(frames.size(), 1u) << "payload size " << size;
+    ASSERT_EQ(frames[0].type, FrameType::kRequest);
+    const auto parsed = parse_request(frames[0].body);
+    ASSERT_TRUE(parsed.has_value()) << "payload size " << size;
+    EXPECT_EQ(parsed->request_id, frame.request_id);
+    EXPECT_EQ(parsed->handler_id, frame.handler_id);
+    EXPECT_EQ(parsed->tenant_id, frame.tenant_id);
+    EXPECT_EQ(parsed->deadline_us, frame.deadline_us);
+    EXPECT_EQ(parsed->payload, frame.payload);
+  }
+}
+
+TEST(NetWire, ResponseRoundTripAllStatuses) {
+  util::Rng rng{7};
+  for (const Status status :
+       {Status::kOk, Status::kShed, Status::kExpired, Status::kFailed,
+        Status::kRejected, Status::kClosing}) {
+    ResponseFrame frame;
+    frame.request_id = rng.uniform_int(1, 1 << 20);
+    frame.status = status;
+    frame.server_latency_us = rng.uniform_int(0, 1 << 20);
+    frame.retry_after_us = rng.uniform_int(0, 5000000);
+    frame.payload = random_payload(rng, rng.uniform_int(0, 512));
+
+    std::vector<std::uint8_t> bytes;
+    encode_response(bytes, frame);
+    const auto frames = decode_all(bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    ASSERT_EQ(frames[0].type, FrameType::kResponse);
+    const auto parsed = parse_response(frames[0].body);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->request_id, frame.request_id);
+    EXPECT_EQ(parsed->status, frame.status);
+    EXPECT_EQ(parsed->server_latency_us, frame.server_latency_us);
+    EXPECT_EQ(parsed->retry_after_us, frame.retry_after_us);
+    EXPECT_EQ(parsed->payload, frame.payload);
+  }
+}
+
+TEST(NetWire, ByteAtATimeSplitDelivery) {
+  // Three heterogeneous frames in one stream, delivered one byte at a time:
+  // the decoder must produce exactly the same frames as a single feed.
+  util::Rng rng{99};
+  std::vector<std::uint8_t> stream;
+  encode_hello(stream);
+  RequestFrame request;
+  request.request_id = 17;
+  request.payload = random_payload(rng, 333);
+  encode_request(stream, request);
+  ResponseFrame response;
+  response.request_id = 17;
+  response.status = Status::kShed;
+  response.retry_after_us = 2500;
+  encode_response(stream, response);
+
+  FrameDecoder decoder;
+  std::vector<Frame> frames;
+  for (const std::uint8_t byte : stream) {
+    decoder.feed(&byte, 1);
+    while (auto frame = decoder.next()) frames.push_back(std::move(*frame));
+  }
+  ASSERT_FALSE(decoder.failed()) << decoder.error();
+  EXPECT_EQ(decoder.buffered(), 0u);
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kHello);
+  const auto req = parse_request(frames[1].body);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->payload, request.payload);
+  const auto resp = parse_response(frames[2].body);
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->retry_after_us, 2500u);
+}
+
+TEST(NetWire, TruncatedFrameStaysPendingNotError) {
+  // A partial frame is not an error — the decoder waits for the rest.
+  std::vector<std::uint8_t> bytes;
+  RequestFrame frame;
+  frame.payload = std::vector<std::uint8_t>(100, 0x55);
+  encode_request(bytes, frame);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size() - 1);  // hold back the last byte
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_FALSE(decoder.failed());
+  EXPECT_GT(decoder.buffered(), 0u);
+  // Delivering the final byte completes it.
+  decoder.feed(&bytes.back(), 1);
+  EXPECT_TRUE(decoder.next().has_value());
+}
+
+TEST(NetWire, TruncatedBodyRejectedByParser) {
+  std::vector<std::uint8_t> bytes;
+  encode_request(bytes, RequestFrame{});
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  frame->body.pop_back();  // now one byte short of the fixed fields
+  EXPECT_FALSE(parse_request(frame->body).has_value());
+  // Trailing garbage is equally a protocol error under length framing.
+  frame->body.push_back(0);
+  frame->body.push_back(0xde);
+  EXPECT_FALSE(parse_request(frame->body).has_value());
+}
+
+TEST(NetWire, BadMagicAndBadVersionRejected) {
+  std::vector<std::uint8_t> bytes;
+  encode_hello(bytes);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+
+  auto corrupt_magic = frame->body;
+  corrupt_magic[0] ^= 0xff;
+  const auto bad_magic = parse_hello(corrupt_magic);
+  // The parser yields the frame; the handshake layer rejects the mismatch.
+  ASSERT_TRUE(bad_magic.has_value());
+  EXPECT_NE(bad_magic->magic, kWireMagic);
+
+  auto corrupt_version = frame->body;
+  corrupt_version[4] ^= 0xff;
+  const auto bad_version = parse_hello(corrupt_version);
+  ASSERT_TRUE(bad_version.has_value());
+  EXPECT_NE(bad_version->version, kWireVersion);
+}
+
+TEST(NetWire, OversizedLengthIsStickyError) {
+  FrameDecoder decoder;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::uint8_t header[4];
+  header[0] = static_cast<std::uint8_t>(huge & 0xff);
+  header[1] = static_cast<std::uint8_t>((huge >> 8) & 0xff);
+  header[2] = static_cast<std::uint8_t>((huge >> 16) & 0xff);
+  header[3] = static_cast<std::uint8_t>((huge >> 24) & 0xff);
+  decoder.feed(header, sizeof header);
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.failed());
+  // Sticky: valid bytes after the fault are ignored until reset().
+  std::vector<std::uint8_t> valid;
+  encode_hello(valid);
+  decoder.feed(valid.data(), valid.size());
+  EXPECT_FALSE(decoder.next().has_value());
+  EXPECT_TRUE(decoder.failed());
+  decoder.reset();
+  EXPECT_FALSE(decoder.failed());
+}
+
+TEST(NetWire, ZeroLengthAndUnknownTypeRejected) {
+  {
+    FrameDecoder decoder;
+    const std::uint8_t zero[4] = {0, 0, 0, 0};
+    decoder.feed(zero, sizeof zero);
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_TRUE(decoder.failed());
+  }
+  {
+    FrameDecoder decoder;
+    // length = 1, type = 0x7f (unknown)
+    const std::uint8_t unknown[5] = {1, 0, 0, 0, 0x7f};
+    decoder.feed(unknown, sizeof unknown);
+    EXPECT_FALSE(decoder.next().has_value());
+    EXPECT_TRUE(decoder.failed());
+  }
+}
+
+}  // namespace
+}  // namespace autopn::net

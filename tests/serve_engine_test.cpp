@@ -5,11 +5,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 
 #include "serve/engine.hpp"
 #include "serve/handlers.hpp"
 #include "serve/loadgen.hpp"
+#include "util/thread_pool.hpp"
 
 namespace autopn::serve {
 namespace {
@@ -201,6 +203,140 @@ TEST(Loadgen, OpenLoopOverloadGrowsQueueAndSheds) {
   EXPECT_GT(result.shed, 0u);
   EXPECT_GT(result.shed_fraction(), 0.3);
   EXPECT_GE(result.max_queue_depth, 8u);  // backlog reached the watermark
+}
+
+TEST(ServeEngine, RetryAfterHintTrustThresholdAndClamps) {
+  // Virtual time pins the retry-after policy exactly: the completion-rate
+  // estimate is trusted only from the 8th completion on, and the hint is
+  // clamped to [1 ms, 5 s] on both sides.
+  stm::Stm stm{small_stm()};
+  util::VirtualClock clock;
+  ServeConfig cfg;
+  cfg.workers = 1;
+  ServeEngine engine{stm, [](util::Rng&) {}, clock, cfg};
+
+  const auto complete_one = [&] {
+    util::WaitGroup done;
+    done.add(1);
+    ASSERT_TRUE(
+        engine.submit({}, [&done](const RequestResult&) { done.done(); })
+            .admitted);
+    done.wait();
+  };
+
+  for (int i = 0; i < 7; ++i) complete_one();
+  clock.set(1e-6);
+  // 7 completions: the rate (here a huge 7e6/s) must NOT be trusted yet —
+  // the hint is the 10 ms/request fallback (empty queue → excess = 1).
+  EXPECT_DOUBLE_EQ(engine.report().retry_after_hint, 0.010);
+
+  complete_one();  // 8th completion crosses the trust threshold
+  // rate = 8 / 1e-6 s → raw hint ~1.25e-7 s → clamped up to the 1 ms floor.
+  EXPECT_DOUBLE_EQ(engine.report().retry_after_hint, 0.001);
+
+  clock.set(2.0);  // rate = 8 / 2 s = 4/s → hint = 1 / 4 = 0.25 s, unclamped
+  EXPECT_NEAR(engine.report().retry_after_hint, 0.25, 1e-9);
+
+  clock.set(1e9);  // rate ~8e-9/s → raw hint ~1.25e8 s → clamped to the 5 s cap
+  EXPECT_DOUBLE_EQ(engine.report().retry_after_hint, 5.0);
+
+  engine.drain_and_stop();
+}
+
+TEST(ServeEngine, ShedTimeRetryAfterMatchesReportedHint) {
+  // The hint a shed submit() returns is the same one report() surfaces.
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  const RequestHandler slow = [](util::Rng&) {
+    std::this_thread::sleep_for(5ms);
+  };
+  ServeConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.shed_watermark = 2;
+  ServeEngine engine{stm, slow, clock, cfg};
+  double shed_hint = 0.0;
+  for (int i = 0; i < 100 && shed_hint == 0.0; ++i) {
+    const auto r = engine.submit();
+    if (!r.admitted) shed_hint = r.retry_after;
+  }
+  ASSERT_GT(shed_hint, 0.0);
+  EXPECT_GE(shed_hint, 0.001);
+  EXPECT_LE(shed_hint, 5.0);
+  EXPECT_GT(engine.report().retry_after_hint, 0.0);
+  engine.drain_and_stop();
+}
+
+TEST(ServeEngine, PerTenantLatencyIsolatedBySlot) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  ServeConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 64;
+  cfg.shed_watermark = 64;
+  ServeEngine engine{stm, [](util::Rng&) {}, clock, cfg};
+
+  const auto submit_for_tenant = [&](std::uint16_t tenant, int count) {
+    for (int i = 0; i < count; ++i) {
+      while (!engine.submit({}, {}, tenant).admitted) {
+        std::this_thread::sleep_for(1ms);
+      }
+    }
+  };
+  submit_for_tenant(1, 10);
+  submit_for_tenant(2, 5);
+  submit_for_tenant(9, 3);  // 9 % kTenantSlots == 1: shares tenant 1's slot
+  engine.drain_and_stop();
+
+  static_assert(ServiceKpiSource::tenant_slot(9) == 1);
+  const auto report = engine.report();
+  EXPECT_EQ(report.latency.count, 18u);
+  ASSERT_EQ(report.tenants.size(), 2u);  // slots 1 and 2 saw traffic
+  EXPECT_EQ(report.tenants[0].tenant, 1u);
+  EXPECT_EQ(report.tenants[0].latency.count, 13u);  // tenant 1 + tenant 9
+  EXPECT_EQ(report.tenants[1].tenant, 2u);
+  EXPECT_EQ(report.tenants[1].latency.count, 5u);
+  for (const auto& t : report.tenants) {
+    EXPECT_LE(t.latency.p50, t.latency.p99);
+  }
+}
+
+TEST(ServeEngine, CompletionCallbackCarriesOutcomeAndTenant) {
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  ServeEngine engine{stm, [](util::Rng&) {}, clock, {}};
+
+  util::WaitGroup done;
+  done.add(2);
+  RequestResult ok_result;
+  RequestResult failed_result;
+  ASSERT_TRUE(engine
+                  .submit({}, [&](const RequestResult& r) {
+                            ok_result = r;
+                            done.done();
+                          },
+                          /*tenant_id=*/5)
+                  .admitted);
+  ASSERT_TRUE(engine
+                  .submit([](util::Rng&) { throw std::runtime_error{"boom"}; },
+                          [&](const RequestResult& r) {
+                            failed_result = r;
+                            done.done();
+                          },
+                          /*tenant_id=*/6)
+                  .admitted);
+  done.wait();
+  engine.drain_and_stop();
+  EXPECT_EQ(ok_result.outcome, RequestOutcome::kCompleted);
+  EXPECT_EQ(ok_result.tenant_id, 5u);
+  EXPECT_GE(ok_result.latency, 0.0);
+  EXPECT_EQ(failed_result.outcome, RequestOutcome::kFailed);
+  EXPECT_EQ(failed_result.tenant_id, 6u);
+  // A failed request contributes no latency sample, globally or per-tenant.
+  const auto report = engine.report();
+  EXPECT_EQ(report.latency.count, 1u);
+  ASSERT_EQ(report.tenants.size(), 1u);
+  EXPECT_EQ(report.tenants[0].tenant, 5u);
 }
 
 TEST(Loadgen, ClosedLoopClientsCompleteTheirRequests) {

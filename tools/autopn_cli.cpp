@@ -20,6 +20,8 @@
 #include <thread>
 #include <vector>
 
+#include "net/netload.hpp"
+#include "net/server.hpp"
 #include "opt/autopn_optimizer.hpp"
 #include "opt/baselines.hpp"
 #include "opt/runner.hpp"
@@ -50,6 +52,11 @@ int usage() {
                "  autopn serve [--workload W] [--rate R] [--duration S] [--workers N]\n"
                "               [--shift F] [--optimizer NAME] [--cores N] [--seed N]\n"
                "               [--request-timeout S]\n"
+               "  autopn serve --listen ADDR:PORT [--port-file F] [--duration S]\n"
+               "               [--workload W] [--workers N] ...   (0.0.0.0:0 = any port)\n"
+               "  autopn netload [--host H] [--port P | --port-file F] [--connections N]\n"
+               "               [--rate R | --closed-loop [--think S]] [--duration S]\n"
+               "               [--tenants N] [--payload BYTES] [--deadline-us U] [--seed N]\n"
                "global: --failpoints 'name=kind(args)[;...]'  e.g.\n"
                "        --failpoints 'stm.commit.validate=error(p=0.1);stm.vbox.prune=delay(d=1ms)'\n"
                "        (also read from the AUTOPN_FAILPOINTS environment variable;\n"
@@ -69,11 +76,32 @@ struct Options {
   double shift = 4.0;       ///< rate multiplier for the second phase
   std::size_t workers = 4;  ///< engine worker threads
   double request_timeout = 0.0;  ///< per-request deadline, seconds (0 = none)
+  // network knobs (serve --listen / netload)
+  std::string listen;       ///< serve: "addr:port" to put the engine on the wire
+  std::string port_file;    ///< serve: write the bound port; netload: read it
+  std::string host = "127.0.0.1";  ///< netload target
+  std::uint16_t port = 0;          ///< netload target
+  std::size_t connections = 4;     ///< netload connections
+  bool closed_loop = false;        ///< netload: closed loop instead of Poisson
+  double think_time = 0.001;       ///< netload closed loop: mean think seconds
+  std::uint16_t tenants = 1;       ///< netload: round-robined tenant ids
+  std::size_t payload = 0;         ///< netload: request payload bytes
+  std::uint64_t deadline_us = 0;   ///< netload: client deadline on the wire
 };
 
 Options parse_options(const std::vector<std::string>& args, std::size_t start) {
   Options opts;
-  for (std::size_t i = start; i + 1 < args.size(); i += 2) {
+  std::size_t i = start;
+  while (i < args.size()) {
+    // No-argument flags first; everything else consumes a value.
+    if (args[i] == "--closed-loop") {
+      opts.closed_loop = true;
+      ++i;
+      continue;
+    }
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument{"option " + args[i] + " needs a value"};
+    }
     if (args[i] == "--optimizer") {
       opts.optimizer = args[i + 1];
     } else if (args[i] == "--seed") {
@@ -93,6 +121,24 @@ Options parse_options(const std::vector<std::string>& args, std::size_t start) {
       opts.workers = std::stoul(args[i + 1]);
     } else if (args[i] == "--request-timeout") {
       opts.request_timeout = std::stod(args[i + 1]);
+    } else if (args[i] == "--listen") {
+      opts.listen = args[i + 1];
+    } else if (args[i] == "--port-file") {
+      opts.port_file = args[i + 1];
+    } else if (args[i] == "--host") {
+      opts.host = args[i + 1];
+    } else if (args[i] == "--port") {
+      opts.port = static_cast<std::uint16_t>(std::stoul(args[i + 1]));
+    } else if (args[i] == "--connections") {
+      opts.connections = std::stoul(args[i + 1]);
+    } else if (args[i] == "--think") {
+      opts.think_time = std::stod(args[i + 1]);
+    } else if (args[i] == "--tenants") {
+      opts.tenants = static_cast<std::uint16_t>(std::stoul(args[i + 1]));
+    } else if (args[i] == "--payload") {
+      opts.payload = std::stoul(args[i + 1]);
+    } else if (args[i] == "--deadline-us") {
+      opts.deadline_us = std::stoull(args[i + 1]);
     } else if (args[i] == "--failpoints") {
       // Arm immediately — global, not an Options field: failpoints are
       // process-wide and must be live before any workload code runs.
@@ -100,6 +146,7 @@ Options parse_options(const std::vector<std::string>& args, std::size_t start) {
     } else {
       throw std::invalid_argument{"unknown option " + args[i]};
     }
+    i += 2;
   }
   return opts;
 }
@@ -243,7 +290,186 @@ int cmd_des_tune(const std::string& workload, const Options& opts) {
   return 0;
 }
 
+/// SLO lines shared by the in-process and network serve paths: the queue's
+/// current retry-after hint and the per-tenant latency breakdown.
+void print_slo_details(const serve::ServeReport& report) {
+  std::cout << "retry-after:   "
+            << util::fmt_double(report.retry_after_hint * 1e3, 1)
+            << " ms (hint a request shed right now would receive)\n";
+  if (report.tenants.size() > 1) {
+    util::TextTable tenants{{"tenant", "requests", "p50(ms)", "p95(ms)", "p99(ms)"}};
+    for (const auto& t : report.tenants) {
+      tenants.add_row({std::to_string(t.tenant), std::to_string(t.latency.count),
+                       util::fmt_double(t.latency.p50 * 1e3, 2),
+                       util::fmt_double(t.latency.p95 * 1e3, 2),
+                       util::fmt_double(t.latency.p99 * 1e3, 2)});
+    }
+    tenants.print(std::cout);
+  }
+}
+
+/// serve --listen: the full stack on the wire — NetServer in front of the
+/// engine, the AutoPN controller tuning live, traffic arriving over TCP
+/// (drive it with `autopn netload`).
+int cmd_serve_net(const Options& opts) {
+  const auto colon = opts.listen.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "--listen wants ADDR:PORT (got '" << opts.listen << "')\n";
+    return 2;
+  }
+  net::NetServerConfig net_cfg;
+  net_cfg.bind_address = opts.listen.substr(0, colon);
+  net_cfg.port = static_cast<std::uint16_t>(std::stoul(opts.listen.substr(colon + 1)));
+
+  const int cores = opts.cores_given ? opts.cores : 8;
+  stm::StmConfig stm_cfg;
+  stm_cfg.max_cores = static_cast<std::size_t>(cores);
+  stm_cfg.pool_threads = std::max<std::size_t>(2, opts.workers);
+  stm::Stm stm{stm_cfg};
+  util::WallClock clock;
+  auto workload = serve::make_servable_workload(opts.workload, stm, opts.seed ^ 0x5e);
+
+  serve::ServeConfig serve_cfg;
+  serve_cfg.workers = opts.workers;
+  serve_cfg.queue_capacity = 512;
+  serve_cfg.seed = opts.seed;
+  serve_cfg.request_timeout = opts.request_timeout;
+  serve::ServeEngine engine{stm, workload.handler, clock, serve_cfg};
+  net::NetServer server{engine, {}, net_cfg};
+
+  if (!opts.port_file.empty()) {
+    std::ofstream out{opts.port_file};
+    out << server.port() << "\n";
+  }
+  std::cout << "listening on " << net_cfg.bind_address << ":" << server.port()
+            << " — " << opts.workload << " workload, " << opts.workers
+            << " workers, serving for " << util::fmt_double(opts.duration, 1)
+            << "s\n"
+            << std::flush;
+
+  const opt::ConfigSpace space{cores};
+  runtime::ControllerParams params;
+  params.max_window_seconds = 0.5;
+  runtime::TuningController controller{
+      stm, make_optimizer(opts.optimizer, space, opts.seed),
+      std::make_unique<runtime::FixedTimePolicy>(0.05), clock, params};
+  controller.set_latency_source(&engine.kpi_source());
+
+  const double start = clock.now();
+  const std::size_t rounds = controller.tune_and_watch(
+      [&] { return make_optimizer(opts.optimizer, space, opts.seed); },
+      opts.duration);
+  const double elapsed = clock.now() - start;
+  server.shutdown();
+
+  const net::NetServerReport wire = server.report();
+  const serve::ServeReport report = engine.report();
+  util::TextTable ledger{{"accepted", "disconnects", "decoded", "written",
+                          "dropped", "shed", "bp pauses"}};
+  ledger.add_row({std::to_string(wire.accepted), std::to_string(wire.disconnects),
+                  std::to_string(wire.requests_decoded),
+                  std::to_string(wire.responses_written),
+                  std::to_string(wire.responses_dropped),
+                  std::to_string(wire.shed_responses),
+                  std::to_string(wire.backpressure_pauses)});
+  ledger.print(std::cout);
+  const bool ledger_exact =
+      wire.requests_decoded == wire.responses_enqueued &&
+      wire.responses_enqueued == wire.responses_written + wire.responses_dropped;
+  std::cout << "wire ledger:   "
+            << (ledger_exact ? "exact (decoded == written + dropped)"
+                             : "VIOLATED")
+            << "\ntuning rounds: " << rounds << "\nchosen (t,c):  ("
+            << stm.top_limit() << "," << stm.child_limit()
+            << ")\nthroughput:    "
+            << util::fmt_double(static_cast<double>(report.completed) /
+                                    std::max(elapsed, 1e-9),
+                                0)
+            << " req/s (" << report.completed << " completed)\nlatency (ms):  p50 "
+            << util::fmt_double(report.latency.p50 * 1e3, 2) << "  p95 "
+            << util::fmt_double(report.latency.p95 * 1e3, 2) << "  p99 "
+            << util::fmt_double(report.latency.p99 * 1e3, 2)
+            << "\nshed fraction: " << util::fmt_percent(report.shed_fraction)
+            << " (" << report.shed << "/" << report.offered << " offered)\n";
+  print_slo_details(report);
+  if (!ledger_exact) return 1;
+  if (!workload.verify()) {
+    std::cerr << "consistency check FAILED\n";
+    return 1;
+  }
+  std::cout << "consistency:   OK\n";
+  return 0;
+}
+
+int cmd_netload(const Options& opts) {
+  net::NetLoadParams params;
+  params.host = opts.host;
+  params.port = opts.port;
+  if (!opts.port_file.empty()) {
+    std::ifstream in{opts.port_file};
+    unsigned port = 0;
+    if (!(in >> port)) {
+      std::cerr << "cannot read port from " << opts.port_file << "\n";
+      return 1;
+    }
+    params.port = static_cast<std::uint16_t>(port);
+  }
+  if (params.port == 0) {
+    std::cerr << "netload needs --port or --port-file\n";
+    return 2;
+  }
+  params.connections = opts.connections;
+  params.closed_loop = opts.closed_loop;
+  params.rate = opts.rate;
+  params.think_time = opts.think_time;
+  params.duration = opts.duration;
+  params.tenants = opts.tenants;
+  params.payload_bytes = opts.payload;
+  params.deadline_us = opts.deadline_us;
+  params.seed = opts.seed;
+
+  std::cout << "netload → " << params.host << ":" << params.port << " — "
+            << params.connections << " connections, "
+            << (params.closed_loop
+                    ? "closed loop"
+                    : "open loop @ " + util::fmt_double(params.rate, 0) + " req/s")
+            << " for " << util::fmt_double(params.duration, 1) << "s\n";
+  const net::NetLoadResult result = net::run_netload(params);
+
+  util::TextTable counts{{"sent", "ok", "shed", "expired", "failed", "rejected",
+                          "io errs", "reconn", "unanswered"}};
+  counts.add_row({std::to_string(result.sent), std::to_string(result.ok),
+                  std::to_string(result.shed), std::to_string(result.expired),
+                  std::to_string(result.failed), std::to_string(result.rejected),
+                  std::to_string(result.io_errors),
+                  std::to_string(result.reconnects),
+                  std::to_string(result.unanswered)});
+  counts.print(std::cout);
+  std::cout << "achieved:      "
+            << util::fmt_double(static_cast<double>(result.sent) /
+                                    std::max(result.duration, 1e-9),
+                                0)
+            << " req/s offered, "
+            << util::fmt_double(static_cast<double>(result.ok) /
+                                    std::max(result.duration, 1e-9),
+                                0)
+            << " req/s served\nlatency (ms):  p50 "
+            << util::fmt_double(result.latency.p50 * 1e3, 2) << "  p95 "
+            << util::fmt_double(result.latency.p95 * 1e3, 2) << "  p99 "
+            << util::fmt_double(result.latency.p99 * 1e3, 2)
+            << "  (client-observed)\n";
+  if (result.shed > 0) {
+    std::cout << "mean retry-after: "
+              << util::fmt_double(result.mean_retry_after * 1e3, 1)
+              << " ms over " << result.shed << " shed responses\n";
+  }
+  // An all-zero answered count means the server never responded — fail the
+  // smoke rather than report a vacuous success.
+  return result.answered() > 0 ? 0 : 1;
+}
+
 int cmd_serve(const Options& opts) {
+  if (!opts.listen.empty()) return cmd_serve_net(opts);
   // The live path: a real PN-STM behind the serving engine, open-loop
   // traffic whose arrival rate shifts halfway through, and the AutoPN
   // controller retuning (t, c) on the running system via CUSUM.
@@ -321,6 +547,7 @@ int cmd_serve(const Options& opts) {
             << util::fmt_double(report.latency.p99 * 1e3, 2)
             << "\nshed fraction: " << util::fmt_percent(report.shed_fraction)
             << " (" << report.shed << "/" << report.offered << " offered)\n";
+  print_slo_details(report);
   if (report.expired > 0 || opts.request_timeout > 0.0) {
     std::cout << "expired:       " << report.expired << " (deadline "
               << util::fmt_double(opts.request_timeout * 1e3, 0) << " ms)\n";
@@ -381,6 +608,7 @@ int main(int argc, char** argv) {
       return cmd_record(args[1], args[2], parse_options(args, 3));
     }
     if (cmd == "info" && args.size() >= 2) return cmd_info(args[1]);
+    if (cmd == "netload") return cmd_netload(parse_options(args, 1));
     if (cmd == "serve") {
       // Accept both `serve tpcc` and `serve --workload tpcc`.
       if (args.size() >= 2 && args[1][0] != '-') {
