@@ -48,7 +48,7 @@ int main() {
             << params.runs << " runs x " << params.window_seconds << "s)...\n";
   const sim::SurfaceTrace trace =
       runtime::record_live_surface(stm, space, "array-30%-live", clock, params);
-  stop.store(true);
+  stop.store(true, std::memory_order_relaxed);
   drivers.clear();
 
   util::TextTable table{{"(t,c)", "mean thr (tx/s)", "stddev"}};

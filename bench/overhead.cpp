@@ -118,7 +118,7 @@ double run_once(bool tuning_active) {
     });
   }
   std::this_thread::sleep_for(std::chrono::duration<double>(kRunSeconds));
-  stop.store(true);
+  stop.store(true, std::memory_order_relaxed);
   drivers.clear();
   if (tuner.joinable()) tuner.join();
 

@@ -8,6 +8,16 @@ cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
 
+# Gate on static analysis before spending time on sanitizer rebuilds: the
+# concurrency-invariant lint, the header self-sufficiency build, and (when a
+# clang toolchain exists) clang-tidy + -Wthread-safety.
+scripts/static_analysis.sh
+
+# UBSan sweep: the whole suite, non-recovering (any UB report is fatal).
+cmake --preset ubsan
+cmake --build build-ubsan
+ctest --test-dir build-ubsan --output-on-failure
+
 # Race-check the STM core and the serving engine: rebuild just those test
 # binaries under ThreadSanitizer (the tsan preset) and run them directly. We
 # invoke the binaries rather than ctest -R because gtest test names don't
@@ -33,13 +43,13 @@ for t in build-tsan/tests/stm_*_test build-tsan/tests/serve_*_test \
 done
 
 # The net tests exercise real sockets and cross-thread completion posting:
-# run them under AddressSanitizer as well (the TSan pass above already
+# run them under ASan+UBSan combined as well (the TSan pass above already
 # covers them for races).
-cmake --preset asan
-cmake --build build-asan --target \
+cmake --preset asan-ubsan
+cmake --build build-asan-ubsan --target \
   net_wire_test net_loop_test net_server_test net_chaos_test
-for t in build-asan/tests/net_*_test; do
-  echo "== asan: $(basename "$t") =="
+for t in build-asan-ubsan/tests/net_*_test; do
+  echo "== asan-ubsan: $(basename "$t") =="
   "$t"
 done
 
@@ -47,14 +57,14 @@ done
 # soak exits nonzero on any accounting/consistency invariant violation, so a
 # plain invocation is the assertion. --net fronts the engine with a
 # NetServer and adds the wire response ledger to the checked invariants.
-cmake --build build-asan --target chaos_soak
+cmake --build build-asan-ubsan --target chaos_soak
 cmake --build build-tsan --target chaos_soak
-echo "== asan: chaos_soak =="
-build-asan/bench/chaos_soak --seconds 3 --seed 1
+echo "== asan-ubsan: chaos_soak =="
+build-asan-ubsan/bench/chaos_soak --seconds 3 --seed 1
 echo "== tsan: chaos_soak =="
 build-tsan/bench/chaos_soak --seconds 3 --seed 2
-echo "== asan: chaos_soak --net =="
-build-asan/bench/chaos_soak --net --seconds 3 --seed 3
+echo "== asan-ubsan: chaos_soak --net =="
+build-asan-ubsan/bench/chaos_soak --net --seconds 3 --seed 3
 echo "== tsan: chaos_soak --net =="
 build-tsan/bench/chaos_soak --net --seconds 3 --seed 4
 

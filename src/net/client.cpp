@@ -91,8 +91,8 @@ Client::~Client() { close(); }
 
 Client::Client(Client&& other) noexcept
     : fd_(std::exchange(other.fd_, -1)),
-      next_id_(other.next_id_.load()),
-      closed_(other.closed_.load()),
+      next_id_(other.next_id_.load(std::memory_order_relaxed)),
+      closed_(other.closed_.load(std::memory_order_relaxed)),
       handshaken_(other.handshaken_),
       decoder_(std::move(other.decoder_)),
       pending_(std::move(other.pending_)) {}
@@ -101,8 +101,10 @@ Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     close();
     fd_ = std::exchange(other.fd_, -1);
-    next_id_.store(other.next_id_.load());
-    closed_.store(other.closed_.load());
+    next_id_.store(other.next_id_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    closed_.store(other.closed_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
     handshaken_ = other.handshaken_;
     decoder_ = std::move(other.decoder_);
     pending_ = std::move(other.pending_);

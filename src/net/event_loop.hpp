@@ -26,6 +26,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace autopn::net {
 
 class EventLoop {
@@ -105,7 +107,7 @@ class EventLoop {
   std::atomic<std::thread::id> loop_thread_{};
 
   std::mutex task_mutex_;
-  std::vector<Task> tasks_;  // guarded by task_mutex_
+  std::vector<Task> tasks_ AUTOPN_GUARDED_BY(task_mutex_);
 
   // Loop-thread state (no locks).
   std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;

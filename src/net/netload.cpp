@@ -11,6 +11,7 @@
 #include "net/client.hpp"
 #include "serve/loadgen.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace autopn::net {
 
@@ -40,7 +41,7 @@ struct WorkerStats {
 struct SharedState {
   serve::LatencyRecorder latency{4};
   std::mutex merge_mutex;
-  NetLoadResult result;
+  NetLoadResult result AUTOPN_GUARDED_BY(merge_mutex);
 };
 
 void merge(SharedState& shared, const WorkerStats& stats) {

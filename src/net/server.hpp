@@ -42,6 +42,7 @@
 #include "net/event_loop.hpp"
 #include "net/wire.hpp"
 #include "serve/engine.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace autopn::net {
 
@@ -178,8 +179,8 @@ class NetServer {
   std::atomic<std::size_t> open_connections_{0};
 
   std::mutex shutdown_mutex_;
-  bool shut_down_ = false;
-  std::thread loop_thread_;
+  bool shut_down_ AUTOPN_GUARDED_BY(shutdown_mutex_) = false;
+  std::thread loop_thread_ AUTOPN_GUARDED_BY(shutdown_mutex_);
 };
 
 }  // namespace autopn::net

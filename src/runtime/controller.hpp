@@ -17,6 +17,7 @@
 #include "runtime/monitor.hpp"
 #include "stm/stm.hpp"
 #include "util/clock.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace autopn::runtime {
 
@@ -159,7 +160,7 @@ class TuningController {
   // Commit-event channel filled by the Stm callback.
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<double> pending_commits_;
+  std::deque<double> pending_commits_ AUTOPN_GUARDED_BY(mutex_);
 };
 
 }  // namespace autopn::runtime

@@ -23,6 +23,7 @@
 #include "stm/stm.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace autopn::serve {
 
@@ -133,7 +134,7 @@ class ServeEngine {
   std::atomic<std::uint64_t> next_id_{0};
 
   std::mutex stop_mutex_;  ///< serializes drain_and_stop against itself
-  std::vector<std::jthread> workers_;
+  std::vector<std::jthread> workers_ AUTOPN_GUARDED_BY(stop_mutex_);
 };
 
 }  // namespace autopn::serve

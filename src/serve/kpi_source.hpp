@@ -16,6 +16,7 @@
 #include "runtime/monitor.hpp"
 #include "serve/latency.hpp"
 #include "util/sharded.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace autopn::serve {
 
@@ -71,7 +72,7 @@ class ServiceKpiSource final : public runtime::LatencySource {
 
   struct Buffer {
     std::mutex mutex;
-    std::vector<double> samples;
+    std::vector<double> samples AUTOPN_GUARDED_BY(mutex);
   };
 
   LatencyRecorder recorder_;

@@ -92,9 +92,9 @@ ClosedLoopResult run_closed_loop(ServeEngine& engine,
     }
   }  // join
   ClosedLoopResult result;
-  result.issued = issued.load();
-  result.completed = completed.load();
-  result.shed = shed.load();
+  result.issued = issued.load(std::memory_order_relaxed);
+  result.completed = completed.load(std::memory_order_relaxed);
+  result.shed = shed.load(std::memory_order_relaxed);
   result.duration = elapsed_seconds(start);
   return result;
 }

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace autopn::serve {
 
@@ -98,11 +99,11 @@ class RequestQueue {
 
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool closed_ = false;
-  std::uint64_t offered_ = 0;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t shed_ = 0;
+  std::deque<Request> queue_ AUTOPN_GUARDED_BY(mutex_);
+  bool closed_ AUTOPN_GUARDED_BY(mutex_) = false;
+  std::uint64_t offered_ AUTOPN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t admitted_ AUTOPN_GUARDED_BY(mutex_) = 0;
+  std::uint64_t shed_ AUTOPN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace autopn::serve

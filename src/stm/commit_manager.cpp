@@ -31,8 +31,9 @@ LockFreeCommitManager::LockFreeCommitManager(std::atomic<std::uint64_t>& clock,
                                              SnapshotRegistry& snapshots,
                                              ContentionProfiler& profiler)
     : CommitManager(clock, snapshots, profiler) {
-  // Sentinel record: version 0, already written back.
-  latest_.store(std::make_shared<CommitRecord>());
+  // Sentinel record: version 0, already written back. release: publishes the
+  // record's fields to the first helper that acquires `latest_`.
+  latest_.store(std::make_shared<CommitRecord>(), std::memory_order_release);
 }
 
 void LockFreeCommitManager::help_commit(CommitRecord& record) {

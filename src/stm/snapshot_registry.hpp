@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "util/sharded.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace autopn::stm {
 
@@ -141,7 +142,7 @@ class SnapshotRegistry {
   /// have missed (same publish-and-validate argument as the slots).
   std::atomic<std::size_t> overflow_active_{0};
   mutable std::mutex overflow_mutex_;
-  std::multiset<std::uint64_t> overflow_;
+  std::multiset<std::uint64_t> overflow_ AUTOPN_GUARDED_BY(overflow_mutex_);
 };
 
 }  // namespace autopn::stm

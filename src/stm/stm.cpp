@@ -26,15 +26,16 @@ class NormalPhaseShare {
       : normal_phase_(normal_phase) {
     using namespace std::chrono_literals;
     for (;;) {
-      normal_phase_.fetch_add(1);  // seq_cst: ordered against the announce
-      if (escalated_waiting.load() == 0) return;
+      // seq_cst: ordered against the announce
+      normal_phase_.fetch_add(1, std::memory_order_seq_cst);
+      if (escalated_waiting.load(std::memory_order_seq_cst) == 0) return;
       // An escalated attempt is draining the phase; step aside until it has
       // finished (it holds exclusivity only briefly — one serialized tx).
-      normal_phase_.fetch_sub(1);
+      normal_phase_.fetch_sub(1, std::memory_order_seq_cst);
       std::this_thread::sleep_for(20us);
     }
   }
-  ~NormalPhaseShare() { normal_phase_.fetch_sub(1); }
+  ~NormalPhaseShare() { normal_phase_.fetch_sub(1, std::memory_order_seq_cst); }
 
   NormalPhaseShare(const NormalPhaseShare&) = delete;
   NormalPhaseShare& operator=(const NormalPhaseShare&) = delete;
@@ -134,14 +135,16 @@ void Stm::run_top_escalated(const std::function<void(Tx&)>& body,
                             const std::function<bool()>* give_up) {
   using namespace std::chrono_literals;
   std::scoped_lock serialize{escalation_mutex_};
-  escalated_waiting_.fetch_add(1);  // seq_cst announce (Dekker, see header)
+  // seq_cst announce (Dekker, see header)
+  escalated_waiting_.fetch_add(1, std::memory_order_seq_cst);
   struct Withdraw {
     std::atomic<int>& waiting;
-    ~Withdraw() { waiting.fetch_sub(1); }
+    ~Withdraw() { waiting.fetch_sub(1, std::memory_order_seq_cst); }
   } withdraw{escalated_waiting_};
   // Drain in-flight normal attempts; new ones step aside once they observe
   // the announcement, so this wait is bounded by one attempt's duration.
-  while (normal_phase_.load() != 0) std::this_thread::sleep_for(20us);
+  while (normal_phase_.load(std::memory_order_seq_cst) != 0)
+    std::this_thread::sleep_for(20us);
 
   stats_.bump_top_escalation();
   for (;;) {
@@ -186,9 +189,10 @@ void Stm::notify_commit() {
   // committer that increments after the removal necessarily reloads null
   // below, and one that loaded a live callback is visible to the remover's
   // quiescence spin.
-  commit_cb_inflight_.fetch_add(1);
-  if (const auto* cb = commit_cb_.load(); cb && *cb) (*cb)();
-  commit_cb_inflight_.fetch_sub(1);
+  commit_cb_inflight_.fetch_add(1, std::memory_order_seq_cst);
+  if (const auto* cb = commit_cb_.load(std::memory_order_seq_cst); cb && *cb)
+    (*cb)();
+  commit_cb_inflight_.fetch_sub(1, std::memory_order_seq_cst);
 }
 
 void Stm::set_top_limit(std::size_t t) {
@@ -206,12 +210,13 @@ void Stm::set_commit_callback(std::shared_ptr<const std::function<void()>> cb) {
   // (pointer before flag, so a committer that observes the flag always finds
   // it). A commit racing with installation may miss one notification; the
   // monitor's windows tolerate that.
-  has_commit_cb_.store(false);
-  commit_cb_.store(nullptr);
-  while (commit_cb_inflight_.load() != 0) std::this_thread::yield();
+  has_commit_cb_.store(false, std::memory_order_seq_cst);
+  commit_cb_.store(nullptr, std::memory_order_seq_cst);
+  while (commit_cb_inflight_.load(std::memory_order_seq_cst) != 0)
+    std::this_thread::yield();
   commit_cb_owner_ = std::move(cb);
   if (commit_cb_owner_) {
-    commit_cb_.store(commit_cb_owner_.get());
+    commit_cb_.store(commit_cb_owner_.get(), std::memory_order_seq_cst);
     has_commit_cb_.store(true, std::memory_order_release);
   }
 }

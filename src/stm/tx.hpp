@@ -38,6 +38,7 @@
 #include "stm/exceptions.hpp"
 #include "stm/vbox.hpp"
 #include "util/semaphore.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace autopn::stm {
 
@@ -122,10 +123,10 @@ class Tx {
   // sets, but children lock unconditionally for simplicity (uncontended fast
   // path).
   std::mutex merge_mutex_;
-  std::unordered_map<VBoxBase*, WriteEntry> writes_;
-  std::unordered_map<VBoxBase*, GlobalRead> global_reads_;
-  std::unordered_map<VBoxBase*, AncestorRead> anc_reads_;
-  std::uint64_t next_stamp_ = 1;
+  std::unordered_map<VBoxBase*, WriteEntry> writes_ AUTOPN_GUARDED_BY(merge_mutex_);
+  std::unordered_map<VBoxBase*, GlobalRead> global_reads_ AUTOPN_GUARDED_BY(merge_mutex_);
+  std::unordered_map<VBoxBase*, AncestorRead> anc_reads_ AUTOPN_GUARDED_BY(merge_mutex_);
+  std::uint64_t next_stamp_ AUTOPN_GUARDED_BY(merge_mutex_) = 1;
 
   /// Per-tree child-concurrency gate (capacity c); owned by the root.
   std::unique_ptr<util::ResizableSemaphore> tree_gate_;

@@ -37,6 +37,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace autopn::util {
 
 /// What an armed failpoint does when its evaluation fires.
@@ -98,9 +100,9 @@ class Failpoint {
   std::atomic<bool> armed_{false};
   std::atomic<std::uint64_t> fires_{0};
   std::atomic<std::uint64_t> hits_{0};
-  std::mutex mutex_;              ///< guards spec_/remaining_ (armed path only)
-  FailpointSpec spec_;            ///< under mutex_
-  std::int64_t remaining_ = -1;   ///< fires left; under mutex_
+  std::mutex mutex_;  ///< guards spec_/remaining_ (armed path only)
+  FailpointSpec spec_ AUTOPN_GUARDED_BY(mutex_);
+  std::int64_t remaining_ AUTOPN_GUARDED_BY(mutex_) = -1;  ///< fires left
 };
 
 /// Process-wide failpoint directory: arming by name, env-var bootstrap, and
@@ -153,8 +155,8 @@ class FailpointRegistry {
   void unregister_site(Failpoint* site);
 
   mutable std::mutex mutex_;
-  std::map<std::string, Failpoint*> sites_;
-  std::map<std::string, FailpointSpec> pending_;
+  std::map<std::string, Failpoint*> sites_ AUTOPN_GUARDED_BY(mutex_);
+  std::map<std::string, FailpointSpec> pending_ AUTOPN_GUARDED_BY(mutex_);
 };
 
 /// Parses one spec's textual form ("error(p=0.5,n=3,d=2ms)") into a

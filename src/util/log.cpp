@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <iostream>
+#include <mutex>
 
 namespace autopn::util {
 

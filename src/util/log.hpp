@@ -2,9 +2,8 @@
 // Minimal leveled logger. Off by default so the STM hot path and benches are
 // silent; tests and examples can raise the level for diagnosis.
 
-#include <iostream>
-#include <mutex>
 #include <sstream>
+#include <string>
 #include <string_view>
 
 namespace autopn::util {

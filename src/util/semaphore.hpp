@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <mutex>
 
+#include "util/thread_annotations.hpp"
+
 namespace autopn::util {
 
 class ResizableSemaphore {
@@ -66,8 +68,8 @@ class ResizableSemaphore {
  private:
   mutable std::mutex mutex_;
   std::condition_variable cv_;
-  std::size_t capacity_;
-  std::size_t in_use_ = 0;
+  std::size_t capacity_ AUTOPN_GUARDED_BY(mutex_);
+  std::size_t in_use_ AUTOPN_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII permit holder (CP.20: never plain acquire/release).

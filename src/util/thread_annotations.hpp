@@ -1,0 +1,51 @@
+#pragma once
+// Thread-safety annotation macros — the vocabulary autopn-lint's guarded-by
+// rule checks (tools/lint/autopn_lint.py) and clang's -Wthread-safety
+// analysis verifies when a clang toolchain is available.
+//
+// Every class that owns a mutex annotates the fields that mutex protects:
+//
+//   std::mutex mutex_;
+//   std::deque<Request> queue_ AUTOPN_GUARDED_BY(mutex_);
+//
+// Under clang the macros expand to the thread-safety attributes, so
+// `clang++ -Wthread-safety` proves every access happens with the named
+// capability held. Under gcc (our default toolchain) they expand to nothing
+// — but autopn-lint still enforces, textually, that every mutable field of a
+// mutex-owning class either carries an annotation or appears in
+// tools/lint/allow_unguarded.txt with a justification. The discipline is
+// machine-checked either way; clang merely upgrades it to a proof.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AUTOPN_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AUTOPN_THREAD_ANNOTATION_(x)  // no-op outside clang
+#endif
+
+/// Field is protected by the given capability (mutex): every read or write
+/// must happen with `x` held.
+#define AUTOPN_GUARDED_BY(x) AUTOPN_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by `x` (the pointer itself may
+/// be read freely).
+#define AUTOPN_PT_GUARDED_BY(x) AUTOPN_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the capability to be held by the caller.
+#define AUTOPN_REQUIRES(...) \
+  AUTOPN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires / releases the capability.
+#define AUTOPN_ACQUIRE(...) \
+  AUTOPN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define AUTOPN_RELEASE(...) \
+  AUTOPN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function must be called *without* the capability held (it acquires it
+/// internally; calling with it held would deadlock).
+#define AUTOPN_EXCLUDES(...) \
+  AUTOPN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code clang's analysis cannot follow (lambda captures,
+/// two-phase locking). Prefer an allow_unguarded.txt entry for fields.
+#define AUTOPN_NO_THREAD_SAFETY_ANALYSIS \
+  AUTOPN_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/thread_annotations.hpp"
+
 namespace autopn::util {
 
 /// Counts outstanding tasks; wait() blocks until the count returns to zero.
@@ -53,7 +55,7 @@ class WaitGroup {
  private:
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::size_t pending_ = 0;
+  std::size_t pending_ AUTOPN_GUARDED_BY(mutex_) = 0;
 };
 
 /// Fixed worker pool over a FIFO queue. Tasks must not throw (wrap anything
@@ -91,8 +93,8 @@ class ThreadPool {
 
   std::mutex mutex_;
   std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
+  std::deque<std::function<void()>> queue_ AUTOPN_GUARDED_BY(mutex_);
+  bool stopping_ AUTOPN_GUARDED_BY(mutex_) = false;
   std::vector<std::jthread> threads_;
 };
 

@@ -1,0 +1,1019 @@
+#!/usr/bin/env python3
+"""autopn-lint — concurrency-invariant static analysis for the autopn tree.
+
+Enforces the project's hand-maintained concurrency discipline at build time
+(see docs/STATIC_ANALYSIS.md). Four rule families:
+
+  atomic-order      every std::atomic load/store/RMW spells an explicit
+                    std::memory_order; every memory_order_relaxed site is
+                    justified in allow_relaxed.txt.
+  guarded-by        every class that owns a mutex annotates its mutable
+                    fields with AUTOPN_GUARDED_BY(mu) (or justifies the
+                    exception in allow_unguarded.txt).
+  failpoint         every AUTOPN_FAILPOINT site is unique and registered in
+                    failpoints.txt; names referenced by chaos schedules and
+                    docs exist.
+  banned-pattern    no rand()/srand(), no naked new/delete, no
+                    std::this_thread::sleep_for in src/, no
+                    #include <iostream> in headers — unless justified in
+                    allow_banned.txt.
+  stale-allow       allowlist entries that no longer match any site fail the
+                    lint, so the justification files never rot.
+
+This is a textual analyzer, not a compiler: it resolves atomic-ness by
+harvesting every declaration whose type mentions std::atomic and matching
+receiver identifier chains against that set. That catches members declared
+in one file and used in another, but not atomics reached through getters or
+type aliases — clang-tidy and -Wthread-safety (scripts/static_analysis.sh)
+cover the gap when a clang toolchain is present. Diagnostics print the
+allowlist line that would accept the site, so justifying an intentional
+exception is copy-paste plus a reason.
+
+Exit status: 0 clean, 1 violations, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+ATOMIC_OPS = (
+    "load",
+    "store",
+    "exchange",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange_weak",
+    "compare_exchange_strong",
+    "test_and_set",
+    "clear",
+)
+
+# Types that make a field exempt from the guarded-by rule: they synchronize
+# themselves (or are the synchronization).
+SELF_SYNC_TYPE_TOKENS = (
+    "std::atomic",
+    "std::mutex",
+    "std::shared_mutex",
+    "std::recursive_mutex",
+    "std::timed_mutex",
+    "std::condition_variable",
+    "std::once_flag",
+    "std::stop_source",
+)
+
+MUTEX_TYPE_RE = re.compile(
+    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex)\b"
+)
+
+FAILPOINT_NAME_PREFIXES = ("stm.", "serve.", "net.", "runtime.")
+
+HEADER_SUFFIXES = (".hpp", ".h")
+SOURCE_SUFFIXES = (".hpp", ".h", ".cpp", ".cc")
+
+
+@dataclass(order=True)
+class Diagnostic:
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class AllowEntry:
+    rule: str
+    path: str
+    token: str
+    why: str
+    file: str
+    line: int
+    used: bool = False
+
+    def matches(self, path: str, text: str) -> bool:
+        if self.path != path:
+            return False
+        return self.token == "*" or self.token in text
+
+
+@dataclass
+class SourceFile:
+    path: str  # repo-relative, forward slashes
+    raw: str
+    code: str = ""  # comments AND string/char literals blanked
+    code_str: str = ""  # comments blanked, string literals kept
+    lines: list = field(default_factory=list)
+
+    def line_of(self, offset: int) -> int:
+        return self.raw.count("\n", 0, offset) + 1
+
+    def line_text(self, lineno: int) -> str:
+        return self.lines[lineno - 1] if 0 < lineno <= len(self.lines) else ""
+
+
+def blank_comments_and_strings(text: str):
+    """Returns (code, code_str): same length/newlines as `text`, with
+    comments blanked in both and string/char literals additionally blanked
+    in `code`. Raw strings are handled; escapes inside literals are honored.
+    """
+    code = list(text)
+    code_str = list(text)
+    i, n = 0, len(text)
+
+    def blank(buf, start, end):
+        for k in range(start, end):
+            if buf[k] != "\n":
+                buf[k] = " "
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            blank(code, i, j)
+            blank(code_str, i, j)
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            blank(code, i, j)
+            blank(code_str, i, j)
+            i = j
+        elif c == '"' and text[i - 3 : i] == 'R"(':  # simple raw string R"(...)"
+            j = text.find(')"', i + 1)
+            j = n if j < 0 else j + 2
+            blank(code, i + 1, j - 2 if j <= n else n)
+            i = j
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote:
+                    break
+                if text[j] == "\n":  # unterminated; bail at newline
+                    break
+                j += 1
+            blank(code, i + 1, min(j, n))
+            i = min(j, n) + 1
+        else:
+            i += 1
+    return "".join(code), "".join(code_str)
+
+
+def load_sources(root: str, rel_paths) -> list:
+    out = []
+    for rel in sorted(rel_paths):
+        full = os.path.join(root, rel)
+        try:
+            raw = open(full, encoding="utf-8", errors="replace").read()
+        except OSError as e:
+            print(f"autopn-lint: cannot read {full}: {e}", file=sys.stderr)
+            sys.exit(2)
+        sf = SourceFile(path=rel.replace(os.sep, "/"), raw=raw)
+        sf.code, sf.code_str = blank_comments_and_strings(raw)
+        sf.lines = raw.split("\n")
+        out.append(sf)
+    return out
+
+
+def collect_tree(root: str, subdirs, exclude_dirs) -> list:
+    rels = []
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, dirnames, filenames in os.walk(base):
+            rel_dir = os.path.relpath(dirpath, root).replace(os.sep, "/")
+            dirnames[:] = [
+                d
+                for d in dirnames
+                if f"{rel_dir}/{d}" not in exclude_dirs and d != "__pycache__"
+            ]
+            for fn in sorted(filenames):
+                if fn.endswith(SOURCE_SUFFIXES):
+                    rels.append(f"{rel_dir}/{fn}")
+    return rels
+
+
+# ---------------------------------------------------------------- allowlists
+
+
+def parse_allow_file(path: str, rule: str) -> list:
+    """Entries: `<path> <token> -- <justification>`; token `*` = whole file.
+    Lines starting with `#` and blank lines are ignored."""
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if " -- " not in line:
+            print(
+                f"{path}:{lineno}: malformed allowlist entry (missing ' -- '"
+                f" justification): {line}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        head, why = line.split(" -- ", 1)
+        parts = head.split(None, 1)
+        if len(parts) != 2 or not why.strip():
+            print(
+                f"{path}:{lineno}: malformed allowlist entry (want"
+                f" '<path> <token> -- <why>'): {line}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        entries.append(
+            AllowEntry(
+                rule=rule,
+                path=parts[0],
+                token=parts[1].strip(),
+                why=why.strip(),
+                file=path,
+                line=lineno,
+            )
+        )
+    return entries
+
+
+def allow_match(entries, path: str, text: str):
+    for e in entries:
+        if e.matches(path, text):
+            e.used = True
+            return e
+    return None
+
+
+# ------------------------------------------------------------- atomic-order
+
+ATOMIC_DECL_RE = re.compile(
+    r"\bstd::atomic(?:_flag|_bool|_int|_uint|_long|_size_t)?\b"
+    r"(?:<(?:[^<>;]|<(?:[^<>;]|<[^<>;]*>)*>)*>)?"  # template args, <=3 deep
+    r"[\s&*>]*?"
+    r"([A-Za-z_]\w*)\s*(?:[;,={()\[]|$)",
+    re.M,
+)
+ATOMIC_CONTAINER_DECL_RE = re.compile(
+    r"\bstd::(?:vector|array|deque)\s*<[^;()]*std::atomic[^;()]*>\s*"
+    r"([A-Za-z_]\w*)\s*[;={]"
+)
+
+# Tokens that look like a declaring type but are not (for shadow detection).
+NOT_A_TYPE = frozenset(
+    "return co_return co_yield throw case goto new delete typename template"
+    " using namespace operator sizeof alignof if while for switch else do"
+    " static_assert".split()
+)
+
+
+def build_include_closure(sources, subdirs):
+    """Maps each file to the set of scanned files it (transitively)
+    #includes, resolving quoted includes against the scan roots and the
+    including file's directory."""
+    by_path = {sf.path: sf for sf in sources}
+    direct = {}
+    inc_re = re.compile(r'#\s*include\s*"([^"]+)"')
+    for sf in sources:
+        incs = set()
+        for m in inc_re.finditer(sf.code_str):
+            target = m.group(1)
+            cands = [f"{sub}/{target}" for sub in subdirs]
+            cands.append(
+                os.path.normpath(
+                    os.path.join(os.path.dirname(sf.path), target)
+                ).replace(os.sep, "/")
+            )
+            for cand in cands:
+                if cand in by_path:
+                    incs.add(cand)
+                    break
+        direct[sf.path] = incs
+    closure = {}
+
+    def visit(path, seen):
+        if path in closure:
+            return closure[path]
+        seen.add(path)
+        out = set(direct[path])
+        for inc in direct[path]:
+            if inc not in seen:
+                out |= visit(inc, seen)
+        closure[path] = out
+        return out
+
+    for sf in sources:
+        visit(sf.path, set())
+    return closure
+
+
+def harvest_atomic_scopes(sources, subdirs):
+    """Per-file (atomic_names, shadowed_names): atomic declarations visible
+    through the file's include closure, and names from that same scope that
+    are *also* declared with a non-atomic type (so a textual match would be
+    ambiguous — those are skipped rather than mis-flagged)."""
+    closure = build_include_closure(sources, subdirs)
+    per_file_atomics = {}
+    all_atomics = set()
+    for sf in sources:
+        names = set()
+        for m in ATOMIC_DECL_RE.finditer(sf.code):
+            names.add(m.group(1))
+        for m in ATOMIC_CONTAINER_DECL_RE.finditer(sf.code):
+            names.add(m.group(1))
+        per_file_atomics[sf.path] = names
+        all_atomics |= names
+
+    # Shadows: the same name declared with a non-atomic type anywhere —
+    # trailing `;,=){[` marks variable/param declarations; a name followed by
+    # `(` is a function declaration, not a shadow.
+    per_file_shadows = {}
+    if all_atomics:
+        shadow_re = re.compile(
+            r"([A-Za-z_][\w:]*(?:<[^;<>]*>)?)[\s&*]+("
+            + "|".join(re.escape(n) for n in sorted(all_atomics))
+            + r")\s*[;,=){\[]"
+        )
+        # Thread-safety annotation macros sit between a declared name and its
+        # terminator (`std::thread t_ AUTOPN_GUARDED_BY(mu_);`) — blank them
+        # so the declaration still registers as a shadow.
+        annotation_re = re.compile(r"AUTOPN_[A-Z_]+\([^()]*\)")
+        for sf in sources:
+            shadows = set()
+            code = annotation_re.sub(lambda m: " " * len(m.group(0)), sf.code)
+            for m in shadow_re.finditer(code):
+                typ = m.group(1)
+                if "atomic" in typ or typ in NOT_A_TYPE:
+                    continue
+                shadows.add(m.group(2))
+            per_file_shadows[sf.path] = shadows
+
+    scopes = {}
+    for sf in sources:
+        incs = sorted(closure[sf.path])
+        closure_atomics, closure_shadows = set(), set()
+        for p in incs:
+            closure_atomics |= per_file_atomics.get(p, set())
+            closure_shadows |= per_file_shadows.get(p, set())
+        own_atomics = per_file_atomics[sf.path]
+        own_shadows = per_file_shadows.get(sf.path, set())
+        # Most-local binding wins: a name declared atomic in this very file is
+        # atomic here even if some included header shadows it; a name only
+        # atomic through the closure is skipped when any visible declaration
+        # makes it ambiguous.
+        atomics = own_atomics | closure_atomics
+        usable = (own_atomics - own_shadows) | (
+            closure_atomics - closure_shadows - own_shadows
+        )
+        scopes[sf.path] = (atomics, atomics - usable)
+    return scopes
+
+
+def extract_call_args(code: str, open_paren: int) -> str:
+    depth, i = 0, open_paren
+    while i < len(code):
+        ch = code[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth == 0:
+                return code[open_paren + 1 : i]
+        i += 1
+    return code[open_paren + 1 :]
+
+
+def receiver_chain(code: str, end: int) -> list:
+    """Identifier chain left of position `end` (exclusive), e.g. for
+    `foo.bar[i].baz.load(` with end at the final `.` returns
+    ['foo', 'bar', 'baz']."""
+    chain = []
+    i = end
+    while i > 0:
+        # skip whitespace
+        while i > 0 and code[i - 1].isspace():
+            i -= 1
+        if i > 0 and code[i - 1] == "]":  # skip [...] subscript
+            depth = 0
+            while i > 0:
+                i -= 1
+                if code[i] == "]":
+                    depth += 1
+                elif code[i] == "[":
+                    depth -= 1
+                    if depth == 0:
+                        break
+            continue
+        j = i
+        while j > 0 and (code[j - 1].isalnum() or code[j - 1] == "_"):
+            j -= 1
+        if j == i:
+            break
+        chain.append(code[j:i])
+        i = j
+        while i > 0 and code[i - 1].isspace():
+            i -= 1
+        if i >= 2 and code[i - 2 : i] == "->":
+            i -= 2
+        elif i >= 1 and code[i - 1] == ".":
+            i -= 1
+        else:
+            break
+    chain.reverse()
+    return chain
+
+
+def check_atomic_order(sources, scopes, allow_relaxed, diags):
+    op_re = re.compile(
+        r"(?:\.|->)\s*(" + "|".join(ATOMIC_OPS) + r")\s*\("
+    )
+    for sf in sources:
+        code = sf.code
+        atomic_names, shadowed = scopes[sf.path]
+        usable = atomic_names - shadowed
+        for m in op_re.finditer(code):
+            chain = receiver_chain(code, m.start())
+            if not chain or not any(x in usable for x in chain):
+                continue
+            recv = chain[-1]
+            op = m.group(1)
+            args = extract_call_args(code, m.end() - 1)
+            lineno = sf.line_of(m.start())
+            site = f"{recv}.{op}"
+            if "memory_order" not in args:
+                diags.append(
+                    Diagnostic(
+                        sf.path,
+                        lineno,
+                        "atomic-order",
+                        f"`{site}(...)` without an explicit std::memory_order"
+                        " (implicit seq_cst). Spell the order — seq_cst"
+                        " included — so the choice is visibly deliberate.",
+                    )
+                )
+            elif "memory_order_relaxed" in args:
+                if not allow_match(allow_relaxed, sf.path, recv):
+                    diags.append(
+                        Diagnostic(
+                            sf.path,
+                            lineno,
+                            "atomic-order",
+                            f"memory_order_relaxed on `{site}` is not"
+                            " justified in allow_relaxed.txt. Add:"
+                            f" `{sf.path} {recv} -- <why relaxed is enough>`",
+                        )
+                    )
+        # Operator forms on known atomics (implicit seq_cst): ++x, x++, x += n,
+        # x = v. Skip `obj.x`/`obj->x` unless via this->, and skip declaration
+        # lines (type precedes the name).
+        for name in usable:
+            for m in re.finditer(
+                rf"(?<![\w.>]){re.escape(name)}\s*(\+\+|--|[-+|&^]=|=(?![=]))",
+                code,
+            ):
+                before = code[: m.start()]
+                # declaration? an identifier/'>'/'&'/'*' directly before name
+                prev = before.rstrip()
+                if prev and (prev[-1].isalnum() or prev[-1] in ">&*_"):
+                    continue
+                if prev.endswith("->") or prev.endswith("."):
+                    continue
+                lineno = sf.line_of(m.start())
+                op = m.group(1)
+                diags.append(
+                    Diagnostic(
+                        sf.path,
+                        lineno,
+                        "atomic-order",
+                        f"operator `{op}` on atomic `{name}` is an implicit"
+                        " seq_cst access; use .load/.store/.fetch_* with an"
+                        " explicit std::memory_order.",
+                    )
+                )
+            for m in re.finditer(
+                rf"(\+\+|--)\s*{re.escape(name)}(?![\w])", code
+            ):
+                prev = code[: m.start()].rstrip()
+                if prev.endswith("->") or prev.endswith("."):
+                    continue
+                diags.append(
+                    Diagnostic(
+                        sf.path,
+                        sf.line_of(m.start()),
+                        "atomic-order",
+                        f"operator `{m.group(1)}` on atomic `{name}` is an"
+                        " implicit seq_cst RMW; use .fetch_add/.fetch_sub with"
+                        " an explicit std::memory_order.",
+                    )
+                )
+
+
+# --------------------------------------------------------------- guarded-by
+
+
+@dataclass
+class Member:
+    name: str
+    decl: str
+    line: int
+    annotated: bool
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    path: str
+    line: int
+    mutexes: list = field(default_factory=list)
+    members: list = field(default_factory=list)
+    self_sync: bool = False  # owns atomic/mutex/ShardedCounter → internally
+
+
+def split_statements(body: str):
+    """Top-level statements of a class body: yields (offset, text), skipping
+    nested brace blocks (function bodies, nested classes — which are returned
+    whole for recursion)."""
+    stmts = []
+    depth_brace = depth_paren = 0
+    start = 0
+    i = 0
+    n = len(body)
+    while i < n:
+        c = body[i]
+        if c == "{":
+            depth_brace += 1
+        elif c == "}":
+            depth_brace -= 1
+            # `};` or `}` ends a nested block; treat block end as a statement
+            if depth_brace == 0:
+                stmts.append((start, body[start : i + 1]))
+                start = i + 1
+        elif c == "(":
+            depth_paren += 1
+        elif c == ")":
+            depth_paren -= 1
+        elif c == ";" and depth_brace == 0 and depth_paren == 0:
+            stmts.append((start, body[start:i]))
+            start = i + 1
+        i += 1
+    if start < n:
+        stmts.append((start, body[start:]))
+    return stmts
+
+
+CLASS_RE = re.compile(r"\b(class|struct)\s+([A-Za-z_]\w*)\s*(?:final\s*)?(?::[^;{]*)?\{")
+
+
+def find_classes(sf: SourceFile):
+    """All class/struct definitions (including nested) with their body
+    offsets in sf.code."""
+    out = []
+    code = sf.code
+    for m in CLASS_RE.finditer(code):
+        # Skip `enum class`
+        pre = code[max(0, m.start() - 8) : m.start()]
+        if re.search(r"\benum\s*$", pre):
+            continue
+        depth = 0
+        i = m.end() - 1
+        while i < len(code):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        out.append((m.group(2), m.end(), code[m.end() : i], m.start()))
+    return out
+
+
+STMT_SKIP_RE = re.compile(
+    r"^\s*(public|private|protected)\s*:?$|^\s*(using|typedef|friend|template"
+    r"|static_assert|enum|class|struct|union|explicit|virtual|operator"
+    r"|AUTOPN_)",
+)
+
+
+def member_of_statement(stmt: str):
+    """Returns (name, decl, annotated) for a data-member statement, else
+    None for functions / specifiers / nested types."""
+    s = stmt.strip()
+    if not s or s.startswith("}"):
+        return None
+    # Drop leading access specifiers glued to a decl ("public:\n  int x")
+    s = re.sub(r"^(?:(?:public|private|protected)\s*:\s*)+", "", s).strip()
+    if not s:
+        return None
+    if STMT_SKIP_RE.match(s):
+        return None
+    if s.endswith("}") and "{" in s:
+        # brace block: function body or nested type — nested types are
+        # analyzed separately by find_classes
+        return None
+    annotated = "AUTOPN_GUARDED_BY" in s or "AUTOPN_PT_GUARDED_BY" in s
+    core = re.sub(r"AUTOPN(?:_PT)?_GUARDED_BY\s*\([^)]*\)", " ", s)
+    # strip default initializer
+    core = re.split(r"=", core, 1)[0]
+    core = re.split(r"\{", core, 1)[0].strip()
+    if not core:
+        return None
+    # strip template args so std::function<void()> isn't mistaken for a fn
+    flat = core
+    for _ in range(6):
+        new = re.sub(r"<[^<>]*>", "", flat)
+        if new == flat:
+            break
+        flat = new
+    if "(" in flat:  # function declaration
+        return None
+    # bitfield `int x : 3` (single colon only — `::` is a scope qualifier)
+    flat = re.split(r"(?<!:):(?!:)", flat, 1)[0].strip()
+    m = re.search(r"([A-Za-z_]\w*)\s*(?:\[[^\]]*\]\s*)*$", flat)
+    if not m:
+        return None
+    name = m.group(1)
+    tokens = flat.split()
+    if len(tokens) < 2 and "*" not in flat and "&" not in flat:
+        return None  # lone identifier — not a declaration we understand
+    return name, s, annotated
+
+
+def analyze_classes(sources):
+    classes = []
+    for sf in sources:
+        for cname, body_off, body, decl_off in find_classes(sf):
+            info = ClassInfo(
+                name=cname, path=sf.path, line=sf.line_of(decl_off)
+            )
+            for off, stmt in split_statements(body):
+                parsed = member_of_statement(stmt)
+                if not parsed:
+                    continue
+                name, decl, annotated = parsed
+                lineno = sf.line_of(body_off + off + len(stmt) - len(stmt.lstrip()))
+                if MUTEX_TYPE_RE.search(decl):
+                    info.mutexes.append(name)
+                info.members.append(Member(name, decl, lineno, annotated))
+            if any(
+                any(tok in mem.decl for tok in SELF_SYNC_TYPE_TOKENS)
+                for mem in info.members
+            ) or "ShardedCounter" in body:
+                info.self_sync = True
+            classes.append(info)
+    return classes
+
+
+def check_guarded_by(sources, allow_unguarded, diags):
+    classes = analyze_classes(sources)
+    # Project types that synchronize themselves: own a mutex or an atomic.
+    sync_types = {c.name for c in classes if c.mutexes or c.self_sync}
+    for info in classes:
+        if not info.mutexes:
+            continue
+        for mem in info.members:
+            d = mem.decl
+            if mem.name in info.mutexes or mem.annotated:
+                continue
+            if any(tok in d for tok in SELF_SYNC_TYPE_TOKENS):
+                continue
+            if re.match(r"^\s*(static\b|constexpr\b|static\s+constexpr\b)", d):
+                continue
+            if re.match(r"^\s*(const\b|mutable\s+const\b)", d):
+                continue
+            # member whose type is a project-internal synchronized class
+            type_part = d[: d.rfind(mem.name)]
+            type_ids = set(re.findall(r"[A-Za-z_]\w*", type_part))
+            if type_ids & sync_types and "vector" not in type_ids and (
+                "unique_ptr" not in type_ids
+            ):
+                continue
+            key = f"{info.name}::{mem.name}"
+            if allow_match(allow_unguarded, info.path, key):
+                continue
+            diags.append(
+                Diagnostic(
+                    info.path,
+                    mem.line,
+                    "guarded-by",
+                    f"`{info.name}` owns a mutex"
+                    f" ({', '.join(info.mutexes)}) but field `{mem.name}` is"
+                    " neither AUTOPN_GUARDED_BY(...) nor justified in"
+                    " allow_unguarded.txt. Annotate it, or add:"
+                    f" `{info.path} {key} -- <why it needs no lock>`",
+                )
+            )
+
+
+# ---------------------------------------------------------------- failpoint
+
+
+def parse_failpoint_registry(path: str):
+    names = {}
+    if not os.path.exists(path):
+        return names
+    for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name = line.split()[0]
+        names[name] = lineno
+    return names
+
+
+def check_failpoints(sources, registry_path, diags):
+    registry = parse_failpoint_registry(registry_path)
+    sites = {}
+    site_re = re.compile(r"AUTOPN_FAILPOINT\s*\(\s*\"([^\"]+)\"")
+    for sf in sources:
+        if sf.path.endswith("util/failpoint.hpp"):
+            continue  # the macro's own definition/doc examples
+        for m in site_re.finditer(sf.code_str):
+            name = m.group(1)
+            lineno = sf.line_of(m.start())
+            if name in sites:
+                diags.append(
+                    Diagnostic(
+                        sf.path,
+                        lineno,
+                        "failpoint",
+                        f"duplicate failpoint name \"{name}\" (first declared"
+                        f" at {sites[name]}). Site names must be unique.",
+                    )
+                )
+                continue
+            sites[name] = f"{sf.path}:{lineno}"
+            if name not in registry:
+                diags.append(
+                    Diagnostic(
+                        sf.path,
+                        lineno,
+                        "failpoint",
+                        f"failpoint \"{name}\" is not registered in"
+                        f" {os.path.basename(registry_path)}; add a line:"
+                        f" `{name} -- <what it injects>`",
+                    )
+                )
+    for name, lineno in registry.items():
+        if name not in sites:
+            diags.append(
+                Diagnostic(
+                    registry_path.replace(os.sep, "/"),
+                    lineno,
+                    "failpoint",
+                    f"registered failpoint \"{name}\" has no"
+                    " AUTOPN_FAILPOINT site in the tree (stale entry).",
+                )
+            )
+    return sites
+
+
+def check_failpoint_references(root, sources, registry_path, doc_rels, diags):
+    registry = set(parse_failpoint_registry(registry_path))
+    name_re = re.compile(
+        r"\b((?:" + "|".join(p[:-1] for p in FAILPOINT_NAME_PREFIXES) + r")"
+        r"(?:\.[a-z_][a-z0-9_]*)+)\b"
+    )
+    # chaos schedules and any other code that names failpoints in strings
+    for sf in sources:
+        if sf.path.endswith("util/failpoint.hpp"):
+            continue
+        for m in re.finditer(r"\"([^\"\n]*)\"", sf.code_str):
+            literal = m.group(1)
+            if "/" in literal:  # include paths, file names
+                continue
+            for ref in name_re.findall(literal):
+                if re.search(r"\.(hpp|h|cpp|cc|md|txt|json)$", ref):
+                    continue
+                if ref not in registry:
+                    diags.append(
+                        Diagnostic(
+                            sf.path,
+                            sf.line_of(m.start()),
+                            "failpoint",
+                            f"string references failpoint \"{ref}\" which is"
+                            " not in the registry — stale name or typo.",
+                        )
+                    )
+    # docs: only `backtick`-quoted names are treated as references
+    for rel in doc_rels:
+        full = os.path.join(root, rel)
+        if not os.path.exists(full):
+            continue
+        text = open(full, encoding="utf-8", errors="replace").read()
+        for m in re.finditer(r"`([^`\n]+)`", text):
+            for ref in name_re.findall(m.group(1)):
+                if "(" in m.group(1) or "=" in m.group(1):
+                    continue  # spec-grammar examples, code snippets
+                if "/" in m.group(1) or re.search(
+                    r"\.(hpp|h|cpp|cc|md|txt|json)$", ref
+                ):
+                    continue  # file paths like `src/stm/stm.cpp`
+                if ref not in registry:
+                    lineno = text.count("\n", 0, m.start()) + 1
+                    diags.append(
+                        Diagnostic(
+                            rel,
+                            lineno,
+                            "failpoint",
+                            f"doc references failpoint `{ref}` which is not"
+                            " in the registry — stale name or typo.",
+                        )
+                    )
+
+
+# ----------------------------------------------------------- banned-pattern
+
+
+def check_banned(sources, allow_banned, diags):
+    for sf in sources:
+        code = sf.code
+        in_src = sf.path.startswith("src/")
+        is_header = sf.path.endswith(HEADER_SUFFIXES)
+
+        def flag(offset, what, detail):
+            lineno = sf.line_of(offset)
+            line_text = sf.line_text(lineno)
+            if allow_match(allow_banned, sf.path, line_text):
+                return
+            # also accept a token that names the rule for whole-file allows
+            if allow_match(allow_banned, sf.path, what):
+                return
+            diags.append(
+                Diagnostic(
+                    sf.path,
+                    lineno,
+                    "banned-pattern",
+                    f"{detail} Allow with: `{sf.path} <token-on-line> --"
+                    " <why>` in allow_banned.txt.",
+                )
+            )
+
+        for m in re.finditer(r"(?<![\w:.])s?rand\s*\(", code):
+            flag(
+                m.start(),
+                "rand",
+                "rand()/srand() is banned — it is racy, low-quality, and"
+                " unseedable per-thread; use util::Rng.",
+            )
+        for m in re.finditer(r"(?<![\w_])new\b(?!\s*\()", code):
+            # skip `= new`? no — naked new is naked new; placement new has '('
+            flag(
+                m.start(),
+                "new",
+                "naked `new` — prefer std::make_unique/containers; lock-free"
+                " code that must manage raw bodies is allowlisted per file.",
+            )
+        for m in re.finditer(r"(?<![\w_=])delete\b(?!\s*[;(]?\s*\[?\]?\s*=)", code):
+            # `= delete` (deleted functions) has '=' before; regex lookbehind
+            # can't span spaces, so re-check the prefix.
+            prefix = code[: m.start()].rstrip()
+            if prefix.endswith("="):
+                continue
+            flag(
+                m.start(),
+                "delete",
+                "naked `delete` — prefer RAII ownership; lock-free"
+                " reclamation paths are allowlisted per file.",
+            )
+        if in_src:
+            for m in re.finditer(r"std::this_thread::sleep_for", code):
+                flag(
+                    m.start(),
+                    "sleep_for",
+                    "std::this_thread::sleep_for in src/ — sleeping on a hot"
+                    " or shutdown path hides latency bugs; use condition"
+                    " variables or clock abstractions, or justify the wait.",
+                )
+        if is_header:
+            for m in re.finditer(r"#\s*include\s*<iostream>", sf.code_str):
+                flag(
+                    m.start(),
+                    "iostream",
+                    "#include <iostream> in a header injects the static"
+                    " ios_base init into every TU; include <ostream>/<sstream>"
+                    " or move the I/O into a .cpp.",
+                )
+
+
+# ----------------------------------------------------------------- driver
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--root",
+        default=os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        ),
+        help="repository root (default: two levels above this script)",
+    )
+    ap.add_argument(
+        "--allow-dir",
+        default=None,
+        help="directory holding allow_*.txt and failpoints.txt"
+        " (default: <root>/tools/lint)",
+    )
+    ap.add_argument(
+        "--subdirs",
+        nargs="*",
+        default=["src", "bench", "tools"],
+        help="tree roots (relative to --root) to scan",
+    )
+    ap.add_argument(
+        "--docs",
+        nargs="*",
+        default=["DESIGN.md", "README.md", "docs"],
+        help="docs (files or dirs, relative to --root) scanned for failpoint"
+        " references",
+    )
+    ap.add_argument(
+        "--no-stale-allow",
+        action="store_true",
+        help="do not fail on unused allowlist entries",
+    )
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    allow_dir = args.allow_dir or os.path.join(root, "tools", "lint")
+    exclude = {"tools/lint/testdata", "tools/lint/__pycache__"}
+
+    rels = collect_tree(root, args.subdirs, exclude)
+    if not rels:
+        print(f"autopn-lint: no sources found under {root}", file=sys.stderr)
+        return 2
+    sources = load_sources(root, rels)
+
+    allow_relaxed = parse_allow_file(
+        os.path.join(allow_dir, "allow_relaxed.txt"), "atomic-order"
+    )
+    allow_unguarded = parse_allow_file(
+        os.path.join(allow_dir, "allow_unguarded.txt"), "guarded-by"
+    )
+    allow_banned = parse_allow_file(
+        os.path.join(allow_dir, "allow_banned.txt"), "banned-pattern"
+    )
+    registry_path = os.path.join(allow_dir, "failpoints.txt")
+
+    diags = []
+    scopes = harvest_atomic_scopes(sources, args.subdirs)
+    check_atomic_order(sources, scopes, allow_relaxed, diags)
+    check_guarded_by(sources, allow_unguarded, diags)
+    check_failpoints(sources, registry_path, diags)
+
+    doc_rels = []
+    for d in args.docs:
+        full = os.path.join(root, d)
+        if os.path.isdir(full):
+            for fn in sorted(os.listdir(full)):
+                if fn.endswith(".md"):
+                    doc_rels.append(f"{d}/{fn}")
+        elif os.path.exists(full):
+            doc_rels.append(d)
+    check_failpoint_references(root, sources, registry_path, doc_rels, diags)
+
+    check_banned(sources, allow_banned, diags)
+
+    if not args.no_stale_allow:
+        for e in allow_relaxed + allow_unguarded + allow_banned:
+            if not e.used:
+                diags.append(
+                    Diagnostic(
+                        e.file.replace(os.sep, "/"),
+                        e.line,
+                        "stale-allow",
+                        f"allowlist entry `{e.path} {e.token}` matches no"
+                        " site — remove it or fix the path/token.",
+                    )
+                )
+
+    diags.sort()
+    for d in diags:
+        print(d.render())
+    n_files = len(sources)
+    if diags:
+        print(
+            f"autopn-lint: {len(diags)} violation(s) across {n_files} files",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"autopn-lint: OK ({n_files} files clean)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

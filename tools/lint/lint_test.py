@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Fixture tests for autopn-lint (registered in ctest as lint_fixture_test).
+
+Three assertions:
+  1. The seeded-violation tree produces exactly the golden diagnostics in
+     testdata/expected.txt (exit 1), and every rule family fires at least
+     once — atomic-order, guarded-by, failpoint, banned-pattern, stale-allow.
+  2. The clean tree passes (exit 0).
+  3. A malformed allowlist entry is a usage error (exit 2), not a silent skip.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "autopn_lint.py")
+
+RULES = ("atomic-order", "guarded-by", "failpoint", "banned-pattern",
+         "stale-allow")
+
+
+def run_lint(*args):
+    # cwd=HERE with relative paths keeps diagnostic paths (and therefore the
+    # golden file) machine-independent.
+    return subprocess.run(
+        [sys.executable, LINT, *args],
+        capture_output=True,
+        text=True,
+        cwd=HERE,
+    )
+
+
+def fail(msg: str):
+    print(f"lint_test: FAIL — {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    proc = run_lint(
+        "--root", "testdata/violations",
+        "--allow-dir", "testdata/violations/allow",
+        "--subdirs", "src",
+        "--docs", "DOC.md",
+    )
+    if proc.returncode != 1:
+        fail(f"violations tree: expected exit 1, got {proc.returncode}\n"
+             f"{proc.stdout}{proc.stderr}")
+    with open(os.path.join(HERE, "testdata", "expected.txt"),
+              encoding="utf-8") as f:
+        golden = f.read()
+    if proc.stdout != golden:
+        fail("violations tree: diagnostics differ from testdata/expected.txt\n"
+             f"--- got ---\n{proc.stdout}--- want ---\n{golden}")
+    for rule in RULES:
+        if f"[{rule}]" not in proc.stdout:
+            fail(f"rule `{rule}` did not fire on the seeded fixture")
+
+    proc = run_lint(
+        "--root", "testdata/clean",
+        "--allow-dir", "testdata/clean/allow",
+        "--subdirs", "src",
+        "--docs",
+    )
+    if proc.returncode != 0:
+        fail(f"clean tree: expected exit 0, got {proc.returncode}\n"
+             f"{proc.stdout}{proc.stderr}")
+
+    proc = run_lint(
+        "--root", "testdata/clean",
+        "--allow-dir", "testdata/malformed",
+        "--subdirs", "src",
+        "--docs",
+    )
+    if proc.returncode != 2:
+        fail(f"malformed allowlist: expected exit 2, got {proc.returncode}\n"
+             f"{proc.stdout}{proc.stderr}")
+
+    print("lint_test: OK (golden diagnostics, clean tree, malformed allow)")
+
+
+if __name__ == "__main__":
+    main()

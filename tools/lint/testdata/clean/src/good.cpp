@@ -1,0 +1,24 @@
+// Clean fixture: explicit orders, justified relaxed, annotated guarded
+// field, registered failpoint. autopn-lint must exit 0 on this tree.
+#include <atomic>
+#include <mutex>
+
+#define AUTOPN_FAILPOINT(name) (void)(name)
+#define AUTOPN_GUARDED_BY(x)
+
+std::atomic<int> counter{0};
+
+void all_clean() {
+  counter.fetch_add(1, std::memory_order_relaxed);
+  counter.store(0, std::memory_order_release);
+  AUTOPN_FAILPOINT("stm.fixture.ok");
+}
+
+class Tidy {
+ public:
+  void bump();
+
+ private:
+  std::mutex mutex_;
+  int value_ AUTOPN_GUARDED_BY(mutex_) = 0;
+};

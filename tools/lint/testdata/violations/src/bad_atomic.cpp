@@ -1,0 +1,13 @@
+// Seeded atomic-order violations: implicit seq_cst calls, an operator-form
+// access, and an unjustified relaxed site.
+#include <atomic>
+
+std::atomic<int> hits{0};
+std::atomic<bool> done{false};
+
+void seeded_atomic_violations() {
+  hits.fetch_add(1);                           // implicit seq_cst
+  done.store(true);                            // implicit seq_cst
+  (void)hits.load(std::memory_order_relaxed);  // relaxed, not allowlisted
+  ++hits;                                      // operator form, implicit
+}

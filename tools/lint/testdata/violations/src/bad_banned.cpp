@@ -1,0 +1,12 @@
+// Seeded banned-pattern violations: rand(), naked new/delete, sleep_for
+// under src/.
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+void seeded_banned_violations() {
+  int r = rand();
+  int* p = new int{r};
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  delete p;
+}

@@ -1,0 +1,11 @@
+// Seeded failpoint violations: an unregistered site, a duplicate name, and a
+// string reference to a name missing from the registry.
+#define AUTOPN_FAILPOINT(name) (void)(name)
+
+void seeded_failpoint_violations() {
+  AUTOPN_FAILPOINT("stm.unregistered.site");
+  AUTOPN_FAILPOINT("stm.dup.site");
+  AUTOPN_FAILPOINT("stm.dup.site");
+  const char* schedule = "net.phantom";
+  (void)schedule;
+}

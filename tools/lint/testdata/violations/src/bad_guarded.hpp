@@ -1,0 +1,16 @@
+// Seeded guarded-by violations: a mutex-owning class with unannotated
+// mutable fields.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+class Leaky {
+ public:
+  void add(int v);
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> values_;
+  int total_ = 0;
+};

@@ -1,0 +1,6 @@
+// Seeded banned-pattern violation: <iostream> in a header.
+#pragma once
+
+#include <iostream>
+
+inline void hello() { std::cout << "hi\n"; }
