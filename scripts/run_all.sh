@@ -29,6 +29,7 @@ cmake --build build-tsan --target \
   stm_basic_test stm_nesting_test stm_concurrency_test stm_containers_test \
   stm_property_test stm_commit_strategy_test stm_snapshot_registry_test \
   stm_commit_manager_test stm_stats_test \
+  stm_semantic_test stm_linearizability_test \
   serve_queue_test serve_engine_test serve_e2e_test \
   util_concurrency_test runtime_controller_test \
   util_failpoint_test chaos_stm_test chaos_serve_test chaos_runtime_test \
@@ -44,11 +45,16 @@ done
 
 # The net tests exercise real sockets and cross-thread completion posting:
 # run them under ASan+UBSan combined as well (the TSan pass above already
-# covers them for races).
+# covers them for races). The semantic-container checkers join this pass
+# because commit-time delta install and predicate revalidation shuffle
+# shared_ptr ownership across threads — exactly ASan territory.
 cmake --preset asan-ubsan
 cmake --build build-asan-ubsan --target \
-  net_wire_test net_loop_test net_server_test net_chaos_test
-for t in build-asan-ubsan/tests/net_*_test; do
+  net_wire_test net_loop_test net_server_test net_chaos_test \
+  stm_semantic_test stm_linearizability_test
+for t in build-asan-ubsan/tests/net_*_test \
+         build-asan-ubsan/tests/stm_semantic_test \
+         build-asan-ubsan/tests/stm_linearizability_test; do
   echo "== asan-ubsan: $(basename "$t") =="
   "$t"
 done
@@ -67,6 +73,13 @@ echo "== asan-ubsan: chaos_soak --net =="
 build-asan-ubsan/bench/chaos_soak --net --seconds 3 --seed 3
 echo "== tsan: chaos_soak --net =="
 build-tsan/bench/chaos_soak --net --seconds 3 --seed 4
+
+# Container-policy smoke: the semantic-vs-box sweep at reduced size, under
+# ASan+UBSan so the delta/predicate fast paths get sanitizer coverage on
+# every run (the full-size sweep runs unsanitized in the results loop below).
+cmake --build build-asan-ubsan --target container_sweep
+echo "== asan-ubsan: container_sweep --smoke =="
+build-asan-ubsan/bench/container_sweep --smoke
 
 # Loopback smoke: a real two-process serve/netload run over TCP. The server
 # exits nonzero if the wire response ledger is inexact or the workload's

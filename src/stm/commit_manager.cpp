@@ -12,6 +12,30 @@ void CommitManager::validate_or_throw(const CommitRequest& req) const {
       throw ConflictError{ConflictKind::kTopLevelValidation};
     }
   }
+  // Predicates re-evaluate against the newest *committed* value rather than
+  // comparing versions: the box may have moved past the snapshot, but only a
+  // change that flips the guarded fact (the key's entry version, a cursor
+  // bound) aborts. This is where disjoint-key updates to one bucket stop
+  // costing false aborts.
+  for (const auto& pred : req.predicates) {
+    const Body* newest = pred->box()->newest();
+    if (newest == nullptr || !pred->holds(newest->value.get())) {
+      profiler_->note(pred->box(), pred->profile_key());
+      throw ConflictError{ConflictKind::kPredicate};
+    }
+  }
+}
+
+std::shared_ptr<const void> CommitManager::materialize(const CommitWrite& write,
+                                                       std::uint64_t version) {
+  if (write.delta == nullptr) return write.value;
+  // Chaos hook (delay-only): stall between reading the install base and
+  // producing the new value, widening the helper-race window in the
+  // lock-free protocol and the hold time of the global commit lock.
+  AUTOPN_FAILPOINT("stm.map.install");
+  const Body* newest = write.box->newest();
+  return write.delta->apply(newest != nullptr ? newest->value.get() : nullptr,
+                            version);
 }
 
 void GlobalLockCommitManager::commit(CommitRequest& req) {
@@ -19,8 +43,8 @@ void GlobalLockCommitManager::commit(CommitRequest& req) {
   validate_or_throw(req);
   const std::uint64_t version = clock_->load(std::memory_order_relaxed) + 1;
   const std::uint64_t min_active = snapshots_->min_active();
-  for (auto& [box, value] : req.writes) {
-    box->install(std::move(value), version, min_active);
+  for (auto& write : req.writes) {
+    write.box->install(materialize(write, version), version, min_active);
   }
   // seq_cst publish so the snapshot registry's publish-and-validate handshake
   // (snapshot_registry.hpp) totally orders this against registrations.
@@ -39,8 +63,19 @@ LockFreeCommitManager::LockFreeCommitManager(std::atomic<std::uint64_t>& clock,
 void LockFreeCommitManager::help_commit(CommitRecord& record) {
   if (!record.done.load(std::memory_order_acquire)) {
     const std::uint64_t min_active = snapshots_->min_active();
-    for (const auto& [box, value] : record.writes) {
-      (void)box->install_cas(value, record.version, min_active);
+    for (const auto& write : record.writes) {
+      // Delta bases are stable here: the helping invariant says record v-1
+      // finished writeback before record v was chained, and no later record
+      // installs until v is done — so between those points the box's newest
+      // committed body is fixed, every racing helper materializes the same
+      // value, and install_cas rejects any helper that observed a later
+      // body (its version check fails).
+      if (write.delta != nullptr &&
+          write.box->newest_version() >= record.version) {
+        continue;  // another helper already installed this write
+      }
+      (void)write.box->install_cas(materialize(write, record.version),
+                                   record.version, min_active);
     }
     record.done.store(true, std::memory_order_release);
   }

@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "stm/predicate.hpp"
 #include "stm/snapshot_registry.hpp"
 #include "stm/stats.hpp"
 #include "stm/vbox.hpp"
@@ -44,15 +45,34 @@ enum class CommitStrategy {
   kLockFree,
 };
 
-/// One top-level commit, materialized from the transaction's read/write sets.
+/// One write to install: either a full value (box-granularity overwrite) or
+/// a datatype op log applied to the newest committed value inside the commit
+/// serialization — commit-time delta install, the reason two disjoint-key
+/// transactions can both commit into one bucket without either clobbering
+/// the other's entries.
+struct CommitWrite {
+  VBoxBase* box = nullptr;
+  std::shared_ptr<const void> value;        ///< full overwrite (delta null)
+  std::shared_ptr<const DeltaBase> delta;   ///< op log (value null)
+};
+
+/// One top-level commit, materialized from the transaction's read/write/
+/// predicate sets.
 struct CommitRequest {
   /// The root snapshot the transaction read from.
   std::uint64_t snapshot = 0;
-  /// Boxes read from the global version chain; the commit is valid only while
-  /// each still has newest_version() <= snapshot at serialization time.
+  /// Boxes read exactly from the global version chain; the commit is valid
+  /// only while each still has newest_version() <= snapshot at serialization
+  /// time.
   std::vector<const VBoxBase*> read_boxes;
-  /// New values to install, one entry per written box.
-  std::vector<std::pair<VBoxBase*, std::shared_ptr<const void>>> writes;
+  /// Semantic predicates anchored on committed state; each must still
+  /// holds() over its box's newest committed value at serialization time.
+  /// Unlike read_boxes this tolerates the box having moved on — only changes
+  /// that flip the predicate (the guarded key, the guarded cursor bound)
+  /// abort.
+  std::vector<std::shared_ptr<const PredicateBase>> predicates;
+  /// New values / op logs to install, one entry per written box.
+  std::vector<CommitWrite> writes;
 };
 
 class CommitManager {
@@ -62,11 +82,14 @@ class CommitManager {
   CommitManager(const CommitManager&) = delete;
   CommitManager& operator=(const CommitManager&) = delete;
 
-  /// Serializes one top-level commit: validates `req.read_boxes` and installs
-  /// `req.writes` at a fresh version, publishing it to the clock. Throws
-  /// ConflictError{kTopLevelValidation} when a read is stale (the failing box
-  /// is reported to the contention profiler first). `req.writes` may be
-  /// consumed even on failure; the caller rebuilds it on retry.
+  /// Serializes one top-level commit: validates `req.read_boxes` and
+  /// `req.predicates`, then installs `req.writes` at a fresh version,
+  /// publishing it to the clock. Throws ConflictError{kTopLevelValidation}
+  /// when an exact read is stale and ConflictError{kPredicate} when a
+  /// predicate no longer holds (the failing box — with the predicate's
+  /// sub-key, where it has one — is reported to the contention profiler
+  /// first). `req.writes` may be consumed even on failure; the caller
+  /// rebuilds it on retry.
   virtual void commit(CommitRequest& req) = 0;
 
   /// Protocol name for diagnostics and bench labels.
@@ -83,8 +106,15 @@ class CommitManager {
       : clock_(&clock), snapshots_(&snapshots), profiler_(&profiler) {}
 
   /// Shared validation: every read box's newest version must still be at or
-  /// below the snapshot. Reports the first stale box and throws.
+  /// below the snapshot, and every predicate must still hold over its box's
+  /// newest committed value. Reports the first failing box and throws.
   void validate_or_throw(const CommitRequest& req) const;
+
+  /// Materializes one write for installation at `version`: the full value,
+  /// or the delta applied to the box's newest committed value. Must run
+  /// inside the serialization protocol, after validation.
+  [[nodiscard]] static std::shared_ptr<const void> materialize(
+      const CommitWrite& write, std::uint64_t version);
 
   std::atomic<std::uint64_t>* clock_;
   SnapshotRegistry* snapshots_;
@@ -129,9 +159,13 @@ class LockFreeCommitManager final : public CommitManager {
  private:
   /// One commit's payload: the version it claims and the write set to
   /// install. `done` flips after every body is (idempotently) installed.
+  /// Delta writes are materialized by whichever helper performs them — safe
+  /// because the helping invariant pins each written box's newest committed
+  /// body until this record's version is installed, so racing helpers
+  /// compute the same value and install_cas arbitrates.
   struct CommitRecord {
     std::uint64_t version = 0;
-    std::vector<std::pair<VBoxBase*, std::shared_ptr<const void>>> writes;
+    std::vector<CommitWrite> writes;
     std::atomic<bool> done{true};
   };
 

@@ -1,0 +1,138 @@
+#pragma once
+// Semantic conflict detection: the type-erased delta and predicate layer
+// that turns the read/write sets from box-granularity into datatype-aware
+// tracking (the STO idiom ported onto the multi-version PN-STM).
+//
+// Box granularity makes two inserts of *different* keys that share a TMap
+// bucket abort each other: the loser's read of the bucket box is stale even
+// though no value it observed changed. That inflates the abort rate the
+// parallelism-degree tuner optimizes against and warps the (t, c) surface
+// the SMBO explores. The fix is to record *what the transaction actually
+// depends on* instead of *which box it touched*:
+//
+//  * a PredicateBase is a semantic assertion over a box's value — "key k is
+//    absent", "entry k is still at entry-version e", "cursor >= n" — checked
+//    by re-evaluating it against the then-current value at every
+//    serialization point the transaction passes (sibling merge, top-level
+//    commit) instead of comparing box versions;
+//  * a DeltaBase is a logged sequence of datatype operations (map upsert /
+//    erase, ...) applied to the newest committed value at install time
+//    (commit-time delta install), so a transaction's write no longer
+//    overwrites the whole container snapshot it happened to start from.
+//
+// Both are type-erased here so Tx, the child-merge path, and the commit
+// managers can carry them without knowing container types; the typed
+// implementations live with the containers (stm/containers.hpp).
+//
+// Validation contract (see DESIGN.md "Semantic validation"):
+//  * predicates anchored on committed state are re-evaluated by the commit
+//    manager against the box's newest committed body, inside the commit
+//    serialization protocol, *before* any install;
+//  * predicates that consumed an ancestor's tentative write are re-checked
+//    under that ancestor's merge mutex when the reading child commits into
+//    it (overlaps() against the ops merged since, or holds() against a full
+//    overwrite), and are discharged at the level that owns the write;
+//  * deltas compose upward through the child-merge path: merging re-stamps
+//    the child's ops with a fresh parent stamp so sibling predicates can
+//    tell which ops post-date their reads.
+
+#include <cstdint>
+#include <memory>
+
+namespace autopn::stm {
+
+/// Conflict-unit policy of a transactional container, selectable per
+/// instance so box vs semantic behaviour can be A/B-measured
+/// (bench/container_sweep).
+enum class ContainerPolicy {
+  /// The whole versioned box is the conflict unit (copy-on-write buckets;
+  /// every cursor access is an exact read). The conservative baseline.
+  kBoxGranularity,
+  /// Datatype-aware tracking: per-entry versions, absent-key/cursor-bound
+  /// predicates, commit-time delta install. Disjoint-key operations on one
+  /// bucket never conflict.
+  kSemantic,
+};
+
+class DeltaBase;
+
+/// Tentative entry-version bit: entry versions at or above this value stamp
+/// not-yet-committed materializations (the low bits carry the writing
+/// level's merge stamp); committed entries carry the installing commit's
+/// clock version. The two ranges never collide because the clock is a small
+/// monotone counter.
+inline constexpr std::uint64_t kTentativeEver = std::uint64_t{1} << 63;
+
+/// A logged sequence of datatype operations against one box, applied to the
+/// current value at install (or materialization) time. Implementations are
+/// owned by one transaction at a time and mutated only under the owning
+/// level's merge mutex; once handed to a CommitRequest they are immutable.
+class DeltaBase {
+ public:
+  virtual ~DeltaBase() = default;
+
+  /// Applies the ops, in log order, to `base` (nullptr = the datatype's
+  /// empty value) and returns the new value. `commit_version` != 0 stamps
+  /// every touched entry with that committed clock version; 0 marks a
+  /// tentative materialization, stamping touched entries with
+  /// kTentativeEver | op.stamp so sibling predicates can detect overwrites
+  /// at per-key precision.
+  [[nodiscard]] virtual std::shared_ptr<const void> apply(
+      const void* base, std::uint64_t commit_version) const = 0;
+
+  /// Deep copy. Readers clone an ancestor's delta under that ancestor's
+  /// merge mutex, then materialize outside the lock — the live delta keeps
+  /// growing as siblings merge, so sharing the object would race.
+  [[nodiscard]] virtual std::unique_ptr<DeltaBase> clone() const = 0;
+
+  /// Appends `other`'s ops (same dynamic type) after this delta's ops,
+  /// re-stamping them with `stamp` — the child-merge composition step.
+  virtual void absorb(const DeltaBase& other, std::uint64_t stamp) = 0;
+
+  /// Re-stamps every op with `stamp` (used when a delta moves into a write
+  /// set whole, e.g. the first merge of a child's delta into its parent).
+  virtual void restamp(std::uint64_t stamp) = 0;
+
+  /// Ops logged (diagnostics).
+  [[nodiscard]] virtual std::size_t op_count() const noexcept = 0;
+};
+
+class VBoxBase;
+
+/// A semantic assertion over one box's value, registered by a container
+/// read in place of an exact version read and re-evaluated at every
+/// serialization point the transaction passes.
+class PredicateBase {
+ public:
+  explicit PredicateBase(const VBoxBase& box) : box_(&box) {}
+  virtual ~PredicateBase() = default;
+
+  /// The box this predicate is anchored at.
+  [[nodiscard]] const VBoxBase* box() const noexcept { return box_; }
+
+  /// Re-evaluates against a concrete value of the box (never nullptr).
+  [[nodiscard]] virtual bool holds(const void* value) const noexcept = 0;
+
+  /// True when any op of `delta` with stamp > `after_stamp` could change
+  /// this predicate's truth (per-key precision for map deltas). Unknown
+  /// delta types must return true — conservative, an extra abort is sound,
+  /// a missed conflict is not.
+  [[nodiscard]] virtual bool overlaps(const DeltaBase& delta,
+                                      std::uint64_t after_stamp) const noexcept = 0;
+
+  /// Structural equality, used to deduplicate repeated registrations of the
+  /// same assertion within one transaction.
+  [[nodiscard]] virtual bool same_as(const PredicateBase& other) const noexcept = 0;
+
+  /// Sub-box hotspot id for per-key contention attribution (the key for map
+  /// predicates); kNoSubKey when the predicate spans the whole box.
+  static constexpr std::uint64_t kNoSubKey = ~std::uint64_t{0};
+  [[nodiscard]] virtual std::uint64_t profile_key() const noexcept {
+    return kNoSubKey;
+  }
+
+ private:
+  const VBoxBase* box_;
+};
+
+}  // namespace autopn::stm

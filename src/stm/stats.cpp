@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "stm/vbox.hpp"
 
@@ -17,6 +20,7 @@ StmStats::StmStats(std::size_t shards)
       writes_(shards),
       aborts_validation_(shards),
       aborts_sibling_(shards),
+      aborts_predicate_(shards),
       aborts_explicit_(shards),
       aborts_injected_(shards),
       top_escalations_(shards) {}
@@ -29,6 +33,9 @@ void StmStats::bump_conflict_kind(ConflictKind kind) noexcept {
     case ConflictKind::kSiblingWrite:
     case ConflictKind::kStaleReRead:
       aborts_sibling_.add();
+      break;
+    case ConflictKind::kPredicate:
+      aborts_predicate_.add();
       break;
     case ConflictKind::kExplicitRetry:
       aborts_explicit_.add();
@@ -49,6 +56,7 @@ StmStatsSnapshot StmStats::snapshot() const {
   snap.writes = writes_.load();
   snap.aborts_validation = aborts_validation_.load();
   snap.aborts_sibling = aborts_sibling_.load();
+  snap.aborts_predicate = aborts_predicate_.load();
   snap.aborts_explicit = aborts_explicit_.load();
   snap.aborts_injected = aborts_injected_.load();
   snap.top_escalations = top_escalations_.load();
@@ -64,6 +72,7 @@ void StmStats::reset() noexcept {
   writes_.reset();
   aborts_validation_.reset();
   aborts_sibling_.reset();
+  aborts_predicate_.reset();
   aborts_explicit_.reset();
   aborts_injected_.reset();
   top_escalations_.reset();
@@ -73,51 +82,74 @@ ContentionProfiler::ContentionProfiler(std::size_t capacity)
     : slots_(util::ceil_pow2(std::max<std::size_t>(2, capacity))),
       mask_(slots_.size() - 1) {}
 
-void ContentionProfiler::note(const VBoxBase* box) noexcept {
+void ContentionProfiler::note(const VBoxBase* box, std::uint64_t sub_key) noexcept {
   if (!enabled_.load(std::memory_order_relaxed)) return;
   // libstdc++'s pointer hash is the identity; fold the high bits down and
   // drop alignment zeros so heap neighbours don't all probe the same run.
+  // The sub-key is mixed in so per-key samples of one hot bucket spread out.
   const auto raw = reinterpret_cast<std::uintptr_t>(box);
-  const std::size_t hash = static_cast<std::size_t>((raw >> 4) ^ (raw >> 20));
+  std::size_t hash = static_cast<std::size_t>((raw >> 4) ^ (raw >> 20));
+  if (sub_key != kWholeBox) {
+    hash ^= static_cast<std::size_t>(sub_key * 0x9e3779b97f4a7c15ULL);
+  }
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     Slot& slot = slots_[(hash + i) & mask_];
     const VBoxBase* key = slot.key.load(std::memory_order_acquire);
     if (key == nullptr) {
       // Claim the empty slot; a losing racer just re-examines it.
-      if (!slot.key.compare_exchange_strong(key, box,
-                                            std::memory_order_acq_rel)) {
-        if (key != box) continue;
+      if (slot.key.compare_exchange_strong(key, box,
+                                           std::memory_order_acq_rel)) {
+        slot.sub.store(sub_key, std::memory_order_relaxed);
+        slot.sub_ready.store(true, std::memory_order_release);
+        slot.count.fetch_add(1, std::memory_order_relaxed);
+        return;
       }
+      if (key != box) continue;
+    }
+    if (key == box && slot.sub_ready.load(std::memory_order_acquire) &&
+        slot.sub.load(std::memory_order_relaxed) == sub_key) {
       slot.count.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    if (key == box) {
-      slot.count.fetch_add(1, std::memory_order_relaxed);
-      return;
-    }
+    // Occupied by another unit (or same box mid-claim): probe on. A mid-
+    // claim miss can create a duplicate slot for this unit; hotspots()
+    // re-aggregates duplicates by label, so only a probe step is wasted.
   }
   dropped_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::vector<ContentionProfiler::Hotspot> ContentionProfiler::hotspots(
     std::size_t top_n) const {
-  std::vector<Hotspot> out;
+  // Aggregate by rendered label: duplicate slots for one (box, sub) unit
+  // (claim races) and distinct units sharing a label both fold together.
+  std::unordered_map<std::string, std::uint64_t> by_label;
   for (const Slot& slot : slots_) {
     const VBoxBase* key = slot.key.load(std::memory_order_acquire);
-    if (key == nullptr) continue;
+    if (key == nullptr || !slot.sub_ready.load(std::memory_order_acquire)) {
+      continue;
+    }
     const std::uint64_t count = slot.count.load(std::memory_order_relaxed);
     if (count == 0) continue;
-    Hotspot entry;
-    entry.conflicts = count;
-    if (const std::string* label = key->label()) {
-      entry.label = *label;
+    std::string label;
+    if (const std::string* box_label = key->label()) {
+      label = *box_label;
     } else {
       char buffer[32];
       std::snprintf(buffer, sizeof buffer, "box@%p",
                     static_cast<const void*>(key));
-      entry.label = buffer;
+      label = buffer;
     }
-    out.push_back(std::move(entry));
+    const std::uint64_t sub = slot.sub.load(std::memory_order_relaxed);
+    if (sub != kWholeBox) {
+      label += ".key=";
+      label += std::to_string(sub);
+    }
+    by_label[std::move(label)] += count;
+  }
+  std::vector<Hotspot> out;
+  out.reserve(by_label.size());
+  for (auto& [label, count] : by_label) {
+    out.push_back(Hotspot{label, count});
   }
   std::sort(out.begin(), out.end(), [](const Hotspot& a, const Hotspot& b) {
     return a.conflicts > b.conflicts;
@@ -129,6 +161,8 @@ std::vector<ContentionProfiler::Hotspot> ContentionProfiler::hotspots(
 void ContentionProfiler::reset() noexcept {
   for (Slot& slot : slots_) {
     slot.count.store(0, std::memory_order_relaxed);
+    slot.sub_ready.store(false, std::memory_order_relaxed);
+    slot.sub.store(0, std::memory_order_relaxed);
     slot.key.store(nullptr, std::memory_order_release);
   }
   dropped_.store(0, std::memory_order_relaxed);

@@ -1,0 +1,397 @@
+// Semantic conflict detection: datatype-aware predicates and commit-time
+// delta install (stm/predicate.hpp, the kSemantic container policy).
+//
+// The load-bearing claims pinned here:
+//  * disjoint-key operations on one TMap bucket never conflict under
+//    kSemantic (and do under kBoxGranularity — the contrast tests);
+//  * commit-time delta install composes concurrent disjoint-key commits
+//    instead of last-writer-wins bucket clobbering;
+//  * a predicate aborts the transaction exactly when the guarded fact flips
+//    (key version changed, observed-absent key appeared);
+//  * predicates on facts determined by the transaction's own tree (tree-
+//    local) are never validated against committed state;
+//  * disjoint TQueue push/pop commit conflict-free under kSemantic — the
+//    regression test for push's historical exact read of head.
+//
+// Interleavings are pinned with latches: the first attempt of transaction A
+// parks mid-body while transaction B runs start-to-commit, then A resumes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <latch>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "stm/containers.hpp"
+#include "stm/stm.hpp"
+
+namespace autopn::stm {
+namespace {
+
+StmConfig cfg() {
+  StmConfig c;
+  c.pool_threads = 2;
+  c.initial_top = 4;
+  c.initial_children = 4;
+  return c;
+}
+
+/// A single-bucket map: every key shares the one box, so any cross-key
+/// conflict is a policy artifact, not a genuine collision.
+TMap<int, int> one_bucket(ContainerPolicy policy) {
+  return TMap<int, int>{1, "m", policy};
+}
+
+// Runs `first` up to its park point, then `second` start-to-finish, then
+// releases `first` to commit. Only the first attempt of `first` parks;
+// retries run straight through.
+template <typename FirstBody, typename SecondBody>
+void interleave(Stm& stm, FirstBody first, SecondBody second) {
+  std::latch parked{1};
+  std::latch resume{1};
+  std::atomic<bool> first_attempt{true};
+  std::thread a{[&] {
+    stm.run_top([&](Tx& tx) {
+      const bool park = first_attempt.exchange(false, std::memory_order_acq_rel);
+      first(tx);
+      if (park) {
+        parked.count_down();
+        resume.wait();
+      }
+    });
+  }};
+  parked.wait();
+  stm.run_top([&](Tx& tx) { second(tx); });
+  resume.count_down();
+  a.join();
+}
+
+// ---- disjoint-key TMap operations ------------------------------------------
+
+TEST(SemanticMapTest, DisjointKeyPutsSameBucketNeverConflict) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  // Both transactions hold their blind upsert pending while the other runs.
+  interleave(
+      stm, [&](Tx& tx) { map.put(tx, 1, 100); },
+      [&](Tx& tx) { map.put(tx, 2, 200); });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.top_aborts, 0u);
+  // Delta install composed both commits: neither clobbered the other.
+  stm.run_top([&](Tx& tx) {
+    EXPECT_EQ(map.get(tx, 1), std::optional<int>{100});
+    EXPECT_EQ(map.get(tx, 2), std::optional<int>{200});
+  });
+}
+
+TEST(SemanticMapTest, GetSurvivesDisjointKeyPutInSameBucket) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  stm.run_top([&](Tx& tx) { map.put(tx, 1, 11); });
+  // A reads key 1 (predicate: present at its entry version) and writes key
+  // 3; B upserts key 2 — same bucket, different key — in A's window.
+  interleave(
+      stm,
+      [&](Tx& tx) {
+        EXPECT_EQ(map.get(tx, 1), std::optional<int>{11});
+        map.put(tx, 3, 33);
+      },
+      [&](Tx& tx) { map.put(tx, 2, 22); });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.top_aborts, 0u);
+  EXPECT_EQ(stats.aborts_predicate, 0u);
+}
+
+TEST(SemanticMapTest, BoxPolicyAbortsOnDisjointKeySameBucket) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kBoxGranularity);
+  stm.run_top([&](Tx& tx) { map.put(tx, 1, 11); });
+  // Same interleaving as above under the conservative policy: A's exact
+  // bucket read is invalidated by B's bucket overwrite. This is the false
+  // abort the semantic layer removes.
+  interleave(
+      stm,
+      [&](Tx& tx) {
+        EXPECT_EQ(map.get(tx, 1), std::optional<int>{11});
+        map.put(tx, 3, 33);
+      },
+      [&](Tx& tx) { map.put(tx, 2, 22); });
+  const auto stats = stm.stats();
+  EXPECT_GE(stats.top_aborts, 1u);
+  // Both transactions still commit correctly after retry.
+  stm.run_top([&](Tx& tx) {
+    EXPECT_EQ(map.get(tx, 2), std::optional<int>{22});
+    EXPECT_EQ(map.get(tx, 3), std::optional<int>{33});
+  });
+}
+
+// ---- predicate aborts when the guarded fact flips --------------------------
+
+TEST(SemanticMapTest, PredicateAbortsWhenReadKeyIsOverwritten) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  stm.run_top([&](Tx& tx) { map.put(tx, 1, 11); });
+  std::vector<int> observed;
+  interleave(
+      stm,
+      [&](Tx& tx) {
+        observed.push_back(map.get(tx, 1).value());
+        map.put(tx, 3, 33);
+      },
+      [&](Tx& tx) { map.put(tx, 1, 99); });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.aborts_predicate, 1u);
+  // First attempt saw the old value, the committed retry the new one.
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], 11);
+  EXPECT_EQ(observed[1], 99);
+}
+
+TEST(SemanticMapTest, AbsencePredicateAbortsWhenKeyAppears) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  std::vector<bool> observed;
+  interleave(
+      stm,
+      [&](Tx& tx) {
+        observed.push_back(map.contains(tx, 5));
+        map.put(tx, 3, 33);
+      },
+      [&](Tx& tx) { map.put(tx, 5, 55); });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.aborts_predicate, 1u);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_FALSE(observed[0]);
+  EXPECT_TRUE(observed[1]);
+}
+
+TEST(SemanticMapTest, PredicateAbortsWhenReadKeyIsErased) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  stm.run_top([&](Tx& tx) { map.put(tx, 1, 11); });
+  std::vector<std::optional<int>> observed;
+  interleave(
+      stm,
+      [&](Tx& tx) {
+        observed.push_back(map.get(tx, 1));
+        map.put(tx, 3, 33);
+      },
+      [&](Tx& tx) { EXPECT_TRUE(map.erase(tx, 1)); });
+  EXPECT_EQ(stm.stats().aborts_predicate, 1u);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], std::optional<int>{11});
+  EXPECT_EQ(observed[1], std::nullopt);
+}
+
+// ---- self- and tree-determined facts need no global validation -------------
+
+TEST(SemanticMapTest, OwnPendingOpDecidesWithoutPredicate) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  stm.run_top([&](Tx& tx) {
+    map.put(tx, 1, 10);
+    EXPECT_EQ(map.get(tx, 1), std::optional<int>{10});  // own op decides
+    EXPECT_TRUE(map.erase(tx, 1));
+    EXPECT_EQ(map.get(tx, 1), std::nullopt);
+    EXPECT_EQ(tx.predicate_count(), 0u);
+  });
+}
+
+TEST(SemanticMapTest, TreeLocalPredicateIsNotValidatedAgainstCommittedState) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  stm.run_top([&](Tx& tx) { map.put(tx, 1, 11); });
+  // The parent tentatively overwrites key 1; the child's read resolves
+  // through that tentative op, so its predicate records the *tentative*
+  // entry version. It must not be checked against committed state (where
+  // the version differs) — the deciding op installs with this very commit.
+  stm.run_top([&](Tx& tx) {
+    map.put(tx, 1, 22);
+    tx.run_children({[&](Tx& child) {
+      EXPECT_EQ(map.get(child, 1), std::optional<int>{22});
+      map.put(child, 2, 2);
+    }});
+  });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.aborts_predicate, 0u);
+  EXPECT_EQ(stats.top_aborts, 0u);
+  stm.run_top([&](Tx& tx) { EXPECT_EQ(map.get(tx, 1), std::optional<int>{22}); });
+}
+
+TEST(SemanticMapTest, TreeLocalErasePredicateIsNotValidatedAgainstCommittedState) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  stm.run_top([&](Tx& tx) { map.put(tx, 1, 11); });
+  // The parent tentatively erases key 1; the child observes it absent. The
+  // key still exists in committed state — a naive global check of the
+  // absence predicate would fail on every attempt and livelock.
+  stm.run_top([&](Tx& tx) {
+    EXPECT_TRUE(map.erase(tx, 1));
+    tx.run_children({[&](Tx& child) {
+      EXPECT_EQ(map.get(child, 1), std::nullopt);
+      map.put(child, 2, 2);
+    }});
+  });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.aborts_predicate, 0u);
+  EXPECT_EQ(stats.top_aborts, 0u);
+  stm.run_top([&](Tx& tx) { EXPECT_FALSE(map.contains(tx, 1)); });
+}
+
+// ---- nested siblings --------------------------------------------------------
+
+TEST(SemanticMapTest, SiblingDisjointKeyOpsSameBucketMergeCleanly) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  stm.run_top([&](Tx& tx) { map.put(tx, 0, 0); });
+  stm.run_top([&](Tx& tx) {
+    std::vector<std::function<void(Tx&)>> bodies;
+    for (int k = 1; k <= 4; ++k) {
+      bodies.push_back([&, k](Tx& child) {
+        EXPECT_TRUE(map.contains(child, 0));  // predicate on shared key 0
+        map.put(child, k, k * 10);            // blind upsert, disjoint keys
+      });
+    }
+    tx.run_children(std::move(bodies));
+  });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.aborts_sibling, 0u);
+  EXPECT_EQ(stats.aborts_predicate, 0u);
+  stm.run_top([&](Tx& tx) {
+    EXPECT_EQ(map.size(tx), 5u);
+    for (int k = 1; k <= 4; ++k) {
+      EXPECT_EQ(map.get(tx, k), std::optional<int>{k * 10});
+    }
+  });
+}
+
+TEST(SemanticMapTest, SiblingConflictOnSameKeyStillDetected) {
+  Stm stm{cfg()};
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  stm.run_top([&](Tx& tx) { map.put(tx, 1, 0); });
+  // Two children read-modify-write the SAME key: a genuine conflict the
+  // semantic layer must still serialize (one child retries; no lost update).
+  stm.run_top([&](Tx& tx) {
+    std::vector<std::function<void(Tx&)>> bodies;
+    for (int c = 0; c < 2; ++c) {
+      bodies.push_back([&](Tx& child) {
+        map.put(child, 1, map.get(child, 1).value() + 1);
+      });
+    }
+    tx.run_children(std::move(bodies));
+  });
+  stm.run_top([&](Tx& tx) { EXPECT_EQ(map.get(tx, 1), std::optional<int>{2}); });
+}
+
+// ---- TQueue: disjoint push/pop regression (the historical false conflict) --
+
+TEST(SemanticQueueTest, DisjointPushAndPopNeverConflict) {
+  Stm stm{cfg()};
+  TQueue<int> queue{8, "q", ContainerPolicy::kSemantic};
+  stm.run_top([&](Tx& tx) {
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.push(tx, i));
+  });
+  // Mid-full queue: a pop (advances head) overlaps a push (advances tail).
+  // Historically push exactly read head for its fullness check, so every
+  // pop aborted every concurrent push; the monotone cursor predicate keeps
+  // both commits valid.
+  interleave(
+      stm, [&](Tx& tx) { EXPECT_EQ(queue.pop(tx), std::optional<int>{0}); },
+      [&](Tx& tx) { EXPECT_TRUE(queue.push(tx, 100)); });
+  const auto stats = stm.stats();
+  EXPECT_EQ(stats.top_aborts, 0u);
+  EXPECT_EQ(stats.aborts_predicate, 0u);
+  EXPECT_EQ(queue.peek_size(), 4u);
+  // FIFO order intact.
+  stm.run_top([&](Tx& tx) {
+    EXPECT_EQ(queue.pop(tx), std::optional<int>{1});
+    EXPECT_EQ(queue.pop(tx), std::optional<int>{2});
+    EXPECT_EQ(queue.pop(tx), std::optional<int>{3});
+    EXPECT_EQ(queue.pop(tx), std::optional<int>{100});
+  });
+}
+
+TEST(SemanticQueueTest, BoxPolicyAbortsDisjointPushPop) {
+  Stm stm{cfg()};
+  TQueue<int> queue{8, "q", ContainerPolicy::kBoxGranularity};
+  stm.run_top([&](Tx& tx) {
+    for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.push(tx, i));
+  });
+  // The same interleaving under the conservative policy: the pop's exact
+  // read of tail (emptiness check) is invalidated by the push's commit.
+  interleave(
+      stm, [&](Tx& tx) { (void)queue.pop(tx); },
+      [&](Tx& tx) { EXPECT_TRUE(queue.push(tx, 100)); });
+  EXPECT_GE(stm.stats().top_aborts, 1u);
+  EXPECT_EQ(queue.peek_size(), 4u);  // still correct after retry
+}
+
+TEST(SemanticQueueTest, EmptinessPredicateAbortsWhenElementArrives) {
+  Stm stm{cfg()};
+  TQueue<int> queue{4, "q", ContainerPolicy::kSemantic};
+  VBox<int> side{0};
+  std::vector<std::optional<int>> observed;
+  // A observes the queue empty (kAtMost predicate on tail) and writes a
+  // side box; B pushes in A's window: the observed-empty verdict is stale
+  // and must abort A.
+  interleave(
+      stm,
+      [&](Tx& tx) {
+        observed.push_back(queue.pop(tx));
+        side.write(tx, 1);
+      },
+      [&](Tx& tx) { EXPECT_TRUE(queue.push(tx, 7)); });
+  EXPECT_EQ(stm.stats().aborts_predicate, 1u);
+  ASSERT_EQ(observed.size(), 2u);
+  EXPECT_EQ(observed[0], std::nullopt);
+  EXPECT_EQ(observed[1], std::optional<int>{7});
+}
+
+TEST(SemanticQueueTest, FullnessVerdictAbortsWhenRoomAppears) {
+  Stm stm{cfg()};
+  TQueue<int> queue{2, "q", ContainerPolicy::kSemantic};
+  stm.run_top([&](Tx& tx) {
+    EXPECT_TRUE(queue.push(tx, 0));
+    EXPECT_TRUE(queue.push(tx, 1));
+  });
+  VBox<int> side{0};
+  std::vector<bool> pushed;
+  // A observes the queue full (kAtMost predicate on head) and gives up; B
+  // pops in A's window, making room A should have taken.
+  interleave(
+      stm,
+      [&](Tx& tx) {
+        pushed.push_back(queue.push(tx, 9));
+        side.write(tx, 1);
+      },
+      [&](Tx& tx) { EXPECT_EQ(queue.pop(tx), std::optional<int>{0}); });
+  EXPECT_EQ(stm.stats().aborts_predicate, 1u);
+  ASSERT_EQ(pushed.size(), 2u);
+  EXPECT_FALSE(pushed[0]);
+  EXPECT_TRUE(pushed[1]);
+  EXPECT_EQ(queue.peek_size(), 2u);
+}
+
+// ---- per-key profiler attribution ------------------------------------------
+
+TEST(SemanticMapTest, PredicateConflictIsAttributedPerKey) {
+  Stm stm{cfg()};
+  stm.set_contention_profiling(true);
+  auto map = one_bucket(ContainerPolicy::kSemantic);
+  stm.run_top([&](Tx& tx) { map.put(tx, 7, 0); });
+  interleave(
+      stm,
+      [&](Tx& tx) {
+        (void)map.get(tx, 7);
+        map.put(tx, 3, 1);
+      },
+      [&](Tx& tx) { map.put(tx, 7, 1); });
+  ASSERT_EQ(stm.stats().aborts_predicate, 1u);
+  const auto hotspots = stm.contention_hotspots(8);
+  ASSERT_FALSE(hotspots.empty());
+  EXPECT_EQ(hotspots[0].label, "m[0].key=7");
+}
+
+}  // namespace
+}  // namespace autopn::stm
