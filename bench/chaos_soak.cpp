@@ -6,7 +6,7 @@
 // workload's transactional state is consistent, and progress was made.
 //
 //   chaos_soak [--seconds S] [--seed N] [--workload NAME] [--workers N]
-//              [--rate R] [--timeout S] [--net]
+//              [--rate R] [--timeout S] [--net | --router]
 //
 // With --net the traffic arrives over a loopback TCP socket instead of
 // in-process submits: a NetServer fronts the engine, netload offers the
@@ -14,6 +14,18 @@
 // net.read / net.write failpoints — connection churn, mid-request
 // disconnects, and write faults on top of the engine-level chaos. The wire
 // ledger (decoded == written + dropped) joins the checked invariants.
+//
+// With --router the topology becomes the full distributed tier in one
+// process: two backend shards (each a complete PN-STM serving stack behind
+// its own NetServer), a Router fronting them by consistent hash with an
+// aggressive rebalance cadence, and netload offering traffic through the
+// router. The schedule adds the router.forward / router.backend_down /
+// router.rebalance sites on top of the net.* and engine-level chaos — and
+// because the net.* sites are process-global, the router's own shard links
+// suffer the same read/write faults, exercising backend-down synthesis and
+// redial under load. The router's forwarding ledger (dispatched ==
+// forwarded + shed_local, forwarded == returned) joins the invariants,
+// alongside every wire and engine ledger in the topology.
 //
 // Exits 0 when every invariant holds, 1 on any violation (or an unexpected
 // exception). When the failpoint framework is compiled out the soak degrades
@@ -34,6 +46,7 @@
 #include "net/netload.hpp"
 #include "net/server.hpp"
 #include "opt/baselines.hpp"
+#include "router/router.hpp"
 #include "runtime/controller.hpp"
 #include "serve/engine.hpp"
 #include "serve/handlers.hpp"
@@ -53,6 +66,7 @@ struct SoakParams {
   double rate = 1500.0;        ///< open-loop arrivals per second
   double request_timeout = 0.05;
   bool net = false;            ///< front the engine with a loopback NetServer
+  bool router = false;         ///< full tier: router + two shards + netload
 };
 
 SoakParams parse_args(int argc, char** argv) {
@@ -80,6 +94,8 @@ SoakParams parse_args(int argc, char** argv) {
       params.request_timeout = std::stod(next());
     } else if (arg == "--net") {
       params.net = true;
+    } else if (arg == "--router") {
+      params.router = true;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       std::exit(2);
@@ -91,8 +107,9 @@ SoakParams parse_args(int argc, char** argv) {
 /// Draws a random failpoint schedule: each site independently armed with a
 /// random probability (errors) or delay (stalls). Roughly half the sites are
 /// active in any given epoch so healthy and faulty paths interleave. With
-/// `net` the socket-edge sites join the lottery.
-std::string random_schedule(util::Rng& rng, bool net) {
+/// `net` the socket-edge sites join the lottery; with `router` the routing
+/// tier's sites do as well.
+std::string random_schedule(util::Rng& rng, bool net, bool router = false) {
   std::ostringstream spec;
   auto add = [&](const std::string& s) {
     if (spec.tellp() > 0) spec << ';';
@@ -174,6 +191,26 @@ std::string random_schedule(util::Rng& rng, bool net) {
       std::ostringstream s;
       s << "net.read=delay(d=" << rng.uniform_int(50, 500) << "us,p=0.2)";
       add(s.str());
+    }
+  }
+  if (router) {
+    if (coin()) {
+      // Forced local shed before any forward: the dispatch-time escape hatch.
+      std::ostringstream s;
+      s << "router.forward=error(p=" << rng.uniform(0.01, 0.1) << ")";
+      add(s.str());
+    }
+    if (coin()) {
+      // ShardLink::forward reports the backend unreachable even though the
+      // socket is fine — the caller must fall back to a router-origin shed.
+      std::ostringstream s;
+      s << "router.backend_down=error(p=" << rng.uniform(0.01, 0.1) << ")";
+      add(s.str());
+    }
+    if (coin()) {
+      // Starve the rebalancer: placement decisions stop while traffic and
+      // stats polling continue, then resume on the next epoch.
+      add("router.rebalance=error(p=1)");
     }
   }
   return spec.str();
@@ -339,11 +376,171 @@ int run_soak(const SoakParams& params) {
   return 0;
 }
 
+/// --router: the whole distributed tier under one chaos schedule — two
+/// backend shards, a Router rebalancing between them, netload through the
+/// router — with every ledger in the topology asserted at the end.
+int run_router_soak(const SoakParams& params) {
+  struct BackendShard {
+    BackendShard(const SoakParams& params, std::uint64_t seed)
+        : stm(shard_stm()),
+          workload(serve::make_servable_workload(params.workload, stm, seed)),
+          engine(stm, workload.handler, clock, shard_serve(params, seed)),
+          server(engine, {}) {}
+
+    static stm::StmConfig shard_stm() {
+      stm::StmConfig cfg;
+      cfg.pool_threads = 2;
+      cfg.initial_top = 2;
+      cfg.initial_children = 2;
+      return cfg;
+    }
+    static serve::ServeConfig shard_serve(const SoakParams& params,
+                                          std::uint64_t seed) {
+      serve::ServeConfig cfg;
+      cfg.workers = params.workers;
+      cfg.queue_capacity = 256;
+      cfg.request_timeout = params.request_timeout;
+      cfg.seed = seed;
+      return cfg;
+    }
+
+    util::WallClock clock;
+    stm::Stm stm;
+    serve::ServableWorkload workload;
+    serve::ServeEngine engine;
+    net::NetServer server;
+  };
+
+  BackendShard shard_a{params, params.seed};
+  BackendShard shard_b{params, params.seed + 1};
+
+  router::RouterConfig router_cfg;
+  router_cfg.backoff.attempt_timeout_seconds = 0.25;
+  router_cfg.backoff.initial_backoff_seconds = 0.02;
+  router_cfg.backoff.max_backoff_seconds = 0.1;
+  // Aggressive cadence and a tight SLO so delay chaos actually triggers
+  // migrations; drain-then-cut keeps them drop-free regardless.
+  router_cfg.stats_poll_seconds = 0.1;
+  router_cfg.rebalance_seconds = 0.25;
+  router_cfg.rebalance.slo_p99_us = 5'000;
+  router_cfg.rebalance.min_tenant_requests = 8;
+  router_cfg.migration_timeout_seconds = 0.25;
+  router::Router router{
+      {router::ShardAddress{0, "127.0.0.1", shard_a.server.port()},
+       router::ShardAddress{1, "127.0.0.1", shard_b.server.port()}},
+      router_cfg};
+
+  std::optional<net::NetLoadResult> net_result;
+  std::jthread traffic{[&] {
+    net::NetLoadParams load;
+    load.port = router.port();
+    load.connections = 3;
+    load.rate = params.rate;
+    load.duration = params.seconds;
+    load.tenants = 8;
+    load.deadline_us =
+        static_cast<std::uint64_t>(params.request_timeout * 1e6);
+    load.seed = params.seed ^ 0x9e3779b97f4a7c15ull;
+    load.drain_grace = 1.0;
+    net_result = net::run_netload(load);
+  }};
+
+  util::Rng chaos_rng{params.seed};
+  std::size_t epochs = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(params.seconds);
+  const bool inject = util::FailpointRegistry::compiled_in();
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (inject) {
+      const std::string spec =
+          random_schedule(chaos_rng, /*net=*/true, /*router=*/true);
+      util::FailpointRegistry::instance().disarm_all();
+      if (!spec.empty()) {
+        util::FailpointRegistry::instance().arm_from_string(spec);
+      }
+      ++epochs;
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds{chaos_rng.uniform_int(200, 500)});
+  }
+  util::FailpointRegistry::instance().disarm_all();
+
+  traffic = {};        // client drains before the tier comes down
+  router.shutdown();   // answers every in-flight, then closes the links
+  shard_a.server.shutdown();
+  shard_b.server.shutdown();
+
+  const router::RouterReport rr = router.report();
+  const net::NetServerReport router_wire = router.server_report();
+  std::cout << "chaos_soak --router: workload=" << params.workload
+            << " seconds=" << params.seconds << " seed=" << params.seed
+            << " epochs=" << epochs
+            << (inject ? "" : " (failpoints compiled out)") << "\n";
+  std::cout << "  router: dispatched=" << rr.dispatched
+            << " forwarded=" << rr.forwarded << " shed_local=" << rr.shed_local
+            << " returned=" << rr.returned << " synthesized=" << rr.synthesized
+            << " late=" << rr.late_responses << "\n";
+  std::cout << "  router: held=" << rr.held << " migrations="
+            << rr.migrations_completed << "/" << rr.migrations_started
+            << " forced_cuts=" << rr.forced_cuts
+            << " rebalance_rounds=" << rr.rebalance_rounds << "\n";
+  if (net_result) {
+    std::cout << "  client: sent=" << net_result->sent
+              << " ok=" << net_result->ok << " shed=" << net_result->shed
+              << " io_errors=" << net_result->io_errors
+              << " reconnects=" << net_result->reconnects
+              << " unanswered=" << net_result->unanswered << "\n";
+  }
+
+  int failures = 0;
+  check(rr.dispatched == rr.forwarded + rr.shed_local,
+        "router: dispatched == forwarded + shed_local", failures);
+  check(rr.forwarded == rr.returned, "router: forwarded == returned",
+        failures);
+  check(router_wire.requests_decoded == router_wire.responses_enqueued,
+        "router wire: decoded == responses enqueued", failures);
+  check(router_wire.responses_enqueued ==
+            router_wire.responses_written + router_wire.responses_dropped,
+        "router wire: enqueued == written + dropped", failures);
+  std::uint64_t completed = 0;
+  const char* names[] = {"shard a", "shard b"};
+  BackendShard* backends[] = {&shard_a, &shard_b};
+  for (std::size_t s = 0; s < 2; ++s) {
+    const serve::ServeReport report = backends[s]->engine.report();
+    const net::NetServerReport wire = backends[s]->server.report();
+    completed += report.completed;
+    const std::string name = names[s];
+    check(report.offered == report.admitted + report.shed,
+          name + ": offered == admitted + shed", failures);
+    check(report.admitted == report.completed + report.expired + report.failed,
+          name + ": admitted == completed + expired + failed", failures);
+    check(report.queue_depth == 0, name + ": queue drained to depth 0",
+          failures);
+    check(wire.requests_decoded == wire.responses_enqueued,
+          name + " wire: decoded == responses enqueued", failures);
+    check(wire.responses_enqueued ==
+              wire.responses_written + wire.responses_dropped,
+          name + " wire: enqueued == written + dropped", failures);
+    check(backends[s]->workload.verify(),
+          name + ": workload transactional state consistent", failures);
+  }
+  check(completed > 0, "bounded completion: progress was made", failures);
+  check(!net_result || net_result->sent > 0, "client offered traffic",
+        failures);
+  if (failures != 0) {
+    std::cout << "chaos_soak: " << failures << " invariant violation(s)\n";
+    return 1;
+  }
+  std::cout << "chaos_soak: all invariants hold\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    return run_soak(parse_args(argc, argv));
+    const SoakParams params = parse_args(argc, argv);
+    return params.router ? run_router_soak(params) : run_soak(params);
   } catch (const std::exception& e) {
     std::cerr << "chaos_soak: unexpected exception: " << e.what() << "\n";
     return 1;

@@ -33,9 +33,11 @@ cmake --build build-tsan --target \
   serve_queue_test serve_engine_test serve_e2e_test \
   util_concurrency_test runtime_controller_test \
   util_failpoint_test chaos_stm_test chaos_serve_test chaos_runtime_test \
-  net_wire_test net_loop_test net_server_test net_chaos_test
+  net_wire_test net_loop_test net_server_test net_chaos_test \
+  net_client_retry_test router_ring_test router_rebalancer_test \
+  router_proxy_test
 for t in build-tsan/tests/stm_*_test build-tsan/tests/serve_*_test \
-         build-tsan/tests/net_*_test \
+         build-tsan/tests/net_*_test build-tsan/tests/router_*_test \
          build-tsan/tests/util_concurrency_test \
          build-tsan/tests/runtime_controller_test \
          build-tsan/tests/util_failpoint_test build-tsan/tests/chaos_*_test; do
@@ -43,16 +45,18 @@ for t in build-tsan/tests/stm_*_test build-tsan/tests/serve_*_test \
   "$t"
 done
 
-# The net tests exercise real sockets and cross-thread completion posting:
-# run them under ASan+UBSan combined as well (the TSan pass above already
-# covers them for races). The semantic-container checkers join this pass
-# because commit-time delta install and predicate revalidation shuffle
+# The net and router tests exercise real sockets and cross-thread completion
+# posting: run them under ASan+UBSan combined as well (the TSan pass above
+# already covers them for races). The semantic-container checkers join this
+# pass because commit-time delta install and predicate revalidation shuffle
 # shared_ptr ownership across threads — exactly ASan territory.
 cmake --preset asan-ubsan
 cmake --build build-asan-ubsan --target \
   net_wire_test net_loop_test net_server_test net_chaos_test \
+  net_client_retry_test router_proxy_test \
   stm_semantic_test stm_linearizability_test
 for t in build-asan-ubsan/tests/net_*_test \
+         build-asan-ubsan/tests/router_proxy_test \
          build-asan-ubsan/tests/stm_semantic_test \
          build-asan-ubsan/tests/stm_linearizability_test; do
   echo "== asan-ubsan: $(basename "$t") =="
@@ -73,6 +77,10 @@ echo "== asan-ubsan: chaos_soak --net =="
 build-asan-ubsan/bench/chaos_soak --net --seconds 3 --seed 3
 echo "== tsan: chaos_soak --net =="
 build-tsan/bench/chaos_soak --net --seconds 3 --seed 4
+echo "== asan-ubsan: chaos_soak --router =="
+build-asan-ubsan/bench/chaos_soak --router --seconds 3 --seed 5
+echo "== tsan: chaos_soak --router =="
+build-tsan/bench/chaos_soak --router --seconds 3 --seed 6
 
 # Container-policy smoke: the semantic-vs-box sweep at reduced size, under
 # ASan+UBSan so the delta/predicate fast paths get sanitizer coverage on
@@ -95,6 +103,12 @@ build/tools/autopn netload --port-file "$portfile" --rate 300 --duration 3 \
   --tenants 3
 wait "$serve_pid"
 rm -f "$portfile"
+
+# Cluster smoke: the full distributed tier as separate processes — two
+# `autopn serve --listen` shards, an `autopn router` fronting them, netload
+# through the router. Every process asserts its own ledgers on exit.
+echo "== cluster smoke: router + 2 shards over loopback =="
+scripts/run_cluster.sh --smoke
 
 mkdir -p results
 for bench in build/bench/*; do

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# run_cluster.sh — multi-process serving cluster on loopback TCP: N `autopn
+# serve --listen` shard processes, one `autopn router` fronting them by
+# consistent hash, and an `autopn netload` client offering open-loop traffic
+# through the router.
+#
+# Every process asserts its own ledgers on exit: shards exit nonzero if the
+# wire response ledger is inexact or transactional state fails verification,
+# the router exits nonzero if its forwarding ledger (dispatched == forwarded +
+# shed_local, forwarded == returned) or its own wire ledger is inexact, and
+# netload exits nonzero if nothing was answered. The script fails if any
+# process fails, so a plain invocation is the end-to-end assertion.
+#
+#   scripts/run_cluster.sh [--smoke] [--shards N] [--duration S] [--rate R]
+#                          [--tenants N] [--build DIR]
+#
+# --smoke: short fixed-parameter run for CI (2 shards, ~4 s wall clock).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+shards=2
+duration=10
+rate=500
+tenants=8
+build=build
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --smoke) shards=2; duration=4; rate=400; tenants=8 ;;
+    --shards) shards=$2; shift ;;
+    --duration) duration=$2; shift ;;
+    --rate) rate=$2; shift ;;
+    --tenants) tenants=$2; shift ;;
+    --build) build=$2; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+autopn="$build/tools/autopn"
+if [ ! -x "$autopn" ]; then
+  echo "run_cluster: $autopn not built (cmake --build $build --target autopn)" >&2
+  exit 2
+fi
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  # Best-effort teardown on early exit; a clean run has already waited.
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+wait_for_port_file() {
+  for _ in $(seq 1 100); do [ -s "$1" ] && return 0; sleep 0.1; done
+  echo "run_cluster: timed out waiting for $1" >&2
+  return 1
+}
+
+# Shards first: each picks an ephemeral port and publishes it via port-file.
+# They serve a little longer than the client offers so the router's drain
+# never races a shard teardown.
+shard_args=()
+for s in $(seq 1 "$shards"); do
+  portfile="$workdir/shard$s.port"
+  "$autopn" serve --listen 127.0.0.1:0 --port-file "$portfile" \
+    --duration "$((duration + 4))" &
+  pids+=($!)
+  shard_args+=(--shard-port-file "$portfile")
+done
+for s in $(seq 1 "$shards"); do
+  wait_for_port_file "$workdir/shard$s.port"
+done
+
+# Router fronts the shards; outlives the client by a grace window too.
+router_port="$workdir/router.port"
+"$autopn" router --listen 127.0.0.1:0 --port-file "$router_port" \
+  "${shard_args[@]}" --duration "$((duration + 2))" &
+pids+=($!)
+wait_for_port_file "$router_port"
+
+echo "run_cluster: $shards shard(s) + router up, offering ${rate} req/s" \
+  "for ${duration}s across $tenants tenants"
+"$autopn" netload --port-file "$router_port" --rate "$rate" \
+  --duration "$duration" --tenants "$tenants"
+
+failures=0
+for pid in "${pids[@]}"; do
+  wait "$pid" || failures=$((failures + 1))
+done
+pids=()
+if [ "$failures" -ne 0 ]; then
+  echo "run_cluster: $failures process(es) reported ledger/verification failures"
+  exit 1
+fi
+echo "run_cluster: all ledgers exact across $((shards + 1)) processes"

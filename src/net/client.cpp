@@ -1,6 +1,7 @@
 #include "net/client.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -14,6 +15,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <system_error>
+#include <thread>
 #include <utility>
 
 namespace autopn::net {
@@ -25,6 +27,49 @@ using SteadyClock = std::chrono::steady_clock;
 template <typename TimePoint>
 double seconds_until(TimePoint deadline) {
   return std::chrono::duration<double>(deadline - SteadyClock::now()).count();
+}
+
+/// Bounded-time TCP connect: non-blocking connect + poll(POLLOUT), then
+/// SO_ERROR tells whether the three-way handshake actually succeeded. On
+/// success the fd is switched back to blocking mode. Throws on failure.
+void connect_with_timeout(int fd, const sockaddr_in& addr,
+                          double timeout_seconds) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw std::system_error{errno, std::generic_category(), "fcntl"};
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    if (errno != EINPROGRESS) {
+      throw std::system_error{errno, std::generic_category(), "connect"};
+    }
+    const auto deadline =
+        SteadyClock::now() + std::chrono::duration<double>(timeout_seconds);
+    for (;;) {
+      const double remaining = seconds_until(deadline);
+      if (remaining <= 0.0) {
+        throw std::system_error{ETIMEDOUT, std::generic_category(), "connect"};
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, static_cast<int>(remaining * 1e3) + 1);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw std::system_error{errno, std::generic_category(), "poll"};
+      }
+      if (rc > 0) break;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) {
+      throw std::system_error{errno, std::generic_category(), "getsockopt"};
+    }
+    if (err != 0) {
+      throw std::system_error{err, std::generic_category(), "connect"};
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) < 0) {
+    throw std::system_error{errno, std::generic_category(), "fcntl"};
+  }
 }
 
 /// Blocking full-buffer send; false on any I/O error.
@@ -57,10 +102,11 @@ Client Client::connect(const std::string& host, std::uint16_t port,
     ::close(fd);
     throw std::system_error{EINVAL, std::generic_category(), "inet_pton"};
   }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    const int saved = errno;
+  try {
+    connect_with_timeout(fd, addr, timeout_seconds);
+  } catch (...) {
     ::close(fd);
-    throw std::system_error{saved, std::generic_category(), "connect"};
+    throw;
   }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -79,12 +125,30 @@ Client Client::connect(const std::string& host, std::uint16_t port,
   const auto deadline =
       SteadyClock::now() + std::chrono::duration<double>(timeout_seconds);
   while (!client.handshaken_) {
-    if (!client.fill_buffer(seconds_until(deadline))) {
+    if (!client.read_batch(seconds_until(deadline))) {
       client.close();
       throw std::runtime_error{"handshake: no HelloAck"};
     }
   }
   return client;
+}
+
+std::optional<Client> Client::connect_with_backoff(const std::string& host,
+                                                   std::uint16_t port,
+                                                   const BackoffPolicy& policy) {
+  double backoff = policy.initial_backoff_seconds;
+  for (int attempt = 0; attempt < std::max(policy.max_attempts, 1); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      backoff = std::min(backoff * 2.0, policy.max_backoff_seconds);
+    }
+    try {
+      return Client::connect(host, port, policy.attempt_timeout_seconds);
+    } catch (const std::exception&) {
+      // establishment failure — fall through to the next attempt
+    }
+  }
+  return std::nullopt;
 }
 
 Client::~Client() { close(); }
@@ -94,8 +158,10 @@ Client::Client(Client&& other) noexcept
       next_id_(other.next_id_.load(std::memory_order_relaxed)),
       closed_(other.closed_.load(std::memory_order_relaxed)),
       handshaken_(other.handshaken_),
+      wire_minor_(other.wire_minor_),
       decoder_(std::move(other.decoder_)),
-      pending_(std::move(other.pending_)) {}
+      pending_(std::move(other.pending_)),
+      pending_stats_(std::move(other.pending_stats_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -106,8 +172,10 @@ Client& Client::operator=(Client&& other) noexcept {
     closed_.store(other.closed_.load(std::memory_order_relaxed),
                   std::memory_order_relaxed);
     handshaken_ = other.handshaken_;
+    wire_minor_ = other.wire_minor_;
     decoder_ = std::move(other.decoder_);
     pending_ = std::move(other.pending_);
+    pending_stats_ = std::move(other.pending_stats_);
   }
   return *this;
 }
@@ -118,6 +186,11 @@ void Client::close() {
     fd_ = -1;
   }
   closed_.store(true, std::memory_order_relaxed);
+}
+
+void Client::shutdown_socket() {
+  closed_.store(true, std::memory_order_relaxed);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 std::optional<std::uint64_t> Client::send(
@@ -144,6 +217,16 @@ bool Client::fill_buffer(double timeout_seconds) {
       SteadyClock::now() +
       std::chrono::duration<double>(std::max(timeout_seconds, 0.0));
   while (pending_.empty()) {
+    if (!read_batch(seconds_until(deadline))) return false;
+  }
+  return true;
+}
+
+bool Client::read_batch(double timeout_seconds) {
+  const auto deadline =
+      SteadyClock::now() +
+      std::chrono::duration<double>(std::max(timeout_seconds, 0.0));
+  for (;;) {
     if (closed_.load(std::memory_order_relaxed) || fd_ < 0) return false;
     const double remaining = seconds_until(deadline);
     if (remaining <= 0.0) return false;
@@ -171,7 +254,17 @@ bool Client::fill_buffer(double timeout_seconds) {
           return false;
         }
         handshaken_ = true;
+        wire_minor_ = std::min(ack->minor, kWireMinor);
         continue;  // handshake complete; keep draining data frames
+      }
+      if (frame->type == FrameType::kStatsResponse) {
+        auto stats = parse_stats(frame->body);
+        if (!stats) {
+          closed_.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        pending_stats_.push_back(std::move(*stats));
+        continue;
       }
       if (frame->type != FrameType::kResponse) {
         closed_.store(true, std::memory_order_relaxed);
@@ -188,11 +281,11 @@ bool Client::fill_buffer(double timeout_seconds) {
       closed_.store(true, std::memory_order_relaxed);
       return false;
     }
-    // The HelloAck alone leaves pending_ empty: report success so the
-    // handshake path can distinguish "ack received" from "timed out".
+    // One successful read batch processed (possibly only a HelloAck or a
+    // StatsFrame): report success so each caller can re-check its own
+    // wait condition — handshaken_, pending_, or pending_stats_.
     return true;
   }
-  return true;
 }
 
 std::optional<ResponseFrame> Client::recv(double timeout_seconds) {
@@ -209,6 +302,30 @@ std::optional<ResponseFrame> Client::recv(double timeout_seconds) {
   ResponseFrame response = std::move(pending_.front());
   pending_.pop_front();
   return response;
+}
+
+bool Client::send_stats_request() {
+  if (!connected() || wire_minor_ < 1) return false;
+  std::vector<std::uint8_t> bytes;
+  encode_stats_request(bytes);
+  if (!send_all(fd_, bytes.data(), bytes.size())) {
+    closed_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+std::optional<StatsFrame> Client::poll_stats(double timeout_seconds) {
+  const auto deadline =
+      SteadyClock::now() +
+      std::chrono::duration<double>(std::max(timeout_seconds, 0.0));
+  while (pending_stats_.empty()) {
+    // Response frames seen while waiting stay buffered for recv()/call().
+    if (!read_batch(seconds_until(deadline))) return std::nullopt;
+  }
+  StatsFrame stats = std::move(pending_stats_.front());
+  pending_stats_.pop_front();
+  return stats;
 }
 
 std::optional<ResponseFrame> Client::call(std::uint16_t handler_id,

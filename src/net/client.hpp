@@ -31,13 +31,33 @@
 
 namespace autopn::net {
 
+/// Retry schedule for connect_with_backoff: capped exponential delays
+/// between attempts, each attempt bounded by `attempt_timeout_seconds`
+/// (which covers both the TCP connect and the handshake).
+struct BackoffPolicy {
+  double attempt_timeout_seconds = 1.0;
+  double initial_backoff_seconds = 0.05;
+  double max_backoff_seconds = 1.0;
+  int max_attempts = 5;
+};
+
 class Client {
  public:
   /// Connects and completes the handshake; throws std::system_error on
   /// connection failure and std::runtime_error on a rejected/garbled
-  /// handshake. `timeout_seconds` bounds the handshake wait.
+  /// handshake. `timeout_seconds` bounds the TCP connect (non-blocking
+  /// connect + poll — a dead or firewalled backend fails in bounded time
+  /// instead of pinning the caller to the kernel's SYN retry schedule)
+  /// and, separately, the handshake wait.
   static Client connect(const std::string& host, std::uint16_t port,
                         double timeout_seconds = 5.0);
+
+  /// Retrying wrapper: attempts connect() under `policy`, sleeping the
+  /// capped-exponential backoff between failures. std::nullopt once
+  /// max_attempts establishment failures accumulate — never throws.
+  static std::optional<Client> connect_with_backoff(
+      const std::string& host, std::uint16_t port,
+      const BackoffPolicy& policy = {});
 
   Client() = default;  ///< disconnected shell; send/recv fail until connect
   ~Client();
@@ -66,6 +86,19 @@ class Client {
                                     std::uint64_t deadline_us = 0,
                                     double timeout_seconds = 5.0);
 
+  /// Asks the server for its KPI aggregates (minor >= 1 only — returns
+  /// false on a legacy connection). The answer arrives via poll_stats().
+  bool send_stats_request();
+
+  /// Next buffered StatsFrame, reading the socket up to `timeout_seconds`.
+  /// Response frames seen while waiting are buffered for recv()/call().
+  std::optional<StatsFrame> poll_stats(double timeout_seconds);
+
+  /// The minor negotiated at handshake (0 when talking to a legacy peer).
+  [[nodiscard]] std::uint16_t wire_minor() const noexcept {
+    return wire_minor_;
+  }
+
   [[nodiscard]] bool connected() const noexcept {
     return fd_ >= 0 && !closed_.load(std::memory_order_relaxed);
   }
@@ -75,16 +108,28 @@ class Client {
 
   void close();
 
+  /// Half-close from any thread: marks the client closed and shuts the
+  /// socket down so a receiver blocked in recv()/poll_stats() wakes up
+  /// promptly. The fd itself stays valid until close()/destruction, so
+  /// this is safe to call while the receiver thread is inside recv().
+  void shutdown_socket();
+
  private:
   /// Reads until ≥1 response is buffered or the deadline passes.
   bool fill_buffer(double timeout_seconds);
+
+  /// One poll+recv+decode round; true after any successfully processed
+  /// batch (which may have buffered only stats or the handshake ack).
+  bool read_batch(double timeout_seconds);
 
   int fd_ = -1;
   std::atomic<std::uint64_t> next_id_{1};
   std::atomic<bool> closed_{false};  ///< either side may observe the break
   bool handshaken_ = false;          ///< receiver side: HelloAck(ok) seen
+  std::uint16_t wire_minor_ = 0;     ///< set once at handshake, then const
   FrameDecoder decoder_;
   std::deque<ResponseFrame> pending_;
+  std::deque<StatsFrame> pending_stats_;
 };
 
 }  // namespace autopn::net

@@ -1,0 +1,91 @@
+#include "net/dispatcher.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace autopn::net {
+
+namespace {
+
+Status status_of(serve::RequestOutcome outcome) {
+  switch (outcome) {
+    case serve::RequestOutcome::kCompleted: return Status::kOk;
+    case serve::RequestOutcome::kExpired: return Status::kExpired;
+    case serve::RequestOutcome::kFailed: return Status::kFailed;
+  }
+  return Status::kFailed;
+}
+
+std::uint64_t to_micros(double seconds) {
+  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
+}
+
+}  // namespace
+
+EngineDispatcher::EngineDispatcher(serve::ServeEngine& engine,
+                                   HandlerTable handlers)
+    : engine_(&engine), handlers_(std::move(handlers)) {}
+
+void EngineDispatcher::dispatch(RequestFrame frame, RespondFn respond) {
+  const std::size_t table_size = std::max<std::size_t>(handlers_.size(), 1);
+  if (frame.handler_id >= table_size) {
+    ResponseFrame response;
+    response.status = Status::kRejected;
+    respond(std::move(response));
+    return;
+  }
+  serve::RequestHandler handler;
+  if (frame.handler_id < handlers_.size()) handler = handlers_[frame.handler_id];
+
+  // The completion callback copies `respond`; exactly one of the two paths
+  // (admitted → callback, refused → synchronous shed below) ever fires.
+  const serve::SubmitResult submit = engine_->submit(
+      std::move(handler),
+      [respond](const serve::RequestResult& result) {
+        ResponseFrame response;
+        response.status = status_of(result.outcome);
+        response.server_latency_us = to_micros(result.latency);
+        respond(std::move(response));
+      },
+      frame.tenant_id, static_cast<double>(frame.deadline_us) / 1e6);
+  if (submit.admitted) return;
+
+  ResponseFrame response;
+  response.status =
+      engine_->queue().closed() ? Status::kClosing : Status::kShed;
+  response.retry_after_us = to_micros(submit.retry_after);
+  response.shed_origin = ShedOrigin::kShard;
+  respond(std::move(response));
+}
+
+void EngineDispatcher::drain() {
+  // Workers are joined inside: on return every admitted request's
+  // completion (and therefore its respond) has fired.
+  engine_->drain_and_stop();
+}
+
+StatsFrame EngineDispatcher::stats() {
+  const serve::ServeReport report = engine_->report();
+  StatsFrame stats;
+  stats.offered = report.offered;
+  stats.completed = report.completed;
+  stats.shed = report.shed;
+  stats.expired = report.expired;
+  stats.failed = report.failed;
+  stats.queue_depth = static_cast<std::uint32_t>(report.queue_depth);
+  stats.p50_us = to_micros(report.latency.p50);
+  stats.p95_us = to_micros(report.latency.p95);
+  stats.p99_us = to_micros(report.latency.p99);
+  stats.retry_after_us = to_micros(report.retry_after_hint);
+  stats.tenants.reserve(report.tenants.size());
+  for (const auto& tenant : report.tenants) {
+    TenantStat t;
+    t.tenant = tenant.tenant;
+    t.count = tenant.latency.count;
+    t.p99_us = to_micros(tenant.latency.p99);
+    stats.tenants.push_back(t);
+  }
+  return stats;
+}
+
+}  // namespace autopn::net

@@ -28,6 +28,7 @@ struct WorkerStats {
   std::uint64_t sent = 0;
   std::uint64_t ok = 0;
   std::uint64_t shed = 0;
+  std::uint64_t shed_router = 0;
   std::uint64_t expired = 0;
   std::uint64_t failed = 0;
   std::uint64_t rejected = 0;
@@ -50,6 +51,7 @@ void merge(SharedState& shared, const WorkerStats& stats) {
   r.sent += stats.sent;
   r.ok += stats.ok;
   r.shed += stats.shed;
+  r.shed_router += stats.shed_router;
   r.expired += stats.expired;
   r.failed += stats.failed;
   r.rejected += stats.rejected;
@@ -85,6 +87,7 @@ void count_response(const ResponseFrame& response, WorkerStats& stats,
     case Status::kShed:
     case Status::kClosing:
       ++stats.shed;
+      if (response.shed_origin == ShedOrigin::kRouter) ++stats.shed_router;
       stats.retry_after_sum +=
           static_cast<double>(response.retry_after_us) / 1e6;
       ++stats.retry_after_count;

@@ -46,7 +46,8 @@ struct NetLoadParams {
 struct NetLoadResult {
   std::uint64_t sent = 0;
   std::uint64_t ok = 0;
-  std::uint64_t shed = 0;      ///< kShed + kClosing responses
+  std::uint64_t shed = 0;         ///< kShed + kClosing responses (all tiers)
+  std::uint64_t shed_router = 0;  ///< subset of `shed` with router origin
   std::uint64_t expired = 0;
   std::uint64_t failed = 0;
   std::uint64_t rejected = 0;

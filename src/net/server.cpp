@@ -42,25 +42,21 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
-Status status_of(serve::RequestOutcome outcome) {
-  switch (outcome) {
-    case serve::RequestOutcome::kCompleted: return Status::kOk;
-    case serve::RequestOutcome::kExpired: return Status::kExpired;
-    case serve::RequestOutcome::kFailed: return Status::kFailed;
-  }
-  return Status::kFailed;
-}
-
-std::uint64_t to_micros(double seconds) {
-  return seconds <= 0.0 ? 0 : static_cast<std::uint64_t>(seconds * 1e6);
-}
-
 }  // namespace
 
 NetServer::NetServer(serve::ServeEngine& engine, HandlerTable handlers,
                      NetServerConfig config)
-    : engine_(&engine), handlers_(std::move(handlers)), config_(std::move(config)) {
+    : owned_dispatcher_(
+          std::make_unique<EngineDispatcher>(engine, std::move(handlers))),
+      dispatcher_(owned_dispatcher_.get()),
+      config_(std::move(config)) {
   setup_listener();  // before the loop thread exists — registration is safe
+  loop_thread_ = std::thread{[this] { loop_.run(); }};
+}
+
+NetServer::NetServer(RequestDispatcher& dispatcher, NetServerConfig config)
+    : dispatcher_(&dispatcher), config_(std::move(config)) {
+  setup_listener();
   loop_thread_ = std::thread{[this] { loop_.run(); }};
 }
 
@@ -215,6 +211,11 @@ bool NetServer::process_frames(std::uint64_t conn_id) {
                       hello->version == kWireVersion;
       HelloAckFrame ack;
       ack.ok = ok;
+      // Mirror the requester's form: a legacy (minor-0) hello gets the
+      // byte-identical v1.0 short ack it can parse; a modern hello gets
+      // the negotiated min(client, server) minor.
+      ack.minor = ok ? std::min(hello->minor, kWireMinor) : 0;
+      conn.wire_minor = ack.minor;
       std::vector<std::uint8_t> bytes;
       encode_hello_ack(bytes, ack);
       // A failed write closes (and frees) the connection; `conn` is dead.
@@ -228,6 +229,18 @@ bool NetServer::process_frames(std::uint64_t conn_id) {
       if (!alive) return false;
       conn.handshaken = true;
       loop_.cancel_timer(conn.handshake_timer);
+      continue;
+    }
+    if (frame->type == FrameType::kStatsRequest) {
+      // Minor-1 construct: on a legacy connection it's a protocol error.
+      if (conn.wire_minor < 1) {
+        close_connection(conn_id, CloseReason::kProtocol);
+        return false;
+      }
+      std::vector<std::uint8_t> bytes;
+      encode_stats(bytes, dispatcher_->stats());
+      // Stats frames ride outside the request/response ledger.
+      if (!send_bytes(conn, bytes, /*is_response=*/false)) return false;
       continue;
     }
     if (frame->type != FrameType::kRequest) {
@@ -245,51 +258,31 @@ bool NetServer::process_frames(std::uint64_t conn_id) {
 
 void NetServer::handle_request(Connection& conn, RequestFrame frame) {
   requests_decoded_.fetch_add(1, std::memory_order_relaxed);
-
-  // Resolve the handler: an empty table exposes only id 0 (the engine's
-  // default handler); ids beyond the table are rejected at the edge and
-  // never consume queue capacity.
-  serve::RequestHandler handler;
-  const std::size_t table_size = std::max<std::size_t>(handlers_.size(), 1);
-  if (frame.handler_id >= table_size) {
-    ResponseFrame response;
-    response.request_id = frame.request_id;
-    response.status = Status::kRejected;
-    enqueue_response(conn, response);
-    return;
-  }
-  if (frame.handler_id < handlers_.size()) handler = handlers_[frame.handler_id];
-
   const std::uint64_t conn_id = conn.id;
   const std::uint64_t request_id = frame.request_id;
-  const serve::SubmitResult submit = engine_->submit(
-      std::move(handler),
-      [this, conn_id, request_id](const serve::RequestResult& result) {
-        complete_request(conn_id, request_id, result);
-      },
-      frame.tenant_id, static_cast<double>(frame.deadline_us) / 1e6);
-  if (submit.admitted) return;  // the completion callback owns the response
-
-  ResponseFrame response;
-  response.request_id = request_id;
-  response.status =
-      engine_->queue().closed() ? Status::kClosing : Status::kShed;
-  response.retry_after_us = to_micros(submit.retry_after);
-  shed_responses_.fetch_add(1, std::memory_order_relaxed);
-  enqueue_response(conn, response);
+  const std::uint16_t wire_minor = conn.wire_minor;
+  // The dispatcher calls respond exactly once, from any thread — the
+  // ledger stays exact because respond always counts responses_enqueued
+  // and deliver() accounts written-vs-dropped on the loop.
+  dispatcher_->dispatch(
+      std::move(frame),
+      [this, conn_id, request_id, wire_minor](ResponseFrame response) {
+        respond(conn_id, request_id, wire_minor, std::move(response));
+      });
 }
 
-void NetServer::complete_request(std::uint64_t conn_id, std::uint64_t request_id,
-                                 const serve::RequestResult& result) {
-  // Engine-worker context: encode here (cheap, no shared state) and hand the
-  // bytes to the loop. The worker never touches the socket — a stalled or
-  // dead connection cannot stall transaction workers.
-  ResponseFrame response;
+void NetServer::respond(std::uint64_t conn_id, std::uint64_t request_id,
+                        std::uint16_t wire_minor, ResponseFrame response) {
+  // Dispatcher context (engine worker, router io thread, or the loop
+  // itself): encode here (cheap, no shared state) and hand the bytes to
+  // the loop. Workers never touch the socket — a stalled or dead
+  // connection cannot stall them.
   response.request_id = request_id;
-  response.status = status_of(result.outcome);
-  response.server_latency_us = to_micros(result.latency);
+  if (response.status == Status::kShed || response.status == Status::kClosing) {
+    shed_responses_.fetch_add(1, std::memory_order_relaxed);
+  }
   std::vector<std::uint8_t> bytes;
-  encode_response(bytes, response);
+  encode_response(bytes, response, wire_minor);
   responses_enqueued_.fetch_add(1, std::memory_order_relaxed);
   loop_.post([this, conn_id, bytes = std::move(bytes)]() mutable {
     deliver(conn_id, std::move(bytes));
@@ -305,13 +298,6 @@ void NetServer::deliver(std::uint64_t conn_id, std::vector<std::uint8_t> bytes) 
     return;
   }
   send_bytes(*it->second, bytes, /*is_response=*/true);
-}
-
-void NetServer::enqueue_response(Connection& conn, const ResponseFrame& response) {
-  std::vector<std::uint8_t> bytes;
-  encode_response(bytes, response);
-  responses_enqueued_.fetch_add(1, std::memory_order_relaxed);
-  send_bytes(conn, bytes, /*is_response=*/true);
 }
 
 bool NetServer::send_bytes(Connection& conn, const std::vector<std::uint8_t>& bytes,
@@ -436,10 +422,10 @@ void NetServer::shutdown() {
   });
   loop_.drain();
 
-  // Phase 2: drain the engine. Workers are joined inside, so on return every
-  // admitted request's completion has fired — and therefore every response
-  // has been posted to the loop. Phase 3 makes the loop deliver them.
-  engine_->drain_and_stop();
+  // Phase 2: drain the dispatcher — on return every in-flight dispatch has
+  // responded, and therefore every response has been posted to the loop.
+  // Phase 3 makes the loop deliver them.
+  dispatcher_->drain();
   loop_.drain();
 
   // Phase 4: flush buffered responses until every buffer is empty or the

@@ -39,6 +39,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "net/dispatcher.hpp"
 #include "net/event_loop.hpp"
 #include "net/wire.hpp"
 #include "serve/engine.hpp"
@@ -86,14 +87,21 @@ class NetServer {
   /// Request frames select a handler by index; ids outside the table get a
   /// kRejected response without touching the engine. Empty handlers fall
   /// back to the engine's default handler.
-  using HandlerTable = std::vector<serve::RequestHandler>;
+  using HandlerTable = EngineDispatcher::HandlerTable;
 
   /// Binds, listens, and starts the loop thread. The engine must outlive
   /// this server; destroy (or shutdown()) the server before stopping the
   /// engine yourself — shutdown() drains the engine as part of its ordered
   /// close. Throws std::system_error when the socket cannot be bound.
+  /// (Convenience form: wraps the engine in an owned EngineDispatcher.)
   NetServer(serve::ServeEngine& engine, HandlerTable handlers,
             NetServerConfig config = {});
+
+  /// Serves an arbitrary dispatcher (the router tier uses this). The
+  /// dispatcher must outlive the server; its drain() is invoked during
+  /// shutdown after reads have stopped.
+  NetServer(RequestDispatcher& dispatcher, NetServerConfig config = {});
+
   ~NetServer();
 
   NetServer(const NetServer&) = delete;
@@ -102,8 +110,13 @@ class NetServer {
   /// The actually-bound port (resolves config.port == 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
 
+  /// The server's reactor — for dispatchers that want to share its thread
+  /// for their own timers/fds (register via post(); loop-thread-only APIs
+  /// apply). Valid for the server's lifetime.
+  [[nodiscard]] EventLoop& loop() noexcept { return loop_; }
+
   /// Ordered deterministic drain; idempotent. Steps: stop accepting and
-  /// reading (no new requests), drain the engine (every in-flight
+  /// reading (no new requests), drain the dispatcher (every in-flight
   /// completion fires), drain the loop (every posted response reaches its
   /// connection's buffer), flush buffers until empty or drain_timeout, then
   /// close everything. Safe from any thread except the loop thread.
@@ -116,6 +129,8 @@ class NetServer {
     int fd = -1;
     std::uint64_t id = 0;
     bool handshaken = false;
+    /// Negotiated at handshake: min(client's hello minor, kWireMinor).
+    std::uint16_t wire_minor = 0;
     bool reading_paused = false;
     bool draining = false;  ///< shutdown: no further reads, flush only
     FrameDecoder decoder;
@@ -140,12 +155,12 @@ class NetServer {
   [[nodiscard]] bool on_readable(std::uint64_t conn_id);
   [[nodiscard]] bool process_frames(std::uint64_t conn_id);
   void handle_request(Connection& conn, RequestFrame frame);
-  /// Engine-worker side: packages the result and posts it to the loop.
-  void complete_request(std::uint64_t conn_id, std::uint64_t request_id,
-                        const serve::RequestResult& result);
+  /// Dispatcher-side respond path: encodes on the caller's thread (worker,
+  /// router io, or the loop itself) and posts the bytes to the loop.
+  void respond(std::uint64_t conn_id, std::uint64_t request_id,
+               std::uint16_t wire_minor, ResponseFrame response);
   /// Loop side: appends an encoded response to the connection (if alive).
   void deliver(std::uint64_t conn_id, std::vector<std::uint8_t> bytes);
-  void enqueue_response(Connection& conn, const ResponseFrame& response);
   /// Returns false if the write path closed (and freed) the connection —
   /// the caller's `conn` reference is dangling and must not be touched.
   bool send_bytes(Connection& conn, const std::vector<std::uint8_t>& bytes,
@@ -155,8 +170,10 @@ class NetServer {
   void close_connection(std::uint64_t conn_id, CloseReason reason);
   [[nodiscard]] bool flushed_everything() const;
 
-  serve::ServeEngine* engine_;
-  HandlerTable handlers_;
+  /// Owned only by the engine-convenience constructor; dispatcher_ is the
+  /// seam every request goes through either way.
+  std::unique_ptr<EngineDispatcher> owned_dispatcher_;
+  RequestDispatcher* dispatcher_;
   NetServerConfig config_;
 
   EventLoop loop_;

@@ -116,10 +116,19 @@ std::string to_string(Status status) {
   return "unknown";
 }
 
+std::string to_string(ShedOrigin origin) {
+  switch (origin) {
+    case ShedOrigin::kShard: return "shard";
+    case ShedOrigin::kRouter: return "router";
+  }
+  return "unknown";
+}
+
 void encode_hello(std::vector<std::uint8_t>& out, const HelloFrame& f) {
   FrameBuilder b{out, FrameType::kHello};
   put_u32(out, f.magic);
   put_u16(out, f.version);
+  if (f.minor >= 1) put_u16(out, f.minor);  // minor 0 = legacy short form
   b.finish();
 }
 
@@ -127,6 +136,7 @@ void encode_hello_ack(std::vector<std::uint8_t>& out, const HelloAckFrame& f) {
   FrameBuilder b{out, FrameType::kHelloAck};
   put_u32(out, f.magic);
   put_u16(out, f.version);
+  if (f.minor >= 1) put_u16(out, f.minor);  // minor 0 = legacy short form
   put_u8(out, f.ok ? 1 : 0);
   b.finish();
 }
@@ -142,7 +152,8 @@ void encode_request(std::vector<std::uint8_t>& out, const RequestFrame& f) {
   b.finish();
 }
 
-void encode_response(std::vector<std::uint8_t>& out, const ResponseFrame& f) {
+void encode_response(std::vector<std::uint8_t>& out, const ResponseFrame& f,
+                     std::uint16_t wire_minor) {
   FrameBuilder b{out, FrameType::kResponse};
   put_u64(out, f.request_id);
   put_u8(out, static_cast<std::uint8_t>(f.status));
@@ -150,14 +161,47 @@ void encode_response(std::vector<std::uint8_t>& out, const ResponseFrame& f) {
   put_u64(out, f.retry_after_us);
   put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
   out.insert(out.end(), f.payload.begin(), f.payload.end());
+  if (wire_minor >= 1) put_u8(out, static_cast<std::uint8_t>(f.shed_origin));
+  b.finish();
+}
+
+void encode_stats_request(std::vector<std::uint8_t>& out) {
+  FrameBuilder b{out, FrameType::kStatsRequest};
+  put_u8(out, 0);  // reserved; a zero-length frame is a decoder error
+  b.finish();
+}
+
+void encode_stats(std::vector<std::uint8_t>& out, const StatsFrame& f) {
+  FrameBuilder b{out, FrameType::kStatsResponse};
+  put_u64(out, f.offered);
+  put_u64(out, f.completed);
+  put_u64(out, f.shed);
+  put_u64(out, f.expired);
+  put_u64(out, f.failed);
+  put_u32(out, f.queue_depth);
+  put_u64(out, f.p50_us);
+  put_u64(out, f.p95_us);
+  put_u64(out, f.p99_us);
+  put_u64(out, f.retry_after_us);
+  put_u16(out, static_cast<std::uint16_t>(f.tenants.size()));
+  for (const TenantStat& t : f.tenants) {
+    put_u16(out, t.tenant);
+    put_u64(out, t.count);
+    put_u64(out, t.p99_us);
+  }
   b.finish();
 }
 
 std::optional<HelloFrame> parse_hello(const std::vector<std::uint8_t>& body) {
   Reader r{body};
   HelloFrame f;
-  if (!r.get_u32(f.magic) || !r.get_u16(f.version) || !r.exhausted()) {
-    return std::nullopt;
+  if (!r.get_u32(f.magic) || !r.get_u16(f.version)) return std::nullopt;
+  if (r.exhausted()) {
+    f.minor = 0;  // legacy v1.0 short form
+    return f;
+  }
+  if (!r.get_u16(f.minor) || f.minor == 0 || !r.exhausted()) {
+    return std::nullopt;  // long form must carry a nonzero minor, exactly
   }
   return f;
 }
@@ -167,10 +211,13 @@ std::optional<HelloAckFrame> parse_hello_ack(
   Reader r{body};
   HelloAckFrame f;
   std::uint8_t ok = 0;
-  if (!r.get_u32(f.magic) || !r.get_u16(f.version) || !r.get_u8(ok) ||
-      !r.exhausted()) {
+  if (!r.get_u32(f.magic) || !r.get_u16(f.version)) return std::nullopt;
+  if (body.size() == 7) {  // legacy v1.0 short form: no minor field
+    f.minor = 0;
+  } else if (!r.get_u16(f.minor) || f.minor == 0) {
     return std::nullopt;
   }
+  if (!r.get_u8(ok) || !r.exhausted()) return std::nullopt;
   f.ok = ok != 0;
   return f;
 }
@@ -198,10 +245,39 @@ std::optional<ResponseFrame> parse_response(
       status > static_cast<std::uint8_t>(Status::kClosing) ||
       !r.get_u64(f.server_latency_us) || !r.get_u64(f.retry_after_us) ||
       !r.get_u32(payload_len) || payload_len > kMaxPayloadBytes ||
-      !r.get_bytes(f.payload, payload_len) || !r.exhausted()) {
+      !r.get_bytes(f.payload, payload_len)) {
     return std::nullopt;
   }
   f.status = static_cast<Status>(status);
+  if (r.exhausted()) return f;  // legacy v1.0 form: no shed-origin byte
+  std::uint8_t origin = 0;
+  if (!r.get_u8(origin) ||
+      origin > static_cast<std::uint8_t>(ShedOrigin::kRouter) ||
+      !r.exhausted()) {
+    return std::nullopt;
+  }
+  f.shed_origin = static_cast<ShedOrigin>(origin);
+  return f;
+}
+
+std::optional<StatsFrame> parse_stats(const std::vector<std::uint8_t>& body) {
+  Reader r{body};
+  StatsFrame f;
+  std::uint16_t n_tenants = 0;
+  if (!r.get_u64(f.offered) || !r.get_u64(f.completed) || !r.get_u64(f.shed) ||
+      !r.get_u64(f.expired) || !r.get_u64(f.failed) ||
+      !r.get_u32(f.queue_depth) || !r.get_u64(f.p50_us) ||
+      !r.get_u64(f.p95_us) || !r.get_u64(f.p99_us) ||
+      !r.get_u64(f.retry_after_us) || !r.get_u16(n_tenants)) {
+    return std::nullopt;
+  }
+  f.tenants.resize(n_tenants);
+  for (TenantStat& t : f.tenants) {
+    if (!r.get_u16(t.tenant) || !r.get_u64(t.count) || !r.get_u64(t.p99_us)) {
+      return std::nullopt;
+    }
+  }
+  if (!r.exhausted()) return std::nullopt;
   return f;
 }
 
@@ -230,7 +306,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint8_t type = buffer_[4];
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kResponse)) {
+      type > static_cast<std::uint8_t>(FrameType::kStatsResponse)) {
     fail("unknown frame type " + std::to_string(type));
     return std::nullopt;
   }

@@ -21,6 +21,16 @@
 // completed frames. Malformed input (oversized length, unknown type, a
 // truncated body) moves the decoder into a sticky error state; the caller
 // closes the connection, it never "resyncs" into attacker-chosen framing.
+//
+// Versioning: `version` is the major protocol revision and must match
+// exactly; `minor` rides the handshake as an optional trailing field and is
+// negotiated down to min(client, server). Minor 0 is the original v1.0
+// layout — a minor-0 Hello/HelloAck is encoded WITHOUT the trailing field,
+// byte-identical to v1.0, so a legacy peer (which rejects bodies with
+// trailing bytes) still interoperates: the responder mirrors the
+// requester's form. Constructs introduced by minor 1 — the Response
+// shed-origin byte and the Stats frame pair — are only ever sent on a
+// connection whose negotiated minor is >= 1.
 
 #include <cstddef>
 #include <cstdint>
@@ -33,6 +43,9 @@ namespace autopn::net {
 
 inline constexpr std::uint32_t kWireMagic = 0x41504E31;  // "APN1"
 inline constexpr std::uint16_t kWireVersion = 1;
+/// Highest protocol minor this implementation speaks (see file comment for
+/// the negotiation rules; 0 encodes the legacy v1.0 frame layout).
+inline constexpr std::uint16_t kWireMinor = 1;
 /// Hard cap on `length`; a header announcing more is a protocol error (and
 /// the decoder's defense against unbounded buffering on garbage input).
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
@@ -41,10 +54,12 @@ inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
 inline constexpr std::uint32_t kMaxPayloadBytes = kMaxFrameBytes - 64;
 
 enum class FrameType : std::uint8_t {
-  kHello = 1,     ///< client → server: magic + version
-  kHelloAck = 2,  ///< server → client: magic + version + accept flag
+  kHello = 1,     ///< client → server: magic + version [+ minor]
+  kHelloAck = 2,  ///< server → client: magic + version [+ minor] + accept flag
   kRequest = 3,
   kResponse = 4,
+  kStatsRequest = 5,   ///< minor >= 1: ask the server for its KPI aggregates
+  kStatsResponse = 6,  ///< minor >= 1: the server's StatsFrame
 };
 
 /// Engine verdict carried by a Response frame.
@@ -59,14 +74,29 @@ enum class Status : std::uint8_t {
 
 [[nodiscard]] std::string to_string(Status status);
 
+/// Which tier shed a request — carried on the wire (minor >= 1) so clients
+/// and the CLI SLO table can tell a router-level shed (backend down, drain,
+/// migration overflow) from a shard's own admission shedding.
+enum class ShedOrigin : std::uint8_t {
+  kShard = 0,   ///< the serving engine's admission queue refused it
+  kRouter = 1,  ///< a routing tier answered without reaching a shard
+};
+
+[[nodiscard]] std::string to_string(ShedOrigin origin);
+
 struct HelloFrame {
   std::uint32_t magic = kWireMagic;
   std::uint16_t version = kWireVersion;
+  /// Highest minor the sender speaks; 0 selects the legacy short encoding.
+  std::uint16_t minor = kWireMinor;
 };
 
 struct HelloAckFrame {
   std::uint32_t magic = kWireMagic;
   std::uint16_t version = kWireVersion;
+  /// Negotiated minor = min(hello.minor, responder's kWireMinor); 0 selects
+  /// the legacy short encoding so a v1.0 requester can parse the ack.
+  std::uint16_t minor = kWireMinor;
   bool ok = true;
 };
 
@@ -88,6 +118,36 @@ struct ResponseFrame {
   /// Backoff hint, microseconds (nonzero only for kShed/kClosing).
   std::uint64_t retry_after_us = 0;
   std::vector<std::uint8_t> payload;
+  /// Which tier produced a kShed/kClosing verdict. On the wire only when
+  /// the connection negotiated minor >= 1; absent means kShard.
+  ShedOrigin shed_origin = ShedOrigin::kShard;
+};
+
+/// One per-tenant latency slot in a StatsFrame (the serving engine's 8
+/// hashed KPI slots — `tenant` is the slot index, not a raw tenant id).
+struct TenantStat {
+  std::uint16_t tenant = 0;
+  std::uint64_t count = 0;
+  std::uint64_t p99_us = 0;
+};
+
+/// Aggregated server KPIs answered to a kStatsRequest (minor >= 1). This is
+/// what a router polls per shard to drive latency-aware rebalancing: the
+/// engine-level counters, the cumulative latency percentiles, and the
+/// per-tenant latency slots.
+struct StatsFrame {
+  std::uint64_t offered = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t failed = 0;
+  std::uint32_t queue_depth = 0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p95_us = 0;
+  std::uint64_t p99_us = 0;
+  /// The clamped backoff a request shed right now would be hinted.
+  std::uint64_t retry_after_us = 0;
+  std::vector<TenantStat> tenants;
 };
 
 // ---- Encoding ----------------------------------------------------------
@@ -97,7 +157,12 @@ struct ResponseFrame {
 void encode_hello(std::vector<std::uint8_t>& out, const HelloFrame& f = {});
 void encode_hello_ack(std::vector<std::uint8_t>& out, const HelloAckFrame& f);
 void encode_request(std::vector<std::uint8_t>& out, const RequestFrame& f);
-void encode_response(std::vector<std::uint8_t>& out, const ResponseFrame& f);
+/// `wire_minor` is the connection's negotiated minor: the shed-origin byte
+/// is appended only for minor >= 1 (a minor-0 peer parses exactly v1.0).
+void encode_response(std::vector<std::uint8_t>& out, const ResponseFrame& f,
+                     std::uint16_t wire_minor = kWireMinor);
+void encode_stats_request(std::vector<std::uint8_t>& out);
+void encode_stats(std::vector<std::uint8_t>& out, const StatsFrame& f);
 
 // ---- Decoding ----------------------------------------------------------
 
@@ -118,6 +183,8 @@ struct Frame {
 [[nodiscard]] std::optional<RequestFrame> parse_request(
     const std::vector<std::uint8_t>& body);
 [[nodiscard]] std::optional<ResponseFrame> parse_response(
+    const std::vector<std::uint8_t>& body);
+[[nodiscard]] std::optional<StatsFrame> parse_stats(
     const std::vector<std::uint8_t>& body);
 
 class FrameDecoder {

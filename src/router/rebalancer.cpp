@@ -1,0 +1,85 @@
+#include "router/rebalancer.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <unordered_map>
+
+namespace autopn::router {
+
+Rebalancer::Rebalancer(RebalanceConfig config) : config_(config) {}
+
+std::vector<Move> Rebalancer::propose(
+    const std::vector<ShardSnapshot>& shards,
+    const std::vector<TenantLoad>& tenants) const {
+  std::vector<Move> moves;
+  if (shards.size() < 2) return moves;
+
+  std::unordered_map<std::uint32_t, const ShardSnapshot*> by_id;
+  for (const ShardSnapshot& s : shards) by_id.emplace(s.shard_id, &s);
+
+  // Targets: healthy shards with headroom, least-loaded first. A cluster
+  // with no qualifying target proposes nothing — better to stay hot than
+  // to regress a shard that is merely satisfied without slack.
+  const auto headroom_limit = static_cast<std::uint64_t>(
+      static_cast<double>(config_.slo_p99_us) * config_.headroom_fraction);
+  std::vector<const ShardSnapshot*> targets;
+  for (const ShardSnapshot& s : shards) {
+    if (s.healthy && s.p99_us < headroom_limit) targets.push_back(&s);
+  }
+  std::sort(targets.begin(), targets.end(),
+            [](const ShardSnapshot* a, const ShardSnapshot* b) {
+              return a->p99_us != b->p99_us ? a->p99_us < b->p99_us
+                                            : a->queue_depth < b->queue_depth;
+            });
+  if (targets.empty()) return moves;
+
+  // Candidates: tenants with enough signal, routed to a violating shard,
+  // whose own slot p99 also violates — busiest first (biggest relief).
+  std::vector<TenantLoad> candidates;
+  for (const TenantLoad& t : tenants) {
+    if (t.requests < config_.min_tenant_requests) continue;
+    const auto it = by_id.find(t.shard_id);
+    if (it == by_id.end()) continue;
+    const ShardSnapshot& home = *it->second;
+    if (home.healthy && home.p99_us <= config_.slo_p99_us) continue;
+    const std::uint16_t slot =
+        static_cast<std::uint16_t>(t.tenant_id % config_.tenant_slots);
+    std::optional<std::uint64_t> slot_p99;
+    for (const SlotStat& s : home.slots) {
+      if (s.slot == slot) slot_p99 = s.p99_us;
+    }
+    // "Never move a tenant whose SLO is satisfied": an unhealthy shard
+    // reports no slots, which counts as violating (traffic is failing).
+    if (home.healthy && slot_p99 && *slot_p99 <= config_.slo_p99_us) continue;
+    candidates.push_back(t);
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const TenantLoad& a, const TenantLoad& b) {
+              return a.requests != b.requests ? a.requests > b.requests
+                                              : a.tenant_id < b.tenant_id;
+            });
+
+  std::size_t target_idx = 0;
+  for (const TenantLoad& t : candidates) {
+    if (moves.size() >= config_.max_moves_per_round) break;
+    // Round-robin over targets so a multi-move round doesn't dogpile the
+    // single coolest shard; skip a target that is the tenant's own home
+    // or not strictly less loaded than it.
+    const ShardSnapshot& home = *by_id.at(t.shard_id);
+    const ShardSnapshot* chosen = nullptr;
+    for (std::size_t probe = 0; probe < targets.size(); ++probe) {
+      const ShardSnapshot* cand = targets[(target_idx + probe) % targets.size()];
+      const bool strictly_cooler = !home.healthy || cand->p99_us < home.p99_us;
+      if (cand->shard_id != t.shard_id && strictly_cooler) {
+        chosen = cand;
+        target_idx = (target_idx + probe + 1) % targets.size();
+        break;
+      }
+    }
+    if (chosen == nullptr) continue;
+    moves.push_back(Move{t.tenant_id, t.shard_id, chosen->shard_id});
+  }
+  return moves;
+}
+
+}  // namespace autopn::router

@@ -1,0 +1,92 @@
+#pragma once
+// Rebalancer — the ContTune-style conservative placement policy, pure and
+// side-effect free so it unit-tests without sockets. Each round the router
+// hands it a snapshot of every shard's polled KPIs plus its own per-tenant
+// request counts, and it proposes at most `max_moves_per_round` tenant
+// migrations. The policy mirrors ContTune's "never regress a satisfied
+// SLO" exploration rule, transposed from parallelism degrees to placement:
+//
+//   * never move a tenant whose own p99 (its latency slot on its current
+//     shard) meets the SLO — a satisfied tenant is left alone even when
+//     its shard is hot, because moving it risks the SLO it already has;
+//   * only move tenants OFF a shard that is violating the SLO — placement
+//     changes are a remedy, not an optimization, so a calm cluster never
+//     churns;
+//   * only move tenants ONTO a healthy shard with headroom (p99 below
+//     slo × headroom_fraction, and strictly less loaded than the source) —
+//     the receiving shard's satisfied tenants must not be regressed;
+//   * prefer moving the busiest eligible tenant to the least-loaded
+//     eligible target — the move with the best expected relief;
+//   * require a minimum request count before trusting a tenant's signal —
+//     a tenant with three samples has no p99 worth acting on.
+//
+// Caveat the router compensates for: shards report latency by tenant SLOT
+// (tenant id mod 8), so two tenants sharing a slot share a p99. The router
+// keys moves by true tenant id and uses the slot p99 as that tenant's
+// SLO-class latency; the conservative rules make slot aliasing safe — a
+// false "violating" read can only trigger a move to a strictly less
+// loaded shard.
+
+#include <cstdint>
+#include <vector>
+
+namespace autopn::router {
+
+/// Per-tenant-slot KPIs as polled from one shard's StatsFrame.
+struct SlotStat {
+  std::uint16_t slot = 0;
+  std::uint64_t count = 0;
+  std::uint64_t p99_us = 0;
+};
+
+/// One shard's polled state, assembled by the router each rebalance round.
+struct ShardSnapshot {
+  std::uint32_t shard_id = 0;
+  bool healthy = true;
+  std::uint64_t p99_us = 0;  ///< shard-level (all tenants)
+  std::uint32_t queue_depth = 0;
+  std::vector<SlotStat> slots;
+};
+
+/// The router's own view of one tenant: where it routes and how much
+/// traffic it has offered since the last round.
+struct TenantLoad {
+  std::uint16_t tenant_id = 0;
+  std::uint32_t shard_id = 0;
+  std::uint64_t requests = 0;
+};
+
+struct Move {
+  std::uint16_t tenant_id = 0;
+  std::uint32_t from_shard = 0;
+  std::uint32_t to_shard = 0;
+};
+
+struct RebalanceConfig {
+  std::uint64_t slo_p99_us = 50'000;
+  /// A target shard qualifies only below slo × headroom_fraction.
+  double headroom_fraction = 0.8;
+  std::size_t max_moves_per_round = 1;
+  std::uint64_t min_tenant_requests = 16;
+  std::uint16_t tenant_slots = 8;  ///< shard KPI slot count (tenant % slots)
+};
+
+class Rebalancer {
+ public:
+  explicit Rebalancer(RebalanceConfig config = {});
+
+  [[nodiscard]] const RebalanceConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Proposes conservative moves for this round (possibly none). Pure:
+  /// same inputs, same proposal.
+  [[nodiscard]] std::vector<Move> propose(
+      const std::vector<ShardSnapshot>& shards,
+      const std::vector<TenantLoad>& tenants) const;
+
+ private:
+  RebalanceConfig config_;
+};
+
+}  // namespace autopn::router

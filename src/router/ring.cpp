@@ -1,0 +1,70 @@
+#include "router/ring.hpp"
+
+#include <algorithm>
+
+namespace autopn::router {
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+HashRing::HashRing(std::size_t vnodes_per_shard)
+    : vnodes_(std::max<std::size_t>(vnodes_per_shard, 1)) {}
+
+void HashRing::add_shard(std::uint32_t shard_id) {
+  if (contains(shard_id)) return;
+  points_.reserve(points_.size() + vnodes_);
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    // Mix the shard into the high bits and the vnode into the low bits so
+    // adjacent (shard, vnode) pairs land on unrelated ring positions. The
+    // salt domain-separates point hashes from key hashes: without it,
+    // shard 0's vnode seeds are the bare integers 0..vnodes-1 — the same
+    // mix64 inputs as small tenant keys — and every tenant id < vnodes
+    // lands exactly ON a shard-0 point, pinning all of them there.
+    constexpr std::uint64_t kPointSalt = 0x72696e675f707473ULL;  // "ring_pts"
+    const std::uint64_t seed =
+        (static_cast<std::uint64_t>(shard_id) << 32) | v;
+    points_.push_back(Point{mix64(seed ^ kPointSalt), shard_id});
+  }
+  std::sort(points_.begin(), points_.end(), [](const Point& a, const Point& b) {
+    return a.hash != b.hash ? a.hash < b.hash : a.shard < b.shard;
+  });
+}
+
+void HashRing::remove_shard(std::uint32_t shard_id) {
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [shard_id](const Point& p) {
+                                 return p.shard == shard_id;
+                               }),
+                points_.end());
+}
+
+std::optional<std::uint32_t> HashRing::owner(std::uint64_t key) const {
+  if (points_.empty()) return std::nullopt;
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), key,
+      [](const Point& p, std::uint64_t k) { return p.hash < k; });
+  return it == points_.end() ? points_.front().shard : it->shard;
+}
+
+std::size_t HashRing::shard_count() const noexcept {
+  return points_.size() / vnodes_;
+}
+
+std::vector<std::uint32_t> HashRing::shards() const {
+  std::vector<std::uint32_t> ids;
+  for (const Point& p : points_) ids.push_back(p.shard);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+bool HashRing::contains(std::uint32_t shard_id) const {
+  return std::any_of(points_.begin(), points_.end(),
+                     [shard_id](const Point& p) { return p.shard == shard_id; });
+}
+
+}  // namespace autopn::router

@@ -1,0 +1,62 @@
+#pragma once
+// HashRing — consistent hashing of tenants onto backend shards. Each shard
+// contributes `vnodes_per_shard` virtual points (splitmix64 of shard id ×
+// vnode index) on a 64-bit ring kept as a sorted vector; a key's owner is
+// the first point clockwise from the key's hash (binary search + wrap).
+//
+// Why consistent hashing and not `tenant % shards`: adding or removing a
+// shard must strand as few tenants as possible — with modulo, nearly every
+// tenant changes owner on a membership change; on the ring only the arcs
+// adjacent to the joining/leaving shard's points move, an expected K/N of
+// the keys (router_ring_test pins this bound). Virtual nodes keep per-shard
+// arc totals balanced; 64 per shard holds distribution skew within a few
+// percent of even at the shard counts a single router fronts.
+//
+// Placement is deterministic: the same membership set yields the same
+// points (and therefore the same owners) regardless of insertion order —
+// two routers configured with the same shard list agree without talking.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace autopn::router {
+
+/// splitmix64 — the ring's hash for both virtual points and keys. Public
+/// so tests (and the router's tenant hashing) use exactly the ring's view.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) noexcept;
+
+class HashRing {
+ public:
+  explicit HashRing(std::size_t vnodes_per_shard = 64);
+
+  /// Idempotent: adding a present shard is a no-op.
+  void add_shard(std::uint32_t shard_id);
+  /// Idempotent: removing an absent shard is a no-op.
+  void remove_shard(std::uint32_t shard_id);
+
+  /// The shard owning `key` (clockwise successor point), or std::nullopt on
+  /// an empty ring.
+  [[nodiscard]] std::optional<std::uint32_t> owner(std::uint64_t key) const;
+
+  /// Convenience: owner of a tenant id, hashed through mix64.
+  [[nodiscard]] std::optional<std::uint32_t> owner_of_tenant(
+      std::uint16_t tenant_id) const {
+    return owner(mix64(tenant_id));
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept;
+  [[nodiscard]] std::vector<std::uint32_t> shards() const;
+  [[nodiscard]] bool contains(std::uint32_t shard_id) const;
+
+ private:
+  struct Point {
+    std::uint64_t hash;
+    std::uint32_t shard;
+  };
+
+  std::size_t vnodes_;
+  std::vector<Point> points_;  ///< sorted by hash (shard breaks ties)
+};
+
+}  // namespace autopn::router

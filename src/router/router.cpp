@@ -1,0 +1,360 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "util/failpoint.hpp"
+
+namespace autopn::router {
+
+Router::Router(std::vector<ShardAddress> shards, RouterConfig config)
+    : config_(std::move(config)),
+      ring_(config_.vnodes_per_shard),
+      rebalancer_(config_.rebalance) {
+  for (ShardAddress& shard : shards) {
+    ring_.add_shard(shard.id);
+    ShardLinkConfig link_config;
+    link_config.channels = config_.channels_per_shard;
+    link_config.backoff = config_.backoff;
+    link_config.shed_retry_after_us = config_.shed_retry_after_us;
+    // The callback reads server_ at completion time; no token can exist
+    // before a dispatch, and dispatches only start once server_ is built.
+    links_.emplace(
+        shard.id,
+        std::make_unique<ShardLink>(
+            std::move(shard), link_config,
+            [this](std::uint64_t token, net::ResponseFrame response) {
+              server_->loop().post(
+                  [this, token, moved = std::move(response)]() mutable {
+                    complete(token, std::move(moved));
+                  });
+            }));
+  }
+  server_ = std::make_unique<net::NetServer>(*this, config_.server);
+  server_->loop().post([this] {
+    arm_stats_timer();
+    arm_rebalance_timer();
+  });
+}
+
+Router::~Router() { shutdown(); }
+
+void Router::dispatch(net::RequestFrame frame, RespondFn respond) {
+  // Invoked by the owned NetServer on its loop thread — which is what
+  // makes the lock-free routing state below sound.
+  dispatched_.fetch_add(1, std::memory_order_relaxed);
+  if (draining_) {
+    respond_local_shed(respond, net::Status::kClosing);
+    return;
+  }
+  AUTOPN_FAILPOINT("router.forward", {
+    respond_local_shed(respond, net::Status::kShed);
+    return;
+  });
+  const std::uint16_t tenant = frame.tenant_id;
+  tenant_requests_[tenant] += 1;
+  const auto migration = migrations_.find(tenant);
+  if (migration != migrations_.end()) {
+    if (migration->second.held.size() >= config_.max_held_per_tenant) {
+      respond_local_shed(respond, net::Status::kShed);
+      return;
+    }
+    held_.fetch_add(1, std::memory_order_relaxed);
+    migration->second.held.push_back(
+        Held{std::move(frame), std::move(respond)});
+    return;
+  }
+  forward_or_shed(std::move(frame), std::move(respond));
+}
+
+void Router::forward_or_shed(net::RequestFrame frame, RespondFn respond) {
+  const std::uint16_t tenant = frame.tenant_id;
+  const auto it = links_.find(placement_of(tenant));
+  if (it == links_.end()) {
+    respond_local_shed(respond, net::Status::kShed);
+    return;
+  }
+  const std::uint64_t token = next_token_++;
+  if (!it->second->forward(token, frame)) {
+    respond_local_shed(respond, net::Status::kShed);
+    return;
+  }
+  // No insert-after-response race here: complete() runs on this same loop
+  // thread via a posted task, which cannot execute until we return.
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  tenant_inflight_[tenant] += 1;
+  flights_.emplace(token, Flight{std::move(respond), tenant});
+}
+
+void Router::complete(std::uint64_t token, net::ResponseFrame response) {
+  const auto it = flights_.find(token);
+  if (it == flights_.end()) {
+    late_responses_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Flight flight = std::move(it->second);
+  flights_.erase(it);
+  returned_.fetch_add(1, std::memory_order_relaxed);
+  if (response.shed_origin == net::ShedOrigin::kRouter) {
+    synthesized_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const auto inflight = tenant_inflight_.find(flight.tenant);
+  if (inflight != tenant_inflight_.end() && --inflight->second == 0) {
+    tenant_inflight_.erase(inflight);
+    if (migrations_.find(flight.tenant) != migrations_.end()) {
+      cut_over(flight.tenant, /*forced=*/false);
+    }
+  }
+  flight.respond(std::move(response));
+}
+
+void Router::start_migration(std::uint16_t tenant_id, std::uint32_t to_shard) {
+  if (draining_) return;
+  if (links_.find(to_shard) == links_.end()) return;
+  if (migrations_.find(tenant_id) != migrations_.end()) return;
+  if (placement_of(tenant_id) == to_shard) return;
+  migrations_started_.fetch_add(1, std::memory_order_relaxed);
+  Migration migration;
+  migration.to_shard = to_shard;
+  migration.force_cut_timer = server_->loop().add_timer(
+      config_.migration_timeout_seconds, [this, tenant_id] {
+        if (migrations_.find(tenant_id) != migrations_.end()) {
+          forced_cuts_.fetch_add(1, std::memory_order_relaxed);
+          cut_over(tenant_id, /*forced=*/true);
+        }
+      });
+  migrations_.emplace(tenant_id, std::move(migration));
+  if (tenant_inflight_.find(tenant_id) == tenant_inflight_.end()) {
+    cut_over(tenant_id, /*forced=*/false);
+  }
+}
+
+void Router::cut_over(std::uint16_t tenant_id, bool forced) {
+  const auto it = migrations_.find(tenant_id);
+  if (it == migrations_.end()) return;
+  Migration migration = std::move(it->second);
+  migrations_.erase(it);
+  if (!forced) server_->loop().cancel_timer(migration.force_cut_timer);
+  overrides_[tenant_id] = migration.to_shard;
+  migrations_completed_.fetch_add(1, std::memory_order_relaxed);
+  // Held frames go out in arrival order; a forced cut may interleave them
+  // with stragglers still completing on the old shard, which is safe —
+  // responses route by token, not placement.
+  for (Held& held : migration.held) {
+    forward_or_shed(std::move(held.frame), std::move(held.respond));
+  }
+}
+
+void Router::respond_local_shed(const RespondFn& respond, net::Status status) {
+  shed_local_.fetch_add(1, std::memory_order_relaxed);
+  net::ResponseFrame response;
+  response.status = status;
+  response.retry_after_us = config_.shed_retry_after_us;
+  response.shed_origin = net::ShedOrigin::kRouter;
+  respond(std::move(response));
+}
+
+void Router::arm_stats_timer() {
+  if (draining_) return;
+  server_->loop().add_timer(config_.stats_poll_seconds, [this] {
+    poll_shard_stats();
+    arm_stats_timer();
+  });
+}
+
+void Router::arm_rebalance_timer() {
+  if (draining_ || !config_.rebalance_enabled) return;
+  server_->loop().add_timer(config_.rebalance_seconds, [this] {
+    rebalance_round();
+    arm_rebalance_timer();
+  });
+}
+
+void Router::poll_shard_stats() {
+  if (draining_) return;
+  for (auto& [id, link] : links_) link->request_stats();
+}
+
+void Router::rebalance_round() {
+  if (draining_) return;
+  AUTOPN_FAILPOINT("router.rebalance", return);
+  rebalance_rounds_.fetch_add(1, std::memory_order_relaxed);
+  std::vector<ShardSnapshot> snapshots;
+  snapshots.reserve(links_.size());
+  for (auto& [id, link] : links_) {
+    ShardSnapshot snapshot;
+    snapshot.shard_id = id;
+    snapshot.healthy = link->healthy();
+    if (const std::optional<net::StatsFrame> stats = link->latest_stats()) {
+      snapshot.p99_us = stats->p99_us;
+      snapshot.queue_depth = stats->queue_depth;
+      snapshot.slots.reserve(stats->tenants.size());
+      for (const net::TenantStat& t : stats->tenants) {
+        snapshot.slots.push_back(SlotStat{t.tenant, t.count, t.p99_us});
+      }
+    }
+    snapshots.push_back(std::move(snapshot));
+  }
+  std::vector<TenantLoad> loads;
+  loads.reserve(tenant_requests_.size());
+  for (const auto& [tenant, requests] : tenant_requests_) {
+    loads.push_back(TenantLoad{tenant, placement_of(tenant), requests});
+  }
+  for (const Move& move : rebalancer_.propose(snapshots, loads)) {
+    start_migration(move.tenant_id, move.to_shard);
+  }
+  tenant_requests_.clear();  // each round judges a fresh traffic window
+}
+
+std::uint32_t Router::placement_of(std::uint16_t tenant_id) const {
+  const auto it = overrides_.find(tenant_id);
+  if (it != overrides_.end()) return it->second;
+  return ring_.owner_of_tenant(tenant_id).value_or(0);
+}
+
+void Router::drain() {
+  // Phase 1 (loop): stop routing, and answer everything parked in held
+  // queues — those frames were dispatched but never forwarded, so they
+  // settle as router-origin kClosing sheds.
+  run_on_loop([this] {
+    draining_ = true;
+    for (auto& [tenant, migration] : migrations_) {
+      server_->loop().cancel_timer(migration.force_cut_timer);
+      for (Held& held : migration.held) {
+        respond_local_shed(held.respond, net::Status::kClosing);
+      }
+    }
+    migrations_.clear();
+  });
+  // Phase 2: shut every link down. Each joins its io threads after
+  // synthesizing a router-origin shed for every in-flight token, and all
+  // those completions are posted to the loop before shutdown() returns.
+  for (auto& [id, link] : links_) link->shutdown();
+  // Phase 3 (loop, FIFO after every posted completion): the flight table
+  // must be empty now; any leftover would break exactly-once, so settle it
+  // as returned (it WAS forwarded) rather than leak the respond callback.
+  run_on_loop([this] {
+    for (auto& [token, flight] : flights_) {
+      returned_.fetch_add(1, std::memory_order_relaxed);
+      synthesized_.fetch_add(1, std::memory_order_relaxed);
+      net::ResponseFrame response;
+      response.status = net::Status::kClosing;
+      response.retry_after_us = config_.shed_retry_after_us;
+      response.shed_origin = net::ShedOrigin::kRouter;
+      flight.respond(std::move(response));
+    }
+    flights_.clear();
+  });
+}
+
+net::StatsFrame Router::stats() {
+  // Loop thread (the server answers kStatsRequest frames there). Counters
+  // sum across shards; percentiles take the worst shard — the number an
+  // SLO monitor wants from a tier, not a meaningless average of averages.
+  net::StatsFrame out;
+  std::unordered_map<std::uint16_t, net::TenantStat> slots;
+  for (auto& [id, link] : links_) {
+    const std::optional<net::StatsFrame> stats = link->latest_stats();
+    if (!stats) continue;
+    out.offered += stats->offered;
+    out.completed += stats->completed;
+    out.shed += stats->shed;
+    out.expired += stats->expired;
+    out.failed += stats->failed;
+    out.queue_depth += stats->queue_depth;
+    out.p50_us = std::max(out.p50_us, stats->p50_us);
+    out.p95_us = std::max(out.p95_us, stats->p95_us);
+    out.p99_us = std::max(out.p99_us, stats->p99_us);
+    out.retry_after_us = std::max(out.retry_after_us, stats->retry_after_us);
+    for (const net::TenantStat& t : stats->tenants) {
+      net::TenantStat& slot = slots[t.tenant];
+      slot.tenant = t.tenant;
+      slot.count += t.count;
+      slot.p99_us = std::max(slot.p99_us, t.p99_us);
+    }
+  }
+  out.shed += shed_local_.load(std::memory_order_relaxed);
+  out.tenants.reserve(slots.size());
+  for (auto& [slot, stat] : slots) out.tenants.push_back(stat);
+  std::sort(out.tenants.begin(), out.tenants.end(),
+            [](const net::TenantStat& a, const net::TenantStat& b) {
+              return a.tenant < b.tenant;
+            });
+  return out;
+}
+
+void Router::shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  server_->shutdown();  // runs drain(): flights settle, links shut down
+  for (auto& [id, link] : links_) link->shutdown();  // no-op after drain
+}
+
+RouterReport Router::report() const {
+  RouterReport report;
+  report.dispatched = dispatched_.load(std::memory_order_relaxed);
+  report.forwarded = forwarded_.load(std::memory_order_relaxed);
+  report.shed_local = shed_local_.load(std::memory_order_relaxed);
+  report.returned = returned_.load(std::memory_order_relaxed);
+  report.synthesized = synthesized_.load(std::memory_order_relaxed);
+  report.late_responses = late_responses_.load(std::memory_order_relaxed);
+  report.held = held_.load(std::memory_order_relaxed);
+  report.migrations_started =
+      migrations_started_.load(std::memory_order_relaxed);
+  report.migrations_completed =
+      migrations_completed_.load(std::memory_order_relaxed);
+  report.forced_cuts = forced_cuts_.load(std::memory_order_relaxed);
+  report.rebalance_rounds = rebalance_rounds_.load(std::memory_order_relaxed);
+  return report;
+}
+
+std::optional<std::uint32_t> Router::shard_of(std::uint16_t tenant_id) {
+  if (shut_down_.load(std::memory_order_acquire)) return std::nullopt;
+  std::uint32_t shard = 0;
+  run_on_loop([this, tenant_id, &shard] { shard = placement_of(tenant_id); });
+  return shard;
+}
+
+void Router::migrate_tenant(std::uint16_t tenant_id, std::uint32_t to_shard) {
+  if (shut_down_.load(std::memory_order_acquire)) return;
+  server_->loop().post(
+      [this, tenant_id, to_shard] { start_migration(tenant_id, to_shard); });
+}
+
+std::vector<std::pair<std::uint32_t, bool>> Router::shard_health() const {
+  // links_ is immutable after construction and healthy() is atomic, so no
+  // loop round-trip is needed.
+  std::vector<std::pair<std::uint32_t, bool>> health;
+  health.reserve(links_.size());
+  for (const auto& [id, link] : links_) {
+    health.emplace_back(id, link->healthy());
+  }
+  std::sort(health.begin(), health.end());
+  return health;
+}
+
+std::vector<Router::ShardStatus> Router::shard_status() const {
+  std::vector<ShardStatus> status;
+  status.reserve(links_.size());
+  for (const auto& [id, link] : links_) {
+    status.push_back(ShardStatus{id, link->healthy(), link->reconnects(),
+                                 link->latest_stats()});
+  }
+  std::sort(status.begin(), status.end(),
+            [](const ShardStatus& a, const ShardStatus& b) {
+              return a.shard_id < b.shard_id;
+            });
+  return status;
+}
+
+void Router::run_on_loop(net::EventLoop::Task task) {
+  std::promise<void> done;
+  std::future<void> ran = done.get_future();
+  server_->loop().post([&task, &done] {
+    task();
+    done.set_value();
+  });
+  ran.wait();
+}
+
+}  // namespace autopn::router

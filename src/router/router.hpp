@@ -1,0 +1,207 @@
+#pragma once
+// Router — the distributed serving tier's front end. One Router owns a
+// NetServer facing clients (same wire protocol as a shard), a ShardLink per
+// backend shard, a consistent-hash ring placing tenants onto shards, and a
+// Rebalancer proposing conservative placement moves from polled shard KPIs.
+//
+// It implements net::RequestDispatcher: the owned NetServer hands it every
+// decoded Request frame on the server's loop thread, and the Router either
+// forwards the frame to the tenant's shard (tracking it as a "flight" keyed
+// by a router token) or answers locally with a router-origin kShed. Shard
+// responses come back on ShardLink io threads and are posted onto the same
+// loop, so ALL routing state — flights, placement overrides, migrations,
+// per-tenant counters — is loop-thread-only and lock-free.
+//
+// Ledger: the router extends the server's decoded == enqueued == written +
+// dropped invariant across the hop. Internally, after shutdown:
+//
+//   dispatched == forwarded + shed_local     (every frame answered somewhere)
+//   forwarded  == returned                   (every forward completed exactly
+//                                             once — by the shard, or by a
+//                                             synthesized backend-down shed)
+//
+// Responses route by token, never by placement, which is what makes tenant
+// migration drop-free: a request in flight on the old shard completes to its
+// original respond callback no matter where the tenant routes by then.
+//
+// Migration is drain-then-cut: new requests for a migrating tenant are held
+// (bounded queue), the router waits for the tenant's in-flight count on the
+// old shard to reach zero, then flips the override and forwards the held
+// frames in arrival order to the new shard. A force-cut timer bounds the
+// wait — cutting early is safe for the same token-routing reason.
+//
+// Failpoint sites: router.forward (dispatch-time forced local shed),
+// router.backend_down (ShardLink::forward reports the backend unreachable),
+// router.rebalance (skips a rebalance round).
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/dispatcher.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "router/rebalancer.hpp"
+#include "router/ring.hpp"
+#include "router/shard_link.hpp"
+
+namespace autopn::router {
+
+struct RouterConfig {
+  /// Client-facing listener (port 0 = kernel-assigned, see port()).
+  net::NetServerConfig server;
+  std::size_t channels_per_shard = 1;
+  /// Redial schedule for downed shards (ShardLink retries forever; this
+  /// shapes each cycle's attempt timeout and backoff).
+  net::BackoffPolicy backoff;
+  RebalanceConfig rebalance;
+  bool rebalance_enabled = true;
+  double stats_poll_seconds = 0.2;   ///< per-shard KPI poll cadence
+  double rebalance_seconds = 1.0;    ///< placement decision cadence
+  /// Held-frame cap per migrating tenant; overflow is a router-origin shed.
+  std::size_t max_held_per_tenant = 256;
+  /// Force-cut bound on drain-then-cut (seconds the router waits for a
+  /// migrating tenant's in-flight count to reach zero).
+  double migration_timeout_seconds = 1.0;
+  /// Backoff hint carried by router-origin sheds.
+  std::uint64_t shed_retry_after_us = 20'000;
+  std::size_t vnodes_per_shard = 64;
+};
+
+/// Router-side accounting; see the file comment for the invariants.
+struct RouterReport {
+  std::uint64_t dispatched = 0;
+  std::uint64_t forwarded = 0;
+  std::uint64_t shed_local = 0;   ///< router-origin answers (no backend,
+                                  ///< hold overflow, drain, failpoint)
+  std::uint64_t returned = 0;     ///< flight completions delivered
+  std::uint64_t synthesized = 0;  ///< subset of returned: backend-down sheds
+  std::uint64_t late_responses = 0;  ///< completion for an unknown token
+  std::uint64_t held = 0;            ///< frames parked during migrations
+  std::uint64_t migrations_started = 0;
+  std::uint64_t migrations_completed = 0;
+  std::uint64_t forced_cuts = 0;  ///< migrations cut by the timeout
+  std::uint64_t rebalance_rounds = 0;
+};
+
+class Router final : public net::RequestDispatcher {
+ public:
+  /// Connects to nothing yet — ShardLink io threads dial in the background,
+  /// so a Router starts serving (and shedding router-origin) immediately
+  /// even when every shard is still down. Throws only if the client-facing
+  /// listener cannot bind.
+  explicit Router(std::vector<ShardAddress> shards, RouterConfig config = {});
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // RequestDispatcher — invoked by the owned NetServer on its loop thread.
+  void dispatch(net::RequestFrame frame, RespondFn respond) override;
+  void drain() override;
+  [[nodiscard]] net::StatsFrame stats() override;
+
+  /// Client-facing port (resolves config.server.port == 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return server_->port(); }
+
+  /// Ordered close: stops the client listener (which drains this dispatcher
+  /// — every in-flight request is answered — then flushes), and shuts every
+  /// shard link down. Idempotent; the destructor calls it.
+  void shutdown();
+
+  [[nodiscard]] RouterReport report() const;
+  [[nodiscard]] net::NetServerReport server_report() const {
+    return server_->report();
+  }
+
+  /// The shard `tenant_id` currently routes to (override table, else ring).
+  /// Synchronizes with the loop thread; any thread except the loop thread.
+  [[nodiscard]] std::optional<std::uint32_t> shard_of(std::uint16_t tenant_id);
+
+  /// Manually starts a drain-then-cut migration (same path the rebalancer
+  /// takes); used by tests and the CLI. No-op if the tenant is already
+  /// migrating or already routed to `to_shard`, or the shard is unknown.
+  void migrate_tenant(std::uint16_t tenant_id, std::uint32_t to_shard);
+
+  /// Liveness per shard id, as seen by the links right now (any thread).
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, bool>> shard_health()
+      const;
+
+  /// Per-shard health + the latest polled KPIs (any thread) — what the CLI
+  /// renders as the tier's SLO table.
+  struct ShardStatus {
+    std::uint32_t shard_id = 0;
+    bool healthy = false;
+    std::uint64_t reconnects = 0;
+    std::optional<net::StatsFrame> stats;
+  };
+  [[nodiscard]] std::vector<ShardStatus> shard_status() const;
+
+ private:
+  struct Flight {
+    RespondFn respond;
+    std::uint16_t tenant = 0;
+  };
+  struct Held {
+    net::RequestFrame frame;
+    RespondFn respond;
+  };
+  struct Migration {
+    std::uint32_t to_shard = 0;
+    std::deque<Held> held;
+    net::EventLoop::TimerId force_cut_timer = 0;
+  };
+
+  // Loop-thread-only paths.
+  void forward_or_shed(net::RequestFrame frame, RespondFn respond);
+  void complete(std::uint64_t token, net::ResponseFrame response);
+  void start_migration(std::uint16_t tenant_id, std::uint32_t to_shard);
+  void cut_over(std::uint16_t tenant_id, bool forced);
+  void respond_local_shed(const RespondFn& respond, net::Status status);
+  void arm_stats_timer();
+  void arm_rebalance_timer();
+  void poll_shard_stats();
+  void rebalance_round();
+  [[nodiscard]] std::uint32_t placement_of(std::uint16_t tenant_id) const;
+
+  /// Posts `task` to the loop and blocks until it ran. Not from the loop
+  /// thread.
+  void run_on_loop(net::EventLoop::Task task);
+
+  RouterConfig config_;
+  HashRing ring_;
+  Rebalancer rebalancer_;
+
+  std::atomic<std::uint64_t> dispatched_{0};
+  std::atomic<std::uint64_t> forwarded_{0};
+  std::atomic<std::uint64_t> shed_local_{0};
+  std::atomic<std::uint64_t> returned_{0};
+  std::atomic<std::uint64_t> synthesized_{0};
+  std::atomic<std::uint64_t> late_responses_{0};
+  std::atomic<std::uint64_t> held_{0};
+  std::atomic<std::uint64_t> migrations_started_{0};
+  std::atomic<std::uint64_t> migrations_completed_{0};
+  std::atomic<std::uint64_t> forced_cuts_{0};
+  std::atomic<std::uint64_t> rebalance_rounds_{0};
+  std::atomic<bool> shut_down_{false};
+
+  // Loop-thread-only routing state (accessed on server_->loop()'s thread).
+  std::uint64_t next_token_ = 1;
+  bool draining_ = false;
+  std::unordered_map<std::uint64_t, Flight> flights_;
+  std::unordered_map<std::uint16_t, std::uint32_t> overrides_;
+  std::unordered_map<std::uint16_t, Migration> migrations_;
+  std::unordered_map<std::uint16_t, std::size_t> tenant_inflight_;
+  std::unordered_map<std::uint16_t, std::uint64_t> tenant_requests_;
+
+  /// Links outlive server_ (declared before it): NetServer's shutdown runs
+  /// drain(), which still touches them.
+  std::unordered_map<std::uint32_t, std::unique_ptr<ShardLink>> links_;
+  std::unique_ptr<net::NetServer> server_;
+};
+
+}  // namespace autopn::router

@@ -1,0 +1,197 @@
+#include "router/shard_link.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <utility>
+
+#include "util/failpoint.hpp"
+
+namespace autopn::router {
+
+namespace {
+
+constexpr std::chrono::milliseconds kStopPollSlice{10};
+
+}  // namespace
+
+ShardLink::ShardLink(ShardAddress address, ShardLinkConfig config,
+                     ResponseFn on_response)
+    : address_(std::move(address)),
+      config_(config),
+      on_response_(std::move(on_response)) {
+  const std::size_t count = std::max<std::size_t>(config_.channels, 1);
+  channels_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    channels_.push_back(std::make_unique<Channel>());
+  }
+  // Dialing happens on the io threads (io_loop enters handle_down when it
+  // finds no client), so construction never blocks on a dead backend.
+  for (auto& channel : channels_) {
+    Channel* raw = channel.get();
+    raw->io = std::thread([this, raw] { io_loop(*raw); });
+  }
+}
+
+ShardLink::~ShardLink() { shutdown(); }
+
+bool ShardLink::forward(std::uint64_t token, const net::RequestFrame& frame) {
+  AUTOPN_FAILPOINT("router.backend_down", return false);
+  for (std::size_t probe = 0; probe < channels_.size(); ++probe) {
+    Channel& channel = *channels_[(next_channel_ + probe) % channels_.size()];
+    std::lock_guard<std::mutex> lock(channel.mutex);
+    if (channel.client == nullptr || !channel.client->connected()) continue;
+    const std::optional<std::uint64_t> backend_id = channel.client->send(
+        frame.handler_id, frame.tenant_id, frame.deadline_us, frame.payload);
+    if (!backend_id) continue;  // died mid-send; the io thread redials
+    channel.inflight.emplace(*backend_id, token);
+    next_channel_ = (next_channel_ + probe + 1) % channels_.size();
+    return true;
+  }
+  return false;
+}
+
+void ShardLink::request_stats() {
+  Channel& channel = *channels_.front();
+  std::lock_guard<std::mutex> lock(channel.mutex);
+  if (channel.client != nullptr && channel.client->connected()) {
+    (void)channel.client->send_stats_request();
+  }
+}
+
+std::optional<net::StatsFrame> ShardLink::latest_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return latest_stats_;
+}
+
+std::size_t ShardLink::in_flight() const {
+  std::size_t total = 0;
+  for (const auto& channel : channels_) {
+    std::lock_guard<std::mutex> lock(channel->mutex);
+    total += channel->inflight.size();
+  }
+  return total;
+}
+
+void ShardLink::io_loop(Channel& channel) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    net::Client* client = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(channel.mutex);
+      client = channel.client.get();
+    }
+    // The raw pointer stays valid outside the lock because this io thread
+    // is the only one that ever reseats channel.client.
+    if (client == nullptr || client->closed()) {
+      handle_down(channel);
+      continue;
+    }
+    if (std::optional<net::ResponseFrame> response = client->recv(0.1)) {
+      std::uint64_t token = 0;
+      bool known = false;
+      {
+        std::lock_guard<std::mutex> lock(channel.mutex);
+        const auto it = channel.inflight.find(response->request_id);
+        if (it != channel.inflight.end()) {
+          token = it->second;
+          known = true;
+          channel.inflight.erase(it);
+        }
+      }
+      // Unknown id = a response for a request this link never sent; a
+      // well-behaved shard cannot produce one, so it is dropped here
+      // rather than forwarded to a token it does not own.
+      if (known) on_response_(token, std::move(*response));
+    }
+    while (std::optional<net::StatsFrame> stats = client->poll_stats(0.0)) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      latest_stats_ = std::move(*stats);
+    }
+  }
+}
+
+void ShardLink::handle_down(Channel& channel) {
+  // Take the dead client out first so forward() fails fast for the whole
+  // outage, then answer every stranded token — the router's ledger needs
+  // every forwarded request answered by someone, and the shard no longer
+  // can.
+  bool was_connected = false;
+  {
+    std::lock_guard<std::mutex> lock(channel.mutex);
+    was_connected = channel.client != nullptr;
+    channel.client.reset();
+  }
+  if (was_connected) {
+    connected_channels_.fetch_sub(1, std::memory_order_relaxed);
+  }
+  synthesize_all(channel);
+
+  double backoff_seconds = config_.backoff.initial_backoff_seconds;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    try {
+      net::Client fresh = net::Client::connect(
+          address_.host, address_.port, config_.backoff.attempt_timeout_seconds);
+      {
+        std::lock_guard<std::mutex> lock(channel.mutex);
+        channel.client = std::make_unique<net::Client>(std::move(fresh));
+      }
+      connected_channels_.fetch_add(1, std::memory_order_relaxed);
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    } catch (const std::exception&) {
+      // Capped-exponential wait, sliced so shutdown() stays prompt.
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::duration<double>(backoff_seconds);
+      while (!stopping_.load(std::memory_order_acquire) &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(kStopPollSlice);
+      }
+      backoff_seconds =
+          std::min(backoff_seconds * 2.0, config_.backoff.max_backoff_seconds);
+    }
+  }
+}
+
+void ShardLink::synthesize_all(Channel& channel) {
+  std::vector<std::uint64_t> tokens;
+  {
+    std::lock_guard<std::mutex> lock(channel.mutex);
+    tokens.reserve(channel.inflight.size());
+    for (const auto& [backend_id, token] : channel.inflight) {
+      tokens.push_back(token);
+    }
+    channel.inflight.clear();
+  }
+  // Callbacks run outside the channel lock: once the client is gone,
+  // forward() cannot add entries, so the extracted set is complete.
+  for (const std::uint64_t token : tokens) {
+    on_response_(token, synthesized_shed());
+  }
+}
+
+net::ResponseFrame ShardLink::synthesized_shed() const {
+  net::ResponseFrame response;
+  response.status = net::Status::kShed;
+  response.retry_after_us = config_.shed_retry_after_us;
+  response.shed_origin = net::ShedOrigin::kRouter;
+  return response;
+}
+
+void ShardLink::shutdown() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& channel : channels_) {
+    std::lock_guard<std::mutex> lock(channel->mutex);
+    if (channel->client != nullptr) channel->client->shutdown_socket();
+  }
+  for (auto& channel : channels_) {
+    if (channel->io.joinable()) channel->io.join();
+  }
+  for (auto& channel : channels_) {
+    synthesize_all(*channel);
+    std::lock_guard<std::mutex> lock(channel->mutex);
+    channel->client.reset();
+  }
+  connected_channels_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace autopn::router

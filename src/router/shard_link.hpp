@@ -1,0 +1,131 @@
+#pragma once
+// ShardLink — the router's connection pool to one backend shard. Each link
+// owns `channels` pooled net::Client connections plus one io thread per
+// channel that receives responses and maps them back to router tokens.
+//
+// Threading contract (mirrors net::Client's 1-sender + 1-receiver rule):
+//   * forward() and request_stats() are called from ONE thread (the
+//     router's loop thread) — they are the channel's sender;
+//   * each channel's io thread is its only receiver, and the only thread
+//     that ever reseats the channel's client (reconnect);
+//   * the channel mutex is held across send + in-flight-map insert, and by
+//     the receiver across lookup — closing the race where a backend's
+//     response overtakes the bookkeeping of the request that caused it.
+//
+// Health: a channel is up while its handshaken connection lives (the
+// Hello/HelloAck handshake inside Client::connect IS the health check —
+// a peer that accepts but speaks garbage fails it). On connection death
+// the io thread synthesizes a router-origin kShed response for every
+// in-flight token on that channel (the router's ledger stays exact: every
+// forwarded request is answered by someone), then redials forever with
+// capped-exponential backoff until shutdown. healthy() reports whether
+// any channel is currently connected.
+//
+// Stats: request_stats() sends a kStatsRequest on channel 0; the channel's
+// io thread parks the answer in latest_stats(), a cheap mutex-guarded slot
+// the router reads at rebalance time.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/wire.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace autopn::router {
+
+struct ShardAddress {
+  std::uint32_t id = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+};
+
+struct ShardLinkConfig {
+  std::size_t channels = 1;
+  net::BackoffPolicy backoff;  ///< per-redial-cycle schedule
+  /// retry_after_us carried by synthesized backend-down sheds.
+  std::uint64_t shed_retry_after_us = 20'000;
+};
+
+class ShardLink {
+ public:
+  /// Called for every forwarded token exactly once — with the shard's real
+  /// response, or a synthesized router-origin kShed when the connection
+  /// died first. Runs on an io thread; must be cheap and non-blocking.
+  using ResponseFn =
+      std::function<void(std::uint64_t token, net::ResponseFrame response)>;
+
+  ShardLink(ShardAddress address, ShardLinkConfig config, ResponseFn on_response);
+  ~ShardLink();
+
+  ShardLink(const ShardLink&) = delete;
+  ShardLink& operator=(const ShardLink&) = delete;
+
+  /// Forwards one request (sender thread only). False when no channel is
+  /// connected — the caller owns the response in that case; on_response
+  /// will NOT fire for this token.
+  bool forward(std::uint64_t token, const net::RequestFrame& frame);
+
+  /// Best-effort stats poll on channel 0 (sender thread only).
+  void request_stats();
+
+  /// Latest StatsFrame received, if any (any thread).
+  [[nodiscard]] std::optional<net::StatsFrame> latest_stats() const;
+
+  [[nodiscard]] bool healthy() const noexcept {
+    return connected_channels_.load(std::memory_order_relaxed) > 0;
+  }
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] std::uint32_t shard_id() const noexcept { return address_.id; }
+  [[nodiscard]] const ShardAddress& address() const noexcept {
+    return address_;
+  }
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops io threads (waking any blocked receive), synthesizes responses
+  /// for every remaining in-flight token, and joins. Idempotent; after it
+  /// returns no further on_response callback can fire.
+  void shutdown();
+
+ private:
+  struct Channel {
+    mutable std::mutex mutex;
+    /// Reseated only by the channel's io thread; senders use it under the
+    /// mutex, the io thread receives without it (1-receiver rule).
+    std::unique_ptr<net::Client> client AUTOPN_GUARDED_BY(mutex);
+    /// Backend request id → router token for requests awaiting a response.
+    std::unordered_map<std::uint64_t, std::uint64_t> inflight
+        AUTOPN_GUARDED_BY(mutex);
+    std::thread io;
+  };
+
+  void io_loop(Channel& channel);
+  /// io thread: flush in-flight tokens as synthesized sheds, then redial.
+  void handle_down(Channel& channel);
+  void synthesize_all(Channel& channel);
+  [[nodiscard]] net::ResponseFrame synthesized_shed() const;
+
+  ShardAddress address_;
+  ShardLinkConfig config_;
+  ResponseFn on_response_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> connected_channels_{0};
+  std::atomic<std::uint64_t> reconnects_{0};
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::size_t next_channel_ = 0;  ///< sender thread only (round-robin)
+
+  mutable std::mutex stats_mutex_;
+  std::optional<net::StatsFrame> latest_stats_ AUTOPN_GUARDED_BY(stats_mutex_);
+};
+
+}  // namespace autopn::router

@@ -368,6 +368,84 @@ TEST(NetServer, NetloadOpenLoopSustainsTraffic) {
   expect_ledger_exact(h.server.report());
 }
 
+TEST(NetServer, LegacyMinorZeroClientInteroperates) {
+  // A v1.0 peer sends the short hello and expects byte-identical v1.0
+  // frames back: short ack, responses without the shed-origin byte. Drive
+  // the handshake with raw sockets so the modern Client's own negotiation
+  // cannot mask a server-side regression.
+  Harness h;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(h.server.port());
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  std::vector<std::uint8_t> out;
+  HelloFrame hello;
+  hello.minor = 0;  // the legacy short form
+  encode_hello(out, hello);
+  RequestFrame request;
+  request.request_id = 77;
+  encode_request(out, request);
+  ASSERT_EQ(::send(fd, out.data(), out.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(out.size()));
+
+  FrameDecoder decoder;
+  std::optional<HelloAckFrame> ack;
+  std::optional<ResponseFrame> response;
+  std::size_t response_body_size = 0;
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while ((!ack || !response) && std::chrono::steady_clock::now() < deadline) {
+    std::uint8_t buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    decoder.feed(buf, static_cast<std::size_t>(n));
+    while (auto frame = decoder.next()) {
+      if (frame->type == FrameType::kHelloAck) {
+        ack = parse_hello_ack(frame->body);
+        EXPECT_EQ(frame->body.size(), 7u) << "legacy peers need the short ack";
+      } else if (frame->type == FrameType::kResponse) {
+        response_body_size = frame->body.size();
+        response = parse_response(frame->body);
+      }
+    }
+  }
+  ::close(fd);
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(ack->ok);
+  EXPECT_EQ(ack->minor, 0u);
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->request_id, 77u);
+  EXPECT_EQ(response->status, Status::kOk);
+  // v1.0 response layout: fixed fields + empty payload, no origin byte.
+  EXPECT_EQ(response_body_size, 8u + 1u + 8u + 8u + 4u);
+
+  h.server.shutdown();
+  expect_ledger_exact(h.server.report());
+}
+
+TEST(NetServer, StatsRequestServesEngineKpis) {
+  Harness h;
+  auto client = h.connect();
+  ASSERT_EQ(client.wire_minor(), kWireMinor);
+  ASSERT_TRUE(client.call(/*handler_id=*/0, /*tenant_id=*/5).has_value());
+  ASSERT_TRUE(client.send_stats_request());
+  const auto stats = client.poll_stats(5.0);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->offered, 1u);
+  EXPECT_EQ(stats->completed, 1u);
+  ASSERT_EQ(stats->tenants.size(), 1u);
+  EXPECT_EQ(stats->tenants[0].tenant, 5u);  // slot index: 5 % 8
+  EXPECT_EQ(stats->tenants[0].count, 1u);
+  // Stats traffic rides outside the request/response ledger.
+  h.server.shutdown();
+  const auto report = h.server.report();
+  EXPECT_EQ(report.requests_decoded, 1u);
+  expect_ledger_exact(report);
+}
+
 TEST(NetServer, NetloadClosedLoopHonorsRetryAfter) {
   serve::ServeConfig cfg;
   cfg.workers = 2;

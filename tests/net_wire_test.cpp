@@ -223,6 +223,152 @@ TEST(NetWire, OversizedLengthIsStickyError) {
   EXPECT_FALSE(decoder.failed());
 }
 
+TEST(NetWire, MinorNegotiationLegacyShortFormsRoundTrip) {
+  // A minor-0 Hello/HelloAck must be byte-identical to the v1.0 layout:
+  // 6-byte hello body, 7-byte ack body, and the parser reports minor 0.
+  {
+    std::vector<std::uint8_t> bytes;
+    HelloFrame hello;
+    hello.minor = 0;
+    encode_hello(bytes, hello);
+    ASSERT_EQ(bytes.size(), 4u + 1u + 6u);  // length | type | magic+version
+    const auto frames = decode_all(bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    const auto parsed = parse_hello(frames[0].body);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->minor, 0u);
+    EXPECT_EQ(parsed->magic, kWireMagic);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    HelloAckFrame ack;
+    ack.minor = 0;
+    ack.ok = true;
+    encode_hello_ack(bytes, ack);
+    ASSERT_EQ(bytes.size(), 4u + 1u + 7u);  // magic+version+ok
+    const auto frames = decode_all(bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    const auto parsed = parse_hello_ack(frames[0].body);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->minor, 0u);
+    EXPECT_TRUE(parsed->ok);
+  }
+}
+
+TEST(NetWire, MinorNegotiationModernFormsCarryMinor) {
+  {
+    std::vector<std::uint8_t> bytes;
+    encode_hello(bytes);  // defaults: minor = kWireMinor
+    const auto frames = decode_all(bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    const auto parsed = parse_hello(frames[0].body);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->minor, kWireMinor);
+  }
+  {
+    std::vector<std::uint8_t> bytes;
+    HelloAckFrame ack;
+    ack.minor = kWireMinor;
+    ack.ok = false;
+    encode_hello_ack(bytes, ack);
+    const auto frames = decode_all(bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    const auto parsed = parse_hello_ack(frames[0].body);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->minor, kWireMinor);
+    EXPECT_FALSE(parsed->ok);
+  }
+  // A long-form hello claiming minor 0 is malformed: minor 0 must use the
+  // short encoding (otherwise two encodings would alias the same meaning).
+  std::vector<std::uint8_t> bytes;
+  encode_hello(bytes);
+  FrameDecoder decoder;
+  decoder.feed(bytes.data(), bytes.size());
+  auto frame = decoder.next();
+  ASSERT_TRUE(frame.has_value());
+  frame->body[6] = 0;
+  frame->body[7] = 0;  // minor field → 0
+  EXPECT_FALSE(parse_hello(frame->body).has_value());
+}
+
+TEST(NetWire, ResponseShedOriginMinorGated) {
+  ResponseFrame frame;
+  frame.request_id = 9;
+  frame.status = Status::kShed;
+  frame.retry_after_us = 1000;
+  frame.shed_origin = ShedOrigin::kRouter;
+
+  // minor 0 encoding: no trailing byte, parser defaults origin to kShard —
+  // exactly what a v1.0 peer would see and assume.
+  std::vector<std::uint8_t> legacy;
+  encode_response(legacy, frame, /*wire_minor=*/0);
+  auto legacy_frames = decode_all(legacy);
+  ASSERT_EQ(legacy_frames.size(), 1u);
+  const auto legacy_parsed = parse_response(legacy_frames[0].body);
+  ASSERT_TRUE(legacy_parsed.has_value());
+  EXPECT_EQ(legacy_parsed->shed_origin, ShedOrigin::kShard);
+
+  // minor 1 encoding: exactly one byte longer, origin round-trips.
+  std::vector<std::uint8_t> modern;
+  encode_response(modern, frame, /*wire_minor=*/1);
+  ASSERT_EQ(modern.size(), legacy.size() + 1);
+  auto modern_frames = decode_all(modern);
+  ASSERT_EQ(modern_frames.size(), 1u);
+  const auto modern_parsed = parse_response(modern_frames[0].body);
+  ASSERT_TRUE(modern_parsed.has_value());
+  EXPECT_EQ(modern_parsed->shed_origin, ShedOrigin::kRouter);
+  EXPECT_EQ(modern_parsed->retry_after_us, 1000u);
+
+  // An out-of-range origin byte is corruption, not forward compatibility.
+  auto corrupt = modern_frames[0].body;
+  corrupt.back() = 0x7f;
+  EXPECT_FALSE(parse_response(corrupt).has_value());
+}
+
+TEST(NetWire, StatsFrameRoundTrip) {
+  StatsFrame stats;
+  stats.offered = 1000;
+  stats.completed = 900;
+  stats.shed = 80;
+  stats.expired = 15;
+  stats.failed = 5;
+  stats.queue_depth = 42;
+  stats.p50_us = 100;
+  stats.p95_us = 900;
+  stats.p99_us = 2500;
+  stats.retry_after_us = 12000;
+  for (std::uint16_t slot = 0; slot < 8; ++slot) {
+    stats.tenants.push_back(TenantStat{slot, 100u + slot, 1000u * slot});
+  }
+
+  std::vector<std::uint8_t> bytes;
+  encode_stats_request(bytes);
+  encode_stats(bytes, stats);
+  const auto frames = decode_all(bytes);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].type, FrameType::kStatsRequest);
+  ASSERT_EQ(frames[1].type, FrameType::kStatsResponse);
+  const auto parsed = parse_stats(frames[1].body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->offered, stats.offered);
+  EXPECT_EQ(parsed->completed, stats.completed);
+  EXPECT_EQ(parsed->shed, stats.shed);
+  EXPECT_EQ(parsed->expired, stats.expired);
+  EXPECT_EQ(parsed->failed, stats.failed);
+  EXPECT_EQ(parsed->queue_depth, stats.queue_depth);
+  EXPECT_EQ(parsed->p99_us, stats.p99_us);
+  EXPECT_EQ(parsed->retry_after_us, stats.retry_after_us);
+  ASSERT_EQ(parsed->tenants.size(), 8u);
+  EXPECT_EQ(parsed->tenants[3].tenant, 3u);
+  EXPECT_EQ(parsed->tenants[3].count, 103u);
+  EXPECT_EQ(parsed->tenants[3].p99_us, 3000u);
+
+  // Truncating inside the tenant list is rejected.
+  auto truncated = frames[1].body;
+  truncated.pop_back();
+  EXPECT_FALSE(parse_stats(truncated).has_value());
+}
+
 TEST(NetWire, ZeroLengthAndUnknownTypeRejected) {
   {
     FrameDecoder decoder;

@@ -13,6 +13,7 @@
 // serve options: --workload array|array-high|vacation|tpcc  --rate R
 //                --duration S  --workers N  --shift F  --cores N  --seed N
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -22,6 +23,7 @@
 
 #include "net/netload.hpp"
 #include "net/server.hpp"
+#include "router/router.hpp"
 #include "opt/autopn_optimizer.hpp"
 #include "opt/baselines.hpp"
 #include "opt/runner.hpp"
@@ -57,6 +59,9 @@ int usage() {
                "  autopn netload [--host H] [--port P | --port-file F] [--connections N]\n"
                "               [--rate R | --closed-loop [--think S]] [--duration S]\n"
                "               [--tenants N] [--payload BYTES] [--deadline-us U] [--seed N]\n"
+               "  autopn router --listen ADDR:PORT (--shard HOST:PORT | --shard-port-file F)...\n"
+               "               [--port-file F] [--duration S] [--slo-ms MS]\n"
+               "               [--rebalance-interval S] [--no-rebalance]\n"
                "global: --failpoints 'name=kind(args)[;...]'  e.g.\n"
                "        --failpoints 'stm.commit.validate=error(p=0.1);stm.vbox.prune=delay(d=1ms)'\n"
                "        (also read from the AUTOPN_FAILPOINTS environment variable;\n"
@@ -87,6 +92,12 @@ struct Options {
   std::uint16_t tenants = 1;       ///< netload: round-robined tenant ids
   std::size_t payload = 0;         ///< netload: request payload bytes
   std::uint64_t deadline_us = 0;   ///< netload: client deadline on the wire
+  // router knobs
+  std::vector<std::string> shards;            ///< router: HOST:PORT backends
+  std::vector<std::string> shard_port_files;  ///< router: loopback backends
+  double slo_ms = 50.0;            ///< router: rebalance SLO on shard p99
+  double rebalance_interval = 1.0; ///< router: placement decision cadence
+  bool no_rebalance = false;       ///< router: disable the rebalancer
 };
 
 Options parse_options(const std::vector<std::string>& args, std::size_t start) {
@@ -96,6 +107,11 @@ Options parse_options(const std::vector<std::string>& args, std::size_t start) {
     // No-argument flags first; everything else consumes a value.
     if (args[i] == "--closed-loop") {
       opts.closed_loop = true;
+      ++i;
+      continue;
+    }
+    if (args[i] == "--no-rebalance") {
+      opts.no_rebalance = true;
       ++i;
       continue;
     }
@@ -139,6 +155,14 @@ Options parse_options(const std::vector<std::string>& args, std::size_t start) {
       opts.payload = std::stoul(args[i + 1]);
     } else if (args[i] == "--deadline-us") {
       opts.deadline_us = std::stoull(args[i + 1]);
+    } else if (args[i] == "--shard") {
+      opts.shards.push_back(args[i + 1]);
+    } else if (args[i] == "--shard-port-file") {
+      opts.shard_port_files.push_back(args[i + 1]);
+    } else if (args[i] == "--slo-ms") {
+      opts.slo_ms = std::stod(args[i + 1]);
+    } else if (args[i] == "--rebalance-interval") {
+      opts.rebalance_interval = std::stod(args[i + 1]);
     } else if (args[i] == "--failpoints") {
       // Arm immediately — global, not an Options field: failpoints are
       // process-wide and must be live before any workload code runs.
@@ -401,6 +425,126 @@ int cmd_serve_net(const Options& opts) {
   return 0;
 }
 
+/// router: the distributed serving tier's front end — consistent-hash
+/// placement of tenants over `autopn serve --listen` shards, per-shard KPI
+/// polling, and ContTune-conservative latency-driven rebalancing. Serves
+/// the same wire protocol as a shard, so `autopn netload` drives it
+/// unchanged.
+int cmd_router(const Options& opts) {
+  if (opts.listen.empty()) {
+    std::cerr << "router needs --listen ADDR:PORT\n";
+    return 2;
+  }
+  const auto colon = opts.listen.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "--listen wants ADDR:PORT (got '" << opts.listen << "')\n";
+    return 2;
+  }
+
+  std::vector<router::ShardAddress> shards;
+  std::uint32_t next_id = 0;
+  for (const std::string& spec : opts.shards) {
+    const auto sep = spec.rfind(':');
+    if (sep == std::string::npos) {
+      std::cerr << "--shard wants HOST:PORT (got '" << spec << "')\n";
+      return 2;
+    }
+    shards.push_back(router::ShardAddress{
+        next_id++, spec.substr(0, sep),
+        static_cast<std::uint16_t>(std::stoul(spec.substr(sep + 1)))});
+  }
+  for (const std::string& file : opts.shard_port_files) {
+    std::ifstream in{file};
+    unsigned port = 0;
+    if (!(in >> port)) {
+      std::cerr << "cannot read shard port from " << file << "\n";
+      return 1;
+    }
+    shards.push_back(router::ShardAddress{
+        next_id++, "127.0.0.1", static_cast<std::uint16_t>(port)});
+  }
+  if (shards.empty()) {
+    std::cerr << "router needs at least one --shard or --shard-port-file\n";
+    return 2;
+  }
+
+  router::RouterConfig cfg;
+  cfg.server.bind_address = opts.listen.substr(0, colon);
+  cfg.server.port =
+      static_cast<std::uint16_t>(std::stoul(opts.listen.substr(colon + 1)));
+  cfg.rebalance.slo_p99_us = static_cast<std::uint64_t>(opts.slo_ms * 1e3);
+  cfg.rebalance_seconds = opts.rebalance_interval;
+  cfg.rebalance_enabled = !opts.no_rebalance;
+  router::Router router{shards, cfg};
+
+  if (!opts.port_file.empty()) {
+    std::ofstream out{opts.port_file};
+    out << router.port() << "\n";
+  }
+  std::cout << "routing on " << cfg.server.bind_address << ":" << router.port()
+            << " → " << shards.size() << " shards, SLO p99 "
+            << util::fmt_double(opts.slo_ms, 1) << " ms, rebalance "
+            << (cfg.rebalance_enabled
+                    ? "every " + util::fmt_double(cfg.rebalance_seconds, 1) + "s"
+                    : "off")
+            << ", serving for " << util::fmt_double(opts.duration, 1) << "s\n"
+            << std::flush;
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(opts.duration));
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  // Snapshot the per-shard SLO table before shutdown tears the links down.
+  const auto status = router.shard_status();
+  router.shutdown();
+
+  util::TextTable slo{{"shard", "healthy", "offered", "completed", "shed",
+                       "depth", "p50(ms)", "p99(ms)", "reconn"}};
+  for (const auto& s : status) {
+    const net::StatsFrame stats = s.stats.value_or(net::StatsFrame{});
+    slo.add_row({std::to_string(s.shard_id), s.healthy ? "yes" : "NO",
+                 std::to_string(stats.offered), std::to_string(stats.completed),
+                 std::to_string(stats.shed), std::to_string(stats.queue_depth),
+                 util::fmt_double(static_cast<double>(stats.p50_us) / 1e3, 2),
+                 util::fmt_double(static_cast<double>(stats.p99_us) / 1e3, 2),
+                 std::to_string(s.reconnects)});
+  }
+  slo.print(std::cout);
+
+  const router::RouterReport report = router.report();
+  const net::NetServerReport wire = router.server_report();
+  util::TextTable ledger{{"dispatched", "forwarded", "shed@router", "returned",
+                          "synth", "held", "migrations", "forced cuts"}};
+  ledger.add_row({std::to_string(report.dispatched),
+                  std::to_string(report.forwarded),
+                  std::to_string(report.shed_local),
+                  std::to_string(report.returned),
+                  std::to_string(report.synthesized),
+                  std::to_string(report.held),
+                  std::to_string(report.migrations_completed),
+                  std::to_string(report.forced_cuts)});
+  ledger.print(std::cout);
+  const bool router_ledger_exact =
+      report.dispatched == report.forwarded + report.shed_local &&
+      report.forwarded == report.returned && report.late_responses == 0;
+  const bool wire_ledger_exact =
+      wire.requests_decoded == wire.responses_enqueued &&
+      wire.responses_enqueued == wire.responses_written + wire.responses_dropped;
+  std::cout << "router ledger: "
+            << (router_ledger_exact
+                    ? "exact (dispatched == forwarded + shed, forwarded == returned)"
+                    : "VIOLATED")
+            << "\nwire ledger:   "
+            << (wire_ledger_exact ? "exact (decoded == written + dropped)"
+                                  : "VIOLATED")
+            << "\n";
+  return router_ledger_exact && wire_ledger_exact ? 0 : 1;
+}
+
 int cmd_netload(const Options& opts) {
   net::NetLoadParams params;
   params.host = opts.host;
@@ -436,10 +580,12 @@ int cmd_netload(const Options& opts) {
             << " for " << util::fmt_double(params.duration, 1) << "s\n";
   const net::NetLoadResult result = net::run_netload(params);
 
-  util::TextTable counts{{"sent", "ok", "shed", "expired", "failed", "rejected",
-                          "io errs", "reconn", "unanswered"}};
+  util::TextTable counts{{"sent", "ok", "shed", "shed@rtr", "expired", "failed",
+                          "rejected", "io errs", "reconn", "unanswered"}};
   counts.add_row({std::to_string(result.sent), std::to_string(result.ok),
-                  std::to_string(result.shed), std::to_string(result.expired),
+                  std::to_string(result.shed),
+                  std::to_string(result.shed_router),
+                  std::to_string(result.expired),
                   std::to_string(result.failed), std::to_string(result.rejected),
                   std::to_string(result.io_errors),
                   std::to_string(result.reconnects),
@@ -609,6 +755,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "info" && args.size() >= 2) return cmd_info(args[1]);
     if (cmd == "netload") return cmd_netload(parse_options(args, 1));
+    if (cmd == "router") return cmd_router(parse_options(args, 1));
     if (cmd == "serve") {
       // Accept both `serve tpcc` and `serve --workload tpcc`.
       if (args.size() >= 2 && args[1][0] != '-') {
