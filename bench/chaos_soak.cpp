@@ -20,12 +20,16 @@
 // its own NetServer), a Router fronting them by consistent hash with an
 // aggressive rebalance cadence, and netload offering traffic through the
 // router. The schedule adds the router.forward / router.backend_down /
-// router.rebalance sites on top of the net.* and engine-level chaos — and
-// because the net.* sites are process-global, the router's own shard links
-// suffer the same read/write faults, exercising backend-down synthesis and
-// redial under load. The router's forwarding ledger (dispatched ==
-// forwarded + shed_local, forwarded == returned) joins the invariants,
-// alongside every wire and engine ledger in the topology.
+// router.rebalance / router.poll_timeout / router.admit / router.retire
+// sites on top of the net.* and engine-level chaos — and because the net.*
+// sites are process-global, the router's own shard links suffer the same
+// read/write faults, exercising backend-down synthesis and redial under
+// load. A membership-churn timeline runs underneath: a third shard is
+// admitted mid-run, one static shard is killed outright (redial budget →
+// eviction), and the dynamic shard is retired again — the router's
+// forwarding ledger (dispatched == forwarded + shed_local, forwarded ==
+// returned) must stay exact across all of it, alongside every wire and
+// engine ledger in the topology.
 //
 // Exits 0 when every invariant holds, 1 on any violation (or an unexpected
 // exception). When the failpoint framework is compiled out the soak degrades
@@ -41,6 +45,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "net/netload.hpp"
@@ -212,6 +217,25 @@ std::string random_schedule(util::Rng& rng, bool net, bool router = false) {
       // stats polling continue, then resume on the next epoch.
       add("router.rebalance=error(p=1)");
     }
+    if (coin()) {
+      // Blind health ticks: the poll observes no stats from any shard,
+      // driving healthy→suspect (and occasionally all the way to a
+      // spurious eviction — which must heal through probation).
+      std::ostringstream s;
+      s << "router.poll_timeout=error(p=" << rng.uniform(0.1, 0.3) << ")";
+      add(s.str());
+    }
+    if (coin()) {
+      // Membership ops rejected as if invalid; the churn driver retries.
+      std::ostringstream s;
+      s << "router.admit=error(p=" << rng.uniform(0.05, 0.2) << ")";
+      add(s.str());
+    }
+    if (coin()) {
+      std::ostringstream s;
+      s << "router.retire=error(p=" << rng.uniform(0.05, 0.2) << ")";
+      add(s.str());
+    }
   }
   return spec.str();
 }
@@ -378,7 +402,12 @@ int run_soak(const SoakParams& params) {
 
 /// --router: the whole distributed tier under one chaos schedule — two
 /// backend shards, a Router rebalancing between them, netload through the
-/// router — with every ledger in the topology asserted at the end.
+/// router — with every ledger in the topology asserted at the end. A
+/// membership-churn timeline runs underneath the failpoint schedule: a
+/// third shard is admitted mid-run (and must earn its ring arcs through
+/// probation), shard b is killed outright to drive the redial-budget →
+/// evict path, and the dynamic shard is retired again near the end — all
+/// while the same ledgers must stay exact.
 int run_router_soak(const SoakParams& params) {
   struct BackendShard {
     BackendShard(const SoakParams& params, std::uint64_t seed)
@@ -413,6 +442,7 @@ int run_router_soak(const SoakParams& params) {
 
   BackendShard shard_a{params, params.seed};
   BackendShard shard_b{params, params.seed + 1};
+  std::optional<BackendShard> shard_c;  // admitted mid-run by the churn driver
 
   router::RouterConfig router_cfg;
   router_cfg.backoff.attempt_timeout_seconds = 0.25;
@@ -425,6 +455,10 @@ int run_router_soak(const SoakParams& params) {
   router_cfg.rebalance.slo_p99_us = 5'000;
   router_cfg.rebalance.min_tenant_requests = 8;
   router_cfg.migration_timeout_seconds = 0.25;
+  // A small redial budget so the hard-killed shard burns through it and is
+  // evicted while the soak still has runway to exercise post-evict traffic.
+  router_cfg.redial_budget = 4;
+  router_cfg.dead_probe_seconds = 0.2;
   router::Router router{
       {router::ShardAddress{0, "127.0.0.1", shard_a.server.port()},
        router::ShardAddress{1, "127.0.0.1", shard_b.server.port()}},
@@ -447,9 +481,17 @@ int run_router_soak(const SoakParams& params) {
 
   util::Rng chaos_rng{params.seed};
   std::size_t epochs = 0;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(params.seconds);
+  const auto started = std::chrono::steady_clock::now();
+  const auto deadline =
+      started + std::chrono::duration<double>(params.seconds);
   const bool inject = util::FailpointRegistry::compiled_in();
+  // Membership churn interleaved with the failpoint epochs. Admit/retire
+  // go through the same path the wire's Membership frames reach, so the
+  // router.admit / router.retire failpoints may veto them — the driver
+  // simply retries on the next epoch, exactly like an external operator.
+  bool admitted = false;
+  bool killed = false;
+  bool retired = false;
   while (std::chrono::steady_clock::now() < deadline) {
     if (inject) {
       const std::string spec =
@@ -460,6 +502,22 @@ int run_router_soak(const SoakParams& params) {
       }
       ++epochs;
     }
+    const double frac = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - started)
+                            .count() /
+                        params.seconds;
+    if (!admitted && frac > 0.25) {
+      if (!shard_c) shard_c.emplace(params, params.seed + 2);
+      admitted =
+          router.admit_shard({2, "127.0.0.1", shard_c->server.port()}).ok;
+    }
+    if (!killed && frac > 0.5) {
+      shard_b.server.shutdown();  // hard kill: drives redial budget → evict
+      killed = true;
+    }
+    if (admitted && !retired && frac > 0.75) {
+      retired = router.retire_shard(2).ok;
+    }
     std::this_thread::sleep_for(
         std::chrono::milliseconds{chaos_rng.uniform_int(200, 500)});
   }
@@ -469,6 +527,7 @@ int run_router_soak(const SoakParams& params) {
   router.shutdown();   // answers every in-flight, then closes the links
   shard_a.server.shutdown();
   shard_b.server.shutdown();
+  if (shard_c) shard_c->server.shutdown();
 
   const router::RouterReport rr = router.report();
   const net::NetServerReport router_wire = router.server_report();
@@ -484,6 +543,12 @@ int run_router_soak(const SoakParams& params) {
             << rr.migrations_completed << "/" << rr.migrations_started
             << " forced_cuts=" << rr.forced_cuts
             << " rebalance_rounds=" << rr.rebalance_rounds << "\n";
+  std::cout << "  membership: admits=" << rr.admits
+            << " retires=" << rr.retires << " evictions=" << rr.evictions
+            << " ring_joins=" << rr.readmits
+            << " (churn: admitted=" << (admitted ? "yes" : "no")
+            << " killed=" << (killed ? "yes" : "no")
+            << " retired=" << (retired ? "yes" : "no") << ")\n";
   if (net_result) {
     std::cout << "  client: sent=" << net_result->sent
               << " ok=" << net_result->ok << " shed=" << net_result->shed
@@ -503,13 +568,13 @@ int run_router_soak(const SoakParams& params) {
             router_wire.responses_written + router_wire.responses_dropped,
         "router wire: enqueued == written + dropped", failures);
   std::uint64_t completed = 0;
-  const char* names[] = {"shard a", "shard b"};
-  BackendShard* backends[] = {&shard_a, &shard_b};
-  for (std::size_t s = 0; s < 2; ++s) {
-    const serve::ServeReport report = backends[s]->engine.report();
-    const net::NetServerReport wire = backends[s]->server.report();
+  std::vector<std::pair<std::string, BackendShard*>> backends{
+      {"shard a", &shard_a}, {"shard b", &shard_b}};
+  if (shard_c) backends.emplace_back("shard c", &*shard_c);
+  for (auto& [name, backend] : backends) {
+    const serve::ServeReport report = backend->engine.report();
+    const net::NetServerReport wire = backend->server.report();
     completed += report.completed;
-    const std::string name = names[s];
     check(report.offered == report.admitted + report.shed,
           name + ": offered == admitted + shed", failures);
     check(report.admitted == report.completed + report.expired + report.failed,
@@ -521,12 +586,25 @@ int run_router_soak(const SoakParams& params) {
     check(wire.responses_enqueued ==
               wire.responses_written + wire.responses_dropped,
           name + " wire: enqueued == written + dropped", failures);
-    check(backends[s]->workload.verify(),
+    check(backend->workload.verify(),
           name + ": workload transactional state consistent", failures);
   }
   check(completed > 0, "bounded completion: progress was made", failures);
   check(!net_result || net_result->sent > 0, "client offered traffic",
         failures);
+  // Churn accounting: counters only assert the transitions the driver
+  // actually landed (failpoints may have vetoed some); the eviction check
+  // needs enough post-kill runway for the redial budget to burn down.
+  if (admitted) {
+    check(rr.admits >= 1, "membership: runtime admit recorded", failures);
+  }
+  if (retired) {
+    check(rr.retires >= 1, "membership: runtime retire recorded", failures);
+  }
+  if (killed && params.seconds >= 4) {
+    check(rr.evictions >= 1, "membership: killed shard was evicted",
+          failures);
+  }
   if (failures != 0) {
     std::cout << "chaos_soak: " << failures << " invariant violation(s)\n";
     return 1;

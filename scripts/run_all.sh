@@ -35,7 +35,7 @@ cmake --build build-tsan --target \
   util_failpoint_test chaos_stm_test chaos_serve_test chaos_runtime_test \
   net_wire_test net_loop_test net_server_test net_chaos_test \
   net_client_retry_test router_ring_test router_rebalancer_test \
-  router_proxy_test
+  router_proxy_test router_health_test router_membership_test
 for t in build-tsan/tests/stm_*_test build-tsan/tests/serve_*_test \
          build-tsan/tests/net_*_test build-tsan/tests/router_*_test \
          build-tsan/tests/util_concurrency_test \
@@ -53,10 +53,11 @@ done
 cmake --preset asan-ubsan
 cmake --build build-asan-ubsan --target \
   net_wire_test net_loop_test net_server_test net_chaos_test \
-  net_client_retry_test router_proxy_test \
+  net_client_retry_test router_proxy_test router_membership_test \
   stm_semantic_test stm_linearizability_test
 for t in build-asan-ubsan/tests/net_*_test \
          build-asan-ubsan/tests/router_proxy_test \
+         build-asan-ubsan/tests/router_membership_test \
          build-asan-ubsan/tests/stm_semantic_test \
          build-asan-ubsan/tests/stm_linearizability_test; do
   echo "== asan-ubsan: $(basename "$t") =="
@@ -109,6 +110,18 @@ rm -f "$portfile"
 # through the router. Every process asserts its own ledgers on exit.
 echo "== cluster smoke: router + 2 shards over loopback =="
 scripts/run_cluster.sh --smoke
+
+# Elastic-membership smoke: the same tier with runtime admit/retire churned
+# underneath live traffic via `router-ctl` — the admitted shard must pass
+# probation into the ring and retire back out drop-free, with every ledger
+# exact. Run once against the plain build and once with an ASan-built
+# binary so the membership paths (link teardown, member finalize) get leak
+# and use-after-free coverage in every full run.
+echo "== cluster smoke: elastic membership churn =="
+scripts/run_cluster.sh --smoke --elastic
+cmake --build build-asan-ubsan --target autopn
+echo "== cluster smoke: elastic membership churn (asan-ubsan) =="
+scripts/run_cluster.sh --smoke --elastic --build build-asan-ubsan
 
 mkdir -p results
 for bench in build/bench/*; do

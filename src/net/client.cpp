@@ -161,7 +161,8 @@ Client::Client(Client&& other) noexcept
       wire_minor_(other.wire_minor_),
       decoder_(std::move(other.decoder_)),
       pending_(std::move(other.pending_)),
-      pending_stats_(std::move(other.pending_stats_)) {}
+      pending_stats_(std::move(other.pending_stats_)),
+      pending_membership_(std::move(other.pending_membership_)) {}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
@@ -176,6 +177,7 @@ Client& Client::operator=(Client&& other) noexcept {
     decoder_ = std::move(other.decoder_);
     pending_ = std::move(other.pending_);
     pending_stats_ = std::move(other.pending_stats_);
+    pending_membership_ = std::move(other.pending_membership_);
   }
   return *this;
 }
@@ -266,6 +268,15 @@ bool Client::read_batch(double timeout_seconds) {
         pending_stats_.push_back(std::move(*stats));
         continue;
       }
+      if (frame->type == FrameType::kMembershipResponse) {
+        auto membership = parse_membership(frame->body);
+        if (!membership) {
+          closed_.store(true, std::memory_order_relaxed);
+          return false;
+        }
+        pending_membership_.push_back(std::move(*membership));
+        continue;
+      }
       if (frame->type != FrameType::kResponse) {
         closed_.store(true, std::memory_order_relaxed);
         return false;
@@ -326,6 +337,30 @@ std::optional<StatsFrame> Client::poll_stats(double timeout_seconds) {
   StatsFrame stats = std::move(pending_stats_.front());
   pending_stats_.pop_front();
   return stats;
+}
+
+bool Client::send_membership(const MembershipRequest& request) {
+  if (!connected() || wire_minor_ < 2) return false;
+  std::vector<std::uint8_t> bytes;
+  encode_membership_request(bytes, request);
+  if (!send_all(fd_, bytes.data(), bytes.size())) {
+    closed_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+std::optional<MembershipFrame> Client::poll_membership(double timeout_seconds) {
+  const auto deadline =
+      SteadyClock::now() +
+      std::chrono::duration<double>(std::max(timeout_seconds, 0.0));
+  while (pending_membership_.empty()) {
+    // Response/stats frames seen while waiting stay buffered for later.
+    if (!read_batch(seconds_until(deadline))) return std::nullopt;
+  }
+  MembershipFrame membership = std::move(pending_membership_.front());
+  pending_membership_.pop_front();
+  return membership;
 }
 
 std::optional<ResponseFrame> Client::call(std::uint16_t handler_id,

@@ -94,6 +94,14 @@ class Client {
   /// Response frames seen while waiting are buffered for recv()/call().
   std::optional<StatsFrame> poll_stats(double timeout_seconds);
 
+  /// Sends one membership control request (minor >= 2 only — returns false
+  /// on an older connection). The answer arrives via poll_membership().
+  bool send_membership(const MembershipRequest& request);
+
+  /// Next buffered MembershipFrame, reading the socket up to
+  /// `timeout_seconds`. Other frames seen while waiting are buffered.
+  std::optional<MembershipFrame> poll_membership(double timeout_seconds);
+
   /// The minor negotiated at handshake (0 when talking to a legacy peer).
   [[nodiscard]] std::uint16_t wire_minor() const noexcept {
     return wire_minor_;
@@ -130,6 +138,7 @@ class Client {
   FrameDecoder decoder_;
   std::deque<ResponseFrame> pending_;
   std::deque<StatsFrame> pending_stats_;
+  std::deque<MembershipFrame> pending_membership_;
 };
 
 }  // namespace autopn::net

@@ -22,6 +22,13 @@ std::uint64_t to_micros(double seconds) {
 
 }  // namespace
 
+MembershipFrame RequestDispatcher::membership(const MembershipRequest&) {
+  MembershipFrame frame;
+  frame.ok = false;
+  frame.message = "membership not supported by this dispatcher";
+  return frame;
+}
+
 EngineDispatcher::EngineDispatcher(serve::ServeEngine& engine,
                                    HandlerTable handlers)
     : engine_(&engine), handlers_(std::move(handlers)) {}

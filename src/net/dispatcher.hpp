@@ -45,6 +45,13 @@ class RequestDispatcher {
 
   /// KPI aggregates served to a kStatsRequest (minor >= 1 connections).
   [[nodiscard]] virtual StatsFrame stats() = 0;
+
+  /// Answer to a kMembershipRequest (minor >= 2 connections), invoked on
+  /// the server's loop thread. The base implementation rejects with
+  /// ok=false — only the routing tier owns a mutable shard set; a plain
+  /// shard answering "not supported" is the correct protocol outcome.
+  [[nodiscard]] virtual MembershipFrame membership(
+      const MembershipRequest& request);
 };
 
 /// The single-process dispatcher: bridges frames into a ServeEngine, which

@@ -29,6 +29,8 @@ struct WorkerStats {
   std::uint64_t ok = 0;
   std::uint64_t shed = 0;
   std::uint64_t shed_router = 0;
+  std::uint64_t shed_router_dead = 0;
+  std::uint64_t shed_router_transient = 0;
   std::uint64_t expired = 0;
   std::uint64_t failed = 0;
   std::uint64_t rejected = 0;
@@ -52,6 +54,8 @@ void merge(SharedState& shared, const WorkerStats& stats) {
   r.ok += stats.ok;
   r.shed += stats.shed;
   r.shed_router += stats.shed_router;
+  r.shed_router_dead += stats.shed_router_dead;
+  r.shed_router_transient += stats.shed_router_transient;
   r.expired += stats.expired;
   r.failed += stats.failed;
   r.rejected += stats.rejected;
@@ -87,7 +91,14 @@ void count_response(const ResponseFrame& response, WorkerStats& stats,
     case Status::kShed:
     case Status::kClosing:
       ++stats.shed;
-      if (response.shed_origin == ShedOrigin::kRouter) ++stats.shed_router;
+      if (response.shed_origin == ShedOrigin::kRouter) {
+        ++stats.shed_router;
+        if (response.shed_detail == ShedDetail::kDeadBackend) {
+          ++stats.shed_router_dead;
+        } else if (response.shed_detail == ShedDetail::kTransient) {
+          ++stats.shed_router_transient;
+        }
+      }
       stats.retry_after_sum +=
           static_cast<double>(response.retry_after_us) / 1e6;
       ++stats.retry_after_count;

@@ -243,6 +243,26 @@ bool NetServer::process_frames(std::uint64_t conn_id) {
       if (!send_bytes(conn, bytes, /*is_response=*/false)) return false;
       continue;
     }
+    if (frame->type == FrameType::kMembershipRequest) {
+      // Minor-2 construct: on an older connection it's a protocol error.
+      if (conn.wire_minor < 2) {
+        close_connection(conn_id, CloseReason::kProtocol);
+        return false;
+      }
+      const auto request = parse_membership_request(frame->body);
+      if (!request) {
+        close_connection(conn_id, CloseReason::kProtocol);
+        return false;
+      }
+      std::vector<std::uint8_t> bytes;
+      // Runs on the loop thread — the same thread that owns a Router
+      // dispatcher's membership state, so no extra synchronization.
+      encode_membership(bytes, dispatcher_->membership(*request));
+      // Membership frames ride outside the request/response ledger, like
+      // stats: they are control plane, not dispatched requests.
+      if (!send_bytes(conn, bytes, /*is_response=*/false)) return false;
+      continue;
+    }
     if (frame->type != FrameType::kRequest) {
       close_connection(conn_id, CloseReason::kProtocol);
       return false;

@@ -79,6 +79,25 @@ struct Reader {
   [[nodiscard]] bool exhausted() const { return pos == data.size(); }
 };
 
+/// Length-prefixed (u16) short string; membership frames carry hosts and
+/// human-readable errors. Encoding truncates at `cap`, parsing rejects
+/// anything longer — the cap is part of the wire contract.
+void put_string(std::vector<std::uint8_t>& out, const std::string& s,
+                std::size_t cap) {
+  const std::size_t n = std::min(s.size(), cap);
+  put_u16(out, static_cast<std::uint16_t>(n));
+  out.insert(out.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+[[nodiscard]] bool get_string(Reader& r, std::string& out, std::size_t cap) {
+  std::uint16_t n = 0;
+  if (!r.get_u16(n) || n > cap) return false;
+  std::vector<std::uint8_t> bytes;
+  if (!r.get_bytes(bytes, n)) return false;
+  out.assign(bytes.begin(), bytes.end());
+  return true;
+}
+
 /// Writes `length | type` with the length back-patched once the body is in.
 class FrameBuilder {
  public:
@@ -124,6 +143,24 @@ std::string to_string(ShedOrigin origin) {
   return "unknown";
 }
 
+std::string to_string(ShedDetail detail) {
+  switch (detail) {
+    case ShedDetail::kNone: return "none";
+    case ShedDetail::kTransient: return "transient";
+    case ShedDetail::kDeadBackend: return "dead-backend";
+  }
+  return "unknown";
+}
+
+std::string to_string(MembershipOp op) {
+  switch (op) {
+    case MembershipOp::kAdd: return "add";
+    case MembershipOp::kRemove: return "remove";
+    case MembershipOp::kStatus: return "status";
+  }
+  return "unknown";
+}
+
 void encode_hello(std::vector<std::uint8_t>& out, const HelloFrame& f) {
   FrameBuilder b{out, FrameType::kHello};
   put_u32(out, f.magic);
@@ -162,6 +199,7 @@ void encode_response(std::vector<std::uint8_t>& out, const ResponseFrame& f,
   put_u32(out, static_cast<std::uint32_t>(f.payload.size()));
   out.insert(out.end(), f.payload.begin(), f.payload.end());
   if (wire_minor >= 1) put_u8(out, static_cast<std::uint8_t>(f.shed_origin));
+  if (wire_minor >= 2) put_u8(out, static_cast<std::uint8_t>(f.shed_detail));
   b.finish();
 }
 
@@ -190,6 +228,99 @@ void encode_stats(std::vector<std::uint8_t>& out, const StatsFrame& f) {
     put_u64(out, t.p99_us);
   }
   b.finish();
+}
+
+namespace {
+
+/// Cap on the human-readable message in a membership response.
+constexpr std::size_t kMaxMessageBytes = 1024;
+
+}  // namespace
+
+void encode_membership_request(std::vector<std::uint8_t>& out,
+                               const MembershipRequest& f) {
+  FrameBuilder b{out, FrameType::kMembershipRequest};
+  put_u8(out, static_cast<std::uint8_t>(f.op));
+  put_u32(out, f.shard_id);
+  put_string(out, f.host, kMaxHostBytes);
+  put_u16(out, f.port);
+  b.finish();
+}
+
+void encode_membership(std::vector<std::uint8_t>& out,
+                       const MembershipFrame& f) {
+  FrameBuilder b{out, FrameType::kMembershipResponse};
+  put_u8(out, f.ok ? 1 : 0);
+  put_string(out, f.message, kMaxMessageBytes);
+  put_u8(out, f.scale_action);
+  put_u32(out, f.scale_shard);
+  put_u16(out, static_cast<std::uint16_t>(f.members.size()));
+  for (const MemberInfo& m : f.members) {
+    put_u32(out, m.shard_id);
+    put_string(out, m.host, kMaxHostBytes);
+    put_u16(out, m.port);
+    put_u8(out, m.health);
+    put_u8(out, m.in_ring ? 1 : 0);
+    put_u64(out, m.redial_attempts);
+    put_u64(out, m.reconnects);
+    put_string(out, m.last_error, kMaxMessageBytes);
+  }
+  put_u16(out, static_cast<std::uint16_t>(f.log.size()));
+  for (const MembershipLogEntry& e : f.log) {
+    put_u64(out, e.seq);
+    put_u8(out, e.event);
+    put_u32(out, e.shard_id);
+  }
+  b.finish();
+}
+
+std::optional<MembershipRequest> parse_membership_request(
+    const std::vector<std::uint8_t>& body) {
+  Reader r{body};
+  MembershipRequest f;
+  std::uint8_t op = 0;
+  if (!r.get_u8(op) || op > static_cast<std::uint8_t>(MembershipOp::kStatus) ||
+      !r.get_u32(f.shard_id) || !get_string(r, f.host, kMaxHostBytes) ||
+      !r.get_u16(f.port) || !r.exhausted()) {
+    return std::nullopt;
+  }
+  f.op = static_cast<MembershipOp>(op);
+  return f;
+}
+
+std::optional<MembershipFrame> parse_membership(
+    const std::vector<std::uint8_t>& body) {
+  Reader r{body};
+  MembershipFrame f;
+  std::uint8_t ok = 0;
+  std::uint16_t n_members = 0;
+  if (!r.get_u8(ok) || !get_string(r, f.message, kMaxMessageBytes) ||
+      !r.get_u8(f.scale_action) || !r.get_u32(f.scale_shard) ||
+      !r.get_u16(n_members)) {
+    return std::nullopt;
+  }
+  f.ok = ok != 0;
+  f.members.resize(n_members);
+  for (MemberInfo& m : f.members) {
+    std::uint8_t in_ring = 0;
+    if (!r.get_u32(m.shard_id) || !get_string(r, m.host, kMaxHostBytes) ||
+        !r.get_u16(m.port) || !r.get_u8(m.health) || !r.get_u8(in_ring) ||
+        !r.get_u64(m.redial_attempts) || !r.get_u64(m.reconnects) ||
+        !get_string(r, m.last_error, kMaxMessageBytes)) {
+      return std::nullopt;
+    }
+    m.in_ring = in_ring != 0;
+  }
+  std::uint16_t n_log = 0;
+  if (!r.get_u16(n_log)) return std::nullopt;
+  f.log.resize(n_log);
+  for (MembershipLogEntry& e : f.log) {
+    if (!r.get_u64(e.seq) || !r.get_u8(e.event) || !r.get_u32(e.shard_id)) {
+      return std::nullopt;
+    }
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return f;
 }
 
 std::optional<HelloFrame> parse_hello(const std::vector<std::uint8_t>& body) {
@@ -252,11 +383,18 @@ std::optional<ResponseFrame> parse_response(
   if (r.exhausted()) return f;  // legacy v1.0 form: no shed-origin byte
   std::uint8_t origin = 0;
   if (!r.get_u8(origin) ||
-      origin > static_cast<std::uint8_t>(ShedOrigin::kRouter) ||
-      !r.exhausted()) {
+      origin > static_cast<std::uint8_t>(ShedOrigin::kRouter)) {
     return std::nullopt;
   }
   f.shed_origin = static_cast<ShedOrigin>(origin);
+  if (r.exhausted()) return f;  // minor-1 form: no shed-detail byte
+  std::uint8_t detail = 0;
+  if (!r.get_u8(detail) ||
+      detail > static_cast<std::uint8_t>(ShedDetail::kDeadBackend) ||
+      !r.exhausted()) {
+    return std::nullopt;
+  }
+  f.shed_detail = static_cast<ShedDetail>(detail);
   return f;
 }
 
@@ -306,7 +444,7 @@ std::optional<Frame> FrameDecoder::next() {
   }
   const std::uint8_t type = buffer_[4];
   if (type < static_cast<std::uint8_t>(FrameType::kHello) ||
-      type > static_cast<std::uint8_t>(FrameType::kStatsResponse)) {
+      type > static_cast<std::uint8_t>(FrameType::kMembershipResponse)) {
     fail("unknown frame type " + std::to_string(type));
     return std::nullopt;
   }

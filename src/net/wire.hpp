@@ -30,7 +30,11 @@
 // trailing bytes) still interoperates: the responder mirrors the
 // requester's form. Constructs introduced by minor 1 — the Response
 // shed-origin byte and the Stats frame pair — are only ever sent on a
-// connection whose negotiated minor is >= 1.
+// connection whose negotiated minor is >= 1. Minor 2 adds the Membership
+// control frame pair (runtime shard admit/retire/status for the router
+// tier) and a trailing shed-detail byte on Response that splits router
+// sheds into dead-backend vs transient; a minor-1 response is encoded
+// byte-identically to before, so every older peer interoperates.
 
 #include <cstddef>
 #include <cstdint>
@@ -45,7 +49,7 @@ inline constexpr std::uint32_t kWireMagic = 0x41504E31;  // "APN1"
 inline constexpr std::uint16_t kWireVersion = 1;
 /// Highest protocol minor this implementation speaks (see file comment for
 /// the negotiation rules; 0 encodes the legacy v1.0 frame layout).
-inline constexpr std::uint16_t kWireMinor = 1;
+inline constexpr std::uint16_t kWireMinor = 2;
 /// Hard cap on `length`; a header announcing more is a protocol error (and
 /// the decoder's defense against unbounded buffering on garbage input).
 inline constexpr std::uint32_t kMaxFrameBytes = 1u << 20;
@@ -60,6 +64,8 @@ enum class FrameType : std::uint8_t {
   kResponse = 4,
   kStatsRequest = 5,   ///< minor >= 1: ask the server for its KPI aggregates
   kStatsResponse = 6,  ///< minor >= 1: the server's StatsFrame
+  kMembershipRequest = 7,   ///< minor >= 2: router-tier admit/retire/status
+  kMembershipResponse = 8,  ///< minor >= 2: the router's MembershipFrame
 };
 
 /// Engine verdict carried by a Response frame.
@@ -83,6 +89,18 @@ enum class ShedOrigin : std::uint8_t {
 };
 
 [[nodiscard]] std::string to_string(ShedOrigin origin);
+
+/// Why a router-origin response shed (minor >= 2; absent means kNone). The
+/// split netload's shed@rtr column needs: a shard declared dead (placement
+/// should converge away from it) versus a transient blip (connection died
+/// mid-request, drain, migration overflow) that retrying rides out.
+enum class ShedDetail : std::uint8_t {
+  kNone = 0,         ///< not a backend-health shed (or pre-minor-2 peer)
+  kTransient = 1,    ///< momentary: disconnect mid-flight, hold overflow
+  kDeadBackend = 2,  ///< the target shard exhausted its redial budget / dead
+};
+
+[[nodiscard]] std::string to_string(ShedDetail detail);
 
 struct HelloFrame {
   std::uint32_t magic = kWireMagic;
@@ -121,6 +139,9 @@ struct ResponseFrame {
   /// Which tier produced a kShed/kClosing verdict. On the wire only when
   /// the connection negotiated minor >= 1; absent means kShard.
   ShedOrigin shed_origin = ShedOrigin::kShard;
+  /// Health classification of a router-origin shed. On the wire only when
+  /// the connection negotiated minor >= 2; absent means kNone.
+  ShedDetail shed_detail = ShedDetail::kNone;
 };
 
 /// One per-tenant latency slot in a StatsFrame (the serving engine's 8
@@ -150,6 +171,65 @@ struct StatsFrame {
   std::vector<TenantStat> tenants;
 };
 
+// ---- Membership control (minor >= 2) -----------------------------------
+// The router tier's runtime admit/retire/status channel. A control client
+// (`autopn router-ctl`) sends one MembershipRequest; the router answers with
+// a MembershipFrame carrying the member table, the ordered membership log
+// (placement is a pure function of the shard set, so the log is all two
+// routers need to agree), and the rebalancer's latest scale recommendation.
+// A non-router dispatcher answers ok=false ("membership not supported").
+
+enum class MembershipOp : std::uint8_t {
+  kAdd = 0,     ///< admit shard_id at host:port (enters probation first)
+  kRemove = 1,  ///< retire shard_id: migrate tenants off, then close links
+  kStatus = 2,  ///< read-only member table + log + scale recommendation
+};
+
+[[nodiscard]] std::string to_string(MembershipOp op);
+
+/// Cap on the host string in membership frames (a dotted quad or short
+/// hostname; anything longer is a protocol error, not forward compat).
+inline constexpr std::size_t kMaxHostBytes = 255;
+
+struct MembershipRequest {
+  MembershipOp op = MembershipOp::kStatus;
+  std::uint32_t shard_id = 0;  ///< kRemove target; kAdd desired id
+  std::string host;            ///< kAdd only
+  std::uint16_t port = 0;      ///< kAdd only
+};
+
+/// One member row in a membership response. `health` and the counters are
+/// router-side observability (router::HealthState values on the wire as raw
+/// bytes so the net layer stays independent of src/router).
+struct MemberInfo {
+  std::uint32_t shard_id = 0;
+  std::string host;
+  std::uint16_t port = 0;
+  std::uint8_t health = 0;  ///< router::HealthState as a raw byte
+  bool in_ring = false;     ///< currently owns ring arcs (placement input)
+  std::uint64_t redial_attempts = 0;  ///< total failed dials across outages
+  std::uint64_t reconnects = 0;
+  std::string last_error;  ///< most recent dial failure, empty when none
+};
+
+/// One ordered membership-log entry (`event` is a router::MembershipEvent
+/// raw byte). Replaying the kJoin/kEvict/kRetire entries in seq order
+/// reconstructs the ring membership exactly.
+struct MembershipLogEntry {
+  std::uint64_t seq = 0;
+  std::uint8_t event = 0;
+  std::uint32_t shard_id = 0;
+};
+
+struct MembershipFrame {
+  bool ok = true;
+  std::string message;
+  std::uint8_t scale_action = 0;   ///< router::ScaleAction as a raw byte
+  std::uint32_t scale_shard = 0;   ///< shard id for a remove recommendation
+  std::vector<MemberInfo> members;
+  std::vector<MembershipLogEntry> log;
+};
+
 // ---- Encoding ----------------------------------------------------------
 // Each encoder appends one complete frame (length prefix included) to `out`
 // so callers can batch several frames into a single write buffer.
@@ -163,6 +243,10 @@ void encode_response(std::vector<std::uint8_t>& out, const ResponseFrame& f,
                      std::uint16_t wire_minor = kWireMinor);
 void encode_stats_request(std::vector<std::uint8_t>& out);
 void encode_stats(std::vector<std::uint8_t>& out, const StatsFrame& f);
+void encode_membership_request(std::vector<std::uint8_t>& out,
+                               const MembershipRequest& f);
+void encode_membership(std::vector<std::uint8_t>& out,
+                       const MembershipFrame& f);
 
 // ---- Decoding ----------------------------------------------------------
 
@@ -185,6 +269,10 @@ struct Frame {
 [[nodiscard]] std::optional<ResponseFrame> parse_response(
     const std::vector<std::uint8_t>& body);
 [[nodiscard]] std::optional<StatsFrame> parse_stats(
+    const std::vector<std::uint8_t>& body);
+[[nodiscard]] std::optional<MembershipRequest> parse_membership_request(
+    const std::vector<std::uint8_t>& body);
+[[nodiscard]] std::optional<MembershipFrame> parse_membership(
     const std::vector<std::uint8_t>& body);
 
 class FrameDecoder {

@@ -1,0 +1,123 @@
+#include "router/health.hpp"
+
+#include <algorithm>
+
+namespace autopn::router {
+
+std::string to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kHealthy:
+      return "healthy";
+    case HealthState::kSuspect:
+      return "suspect";
+    case HealthState::kDead:
+      return "dead";
+    case HealthState::kProbation:
+      return "probation";
+    case HealthState::kRetiring:
+      return "retiring";
+  }
+  return "?";
+}
+
+std::string to_string(MembershipEvent event) {
+  switch (event) {
+    case MembershipEvent::kAdmit:
+      return "admit";
+    case MembershipEvent::kRetire:
+      return "retire";
+    case MembershipEvent::kEvict:
+      return "evict";
+    case MembershipEvent::kJoin:
+      return "join";
+  }
+  return "?";
+}
+
+std::optional<HealthTransition> ShardHealth::tick(
+    const HealthObservation& observation) {
+  const HealthState from = state_;
+  const bool ok = observation.connected && observation.poll_ok;
+  switch (state_) {
+    case HealthState::kHealthy:
+      if (ok) {
+        misses_ = 0;
+        return std::nullopt;
+      }
+      ++misses_;
+      if (observation.budget_exhausted) {
+        state_ = HealthState::kDead;
+      } else if (misses_ >= config_.suspect_after) {
+        state_ = HealthState::kSuspect;
+      }
+      break;
+    case HealthState::kSuspect:
+      if (ok) {
+        state_ = HealthState::kHealthy;
+        misses_ = 0;
+        break;
+      }
+      ++misses_;
+      if (observation.budget_exhausted || misses_ >= config_.dead_after) {
+        state_ = HealthState::kDead;
+      }
+      break;
+    case HealthState::kDead:
+      // Any sign of life starts probation; the ring stays untouched until
+      // the shard proves itself with consecutive successful polls.
+      if (observation.connected) {
+        state_ = HealthState::kProbation;
+        passes_ = 0;
+      }
+      break;
+    case HealthState::kProbation:
+      if (!observation.connected) {
+        state_ = HealthState::kDead;
+        break;
+      }
+      if (observation.poll_ok) {
+        ++passes_;
+        if (passes_ >= config_.probation_passes) {
+          state_ = HealthState::kHealthy;
+          misses_ = 0;
+        }
+      } else {
+        passes_ = 0;  // consecutive means consecutive
+      }
+      break;
+    case HealthState::kRetiring:
+      break;  // administrative; tick() never leaves it
+  }
+  if (state_ == from) return std::nullopt;
+  return HealthTransition{from, state_};
+}
+
+void ShardHealth::force(HealthState state) {
+  state_ = state;
+  misses_ = 0;
+  passes_ = 0;
+}
+
+std::vector<std::uint32_t> ring_members(
+    const std::vector<MembershipRecord>& log) {
+  std::vector<std::uint32_t> members;
+  for (const MembershipRecord& record : log) {
+    const auto it =
+        std::find(members.begin(), members.end(), record.shard_id);
+    switch (record.event) {
+      case MembershipEvent::kJoin:
+        if (it == members.end()) members.push_back(record.shard_id);
+        break;
+      case MembershipEvent::kEvict:
+      case MembershipEvent::kRetire:
+        if (it != members.end()) members.erase(it);
+        break;
+      case MembershipEvent::kAdmit:
+        break;
+    }
+  }
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+}  // namespace autopn::router

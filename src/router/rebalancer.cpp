@@ -8,6 +8,18 @@ namespace autopn::router {
 
 Rebalancer::Rebalancer(RebalanceConfig config) : config_(config) {}
 
+std::string to_string(ScaleAction action) {
+  switch (action) {
+    case ScaleAction::kHold:
+      return "hold";
+    case ScaleAction::kAdd:
+      return "add";
+    case ScaleAction::kRemove:
+      return "remove";
+  }
+  return "?";
+}
+
 std::vector<Move> Rebalancer::propose(
     const std::vector<ShardSnapshot>& shards,
     const std::vector<TenantLoad>& tenants) const {
@@ -80,6 +92,51 @@ std::vector<Move> Rebalancer::propose(
     moves.push_back(Move{t.tenant_id, t.shard_id, chosen->shard_id});
   }
   return moves;
+}
+
+ScaleProposal Rebalancer::propose_scale(
+    const std::vector<ShardSnapshot>& shards) const {
+  std::vector<const ShardSnapshot*> healthy;
+  for (const ShardSnapshot& s : shards) {
+    if (s.healthy) healthy.push_back(&s);
+  }
+  if (healthy.empty()) return {};
+
+  // kAdd: no healthy shard meets the SLO. propose() needs a satisfied
+  // target with headroom to move anything; when none exists, migration is
+  // a zero-sum shuffle and only capacity helps.
+  const bool all_violating =
+      std::all_of(healthy.begin(), healthy.end(), [this](const ShardSnapshot* s) {
+        return s->p99_us > config_.slo_p99_us;
+      });
+  if (all_violating) return {ScaleAction::kAdd, 0};
+
+  // kRemove: with >=2 healthy shards, retire the coolest if it AND every
+  // other healthy shard sit under slo × headroom — the survivors have the
+  // same slack a migration target must have, so absorbing the retiree's
+  // tenants cannot regress a satisfied SLO.
+  if (healthy.size() >= 2) {
+    const auto headroom_limit = static_cast<std::uint64_t>(
+        static_cast<double>(config_.slo_p99_us) * config_.headroom_fraction);
+    const bool all_cool =
+        std::all_of(healthy.begin(), healthy.end(),
+                    [headroom_limit](const ShardSnapshot* s) {
+                      return s->p99_us < headroom_limit;
+                    });
+    if (all_cool) {
+      const ShardSnapshot* coolest = *std::min_element(
+          healthy.begin(), healthy.end(),
+          [](const ShardSnapshot* a, const ShardSnapshot* b) {
+            if (a->p99_us != b->p99_us) return a->p99_us < b->p99_us;
+            if (a->queue_depth != b->queue_depth) {
+              return a->queue_depth < b->queue_depth;
+            }
+            return a->shard_id < b->shard_id;
+          });
+      return {ScaleAction::kRemove, coolest->shard_id};
+    }
+  }
+  return {};
 }
 
 }  // namespace autopn::router

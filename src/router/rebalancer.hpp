@@ -28,6 +28,7 @@
 // loaded shard.
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace autopn::router {
@@ -71,6 +72,24 @@ struct RebalanceConfig {
   std::uint16_t tenant_slots = 8;  ///< shard KPI slot count (tenant % slots)
 };
 
+/// Capacity recommendation derived from the same snapshot propose() sees.
+/// kAdd: every healthy shard violates the SLO — migration has nowhere to
+/// move load, only new capacity helps. kRemove: the coolest healthy shard
+/// could retire with everyone (it included) staying under slo × headroom.
+enum class ScaleAction : std::uint8_t {
+  kHold = 0,
+  kAdd = 1,
+  kRemove = 2,
+};
+
+struct ScaleProposal {
+  ScaleAction action = ScaleAction::kHold;
+  /// For kRemove: the shard proposed for retirement. Unused otherwise.
+  std::uint32_t shard_id = 0;
+};
+
+[[nodiscard]] std::string to_string(ScaleAction action);
+
 class Rebalancer {
  public:
   explicit Rebalancer(RebalanceConfig config = {});
@@ -84,6 +103,14 @@ class Rebalancer {
   [[nodiscard]] std::vector<Move> propose(
       const std::vector<ShardSnapshot>& shards,
       const std::vector<TenantLoad>& tenants) const;
+
+  /// Conservative capacity recommendation (see ScaleAction). Pure, and
+  /// deliberately blunt: it fires only in regimes where tenant migration
+  /// provably cannot help (all-hot → kAdd) or provably is not needed
+  /// (enough slack to absorb the coolest shard → kRemove). Everything in
+  /// between is kHold — the moves policy owns the middle ground.
+  [[nodiscard]] ScaleProposal propose_scale(
+      const std::vector<ShardSnapshot>& shards) const;
 
  private:
   RebalanceConfig config_;

@@ -12,24 +12,20 @@ Router::Router(std::vector<ShardAddress> shards, RouterConfig config)
     : config_(std::move(config)),
       ring_(config_.vnodes_per_shard),
       rebalancer_(config_.rebalance) {
+  // Bootstrap shards skip probation: a router whose whole initial set sat
+  // out N polls would serve nothing but sheds at startup. The health
+  // machine demotes any of them that turn out to be down.
   for (ShardAddress& shard : shards) {
-    ring_.add_shard(shard.id);
-    ShardLinkConfig link_config;
-    link_config.channels = config_.channels_per_shard;
-    link_config.backoff = config_.backoff;
-    link_config.shed_retry_after_us = config_.shed_retry_after_us;
-    // The callback reads server_ at completion time; no token can exist
-    // before a dispatch, and dispatches only start once server_ is built.
-    links_.emplace(
-        shard.id,
-        std::make_unique<ShardLink>(
-            std::move(shard), link_config,
-            [this](std::uint64_t token, net::ResponseFrame response) {
-              server_->loop().post(
-                  [this, token, moved = std::move(response)]() mutable {
-                    complete(token, std::move(moved));
-                  });
-            }));
+    const std::uint32_t id = shard.id;
+    Member member;
+    member.address = shard;
+    member.link = make_link(std::move(shard));
+    member.health = ShardHealth{config_.health};
+    member.in_ring = true;
+    ring_.add_shard(id);
+    append_log(MembershipEvent::kAdmit, id);
+    append_log(MembershipEvent::kJoin, id);
+    members_.emplace(id, std::move(member));
   }
   server_ = std::make_unique<net::NetServer>(*this, config_.server);
   server_->loop().post([this] {
@@ -39,6 +35,25 @@ Router::Router(std::vector<ShardAddress> shards, RouterConfig config)
 }
 
 Router::~Router() { shutdown(); }
+
+std::unique_ptr<ShardLink> Router::make_link(ShardAddress address) {
+  ShardLinkConfig link_config;
+  link_config.channels = config_.channels_per_shard;
+  link_config.backoff = config_.backoff;
+  link_config.shed_retry_after_us = config_.shed_retry_after_us;
+  link_config.redial_budget = config_.redial_budget;
+  link_config.dead_probe_seconds = config_.dead_probe_seconds;
+  // The callback reads server_ at completion time; no token can exist
+  // before a dispatch, and dispatches only start once server_ is built.
+  return std::make_unique<ShardLink>(
+      std::move(address), link_config,
+      [this](std::uint64_t token, net::ResponseFrame response) {
+        server_->loop().post(
+            [this, token, moved = std::move(response)]() mutable {
+              complete(token, std::move(moved));
+            });
+      });
+}
 
 void Router::dispatch(net::RequestFrame frame, RespondFn respond) {
   // Invoked by the owned NetServer on its loop thread — which is what
@@ -70,14 +85,26 @@ void Router::dispatch(net::RequestFrame frame, RespondFn respond) {
 
 void Router::forward_or_shed(net::RequestFrame frame, RespondFn respond) {
   const std::uint16_t tenant = frame.tenant_id;
-  const auto it = links_.find(placement_of(tenant));
-  if (it == links_.end()) {
-    respond_local_shed(respond, net::Status::kShed);
+  const auto it = members_.find(placement_of(tenant));
+  if (it == members_.end()) {
+    // No such backend (empty ring, or a stale override the eviction path
+    // has not re-placed yet) — a dead-backend shed tells the client this
+    // needs membership action, not a quick retry.
+    respond_local_shed(respond, net::Status::kShed,
+                       net::ShedDetail::kDeadBackend);
+    return;
+  }
+  Member& member = it->second;
+  if (member.health.state() == HealthState::kDead) {
+    respond_local_shed(respond, net::Status::kShed,
+                       net::ShedDetail::kDeadBackend);
     return;
   }
   const std::uint64_t token = next_token_++;
-  if (!it->second->forward(token, frame)) {
-    respond_local_shed(respond, net::Status::kShed);
+  if (!member.link->forward(token, frame)) {
+    // A live-ish member whose channels are momentarily down: a blip.
+    respond_local_shed(respond, net::Status::kShed,
+                       net::ShedDetail::kTransient);
     return;
   }
   // No insert-after-response race here: complete() runs on this same loop
@@ -111,7 +138,7 @@ void Router::complete(std::uint64_t token, net::ResponseFrame response) {
 
 void Router::start_migration(std::uint16_t tenant_id, std::uint32_t to_shard) {
   if (draining_) return;
-  if (links_.find(to_shard) == links_.end()) return;
+  if (members_.find(to_shard) == members_.end()) return;
   if (migrations_.find(tenant_id) != migrations_.end()) return;
   if (placement_of(tenant_id) == to_shard) return;
   migrations_started_.fetch_add(1, std::memory_order_relaxed);
@@ -146,12 +173,14 @@ void Router::cut_over(std::uint16_t tenant_id, bool forced) {
   }
 }
 
-void Router::respond_local_shed(const RespondFn& respond, net::Status status) {
+void Router::respond_local_shed(const RespondFn& respond, net::Status status,
+                                net::ShedDetail detail) {
   shed_local_.fetch_add(1, std::memory_order_relaxed);
   net::ResponseFrame response;
   response.status = status;
   response.retry_after_us = config_.shed_retry_after_us;
   response.shed_origin = net::ShedOrigin::kRouter;
+  response.shed_detail = detail;
   respond(std::move(response));
 }
 
@@ -173,20 +202,243 @@ void Router::arm_rebalance_timer() {
 
 void Router::poll_shard_stats() {
   if (draining_) return;
-  for (auto& [id, link] : links_) link->request_stats();
+  bool poll_timeout = false;
+  AUTOPN_FAILPOINT("router.poll_timeout", poll_timeout = true);
+  for (auto& [id, member] : members_) member.link->request_stats();
+  // Health runs one tick behind the poll it just sent: poll_ok asks "did a
+  // StatsFrame land since the LAST tick?", which makes the observation a
+  // pure read — no waiting on the answer inside the loop thread.
+  std::vector<std::uint32_t> retired;
+  for (auto& [id, member] : members_) {
+    if (member.retiring) {
+      if (member.link->in_flight() == 0 ||
+          std::chrono::steady_clock::now() >= member.retire_deadline) {
+        retired.push_back(id);
+      }
+      continue;
+    }
+    HealthObservation observation;
+    observation.connected = member.link->healthy();
+    const std::uint64_t seen = member.link->stats_received();
+    observation.poll_ok = !poll_timeout && seen > member.stats_seen;
+    member.stats_seen = seen;
+    observation.budget_exhausted = member.link->budget_exhausted();
+    if (const auto transition = member.health.tick(observation)) {
+      on_health_transition(id, member, *transition);
+    }
+  }
+  for (const std::uint32_t id : retired) finalize_retire(id);
 }
 
-void Router::rebalance_round() {
-  if (draining_) return;
-  AUTOPN_FAILPOINT("router.rebalance", return);
-  rebalance_rounds_.fetch_add(1, std::memory_order_relaxed);
+void Router::on_health_transition(std::uint32_t shard_id, Member& member,
+                                  const HealthTransition& transition) {
+  if (transition.to == HealthState::kDead && member.in_ring) {
+    // Evict: take the dead shard's arcs away so placement converges, and
+    // re-place whatever routed onto it by override. The member itself
+    // stays — its link slow-probes, and any reconnect starts probation.
+    member.in_ring = false;
+    ring_.remove_shard(shard_id);
+    append_log(MembershipEvent::kEvict, shard_id);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    migrate_off(shard_id);
+  } else if (transition.to == HealthState::kHealthy && !member.in_ring) {
+    // Probation passed — a recovered shard, or a fresh admit proving
+    // itself. Joining the ring re-owns arcs instantly; in-flight requests
+    // complete by token, so the join is drop-free by construction.
+    member.in_ring = true;
+    ring_.add_shard(shard_id);
+    append_log(MembershipEvent::kJoin, shard_id);
+    readmits_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Router::migrate_off(std::uint32_t shard_id) {
+  // In-progress migrations aimed at the shard: redirect to the tenant's
+  // ring owner (the shard no longer owns arcs, so the ring never picks it).
+  for (auto& [tenant, migration] : migrations_) {
+    if (migration.to_shard == shard_id) {
+      migration.to_shard =
+          ring_.owner_of_tenant(tenant).value_or(migration.to_shard);
+    }
+  }
+  // Override tenants pinned to the shard: ordinary drain-then-cut back to
+  // their ring owner. Ring-placed tenants re-owned implicitly above.
+  std::vector<std::uint16_t> pinned;
+  for (const auto& [tenant, shard] : overrides_) {
+    if (shard == shard_id) pinned.push_back(tenant);
+  }
+  for (const std::uint16_t tenant : pinned) {
+    if (const std::optional<std::uint32_t> owner =
+            ring_.owner_of_tenant(tenant)) {
+      start_migration(tenant, *owner);
+    } else {
+      overrides_.erase(tenant);  // empty ring; nothing to migrate onto
+    }
+  }
+}
+
+void Router::append_log(MembershipEvent event, std::uint32_t shard_id) {
+  log_.push_back(MembershipRecord{next_log_seq_++, event, shard_id});
+}
+
+void Router::finalize_retire(std::uint32_t shard_id) {
+  const auto it = members_.find(shard_id);
+  if (it == members_.end()) return;
+  // shutdown() synthesizes a completion for every stranded token; those
+  // are posted to this loop and run after this task, touching only router
+  // state — so destroying the link here cannot leak a flight.
+  it->second.link->shutdown();
+  members_.erase(it);
+}
+
+net::MembershipFrame Router::membership(const net::MembershipRequest& request) {
+  // Loop thread: the owned NetServer answers kMembershipRequest inline.
+  switch (request.op) {
+    case net::MembershipOp::kAdd:
+      return do_admit(request);
+    case net::MembershipOp::kRemove:
+      return do_retire(request.shard_id);
+    case net::MembershipOp::kStatus:
+      return do_status();
+  }
+  net::MembershipFrame reply;
+  reply.ok = false;
+  reply.message = "unknown membership op";
+  return reply;
+}
+
+net::MembershipFrame Router::do_admit(const net::MembershipRequest& request) {
+  net::MembershipFrame reply;
+  if (draining_) {
+    reply.ok = false;
+    reply.message = "router is draining";
+    return reply;
+  }
+  AUTOPN_FAILPOINT("router.admit", {
+    reply.ok = false;
+    reply.message = "injected fault: router.admit";
+    populate_status(reply);
+    return reply;
+  });
+  if (request.host.empty() || request.port == 0) {
+    reply.ok = false;
+    reply.message = "admit needs a host and a nonzero port";
+    populate_status(reply);
+    return reply;
+  }
+  if (members_.find(request.shard_id) != members_.end()) {
+    reply.ok = false;
+    reply.message = "shard id is already a member";
+    populate_status(reply);
+    return reply;
+  }
+  Member member;
+  member.address = ShardAddress{request.shard_id, request.host, request.port};
+  member.link = make_link(member.address);
+  member.health = ShardHealth{config_.health};
+  member.health.force(HealthState::kProbation);
+  append_log(MembershipEvent::kAdmit, request.shard_id);
+  members_.emplace(request.shard_id, std::move(member));
+  admits_.fetch_add(1, std::memory_order_relaxed);
+  reply.ok = true;
+  reply.message = "admitted; joins the ring after probation";
+  populate_status(reply);
+  return reply;
+}
+
+net::MembershipFrame Router::do_retire(std::uint32_t shard_id) {
+  net::MembershipFrame reply;
+  if (draining_) {
+    reply.ok = false;
+    reply.message = "router is draining";
+    return reply;
+  }
+  AUTOPN_FAILPOINT("router.retire", {
+    reply.ok = false;
+    reply.message = "injected fault: router.retire";
+    populate_status(reply);
+    return reply;
+  });
+  const auto it = members_.find(shard_id);
+  if (it == members_.end()) {
+    reply.ok = false;
+    reply.message = "unknown shard id";
+    populate_status(reply);
+    return reply;
+  }
+  Member& member = it->second;
+  if (member.retiring) {
+    reply.ok = false;
+    reply.message = "shard is already retiring";
+    populate_status(reply);
+    return reply;
+  }
+  if (member.in_ring) {
+    member.in_ring = false;
+    ring_.remove_shard(shard_id);
+  }
+  append_log(MembershipEvent::kRetire, shard_id);
+  member.retiring = true;
+  member.health.force(HealthState::kRetiring);
+  member.retire_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.retire_timeout_seconds));
+  retires_.fetch_add(1, std::memory_order_relaxed);
+  migrate_off(shard_id);
+  reply.ok = true;
+  reply.message = "retiring; link closes once drained";
+  populate_status(reply);
+  return reply;
+}
+
+net::MembershipFrame Router::do_status() {
+  net::MembershipFrame reply;
+  reply.ok = true;
+  populate_status(reply);
+  return reply;
+}
+
+void Router::populate_status(net::MembershipFrame& reply) {
+  const ScaleProposal scale = rebalancer_.propose_scale(build_snapshots());
+  reply.scale_action = static_cast<std::uint8_t>(scale.action);
+  reply.scale_shard = scale.shard_id;
+  reply.members.reserve(members_.size());
+  for (const auto& [id, member] : members_) {
+    net::MemberInfo info;
+    info.shard_id = id;
+    info.host = member.address.host;
+    info.port = member.address.port;
+    info.health = static_cast<std::uint8_t>(member.health.state());
+    info.in_ring = member.in_ring;
+    info.redial_attempts = member.link->redial_attempts();
+    info.reconnects = member.link->reconnects();
+    info.last_error = member.link->last_error();
+    reply.members.push_back(std::move(info));
+  }
+  std::sort(reply.members.begin(), reply.members.end(),
+            [](const net::MemberInfo& a, const net::MemberInfo& b) {
+              return a.shard_id < b.shard_id;
+            });
+  reply.log.reserve(log_.size());
+  for (const MembershipRecord& record : log_) {
+    reply.log.push_back(net::MembershipLogEntry{
+        record.seq, static_cast<std::uint8_t>(record.event), record.shard_id});
+  }
+}
+
+std::vector<ShardSnapshot> Router::build_snapshots() const {
   std::vector<ShardSnapshot> snapshots;
-  snapshots.reserve(links_.size());
-  for (auto& [id, link] : links_) {
+  snapshots.reserve(members_.size());
+  for (const auto& [id, member] : members_) {
     ShardSnapshot snapshot;
     snapshot.shard_id = id;
-    snapshot.healthy = link->healthy();
-    if (const std::optional<net::StatsFrame> stats = link->latest_stats()) {
+    // "Healthy" to the rebalancer means "a valid migration target": in the
+    // ring, not on its way out, and actually connected.
+    snapshot.healthy =
+        member.in_ring && !member.retiring && member.link->healthy();
+    if (const std::optional<net::StatsFrame> stats =
+            member.link->latest_stats()) {
       snapshot.p99_us = stats->p99_us;
       snapshot.queue_depth = stats->queue_depth;
       snapshot.slots.reserve(stats->tenants.size());
@@ -196,6 +448,14 @@ void Router::rebalance_round() {
     }
     snapshots.push_back(std::move(snapshot));
   }
+  return snapshots;
+}
+
+void Router::rebalance_round() {
+  if (draining_) return;
+  AUTOPN_FAILPOINT("router.rebalance", return);
+  rebalance_rounds_.fetch_add(1, std::memory_order_relaxed);
+  const std::vector<ShardSnapshot> snapshots = build_snapshots();
   std::vector<TenantLoad> loads;
   loads.reserve(tenant_requests_.size());
   for (const auto& [tenant, requests] : tenant_requests_) {
@@ -214,8 +474,10 @@ std::uint32_t Router::placement_of(std::uint16_t tenant_id) const {
 }
 
 void Router::drain() {
-  // Phase 1 (loop): stop routing, and answer everything parked in held
-  // queues — those frames were dispatched but never forwarded, so they
+  // Phase 1 (loop): stop routing — which also freezes membership (admit/
+  // retire/health all check draining_), so the off-loop link iteration in
+  // phase 2 sees a stable member table — and answer everything parked in
+  // held queues: those frames were dispatched but never forwarded, so they
   // settle as router-origin kClosing sheds.
   run_on_loop([this] {
     draining_ = true;
@@ -230,7 +492,7 @@ void Router::drain() {
   // Phase 2: shut every link down. Each joins its io threads after
   // synthesizing a router-origin shed for every in-flight token, and all
   // those completions are posted to the loop before shutdown() returns.
-  for (auto& [id, link] : links_) link->shutdown();
+  for (auto& [id, member] : members_) member.link->shutdown();
   // Phase 3 (loop, FIFO after every posted completion): the flight table
   // must be empty now; any leftover would break exactly-once, so settle it
   // as returned (it WAS forwarded) rather than leak the respond callback.
@@ -254,8 +516,8 @@ net::StatsFrame Router::stats() {
   // SLO monitor wants from a tier, not a meaningless average of averages.
   net::StatsFrame out;
   std::unordered_map<std::uint16_t, net::TenantStat> slots;
-  for (auto& [id, link] : links_) {
-    const std::optional<net::StatsFrame> stats = link->latest_stats();
+  for (auto& [id, member] : members_) {
+    const std::optional<net::StatsFrame> stats = member.link->latest_stats();
     if (!stats) continue;
     out.offered += stats->offered;
     out.completed += stats->completed;
@@ -287,7 +549,9 @@ net::StatsFrame Router::stats() {
 void Router::shutdown() {
   if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
   server_->shutdown();  // runs drain(): flights settle, links shut down
-  for (auto& [id, link] : links_) link->shutdown();  // no-op after drain
+  for (auto& [id, member] : members_) {
+    member.link->shutdown();  // no-op after drain
+  }
 }
 
 RouterReport Router::report() const {
@@ -305,6 +569,10 @@ RouterReport Router::report() const {
       migrations_completed_.load(std::memory_order_relaxed);
   report.forced_cuts = forced_cuts_.load(std::memory_order_relaxed);
   report.rebalance_rounds = rebalance_rounds_.load(std::memory_order_relaxed);
+  report.admits = admits_.load(std::memory_order_relaxed);
+  report.retires = retires_.load(std::memory_order_relaxed);
+  report.evictions = evictions_.load(std::memory_order_relaxed);
+  report.readmits = readmits_.load(std::memory_order_relaxed);
   return report;
 }
 
@@ -321,25 +589,84 @@ void Router::migrate_tenant(std::uint16_t tenant_id, std::uint32_t to_shard) {
       [this, tenant_id, to_shard] { start_migration(tenant_id, to_shard); });
 }
 
-std::vector<std::pair<std::uint32_t, bool>> Router::shard_health() const {
-  // links_ is immutable after construction and healthy() is atomic, so no
-  // loop round-trip is needed.
-  std::vector<std::pair<std::uint32_t, bool>> health;
-  health.reserve(links_.size());
-  for (const auto& [id, link] : links_) {
-    health.emplace_back(id, link->healthy());
+net::MembershipFrame Router::admit_shard(const ShardAddress& address) {
+  net::MembershipFrame reply;
+  if (shut_down_.load(std::memory_order_acquire)) {
+    reply.ok = false;
+    reply.message = "router is shut down";
+    return reply;
   }
+  net::MembershipRequest request;
+  request.op = net::MembershipOp::kAdd;
+  request.shard_id = address.id;
+  request.host = address.host;
+  request.port = address.port;
+  run_on_loop([this, &request, &reply] { reply = membership(request); });
+  return reply;
+}
+
+net::MembershipFrame Router::retire_shard(std::uint32_t shard_id) {
+  net::MembershipFrame reply;
+  if (shut_down_.load(std::memory_order_acquire)) {
+    reply.ok = false;
+    reply.message = "router is shut down";
+    return reply;
+  }
+  run_on_loop([this, shard_id, &reply] { reply = do_retire(shard_id); });
+  return reply;
+}
+
+net::MembershipFrame Router::membership_status() {
+  net::MembershipFrame reply;
+  if (shut_down_.load(std::memory_order_acquire)) {
+    reply.ok = false;
+    reply.message = "router is shut down";
+    return reply;
+  }
+  run_on_loop([this, &reply] { reply = do_status(); });
+  return reply;
+}
+
+ScaleProposal Router::scale_recommendation() {
+  ScaleProposal proposal;
+  if (shut_down_.load(std::memory_order_acquire)) return proposal;
+  run_on_loop([this, &proposal] {
+    proposal = rebalancer_.propose_scale(build_snapshots());
+  });
+  return proposal;
+}
+
+std::vector<std::pair<std::uint32_t, bool>> Router::shard_health() {
+  std::vector<std::pair<std::uint32_t, bool>> health;
+  if (shut_down_.load(std::memory_order_acquire)) return health;
+  run_on_loop([this, &health] {
+    health.reserve(members_.size());
+    for (const auto& [id, member] : members_) {
+      health.emplace_back(id, member.link->healthy());
+    }
+  });
   std::sort(health.begin(), health.end());
   return health;
 }
 
-std::vector<Router::ShardStatus> Router::shard_status() const {
+std::vector<Router::ShardStatus> Router::shard_status() {
   std::vector<ShardStatus> status;
-  status.reserve(links_.size());
-  for (const auto& [id, link] : links_) {
-    status.push_back(ShardStatus{id, link->healthy(), link->reconnects(),
-                                 link->latest_stats()});
-  }
+  if (shut_down_.load(std::memory_order_acquire)) return status;
+  run_on_loop([this, &status] {
+    status.reserve(members_.size());
+    for (const auto& [id, member] : members_) {
+      ShardStatus row;
+      row.shard_id = id;
+      row.healthy = member.link->healthy();
+      row.health = member.health.state();
+      row.in_ring = member.in_ring;
+      row.reconnects = member.link->reconnects();
+      row.redial_attempts = member.link->redial_attempts();
+      row.last_error = member.link->last_error();
+      row.stats = member.link->latest_stats();
+      status.push_back(std::move(row));
+    }
+  });
   std::sort(status.begin(), status.end(),
             [](const ShardStatus& a, const ShardStatus& b) {
               return a.shard_id < b.shard_id;

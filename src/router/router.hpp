@@ -30,11 +30,29 @@
 // frames in arrival order to the new shard. A force-cut timer bounds the
 // wait — cutting early is safe for the same token-routing reason.
 //
+// Membership is elastic: each backend is a Member carrying a ShardLink plus
+// a ShardHealth machine ticked once per stats poll. A member that burns its
+// link's redial budget (or racks up poll misses) is declared dead: evicted
+// from the ring, its tenants re-placed through the ordinary drain-then-cut
+// path, while the link keeps slow-probing so recovery is noticed — a
+// returning shard re-enters through probation and rejoins the ring only
+// after N clean polls. Shards can also be admitted and retired at runtime
+// (v1.2 Membership frames / `autopn router-ctl`); every ring change is
+// appended to an ordered membership log, and the ring is always exactly the
+// fold of that log (see health.hpp) — which is what makes placement
+// reproducible across routers. The ledger invariants hold across every
+// transition because nothing about completion routing changes: responses
+// route by token, and a link is only destroyed after its shutdown()
+// synthesized an answer for every outstanding token.
+//
 // Failpoint sites: router.forward (dispatch-time forced local shed),
 // router.backend_down (ShardLink::forward reports the backend unreachable),
-// router.rebalance (skips a rebalance round).
+// router.rebalance (skips a rebalance round), router.poll_timeout (a poll
+// tick observes no stats from any shard — drives suspect/dead edges),
+// router.admit / router.retire (membership ops rejected as if invalid).
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -45,6 +63,7 @@
 #include "net/dispatcher.hpp"
 #include "net/server.hpp"
 #include "net/wire.hpp"
+#include "router/health.hpp"
 #include "router/rebalancer.hpp"
 #include "router/ring.hpp"
 #include "router/shard_link.hpp"
@@ -55,12 +74,22 @@ struct RouterConfig {
   /// Client-facing listener (port 0 = kernel-assigned, see port()).
   net::NetServerConfig server;
   std::size_t channels_per_shard = 1;
-  /// Redial schedule for downed shards (ShardLink retries forever; this
-  /// shapes each cycle's attempt timeout and backoff).
+  /// Redial schedule for downed shards; shapes each cycle's attempt
+  /// timeout and backoff.
   net::BackoffPolicy backoff;
+  /// Consecutive failed dials per outage before a link reports its budget
+  /// exhausted — the fast path to declaring a shard dead (0 = never).
+  std::uint64_t redial_budget = 8;
+  /// Slow-probe cadence for a budget-exhausted (dead) backend.
+  double dead_probe_seconds = 1.0;
+  HealthConfig health;
   RebalanceConfig rebalance;
   bool rebalance_enabled = true;
-  double stats_poll_seconds = 0.2;   ///< per-shard KPI poll cadence
+  /// Per-shard KPI poll cadence. Keep above the link's ~0.1s receive
+  /// window: a faster cadence observes the stats reply only every other
+  /// tick, which health reads as alternating misses (probation's
+  /// consecutive-pass counter then never fills).
+  double stats_poll_seconds = 0.2;
   double rebalance_seconds = 1.0;    ///< placement decision cadence
   /// Held-frame cap per migrating tenant; overflow is a router-origin shed.
   std::size_t max_held_per_tenant = 256;
@@ -70,6 +99,11 @@ struct RouterConfig {
   /// Backoff hint carried by router-origin sheds.
   std::uint64_t shed_retry_after_us = 20'000;
   std::size_t vnodes_per_shard = 64;
+  /// Bound on a retiring shard's drain: once its in-flight count reaches
+  /// zero — or this many seconds pass — the link is closed and the member
+  /// forgotten. Token routing makes the forced close drop-free (stranded
+  /// flights settle as synthesized sheds).
+  double retire_timeout_seconds = 1.0;
 };
 
 /// Router-side accounting; see the file comment for the invariants.
@@ -86,6 +120,11 @@ struct RouterReport {
   std::uint64_t migrations_completed = 0;
   std::uint64_t forced_cuts = 0;  ///< migrations cut by the timeout
   std::uint64_t rebalance_rounds = 0;
+  // Membership churn (see the file comment):
+  std::uint64_t admits = 0;     ///< members created at runtime
+  std::uint64_t retires = 0;    ///< administrative removals accepted
+  std::uint64_t evictions = 0;  ///< health-driven ring removals
+  std::uint64_t readmits = 0;   ///< ring joins earned through probation
 };
 
 class Router final : public net::RequestDispatcher {
@@ -104,6 +143,8 @@ class Router final : public net::RequestDispatcher {
   void dispatch(net::RequestFrame frame, RespondFn respond) override;
   void drain() override;
   [[nodiscard]] net::StatsFrame stats() override;
+  [[nodiscard]] net::MembershipFrame membership(
+      const net::MembershipRequest& request) override;
 
   /// Client-facing port (resolves config.server.port == 0).
   [[nodiscard]] std::uint16_t port() const noexcept { return server_->port(); }
@@ -127,19 +168,36 @@ class Router final : public net::RequestDispatcher {
   /// migrating or already routed to `to_shard`, or the shard is unknown.
   void migrate_tenant(std::uint16_t tenant_id, std::uint32_t to_shard);
 
-  /// Liveness per shard id, as seen by the links right now (any thread).
-  [[nodiscard]] std::vector<std::pair<std::uint32_t, bool>> shard_health()
-      const;
+  /// In-process membership control — the same operations the wire's
+  /// Membership frames reach, for tests and embedding callers. All three
+  /// synchronize with the loop thread; call from any thread EXCEPT the
+  /// loop thread, and not after shutdown() (they return ok=false then).
+  net::MembershipFrame admit_shard(const ShardAddress& address);
+  net::MembershipFrame retire_shard(std::uint32_t shard_id);
+  net::MembershipFrame membership_status();
 
-  /// Per-shard health + the latest polled KPIs (any thread) — what the CLI
-  /// renders as the tier's SLO table.
+  /// The rebalancer's capacity recommendation over the current snapshot
+  /// (same thread rules as membership_status).
+  [[nodiscard]] ScaleProposal scale_recommendation();
+
+  /// Liveness per shard id: (id, link connected). Synchronizes with the
+  /// loop thread (membership mutates at runtime); any thread except the
+  /// loop thread. Empty after shutdown().
+  [[nodiscard]] std::vector<std::pair<std::uint32_t, bool>> shard_health();
+
+  /// Per-shard health + the latest polled KPIs — what the CLI renders as
+  /// the tier's SLO table. Same thread rules as shard_health().
   struct ShardStatus {
     std::uint32_t shard_id = 0;
-    bool healthy = false;
+    bool healthy = false;  ///< link has a live connection
+    HealthState health = HealthState::kHealthy;
+    bool in_ring = false;
     std::uint64_t reconnects = 0;
+    std::uint64_t redial_attempts = 0;
+    std::string last_error;
     std::optional<net::StatsFrame> stats;
   };
-  [[nodiscard]] std::vector<ShardStatus> shard_status() const;
+  [[nodiscard]] std::vector<ShardStatus> shard_status();
 
  private:
   struct Flight {
@@ -155,18 +213,51 @@ class Router final : public net::RequestDispatcher {
     std::deque<Held> held;
     net::EventLoop::TimerId force_cut_timer = 0;
   };
+  /// One backend shard: its link plus all membership/health bookkeeping.
+  /// Everything but `link` is loop-thread-only; the link pointer itself is
+  /// also read off-loop by drain()/shutdown(), which is safe because by
+  /// then draining_ has frozen all membership mutation.
+  struct Member {
+    ShardAddress address;
+    std::unique_ptr<ShardLink> link;
+    ShardHealth health;
+    bool in_ring = false;
+    bool retiring = false;
+    /// link->stats_received() at the previous poll tick (poll_ok = grew).
+    std::uint64_t stats_seen = 0;
+    std::chrono::steady_clock::time_point retire_deadline{};
+  };
 
   // Loop-thread-only paths.
   void forward_or_shed(net::RequestFrame frame, RespondFn respond);
   void complete(std::uint64_t token, net::ResponseFrame response);
   void start_migration(std::uint16_t tenant_id, std::uint32_t to_shard);
   void cut_over(std::uint16_t tenant_id, bool forced);
-  void respond_local_shed(const RespondFn& respond, net::Status status);
+  void respond_local_shed(const RespondFn& respond, net::Status status,
+                          net::ShedDetail detail = net::ShedDetail::kNone);
   void arm_stats_timer();
   void arm_rebalance_timer();
   void poll_shard_stats();
   void rebalance_round();
   [[nodiscard]] std::uint32_t placement_of(std::uint16_t tenant_id) const;
+
+  // Membership paths (loop thread).
+  [[nodiscard]] std::unique_ptr<ShardLink> make_link(ShardAddress address);
+  void append_log(MembershipEvent event, std::uint32_t shard_id);
+  void on_health_transition(std::uint32_t shard_id, Member& member,
+                            const HealthTransition& transition);
+  /// Re-places everything routed at `shard_id`: redirects in-progress
+  /// migrations targeting it and drain-then-cuts override tenants to
+  /// their ring owner. Ring-placed tenants re-own implicitly.
+  void migrate_off(std::uint32_t shard_id);
+  void finalize_retire(std::uint32_t shard_id);
+  [[nodiscard]] net::MembershipFrame do_admit(
+      const net::MembershipRequest& request);
+  [[nodiscard]] net::MembershipFrame do_retire(std::uint32_t shard_id);
+  [[nodiscard]] net::MembershipFrame do_status();
+  /// Fills a reply's member table, log, and scale recommendation.
+  void populate_status(net::MembershipFrame& reply);
+  [[nodiscard]] std::vector<ShardSnapshot> build_snapshots() const;
 
   /// Posts `task` to the loop and blocks until it ran. Not from the loop
   /// thread.
@@ -187,6 +278,10 @@ class Router final : public net::RequestDispatcher {
   std::atomic<std::uint64_t> migrations_completed_{0};
   std::atomic<std::uint64_t> forced_cuts_{0};
   std::atomic<std::uint64_t> rebalance_rounds_{0};
+  std::atomic<std::uint64_t> admits_{0};
+  std::atomic<std::uint64_t> retires_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> readmits_{0};
   std::atomic<bool> shut_down_{false};
 
   // Loop-thread-only routing state (accessed on server_->loop()'s thread).
@@ -197,10 +292,12 @@ class Router final : public net::RequestDispatcher {
   std::unordered_map<std::uint16_t, Migration> migrations_;
   std::unordered_map<std::uint16_t, std::size_t> tenant_inflight_;
   std::unordered_map<std::uint16_t, std::uint64_t> tenant_requests_;
+  std::vector<MembershipRecord> log_;  ///< ordered; ring == fold of log
+  std::uint64_t next_log_seq_ = 1;
 
-  /// Links outlive server_ (declared before it): NetServer's shutdown runs
-  /// drain(), which still touches them.
-  std::unordered_map<std::uint32_t, std::unique_ptr<ShardLink>> links_;
+  /// Members outlive server_ (declared before it): NetServer's shutdown
+  /// runs drain(), which still touches the links.
+  std::unordered_map<std::uint32_t, Member> members_;
   std::unique_ptr<net::NetServer> server_;
 };
 

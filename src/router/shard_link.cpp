@@ -64,6 +64,11 @@ std::optional<net::StatsFrame> ShardLink::latest_stats() const {
   return latest_stats_;
 }
 
+std::string ShardLink::last_error() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return last_error_;
+}
+
 std::size_t ShardLink::in_flight() const {
   std::size_t total = 0;
   for (const auto& channel : channels_) {
@@ -104,8 +109,11 @@ void ShardLink::io_loop(Channel& channel) {
       if (known) on_response_(token, std::move(*response));
     }
     while (std::optional<net::StatsFrame> stats = client->poll_stats(0.0)) {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      latest_stats_ = std::move(*stats);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        latest_stats_ = std::move(*stats);
+      }
+      stats_received_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
@@ -127,6 +135,7 @@ void ShardLink::handle_down(Channel& channel) {
   synthesize_all(channel);
 
   double backoff_seconds = config_.backoff.initial_backoff_seconds;
+  std::uint64_t outage_failures = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
     try {
       net::Client fresh = net::Client::connect(
@@ -137,17 +146,36 @@ void ShardLink::handle_down(Channel& channel) {
       }
       connected_channels_.fetch_add(1, std::memory_order_relaxed);
       reconnects_.fetch_add(1, std::memory_order_relaxed);
+      budget_exhausted_.store(false, std::memory_order_relaxed);
       return;
-    } catch (const std::exception&) {
-      // Capped-exponential wait, sliced so shutdown() stays prompt.
+    } catch (const std::exception& error) {
+      ++outage_failures;
+      redial_attempts_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        last_error_ = error.what();
+      }
+      // Once this outage burns the budget, stop escalating the backoff and
+      // drop to the slow dead-probe cadence — the health machine reads
+      // budget_exhausted() to declare the shard dead, but the probe keeps
+      // running so a resurrected backend is still noticed.
+      double wait_seconds = backoff_seconds;
+      if (config_.redial_budget > 0 &&
+          outage_failures >= config_.redial_budget) {
+        budget_exhausted_.store(true, std::memory_order_relaxed);
+        wait_seconds = std::max(config_.dead_probe_seconds,
+                                config_.backoff.initial_backoff_seconds);
+      } else {
+        backoff_seconds = std::min(backoff_seconds * 2.0,
+                                   config_.backoff.max_backoff_seconds);
+      }
+      // Capped wait, sliced so shutdown() stays prompt.
       const auto deadline = std::chrono::steady_clock::now() +
-                            std::chrono::duration<double>(backoff_seconds);
+                            std::chrono::duration<double>(wait_seconds);
       while (!stopping_.load(std::memory_order_acquire) &&
              std::chrono::steady_clock::now() < deadline) {
         std::this_thread::sleep_for(kStopPollSlice);
       }
-      backoff_seconds =
-          std::min(backoff_seconds * 2.0, config_.backoff.max_backoff_seconds);
     }
   }
 }
@@ -174,6 +202,9 @@ net::ResponseFrame ShardLink::synthesized_shed() const {
   response.status = net::Status::kShed;
   response.retry_after_us = config_.shed_retry_after_us;
   response.shed_origin = net::ShedOrigin::kRouter;
+  // A link-level flush is a blip, not a verdict: the shard may be mid-
+  // restart. Only the router's health machine escalates to kDeadBackend.
+  response.shed_detail = net::ShedDetail::kTransient;
   return response;
 }
 

@@ -17,9 +17,15 @@
 // a peer that accepts but speaks garbage fails it). On connection death
 // the io thread synthesizes a router-origin kShed response for every
 // in-flight token on that channel (the router's ledger stays exact: every
-// forwarded request is answered by someone), then redials forever with
-// capped-exponential backoff until shutdown. healthy() reports whether
-// any channel is currently connected.
+// forwarded request is answered by someone), then redials with
+// capped-exponential backoff. Redials are budgeted: after `redial_budget`
+// consecutive failures in one outage the link flags budget_exhausted()
+// (the router's health machine uses that to declare the shard dead) and
+// drops to a slow probe every `dead_probe_seconds` — it never gives up
+// entirely, so a resurrected backend is still detected, but it stops
+// hammering a dead address. healthy() reports whether any channel is
+// currently connected; redial_attempts()/last_error() surface the outage
+// for operators (router-ctl status).
 //
 // Stats: request_stats() sends a kStatsRequest on channel 0; the channel's
 // io thread parks the answer in latest_stats(), a cheap mutex-guarded slot
@@ -53,6 +59,13 @@ struct ShardLinkConfig {
   net::BackoffPolicy backoff;  ///< per-redial-cycle schedule
   /// retry_after_us carried by synthesized backend-down sheds.
   std::uint64_t shed_retry_after_us = 20'000;
+  /// Consecutive failed dials in one outage before the link flags
+  /// budget_exhausted() and switches to the slow probe. 0 = unlimited
+  /// (legacy redial-forever behaviour, full backoff schedule only).
+  std::uint64_t redial_budget = 8;
+  /// Probe cadence once the budget is exhausted — slow enough to leave a
+  /// dead address alone, fast enough that recovery is noticed promptly.
+  double dead_probe_seconds = 1.0;
 };
 
 class ShardLink {
@@ -91,6 +104,22 @@ class ShardLink {
   [[nodiscard]] std::uint64_t reconnects() const noexcept {
     return reconnects_.load(std::memory_order_relaxed);
   }
+  /// Lifetime count of failed dial attempts (any channel, any outage).
+  [[nodiscard]] std::uint64_t redial_attempts() const noexcept {
+    return redial_attempts_.load(std::memory_order_relaxed);
+  }
+  /// True while some channel's current outage has burned its redial
+  /// budget; cleared the moment any dial succeeds.
+  [[nodiscard]] bool budget_exhausted() const noexcept {
+    return budget_exhausted_.load(std::memory_order_relaxed);
+  }
+  /// Lifetime count of StatsFrames received — the router snapshots this
+  /// each poll tick to decide poll_ok (did a fresh frame arrive?).
+  [[nodiscard]] std::uint64_t stats_received() const noexcept {
+    return stats_received_.load(std::memory_order_relaxed);
+  }
+  /// Human-readable reason of the most recent failed dial ("" if none).
+  [[nodiscard]] std::string last_error() const;
 
   /// Stops io threads (waking any blocked receive), synthesizes responses
   /// for every remaining in-flight token, and joins. Idempotent; after it
@@ -121,11 +150,15 @@ class ShardLink {
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> connected_channels_{0};
   std::atomic<std::uint64_t> reconnects_{0};
+  std::atomic<std::uint64_t> redial_attempts_{0};
+  std::atomic<std::uint64_t> stats_received_{0};
+  std::atomic<bool> budget_exhausted_{false};
   std::vector<std::unique_ptr<Channel>> channels_;
   std::size_t next_channel_ = 0;  ///< sender thread only (round-robin)
 
   mutable std::mutex stats_mutex_;
   std::optional<net::StatsFrame> latest_stats_ AUTOPN_GUARDED_BY(stats_mutex_);
+  std::string last_error_ AUTOPN_GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace autopn::router

@@ -369,6 +369,138 @@ TEST(NetWire, StatsFrameRoundTrip) {
   EXPECT_FALSE(parse_stats(truncated).has_value());
 }
 
+TEST(NetWire, ResponseShedDetailMinorGated) {
+  ResponseFrame frame;
+  frame.request_id = 11;
+  frame.status = Status::kShed;
+  frame.shed_origin = ShedOrigin::kRouter;
+  frame.shed_detail = ShedDetail::kDeadBackend;
+
+  // minor 1: origin byte but no detail byte; the parser defaults detail to
+  // kNone — a minor-1 peer sees exactly the v1.1 layout.
+  std::vector<std::uint8_t> v1;
+  encode_response(v1, frame, /*wire_minor=*/1);
+  auto v1_frames = decode_all(v1);
+  ASSERT_EQ(v1_frames.size(), 1u);
+  const auto v1_parsed = parse_response(v1_frames[0].body);
+  ASSERT_TRUE(v1_parsed.has_value());
+  EXPECT_EQ(v1_parsed->shed_origin, ShedOrigin::kRouter);
+  EXPECT_EQ(v1_parsed->shed_detail, ShedDetail::kNone);
+
+  // minor 2: exactly one byte longer, detail round-trips.
+  std::vector<std::uint8_t> v2;
+  encode_response(v2, frame, /*wire_minor=*/2);
+  ASSERT_EQ(v2.size(), v1.size() + 1);
+  auto v2_frames = decode_all(v2);
+  ASSERT_EQ(v2_frames.size(), 1u);
+  const auto v2_parsed = parse_response(v2_frames[0].body);
+  ASSERT_TRUE(v2_parsed.has_value());
+  EXPECT_EQ(v2_parsed->shed_detail, ShedDetail::kDeadBackend);
+
+  // An out-of-range detail byte is corruption, not forward compatibility.
+  auto corrupt = v2_frames[0].body;
+  corrupt.back() = 0x7f;
+  EXPECT_FALSE(parse_response(corrupt).has_value());
+}
+
+TEST(NetWire, MembershipRequestRoundTripAllOps) {
+  for (const MembershipOp op :
+       {MembershipOp::kAdd, MembershipOp::kRemove, MembershipOp::kStatus}) {
+    MembershipRequest req;
+    req.op = op;
+    req.shard_id = 7;
+    req.host = op == MembershipOp::kAdd ? "127.0.0.1" : "";
+    req.port = op == MembershipOp::kAdd ? 9444 : 0;
+
+    std::vector<std::uint8_t> bytes;
+    encode_membership_request(bytes, req);
+    const auto frames = decode_all(bytes);
+    ASSERT_EQ(frames.size(), 1u);
+    ASSERT_EQ(frames[0].type, FrameType::kMembershipRequest);
+    const auto parsed = parse_membership_request(frames[0].body);
+    ASSERT_TRUE(parsed.has_value()) << to_string(op);
+    EXPECT_EQ(parsed->op, op);
+    EXPECT_EQ(parsed->shard_id, 7u);
+    EXPECT_EQ(parsed->host, req.host);
+    EXPECT_EQ(parsed->port, req.port);
+
+    auto truncated = frames[0].body;
+    truncated.pop_back();
+    EXPECT_FALSE(parse_membership_request(truncated).has_value());
+  }
+}
+
+TEST(NetWire, MembershipFrameRoundTrip) {
+  MembershipFrame reply;
+  reply.ok = true;
+  reply.message = "shard 2 admitted; joins the ring after probation";
+  reply.scale_action = 2;  // router::ScaleAction::kRemove as a raw byte
+  reply.scale_shard = 1;
+  MemberInfo m;
+  m.shard_id = 2;
+  m.host = "127.0.0.1";
+  m.port = 9001;
+  m.health = 3;  // router::HealthState::kProbation as a raw byte
+  m.in_ring = false;
+  m.redial_attempts = 5;
+  m.reconnects = 1;
+  m.last_error = "connect: refused";
+  reply.members.push_back(m);
+  reply.log.push_back({1, 0, 2});  // seq 1: admit(2)
+  reply.log.push_back({2, 3, 2});  // seq 2: join(2)
+
+  std::vector<std::uint8_t> bytes;
+  encode_membership(bytes, reply);
+  const auto frames = decode_all(bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, FrameType::kMembershipResponse);
+  const auto parsed = parse_membership(frames[0].body);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ok, reply.ok);
+  EXPECT_EQ(parsed->message, reply.message);
+  EXPECT_EQ(parsed->scale_action, reply.scale_action);
+  EXPECT_EQ(parsed->scale_shard, reply.scale_shard);
+  ASSERT_EQ(parsed->members.size(), 1u);
+  EXPECT_EQ(parsed->members[0].shard_id, 2u);
+  EXPECT_EQ(parsed->members[0].host, "127.0.0.1");
+  EXPECT_EQ(parsed->members[0].port, 9001u);
+  EXPECT_EQ(parsed->members[0].health, 3u);
+  EXPECT_FALSE(parsed->members[0].in_ring);
+  EXPECT_EQ(parsed->members[0].redial_attempts, 5u);
+  EXPECT_EQ(parsed->members[0].reconnects, 1u);
+  EXPECT_EQ(parsed->members[0].last_error, "connect: refused");
+  ASSERT_EQ(parsed->log.size(), 2u);
+  EXPECT_EQ(parsed->log[0].seq, 1u);
+  EXPECT_EQ(parsed->log[0].event, 0u);
+  EXPECT_EQ(parsed->log[1].event, 3u);
+  EXPECT_EQ(parsed->log[1].shard_id, 2u);
+
+  // Truncating inside the member table or the log is rejected.
+  auto truncated = frames[0].body;
+  truncated.pop_back();
+  EXPECT_FALSE(parse_membership(truncated).has_value());
+
+  // Encoding truncates an over-cap host; a length prefix above the cap on
+  // the wire is a protocol error (kMaxHostBytes is part of the contract).
+  MembershipRequest oversized;
+  oversized.op = MembershipOp::kAdd;
+  oversized.host = std::string(kMaxHostBytes + 40, 'x');
+  std::vector<std::uint8_t> bad;
+  encode_membership_request(bad, oversized);
+  const auto bad_frames = decode_all(bad);
+  ASSERT_EQ(bad_frames.size(), 1u);
+  const auto truncated_host = parse_membership_request(bad_frames[0].body);
+  ASSERT_TRUE(truncated_host.has_value());
+  EXPECT_EQ(truncated_host->host.size(), kMaxHostBytes);
+  // Hand-patch the host length prefix (body offset 5: after op + shard_id)
+  // past the cap: the parser must reject it.
+  auto patched = bad_frames[0].body;
+  const std::uint16_t over = kMaxHostBytes + 1;
+  patched[5] = static_cast<std::uint8_t>(over & 0xff);
+  patched[6] = static_cast<std::uint8_t>(over >> 8);
+  EXPECT_FALSE(parse_membership_request(patched).has_value());
+}
+
 TEST(NetWire, ZeroLengthAndUnknownTypeRejected) {
   {
     FrameDecoder decoder;

@@ -1,0 +1,267 @@
+// Shard health state machine and membership-log tests: every edge of the
+// kHealthy/kSuspect/kDead/kProbation/kRetiring machine driven
+// deterministically (the machine is pure — no sockets, no clocks), plus the
+// log-fold property that makes placement reproducible: two routers replaying
+// the same membership log build identical rings and therefore place every
+// tenant identically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "router/health.hpp"
+#include "router/ring.hpp"
+#include "util/rng.hpp"
+
+namespace autopn::router {
+namespace {
+
+constexpr HealthObservation kOk{/*connected=*/true, /*poll_ok=*/true,
+                                /*budget_exhausted=*/false};
+constexpr HealthObservation kMiss{/*connected=*/true, /*poll_ok=*/false,
+                                  /*budget_exhausted=*/false};
+constexpr HealthObservation kDown{/*connected=*/false, /*poll_ok=*/false,
+                                  /*budget_exhausted=*/false};
+constexpr HealthObservation kBudgetBurned{/*connected=*/false,
+                                          /*poll_ok=*/false,
+                                          /*budget_exhausted=*/true};
+
+TEST(RouterHealth, HealthyDegradesToSuspectThenDeadOnMisses) {
+  ShardHealth health{{/*suspect_after=*/2, /*dead_after=*/4,
+                      /*probation_passes=*/3}};
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
+
+  // One miss: still healthy, counter accrues.
+  EXPECT_FALSE(health.tick(kMiss).has_value());
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
+  EXPECT_EQ(health.misses(), 1u);
+
+  // Second consecutive miss crosses suspect_after.
+  const auto to_suspect = health.tick(kMiss);
+  ASSERT_TRUE(to_suspect.has_value());
+  EXPECT_EQ(to_suspect->from, HealthState::kHealthy);
+  EXPECT_EQ(to_suspect->to, HealthState::kSuspect);
+
+  // Third miss holds suspect; the fourth crosses dead_after.
+  EXPECT_FALSE(health.tick(kMiss).has_value());
+  EXPECT_EQ(health.state(), HealthState::kSuspect);
+  const auto to_dead = health.tick(kMiss);
+  ASSERT_TRUE(to_dead.has_value());
+  EXPECT_EQ(to_dead->from, HealthState::kSuspect);
+  EXPECT_EQ(to_dead->to, HealthState::kDead);
+}
+
+TEST(RouterHealth, PollOkResetsTheMissCounter) {
+  ShardHealth health{{/*suspect_after=*/2, /*dead_after=*/10,
+                      /*probation_passes=*/3}};
+  EXPECT_FALSE(health.tick(kMiss).has_value());
+  EXPECT_FALSE(health.tick(kOk).has_value());
+  EXPECT_EQ(health.misses(), 0u);
+  // Misses must again be consecutive to degrade.
+  EXPECT_FALSE(health.tick(kMiss).has_value());
+  EXPECT_EQ(health.state(), HealthState::kHealthy);
+}
+
+TEST(RouterHealth, SuspectRecoversOnPollOk) {
+  ShardHealth health{{/*suspect_after=*/1, /*dead_after=*/10,
+                      /*probation_passes=*/3}};
+  ASSERT_TRUE(health.tick(kMiss).has_value());
+  ASSERT_EQ(health.state(), HealthState::kSuspect);
+  const auto back = health.tick(kOk);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->from, HealthState::kSuspect);
+  EXPECT_EQ(back->to, HealthState::kHealthy);
+  EXPECT_EQ(health.misses(), 0u);
+}
+
+TEST(RouterHealth, BudgetExhaustionIsTheFastPathToDead) {
+  // From healthy: the burned redial budget skips kSuspect entirely.
+  ShardHealth health;
+  const auto fast = health.tick(kBudgetBurned);
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(fast->from, HealthState::kHealthy);
+  EXPECT_EQ(fast->to, HealthState::kDead);
+
+  // From suspect too, well before dead_after misses.
+  ShardHealth suspect{{/*suspect_after=*/1, /*dead_after=*/100,
+                       /*probation_passes=*/3}};
+  ASSERT_TRUE(suspect.tick(kMiss).has_value());
+  ASSERT_EQ(suspect.state(), HealthState::kSuspect);
+  const auto dead = suspect.tick(kBudgetBurned);
+  ASSERT_TRUE(dead.has_value());
+  EXPECT_EQ(dead->to, HealthState::kDead);
+}
+
+TEST(RouterHealth, DeadRecoversThroughProbation) {
+  ShardHealth health{{/*suspect_after=*/1, /*dead_after=*/2,
+                      /*probation_passes=*/3}};
+  ASSERT_TRUE(health.tick(kDown).has_value());   // -> suspect
+  ASSERT_TRUE(health.tick(kDown).has_value());   // -> dead
+  ASSERT_EQ(health.state(), HealthState::kDead);
+
+  // Reconnect starts probation; ring re-entry must be EARNED.
+  const auto probation = health.tick(kOk);
+  ASSERT_TRUE(probation.has_value());
+  EXPECT_EQ(probation->from, HealthState::kDead);
+  EXPECT_EQ(probation->to, HealthState::kProbation);
+
+  // Two clean polls are not enough at probation_passes = 3...
+  EXPECT_FALSE(health.tick(kOk).has_value());
+  EXPECT_FALSE(health.tick(kOk).has_value());
+  EXPECT_EQ(health.state(), HealthState::kProbation);
+  EXPECT_EQ(health.passes(), 2u);
+
+  // ...the third consecutive pass rejoins as healthy.
+  const auto healed = health.tick(kOk);
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_EQ(healed->from, HealthState::kProbation);
+  EXPECT_EQ(healed->to, HealthState::kHealthy);
+}
+
+TEST(RouterHealth, ProbationMissResetsPassesAndDisconnectKillsIt) {
+  ShardHealth health{{/*suspect_after=*/1, /*dead_after=*/2,
+                      /*probation_passes=*/2}};
+  ASSERT_TRUE(health.tick(kDown).has_value());  // -> suspect
+  ASSERT_TRUE(health.tick(kDown).has_value());  // -> dead
+  ASSERT_TRUE(health.tick(kOk).has_value());    // -> probation
+
+  // A connected-but-silent tick resets the consecutive-pass counter.
+  EXPECT_FALSE(health.tick(kOk).has_value());
+  EXPECT_EQ(health.passes(), 1u);
+  EXPECT_FALSE(health.tick(kMiss).has_value());
+  EXPECT_EQ(health.passes(), 0u);
+  EXPECT_EQ(health.state(), HealthState::kProbation);
+
+  // Losing the connection during probation falls straight back to dead.
+  const auto relapse = health.tick(kDown);
+  ASSERT_TRUE(relapse.has_value());
+  EXPECT_EQ(relapse->from, HealthState::kProbation);
+  EXPECT_EQ(relapse->to, HealthState::kDead);
+}
+
+TEST(RouterHealth, RetiringIsTerminalUnderTicks) {
+  ShardHealth health;
+  health.force(HealthState::kRetiring);
+  for (const auto& obs : {kOk, kMiss, kDown, kBudgetBurned}) {
+    EXPECT_FALSE(health.tick(obs).has_value());
+    EXPECT_EQ(health.state(), HealthState::kRetiring);
+  }
+}
+
+TEST(RouterHealth, ForceResetsCounters) {
+  ShardHealth health{{/*suspect_after=*/3, /*dead_after=*/10,
+                      /*probation_passes=*/3}};
+  (void)health.tick(kMiss);
+  (void)health.tick(kMiss);
+  EXPECT_EQ(health.misses(), 2u);
+  health.force(HealthState::kProbation);
+  EXPECT_EQ(health.state(), HealthState::kProbation);
+  EXPECT_EQ(health.misses(), 0u);
+  EXPECT_EQ(health.passes(), 0u);
+}
+
+TEST(RouterHealth, RingMembersFoldsTheLog) {
+  std::vector<MembershipRecord> log;
+  std::uint64_t seq = 0;
+  const auto append = [&](MembershipEvent event, std::uint32_t shard) {
+    log.push_back({++seq, event, shard});
+  };
+
+  // Bootstrap: two shards admitted and joined.
+  append(MembershipEvent::kAdmit, 0);
+  append(MembershipEvent::kJoin, 0);
+  append(MembershipEvent::kAdmit, 1);
+  append(MembershipEvent::kJoin, 1);
+  EXPECT_EQ(ring_members(log), (std::vector<std::uint32_t>{0, 1}));
+
+  // A runtime admit alone does NOT place the shard.
+  append(MembershipEvent::kAdmit, 2);
+  EXPECT_EQ(ring_members(log), (std::vector<std::uint32_t>{0, 1}));
+
+  // Probation passed: join. Then shard 1 dies and is evicted.
+  append(MembershipEvent::kJoin, 2);
+  append(MembershipEvent::kEvict, 1);
+  EXPECT_EQ(ring_members(log), (std::vector<std::uint32_t>{0, 2}));
+
+  // Recovery re-joins; an administrative retire removes again.
+  append(MembershipEvent::kJoin, 1);
+  append(MembershipEvent::kRetire, 2);
+  EXPECT_EQ(ring_members(log), (std::vector<std::uint32_t>{0, 1}));
+}
+
+// The property the membership log exists for: placement is a pure function
+// of the ring contents, and the ring contents are a pure fold of the log —
+// so two routers that observed the same ordered log place every tenant on
+// the same shard, without ever talking to each other. Random churn
+// histories; both "routers" are HashRings rebuilt independently.
+TEST(RouterHealth, TwoRoutersReplayingTheSameLogPlaceIdentically) {
+  util::Rng rng{20260809};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<MembershipRecord> log;
+    std::uint64_t seq = 0;
+    std::vector<std::uint32_t> in_ring;
+    std::vector<std::uint32_t> out_of_ring{0, 1, 2, 3, 4, 5, 6, 7};
+
+    const int steps = static_cast<int>(rng.uniform_int(1, 24));
+    for (int i = 0; i < steps; ++i) {
+      const bool join = out_of_ring.empty()
+                            ? false
+                            : (in_ring.empty() || rng.uniform_int(0, 1) == 0);
+      if (join) {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(out_of_ring.size()) - 1));
+        const std::uint32_t shard = out_of_ring[pick];
+        out_of_ring.erase(out_of_ring.begin() +
+                          static_cast<std::ptrdiff_t>(pick));
+        in_ring.push_back(shard);
+        log.push_back({++seq, MembershipEvent::kAdmit, shard});
+        log.push_back({++seq, MembershipEvent::kJoin, shard});
+      } else {
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<int>(in_ring.size()) - 1));
+        const std::uint32_t shard = in_ring[pick];
+        in_ring.erase(in_ring.begin() + static_cast<std::ptrdiff_t>(pick));
+        out_of_ring.push_back(shard);
+        log.push_back({++seq,
+                       rng.uniform_int(0, 1) == 0 ? MembershipEvent::kEvict
+                                                  : MembershipEvent::kRetire,
+                       shard});
+      }
+    }
+
+    // Router A replays the full log; router B folds it through
+    // ring_members() — different code paths, same ring required.
+    HashRing router_a;
+    for (const MembershipRecord& rec : log) {
+      switch (rec.event) {
+        case MembershipEvent::kAdmit:
+          break;
+        case MembershipEvent::kJoin:
+          router_a.add_shard(rec.shard_id);
+          break;
+        case MembershipEvent::kEvict:
+        case MembershipEvent::kRetire:
+          router_a.remove_shard(rec.shard_id);
+          break;
+      }
+    }
+    HashRing router_b;
+    for (const std::uint32_t shard : ring_members(log)) {
+      router_b.add_shard(shard);
+    }
+    ASSERT_EQ(router_a.shards(), router_b.shards()) << "trial " << trial;
+
+    // Same ring ⇒ same owner for every tenant (spot-check the full u16
+    // tenant space coarsely, boundaries exactly).
+    if (router_a.shard_count() == 0) continue;
+    for (std::uint32_t tenant = 0; tenant < 65536; tenant += 257) {
+      const auto a = router_a.owner_of_tenant(static_cast<std::uint16_t>(tenant));
+      const auto b = router_b.owner_of_tenant(static_cast<std::uint16_t>(tenant));
+      ASSERT_EQ(a, b) << "trial " << trial << " tenant " << tenant;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autopn::router

@@ -155,5 +155,65 @@ TEST(Rebalancer, TargetMustBeStrictlyCoolerThanTheSource) {
       rb.propose(shards, {tenant(1, 0, 500), tenant(2, 1, 500)}).empty());
 }
 
+// ---- propose_scale: the capacity recommendation ------------------------
+
+TEST(Rebalancer, ScaleAddWhenEveryHealthyShardViolates) {
+  // All hot: migration is a zero-sum shuffle (no target with headroom), so
+  // only new capacity helps.
+  Rebalancer rb(tight_config());
+  const auto proposal =
+      rb.propose_scale({shard(0, 50'000), shard(1, 40'000)});
+  EXPECT_EQ(proposal.action, ScaleAction::kAdd);
+}
+
+TEST(Rebalancer, ScaleHoldsInTheMixedRegime) {
+  // One violating, one with headroom: the moves policy owns this regime.
+  Rebalancer rb(tight_config());
+  const auto proposal = rb.propose_scale({shard(0, 50'000), shard(1, 3'000)});
+  EXPECT_EQ(proposal.action, ScaleAction::kHold);
+}
+
+TEST(Rebalancer, ScaleRemovesTheCoolestWhenAllHaveHeadroom) {
+  // Everyone under slo × headroom (8ms here): the coolest shard can retire
+  // without regressing any satisfied SLO.
+  Rebalancer rb(tight_config());
+  const auto proposal = rb.propose_scale(
+      {shard(0, 6'000), shard(1, 2'000), shard(2, 4'000)});
+  EXPECT_EQ(proposal.action, ScaleAction::kRemove);
+  EXPECT_EQ(proposal.shard_id, 1u);
+}
+
+TEST(Rebalancer, ScaleNeverRemovesTheLastHealthyShard) {
+  Rebalancer rb(tight_config());
+  // A lone cool shard holds — removal requires >= 2 healthy survivors-to-be.
+  const auto lone = rb.propose_scale({shard(0, 1'000)});
+  EXPECT_EQ(lone.action, ScaleAction::kHold);
+  // Unhealthy shards don't count toward the two: one cool healthy shard
+  // plus a dead one still holds.
+  const auto with_dead =
+      rb.propose_scale({shard(0, 1'000), shard(1, 0, /*healthy=*/false)});
+  EXPECT_EQ(with_dead.action, ScaleAction::kHold);
+}
+
+TEST(Rebalancer, ScaleIgnoresUnhealthyShardsEntirely) {
+  Rebalancer rb(tight_config());
+  // The only healthy shard violates: kAdd, regardless of the dead one's
+  // (stale, zeroed) KPIs.
+  const auto proposal =
+      rb.propose_scale({shard(0, 50'000), shard(1, 0, /*healthy=*/false)});
+  EXPECT_EQ(proposal.action, ScaleAction::kAdd);
+  // No healthy shards at all: hold — there is nothing to reason about.
+  const auto none = rb.propose_scale({shard(0, 0, /*healthy=*/false)});
+  EXPECT_EQ(none.action, ScaleAction::kHold);
+}
+
+TEST(Rebalancer, ScaleBoundaryIsHeadroomNotSlo) {
+  // Between slo × headroom (8ms) and the SLO (10ms): satisfied but without
+  // slack — neither add (not violating) nor remove (no absorption margin).
+  Rebalancer rb(tight_config());
+  const auto proposal = rb.propose_scale({shard(0, 9'000), shard(1, 9'000)});
+  EXPECT_EQ(proposal.action, ScaleAction::kHold);
+}
+
 }  // namespace
 }  // namespace autopn::router

@@ -62,6 +62,11 @@ int usage() {
                "  autopn router --listen ADDR:PORT (--shard HOST:PORT | --shard-port-file F)...\n"
                "               [--port-file F] [--duration S] [--slo-ms MS]\n"
                "               [--rebalance-interval S] [--no-rebalance]\n"
+               "               [--redial-budget N] [--scale-file F]\n"
+               "  autopn router-ctl add (--port P | --port-file F) --shard-id N\n"
+               "               (--shard HOST:PORT | --shard-port-file F)   [--host H]\n"
+               "  autopn router-ctl remove (--port P | --port-file F) --shard-id N\n"
+               "  autopn router-ctl status (--port P | --port-file F)\n"
                "global: --failpoints 'name=kind(args)[;...]'  e.g.\n"
                "        --failpoints 'stm.commit.validate=error(p=0.1);stm.vbox.prune=delay(d=1ms)'\n"
                "        (also read from the AUTOPN_FAILPOINTS environment variable;\n"
@@ -98,6 +103,10 @@ struct Options {
   double slo_ms = 50.0;            ///< router: rebalance SLO on shard p99
   double rebalance_interval = 1.0; ///< router: placement decision cadence
   bool no_rebalance = false;       ///< router: disable the rebalancer
+  std::uint64_t redial_budget = 8; ///< router: failed dials before dead
+  std::string scale_file;          ///< router: write scale recommendations
+  std::uint32_t shard_id = 0;      ///< router-ctl: add/remove target id
+  bool shard_id_given = false;
 };
 
 Options parse_options(const std::vector<std::string>& args, std::size_t start) {
@@ -163,6 +172,13 @@ Options parse_options(const std::vector<std::string>& args, std::size_t start) {
       opts.slo_ms = std::stod(args[i + 1]);
     } else if (args[i] == "--rebalance-interval") {
       opts.rebalance_interval = std::stod(args[i + 1]);
+    } else if (args[i] == "--redial-budget") {
+      opts.redial_budget = std::stoull(args[i + 1]);
+    } else if (args[i] == "--scale-file") {
+      opts.scale_file = args[i + 1];
+    } else if (args[i] == "--shard-id") {
+      opts.shard_id = static_cast<std::uint32_t>(std::stoul(args[i + 1]));
+      opts.shard_id_given = true;
     } else if (args[i] == "--failpoints") {
       // Arm immediately — global, not an Options field: failpoints are
       // process-wide and must be live before any workload code runs.
@@ -475,6 +491,7 @@ int cmd_router(const Options& opts) {
   cfg.rebalance.slo_p99_us = static_cast<std::uint64_t>(opts.slo_ms * 1e3);
   cfg.rebalance_seconds = opts.rebalance_interval;
   cfg.rebalance_enabled = !opts.no_rebalance;
+  cfg.redial_budget = opts.redial_budget;
   router::Router router{shards, cfg};
 
   if (!opts.port_file.empty()) {
@@ -494,24 +511,39 @@ int cmd_router(const Options& opts) {
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(opts.duration));
+  int tick = 0;
   while (std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // Publish the rebalancer's capacity recommendation for an external
+    // autoscaler (scripts/run_cluster.sh --elastic) to act on.
+    if (!opts.scale_file.empty() && ++tick % 5 == 0) {
+      const router::ScaleProposal scale = router.scale_recommendation();
+      std::ofstream out{opts.scale_file};
+      out << router::to_string(scale.action);
+      if (scale.action == router::ScaleAction::kRemove) {
+        out << " " << scale.shard_id;
+      }
+      out << "\n";
+    }
   }
 
   // Snapshot the per-shard SLO table before shutdown tears the links down.
   const auto status = router.shard_status();
+  const auto members = router.membership_status();
   router.shutdown();
 
-  util::TextTable slo{{"shard", "healthy", "offered", "completed", "shed",
-                       "depth", "p50(ms)", "p99(ms)", "reconn"}};
+  util::TextTable slo{{"shard", "state", "ring", "offered", "completed", "shed",
+                       "depth", "p50(ms)", "p99(ms)", "reconn", "redials"}};
   for (const auto& s : status) {
     const net::StatsFrame stats = s.stats.value_or(net::StatsFrame{});
-    slo.add_row({std::to_string(s.shard_id), s.healthy ? "yes" : "NO",
+    slo.add_row({std::to_string(s.shard_id), router::to_string(s.health),
+                 s.in_ring ? "yes" : "NO",
                  std::to_string(stats.offered), std::to_string(stats.completed),
                  std::to_string(stats.shed), std::to_string(stats.queue_depth),
                  util::fmt_double(static_cast<double>(stats.p50_us) / 1e3, 2),
                  util::fmt_double(static_cast<double>(stats.p99_us) / 1e3, 2),
-                 std::to_string(s.reconnects)});
+                 std::to_string(s.reconnects),
+                 std::to_string(s.redial_attempts)});
   }
   slo.print(std::cout);
 
@@ -541,8 +573,134 @@ int cmd_router(const Options& opts) {
             << "\nwire ledger:   "
             << (wire_ledger_exact ? "exact (decoded == written + dropped)"
                                   : "VIOLATED")
-            << "\n";
+            << "\nmembership:    " << report.admits << " admits, "
+            << report.retires << " retires, " << report.evictions
+            << " evictions, " << report.readmits << " ring joins\n";
+  if (!members.log.empty()) {
+    std::cout << "membership log:";
+    for (const net::MembershipLogEntry& entry : members.log) {
+      std::cout << " " << entry.seq << ":"
+                << router::to_string(
+                       static_cast<router::MembershipEvent>(entry.event))
+                << "(" << entry.shard_id << ")";
+    }
+    std::cout << "\n";
+  }
   return router_ledger_exact && wire_ledger_exact ? 0 : 1;
+}
+
+/// router-ctl: membership control client. Speaks the v1.2 Membership frame
+/// pair at a running router — admit a shard, retire one, or read the
+/// member table, membership log, and scale recommendation.
+int cmd_router_ctl(const std::string& action, const Options& opts) {
+  std::uint16_t port = opts.port;
+  if (!opts.port_file.empty()) {
+    std::ifstream in{opts.port_file};
+    unsigned p = 0;
+    if (!(in >> p)) {
+      std::cerr << "cannot read router port from " << opts.port_file << "\n";
+      return 1;
+    }
+    port = static_cast<std::uint16_t>(p);
+  }
+  if (port == 0) {
+    std::cerr << "router-ctl needs --port or --port-file\n";
+    return 2;
+  }
+
+  net::MembershipRequest request;
+  if (action == "add") {
+    request.op = net::MembershipOp::kAdd;
+    if (!opts.shard_id_given) {
+      std::cerr << "router-ctl add needs --shard-id N\n";
+      return 2;
+    }
+    request.shard_id = opts.shard_id;
+    if (!opts.shards.empty()) {
+      const std::string& spec = opts.shards.front();
+      const auto sep = spec.rfind(':');
+      if (sep == std::string::npos) {
+        std::cerr << "--shard wants HOST:PORT (got '" << spec << "')\n";
+        return 2;
+      }
+      request.host = spec.substr(0, sep);
+      request.port =
+          static_cast<std::uint16_t>(std::stoul(spec.substr(sep + 1)));
+    } else if (!opts.shard_port_files.empty()) {
+      std::ifstream in{opts.shard_port_files.front()};
+      unsigned p = 0;
+      if (!(in >> p)) {
+        std::cerr << "cannot read shard port from "
+                  << opts.shard_port_files.front() << "\n";
+        return 1;
+      }
+      request.host = "127.0.0.1";
+      request.port = static_cast<std::uint16_t>(p);
+    } else {
+      std::cerr << "router-ctl add needs --shard HOST:PORT or "
+                   "--shard-port-file F\n";
+      return 2;
+    }
+  } else if (action == "remove") {
+    request.op = net::MembershipOp::kRemove;
+    if (!opts.shard_id_given) {
+      std::cerr << "router-ctl remove needs --shard-id N\n";
+      return 2;
+    }
+    request.shard_id = opts.shard_id;
+  } else if (action == "status") {
+    request.op = net::MembershipOp::kStatus;
+  } else {
+    std::cerr << "router-ctl wants add, remove, or status (got '" << action
+              << "')\n";
+    return 2;
+  }
+
+  auto client = net::Client::connect(opts.host, port, 2.0);
+  if (client.wire_minor() < 2) {
+    std::cerr << "peer negotiated wire minor " << client.wire_minor()
+              << " (< 2): no membership support\n";
+    return 1;
+  }
+  if (!client.send_membership(request)) {
+    std::cerr << "failed to send membership request\n";
+    return 1;
+  }
+  const auto reply = client.poll_membership(2.0);
+  if (!reply) {
+    std::cerr << "no membership response within 2s\n";
+    return 1;
+  }
+  if (!reply->message.empty()) {
+    std::cout << (reply->ok ? "" : "rejected: ") << reply->message << "\n";
+  }
+  util::TextTable table{{"shard", "address", "state", "ring", "redials",
+                         "reconn", "last error"}};
+  for (const net::MemberInfo& m : reply->members) {
+    table.add_row({std::to_string(m.shard_id),
+                   m.host + ":" + std::to_string(m.port),
+                   router::to_string(static_cast<router::HealthState>(m.health)),
+                   m.in_ring ? "yes" : "NO",
+                   std::to_string(m.redial_attempts),
+                   std::to_string(m.reconnects), m.last_error});
+  }
+  table.print(std::cout);
+  std::cout << "log:";
+  for (const net::MembershipLogEntry& entry : reply->log) {
+    std::cout << " " << entry.seq << ":"
+              << router::to_string(
+                     static_cast<router::MembershipEvent>(entry.event))
+              << "(" << entry.shard_id << ")";
+  }
+  std::cout << "\nscale: "
+            << router::to_string(
+                   static_cast<router::ScaleAction>(reply->scale_action));
+  if (static_cast<router::ScaleAction>(reply->scale_action) ==
+      router::ScaleAction::kRemove) {
+    std::cout << " " << reply->scale_shard;
+  }
+  std::cout << "\n";
+  return reply->ok ? 0 : 1;
 }
 
 int cmd_netload(const Options& opts) {
@@ -580,11 +738,14 @@ int cmd_netload(const Options& opts) {
             << " for " << util::fmt_double(params.duration, 1) << "s\n";
   const net::NetLoadResult result = net::run_netload(params);
 
-  util::TextTable counts{{"sent", "ok", "shed", "shed@rtr", "expired", "failed",
-                          "rejected", "io errs", "reconn", "unanswered"}};
+  util::TextTable counts{{"sent", "ok", "shed", "shed@rtr", "rtr-dead",
+                          "rtr-blip", "expired", "failed", "rejected",
+                          "io errs", "reconn", "unanswered"}};
   counts.add_row({std::to_string(result.sent), std::to_string(result.ok),
                   std::to_string(result.shed),
                   std::to_string(result.shed_router),
+                  std::to_string(result.shed_router_dead),
+                  std::to_string(result.shed_router_transient),
                   std::to_string(result.expired),
                   std::to_string(result.failed), std::to_string(result.rejected),
                   std::to_string(result.io_errors),
@@ -756,6 +917,9 @@ int main(int argc, char** argv) {
     if (cmd == "info" && args.size() >= 2) return cmd_info(args[1]);
     if (cmd == "netload") return cmd_netload(parse_options(args, 1));
     if (cmd == "router") return cmd_router(parse_options(args, 1));
+    if (cmd == "router-ctl" && args.size() >= 2) {
+      return cmd_router_ctl(args[1], parse_options(args, 2));
+    }
     if (cmd == "serve") {
       // Accept both `serve tpcc` and `serve --workload tpcc`.
       if (args.size() >= 2 && args[1][0] != '-') {
