@@ -123,7 +123,7 @@ int main() {
   util::TextTable init{{"initial samples", "avg DFO", "p90 DFO", "avg expl"}};
   for (const std::size_t n : {3u, 5u, 7u, 9u}) {
     opt::AutoPnParams params;
-    params.initial_samples = n;
+    params.bootstrap_points = n;
     add_outcome_row(init, std::to_string(n), evaluate(space, traces, params));
   }
   init.print(std::cout);

@@ -5,12 +5,24 @@
 // shift and triggers a re-tuning round; we report configurations and
 // distances from optimum before and after, plus detection latency.
 //
+// The re-tuning round is run twice: cold (the paper's blind 9-point
+// bootstrap) and warm (one probe window per pivot configuration fits the
+// compositional model, whose predicted surface seeds the surrogate as an
+// opt::Prior, and the probes themselves seed its history — DESIGN.md §14).
+// The comparison counts *total* live windows, probes included: the warm
+// path only wins if probes + prior save more search than they cost.
+//
 // Runs in virtual time on commit-event streams.
 
+#include <algorithm>
 #include <iostream>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_common.hpp"
+#include "model/advisor.hpp"
+#include "model/compose.hpp"
+#include "model/fit.hpp"
 #include "opt/autopn_optimizer.hpp"
 #include "runtime/cusum.hpp"
 #include "runtime/monitor.hpp"
@@ -22,37 +34,98 @@ using namespace autopn;
 
 namespace {
 
+/// One adaptive measurement window at `config` on the surface's commit
+/// stream, starting at virtual time `now`.
+runtime::Measurement probe_window(const sim::SurfaceModel& model,
+                                  const opt::Config& config, std::uint64_t seed,
+                                  double now, double reference,
+                                  runtime::CvAdaptivePolicy& policy) {
+  sim::CommitStream stream{model, config, seed, now};
+  if (reference > 0.0) policy.set_reference_throughput(reference);
+  return runtime::run_window_on_stream(
+      policy, [&stream] { return stream.next_commit(); }, now);
+}
+
 /// One full AutoPN optimization against a model, measuring every proposal
 /// with the adaptive policy on virtual commit streams. Returns the chosen
-/// configuration and the virtual time spent.
+/// configuration, the virtual time spent and the live windows burned
+/// (probe windows for the warm path included).
 struct TuneResult {
   opt::Config chosen{1, 1};
   double seconds = 0.0;
-  std::size_t explorations = 0;
+  std::size_t windows = 0;
 };
 
 TuneResult tune(const sim::SurfaceModel& model, const opt::ConfigSpace& space,
-                std::uint64_t seed, double start_time) {
-  opt::AutoPnOptimizer optimizer{space, {}, seed};
+                std::uint64_t seed, double start_time,
+                const opt::AutoPnParams& params = {},
+                const std::vector<model::Probe>& seed_observations = {},
+                std::size_t extra_windows = 0, double extra_seconds = 0.0) {
+  opt::AutoPnOptimizer optimizer{space, params, seed};
+  // Probe windows double as observations: the pivots are already explored,
+  // so the bootstrap skips them and the surrogate starts from live data.
+  for (const model::Probe& p : seed_observations) {
+    optimizer.observe(p.config, p.throughput);
+  }
   runtime::CvAdaptivePolicy policy{0.10, 10};
-  double now = start_time;
+  double now = start_time + extra_seconds;
   double reference = 0.0;
   std::uint64_t stream_seed = seed;
+  TuneResult result;
+  result.windows = extra_windows;
   while (auto proposal = optimizer.propose()) {
-    sim::CommitStream stream{model, *proposal, ++stream_seed, now};
-    if (reference > 0.0) policy.set_reference_throughput(reference);
-    const auto m = runtime::run_window_on_stream(
-        policy, [&stream] { return stream.next_commit(); }, now);
+    const auto m =
+        probe_window(model, *proposal, ++stream_seed, now, reference, policy);
     now += m.elapsed;
+    ++result.windows;
     optimizer.observe(*proposal, m.throughput);
     if (proposal->t == 1 && proposal->c == 1 && m.throughput > 0.0) {
       reference = m.throughput;
     }
   }
-  TuneResult result;
   result.chosen = optimizer.best();
   result.seconds = now - start_time;
   return result;
+}
+
+/// The warm path: measure the pivot configurations, fit the
+/// compositional model from those probes (starting from the *stale*
+/// pre-shift parameters — all the warm start knows), inject its predicted
+/// surface as the SMBO prior, and seed the optimizer's history with the
+/// probes themselves (which makes the pivots count as explored, so the
+/// warm bootstrap shrinks to whatever they don't cover).
+TuneResult warm_tune(const sim::SurfaceModel& live,
+                     const sim::WorkloadParams& stale_params,
+                     const opt::ConfigSpace& space, std::uint64_t seed) {
+  // Four numbers carry the whole fit, so probe windows get a generous
+  // starvation timeout — the search default of 3/T(1,1) truncates windows
+  // at configurations whose warm-up rate is near T(1,1), which reads as a
+  // systematic 3-4x throughput under-estimate and inverts the fitted
+  // surface's shape. The search windows stay default-timed: there the
+  // surrogate averages over many observations instead.
+  runtime::CvAdaptivePolicy policy{0.10, 10, /*timeout_scale=*/12.0};
+  double now = 0.0;
+  double reference = 0.0;
+  std::vector<model::Probe> probes;
+  std::uint64_t stream_seed = seed + 1000;
+  for (const opt::Config& cfg : model::probe_configs(space)) {
+    const auto m = probe_window(live, cfg, ++stream_seed, now, reference, policy);
+    now += m.elapsed;
+    if (cfg.t == 1 && cfg.c == 1 && m.throughput > 0.0) {
+      reference = m.throughput;
+    }
+    probes.push_back({cfg, m.throughput});
+  }
+
+  model::PipelineParams pp;
+  pp.workload = model::fit_workload(stale_params, probes, space.cores());
+  pp.cores = space.cores();
+  pp.workers = static_cast<std::size_t>(space.cores());
+  const model::CompositionalModel fitted{pp};
+
+  opt::AutoPnParams params;
+  params.prior = model::make_prior(fitted, space);
+  return tune(live, space, seed, 0.0, params, probes, probes.size(), now);
 }
 
 }  // namespace
@@ -96,12 +169,59 @@ int main() {
   std::cout << "CUSUM detected the shift after " << samples_to_detect
             << " steady-state samples (1 per second)\n";
 
-  // Phase 2: re-tune on the new workload.
+  // Phase 2: re-tune on the new workload — cold (blind 9-point bootstrap)
+  // vs warm (4 pivot probes -> fitted model -> SMBO prior + 3-point
+  // bootstrap). Both paths start from the same stale knowledge.
   const TuneResult retuned = tune(after, space, 29, 0.0);
-  std::cout << "\nre-tuning: chose " << retuned.chosen.to_string() << " (DFO "
+  std::cout << "\nre-tuning (cold): chose " << retuned.chosen.to_string()
+            << " (DFO "
             << util::fmt_percent(after.distance_from_optimum(space, retuned.chosen))
             << " on array-90) in " << util::fmt_double(retuned.seconds, 2)
             << "s virtual\n";
+
+  std::cout << "\n== Cold vs model-warm re-tuning (averaged over 40 seeds) ==\n";
+  double cold_windows = 0.0;
+  double warm_windows = 0.0;
+  double cold_seconds = 0.0;
+  double warm_seconds = 0.0;
+  std::vector<double> cold_dfos;
+  std::vector<double> warm_dfos;
+  const int kSeeds = 40;
+  for (std::uint64_t seed = 31; seed < 31 + kSeeds; ++seed) {
+    const TuneResult cold = tune(after, space, seed, 0.0);
+    const TuneResult warm =
+        warm_tune(after, sim::workload_by_name("array-0"), space, seed);
+    cold_windows += static_cast<double>(cold.windows);
+    warm_windows += static_cast<double>(warm.windows);
+    cold_seconds += cold.seconds;
+    warm_seconds += warm.seconds;
+    cold_dfos.push_back(after.distance_from_optimum(space, cold.chosen));
+    warm_dfos.push_back(after.distance_from_optimum(space, warm.chosen));
+  }
+  auto mean = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  auto median = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return 0.5 * (v[(v.size() - 1) / 2] + v[v.size() / 2]);
+  };
+  util::TextTable warmcmp{
+      {"path", "live windows", "virtual seconds", "avg DFO", "median DFO"}};
+  warmcmp.add_row({"cold (9-pt bootstrap)",
+                   util::fmt_double(cold_windows / kSeeds, 1),
+                   util::fmt_double(cold_seconds / kSeeds, 2),
+                   util::fmt_percent(mean(cold_dfos)),
+                   util::fmt_percent(median(cold_dfos))});
+  warmcmp.add_row({"warm (4 probes + prior)",
+                   util::fmt_double(warm_windows / kSeeds, 1),
+                   util::fmt_double(warm_seconds / kSeeds, 2),
+                   util::fmt_percent(mean(warm_dfos)),
+                   util::fmt_percent(median(warm_dfos))});
+  warmcmp.print(std::cout);
+  std::cout << "(warm windows include the 4 pivot probes; the prior pays for "
+               "itself\nwhen probes + prior save more search than they cost)\n";
 
   util::TextTable summary{{"phase", "config", "thr on active workload", "DFO"}};
   summary.add_row({"tuned for array-0", initial.chosen.to_string(),

@@ -35,9 +35,11 @@ cmake --build build-tsan --target \
   util_failpoint_test chaos_stm_test chaos_serve_test chaos_runtime_test \
   net_wire_test net_loop_test net_server_test net_chaos_test \
   net_client_retry_test router_ring_test router_rebalancer_test \
-  router_proxy_test router_health_test router_membership_test
+  router_proxy_test router_health_test router_membership_test \
+  model_queue_test model_compose_test model_vs_des_test
 for t in build-tsan/tests/stm_*_test build-tsan/tests/serve_*_test \
          build-tsan/tests/net_*_test build-tsan/tests/router_*_test \
+         build-tsan/tests/model_*_test \
          build-tsan/tests/util_concurrency_test \
          build-tsan/tests/runtime_controller_test \
          build-tsan/tests/util_failpoint_test build-tsan/tests/chaos_*_test; do
@@ -54,12 +56,14 @@ cmake --preset asan-ubsan
 cmake --build build-asan-ubsan --target \
   net_wire_test net_loop_test net_server_test net_chaos_test \
   net_client_retry_test router_proxy_test router_membership_test \
-  stm_semantic_test stm_linearizability_test
+  stm_semantic_test stm_linearizability_test \
+  model_queue_test model_compose_test model_vs_des_test
 for t in build-asan-ubsan/tests/net_*_test \
          build-asan-ubsan/tests/router_proxy_test \
          build-asan-ubsan/tests/router_membership_test \
          build-asan-ubsan/tests/stm_semantic_test \
-         build-asan-ubsan/tests/stm_linearizability_test; do
+         build-asan-ubsan/tests/stm_linearizability_test \
+         build-asan-ubsan/tests/model_*_test; do
   echo "== asan-ubsan: $(basename "$t") =="
   "$t"
 done
@@ -82,6 +86,13 @@ echo "== asan-ubsan: chaos_soak --router =="
 build-asan-ubsan/bench/chaos_soak --router --seconds 3 --seed 5
 echo "== tsan: chaos_soak --router =="
 build-tsan/bench/chaos_soak --router --seconds 3 --seed 6
+
+# Model-vs-DES smoke: the compositional model's fitting path validated
+# against the discrete-event simulator at reduced probe set and short runs
+# (the full stage runs unsanitized in the results loop below). Exits via the
+# bench's own tables; any fit regression shows up as rank-correlation drift.
+echo "== des_vs_analytical --smoke =="
+build/bench/des_vs_analytical --smoke
 
 # Container-policy smoke: the semantic-vs-box sweep at reduced size, under
 # ASan+UBSan so the delta/predicate fast paths get sanitizer coverage on

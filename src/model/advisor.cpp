@@ -1,0 +1,14 @@
+#include "model/advisor.hpp"
+
+namespace autopn::model {
+
+opt::Prior make_prior(const CompositionalModel& model,
+                      const opt::ConfigSpace& space,
+                      std::size_t decay_observations) {
+  opt::Prior prior;
+  prior.observations = model.closed_surface(space);
+  prior.decay_observations = decay_observations;
+  return prior;
+}
+
+}  // namespace autopn::model

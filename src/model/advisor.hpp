@@ -1,0 +1,43 @@
+#pragma once
+// Tuner-facing adapters of the compositional model (DESIGN.md §14): the
+// warm-start prior for opt::Smbo and the veto oracle for
+// runtime::TuningController. This is the only model/ header that depends on
+// runtime/; the model core (queue/compose/fit) stays consumer-agnostic.
+
+#include <cstddef>
+
+#include "model/compose.hpp"
+#include "opt/config_space.hpp"
+#include "opt/smbo.hpp"
+#include "runtime/controller.hpp"
+
+namespace autopn::model {
+
+/// Builds the SMBO warm-start prior: the model's closed-loop throughput
+/// surface over the whole space as pseudo-observations (the KPI the paper's
+/// tuner maximizes). `decay_observations` bounds how long the prior shapes
+/// the surrogate (see opt::Prior).
+[[nodiscard]] opt::Prior make_prior(const CompositionalModel& model,
+                                    const opt::ConfigSpace& space,
+                                    std::size_t decay_observations = 12);
+
+/// runtime::ConfigAdvisor backed by the model's closed-loop throughput
+/// surface. Predictions are used model-relatively by the controller, so
+/// only the surface *shape* matters, matching the prior's contract.
+class TunerAdvisor final : public runtime::ConfigAdvisor {
+ public:
+  explicit TunerAdvisor(CompositionalModel model) : model_(std::move(model)) {}
+
+  [[nodiscard]] double predicted_kpi(const opt::Config& config) override {
+    return model_.closed_throughput(config);
+  }
+
+  [[nodiscard]] const CompositionalModel& model() const noexcept {
+    return model_;
+  }
+
+ private:
+  CompositionalModel model_;
+};
+
+}  // namespace autopn::model

@@ -1,0 +1,161 @@
+#include "model/compose.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace autopn::model {
+
+CompositionalModel::CompositionalModel(PipelineParams params)
+    : params_(std::move(params)),
+      surface_(params_.workload, params_.cores) {}
+
+opt::Config CompositionalModel::effective(const opt::Config& config) const {
+  opt::Config eff = config;
+  const int workers = static_cast<int>(std::max<std::size_t>(params_.workers, 1));
+  eff.t = std::clamp(config.t, 1, std::max(1, workers));
+  eff.c = std::max(1, config.c);
+  return eff;
+}
+
+std::size_t CompositionalModel::resolved_watermark() const {
+  if (params_.shed_watermark > 0) return params_.shed_watermark;
+  return std::max<std::size_t>(1, params_.queue_capacity * 3 / 4);
+}
+
+double CompositionalModel::service_time(const opt::Config& config) const {
+  // mean_latency is the sojourn of one top-level transaction at concurrency
+  // eff.t; with eff.t workers each running one transaction at a time, it is
+  // exactly the per-server holding time.
+  return surface_.mean_latency(effective(config));
+}
+
+double CompositionalModel::closed_throughput(const opt::Config& config) const {
+  return surface_.mean_throughput(effective(config));
+}
+
+double CompositionalModel::capacity(const opt::Config& config) const {
+  const opt::Config eff = effective(config);
+  return static_cast<double>(eff.t) / surface_.mean_latency(eff);
+}
+
+double CompositionalModel::service_quantile(const opt::Config& config,
+                                            double q) const {
+  q = std::clamp(q, 1e-9, 1.0 - 1e-9);
+  const opt::Config eff = effective(config);
+  const double p = surface_.top_abort_probability(eff);
+  const double expansion = std::min(1.0 / std::max(1e-9, 1.0 - p),
+                                    sim::SurfaceModel::kMaxTopAttempts);
+  // Split the mean back into (single attempt) x (attempt count), then take
+  // the quantile of the truncated-geometric attempt count: the dominant
+  // heavy-tail driver under contention is retries, not per-attempt jitter.
+  const double single = surface_.mean_latency(eff) / expansion;
+  double attempts = 1.0;
+  if (p > 1e-12) {
+    attempts = std::ceil(std::log1p(-q) / std::log(p));
+    attempts = std::clamp(attempts, 1.0, sim::SurfaceModel::kMaxTopAttempts);
+  }
+  return single * attempts;
+}
+
+Prediction CompositionalModel::predict(const opt::Config& config,
+                                       double arrival_rate) const {
+  const opt::Config eff = effective(config);
+  const double holding = surface_.mean_latency(eff);
+
+  QueueParams queue;
+  queue.arrival_rate = std::max(arrival_rate, 0.0);
+  queue.service_rate = 1.0 / std::max(holding, 1e-12);
+  queue.servers = static_cast<std::size_t>(eff.t);
+  queue.watermark = resolved_watermark();
+  const QueueSolution solved = solve_queue(queue);
+
+  Prediction out;
+  out.throughput = solved.accepted_rate();
+  out.shed_fraction = solved.shed_probability();
+  out.utilization = solved.utilization();
+  out.mean_queue_wait = solved.mean_wait();
+  out.service_time = holding;
+  out.abort_rate = surface_.top_abort_probability(eff);
+  // Quantiles of a sum approximated by the sum of quantiles: wait and
+  // service are independent stages, so this slightly over-predicts — the
+  // conservative direction for an SLO answer (tolerance pinned in tests).
+  out.p50 = params_.wire.total() + solved.wait_quantile(0.5) +
+            service_quantile(eff, 0.5);
+  out.p99 = params_.wire.total() + solved.wait_quantile(0.99) +
+            service_quantile(eff, 0.99);
+  return out;
+}
+
+double CompositionalModel::max_rate_for_shed(const opt::Config& config,
+                                             double shed_target) const {
+  shed_target = std::clamp(shed_target, 1e-9, 1.0 - 1e-9);
+  const double cap = capacity(config);
+  double lo = 1e-9;
+  double hi = std::max(cap, 1e-6);
+  for (int i = 0; i < 60 &&
+                  predict(config, hi).shed_fraction <= shed_target;
+       ++i) {
+    lo = hi;
+    hi *= 2.0;
+  }
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (predict(config, mid).shed_fraction <= shed_target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::size_t CompositionalModel::min_shards_for_shed(
+    double arrival_rate, const opt::Config& config, double shed_target,
+    std::size_t max_shards) const {
+  shed_target = std::clamp(shed_target, 1e-9, 1.0 - 1e-9);
+  for (std::size_t shards = 1; shards <= max_shards; ++shards) {
+    const double per_shard = arrival_rate / static_cast<double>(shards);
+    if (predict(config, per_shard).shed_fraction <= shed_target) return shards;
+  }
+  return max_shards + 1;
+}
+
+CompositionalModel::Best CompositionalModel::best_at(
+    const opt::ConfigSpace& space, double arrival_rate) const {
+  Best best;
+  bool first = true;
+  for (const opt::Config& cfg : space.all()) {
+    const Prediction pred = predict(cfg, arrival_rate);
+    const bool better =
+        first || pred.throughput > best.prediction.throughput * (1.0 + 1e-9) ||
+        (pred.throughput > best.prediction.throughput * (1.0 - 1e-9) &&
+         pred.p99 < best.prediction.p99);
+    if (better) {
+      best.config = cfg;
+      best.prediction = pred;
+      first = false;
+    }
+  }
+  return best;
+}
+
+std::vector<opt::Observation> CompositionalModel::closed_surface(
+    const opt::ConfigSpace& space) const {
+  std::vector<opt::Observation> out;
+  for (const opt::Config& cfg : space.all()) {
+    out.push_back({cfg, closed_throughput(cfg)});
+  }
+  return out;
+}
+
+std::vector<opt::Observation> CompositionalModel::open_surface(
+    const opt::ConfigSpace& space, double arrival_rate) const {
+  std::vector<opt::Observation> out;
+  for (const opt::Config& cfg : space.all()) {
+    out.push_back({cfg, predict(cfg, arrival_rate).throughput});
+  }
+  return out;
+}
+
+}  // namespace autopn::model

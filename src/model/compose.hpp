@@ -1,0 +1,142 @@
+#pragma once
+// CompositionalModel — the end-to-end analytical performance model of the
+// serving pipeline (DESIGN.md §14). The pipeline is a composition of stages
+// with individually measurable costs, and the model composes one submodel
+// per stage:
+//
+//   wire/accept      fixed per-request overhead (decode + admission verdict
+//                    on the way in, response encode + flush on the way out),
+//                    fitted from the per-stage breakdown counters that
+//                    serve::ServeReport / net::NetServerReport expose;
+//   admission queue  M/M/c with watermark shedding (model/queue.hpp) —
+//                    serve::RequestQueue + the worker pool;
+//   service          contention-inflated PN-STM execution: one top-level
+//                    parallel-nesting transaction whose duration comes from
+//                    the sim::SurfaceModel machinery (Amdahl split across c
+//                    children, sibling/top-level conflict retry expansion,
+//                    saturation), with the free parameters fittable from
+//                    measured abort rates and probe windows (model/fit.hpp).
+//
+// From (t, c, arrival rate, workload mix) it predicts throughput, p50/p99
+// sojourn, shed fraction, utilization and abort rate — the warm-start prior
+// for opt::Smbo, the veto oracle for runtime::TuningController, and the
+// `autopn model` capacity what-if engine, cross-validated against the DES
+// in bench/des_vs_analytical.
+
+#include <cstddef>
+#include <vector>
+
+#include "model/queue.hpp"
+#include "opt/config_space.hpp"
+#include "opt/optimizer.hpp"
+#include "sim/surface.hpp"
+#include "sim/workload.hpp"
+
+namespace autopn::model {
+
+/// Fixed per-request wire overhead, additive to the sojourn (the socket
+/// front-end's cost; zero for the in-process serving path).
+struct WireCosts {
+  double accept_seconds = 0.0;  ///< decode -> admission verdict
+  double reply_seconds = 0.0;   ///< completion -> last byte flushed
+  [[nodiscard]] double total() const noexcept {
+    return accept_seconds + reply_seconds;
+  }
+};
+
+/// Static shape of the pipeline being modeled.
+struct PipelineParams {
+  sim::WorkloadParams workload;  ///< service-stage parameterization
+  int cores = 48;
+  std::size_t workers = 4;         ///< engine worker-pool size
+  std::size_t queue_capacity = 256;
+  /// Waiting depth at which admission sheds; 0 derives 3/4 of capacity
+  /// (serve::RequestQueue's rule).
+  std::size_t shed_watermark = 0;
+  WireCosts wire{};
+};
+
+/// One end-to-end prediction at a configuration and arrival rate.
+struct Prediction {
+  double throughput = 0.0;       ///< completed requests/s
+  double p50 = 0.0;              ///< end-to-end sojourn quantiles (seconds)
+  double p99 = 0.0;
+  double shed_fraction = 0.0;
+  double utilization = 0.0;      ///< worker-pool utilization
+  double mean_queue_wait = 0.0;  ///< enqueue -> dequeue (seconds)
+  double service_time = 0.0;     ///< mean dequeue -> commit, incl. retries
+  double abort_rate = 0.0;       ///< top-level abort probability
+};
+
+class CompositionalModel {
+ public:
+  explicit CompositionalModel(PipelineParams params);
+
+  [[nodiscard]] const PipelineParams& params() const noexcept { return params_; }
+
+  /// Open-loop prediction: Poisson arrivals at `arrival_rate` requests/s.
+  [[nodiscard]] Prediction predict(const opt::Config& config,
+                                   double arrival_rate) const;
+
+  /// Saturated (closed-loop) throughput: what the pipeline sustains when the
+  /// queue never starves — the KPI surface the online tuner optimizes. With
+  /// workers >= t this is exactly the surface model's mean throughput.
+  [[nodiscard]] double closed_throughput(const opt::Config& config) const;
+
+  /// Service-stage capacity: min(workers, t) servers at rate 1/service_time.
+  [[nodiscard]] double capacity(const opt::Config& config) const;
+
+  /// Mean contention-inflated service time of one request (seconds).
+  [[nodiscard]] double service_time(const opt::Config& config) const;
+
+  /// q-quantile of the service time: geometric retry mixture over the
+  /// single-attempt duration (the p99 driver under contention).
+  [[nodiscard]] double service_quantile(const opt::Config& config,
+                                        double q) const;
+
+  // ---- capacity what-ifs -------------------------------------------------
+
+  /// Largest arrival rate whose predicted shed fraction stays <= target
+  /// (bisection; shed is monotone in the rate).
+  [[nodiscard]] double max_rate_for_shed(const opt::Config& config,
+                                         double shed_target) const;
+
+  /// Smallest number of identical shards (arrivals split evenly) keeping the
+  /// per-shard shed fraction <= target; returns max_shards+1 when even that
+  /// many are insufficient.
+  [[nodiscard]] std::size_t min_shards_for_shed(double arrival_rate,
+                                                const opt::Config& config,
+                                                double shed_target,
+                                                std::size_t max_shards = 64) const;
+
+  /// Best configuration by predicted throughput at an arrival rate (ties
+  /// break toward lower p99).
+  struct Best {
+    opt::Config config{};
+    Prediction prediction{};
+  };
+  [[nodiscard]] Best best_at(const opt::ConfigSpace& space,
+                             double arrival_rate) const;
+
+  // ---- tuner-facing surfaces --------------------------------------------
+
+  /// Predicted closed-loop KPI at every configuration of the space — the
+  /// pseudo-observation surface injected as an opt::Prior.
+  [[nodiscard]] std::vector<opt::Observation> closed_surface(
+      const opt::ConfigSpace& space) const;
+
+  /// Same, open-loop at a fixed arrival rate (throughput KPI).
+  [[nodiscard]] std::vector<opt::Observation> open_surface(
+      const opt::ConfigSpace& space, double arrival_rate) const;
+
+ private:
+  /// The worker pool caps concurrent top-level transactions at `workers`:
+  /// contention math runs at the effective (min(t, workers), c).
+  [[nodiscard]] opt::Config effective(const opt::Config& config) const;
+  [[nodiscard]] std::size_t resolved_watermark() const;
+
+  PipelineParams params_;
+  sim::SurfaceModel surface_;
+};
+
+}  // namespace autopn::model

@@ -1,0 +1,82 @@
+#pragma once
+// Parameter fitting for the compositional model (DESIGN.md §14). The model
+// is only useful online if its free parameters come from the live system,
+// not from hand calibration, and the serving pipeline exposes two cheap
+// signal sources:
+//
+//   probe windows    a handful of live measurement windows at the pivot
+//                    configurations (1,1), (1,c_max), (t_mid,1), (t_max,1)
+//                    identify base_work, parallel_fraction and top_conflict
+//                    by inverting the surface equations — the warm-start path
+//                    (four windows instead of a nine-point blind bootstrap);
+//   counter windows  one steady-state serving window's per-stage breakdown
+//                    (accept/service/reply means, top-level abort rate from
+//                    the ContentionProfiler) rescales base_work and
+//                    top_conflict in place and yields the wire costs — the
+//                    keep-the-model-honest path while serving.
+//
+// Fits are deliberately tolerant: every inverted parameter is clamped to its
+// physical range and falls back to the base value when a probe is missing or
+// lands in a regime where the parameter is unidentifiable (e.g. the
+// contention floor). The model is a prior, not an oracle.
+
+#include <vector>
+
+#include "model/compose.hpp"
+#include "opt/config_space.hpp"
+#include "sim/workload.hpp"
+
+namespace autopn::model {
+
+/// One measured probe: a live window's mean throughput at a configuration.
+struct Probe {
+  opt::Config config{};
+  double throughput = 0.0;  ///< committed top-level transactions per second
+};
+
+/// The pivot configurations whose probes identify the model: (1,1),
+/// (1,c_max), (t_mid,1) and (t_max,1) for the given space, where t_mid is
+/// the grid point nearest sqrt(t_max). The mid-t pivot exists because a
+/// heavily contended workload floors (t_max,1) outright, and a floored probe
+/// only lower-bounds the hazard by ~log(cap)/t_max — too weak to warn the
+/// prior off the mid-t interior. The same floor observed at t_mid bounds the
+/// hazard ~sqrt(t_max) times harder.
+[[nodiscard]] std::vector<opt::Config> probe_configs(
+    const opt::ConfigSpace& space);
+
+/// Inverts the surface equations at the pivot probes to fit base_work (from
+/// (1,1)), parallel_fraction (from (1,c_max)) and top_conflict (from the
+/// t-axis probes) on top of `base`; parameters without a usable probe keep
+/// their base values. Every probe at (t>1, c=1) feeds the hazard fit: each
+/// yields a candidate hazard (exact inversion if unfloored, the floor's
+/// lower bound otherwise) and the candidate with the least squared log-error
+/// across all t-axis probes wins — noisy probes vote instead of the largest
+/// t silently dictating. Probes elsewhere are ignored.
+[[nodiscard]] sim::WorkloadParams fit_workload(sim::WorkloadParams base,
+                                               const std::vector<Probe>& probes,
+                                               int cores);
+
+/// Per-stage counters of one steady-state serving window, as surfaced by the
+/// serve::ServeReport / net::NetServerReport latency breakdown. Plain
+/// doubles so the model layer never depends on serve/net types.
+struct MeasuredWindow {
+  double mean_service_seconds = 0.0;  ///< dequeue -> commit, incl. retries
+  double abort_rate = 0.0;            ///< top-level abort probability
+  double accept_seconds = 0.0;        ///< mean decode -> enqueue
+  double reply_seconds = 0.0;         ///< mean completion -> flushed
+};
+
+struct FittedPipeline {
+  sim::WorkloadParams workload;
+  WireCosts wire{};
+};
+
+/// Rescales `base` so that the model's service time and abort probability at
+/// the window's configuration match the measured ones, and extracts the wire
+/// costs. Single-window drift correction — cheap enough to run every tuning
+/// window.
+[[nodiscard]] FittedPipeline fit_from_window(sim::WorkloadParams base,
+                                             const MeasuredWindow& window,
+                                             const opt::Config& at, int cores);
+
+}  // namespace autopn::model

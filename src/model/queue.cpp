@@ -1,0 +1,116 @@
+#include "model/queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autopn::model {
+
+double poisson_cdf_below(std::size_t m, double x) {
+  if (m == 0) return 0.0;
+  if (x <= 0.0) return 1.0;
+  if (x > 700.0) {
+    // exp(-x) underflows; a continuity-corrected normal approximation is
+    // accurate to ~1e-3 here, far inside the model's own error bars.
+    const double z = (static_cast<double>(m) - 0.5 - x) / std::sqrt(x);
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+  }
+  double term = std::exp(-x);
+  double sum = term;
+  for (std::size_t k = 1; k < m; ++k) {
+    term *= x / static_cast<double>(k);
+    sum += term;
+  }
+  return std::min(1.0, sum);
+}
+
+QueueSolution solve_queue(const QueueParams& params) {
+  const double lambda = std::max(params.arrival_rate, 1e-12);
+  const double mu = std::max(params.service_rate, 1e-12);
+  const std::size_t c = std::max<std::size_t>(params.servers, 1);
+  const std::size_t K = std::max<std::size_t>(params.watermark, 1);
+  const std::size_t last = c + K;  // arrivals blocked in this state
+
+  // Unnormalized state weights r_n = p_n / p_0 with periodic rescaling so
+  // heavily overloaded chains (lambda >> c*mu) cannot overflow.
+  std::vector<double> weight(last + 1);
+  weight[0] = 1.0;
+  double scale_applied = 0.0;  // log of total downscaling (diagnostic only)
+  for (std::size_t n = 1; n <= last; ++n) {
+    const double mu_n = static_cast<double>(std::min(n, c)) * mu;
+    weight[n] = weight[n - 1] * (lambda / mu_n);
+    if (weight[n] > 1e290) {
+      for (std::size_t i = 0; i <= n; ++i) weight[i] *= 1e-290;
+      scale_applied += std::log(1e290);
+    }
+  }
+  (void)scale_applied;
+  double total = 0.0;
+  for (double w : weight) total += w;
+  for (double& w : weight) w /= total;
+
+  QueueSolution out;
+  out.service_rate_ = mu;
+  out.servers_ = c;
+  out.shed_ = weight[last];
+  out.accepted_ = lambda * (1.0 - out.shed_);
+
+  double busy = 0.0;
+  double waiting = 0.0;
+  for (std::size_t n = 0; n <= last; ++n) {
+    busy += static_cast<double>(std::min(n, c)) * weight[n];
+    if (n > c) waiting += static_cast<double>(n - c) * weight[n];
+  }
+  out.utilization_ = busy / static_cast<double>(c);
+  out.mean_depth_ = waiting;
+  // Little's law on the waiting room, over admitted arrivals only.
+  out.mean_wait_ = out.accepted_ > 0.0 ? waiting / out.accepted_ : 0.0;
+
+  // PASTA: an admitted arrival sees state n with probability
+  // p_n / (1 - p_last); it waits iff all servers are busy (n >= c).
+  out.admit_state_.assign(weight.begin(), weight.end() - 1);
+  const double admit_total = 1.0 - out.shed_;
+  if (admit_total > 0.0) {
+    for (double& w : out.admit_state_) w /= admit_total;
+  }
+  double wait_prob = 0.0;
+  for (std::size_t n = c; n < out.admit_state_.size(); ++n) {
+    wait_prob += out.admit_state_[n];
+  }
+  out.wait_prob_ = wait_prob;
+  return out;
+}
+
+double QueueSolution::wait_cdf(double w) const {
+  if (w < 0.0) return 0.0;
+  const double x = static_cast<double>(servers_) * service_rate_ * w;
+  double cdf = 0.0;
+  for (std::size_t n = 0; n < admit_state_.size(); ++n) {
+    if (n < servers_) {
+      cdf += admit_state_[n];  // a free server: zero wait
+    } else {
+      // Erlang(n - c + 1, c*mu) CDF = P(Poisson(x) >= n - c + 1).
+      cdf += admit_state_[n] * (1.0 - poisson_cdf_below(n - servers_ + 1, x));
+    }
+  }
+  return cdf;
+}
+
+double QueueSolution::wait_quantile(double q) const {
+  q = std::clamp(q, 1e-9, 1.0 - 1e-9);
+  if (q <= 1.0 - wait_prob_) return 0.0;  // the no-wait atom covers it
+  // Bracket the quantile, then bisect the (monotone) mixture CDF.
+  double hi = 1.0 / (static_cast<double>(servers_) * service_rate_);
+  for (int i = 0; i < 80 && wait_cdf(hi) < q; ++i) hi *= 2.0;
+  double lo = 0.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (wait_cdf(mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace autopn::model

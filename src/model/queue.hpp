@@ -1,0 +1,84 @@
+#pragma once
+// Admission-queue submodel: an M/M/c queue with watermark shedding — the
+// analytical stand-in for serve::RequestQueue + the engine's worker pool
+// (DESIGN.md §14). Arrivals are Poisson at rate lambda; c servers each
+// complete requests at rate mu; an arrival that would find `watermark`
+// requests already waiting is shed (exactly RequestQueue::try_push's rule),
+// so the chain is birth-death over n = 0..c+watermark with arrivals blocked
+// in the last state.
+//
+// solve() computes the exact steady state of the finite chain: shed
+// probability, utilization, mean queue depth and the mean waiting time of
+// admitted requests (Little's law on the waiting room). Waiting-time
+// *quantiles* use the exact FCFS argument: an admitted arrival that sees n
+// in system waits Erlang(n - c + 1, c*mu) (n >= c), so the waiting CDF is a
+// PASTA-weighted Erlang mixture inverted by bisection. In the limits the
+// chain reduces to the textbook closed forms (M/M/1 waiting time, M/M/1/K
+// blocking, Erlang-C), which the unit tests pin.
+
+#include <cstddef>
+#include <vector>
+
+namespace autopn::model {
+
+/// One admission queue + worker pool, in steady state.
+struct QueueParams {
+  double arrival_rate = 0.0;   ///< lambda, requests/s offered
+  double service_rate = 1.0;   ///< mu, requests/s per server
+  std::size_t servers = 1;     ///< c, concurrent workers
+  /// Waiting requests at which admission sheds (RequestQueue semantics:
+  /// try_push rejects when depth >= watermark).
+  std::size_t watermark = 16;
+};
+
+/// Steady-state solution of the shedding M/M/c chain.
+class QueueSolution {
+ public:
+  /// Probability an arrival is shed (finds the waiting room full).
+  [[nodiscard]] double shed_probability() const noexcept { return shed_; }
+  /// Accepted throughput: lambda * (1 - shed).
+  [[nodiscard]] double accepted_rate() const noexcept { return accepted_; }
+  /// Mean busy servers / c.
+  [[nodiscard]] double utilization() const noexcept { return utilization_; }
+  /// Mean number of *waiting* requests (the observable queue depth).
+  [[nodiscard]] double mean_depth() const noexcept { return mean_depth_; }
+  /// Mean waiting time of an admitted request (seconds).
+  [[nodiscard]] double mean_wait() const noexcept { return mean_wait_; }
+  /// Probability an admitted request waits at all (Erlang-C analogue).
+  [[nodiscard]] double wait_probability() const noexcept { return wait_prob_; }
+
+  /// q-quantile (q in (0,1)) of the admitted-request waiting time, from the
+  /// exact Erlang-mixture CDF (bisection; ~1e-4 relative tolerance).
+  [[nodiscard]] double wait_quantile(double q) const;
+
+ private:
+  friend QueueSolution solve_queue(const QueueParams& params);
+
+  /// P(wait <= w) for an admitted request.
+  [[nodiscard]] double wait_cdf(double w) const;
+
+  double shed_ = 0.0;
+  double accepted_ = 0.0;
+  double utilization_ = 0.0;
+  double mean_depth_ = 0.0;
+  double mean_wait_ = 0.0;
+  double wait_prob_ = 0.0;
+  double service_rate_ = 1.0;
+  std::size_t servers_ = 1;
+  /// State distribution conditioned on admission: probability an admitted
+  /// arrival sees state n (index n = number in system, 0..c+watermark-1).
+  std::vector<double> admit_state_;
+};
+
+/// Solves the chain. Degenerate inputs are clamped (servers/watermark >= 1,
+/// rates >= tiny positive) rather than rejected, so callers can sweep
+/// parameter grids without guarding edges.
+[[nodiscard]] QueueSolution solve_queue(const QueueParams& params);
+
+/// CDF helper shared with tests: P(N < m) for N ~ Poisson(x), i.e. the
+/// Erlang(m, rate) CDF evaluated at t with x = rate * t is 1 - this.
+/// Switches to a continuity-corrected normal approximation for x > 700
+/// where exp(-x) underflows (error there is far below the model's own).
+[[nodiscard]] double poisson_cdf_below(std::size_t m, double x);
+
+}  // namespace autopn::model

@@ -42,6 +42,13 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
+/// Monotonic seconds for wire-stage stamps (only ever differenced).
+double mono_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 NetServer::NetServer(serve::ServeEngine& engine, HandlerTable handlers,
@@ -284,11 +291,17 @@ void NetServer::handle_request(Connection& conn, RequestFrame frame) {
   // The dispatcher calls respond exactly once, from any thread — the
   // ledger stays exact because respond always counts responses_enqueued
   // and deliver() accounts written-vs-dropped on the loop.
+  //
+  // Accept-stage cost: dispatch() runs admission synchronously on the loop
+  // thread (the engine path is submit(); a worker picks the request up
+  // later), so its duration is exactly decode→admission-verdict.
+  const double dispatched_at = mono_seconds();
   dispatcher_->dispatch(
       std::move(frame),
       [this, conn_id, request_id, wire_minor](ResponseFrame response) {
         respond(conn_id, request_id, wire_minor, std::move(response));
       });
+  accept_latency_.record(mono_seconds() - dispatched_at);
 }
 
 void NetServer::respond(std::uint64_t conn_id, std::uint64_t request_id,
@@ -304,12 +317,16 @@ void NetServer::respond(std::uint64_t conn_id, std::uint64_t request_id,
   std::vector<std::uint8_t> bytes;
   encode_response(bytes, response, wire_minor);
   responses_enqueued_.fetch_add(1, std::memory_order_relaxed);
-  loop_.post([this, conn_id, bytes = std::move(bytes)]() mutable {
-    deliver(conn_id, std::move(bytes));
+  // Reply-stage stamp: from here (the worker finished; the response exists
+  // as bytes) to the moment the last byte is flushed to the socket.
+  const double posted_at = mono_seconds();
+  loop_.post([this, conn_id, posted_at, bytes = std::move(bytes)]() mutable {
+    deliver(conn_id, std::move(bytes), posted_at);
   });
 }
 
-void NetServer::deliver(std::uint64_t conn_id, std::vector<std::uint8_t> bytes) {
+void NetServer::deliver(std::uint64_t conn_id, std::vector<std::uint8_t> bytes,
+                        double posted_at) {
   auto it = connections_.find(conn_id);
   if (it == connections_.end()) {
     // Mid-request disconnect: the connection died while its request was in
@@ -317,14 +334,17 @@ void NetServer::deliver(std::uint64_t conn_id, std::vector<std::uint8_t> bytes) 
     responses_dropped_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  send_bytes(*it->second, bytes, /*is_response=*/true);
+  send_bytes(*it->second, bytes, /*is_response=*/true, posted_at);
 }
 
 bool NetServer::send_bytes(Connection& conn, const std::vector<std::uint8_t>& bytes,
-                           bool is_response) {
+                           bool is_response, double posted_at) {
   conn.outbuf.insert(conn.outbuf.end(), bytes.begin(), bytes.end());
   conn.bytes_queued += bytes.size();
-  if (is_response) conn.response_ends.push_back(conn.bytes_queued);
+  if (is_response) {
+    conn.response_ends.push_back(conn.bytes_queued);
+    conn.response_posted.push_back(posted_at);
+  }
   return flush(conn.id);
 }
 
@@ -350,6 +370,8 @@ bool NetServer::flush(std::uint64_t conn_id) {
       while (!conn.response_ends.empty() &&
              conn.response_ends.front() <= conn.bytes_flushed) {
         conn.response_ends.erase(conn.response_ends.begin());
+        reply_latency_.record(mono_seconds() - conn.response_posted.front());
+        conn.response_posted.erase(conn.response_posted.begin());
         responses_written_.fetch_add(1, std::memory_order_relaxed);
       }
       continue;
@@ -488,6 +510,8 @@ NetServerReport NetServer::report() const {
   r.shed_responses = shed_responses_.load(std::memory_order_relaxed);
   r.backpressure_pauses = backpressure_pauses_.load(std::memory_order_relaxed);
   r.open_connections = open_connections_.load(std::memory_order_relaxed);
+  r.accept = accept_latency_.summary();
+  r.reply = reply_latency_.summary();
   return r;
 }
 

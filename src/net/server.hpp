@@ -80,6 +80,11 @@ struct NetServerReport {
   std::uint64_t shed_responses = 0;     ///< kShed/kClosing sent
   std::uint64_t backpressure_pauses = 0;  ///< reads paused on a full outbuf
   std::size_t open_connections = 0;
+  /// Wire-stage latency breakdown (the model's WireCosts inputs): accept is
+  /// decode→admission verdict (loop-thread dispatch cost per request), reply
+  /// is completion→last byte flushed (loop queueing + socket writes).
+  serve::LatencyRecorder::Summary accept;
+  serve::LatencyRecorder::Summary reply;
 };
 
 class NetServer {
@@ -140,6 +145,9 @@ class NetServer {
     /// how responses_written distinguishes fully-sent responses from bytes
     /// parked in the buffer when the connection dies.
     std::vector<std::uint64_t> response_ends;
+    /// Monotonic post time of each pending response, parallel to
+    /// response_ends — the reply-stage stamp (completion→flushed).
+    std::vector<double> response_posted;
     std::uint64_t bytes_queued = 0;
     std::uint64_t bytes_flushed = 0;
     EventLoop::TimerId handshake_timer = 0;
@@ -160,11 +168,13 @@ class NetServer {
   void respond(std::uint64_t conn_id, std::uint64_t request_id,
                std::uint16_t wire_minor, ResponseFrame response);
   /// Loop side: appends an encoded response to the connection (if alive).
-  void deliver(std::uint64_t conn_id, std::vector<std::uint8_t> bytes);
+  /// `posted_at` is the reply-stage stamp taken in respond().
+  void deliver(std::uint64_t conn_id, std::vector<std::uint8_t> bytes,
+               double posted_at);
   /// Returns false if the write path closed (and freed) the connection —
   /// the caller's `conn` reference is dangling and must not be touched.
   bool send_bytes(Connection& conn, const std::vector<std::uint8_t>& bytes,
-                  bool is_response);
+                  bool is_response, double posted_at = 0.0);
   bool flush(std::uint64_t conn_id);
   void update_interest(Connection& conn);
   void close_connection(std::uint64_t conn_id, CloseReason reason);
@@ -194,6 +204,10 @@ class NetServer {
   std::atomic<std::uint64_t> shed_responses_{0};
   std::atomic<std::uint64_t> backpressure_pauses_{0};
   std::atomic<std::size_t> open_connections_{0};
+  /// Wire-stage histograms: accept_ records on the loop thread only, reply_
+  /// on the loop thread at flush time (both recorders are thread-safe).
+  serve::LatencyRecorder accept_latency_{4};
+  serve::LatencyRecorder reply_latency_{4};
 
   std::mutex shutdown_mutex_;
   bool shut_down_ AUTOPN_GUARDED_BY(shutdown_mutex_) = false;

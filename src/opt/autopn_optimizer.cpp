@@ -11,8 +11,12 @@ AutoPnOptimizer::AutoPnOptimizer(const ConfigSpace& space, AutoPnParams params,
                                  std::uint64_t seed,
                                  std::unique_ptr<StopCriterion> stop)
     : space_(&space), params_(params), seed_(seed) {
-  smbo_ = std::make_unique<Smbo>(space, space.biased_sample(params.initial_samples),
-                                 std::move(stop), params.smbo, seed);
+  const std::size_t points = params_.prior.has_value()
+                                 ? params_.warm_bootstrap_points
+                                 : params_.bootstrap_points;
+  smbo_ = std::make_unique<Smbo>(space, space.biased_sample(points),
+                                 std::move(stop), params_.smbo, seed);
+  if (params_.prior.has_value()) smbo_->set_prior(*params_.prior);
 }
 
 std::optional<Config> AutoPnOptimizer::propose() {

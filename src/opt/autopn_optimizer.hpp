@@ -20,7 +20,15 @@ namespace autopn::opt {
 
 struct AutoPnParams {
   /// Initial biased boundary samples: 3, 5, 7 or 9 (paper default 9).
-  std::size_t initial_samples = 9;
+  std::size_t bootstrap_points = 9;
+  /// Optional warm-start prior (a model- or history-predicted KPI surface,
+  /// see opt::Prior). When set, the blind bootstrap shrinks to
+  /// `warm_bootstrap_points` pivot probes — the prior already encodes the
+  /// macro-shape the 9-point grid exists to discover — and the prior shapes
+  /// every surrogate fit until it decays.
+  std::optional<Prior> prior;
+  /// Bootstrap size used when `prior` is set (the three §V-A pivots).
+  std::size_t warm_bootstrap_points = 3;
   /// EI stop threshold as a fraction of the incumbent (paper: 1%-10%,
   /// default evaluation setting 10%).
   double ei_threshold = 0.10;

@@ -72,6 +72,36 @@ std::optional<Config> Smbo::model_step() {
                         static_cast<double>(obs.config.c)},
              obs.kpi);
   }
+  // Blend in the prior surface while live data is still scarce. Predicted
+  // KPIs are rescaled to the live level via the ratio of sums over the
+  // configurations present in both sets, so a model that gets the *shape*
+  // right but the *scale* wrong still steers exploration correctly.
+  if (prior_.has_value() && history().size() < prior_->decay_observations) {
+    double observed_sum = 0.0;
+    double predicted_sum = 0.0;
+    for (const Observation& prior_obs : prior_->observations) {
+      if (const auto live = kpi_of(prior_obs.config); live.has_value()) {
+        observed_sum += *live;
+        predicted_sum += prior_obs.kpi;
+      }
+    }
+    const double scale =
+        (observed_sum > 0.0 && predicted_sum > 0.0) ? observed_sum / predicted_sum
+                                                    : 1.0;
+    const std::size_t stride = std::max<std::size_t>(1, prior_->stride);
+    for (const Observation& prior_obs : prior_->observations) {
+      if (explored(prior_obs.config)) continue;  // live data wins outright
+      // Coarse lattice only (see Prior::stride): the surrogate must keep
+      // inter-lattice variance or EI dies and SMBO stops immediately.
+      if ((static_cast<std::size_t>(prior_obs.config.t) - 1) % stride != 0 ||
+          (static_cast<std::size_t>(prior_obs.config.c) - 1) % stride != 0) {
+        continue;
+      }
+      data.add(std::array{static_cast<double>(prior_obs.config.t),
+                          static_cast<double>(prior_obs.config.c)},
+               prior_obs.kpi * scale);
+    }
+  }
   // A fresh sub-seed per refresh keeps bootstrap draws independent across
   // iterations while preserving overall determinism.
   std::optional<ml::BaggingEnsemble> ensemble;

@@ -116,6 +116,28 @@ class StubbornStop final : public StopCriterion {
   double tolerance_;
 };
 
+/// Pseudo-observations injected into the surrogate's training set — the
+/// warm-start seam (DESIGN.md §14). A model (or recorded history) predicts a
+/// KPI surface; until `decay_observations` live windows have been measured,
+/// the unexplored part of that surface is added to every surrogate fit,
+/// affinely rescaled so its level matches the live observations (predictions
+/// shape the surface, measurements set the scale). After the decay horizon
+/// the prior vanishes and SMBO is purely data-driven. The seam is generic:
+/// opt/ does not know where the predictions come from.
+struct Prior {
+  std::vector<Observation> observations;
+  /// Live observations after which pseudo-observations are dropped.
+  std::size_t decay_observations = 12;
+  /// Pseudo-observations are injected only where t and c both lie on a
+  /// lattice of this stride ((t-1) % stride == 0, likewise c). A prior that
+  /// pins every configuration leaves the surrogate no residual variance, so
+  /// expected improvement collapses and SMBO stops after a single model
+  /// step; single-cell gaps keep EI alive around the prior's peak. Wider
+  /// gaps overshoot: EI then chases the large-variance holes at the edges
+  /// of the space instead of refining the peak. Stride 1 injects everything.
+  std::size_t stride = 2;
+};
+
 struct SmboParams {
   /// Bagged M5 learners in the surrogate (paper uses 10).
   std::size_t ensemble_size = 10;
@@ -150,6 +172,11 @@ class Smbo final : public BaseOptimizer {
   [[nodiscard]] std::optional<Config> propose() override;
   [[nodiscard]] std::string name() const override { return "smbo"; }
 
+  /// Installs a pseudo-observation prior (see Prior). Call before the first
+  /// propose(); replaces any previous prior.
+  void set_prior(Prior prior) { prior_ = std::move(prior); }
+  [[nodiscard]] bool has_prior() const noexcept { return prior_.has_value(); }
+
   /// Highest EI (as a fraction of the incumbent) at the last model refresh.
   [[nodiscard]] double last_max_ei_fraction() const noexcept {
     return last_max_ei_fraction_;
@@ -165,6 +192,7 @@ class Smbo final : public BaseOptimizer {
 
   const ConfigSpace* space_;
   std::vector<Config> initial_;
+  std::optional<Prior> prior_;
   std::size_t initial_cursor_ = 0;
   std::unique_ptr<StopCriterion> stop_;
   SmboParams params_;

@@ -147,7 +147,34 @@ double TuningController::kpi_of(const Measurement& measurement,
 
 TuningReport TuningController::tune() {
   TuningReport report;
+  opt::Config best_live_config{};
+  double best_live_kpi = 0.0;
   while (auto proposal = optimizer_->propose()) {
+    // Model veto: once a live incumbent exists, compare the advisor's
+    // prediction at the proposal with its prediction at that incumbent —
+    // a model-relative test, so the advisor's absolute scale cancels.
+    if (advisor_ != nullptr && params_.model_veto_band > 0.0 &&
+        best_live_kpi > 0.0) {
+      const double pred_ref = advisor_->predicted_kpi(best_live_config);
+      const double pred_prop = advisor_->predicted_kpi(*proposal);
+      if (pred_ref > 0.0) {
+        const double ratio = pred_prop / pred_ref;
+        if (ratio < 1.0 - params_.model_veto_band) {
+          ++veto_.flagged;
+          veto_.events.push_back(VetoEvent{clock_->now(), *proposal,
+                                           best_live_config, ratio,
+                                           params_.model_veto_blocks});
+          if (params_.model_veto_blocks) {
+            // Answer with a calibrated prediction (live scale x predicted
+            // ratio) instead of burning a window. Always below the incumbent
+            // (ratio < 1), so a synthetic KPI can never *win* the search.
+            ++veto_.blocked;
+            optimizer_->observe(*proposal, best_live_kpi * ratio);
+            continue;
+          }
+        }
+      }
+    }
     actuator_.apply(*proposal);
     const stm::StmStatsSnapshot before = stm_->stats();
     const Measurement m = run_live_window();
@@ -157,6 +184,10 @@ TuningReport TuningController::tune() {
     ++report.explorations;
     optimizer_->observe(*proposal, kpi);
     report.observations.push_back(opt::Observation{*proposal, kpi});
+    if (kpi > best_live_kpi) {
+      best_live_kpi = kpi;
+      best_live_config = *proposal;
+    }
 
     // Learn the adaptive-timeout reference from the sequential configuration
     // (always part of AutoPN's biased initial samples).

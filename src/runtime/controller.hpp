@@ -52,6 +52,28 @@ struct ControllerParams {
   /// declares the KPI monitor stalled and reverts the actuator to the last
   /// configuration whose window produced commits. 0 disables the watchdog.
   std::size_t watchdog_stall_windows = 2;
+  /// Model-veto band (DESIGN.md §14): with a ConfigAdvisor attached, a
+  /// proposal whose predicted KPI falls below (1 - band) x the prediction at
+  /// the best live configuration is flagged. Predictions are compared only
+  /// with each other, so the advisor's absolute scale cancels. 0 disables
+  /// the veto even when an advisor is attached.
+  double model_veto_band = 0.0;
+  /// When true, flagged proposals are not measured live: the optimizer is
+  /// answered with a calibrated prediction (best live KPI x predicted ratio)
+  /// so the search continues without burning a window on a predicted
+  /// regression. When false, vetoes are logged but windows still run.
+  bool model_veto_blocks = false;
+};
+
+/// Predicted-KPI oracle consulted before actuating an optimizer proposal.
+/// Implemented by model::TunerAdvisor; runtime/ stays model-agnostic.
+class ConfigAdvisor {
+ public:
+  virtual ~ConfigAdvisor() = default;
+  /// Predicted KPI at a configuration, on any fixed maximization scale. The
+  /// controller only ever compares two predictions, never a prediction with
+  /// a live measurement.
+  [[nodiscard]] virtual double predicted_kpi(const opt::Config& config) = 0;
 };
 
 /// One watchdog intervention (kept in WatchdogReport::events as a trace).
@@ -68,6 +90,22 @@ struct WatchdogReport {
   bool has_last_known_good = false;
   opt::Config last_known_good{};  ///< last configuration that produced commits
   std::vector<WatchdogEvent> events;
+};
+
+/// One model veto (kept in VetoReport::events as a trace).
+struct VetoEvent {
+  double at = 0.0;  ///< clock time of the veto
+  opt::Config proposal{};
+  opt::Config reference{};       ///< best live configuration at veto time
+  double predicted_ratio = 0.0;  ///< predicted(proposal) / predicted(reference)
+  bool blocked = false;          ///< answered synthetically instead of measured
+};
+
+/// Running account of model vetoes.
+struct VetoReport {
+  std::size_t flagged = 0;  ///< proposals outside the veto band
+  std::size_t blocked = 0;  ///< flagged proposals not measured live
+  std::vector<VetoEvent> events;
 };
 
 /// Summary of one completed tuning run.
@@ -106,6 +144,13 @@ class TuningController {
   /// latency fields carry real request latencies (enqueue→commit) instead of
   /// commit-to-commit gaps — the producer KpiKind::kLatency was missing.
   void set_latency_source(LatencySource* source) { latency_source_ = source; }
+
+  /// Attaches a predicted-KPI advisor (borrowed; may be nullptr). Vetoing
+  /// activates when ControllerParams::model_veto_band > 0.
+  void set_config_advisor(ConfigAdvisor* advisor) { advisor_ = advisor; }
+
+  /// Vetoes flagged and blocked so far.
+  [[nodiscard]] const VetoReport& vetoes() const noexcept { return veto_; }
 
   /// Feeds a steady-state sample to the change detector; returns true when a
   /// workload shift is detected (caller then re-runs tune()).
@@ -153,6 +198,8 @@ class TuningController {
   Actuator actuator_;
   CusumDetector cusum_;
   LatencySource* latency_source_ = nullptr;
+  ConfigAdvisor* advisor_ = nullptr;
+  VetoReport veto_;
 
   WatchdogReport watchdog_;
   std::size_t stall_streak_ = 0;  ///< consecutive zero-commit timeouts

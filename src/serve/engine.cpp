@@ -80,6 +80,10 @@ void ServeEngine::worker_loop(std::size_t index) {
     // Chaos hook (delay mode): stall the worker between dequeue and
     // execution — queued deadlines keep ticking, driving requests expired.
     AUTOPN_FAILPOINT("serve.worker.begin");
+    // Stage stamp: everything before this point is queue wait (an injected
+    // pre-execution stall counts as wait — it delays service, it is not
+    // service), everything after is execution.
+    const double dequeued = clock_->now();
     const double deadline = request->deadline;
     RequestResult result;
     result.tenant_id = request->tenant_id;
@@ -120,9 +124,11 @@ void ServeEngine::worker_loop(std::size_t index) {
       failed_.add(1);
     }
     result.outcome = outcome;
-    result.latency = clock_->now() - request->enqueue_time;
+    const double finished = clock_->now();
+    result.latency = finished - request->enqueue_time;
     if (outcome == RequestOutcome::kCompleted) {
       kpi_.record(result.latency, request->tenant_id);
+      kpi_.record_stages(dequeued - request->enqueue_time, finished - dequeued);
     }
     if (request->on_complete) request->on_complete(result);
   }
@@ -149,6 +155,8 @@ ServeReport ServeEngine::report() const {
                     : 0.0;
   r.retry_after_hint = retry_after_hint(r.queue_depth);
   r.latency = kpi_.latency_summary();
+  r.queue_wait = kpi_.queue_wait_summary();
+  r.service = kpi_.service_summary();
   for (std::size_t slot = 0; slot < ServiceKpiSource::kTenantSlots; ++slot) {
     auto summary = kpi_.tenant_summary(slot);
     if (summary.count == 0) continue;

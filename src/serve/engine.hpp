@@ -70,6 +70,12 @@ struct ServeReport {
   /// surfaced continuously so SLO reports and the wire can see it.
   double retry_after_hint = 0.0;
   LatencyRecorder::Summary latency;  ///< enqueue→commit, seconds
+  /// Per-stage breakdown of the end-to-end latency (completed requests):
+  /// latency ≈ queue_wait + service. These are the production counters the
+  /// compositional model fits its queue and service submodels from
+  /// (DESIGN.md §14) — no bench run needed.
+  LatencyRecorder::Summary queue_wait;  ///< enqueue→dequeue, seconds
+  LatencyRecorder::Summary service;     ///< dequeue→commit, seconds
 
   /// Per-tenant latency (only slots that completed ≥ 1 request). `tenant`
   /// is the KPI source's slot index (tenant id modulo its slot count).

@@ -4,6 +4,8 @@ namespace autopn::serve {
 
 ServiceKpiSource::ServiceKpiSource(std::size_t stripes)
     : recorder_(stripes),
+      queue_wait_(stripes),
+      service_(stripes),
       buffers_(util::ceil_pow2(stripes == 0 ? 1 : stripes)),
       mask_(buffers_.size() - 1) {
   tenants_.reserve(kTenantSlots);
@@ -21,6 +23,12 @@ void ServiceKpiSource::record(double latency_seconds, std::uint16_t tenant_id) {
   if (buffer.samples.size() < kMaxBufferedSamples) {
     buffer.samples.push_back(latency_seconds);
   }
+}
+
+void ServiceKpiSource::record_stages(double queue_wait_seconds,
+                                     double service_seconds) {
+  queue_wait_.record(queue_wait_seconds);
+  service_.record(service_seconds);
 }
 
 std::vector<double> ServiceKpiSource::drain_latencies() {

@@ -34,6 +34,12 @@ class ServiceKpiSource final : public runtime::LatencySource {
   /// for the window buffer.
   void record(double latency_seconds, std::uint16_t tenant_id = 0);
 
+  /// Per-stage breakdown of one completed request: time spent waiting in the
+  /// admission queue (enqueue→dequeue) and in execution (dequeue→commit).
+  /// Recorded alongside record(); separate call so callers without stage
+  /// stamps (tests, synthetic sources) keep the simple signature.
+  void record_stages(double queue_wait_seconds, double service_seconds);
+
   /// runtime::LatencySource: hands over (and clears) the samples recorded
   /// since the previous drain.
   [[nodiscard]] std::vector<double> drain_latencies() override;
@@ -41,6 +47,14 @@ class ServiceKpiSource final : public runtime::LatencySource {
   [[nodiscard]] std::uint64_t completed() const { return completed_.load(); }
   [[nodiscard]] LatencyRecorder::Summary latency_summary() const {
     return recorder_.summary();
+  }
+  /// Cumulative enqueue→dequeue waiting time of completed requests.
+  [[nodiscard]] LatencyRecorder::Summary queue_wait_summary() const {
+    return queue_wait_.summary();
+  }
+  /// Cumulative dequeue→commit execution time of completed requests.
+  [[nodiscard]] LatencyRecorder::Summary service_summary() const {
+    return service_.summary();
   }
 
   [[nodiscard]] static constexpr std::size_t tenant_slot(
@@ -52,10 +66,14 @@ class ServiceKpiSource final : public runtime::LatencySource {
     return tenants_[slot % kTenantSlots]->summary();
   }
 
-  /// Clears the cumulative histogram (not the window buffers or the
+  /// Clears the cumulative histograms (not the window buffers or the
   /// completion counter) — benches use it to measure steady-state SLOs
   /// after a tuning transient.
-  void reset_latency_histogram() { recorder_.reset(); }
+  void reset_latency_histogram() {
+    recorder_.reset();
+    queue_wait_.reset();
+    service_.reset();
+  }
 
   /// Mean completion rate (requests/s) since mark_start; the engine's
   /// retry-after hints are derived from it.
@@ -76,6 +94,9 @@ class ServiceKpiSource final : public runtime::LatencySource {
   };
 
   LatencyRecorder recorder_;
+  /// Stage histograms behind record_stages() (same striping as recorder_).
+  LatencyRecorder queue_wait_;
+  LatencyRecorder service_;
   /// Per-tenant recorders, fewer stripes than the global one (per-tenant
   /// traffic is a fraction of the total). unique_ptr because LatencyRecorder
   /// is neither copyable nor movable.

@@ -1,0 +1,267 @@
+// Tests for the compositional pipeline model and its parameter fitting: the
+// service stage must agree with the SurfaceModel it wraps, predictions must
+// behave monotonically in the offered load, the capacity what-ifs must be
+// self-consistent with predict(), and the probe-window fit must recover
+// perturbed workload parameters from exact probes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/compose.hpp"
+#include "model/fit.hpp"
+#include "sim/surface.hpp"
+#include "sim/workload.hpp"
+
+namespace autopn::model {
+namespace {
+
+PipelineParams tpcc_pipeline(std::size_t workers) {
+  PipelineParams p;
+  p.workload = sim::workload_by_name("tpcc-med");
+  p.cores = 48;
+  p.workers = workers;
+  p.queue_capacity = 256;
+  return p;
+}
+
+TEST(CompositionalModel, ClosedThroughputMatchesSurfaceWithinWorkerBudget) {
+  const CompositionalModel model{tpcc_pipeline(8)};
+  const sim::SurfaceModel surface{sim::workload_by_name("tpcc-med"), 48};
+  for (const opt::Config cfg : {opt::Config{1, 1}, opt::Config{4, 4},
+                                opt::Config{8, 2}, opt::Config{2, 9}}) {
+    EXPECT_DOUBLE_EQ(model.closed_throughput(cfg),
+                     surface.mean_throughput(cfg))
+        << cfg.to_string();
+    EXPECT_DOUBLE_EQ(model.service_time(cfg), surface.mean_latency(cfg));
+  }
+}
+
+TEST(CompositionalModel, WorkerPoolCapsEffectiveTopDegree) {
+  // With 4 workers, t > 4 cannot run more than 4 concurrent top-level
+  // transactions: every prediction at (16,1) equals the one at (4,1).
+  const CompositionalModel model{tpcc_pipeline(4)};
+  EXPECT_DOUBLE_EQ(model.closed_throughput({16, 1}),
+                   model.closed_throughput({4, 1}));
+  EXPECT_DOUBLE_EQ(model.capacity({16, 1}), model.capacity({4, 1}));
+  const Prediction a = model.predict({16, 1}, 500.0);
+  const Prediction b = model.predict({4, 1}, 500.0);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_DOUBLE_EQ(a.p99, b.p99);
+}
+
+TEST(CompositionalModel, LowRateFlowsThroughUnshedded) {
+  const CompositionalModel model{tpcc_pipeline(8)};
+  const opt::Config cfg{4, 4};
+  const double rate = 0.2 * model.capacity(cfg);
+  const Prediction pred = model.predict(cfg, rate);
+  EXPECT_LT(pred.shed_fraction, 1e-9);
+  EXPECT_NEAR(pred.throughput, rate, rate * 1e-9);
+  EXPECT_GE(pred.p99, pred.p50);
+  // The sojourn is at least the service stage itself.
+  EXPECT_GE(pred.p50, model.service_quantile(cfg, 0.5) - 1e-12);
+}
+
+TEST(CompositionalModel, OverloadShedsDownToCapacity) {
+  const CompositionalModel model{tpcc_pipeline(8)};
+  const opt::Config cfg{4, 4};
+  const double cap = model.capacity(cfg);
+  const Prediction pred = model.predict(cfg, 3.0 * cap);
+  EXPECT_GT(pred.shed_fraction, 0.4);
+  EXPECT_LE(pred.throughput, cap * 1.001);
+  // Accepted throughput is exactly the non-shed fraction of the offered load.
+  EXPECT_NEAR(pred.throughput, 3.0 * cap * (1.0 - pred.shed_fraction),
+              cap * 1e-9);
+  EXPECT_GT(pred.utilization, 0.95);
+}
+
+TEST(CompositionalModel, PredictionsMonotoneInArrivalRate) {
+  const CompositionalModel model{tpcc_pipeline(8)};
+  const opt::Config cfg{4, 4};
+  const double cap = model.capacity(cfg);
+  double prev_thr = -1.0;
+  double prev_shed = -1.0;
+  double prev_p99 = -1.0;
+  for (double frac = 0.2; frac <= 2.4; frac += 0.2) {
+    const Prediction pred = model.predict(cfg, frac * cap);
+    EXPECT_GE(pred.throughput, prev_thr - 1e-9) << "frac=" << frac;
+    EXPECT_GE(pred.shed_fraction, prev_shed) << "frac=" << frac;
+    EXPECT_GE(pred.p99, prev_p99 - 1e-12) << "frac=" << frac;
+    prev_thr = pred.throughput;
+    prev_shed = pred.shed_fraction;
+    prev_p99 = pred.p99;
+  }
+}
+
+TEST(CompositionalModel, WireCostsShiftSojournOnly) {
+  PipelineParams with_wire = tpcc_pipeline(8);
+  with_wire.wire.accept_seconds = 2e-4;
+  with_wire.wire.reply_seconds = 3e-4;
+  const CompositionalModel bare{tpcc_pipeline(8)};
+  const CompositionalModel wired{with_wire};
+  const opt::Config cfg{4, 4};
+  const double rate = 0.5 * bare.capacity(cfg);
+  const Prediction a = bare.predict(cfg, rate);
+  const Prediction b = wired.predict(cfg, rate);
+  EXPECT_DOUBLE_EQ(b.throughput, a.throughput);
+  EXPECT_NEAR(b.p50 - a.p50, 5e-4, 1e-12);
+  EXPECT_NEAR(b.p99 - a.p99, 5e-4, 1e-12);
+}
+
+TEST(CompositionalModel, MaxRateForShedInvertsPredict) {
+  const CompositionalModel model{tpcc_pipeline(8)};
+  const opt::Config cfg{4, 4};
+  const double target = 0.01;
+  const double rate = model.max_rate_for_shed(cfg, target);
+  EXPECT_GT(rate, 0.0);
+  EXPECT_LE(model.predict(cfg, rate).shed_fraction, target * 1.01);
+  EXPECT_GT(model.predict(cfg, rate * 1.25).shed_fraction, target);
+}
+
+TEST(CompositionalModel, MinShardsForShedIsMinimal) {
+  const CompositionalModel model{tpcc_pipeline(8)};
+  const opt::Config cfg{4, 4};
+  const double target = 0.01;
+  const double rate = 5.0 * model.capacity(cfg);
+  const std::size_t shards = model.min_shards_for_shed(rate, cfg, target);
+  ASSERT_GE(shards, 2u);
+  ASSERT_LE(shards, 64u);
+  EXPECT_LE(model.predict(cfg, rate / shards).shed_fraction, target);
+  EXPECT_GT(model.predict(cfg, rate / (shards - 1)).shed_fraction, target);
+}
+
+TEST(CompositionalModel, BestAtDominatesCornerConfigs) {
+  const CompositionalModel model{tpcc_pipeline(16)};
+  const opt::ConfigSpace space{48};
+  const double rate = 400.0;
+  const auto best = model.best_at(space, rate);
+  EXPECT_TRUE(space.valid(best.config));
+  for (const opt::Config cfg : {opt::Config{1, 1}, opt::Config{1, 48},
+                                opt::Config{48, 1}}) {
+    EXPECT_GE(best.prediction.throughput,
+              model.predict(cfg, rate).throughput - 1e-9)
+        << cfg.to_string();
+  }
+}
+
+TEST(CompositionalModel, SurfacesCoverTheSpace) {
+  const CompositionalModel model{tpcc_pipeline(8)};
+  const opt::ConfigSpace space{48};
+  const auto closed = model.closed_surface(space);
+  const auto open = model.open_surface(space, 300.0);
+  EXPECT_EQ(closed.size(), space.size());
+  EXPECT_EQ(open.size(), space.size());
+  for (const auto& obs : closed) {
+    EXPECT_TRUE(space.valid(obs.config));
+    EXPECT_GT(obs.kpi, 0.0);
+  }
+  // Open-loop KPIs never exceed the offered rate.
+  for (const auto& obs : open) EXPECT_LE(obs.kpi, 300.0 + 1e-9);
+}
+
+// ---- fitting -------------------------------------------------------------
+
+sim::WorkloadParams synthetic_truth() {
+  sim::WorkloadParams p;
+  p.name = "synthetic";
+  p.base_work = 5e-4;
+  p.parallel_fraction = 0.6;
+  p.child_speedup_exponent = 0.9;
+  p.spawn_overhead = 1e-5;
+  p.batch_overhead = 2e-5;
+  p.top_conflict = 0.02;
+  p.sibling_conflict = 0.01;
+  p.saturation = 0.2;
+  return p;
+}
+
+TEST(Fit, ProbeConfigsAreThePivots) {
+  const opt::ConfigSpace space{48};
+  const auto probes = probe_configs(space);
+  ASSERT_EQ(probes.size(), 4u);
+  EXPECT_EQ(probes[0], (opt::Config{1, 1}));
+  EXPECT_EQ(probes[1], (opt::Config{1, 48}));
+  EXPECT_EQ(probes[2], (opt::Config{7, 1}));  // nearest grid t to sqrt(48)
+  EXPECT_EQ(probes[3], (opt::Config{48, 1}));
+}
+
+TEST(Fit, RecoversPerturbedParametersFromExactProbes) {
+  const sim::WorkloadParams truth = synthetic_truth();
+  const sim::SurfaceModel oracle{truth, 48};
+  const opt::ConfigSpace space{48};
+
+  std::vector<Probe> probes;
+  for (const opt::Config& cfg : probe_configs(space)) {
+    probes.push_back({cfg, oracle.mean_throughput(cfg)});
+  }
+
+  // Start from a badly mis-calibrated copy; only the three fitted fields
+  // differ from the truth.
+  sim::WorkloadParams base = truth;
+  base.base_work = 2e-3;
+  base.parallel_fraction = 0.2;
+  base.top_conflict = 0.3;
+  const sim::WorkloadParams fitted = fit_workload(base, probes, 48);
+
+  EXPECT_NEAR(fitted.base_work, truth.base_work, truth.base_work * 0.01);
+  EXPECT_NEAR(fitted.parallel_fraction, truth.parallel_fraction, 0.02);
+  EXPECT_NEAR(fitted.top_conflict, truth.top_conflict,
+              truth.top_conflict * 0.05);
+
+  // The recovered surface reproduces the oracle away from the pivots too.
+  const sim::SurfaceModel refit{fitted, 48};
+  for (const opt::Config cfg : {opt::Config{4, 4}, opt::Config{8, 2},
+                                opt::Config{12, 4}}) {
+    const double want = oracle.mean_throughput(cfg);
+    EXPECT_NEAR(refit.mean_throughput(cfg), want, want * 0.05)
+        << cfg.to_string();
+  }
+}
+
+TEST(Fit, MissingProbesKeepBaseValues) {
+  sim::WorkloadParams base = synthetic_truth();
+  const sim::WorkloadParams fitted = fit_workload(base, {}, 48);
+  EXPECT_DOUBLE_EQ(fitted.base_work, base.base_work);
+  EXPECT_DOUBLE_EQ(fitted.parallel_fraction, base.parallel_fraction);
+  EXPECT_DOUBLE_EQ(fitted.top_conflict, base.top_conflict);
+}
+
+TEST(Fit, WindowFitRescalesServiceAndCopiesWire) {
+  const sim::WorkloadParams base = synthetic_truth();
+  const sim::SurfaceModel surface{base, 48};
+  const opt::Config at{4, 4};
+
+  MeasuredWindow window;
+  window.mean_service_seconds = 2.0 * surface.mean_latency(at);
+  window.accept_seconds = 3e-5;
+  window.reply_seconds = 7e-5;
+  const FittedPipeline fitted = fit_from_window(base, window, at, 48);
+
+  // One multiplicative correction step: base_work scales by exactly the
+  // measured/predicted service ratio.
+  EXPECT_NEAR(fitted.workload.base_work, 2.0 * base.base_work,
+              base.base_work * 1e-9);
+  EXPECT_DOUBLE_EQ(fitted.wire.accept_seconds, 3e-5);
+  EXPECT_DOUBLE_EQ(fitted.wire.reply_seconds, 7e-5);
+}
+
+TEST(Fit, WindowFitMovesHazardTowardMeasuredAbortRate) {
+  const sim::WorkloadParams base = synthetic_truth();
+  const sim::SurfaceModel surface{base, 48};
+  const opt::Config at{8, 2};
+  const double predicted = surface.top_abort_probability(at);
+  ASSERT_GT(predicted, 0.0);
+  ASSERT_LT(predicted, 1.0);
+
+  MeasuredWindow hotter;
+  hotter.abort_rate = std::min(0.95, predicted * 1.5);
+  EXPECT_GT(fit_from_window(base, hotter, at, 48).workload.top_conflict,
+            base.top_conflict);
+
+  MeasuredWindow cooler;
+  cooler.abort_rate = predicted * 0.5;
+  EXPECT_LT(fit_from_window(base, cooler, at, 48).workload.top_conflict,
+            base.top_conflict);
+}
+
+}  // namespace
+}  // namespace autopn::model

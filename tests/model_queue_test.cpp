@@ -1,0 +1,166 @@
+// Tests for the admission-queue submodel: the finite shedding M/M/c chain
+// must reduce to the textbook closed forms in the limits (M/M/1 waiting
+// time, M/M/1/K blocking, Erlang-C), behave monotonically in the offered
+// load, and invert its own waiting-time CDF consistently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/queue.hpp"
+
+namespace autopn::model {
+namespace {
+
+TEST(PoissonCdf, KnownValues) {
+  // P(N < 1) = P(N = 0) = e^-x.
+  EXPECT_NEAR(poisson_cdf_below(1, 2.0), std::exp(-2.0), 1e-12);
+  // P(N < 3) for Poisson(2): e^-2 (1 + 2 + 2) = 5 e^-2.
+  EXPECT_NEAR(poisson_cdf_below(3, 2.0), 5.0 * std::exp(-2.0), 1e-12);
+  // Degenerate edges.
+  EXPECT_DOUBLE_EQ(poisson_cdf_below(0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(poisson_cdf_below(3, 0.0), 1.0);
+}
+
+TEST(PoissonCdf, NormalApproximationRegime) {
+  // Beyond x = 700 the exact series would underflow and the implementation
+  // switches to a continuity-corrected normal approximation. At the median
+  // (m ~ x) the CDF must sit near 1/2, and the far tails must saturate.
+  EXPECT_NEAR(poisson_cdf_below(750, 750.0), 0.5, 0.03);
+  EXPECT_LT(poisson_cdf_below(1, 800.0), 1e-6);
+  EXPECT_GT(poisson_cdf_below(2000, 800.0), 1.0 - 1e-6);
+  // The two evaluation paths agree where they hand over (same m, nearby x).
+  EXPECT_NEAR(poisson_cdf_below(700, 699.0), poisson_cdf_below(700, 701.0),
+              0.05);
+}
+
+TEST(QueueSolution, MatchesMm1MeanWait) {
+  // c = 1 with a huge waiting room is plain M/M/1: Wq = rho / (mu - lambda).
+  QueueParams params;
+  params.arrival_rate = 50.0;
+  params.service_rate = 100.0;
+  params.servers = 1;
+  params.watermark = 2000;
+  const QueueSolution s = solve_queue(params);
+  EXPECT_LT(s.shed_probability(), 1e-12);
+  EXPECT_NEAR(s.accepted_rate(), 50.0, 1e-6);
+  EXPECT_NEAR(s.utilization(), 0.5, 1e-9);
+  EXPECT_NEAR(s.mean_wait(), 0.5 / (100.0 - 50.0), 1e-9);
+  // P(wait > 0) = rho for M/M/1 (PASTA).
+  EXPECT_NEAR(s.wait_probability(), 0.5, 1e-9);
+}
+
+TEST(QueueSolution, MatchesMm1WaitQuantile) {
+  // M/M/1 waiting time: P(Wq <= w) = 1 - rho e^{-(mu-lambda) w}, so the
+  // q-quantile (q > 1 - rho) is ln(rho / (1-q)) / (mu - lambda).
+  QueueParams params;
+  params.arrival_rate = 50.0;
+  params.service_rate = 100.0;
+  params.servers = 1;
+  params.watermark = 2000;
+  const QueueSolution s = solve_queue(params);
+  const double rho = 0.5;
+  for (const double q : {0.6, 0.9, 0.99}) {
+    const double expected = std::log(rho / (1.0 - q)) / (100.0 - 50.0);
+    EXPECT_NEAR(s.wait_quantile(q), expected, expected * 1e-3 + 1e-9)
+        << "q=" << q;
+  }
+  // Below the atom at zero (q <= 1 - rho) the quantile is exactly 0.
+  EXPECT_DOUBLE_EQ(s.wait_quantile(0.4), 0.0);
+}
+
+TEST(QueueSolution, MatchesMm1kBlocking) {
+  // servers = 1, watermark = K blocks arrivals at n = K + 1 in system, i.e.
+  // M/M/1/N with N = K + 1: P_block = (1-rho) rho^N / (1 - rho^{N+1}).
+  QueueParams params;
+  params.arrival_rate = 80.0;
+  params.service_rate = 100.0;
+  params.servers = 1;
+  params.watermark = 4;
+  const QueueSolution s = solve_queue(params);
+  const double rho = 0.8;
+  const int n = 5;
+  const double expected = (1.0 - rho) * std::pow(rho, n) /
+                          (1.0 - std::pow(rho, n + 1));
+  EXPECT_NEAR(s.shed_probability(), expected, 1e-12);
+  EXPECT_NEAR(s.accepted_rate(), 80.0 * (1.0 - expected), 1e-9);
+}
+
+TEST(QueueSolution, MatchesErlangCWaitProbability) {
+  // c = 4, a = lambda/mu = 3, rho = 0.75: Erlang-C gives P(wait) ~ 0.509434
+  // and Wq = C / (c mu - lambda).
+  QueueParams params;
+  params.arrival_rate = 300.0;
+  params.service_rate = 100.0;
+  params.servers = 4;
+  params.watermark = 4000;
+  const QueueSolution s = solve_queue(params);
+  const double a = 3.0;
+  const double rho = 0.75;
+  double denom = 0.0;
+  double term = 1.0;  // a^k / k!
+  for (int k = 0; k < 4; ++k) {
+    denom += term;
+    term *= a / (k + 1);
+  }
+  const double erlang_c = term / (1.0 - rho) / (denom + term / (1.0 - rho));
+  EXPECT_NEAR(s.wait_probability(), erlang_c, 1e-6);
+  EXPECT_NEAR(s.mean_wait(), erlang_c / (400.0 - 300.0), 1e-8);
+  EXPECT_NEAR(s.utilization(), rho, 1e-9);
+}
+
+TEST(QueueSolution, ShedAndWaitMonotoneInArrivalRate) {
+  QueueParams params;
+  params.service_rate = 100.0;
+  params.servers = 2;
+  params.watermark = 8;
+  double prev_shed = -1.0;
+  double prev_wait = -1.0;
+  for (double lambda = 50.0; lambda <= 500.0; lambda += 50.0) {
+    params.arrival_rate = lambda;
+    const QueueSolution s = solve_queue(params);
+    EXPECT_GE(s.shed_probability(), prev_shed) << "lambda=" << lambda;
+    EXPECT_GE(s.mean_wait(), prev_wait - 1e-12) << "lambda=" << lambda;
+    EXPECT_GE(s.shed_probability(), 0.0);
+    EXPECT_LE(s.shed_probability(), 1.0);
+    EXPECT_LE(s.utilization(), 1.0 + 1e-12);
+    prev_shed = s.shed_probability();
+    prev_wait = s.mean_wait();
+  }
+  // Far beyond saturation nearly everything is shed.
+  params.arrival_rate = 1e5;
+  EXPECT_GT(solve_queue(params).shed_probability(), 0.99);
+}
+
+TEST(QueueSolution, QuantilesMonotoneInQ) {
+  QueueParams params;
+  params.arrival_rate = 180.0;
+  params.service_rate = 100.0;
+  params.servers = 2;
+  params.watermark = 32;
+  const QueueSolution s = solve_queue(params);
+  const double q50 = s.wait_quantile(0.5);
+  const double q90 = s.wait_quantile(0.9);
+  const double q99 = s.wait_quantile(0.99);
+  EXPECT_GE(q50, 0.0);
+  EXPECT_LE(q50, q90);
+  EXPECT_LE(q90, q99);
+  EXPECT_GT(q99, 0.0);
+}
+
+TEST(QueueSolution, DegenerateInputsAreClamped) {
+  // Zero rate, zero servers, zero watermark: solve_queue clamps instead of
+  // rejecting so parameter sweeps need no edge guards.
+  QueueParams params;
+  params.arrival_rate = 0.0;
+  params.service_rate = 0.0;
+  params.servers = 0;
+  params.watermark = 0;
+  const QueueSolution s = solve_queue(params);
+  EXPECT_GE(s.shed_probability(), 0.0);
+  EXPECT_LE(s.shed_probability(), 1.0);
+  EXPECT_GE(s.mean_wait(), 0.0);
+  EXPECT_DOUBLE_EQ(s.wait_quantile(0.5), s.wait_quantile(0.5));  // not NaN
+}
+
+}  // namespace
+}  // namespace autopn::model

@@ -1,0 +1,112 @@
+// Cross-validation property test: the compositional model's closed-loop
+// throughput must track the discrete-event simulator over the canned
+// moderate-contention workloads — same configuration ordering (rank
+// agreement) and absolute values within a stated factor. The DES is the
+// high-fidelity substitute (DESIGN.md §3); the model is its cheap analytical
+// shadow, so agreement here is what licenses using model predictions as a
+// warm-start prior and veto oracle. Extremes (array-90 style) are excluded
+// deliberately: the two substitutes model the starvation regime differently
+// (see bench/des_vs_analytical).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "model/compose.hpp"
+#include "sim/des.hpp"
+#include "sim/workload.hpp"
+
+namespace autopn::model {
+namespace {
+
+constexpr int kCores = 48;
+
+/// Spearman rank correlation of two equally-long value lists.
+double spearman(const std::vector<double>& a, const std::vector<double>& b) {
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<std::size_t> order(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) { return v[x] < v[y]; });
+    std::vector<double> rank(v.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      rank[order[i]] = static_cast<double>(i);
+    }
+    return rank;
+  };
+  const auto ra = ranks(a);
+  const auto rb = ranks(b);
+  const auto n = static_cast<double>(a.size());
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d2 += (ra[i] - rb[i]) * (ra[i] - rb[i]);
+  }
+  return 1.0 - 6.0 * d2 / (n * (n * n - 1.0));
+}
+
+CompositionalModel model_for(const std::string& workload) {
+  PipelineParams p;
+  p.workload = sim::workload_by_name(workload);
+  p.cores = kCores;
+  p.workers = kCores;  // no worker clamp: pure surface comparison
+  return CompositionalModel{p};
+}
+
+class ModelVsDes : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ModelVsDes, ClosedThroughputTracksTheSimulator) {
+  const std::vector<opt::Config> probes{
+      {1, 1}, {1, 8}, {2, 9}, {4, 4}, {8, 2}, {12, 4},
+  };
+  const CompositionalModel model = model_for(GetParam());
+  const sim::DesParams des_params =
+      sim::des_from_workload(model.params().workload, kCores);
+
+  std::vector<double> model_thr;
+  std::vector<double> des_thr;
+  for (const opt::Config& cfg : probes) {
+    model_thr.push_back(model.closed_throughput(cfg));
+    sim::DesSimulator des{des_params, cfg, 101};
+    des_thr.push_back(des.run(1.0).throughput());
+  }
+
+  // Shape: the model orders configurations like the simulator does.
+  EXPECT_GE(spearman(model_thr, des_thr), 0.5) << GetParam();
+
+  // Level: every probe within a stated factor (the substitutes are built
+  // from different mechanisms; factor-level agreement is the contract).
+  for (std::size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_GT(des_thr[i], 0.0) << probes[i].to_string();
+    const double ratio = model_thr[i] / des_thr[i];
+    EXPECT_GE(ratio, 0.25) << GetParam() << " @ " << probes[i].to_string();
+    EXPECT_LE(ratio, 4.0) << GetParam() << " @ " << probes[i].to_string();
+  }
+}
+
+TEST_P(ModelVsDes, AbortRateAgreesInDirection) {
+  // Contention direction check: where the model predicts materially more
+  // top-level aborts at (12,1) than at (2,1), the simulator must too.
+  const CompositionalModel model = model_for(GetParam());
+  const sim::DesParams des_params =
+      sim::des_from_workload(model.params().workload, kCores);
+  const double low = model.predict({2, 1}, 1e9).abort_rate;
+  const double high = model.predict({12, 1}, 1e9).abort_rate;
+  if (high < low + 0.05) GTEST_SKIP() << "model predicts no contention slope";
+
+  sim::DesSimulator des_low{des_params, {2, 1}, 7};
+  sim::DesSimulator des_high{des_params, {12, 1}, 7};
+  EXPECT_GT(des_high.run(1.0).abort_rate(), des_low.run(1.0).abort_rate());
+}
+
+INSTANTIATE_TEST_SUITE_P(CannedWorkloads, ModelVsDes,
+                         ::testing::Values("tpcc-med", "tpcc-low",
+                                           "vacation-med"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           std::replace(name.begin(), name.end(), '-', '_');
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace autopn::model

@@ -111,7 +111,7 @@ TEST(Controller, AutoPnLiveEndToEnd) {
   util::WallClock clock;
   opt::ConfigSpace space{4};
   opt::AutoPnParams ap;
-  ap.initial_samples = 9;
+  ap.bootstrap_points = 9;
   ControllerParams params;
   params.max_window_seconds = 1.0;
   TuningController controller{
@@ -329,6 +329,96 @@ TEST(Controller, LatencyKpiUsesRequestLatencies) {
   ASSERT_FALSE(report.observations.empty());
   // Every window saw the 4 ms request latency => KPI = 1/0.004 = 250.
   for (const auto& obs : report.observations) EXPECT_NEAR(obs.kpi, 250.0, 1e-6);
+}
+
+/// Advisor stub: predicts a high KPI for low-t configurations and a low one
+/// for everything else (any fixed scale works — the controller only ever
+/// compares two predictions).
+class LowTAdvisor final : public ConfigAdvisor {
+ public:
+  double predicted_kpi(const opt::Config& config) override {
+    return config.t <= 2 ? 1.0 : 0.1;
+  }
+};
+
+TEST(Controller, ModelVetoBlocksPredictedRegressions) {
+  stm::Stm stm{live_config()};
+  workloads::ArrayConfig acfg;
+  acfg.array_size = 64;
+  workloads::ArrayBenchmark bench{stm, acfg};
+  WorkloadDriver driver{bench, 2};
+
+  util::WallClock clock;
+  opt::ConfigSpace space{4};
+  ControllerParams params;
+  params.max_window_seconds = 1.0;
+  params.model_veto_band = 0.5;
+  params.model_veto_blocks = true;
+  TuningController controller{
+      stm, std::make_unique<opt::GridSearch>(space),
+      std::make_unique<FixedTimePolicy>(0.02), clock, params};
+  LowTAdvisor advisor;
+  controller.set_config_advisor(&advisor);
+
+  const TuningReport report = controller.tune();
+  const VetoReport& vetoes = controller.vetoes();
+  // The space contains t > 2 configurations; each is flagged AND blocked
+  // (ratio 0.1 < 1 - band), so none of them burned a live window.
+  EXPECT_GE(vetoes.flagged, 1u);
+  EXPECT_EQ(vetoes.blocked, vetoes.flagged);
+  for (const auto& obs : report.observations) EXPECT_LE(obs.config.t, 2);
+  EXPECT_LE(report.chosen.t, 2);
+  for (const auto& event : vetoes.events) {
+    EXPECT_GT(event.proposal.t, 2);
+    EXPECT_LT(event.predicted_ratio, 0.5);
+    EXPECT_TRUE(event.blocked);
+  }
+}
+
+TEST(Controller, ModelVetoLogsWithoutBlockingByDefault) {
+  stm::Stm stm{live_config()};
+  workloads::ArrayConfig acfg;
+  acfg.array_size = 64;
+  workloads::ArrayBenchmark bench{stm, acfg};
+  WorkloadDriver driver{bench, 2};
+
+  util::WallClock clock;
+  opt::ConfigSpace space{4};
+  ControllerParams params;
+  params.max_window_seconds = 1.0;
+  params.model_veto_band = 0.5;  // model_veto_blocks stays false
+  TuningController controller{
+      stm, std::make_unique<opt::GridSearch>(space),
+      std::make_unique<FixedTimePolicy>(0.02), clock, params};
+  LowTAdvisor advisor;
+  controller.set_config_advisor(&advisor);
+
+  const TuningReport report = controller.tune();
+  EXPECT_GE(controller.vetoes().flagged, 1u);
+  EXPECT_EQ(controller.vetoes().blocked, 0u);
+  // Advisory mode: every configuration was still measured live.
+  EXPECT_EQ(report.explorations, space.size());
+}
+
+TEST(Controller, NoAdvisorOrZeroBandNeverVetoes) {
+  stm::Stm stm{live_config()};
+  workloads::ArrayConfig acfg;
+  acfg.array_size = 64;
+  workloads::ArrayBenchmark bench{stm, acfg};
+  WorkloadDriver driver{bench, 2};
+
+  util::WallClock clock;
+  opt::ConfigSpace space{4};
+  ControllerParams params;
+  params.max_window_seconds = 1.0;  // model_veto_band stays 0
+  TuningController controller{
+      stm, std::make_unique<opt::GridSearch>(space),
+      std::make_unique<FixedTimePolicy>(0.02), clock, params};
+  LowTAdvisor advisor;
+  controller.set_config_advisor(&advisor);  // attached but band disables it
+  (void)controller.tune();
+  EXPECT_EQ(controller.vetoes().flagged, 0u);
+  EXPECT_EQ(controller.vetoes().blocked, 0u);
 }
 
 TEST(Controller, ChangeDetectorRoundTrip) {

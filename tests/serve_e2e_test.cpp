@@ -59,7 +59,7 @@ TEST(ServeE2E, AutoPnConvergesOnSmallLatticeUnderLiveTraffic) {
 
   opt::ConfigSpace space{4};  // 8-configuration lattice
   opt::AutoPnParams ap;
-  ap.initial_samples = 5;
+  ap.bootstrap_points = 5;
   runtime::ControllerParams params;
   params.max_window_seconds = 0.5;
   runtime::TuningController controller{

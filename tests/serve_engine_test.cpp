@@ -77,6 +77,51 @@ TEST(ServeEngine, LatencyReportIsPopulatedAndOrdered) {
   EXPECT_LE(latency.p95, latency.p99);
 }
 
+TEST(ServeEngine, StageBreakdownDecomposesLatencyExactly) {
+  // Per-request stage stamps: latency = queue wait (enqueue→dequeue) +
+  // service (dequeue→commit), so the exact means must add up and every
+  // completed request contributes one sample to each stage histogram.
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  const RequestHandler busy = [](util::Rng&) {
+    std::this_thread::sleep_for(1ms);
+  };
+  ServeConfig cfg;
+  cfg.workers = 2;
+  ServeEngine engine{stm, busy, clock, cfg};
+  submit_admitted(engine, 60);
+  engine.drain_and_stop();
+
+  const ServeReport report = engine.report();
+  ASSERT_EQ(report.completed, 60u);
+  EXPECT_EQ(report.queue_wait.count, 60u);
+  EXPECT_EQ(report.service.count, 60u);
+  EXPECT_GE(report.service.mean, 0.001);  // the handler sleeps 1 ms
+  // Exact up to floating-point cancellation on absolute clock timestamps.
+  EXPECT_NEAR(report.latency.mean, report.queue_wait.mean + report.service.mean,
+              1e-6);
+  EXPECT_LE(report.queue_wait.p50, report.queue_wait.p99);
+  EXPECT_LE(report.service.p50, report.service.p99);
+}
+
+TEST(ServeEngine, StageBreakdownSkipsFailedRequests) {
+  // Failed requests contribute no latency sample — and no stage samples
+  // either, keeping the three histograms in lockstep.
+  stm::Stm stm{small_stm()};
+  util::WallClock clock;
+  std::atomic<int> calls{0};
+  const RequestHandler flaky = [&calls](util::Rng&) {
+    if (calls.fetch_add(1) % 2 == 0) throw std::runtime_error{"boom"};
+  };
+  ServeEngine engine{stm, flaky, clock, {}};
+  submit_admitted(engine, 20);
+  engine.drain_and_stop();
+  const ServeReport report = engine.report();
+  EXPECT_EQ(report.queue_wait.count, report.completed);
+  EXPECT_EQ(report.service.count, report.completed);
+  EXPECT_EQ(report.latency.count, report.completed);
+}
+
 TEST(ServeEngine, ShedsUnderOverloadWithRetryAfterHint) {
   stm::Stm stm{small_stm()};
   util::WallClock clock;

@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "model/advisor.hpp"
+#include "model/compose.hpp"
 #include "net/netload.hpp"
 #include "net/server.hpp"
 #include "router/router.hpp"
@@ -43,9 +45,11 @@ using namespace autopn;
 namespace {
 
 int usage() {
-  std::cerr << "usage: autopn <workloads|surface|tune|compare|des-tune|record|info|serve> ...\n"
+  std::cerr << "usage: autopn <workloads|surface|model|tune|compare|des-tune|record|info|serve> ...\n"
                "  autopn workloads\n"
                "  autopn surface <workload> [--cores N]\n"
+               "  autopn model <workload> [--rate R] [--workers N] [--cores N]\n"
+               "               [--shift F] [--shed-target F]   (capacity what-ifs)\n"
                "  autopn tune <workload> [--optimizer NAME] [--seed N] [--cores N]\n"
                "  autopn compare <workload> [--seed N] [--cores N]\n"
                "  autopn des-tune <workload> [--optimizer NAME] [--seed N]\n"
@@ -53,7 +57,7 @@ int usage() {
                "  autopn info <file>\n"
                "  autopn serve [--workload W] [--rate R] [--duration S] [--workers N]\n"
                "               [--shift F] [--optimizer NAME] [--cores N] [--seed N]\n"
-               "               [--request-timeout S]\n"
+               "               [--request-timeout S] [--model-warm] [--model-veto BAND]\n"
                "  autopn serve --listen ADDR:PORT [--port-file F] [--duration S]\n"
                "               [--workload W] [--workers N] ...   (0.0.0.0:0 = any port)\n"
                "  autopn netload [--host H] [--port P | --port-file F] [--connections N]\n"
@@ -86,6 +90,10 @@ struct Options {
   double shift = 4.0;       ///< rate multiplier for the second phase
   std::size_t workers = 4;  ///< engine worker threads
   double request_timeout = 0.0;  ///< per-request deadline, seconds (0 = none)
+  // model knobs (model subcommand / serve warm-start+veto)
+  bool model_warm = false;   ///< serve: warm-start the tuner from the model
+  double model_veto = 0.0;   ///< serve: veto band (0 = off); vetoes block
+  double shed_target = 0.01; ///< model: shed-fraction target for what-ifs
   // network knobs (serve --listen / netload)
   std::string listen;       ///< serve: "addr:port" to put the engine on the wire
   std::string port_file;    ///< serve: write the bound port; netload: read it
@@ -124,6 +132,11 @@ Options parse_options(const std::vector<std::string>& args, std::size_t start) {
       ++i;
       continue;
     }
+    if (args[i] == "--model-warm") {
+      opts.model_warm = true;
+      ++i;
+      continue;
+    }
     if (i + 1 >= args.size()) {
       throw std::invalid_argument{"option " + args[i] + " needs a value"};
     }
@@ -146,6 +159,10 @@ Options parse_options(const std::vector<std::string>& args, std::size_t start) {
       opts.workers = std::stoul(args[i + 1]);
     } else if (args[i] == "--request-timeout") {
       opts.request_timeout = std::stod(args[i + 1]);
+    } else if (args[i] == "--model-veto") {
+      opts.model_veto = std::stod(args[i + 1]);
+    } else if (args[i] == "--shed-target") {
+      opts.shed_target = std::stod(args[i + 1]);
     } else if (args[i] == "--listen") {
       opts.listen = args[i + 1];
     } else if (args[i] == "--port-file") {
@@ -193,13 +210,17 @@ Options parse_options(const std::vector<std::string>& args, std::size_t start) {
 
 std::unique_ptr<opt::Optimizer> make_optimizer(const std::string& name,
                                                const opt::ConfigSpace& space,
-                                               std::uint64_t seed) {
+                                               std::uint64_t seed,
+                                               const opt::Prior* prior = nullptr) {
   if (name == "autopn") {
-    return std::make_unique<opt::AutoPnOptimizer>(space, opt::AutoPnParams{}, seed);
+    opt::AutoPnParams params;
+    if (prior != nullptr) params.prior = *prior;
+    return std::make_unique<opt::AutoPnOptimizer>(space, params, seed);
   }
   if (name == "smbo") {
     opt::AutoPnParams params;
     params.hill_climb_refinement = false;
+    if (prior != nullptr) params.prior = *prior;
     return std::make_unique<opt::AutoPnOptimizer>(space, params, seed);
   }
   if (name == "random") return std::make_unique<opt::RandomSearch>(space, seed);
@@ -237,6 +258,69 @@ int cmd_surface(const std::string& workload, const Options& opts) {
                    util::fmt_percent(model.distance_from_optimum(space, cfg))});
   }
   table.print(std::cout);
+  return 0;
+}
+
+/// model: capacity what-ifs answered offline by the compositional model
+/// (DESIGN.md §14) — predicted throughput/p50/p99/shed at an arrival rate,
+/// the shifted-rate question, the max sustainable rate for a shed target,
+/// and the min-shards answer.
+int cmd_model(const std::string& workload, const Options& opts) {
+  model::PipelineParams pipeline;
+  pipeline.workload = sim::workload_by_name(workload);
+  pipeline.cores = opts.cores;
+  pipeline.workers = opts.workers;
+  pipeline.queue_capacity = 512;
+  const model::CompositionalModel m{pipeline};
+  const opt::ConfigSpace space{opts.cores};
+
+  std::cout << "pipeline: " << workload << ", " << opts.workers
+            << " workers, queue " << pipeline.queue_capacity << ", "
+            << opts.cores << " cores; open-loop "
+            << util::fmt_double(opts.rate, 0) << " req/s\n";
+
+  const auto best = m.best_at(space, opts.rate);
+  util::TextTable table{
+      {"(t,c)", "thr", "p50(ms)", "p99(ms)", "shed", "util", "abort"}};
+  std::vector<opt::Config> rows{{1, 1},
+                                {1, std::max(1, opts.cores)},
+                                {std::max(1, opts.cores), 1},
+                                best.config};
+  for (const opt::Config& cfg : rows) {
+    if (!space.valid(cfg)) continue;
+    const model::Prediction p = m.predict(cfg, opts.rate);
+    table.add_row({cfg.to_string() + (cfg == best.config ? " *" : ""),
+                   util::fmt_double(p.throughput, 0),
+                   util::fmt_double(p.p50 * 1e3, 2),
+                   util::fmt_double(p.p99 * 1e3, 2),
+                   util::fmt_percent(p.shed_fraction),
+                   util::fmt_percent(p.utilization),
+                   util::fmt_percent(p.abort_rate)});
+  }
+  table.print(std::cout);
+  std::cout << "* best predicted configuration at this rate\n";
+
+  const double shifted_rate = opts.rate * opts.shift;
+  const model::Prediction shifted = m.predict(best.config, shifted_rate);
+  std::cout << "at " << util::fmt_double(opts.shift, 1) << "x rate ("
+            << util::fmt_double(shifted_rate, 0) << " req/s): p99 "
+            << util::fmt_double(shifted.p99 * 1e3, 2) << " ms, shed "
+            << util::fmt_percent(shifted.shed_fraction) << ", throughput "
+            << util::fmt_double(shifted.throughput, 0) << " req/s\n";
+  std::cout << "max rate for shed <= " << util::fmt_percent(opts.shed_target)
+            << ": "
+            << util::fmt_double(m.max_rate_for_shed(best.config, opts.shed_target), 0)
+            << " req/s (capacity "
+            << util::fmt_double(m.capacity(best.config), 0) << " req/s)\n";
+  const std::size_t shards =
+      m.min_shards_for_shed(shifted_rate, best.config, opts.shed_target);
+  std::cout << "min shards for shed <= " << util::fmt_percent(opts.shed_target)
+            << " at " << util::fmt_double(shifted_rate, 0) << " req/s: ";
+  if (shards > 64) {
+    std::cout << "> 64\n";
+  } else {
+    std::cout << shards << "\n";
+  }
   return 0;
 }
 
@@ -336,6 +420,18 @@ void print_slo_details(const serve::ServeReport& report) {
   std::cout << "retry-after:   "
             << util::fmt_double(report.retry_after_hint * 1e3, 1)
             << " ms (hint a request shed right now would receive)\n";
+  if (report.queue_wait.count > 0) {
+    // Per-stage breakdown of the end-to-end latency — the production
+    // counters the compositional model fits from.
+    util::TextTable stages{{"stage", "mean(ms)", "p50(ms)", "p99(ms)"}};
+    stages.add_row({"queue wait", util::fmt_double(report.queue_wait.mean * 1e3, 2),
+                    util::fmt_double(report.queue_wait.p50 * 1e3, 2),
+                    util::fmt_double(report.queue_wait.p99 * 1e3, 2)});
+    stages.add_row({"service", util::fmt_double(report.service.mean * 1e3, 2),
+                    util::fmt_double(report.service.p50 * 1e3, 2),
+                    util::fmt_double(report.service.p99 * 1e3, 2)});
+    stages.print(std::cout);
+  }
   if (report.tenants.size() > 1) {
     util::TextTable tenants{{"tenant", "requests", "p50(ms)", "p95(ms)", "p99(ms)"}};
     for (const auto& t : report.tenants) {
@@ -346,6 +442,17 @@ void print_slo_details(const serve::ServeReport& report) {
     }
     tenants.print(std::cout);
   }
+}
+
+/// Maps a servable workload name onto the sim preset that parameterizes the
+/// compositional model for it. Model assists are shape-relative (prior
+/// rescaling, model-relative veto), so preset-level fidelity suffices.
+std::string sim_preset_for(const std::string& serve_workload) {
+  if (serve_workload == "tpcc") return "tpcc-med";
+  if (serve_workload == "vacation") return "vacation-med";
+  if (serve_workload == "array") return "array-0.01";
+  if (serve_workload == "array-high") return "array-90";
+  return serve_workload;  // already a sim preset name
 }
 
 /// serve --listen: the full stack on the wire — NetServer in front of the
@@ -413,6 +520,13 @@ int cmd_serve_net(const Options& opts) {
                   std::to_string(wire.shed_responses),
                   std::to_string(wire.backpressure_pauses)});
   ledger.print(std::cout);
+  if (wire.accept.count > 0) {
+    std::cout << "wire stages:   accept p50 "
+              << util::fmt_double(wire.accept.p50 * 1e6, 1) << " µs p99 "
+              << util::fmt_double(wire.accept.p99 * 1e6, 1) << " µs; reply p50 "
+              << util::fmt_double(wire.reply.p50 * 1e6, 1) << " µs p99 "
+              << util::fmt_double(wire.reply.p99 * 1e6, 1) << " µs\n";
+  }
   const bool ledger_exact =
       wire.requests_decoded == wire.responses_enqueued &&
       wire.responses_enqueued == wire.responses_written + wire.responses_dropped;
@@ -796,12 +910,33 @@ int cmd_serve(const Options& opts) {
   serve::ServeEngine engine{stm, workload.handler, clock, serve_cfg};
 
   const opt::ConfigSpace space{cores};
+
+  // Optional model assists: a warm-start prior for the optimizer and/or a
+  // veto advisor for the controller, both from the compositional model of
+  // the sim preset closest to the served workload.
+  std::optional<model::TunerAdvisor> advisor;
+  std::optional<opt::Prior> prior;
+  if (opts.model_warm || opts.model_veto > 0.0) {
+    model::PipelineParams pipeline;
+    pipeline.workload = sim::workload_by_name(sim_preset_for(opts.workload));
+    pipeline.cores = cores;
+    pipeline.workers = opts.workers;
+    pipeline.queue_capacity = serve_cfg.queue_capacity;
+    model::CompositionalModel m{pipeline};
+    if (opts.model_warm) prior = model::make_prior(m, space);
+    if (opts.model_veto > 0.0) advisor.emplace(std::move(m));
+  }
+
   runtime::ControllerParams params;
   params.max_window_seconds = 0.5;
+  params.model_veto_band = opts.model_veto;
+  params.model_veto_blocks = opts.model_veto > 0.0;
+  const opt::Prior* prior_ptr = prior.has_value() ? &*prior : nullptr;
   runtime::TuningController controller{
-      stm, make_optimizer(opts.optimizer, space, opts.seed),
+      stm, make_optimizer(opts.optimizer, space, opts.seed, prior_ptr),
       std::make_unique<runtime::FixedTimePolicy>(0.05), clock, params};
   controller.set_latency_source(&engine.kpi_source());
+  if (advisor.has_value()) controller.set_config_advisor(&*advisor);
 
   const double shifted_rate = opts.rate * opts.shift;
   std::cout << "serving " << opts.workload << ": " << opts.workers
@@ -816,7 +951,7 @@ int cmd_serve(const Options& opts) {
   std::size_t rounds = 0;
   std::jthread tuner{[&] {
     rounds = controller.tune_and_watch(
-        [&] { return make_optimizer(opts.optimizer, space, opts.seed); },
+        [&] { return make_optimizer(opts.optimizer, space, opts.seed, prior_ptr); },
         opts.duration);
   }};
 
@@ -855,6 +990,19 @@ int cmd_serve(const Options& opts) {
             << "\nshed fraction: " << util::fmt_percent(report.shed_fraction)
             << " (" << report.shed << "/" << report.offered << " offered)\n";
   print_slo_details(report);
+  if (opts.model_warm || opts.model_veto > 0.0) {
+    std::cout << "model assist:  "
+              << (opts.model_warm ? "warm-start prior" : "")
+              << (opts.model_warm && opts.model_veto > 0.0 ? " + " : "")
+              << (opts.model_veto > 0.0
+                      ? "veto band " + util::fmt_percent(opts.model_veto) +
+                            " (" + std::to_string(controller.vetoes().flagged) +
+                            " flagged, " +
+                            std::to_string(controller.vetoes().blocked) +
+                            " blocked)"
+                      : "")
+              << "\n";
+  }
   if (report.expired > 0 || opts.request_timeout > 0.0) {
     std::cout << "expired:       " << report.expired << " (deadline "
               << util::fmt_double(opts.request_timeout * 1e3, 0) << " ms)\n";
@@ -901,6 +1049,9 @@ int main(int argc, char** argv) {
     if (cmd == "workloads") return cmd_workloads();
     if (cmd == "surface" && args.size() >= 2) {
       return cmd_surface(args[1], parse_options(args, 2));
+    }
+    if (cmd == "model" && args.size() >= 2) {
+      return cmd_model(args[1], parse_options(args, 2));
     }
     if (cmd == "tune" && args.size() >= 2) {
       return cmd_tune(args[1], parse_options(args, 2));
