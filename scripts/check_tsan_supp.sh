@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# tsan.supp coverage check (see docs/STATIC_ANALYSIS.md).
+#
+# A ThreadSanitizer suppression that no longer matches anything is worse
+# than dead weight: it documents a race that supposedly exists, and it will
+# silently swallow a future, unrelated report that happens to match. So
+# every `kind:pattern` line in tsan.supp must still match a symbol in the
+# built test binaries' symbol tables (nm -C). We check the tsan tree when it
+# exists and fall back to the production tree — the template instantiations
+# the patterns name are the same code either way. No tree at all is a
+# visible SKIP, not a pass.
+#
+# Matching: TSan patterns may contain `*` wildcards; we grep for the longest
+# wildcard-free segment, which is exactly the part that has to keep naming a
+# real symbol for the suppression to keep doing its job.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+supp=tsan.supp
+if [ ! -f "$supp" ]; then
+  echo "check_tsan_supp: no $supp — nothing to check"
+  exit 0
+fi
+
+bins=()
+for tree in build-tsan build; do
+  if compgen -G "$tree/tests/*_test" > /dev/null; then
+    while IFS= read -r b; do bins+=("$b"); done \
+      < <(compgen -G "$tree/tests/*_test")
+    echo "check_tsan_supp: checking against $tree/tests (${#bins[@]} binaries)"
+    break
+  fi
+done
+if [ "${#bins[@]}" -eq 0 ]; then
+  echo "SKIPPED: no built test binaries (build-tsan/ or build/) to check" \
+       "tsan.supp symbols against"
+  exit 0
+fi
+
+symbols=$(nm -C "${bins[@]}" 2>/dev/null)
+
+fail=0
+checked=0
+while IFS= read -r line; do
+  line="${line%%#*}"
+  line="$(echo "$line" | xargs)"
+  [ -z "$line" ] && continue
+  case "$line" in
+    *:*) ;;
+    *)
+      echo "malformed suppression (want 'kind:pattern'): $line"
+      fail=1
+      continue
+      ;;
+  esac
+  pattern="${line#*:}"
+  # Longest wildcard-free segment of the pattern.
+  segment=$(echo "$pattern" | tr '*' '\n' | awk '{ if (length > length(best)) best = $0 } END { print best }')
+  if [ -z "$segment" ]; then
+    echo "suppression '$line' is all wildcards — too broad to audit; narrow it"
+    fail=1
+    continue
+  fi
+  checked=$((checked + 1))
+  if ! grep -qF "$segment" <<< "$symbols"; then
+    echo "STALE suppression: '$line' — no symbol containing '$segment' in" \
+         "any built test binary; remove it or fix the pattern"
+    fail=1
+  fi
+done < "$supp"
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_tsan_supp: FAILED"
+  exit 1
+fi
+echo "check_tsan_supp: OK ($checked suppression(s), all match live symbols)"

@@ -13,6 +13,22 @@ ctest --test-dir build --output-on-failure
 # clang toolchain exists) clang-tidy + -Wthread-safety.
 scripts/static_analysis.sh
 
+# Model-checking smoke (docs/MODEL_CHECKING.md): the mc preset routes the
+# sync seam through the cooperative scheduler; each mc_* harness explores the
+# schedule tree at the reduced --smoke budget (preemption bound 1), and the
+# weakened-publish fixture proves detect-and-replay still fires. The full
+# exhaustive suite is `cmake --build build --target mc` (also CI tier 2).
+cmake --preset mc
+cmake --build --preset mc
+echo "== mc-smoke: mc_commit_helping =="
+build-mc/tests/mc_commit_helping --smoke
+echo "== mc-smoke: mc_snapshot_registry =="
+build-mc/tests/mc_snapshot_registry --smoke
+echo "== mc-smoke: mc_request_queue =="
+build-mc/tests/mc_request_queue --smoke
+echo "== mc-smoke: mc_commit_helping --weaken-publish (expect failure) =="
+build-mc/tests/mc_commit_helping --smoke --weaken-publish --expect-failure
+
 # UBSan sweep: the whole suite, non-recovering (any UB report is fatal).
 cmake --preset ubsan
 cmake --build build-ubsan

@@ -4,6 +4,10 @@
 #   2. header check  — every public header under src/ compiles standalone
 #   3. clang-tidy + -Wthread-safety — when a clang toolchain is present;
 #      prints a visible SKIPPED line otherwise (gcc-only containers).
+#   4. gcc -fanalyzer over the concurrency core (src/{stm,serve,util,mc}),
+#      gated by the checked-in baseline tools/lint/fanalyzer_baseline.txt.
+#   5. tsan.supp coverage — every suppression must still match a symbol in
+#      the tsan build (scripts/check_tsan_supp.sh; skipped if no tsan tree).
 #
 # Exits nonzero on the first failing stage. Run from anywhere.
 set -uo pipefail
@@ -59,6 +63,52 @@ if command -v clang++ >/dev/null 2>&1; then
 else
   echo "SKIPPED: clang++ not found (gcc-only toolchain); -Wthread-safety not checked"
 fi
+
+echo "== static-analysis: gcc -fanalyzer =="
+# The interprocedural path analyzer over the concurrency core — the four
+# directories the lint's atomic/guarded/lock-order rules police hardest.
+# Findings are normalized to `<file> [-Wanalyzer-<id>]` (line numbers drop
+# out so edits don't churn the baseline) and diffed against the checked-in
+# baseline: anything new fails the gate; anything stale is called out so the
+# baseline shrinks as real fixes land.
+fanalyzer_baseline=tools/lint/fanalyzer_baseline.txt
+fanalyzer_log=/tmp/autopn_fanalyzer.log
+: > "$fanalyzer_log"
+fanalyzer_compile_ok=1
+for f in $(find src/stm src/serve src/util src/mc -name '*.cpp' | sort); do
+  g++ -std=c++20 -Isrc -DAUTOPN_FAILPOINTS_ENABLED=1 -fanalyzer \
+      -c "$f" -o /dev/null 2>>"$fanalyzer_log" || {
+    echo "-fanalyzer compile failed for $f"
+    fanalyzer_compile_ok=0
+  }
+done
+if [ "$fanalyzer_compile_ok" -eq 1 ]; then
+  current=$(sed -nE \
+    's/^([^:]+):[0-9]+:[0-9]+: warning: .* (\[-Wanalyzer[^]]*\])$/\1 \2/p' \
+    "$fanalyzer_log" | sort -u)
+  baseline=$(grep -v '^#' "$fanalyzer_baseline" | grep -v '^$' | sort -u)
+  new_findings=$(comm -23 <(printf '%s\n' "$current" | sed '/^$/d') \
+                          <(printf '%s\n' "$baseline" | sed '/^$/d'))
+  stale_findings=$(comm -13 <(printf '%s\n' "$current" | sed '/^$/d') \
+                            <(printf '%s\n' "$baseline" | sed '/^$/d'))
+  if [ -n "$new_findings" ]; then
+    echo "NEW -fanalyzer findings (fix, or triage into $fanalyzer_baseline):"
+    printf '%s\n' "$new_findings"
+    grep -F "warning:" "$fanalyzer_log" | head -20
+    fail=1
+  fi
+  if [ -n "$stale_findings" ]; then
+    echo "stale baseline entries (no longer reported — remove them):"
+    printf '%s\n' "$stale_findings"
+    fail=1
+  fi
+  [ -z "$new_findings$stale_findings" ] && echo "-fanalyzer OK (baseline exact)"
+else
+  fail=1
+fi
+
+echo "== static-analysis: tsan.supp coverage =="
+scripts/check_tsan_supp.sh || fail=1
 
 if [ "$fail" -ne 0 ]; then
   echo "static-analysis: FAILED"

@@ -1,0 +1,260 @@
+#include "mc/explore.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace autopn::mc {
+
+namespace {
+
+/// Two transitions commute iff they touch different primitives or are both
+/// non-mutating. Scheduler-internal ops (obj == nullptr: thread start/join)
+/// are conservatively dependent — never a pruning basis.
+bool independent(const PendingOp& a, const PendingOp& b) {
+  if (a.obj == nullptr || b.obj == nullptr) return false;
+  if (a.obj != b.obj) return true;
+  return !a.write && !b.write;
+}
+
+/// One node of the DFS schedule tree: the enabled set observed there, each
+/// enabled thread's pending op (for sleep-set independence), the candidate
+/// order, and the sleep set that grows as siblings are explored.
+struct Frame {
+  std::vector<int> enabled;
+  std::vector<PendingOp> pending;  // parallel to enabled
+  std::vector<int> order;          // candidate tids, preference order
+  std::size_t k = 0;               // current choice: order[k]
+  std::set<int> sleep;
+  int running_before = kController;
+  int preemptions = 0;
+
+  [[nodiscard]] const PendingOp& pending_of(int tid) const {
+    for (std::size_t i = 0; i < enabled.size(); ++i) {
+      if (enabled[i] == tid) return pending[i];
+    }
+    static const PendingOp kNone{};
+    return kNone;
+  }
+
+  /// Cost of switching to `tid` here: 1 when it preempts a still-enabled
+  /// previously-running thread (CHESS), else 0.
+  [[nodiscard]] int cost(int tid) const {
+    if (running_before == kController || tid == running_before) return 0;
+    return std::find(enabled.begin(), enabled.end(), running_before) !=
+                   enabled.end()
+               ? 1
+               : 0;
+  }
+};
+
+class DfsExplorer {
+ public:
+  explicit DfsExplorer(int preemption_bound) : bound_(preemption_bound) {}
+
+  int choose(Execution& ex, const std::vector<int>& enabled, int step) {
+    const auto depth = static_cast<std::size_t>(step);
+    if (depth < path_.size()) {
+      // Replaying the prefix that leads to this run's divergence point. The
+      // model is deterministic, so the recorded choice must still be enabled.
+      return path_[depth].order[path_[depth].k];
+    }
+    Frame f;
+    f.enabled = enabled;
+    f.pending.reserve(enabled.size());
+    for (int tid : enabled) f.pending.push_back(ex.pending(tid));
+    if (!path_.empty()) {
+      const Frame& parent = path_.back();
+      const int prev = parent.order[parent.k];
+      f.running_before = prev;
+      f.preemptions = parent.preemptions + parent.cost(prev);
+      // Sleep inheritance: a sibling explored at the parent stays asleep
+      // unless the transition just taken is dependent on its pending op.
+      const PendingOp& taken = parent.pending_of(prev);
+      for (int s : parent.sleep) {
+        if (independent(parent.pending_of(s), taken)) f.sleep.insert(s);
+      }
+    }
+    // Prefer continuing the running thread (costs no preemption), then
+    // ascending tid — so the first full execution is the natural sequential
+    // one and preemptions are spent late.
+    if (std::find(enabled.begin(), enabled.end(), f.running_before) !=
+        enabled.end()) {
+      f.order.push_back(f.running_before);
+    }
+    for (int tid : enabled) {
+      if (tid != f.running_before) f.order.push_back(tid);
+    }
+    f.k = 0;
+    while (f.k < f.order.size() && !viable(f, f.order[f.k])) ++f.k;
+    if (f.k == f.order.size()) f.k = 0;  // all asleep/over-bound: any choice
+    path_.push_back(std::move(f));
+    return path_.back().order[path_.back().k];
+  }
+
+  /// Advances to the next unexplored schedule; false when the tree (within
+  /// the preemption bound) is exhausted.
+  bool backtrack() {
+    while (!path_.empty()) {
+      Frame& f = path_.back();
+      f.sleep.insert(f.order[f.k]);
+      ++f.k;
+      while (f.k < f.order.size() && !viable(f, f.order[f.k])) ++f.k;
+      if (f.k < f.order.size()) return true;
+      path_.pop_back();
+    }
+    return false;
+  }
+
+ private:
+  [[nodiscard]] bool viable(const Frame& f, int tid) const {
+    if (f.sleep.count(tid) != 0) return false;
+    return f.preemptions + f.cost(tid) <= bound_;
+  }
+
+  const int bound_;
+  std::vector<Frame> path_;
+};
+
+}  // namespace
+
+std::vector<int> parse_schedule(const std::string& s) {
+  std::vector<int> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    std::size_t end = s.find(',', i);
+    if (end == std::string::npos) end = s.size();
+    const std::string tok = s.substr(i, end - i);
+    std::size_t pos = 0;
+    const int v = std::stoi(tok, &pos);
+    if (pos != tok.size() || v < 0) {
+      throw std::invalid_argument{"malformed schedule token: " + tok};
+    }
+    out.push_back(v);
+    i = end + 1;
+  }
+  if (out.empty()) throw std::invalid_argument{"empty schedule string"};
+  return out;
+}
+
+void assert_fail(const char* expr, const char* msg, std::source_location loc) {
+  std::ostringstream m;
+  m << "MC_ASSERT(" << expr << ") failed at " << loc.file_name() << ":"
+    << loc.line() << ": " << msg;
+  Execution* ex = Execution::current();
+  if (ex != nullptr) {
+    ex->fail(FailureKind::kAssert, m.str());
+    ex->abort_self();
+  }
+  std::fprintf(stderr, "%s\n", m.str().c_str());
+  std::abort();
+}
+
+std::string Result::summary() const {
+  std::ostringstream out;
+  out << schedules << " schedule(s) explored";
+  if (budget_exhausted) out << " (budget exhausted before full enumeration)";
+  out << ", " << failures.size() << " failure(s)\n";
+  for (const Failure& f : failures) {
+    out << "[" << failure_kind_name(f.kind) << "] " << f.message << "\n";
+    out << "  replay with: --replay=" << f.schedule << "\n";
+    out << "  interleaving:\n" << f.trace;
+  }
+  return out.str();
+}
+
+Result explore(const Options& options, const std::function<void()>& body) {
+  Result result;
+
+  auto run_one = [&](const Execution::Chooser& chooser) {
+    Execution ex(chooser, options.max_steps);
+    ex.run(body);
+    ++result.schedules;
+    const bool failed = !ex.failures().empty();
+    for (const Failure& f : ex.failures()) {
+      if (result.failures.size() < 32) result.failures.push_back(f);
+    }
+    return failed;
+  };
+
+  switch (options.mode) {
+    case Mode::kReplay: {
+      run_one([&](Execution&, const std::vector<int>& enabled, int step) {
+        const auto i = static_cast<std::size_t>(step);
+        // Past the recorded suffix (or deviated): lowest enabled id, so
+        // truncated schedule strings still complete deterministically.
+        if (i >= options.replay.size()) return enabled[0];
+        const int want = options.replay[i];
+        return std::find(enabled.begin(), enabled.end(), want) != enabled.end()
+                   ? want
+                   : enabled[0];
+      });
+      return result;
+    }
+
+    case Mode::kPct: {
+      std::mt19937_64 rng(options.seed);
+      for (std::uint64_t iter = 0; iter < options.max_schedules; ++iter) {
+        // Fresh random priorities + change points per execution (PCT d-1).
+        std::array<int, kMaxThreads> pri{};
+        for (std::size_t i = 0; i < kMaxThreads; ++i) {
+          pri[i] = static_cast<int>(kMaxThreads - i) * 100 +
+                   static_cast<int>(rng() % 100);
+        }
+        std::shuffle(pri.begin(), pri.end(), rng);
+        std::set<int> change_steps;
+        for (int i = 0; i < options.pct_change_points; ++i) {
+          change_steps.insert(
+              static_cast<int>(rng() % static_cast<std::uint64_t>(
+                                           std::max(1, options.max_steps / 4))));
+        }
+        int low = 0;  // descending: each change point goes below all others
+        const bool failed = run_one(
+            [&](Execution&, const std::vector<int>& enabled, int step) {
+              auto best = [&] {
+                int b = enabled[0];
+                for (int tid : enabled) {
+                  if (pri[static_cast<std::size_t>(tid)] >
+                      pri[static_cast<std::size_t>(b)]) {
+                    b = tid;
+                  }
+                }
+                return b;
+              };
+              int c = best();
+              if (change_steps.count(step) != 0) {
+                pri[static_cast<std::size_t>(c)] = --low;
+                c = best();
+              }
+              return c;
+            });
+        if (failed && options.stop_on_failure) break;
+      }
+      return result;
+    }
+
+    case Mode::kExhaustive: {
+      DfsExplorer dfs(options.preemption_bound);
+      for (;;) {
+        if (result.schedules >= options.max_schedules) {
+          result.budget_exhausted = true;
+          break;
+        }
+        const bool failed =
+            run_one([&](Execution& ex, const std::vector<int>& enabled,
+                        int step) { return dfs.choose(ex, enabled, step); });
+        if (failed && options.stop_on_failure) break;
+        if (!dfs.backtrack()) break;
+      }
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace autopn::mc

@@ -1,0 +1,101 @@
+#pragma once
+// Schedule exploration strategies over the cooperative scheduler
+// (src/mc/scheduler.hpp); the model checker's front door. Three modes:
+//
+//  * kExhaustive — depth-first enumeration of the schedule tree with two
+//    prunings: sleep sets (DPOR-lite: a sibling already explored stays
+//    asleep in the child unless the chosen transition is dependent on its
+//    pending op) and CHESS-style preemption bounding (a context switch away
+//    from a still-enabled thread costs one preemption; schedules over the
+//    bound are skipped). Within the bound the enumeration is exhaustive, so
+//    "0 failures" is a proof over that schedule class, not a sample.
+//  * kPct — probabilistic concurrency testing: random thread priorities with
+//    depth-1 random priority-change points per execution; a cheap randomized
+//    sweep for harnesses too big to exhaust.
+//  * kReplay — runs exactly one schedule, parsed from a failure's
+//    `schedule` string (the --replay workflow of docs/MODEL_CHECKING.md).
+//
+// Usage (harness shape; see tests/mc_*.cpp):
+//
+//   mc::Options opts;
+//   mc::Result r = mc::explore(opts, [] {
+//     auto state = std::make_shared<State>();   // fresh per schedule!
+//     mc::Thread t1{[state] { ... }};
+//     mc::Thread t2{[state] { ... }};
+//     t1.join(); t2.join();
+//     MC_ASSERT(state->invariant(), "invariant");
+//   });
+//   if (!r.failures.empty()) { print r.summary(); exit(1); }
+
+#include <cstdint>
+#include <functional>
+#include <source_location>
+#include <string>
+#include <vector>
+
+#include "mc/scheduler.hpp"
+
+namespace autopn::mc {
+
+enum class Mode : std::uint8_t { kExhaustive, kPct, kReplay };
+
+struct Options {
+  Mode mode = Mode::kExhaustive;
+  /// CHESS preemption bound for kExhaustive. Empirically nearly all
+  /// concurrency bugs need <= 2 preemptions; raising it explodes the tree.
+  int preemption_bound = 2;
+  /// Hard cap on executions (all modes). kExhaustive sets
+  /// Result::budget_exhausted when the tree was NOT fully enumerated within
+  /// the cap — treat that as "sampled", not "proved".
+  std::uint64_t max_schedules = 200000;
+  /// Per-execution step cap (livelock guard).
+  int max_steps = 10000;
+  /// kPct: number of priority-change points per execution (the 'd' in PCT;
+  /// bug depth d needs d-1 change points).
+  int pct_change_points = 2;
+  std::uint64_t seed = 1;
+  /// kReplay: the exact schedule to run (parse_schedule of a Failure's
+  /// `schedule` field).
+  std::vector<int> replay;
+  /// Stop exploring after the first failing schedule (default: a failure is
+  /// terminal; flip off to count distinct failing schedules).
+  bool stop_on_failure = true;
+};
+
+struct Result {
+  std::uint64_t schedules = 0;
+  /// kExhaustive only: the tree was larger than max_schedules.
+  bool budget_exhausted = false;
+  std::vector<Failure> failures;
+
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+  /// Human-readable report: schedule count, then each failure with its kind,
+  /// message, replay schedule, and interleaving trace.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Explores `body` under the option'd strategy. The body runs once per
+/// schedule as model thread 0; it must create all shared state fresh inside
+/// the body (state persisting across executions carries stale clocks).
+Result explore(const Options& options, const std::function<void()>& body);
+
+/// Parses a Failure::schedule string ("0,1,1,0") back into choice list form
+/// for Options::replay. Throws std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<int> parse_schedule(const std::string& s);
+
+/// Records an assertion failure against the current execution (with trace
+/// and replay schedule) and unwinds the thread; outside an execution, prints
+/// and aborts the process.
+void assert_fail(const char* expr, const char* msg, std::source_location loc);
+
+}  // namespace autopn::mc
+
+/// Model-checked invariant check for harness bodies. On failure the checker
+/// reports the failing schedule exactly like a race.
+#define MC_ASSERT(cond, msg)                                            \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::autopn::mc::assert_fail(#cond, (msg),                           \
+                                std::source_location::current());       \
+    }                                                                   \
+  } while (0)

@@ -1,0 +1,377 @@
+#pragma once
+// Model-checked synchronization primitives — what util/sync.hpp's aliases
+// resolve to under AUTOPN_MC (docs/MODEL_CHECKING.md). Each primitive
+//
+//  * makes every operation a scheduling point of the cooperative scheduler
+//    (src/mc/scheduler.hpp), so the explorer controls the interleaving;
+//  * feeds the SPELLED memory order into a vector-clock happens-before
+//    engine: release stores publish the writer's clock on the atomic, acquire
+//    loads join it, relaxed does neither (and a relaxed store BREAKS the
+//    release sequence, per C++20), mutexes release-on-unlock /
+//    acquire-on-lock;
+//  * race-checks ModelShared<T> cells against that engine — a too-weak
+//    annotation on the ordering atomic surfaces as a reported race on the
+//    payload even in executions where the accesses did not physically
+//    interleave.
+//
+// Model simplifications (deliberate, documented in docs/MODEL_CHECKING.md):
+// atomics have sequentially consistent VALUE semantics (a load observes the
+// latest store in the schedule; stale-read enumeration of weak memory is out
+// of scope — the checker verifies happens-before sufficiency, not value
+// speculation), seq_cst ordering is treated as acq_rel (its extra total-order
+// guarantee is implied by SC value semantics here), compare_exchange_weak
+// never fails spuriously, and notify_one deterministically wakes the
+// lowest-id waiter.
+//
+// Operations performed while no execution is active (setup before
+// mc::explore, teardown after, result inspection) execute raw.
+
+#include <concepts>
+#include <cstdint>
+#include <mutex>
+#include <source_location>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "mc/scheduler.hpp"
+#include "mc/vclock.hpp"
+
+namespace autopn::mc {
+
+[[nodiscard]] constexpr bool acquire_side(std::memory_order o) noexcept {
+  return o == std::memory_order_acquire || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst || o == std::memory_order_consume;
+}
+[[nodiscard]] constexpr bool release_side(std::memory_order o) noexcept {
+  return o == std::memory_order_release || o == std::memory_order_acq_rel ||
+         o == std::memory_order_seq_cst;
+}
+/// Failure order derived from a combined CAS order, as std::atomic does.
+[[nodiscard]] constexpr std::memory_order cas_failure_order(
+    std::memory_order o) noexcept {
+  if (o == std::memory_order_acq_rel) return std::memory_order_acquire;
+  if (o == std::memory_order_release) return std::memory_order_relaxed;
+  return o;
+}
+
+template <typename T>
+class ModelAtomic {
+ public:
+  constexpr ModelAtomic() noexcept : value_{} {}
+  constexpr ModelAtomic(T v) noexcept : value_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+
+  ModelAtomic(const ModelAtomic&) = delete;
+  ModelAtomic& operator=(const ModelAtomic&) = delete;
+
+  T load(std::memory_order order = std::memory_order_seq_cst) const {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) return value_;
+    ex->yield_op({this, false, "atomic.load"});
+    hb_acquire(ex, order);
+    return value_;
+  }
+
+  void store(T v, std::memory_order order = std::memory_order_seq_cst) {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) {
+      value_ = std::move(v);
+      return;
+    }
+    ex->yield_op({this, true, "atomic.store"});
+    value_ = std::move(v);
+    if (release_side(order)) {
+      sync_vc_ = ex->self_vc();
+      has_sync_ = true;
+    } else {
+      // A plain relaxed store heads no release sequence and (C++20) is not
+      // part of the previous one: it strips the carried clock. THIS is the
+      // semantic difference the "weakened annotation" fixtures exercise.
+      has_sync_ = false;
+    }
+  }
+
+  T exchange(T v, std::memory_order order = std::memory_order_seq_cst) {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) return std::exchange(value_, std::move(v));
+    ex->yield_op({this, true, "atomic.exchange"});
+    hb_acquire(ex, order);
+    T old = std::exchange(value_, std::move(v));
+    hb_rmw_release(ex, order);
+    return old;
+  }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) {
+      if (value_ == expected) {
+        value_ = std::move(desired);
+        return true;
+      }
+      expected = value_;
+      return false;
+    }
+    ex->yield_op({this, true, "atomic.cas"});
+    if (value_ == expected) {
+      hb_acquire(ex, success);
+      value_ = std::move(desired);
+      hb_rmw_release(ex, success);
+      return true;
+    }
+    hb_acquire(ex, failure);
+    expected = value_;
+    return false;
+  }
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order order =
+                                   std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, std::move(desired), order,
+                                   cas_failure_order(order));
+  }
+  /// The model never fails spuriously: weak == strong (a strict subset of
+  /// allowed weak behaviors, so no false races; spurious-failure loops are
+  /// exercised by the CAS-lost path instead).
+  bool compare_exchange_weak(T& expected, T desired, std::memory_order success,
+                             std::memory_order failure) {
+    return compare_exchange_strong(expected, std::move(desired), success,
+                                   failure);
+  }
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order order =
+                                 std::memory_order_seq_cst) {
+    return compare_exchange_strong(expected, std::move(desired), order,
+                                   cas_failure_order(order));
+  }
+
+  T fetch_add(T delta, std::memory_order order = std::memory_order_seq_cst)
+    requires(std::integral<T> && !std::same_as<T, bool>)
+  {
+    return rmw_arith(static_cast<T>(delta), "atomic.fetch_add", order);
+  }
+  T fetch_sub(T delta, std::memory_order order = std::memory_order_seq_cst)
+    requires(std::integral<T> && !std::same_as<T, bool>)
+  {
+    return rmw_arith(static_cast<T>(T{} - delta), "atomic.fetch_sub", order);
+  }
+
+  [[nodiscard]] bool is_lock_free() const noexcept { return true; }
+
+ private:
+  void hb_acquire(Execution* ex, std::memory_order order) const {
+    if (acquire_side(order) && has_sync_) ex->self_vc().join(sync_vc_);
+  }
+  /// Write side of an RMW: a release RMW both heads a new release sequence
+  /// and carries the previous head's clock; a relaxed RMW continues the
+  /// existing release sequence untouched (C++20 [intro.races]).
+  void hb_rmw_release(Execution* ex, std::memory_order order) {
+    if (release_side(order)) {
+      if (has_sync_) {
+        sync_vc_.join(ex->self_vc());
+      } else {
+        sync_vc_ = ex->self_vc();
+      }
+      has_sync_ = true;
+    }
+  }
+  T rmw_arith(T delta, const char* what, std::memory_order order)
+    requires std::integral<T>
+  {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) {
+      T old = value_;
+      value_ = static_cast<T>(value_ + delta);
+      return old;
+    }
+    ex->yield_op({this, true, what});
+    hb_acquire(ex, order);
+    T old = value_;
+    value_ = static_cast<T>(value_ + delta);
+    hb_rmw_release(ex, order);
+    return old;
+  }
+
+  T value_;
+  // The clock carried by the current value's release sequence; joined into
+  // acquiring loaders. Mutable state is scheduler-serialized (one thread runs
+  // at a time), so no further locking.
+  mutable VectorClock sync_vc_;
+  mutable bool has_sync_ = false;
+};
+
+class ModelMutex {
+ public:
+  ModelMutex() = default;
+  ModelMutex(const ModelMutex&) = delete;
+  ModelMutex& operator=(const ModelMutex&) = delete;
+
+  void lock() {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) {
+      locked_ = true;
+      return;
+    }
+    ex->yield_op({this, true, "mutex.lock"});
+    lock_after_yield(ex);
+  }
+
+  bool try_lock() {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) {
+      if (locked_) return false;
+      locked_ = true;
+      return true;
+    }
+    ex->yield_op({this, true, "mutex.try_lock"});
+    if (locked_) return false;
+    locked_ = true;
+    owner_ = ex->self();
+    ex->self_vc().join(vc_);
+    return true;
+  }
+
+  void unlock() {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) {
+      locked_ = false;
+      return;
+    }
+    ex->yield_op({this, true, "mutex.unlock"});
+    vc_ = ex->self_vc();  // release edge to the next acquirer
+    locked_ = false;
+    owner_ = kController;
+    ex->unblock(BlockKind::kMutex, this, /*all=*/true);
+  }
+
+ private:
+  friend class ModelCondVar;
+
+  /// Acquisition body shared by lock() and condvar re-acquisition (which must
+  /// not insert an extra scheduling point of its own).
+  void lock_after_yield(Execution* ex) {
+    while (locked_) {
+      if (!ex->block_self(BlockKind::kMutex, this)) return;  // teardown
+    }
+    locked_ = true;
+    owner_ = ex->self();
+    ex->self_vc().join(vc_);  // acquire edge from the last unlock
+  }
+
+  bool locked_ = false;
+  int owner_ = kController;
+  VectorClock vc_;  ///< clock of the most recent unlock
+};
+
+class ModelCondVar {
+ public:
+  ModelCondVar() = default;
+  ModelCondVar(const ModelCondVar&) = delete;
+  ModelCondVar& operator=(const ModelCondVar&) = delete;
+
+  void wait(std::unique_lock<ModelMutex>& lk) {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) return;
+    ModelMutex* m = lk.mutex();
+    ex->yield_op({this, true, "cv.wait"});
+    // Atomically-release-and-sleep: release edge + waiter wakeups, without a
+    // second scheduling point between unlock and sleep (matches std
+    // semantics: no notification can be lost in that window).
+    m->vc_ = ex->self_vc();
+    m->locked_ = false;
+    m->owner_ = kController;
+    ex->unblock(BlockKind::kMutex, m, /*all=*/true);
+    if (!ex->block_self(BlockKind::kCondVar, this)) return;  // teardown
+    m->lock_after_yield(ex);
+  }
+
+  template <typename Pred>
+  void wait(std::unique_lock<ModelMutex>& lk, Pred pred) {
+    while (!pred()) wait(lk);
+  }
+
+  void notify_one() {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) return;
+    ex->yield_op({this, true, "cv.notify_one"});
+    ex->unblock(BlockKind::kCondVar, this, /*all=*/false);
+  }
+
+  void notify_all() {
+    Execution* ex = Execution::current();
+    if (ex == nullptr) return;
+    ex->yield_op({this, true, "cv.notify_all"});
+    ex->unblock(BlockKind::kCondVar, this, /*all=*/true);
+  }
+};
+
+/// Race-checked plain cell: accesses are NOT scheduling points (keeps the
+/// state space small), but every read/write is checked for a happens-before
+/// edge to all conflicting prior accesses via the vector-clock engine — so a
+/// race is caught in EVERY schedule that lacks the edge, not only in the
+/// schedules where the accesses physically interleave.
+template <typename T>
+class ModelShared {
+ public:
+  constexpr ModelShared() : value_{} {}
+  constexpr ModelShared(T v) : value_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+
+  const T& read(std::source_location loc = std::source_location::current()) const {
+    Execution* ex = Execution::current();
+    if (ex != nullptr) check(ex, /*write=*/false, loc);
+    return value_;
+  }
+
+  T& write(std::source_location loc = std::source_location::current()) {
+    Execution* ex = Execution::current();
+    if (ex != nullptr) check(ex, /*write=*/true, loc);
+    return value_;
+  }
+
+ private:
+  struct Site {
+    const char* file = "";
+    unsigned line = 0;
+  };
+
+  void check(Execution* ex, bool write, const std::source_location& loc) const {
+    const int tid = ex->self();
+    const VectorClock& my = ex->self_vc();
+    for (std::size_t u = 0; u < kMaxThreads; ++u) {
+      if (static_cast<int>(u) == tid) continue;
+      if (writes_.at(u) > my.at(u)) {
+        report(ex, write, loc, wsite_[u], u, "write");
+      } else if (write && reads_.at(u) > my.at(u)) {
+        report(ex, write, loc, rsite_[u], u, "read");
+      }
+    }
+    const auto t = static_cast<std::size_t>(tid);
+    if (write) {
+      writes_.set(t, my.at(t));
+      wsite_[t] = Site{loc.file_name(), loc.line()};
+    } else {
+      reads_.set(t, my.at(t));
+      rsite_[t] = Site{loc.file_name(), loc.line()};
+    }
+  }
+
+  void report(Execution* ex, bool write, const std::source_location& loc,
+              const Site& prior, std::size_t prior_tid,
+              const char* prior_kind) const {
+    std::ostringstream msg;
+    msg << "data race on Shared cell @" << static_cast<const void*>(this)
+        << ": T" << ex->self() << " " << (write ? "write" : "read") << " at "
+        << loc.file_name() << ":" << loc.line()
+        << " has no happens-before edge to T" << prior_tid << " "
+        << prior_kind << " at " << prior.file << ":" << prior.line;
+    ex->fail(FailureKind::kRace, msg.str());
+  }
+
+  T value_;
+  // Scheduler-serialized (one running thread); mutable because reads record
+  // epochs through const access.
+  mutable VectorClock writes_, reads_;
+  mutable Site wsite_[kMaxThreads], rsite_[kMaxThreads];
+};
+
+}  // namespace autopn::mc

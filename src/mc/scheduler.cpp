@@ -1,0 +1,355 @@
+#include "mc/scheduler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <sstream>
+
+namespace autopn::mc {
+
+namespace {
+// Model-thread identity. tl_exec doubles as the "am I under the checker"
+// test used by every primitive; tl_unwinding suppresses scheduling points
+// while an AbortExecution propagates (destructors of lock guards etc. still
+// execute their raw effect, serialized because teardown grants one thread at
+// a time).
+thread_local Execution* tl_exec = nullptr;
+thread_local int tl_tid = kController;
+thread_local bool tl_unwinding = false;
+}  // namespace
+
+const char* failure_kind_name(FailureKind kind) noexcept {
+  switch (kind) {
+    case FailureKind::kRace: return "data-race";
+    case FailureKind::kDeadlock: return "deadlock";
+    case FailureKind::kAssert: return "assertion";
+    case FailureKind::kStepCap: return "step-cap";
+    case FailureKind::kException: return "exception";
+  }
+  return "unknown";
+}
+
+Execution::Execution(Chooser chooser, int max_steps)
+    : chooser_(std::move(chooser)), max_steps_(max_steps) {}
+
+Execution::~Execution() {
+  for (std::size_t i = 0; i < nthreads_; ++i) {
+    if (recs_[i].worker.joinable()) recs_[i].worker.join();
+  }
+}
+
+Execution* Execution::current() noexcept { return tl_exec; }
+
+int Execution::self() const noexcept { return tl_tid; }
+
+int Execution::spawn(std::function<void()> fn) {
+  std::unique_lock lk{m_};
+  const int tid = static_cast<int>(nthreads_);
+  if (tid >= static_cast<int>(kMaxThreads)) {
+    lk.unlock();
+    fail(FailureKind::kException,
+         "spawned more than kMaxThreads model threads");
+    throw AbortExecution{};
+  }
+  ++nthreads_;
+  Rec& rec = recs_[static_cast<std::size_t>(tid)];
+  if (tl_tid != kController) {
+    // HB edge: everything the parent did before the spawn is visible to the
+    // child from its first step.
+    rec.vc = recs_[static_cast<std::size_t>(tl_tid)].vc;
+  }
+  rec.vc.tick(static_cast<std::size_t>(tid));
+  rec.worker = std::thread(
+      [this, tid, f = std::move(fn)]() mutable { worker_main(tid, std::move(f)); });
+  return tid;
+}
+
+void Execution::worker_main(int tid, std::function<void()> fn) {
+  tl_exec = this;
+  tl_tid = tid;
+  tl_unwinding = false;
+  Rec& rec = recs_[static_cast<std::size_t>(tid)];
+  bool run_body = true;
+  {
+    std::unique_lock lk{m_};
+    rec.pending = PendingOp{nullptr, false, "thread.start"};
+    rec.parked = true;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return active_ == tid; });
+    rec.parked = false;
+    if (rec.abort_grant) {
+      run_body = false;  // torn down before it ever ran
+    } else {
+      trace_.push_back({step_, tid, rec.pending.what, nullptr});
+      rec.vc.tick(static_cast<std::size_t>(tid));
+    }
+  }
+  if (run_body) {
+    try {
+      fn();
+    } catch (const AbortExecution&) {
+      tl_unwinding = false;
+    } catch (const std::exception& e) {
+      fail(FailureKind::kException,
+           std::string{"exception escaped model thread: "} + e.what());
+    } catch (...) {
+      fail(FailureKind::kException,
+           "non-std exception escaped model thread");
+    }
+  }
+  std::unique_lock lk{m_};
+  rec.state = State::kFinished;
+  rec.parked = true;  // settled for good
+  active_ = kController;
+  // Joiners key on the rec address (stable: recs_ is a fixed array).
+  for (std::size_t i = 0; i < nthreads_; ++i) {
+    Rec& other = recs_[i];
+    if (other.state == State::kBlocked && other.block_kind == BlockKind::kJoin &&
+        other.block_obj == &rec) {
+      other.state = State::kRunnable;
+      other.block_kind = BlockKind::kNone;
+      other.block_obj = nullptr;
+    }
+  }
+  cv_.notify_all();
+  tl_exec = nullptr;
+  tl_tid = kController;
+}
+
+void Execution::yield_op(PendingOp op) {
+  if (tl_unwinding) return;  // teardown: perform ops raw, no scheduling
+  const int tid = tl_tid;
+  Rec& rec = recs_[static_cast<std::size_t>(tid)];
+  std::unique_lock lk{m_};
+  rec.pending = op;
+  rec.parked = true;
+  active_ = kController;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return active_ == tid; });
+  rec.parked = false;
+  if (rec.abort_grant) {
+    tl_unwinding = true;
+    throw AbortExecution{};
+  }
+  trace_.push_back({step_, tid, op.what, op.obj});
+  rec.vc.tick(static_cast<std::size_t>(tid));
+}
+
+bool Execution::block_self(BlockKind kind, const void* obj) {
+  if (tl_unwinding) return false;
+  const int tid = tl_tid;
+  Rec& rec = recs_[static_cast<std::size_t>(tid)];
+  std::unique_lock lk{m_};
+  rec.state = State::kBlocked;
+  rec.block_kind = kind;
+  rec.block_obj = obj;
+  rec.parked = true;
+  active_ = kController;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return active_ == tid; });
+  rec.parked = false;
+  if (rec.abort_grant) {
+    tl_unwinding = true;
+    throw AbortExecution{};
+  }
+  trace_.push_back({step_, tid, "resume", obj});
+  rec.vc.tick(static_cast<std::size_t>(tid));
+  return true;
+}
+
+void Execution::unblock(BlockKind kind, const void* obj, bool all) {
+  // Caller is the running thread (or teardown); state is scheduler-owned, so
+  // mutate under the baton mutex.
+  std::unique_lock lk{m_};
+  for (std::size_t i = 0; i < nthreads_; ++i) {
+    Rec& rec = recs_[i];
+    if (rec.state == State::kBlocked && rec.block_kind == kind &&
+        rec.block_obj == obj) {
+      rec.state = State::kRunnable;
+      rec.block_kind = BlockKind::kNone;
+      rec.block_obj = nullptr;
+      rec.pending = PendingOp{obj, true, "wakeup"};
+      if (!all) return;
+    }
+  }
+}
+
+void Execution::join_thread(int tid) {
+  yield_op(PendingOp{&recs_[static_cast<std::size_t>(tid)], false, "thread.join"});
+  while (!thread_finished(tid)) {
+    if (!block_self(BlockKind::kJoin, &recs_[static_cast<std::size_t>(tid)])) {
+      return;
+    }
+  }
+  if (tl_tid != kController) {
+    std::unique_lock lk{m_};
+    recs_[static_cast<std::size_t>(tl_tid)].vc.join(
+        recs_[static_cast<std::size_t>(tid)].vc);
+  }
+}
+
+bool Execution::thread_finished(int tid) const {
+  std::unique_lock lk{m_};
+  return recs_[static_cast<std::size_t>(tid)].state == State::kFinished;
+}
+
+VectorClock& Execution::self_vc() {
+  return recs_[static_cast<std::size_t>(tl_tid)].vc;
+}
+
+const PendingOp& Execution::pending(int tid) const {
+  return recs_[static_cast<std::size_t>(tid)].pending;
+}
+
+void Execution::abort_self() {
+  tl_unwinding = true;
+  throw AbortExecution{};
+}
+
+void Execution::fail(FailureKind kind, std::string message) {
+  std::unique_lock lk{m_};
+  if (failures_.size() < 16) {
+    failures_.push_back(Failure{kind, std::move(message), schedule_string(),
+                                trace_string()});
+  }
+  if (kind != FailureKind::kRace) abort_requested_ = true;
+}
+
+std::string Execution::schedule_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < choices_.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(choices_[i]);
+  }
+  return out;
+}
+
+std::string Execution::trace_string() const {
+  std::ostringstream out;
+  for (const TraceEvent& ev : trace_) {
+    out << "  #" << ev.step << " T" << ev.tid << " " << ev.what;
+    if (ev.obj != nullptr) out << " @" << ev.obj;
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::vector<int> Execution::enabled_threads() const {
+  std::vector<int> enabled;
+  for (std::size_t i = 0; i < nthreads_; ++i) {
+    if (recs_[i].state == State::kRunnable) enabled.push_back(static_cast<int>(i));
+  }
+  return enabled;
+}
+
+void Execution::await_settled(std::unique_lock<std::mutex>& lk) {
+  cv_.wait(lk, [&] {
+    if (active_ != kController) return false;
+    for (std::size_t i = 0; i < nthreads_; ++i) {
+      if (!recs_[i].parked && recs_[i].state != State::kFinished) return false;
+    }
+    return true;
+  });
+}
+
+void Execution::grant(std::unique_lock<std::mutex>& lk, int tid,
+                      bool abort_grant) {
+  Rec& rec = recs_[static_cast<std::size_t>(tid)];
+  rec.abort_grant = abort_grant;
+  active_ = tid;
+  cv_.notify_all();
+  await_settled(lk);
+}
+
+void Execution::run(std::function<void()> body) {
+  spawn(std::move(body));
+  std::unique_lock lk{m_};
+  for (;;) {
+    await_settled(lk);
+    if (abort_requested_) aborting_ = true;
+    bool all_finished = true;
+    for (std::size_t i = 0; i < nthreads_; ++i) {
+      if (recs_[i].state != State::kFinished) all_finished = false;
+    }
+    if (all_finished) break;
+    if (aborting_) {
+      // Tear down one thread at a time (keeps raw teardown ops serialized):
+      // grant any unfinished thread an abort token; blocked or not, it wakes,
+      // throws AbortExecution, unwinds, and finishes.
+      for (std::size_t i = 0; i < nthreads_; ++i) {
+        if (recs_[i].state != State::kFinished) {
+          grant(lk, static_cast<int>(i), /*abort_grant=*/true);
+          break;
+        }
+      }
+      continue;
+    }
+    std::vector<int> enabled = enabled_threads();
+    if (enabled.empty()) {
+      std::ostringstream msg;
+      msg << "deadlock: every live thread is blocked —";
+      for (std::size_t i = 0; i < nthreads_; ++i) {
+        if (recs_[i].state == State::kBlocked) {
+          msg << " T" << i << "("
+              << (recs_[i].block_kind == BlockKind::kMutex     ? "mutex"
+                  : recs_[i].block_kind == BlockKind::kCondVar ? "condvar"
+                                                               : "join")
+              << " @" << recs_[i].block_obj << ")";
+        }
+      }
+      deadlocked_ = true;
+      lk.unlock();
+      fail(FailureKind::kDeadlock, msg.str());
+      lk.lock();
+      aborting_ = true;
+      continue;
+    }
+    if (step_ >= max_steps_) {
+      lk.unlock();
+      fail(FailureKind::kStepCap,
+           "execution exceeded max_steps (possible livelock; raise "
+           "Options::max_steps if the harness is legitimately long)");
+      lk.lock();
+      aborting_ = true;
+      continue;
+    }
+    int choice;
+    {
+      // The chooser may inspect pending() freely: every thread is parked.
+      lk.unlock();
+      choice = chooser_(*this, enabled, step_);
+      lk.lock();
+    }
+    if (std::find(enabled.begin(), enabled.end(), choice) == enabled.end()) {
+      lk.unlock();
+      fail(FailureKind::kException,
+           "chooser returned a non-enabled thread id " + std::to_string(choice));
+      lk.lock();
+      aborting_ = true;
+      continue;
+    }
+    choices_.push_back(choice);
+    ++step_;
+    grant(lk, choice, /*abort_grant=*/false);
+  }
+}
+
+Thread::Thread(std::function<void()> fn)
+    : ex_(Execution::current()), tid_(-1) {
+  if (ex_ == nullptr) {
+    std::fprintf(stderr,
+                 "mc::Thread constructed outside a model execution\n");
+    std::terminate();
+  }
+  tid_ = ex_->spawn(std::move(fn));
+}
+
+void Thread::join() {
+  if (joined_) return;
+  joined_ = true;
+  ex_->join_thread(tid_);
+}
+
+Thread::~Thread() { join(); }
+
+}  // namespace autopn::mc

@@ -1,0 +1,208 @@
+#pragma once
+// Cooperative execution engine of the autopn model checker (AUTOPN_MC; see
+// docs/MODEL_CHECKING.md). One Execution runs a test body once under ONE
+// schedule: every model thread is a real std::thread, but a baton handshake
+// guarantees exactly one runs at a time, and every seam operation
+// (sync::Atomic / sync::Mutex / sync::CondVar via src/mc/model_sync.hpp) is a
+// scheduling point where an externally supplied chooser — the exploration
+// strategy in src/mc/explore.cpp — decides which enabled thread performs its
+// pending operation next. The engine also owns the per-thread vector clocks
+// of the happens-before race detector and all failure reporting (races,
+// deadlocks, assertion failures, step-cap overruns), each failure carrying
+// the full interleaving trace plus a replayable schedule string.
+//
+// Layering: src/mc depends only on the standard library — never on src/util
+// or anything above it — because util/sync.hpp includes this subsystem when
+// AUTOPN_MC is on.
+
+#include <array>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mc/vclock.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace autopn::mc {
+
+inline constexpr int kController = -1;
+
+/// The operation a parked thread will perform once granted — the unit the
+/// exploration strategy reasons about (sleep-set independence keys on
+/// (obj, write)).
+struct PendingOp {
+  const void* obj = nullptr;  ///< primitive identity; nullptr = scheduler-internal
+  bool write = false;         ///< mutating op (store/rmw/lock/unlock/notify)
+  const char* what = "";      ///< static label for traces, e.g. "atomic.store"
+};
+
+enum class BlockKind : std::uint8_t { kNone, kMutex, kCondVar, kJoin };
+
+/// Thrown at a scheduling point when the execution is being torn down
+/// (deadlock, assertion failure, step cap). Worker wrappers catch it; user
+/// code must let it propagate (harness bodies that swallow `...` would hang
+/// the teardown).
+struct AbortExecution {};
+
+enum class FailureKind : std::uint8_t {
+  kRace,      ///< Shared<T> access without a happens-before edge
+  kDeadlock,  ///< every live thread blocked
+  kAssert,    ///< MC_ASSERT failed
+  kStepCap,   ///< execution exceeded Options::max_steps (livelock guard)
+  kException, ///< an exception escaped a model thread
+};
+
+[[nodiscard]] const char* failure_kind_name(FailureKind kind) noexcept;
+
+struct Failure {
+  FailureKind kind;
+  std::string message;
+  /// Comma-separated chosen thread ids, one per scheduling point — feed to
+  /// --replay= (explore.hpp) to deterministically re-run this interleaving.
+  std::string schedule;
+  /// Human-readable step-by-step interleaving up to the failure.
+  std::string trace;
+};
+
+class Execution {
+ public:
+  /// Picks the next thread at each scheduling point. `enabled` is sorted and
+  /// non-empty; the return value must be one of its elements. `step` counts
+  /// scheduling decisions from 0. Query pending(tid) for sleep-set reasoning.
+  using Chooser =
+      std::function<int(Execution&, const std::vector<int>& enabled, int step)>;
+
+  Execution(Chooser chooser, int max_steps);
+  ~Execution();
+
+  Execution(const Execution&) = delete;
+  Execution& operator=(const Execution&) = delete;
+
+  /// The execution driving the calling thread, or nullptr when the caller is
+  /// not a model thread (then seam ops execute raw — setup/teardown paths).
+  [[nodiscard]] static Execution* current() noexcept;
+
+  /// Runs `body` as model thread 0 and drives scheduling until every thread
+  /// finishes (or the execution aborts). Call once.
+  void run(std::function<void()> body);
+
+  // ---- model-thread API (called from primitives in model_sync.hpp) --------
+
+  /// Id of the calling model thread.
+  [[nodiscard]] int self() const noexcept;
+  /// Scheduling point: parks until the chooser grants this thread, then
+  /// records `op` in the trace. Returns immediately (performing the op raw)
+  /// while the thread is unwinding from an abort.
+  void yield_op(PendingOp op);
+  /// Parks as blocked on (kind, obj) until unblocked AND granted. Returns
+  /// false when the execution is tearing down (caller must bail out of its
+  /// wait loop rather than retry).
+  bool block_self(BlockKind kind, const void* obj);
+  /// Marks threads blocked on (kind, obj) runnable — lowest tid only when
+  /// `all` is false (deterministic stand-in for notify_one's free choice).
+  void unblock(BlockKind kind, const void* obj, bool all);
+
+  /// Registers a new model thread (HB edge parent→child). Fails the
+  /// execution if more than kMaxThreads are spawned.
+  int spawn(std::function<void()> fn);
+  /// Blocks until `tid` finishes, then joins its clock (HB edge child→parent).
+  void join_thread(int tid);
+  [[nodiscard]] bool thread_finished(int tid) const;
+
+  [[nodiscard]] VectorClock& self_vc();
+  [[nodiscard]] bool tearing_down() const noexcept { return aborting_; }
+
+  /// Records a failure with the trace-so-far and schedule. Races keep the
+  /// execution running (the model state stays consistent); every other kind
+  /// also triggers teardown.
+  void fail(FailureKind kind, std::string message);
+
+  /// Unwinds the calling model thread out of the execution (after fail());
+  /// seam ops hit during the unwind execute raw. [[noreturn]].
+  [[noreturn]] void abort_self();
+
+  // ---- chooser / explorer API --------------------------------------------
+
+  [[nodiscard]] const PendingOp& pending(int tid) const;
+  [[nodiscard]] const std::vector<int>& choices() const noexcept {
+    return choices_;
+  }
+  [[nodiscard]] const std::vector<Failure>& failures() const noexcept {
+    return failures_;
+  }
+  [[nodiscard]] bool deadlocked() const noexcept { return deadlocked_; }
+
+  [[nodiscard]] std::string schedule_string() const;
+  [[nodiscard]] std::string trace_string() const;
+
+ private:
+  enum class State : std::uint8_t { kRunnable, kBlocked, kFinished };
+
+  struct Rec {
+    std::thread worker;
+    State state = State::kRunnable;
+    BlockKind block_kind = BlockKind::kNone;
+    const void* block_obj = nullptr;
+    PendingOp pending{};
+    bool parked = false;  ///< sitting at the baton, resumable by a grant
+    bool abort_grant = false;
+    VectorClock vc;
+  };
+
+  struct TraceEvent {
+    int step;
+    int tid;
+    const char* what;
+    const void* obj;
+  };
+
+  void worker_main(int tid, std::function<void()> fn);
+  /// Waits until every live thread is parked and control is back here.
+  void await_settled(std::unique_lock<std::mutex>& lk);
+  void grant(std::unique_lock<std::mutex>& lk, int tid, bool abort_grant);
+  [[nodiscard]] std::vector<int> enabled_threads() const;
+
+  Chooser chooser_;
+  const int max_steps_;
+
+  mutable std::mutex m_;
+  std::condition_variable cv_;
+  int active_ AUTOPN_GUARDED_BY(m_) = kController;
+  bool aborting_ AUTOPN_GUARDED_BY(m_) = false;
+  bool abort_requested_ AUTOPN_GUARDED_BY(m_) = false;
+  bool deadlocked_ AUTOPN_GUARDED_BY(m_) = false;
+  int step_ AUTOPN_GUARDED_BY(m_) = 0;
+
+  // Fixed-capacity thread table: element addresses are stable (join/ unblock
+  // key on them) and workers index their own slot without reallocation races.
+  std::array<Rec, kMaxThreads> recs_ AUTOPN_GUARDED_BY(m_);
+  std::size_t nthreads_ AUTOPN_GUARDED_BY(m_) = 0;
+  std::vector<int> choices_ AUTOPN_GUARDED_BY(m_);
+  std::vector<TraceEvent> trace_ AUTOPN_GUARDED_BY(m_);
+  std::vector<Failure> failures_ AUTOPN_GUARDED_BY(m_);
+};
+
+/// Model thread handle — the only way harness code may create concurrency
+/// under the checker. Join before destruction (the destructor joins as a
+/// convenience, so scoped teardown during aborts stays safe).
+class Thread {
+ public:
+  explicit Thread(std::function<void()> fn);
+  ~Thread();
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  void join();
+
+ private:
+  Execution* ex_;
+  int tid_;
+  bool joined_ = false;
+};
+
+}  // namespace autopn::mc

@@ -1,0 +1,50 @@
+#pragma once
+// Fixed-width vector clocks for the model checker's happens-before engine
+// (docs/MODEL_CHECKING.md). Clocks are indexed by model-thread id; the
+// checker caps concurrency at kMaxThreads per execution, which keeps every
+// clock a flat array (no allocation on the hot yield path) and makes joins
+// and ordering checks branch-free loops.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace autopn::mc {
+
+/// Hard cap on simultaneously-live model threads in one execution. Harnesses
+/// that need more are modeling the wrong granularity — exhaustive exploration
+/// is exponential in threads, so realistic harnesses use 2-4.
+inline constexpr std::size_t kMaxThreads = 8;
+
+class VectorClock {
+ public:
+  constexpr VectorClock() : c_{} {}
+
+  [[nodiscard]] std::uint64_t at(std::size_t tid) const { return c_[tid]; }
+  void tick(std::size_t tid) { ++c_[tid]; }
+  void set(std::size_t tid, std::uint64_t v) { c_[tid] = v; }
+
+  /// Pointwise max — the HB edge primitive ("everything `other` has seen, I
+  /// have now seen too").
+  void join(const VectorClock& other) {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      if (other.c_[i] > c_[i]) c_[i] = other.c_[i];
+    }
+  }
+
+  /// this <= other pointwise: every event this clock knows about
+  /// happens-before (or is) the other clock's frontier.
+  [[nodiscard]] bool leq(const VectorClock& other) const {
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      if (c_[i] > other.c_[i]) return false;
+    }
+    return true;
+  }
+
+  void clear() { c_.fill(0); }
+
+ private:
+  std::array<std::uint64_t, kMaxThreads> c_;
+};
+
+}  // namespace autopn::mc

@@ -21,28 +21,28 @@ RequestQueue::Admit RequestQueue::try_push(Request request) {
   // Chaos hook (delay mode): hold the producer between its admission
   // decision upstream and the queue lock, widening the submit/close race.
   AUTOPN_FAILPOINT("serve.queue.push");
-  std::scoped_lock lock{mutex_};
-  ++offered_;
-  if (closed_) {
-    ++shed_;
+  sync::ScopedLock lock{mutex_};
+  ++offered_.write();
+  if (closed_.read()) {
+    ++shed_.write();
     return Admit::kClosed;
   }
-  if (queue_.size() >= watermark_) {
-    ++shed_;
+  if (queue_.read().size() >= watermark_) {
+    ++shed_.write();
     return Admit::kShed;
   }
-  queue_.push_back(std::move(request));
-  ++admitted_;
+  queue_.write().push_back(std::move(request));
+  ++admitted_.write();
   cv_.notify_one();
   return Admit::kAdmitted;
 }
 
 std::optional<Request> RequestQueue::pop() {
-  std::unique_lock lock{mutex_};
-  cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-  if (queue_.empty()) return std::nullopt;
-  Request request = std::move(queue_.front());
-  queue_.pop_front();
+  sync::UniqueLock lock{mutex_};
+  cv_.wait(lock, [this] { return closed_.read() || !queue_.read().empty(); });
+  if (queue_.read().empty()) return std::nullopt;
+  Request request = std::move(queue_.write().front());
+  queue_.write().pop_front();
   return request;
 }
 
@@ -50,34 +50,34 @@ void RequestQueue::close() {
   // Chaos hook (delay mode): stall shutdown before admission stops, letting
   // producers keep racing pushes against the imminent close.
   AUTOPN_FAILPOINT("serve.queue.close");
-  std::scoped_lock lock{mutex_};
-  closed_ = true;
+  sync::ScopedLock lock{mutex_};
+  closed_.write() = true;
   cv_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  std::scoped_lock lock{mutex_};
-  return closed_;
+  sync::ScopedLock lock{mutex_};
+  return closed_.read();
 }
 
 std::size_t RequestQueue::depth() const {
-  std::scoped_lock lock{mutex_};
-  return queue_.size();
+  sync::ScopedLock lock{mutex_};
+  return queue_.read().size();
 }
 
 std::uint64_t RequestQueue::offered() const {
-  std::scoped_lock lock{mutex_};
-  return offered_;
+  sync::ScopedLock lock{mutex_};
+  return offered_.read();
 }
 
 std::uint64_t RequestQueue::admitted() const {
-  std::scoped_lock lock{mutex_};
-  return admitted_;
+  sync::ScopedLock lock{mutex_};
+  return admitted_.read();
 }
 
 std::uint64_t RequestQueue::shed() const {
-  std::scoped_lock lock{mutex_};
-  return shed_;
+  sync::ScopedLock lock{mutex_};
+  return shed_.read();
 }
 
 }  // namespace autopn::serve

@@ -17,9 +17,12 @@
 #include <optional>
 
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace autopn::serve {
+
+namespace sync = autopn::sync;
 
 /// How one admitted request ended.
 enum class RequestOutcome : std::uint8_t {
@@ -97,13 +100,13 @@ class RequestQueue {
   const std::size_t capacity_;
   const std::size_t watermark_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_ AUTOPN_GUARDED_BY(mutex_);
-  bool closed_ AUTOPN_GUARDED_BY(mutex_) = false;
-  std::uint64_t offered_ AUTOPN_GUARDED_BY(mutex_) = 0;
-  std::uint64_t admitted_ AUTOPN_GUARDED_BY(mutex_) = 0;
-  std::uint64_t shed_ AUTOPN_GUARDED_BY(mutex_) = 0;
+  mutable sync::Mutex mutex_;
+  sync::CondVar cv_;
+  sync::Shared<std::deque<Request>> queue_ AUTOPN_GUARDED_BY(mutex_);
+  sync::Shared<bool> closed_ AUTOPN_GUARDED_BY(mutex_) = false;
+  sync::Shared<std::uint64_t> offered_ AUTOPN_GUARDED_BY(mutex_) = 0;
+  sync::Shared<std::uint64_t> admitted_ AUTOPN_GUARDED_BY(mutex_) = 0;
+  sync::Shared<std::uint64_t> shed_ AUTOPN_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace autopn::serve

@@ -19,7 +19,7 @@ void CommitManager::validate_or_throw(const CommitRequest& req) const {
   // costing false aborts.
   for (const auto& pred : req.predicates) {
     const Body* newest = pred->box()->newest();
-    if (newest == nullptr || !pred->holds(newest->value.get())) {
+    if (newest == nullptr || !pred->holds(newest->value.read().get())) {
       profiler_->note(pred->box(), pred->profile_key());
       throw ConflictError{ConflictKind::kPredicate};
     }
@@ -34,12 +34,12 @@ std::shared_ptr<const void> CommitManager::materialize(const CommitWrite& write,
   // lock-free protocol and the hold time of the global commit lock.
   AUTOPN_FAILPOINT("stm.map.install");
   const Body* newest = write.box->newest();
-  return write.delta->apply(newest != nullptr ? newest->value.get() : nullptr,
-                            version);
+  return write.delta->apply(
+      newest != nullptr ? newest->value.read().get() : nullptr, version);
 }
 
 void GlobalLockCommitManager::commit(CommitRequest& req) {
-  std::scoped_lock lock{mutex_};
+  sync::ScopedLock lock{mutex_};
   validate_or_throw(req);
   const std::uint64_t version = clock_->load(std::memory_order_relaxed) + 1;
   const std::uint64_t min_active = snapshots_->min_active();
@@ -51,7 +51,7 @@ void GlobalLockCommitManager::commit(CommitRequest& req) {
   clock_->store(version, std::memory_order_seq_cst);
 }
 
-LockFreeCommitManager::LockFreeCommitManager(std::atomic<std::uint64_t>& clock,
+LockFreeCommitManager::LockFreeCommitManager(sync::Atomic<std::uint64_t>& clock,
                                              SnapshotRegistry& snapshots,
                                              ContentionProfiler& profiler)
     : CommitManager(clock, snapshots, profiler) {
@@ -61,29 +61,29 @@ LockFreeCommitManager::LockFreeCommitManager(std::atomic<std::uint64_t>& clock,
 }
 
 void LockFreeCommitManager::help_commit(CommitRecord& record) {
+  const std::uint64_t version = record.version.read();
   if (!record.done.load(std::memory_order_acquire)) {
     const std::uint64_t min_active = snapshots_->min_active();
-    for (const auto& write : record.writes) {
+    for (const auto& write : record.writes.read()) {
       // Delta bases are stable here: the helping invariant says record v-1
       // finished writeback before record v was chained, and no later record
       // installs until v is done — so between those points the box's newest
       // committed body is fixed, every racing helper materializes the same
       // value, and install_cas rejects any helper that observed a later
       // body (its version check fails).
-      if (write.delta != nullptr &&
-          write.box->newest_version() >= record.version) {
+      if (write.delta != nullptr && write.box->newest_version() >= version) {
         continue;  // another helper already installed this write
       }
-      (void)write.box->install_cas(materialize(write, record.version),
-                                   record.version, min_active);
+      (void)write.box->install_cas(materialize(write, version), version,
+                                   min_active);
     }
     record.done.store(true, std::memory_order_release);
   }
   // Publish the version (monotone max; helpers may race with later records).
   // seq_cst for the registry handshake, as in the global-lock manager.
   std::uint64_t current = clock_->load(std::memory_order_relaxed);
-  while (current < record.version &&
-         !clock_->compare_exchange_weak(current, record.version,
+  while (current < version &&
+         !clock_->compare_exchange_weak(current, version,
                                         std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
   }
@@ -95,7 +95,7 @@ void LockFreeCommitManager::commit(CommitRequest& req) {
   // writeback — so after help_commit(current) every committed version is
   // visible and validation against the boxes' newest versions is exact.
   auto record = std::make_shared<CommitRecord>();
-  record->writes = std::move(req.writes);
+  record->writes.write() = std::move(req.writes);
   for (;;) {
     auto current = latest_.load(std::memory_order_acquire);
     // Chaos hook (delay mode): stall this committer between loading the chain
@@ -104,10 +104,14 @@ void LockFreeCommitManager::commit(CommitRequest& req) {
     AUTOPN_FAILPOINT("stm.commit.helping");
     help_commit(*current);
     validate_or_throw(req);
-    record->version = current->version + 1;
+    record->version.write() = current->version.read() + 1;
     record->done.store(false, std::memory_order_relaxed);
+    // Success order detail::record_publish_order() is acq_rel: the release
+    // half publishes the record's plain fields (version, writes) to every
+    // helper that acquire-loads `latest_` — the edge the model checker
+    // verifies (and reports as a race when the mc fixture weakens it).
     if (latest_.compare_exchange_strong(current, record,
-                                        std::memory_order_acq_rel,
+                                        detail::record_publish_order(),
                                         std::memory_order_acquire)) {
       help_commit(*record);
       return;
@@ -118,7 +122,7 @@ void LockFreeCommitManager::commit(CommitRequest& req) {
 }
 
 std::unique_ptr<CommitManager> make_commit_manager(
-    CommitStrategy strategy, std::atomic<std::uint64_t>& clock,
+    CommitStrategy strategy, sync::Atomic<std::uint64_t>& clock,
     SnapshotRegistry& snapshots, ContentionProfiler& profiler) {
   switch (strategy) {
     case CommitStrategy::kGlobalLock:

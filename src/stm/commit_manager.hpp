@@ -23,7 +23,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string_view>
 #include <utility>
 #include <vector>
@@ -32,8 +31,29 @@
 #include "stm/snapshot_registry.hpp"
 #include "stm/stats.hpp"
 #include "stm/vbox.hpp"
+#include "util/sync.hpp"
 
 namespace autopn::stm {
+
+namespace detail {
+/// Memory order of the CAS that publishes a freshly chained CommitRecord
+/// (LockFreeCommitManager::commit). A constant in production. Under AUTOPN_MC
+/// the mc_commit_helping fixture flips `mc_weaken_record_publish` (before any
+/// model thread spawns) to prove the checker reports the resulting
+/// publication race on the record's non-atomic fields — the "annotations are
+/// sufficient, not just explicit" demonstration of docs/MODEL_CHECKING.md.
+#if defined(AUTOPN_MC) && AUTOPN_MC
+inline bool mc_weaken_record_publish = false;
+inline std::memory_order record_publish_order() noexcept {
+  return mc_weaken_record_publish ? std::memory_order_relaxed
+                                  : std::memory_order_acq_rel;
+}
+#else
+constexpr std::memory_order record_publish_order() noexcept {
+  return std::memory_order_acq_rel;
+}
+#endif
+}  // namespace detail
 
 /// How top-level commits serialize.
 enum class CommitStrategy {
@@ -101,7 +121,7 @@ class CommitManager {
   [[nodiscard]] virtual bool serialization_lock_free() const noexcept = 0;
 
  protected:
-  CommitManager(std::atomic<std::uint64_t>& clock, SnapshotRegistry& snapshots,
+  CommitManager(sync::Atomic<std::uint64_t>& clock, SnapshotRegistry& snapshots,
                 ContentionProfiler& profiler)
       : clock_(&clock), snapshots_(&snapshots), profiler_(&profiler) {}
 
@@ -116,7 +136,7 @@ class CommitManager {
   [[nodiscard]] static std::shared_ptr<const void> materialize(
       const CommitWrite& write, std::uint64_t version);
 
-  std::atomic<std::uint64_t>* clock_;
+  sync::Atomic<std::uint64_t>* clock_;
   SnapshotRegistry* snapshots_;
   ContentionProfiler* profiler_;
 };
@@ -124,7 +144,7 @@ class CommitManager {
 /// Strategy kGlobalLock: one mutex serializes validate + install.
 class GlobalLockCommitManager final : public CommitManager {
  public:
-  GlobalLockCommitManager(std::atomic<std::uint64_t>& clock,
+  GlobalLockCommitManager(sync::Atomic<std::uint64_t>& clock,
                           SnapshotRegistry& snapshots,
                           ContentionProfiler& profiler)
       : CommitManager(clock, snapshots, profiler) {}
@@ -138,13 +158,13 @@ class GlobalLockCommitManager final : public CommitManager {
   }
 
  private:
-  std::mutex mutex_;
+  sync::Mutex mutex_;
 };
 
 /// Strategy kLockFree: JVSTM-style commit-record chain with helping.
 class LockFreeCommitManager final : public CommitManager {
  public:
-  LockFreeCommitManager(std::atomic<std::uint64_t>& clock,
+  LockFreeCommitManager(sync::Atomic<std::uint64_t>& clock,
                         SnapshotRegistry& snapshots,
                         ContentionProfiler& profiler);
 
@@ -164,21 +184,21 @@ class LockFreeCommitManager final : public CommitManager {
   /// body until this record's version is installed, so racing helpers
   /// compute the same value and install_cas arbitrates.
   struct CommitRecord {
-    std::uint64_t version = 0;
-    std::vector<CommitWrite> writes;
-    std::atomic<bool> done{true};
+    sync::Shared<std::uint64_t> version{0};
+    sync::Shared<std::vector<CommitWrite>> writes;
+    sync::Atomic<bool> done{true};
   };
 
   /// Completes a record's writeback (idempotent; any thread may help) and
   /// publishes its version to the clock.
   void help_commit(CommitRecord& record);
 
-  std::atomic<std::shared_ptr<CommitRecord>> latest_;
+  sync::Atomic<std::shared_ptr<CommitRecord>> latest_;
 };
 
 /// Builds the manager for `strategy` over the given runtime environment.
 [[nodiscard]] std::unique_ptr<CommitManager> make_commit_manager(
-    CommitStrategy strategy, std::atomic<std::uint64_t>& clock,
+    CommitStrategy strategy, sync::Atomic<std::uint64_t>& clock,
     SnapshotRegistry& snapshots, ContentionProfiler& profiler);
 
 }  // namespace autopn::stm

@@ -4,7 +4,7 @@
 
 namespace autopn::stm {
 
-SnapshotRegistry::SnapshotRegistry(const std::atomic<std::uint64_t>& clock,
+SnapshotRegistry::SnapshotRegistry(const sync::Atomic<std::uint64_t>& clock,
                                    std::size_t slots)
     : clock_(&clock),
       slots_(util::ceil_pow2(std::max<std::size_t>(1, slots))),
@@ -48,7 +48,7 @@ SnapshotRegistry::Handle SnapshotRegistry::acquire() {
   overflow_active_.fetch_add(1, std::memory_order_seq_cst);
   std::uint64_t snap;
   {
-    std::scoped_lock lock{overflow_mutex_};
+    sync::ScopedLock lock{overflow_mutex_};
     snap = clock_->load(std::memory_order_seq_cst);
     auto it = overflow_.insert(snap);
     for (;;) {
@@ -82,7 +82,7 @@ void SnapshotRegistry::release_slot(std::size_t slot) noexcept {
 
 void SnapshotRegistry::release_overflow(std::uint64_t snapshot) noexcept {
   {
-    std::scoped_lock lock{overflow_mutex_};
+    sync::ScopedLock lock{overflow_mutex_};
     overflow_.erase(overflow_.find(snapshot));
   }
   overflow_active_.fetch_sub(1, std::memory_order_seq_cst);
@@ -100,7 +100,7 @@ std::uint64_t SnapshotRegistry::min_active() const {
     if (v != kEmpty && v < min) min = v;
   }
   if (overflow_active_.load(std::memory_order_seq_cst) != 0) {
-    std::scoped_lock lock{overflow_mutex_};
+    sync::ScopedLock lock{overflow_mutex_};
     if (!overflow_.empty()) min = std::min(min, *overflow_.begin());
   }
   return min;
@@ -115,7 +115,7 @@ std::size_t SnapshotRegistry::active_count() const {
 }
 
 std::size_t SnapshotRegistry::overflow_count() const {
-  std::scoped_lock lock{overflow_mutex_};
+  sync::ScopedLock lock{overflow_mutex_};
   return overflow_.size();
 }
 

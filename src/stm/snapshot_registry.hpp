@@ -41,16 +41,19 @@
 #include <vector>
 
 #include "util/sharded.hpp"
+#include "util/sync.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace autopn::stm {
+
+namespace sync = autopn::sync;
 
 class SnapshotRegistry {
  public:
   /// `clock` is the runtime's global version clock (must outlive the
   /// registry); `slots` is rounded up to a power of two. Transactions beyond
   /// the slot capacity fall back to the mutex-protected overflow set.
-  explicit SnapshotRegistry(const std::atomic<std::uint64_t>& clock,
+  explicit SnapshotRegistry(const sync::Atomic<std::uint64_t>& clock,
                             std::size_t slots = kDefaultSlots);
 
   SnapshotRegistry(const SnapshotRegistry&) = delete;
@@ -133,15 +136,15 @@ class SnapshotRegistry {
   void release_slot(std::size_t slot) noexcept;
   void release_overflow(std::uint64_t snapshot) noexcept;
 
-  const std::atomic<std::uint64_t>* clock_;
-  std::vector<util::Padded<std::atomic<std::uint64_t>>> slots_;
+  const sync::Atomic<std::uint64_t>* clock_;
+  std::vector<util::Padded<sync::Atomic<std::uint64_t>>> slots_;
   std::size_t slot_mask_;
 
   /// Count of overflow registrations, bumped BEFORE the protected insert so a
   /// committer that reads 0 is ordered before any overflow entry it could
   /// have missed (same publish-and-validate argument as the slots).
-  std::atomic<std::size_t> overflow_active_{0};
-  mutable std::mutex overflow_mutex_;
+  sync::Atomic<std::size_t> overflow_active_{0};
+  mutable sync::Mutex overflow_mutex_;
   std::multiset<std::uint64_t> overflow_ AUTOPN_GUARDED_BY(overflow_mutex_);
 };
 

@@ -236,7 +236,7 @@ class Stm {
   void notify_commit();
 
   StmConfig config_;
-  std::atomic<std::uint64_t> clock_{0};
+  sync::Atomic<std::uint64_t> clock_{0};
   SnapshotRegistry snapshots_;
   StmStats stats_;
   ContentionProfiler profiler_;

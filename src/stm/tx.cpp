@@ -57,7 +57,7 @@ Tx::ReadEntry Tx::resolve_above(VBoxBase* box) {
     if (body == nullptr && pending.empty()) {
       throw std::logic_error{"transactional read of an uninitialized VBox"};
     }
-    if (body != nullptr) base = body->value;
+    if (body != nullptr) base = body->value.read();
     entry.global_base = true;
   }
   // Materialize outermost-first so ops apply in tree serialization order;

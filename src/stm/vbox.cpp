@@ -15,7 +15,7 @@ VBoxBase::~VBoxBase() {
 
 const Body* VBoxBase::body_at(std::uint64_t snapshot) const noexcept {
   const Body* b = head_.load(std::memory_order_acquire);
-  while (b != nullptr && b->version > snapshot) {
+  while (b != nullptr && b->version.read() > snapshot) {
     b = b->next.load(std::memory_order_acquire);
   }
   return b;
@@ -27,14 +27,14 @@ void VBoxBase::prune(Body* from, std::uint64_t min_active_snapshot) noexcept {
   // installer truncates and frees it. Pruning is an optimization, so on
   // contention we simply skip — the next install retries with a fresher
   // (larger) min_active_snapshot and reclaims strictly more.
-  if (prune_busy_.test_and_set(std::memory_order_acquire)) return;
+  if (prune_busy_.exchange(true, std::memory_order_acquire)) return;
   // Chaos hook (delay mode): hold the prune guard longer, forcing concurrent
   // installers to skip pruning and stressing chain growth + deferred reclaim.
   AUTOPN_FAILPOINT("stm.vbox.prune");
   Body* keep = from;
   for (;;) {
     Body* next = keep->next.load(std::memory_order_relaxed);
-    if (next == nullptr || keep->version <= min_active_snapshot) break;
+    if (next == nullptr || keep->version.read() <= min_active_snapshot) break;
     keep = next;
   }
   Body* doomed = keep->next.exchange(nullptr, std::memory_order_release);
@@ -43,7 +43,7 @@ void VBoxBase::prune(Body* from, std::uint64_t min_active_snapshot) noexcept {
     delete doomed;
     doomed = next;
   }
-  prune_busy_.clear(std::memory_order_release);
+  prune_busy_.store(false, std::memory_order_release);
 }
 
 void VBoxBase::install(std::shared_ptr<const void> value, std::uint64_t version,
@@ -64,7 +64,7 @@ bool VBoxBase::install_cas(const std::shared_ptr<const void>& value,
                            std::uint64_t min_active_snapshot) {
   Body* old_head = head_.load(std::memory_order_acquire);
   for (;;) {
-    if (old_head != nullptr && old_head->version >= version) {
+    if (old_head != nullptr && old_head->version.read() >= version) {
       return false;  // another helper already installed this (or a newer) body
     }
     auto* body = new Body{version, value, old_head};

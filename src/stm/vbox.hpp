@@ -13,23 +13,29 @@
 //    opportunistically prune bodies no active snapshot can reach;
 //  * values are immutable once published (held via shared_ptr<const void>).
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 
+#include "util/sync.hpp"
+
 namespace autopn::stm {
+
+namespace sync = autopn::sync;
 
 class Tx;
 
-/// One committed version of a box's value.
+/// One committed version of a box's value. `version` and `value` are written
+/// once, before the body is published into the chain; readers reach them only
+/// through the acquire edge of that publication — which is exactly what the
+/// sync::Shared wrapper lets the model checker verify.
 struct Body {
-  std::uint64_t version;
-  std::shared_ptr<const void> value;
+  sync::Shared<std::uint64_t> version;
+  sync::Shared<std::shared_ptr<const void>> value;
   /// Next-older body. Atomic because pruning truncates it (stores nullptr)
   /// while readers traverse; a reader never follows it past a body at or
   /// below its snapshot, so truncated tails are unreachable to it.
-  std::atomic<Body*> next;
+  sync::Atomic<Body*> next;
 };
 
 /// Type-erased box base. All transactional machinery (read/write sets,
@@ -53,7 +59,7 @@ class VBoxBase {
   /// Version of the newest committed body (0 if never written).
   [[nodiscard]] std::uint64_t newest_version() const noexcept {
     const Body* b = newest();
-    return b != nullptr ? b->version : 0;
+    return b != nullptr ? b->version.read() : 0;
   }
 
   /// Installs a new body. Caller must hold the global commit mutex.
@@ -90,8 +96,8 @@ class VBoxBase {
   /// older commit record), skips — the next install will catch up.
   void prune(Body* from, std::uint64_t min_active_snapshot) noexcept;
 
-  std::atomic<Body*> head_{nullptr};
-  std::atomic_flag prune_busy_{};  ///< serializes pruning per box
+  sync::Atomic<Body*> head_{nullptr};
+  sync::Atomic<bool> prune_busy_{false};  ///< serializes pruning per box
   std::unique_ptr<std::string> label_;
 };
 
@@ -115,7 +121,7 @@ class VBox : public VBoxBase {
 
   /// Newest committed value. Requires the box to have been initialized.
   [[nodiscard]] T peek() const {
-    return *static_cast<const T*>(newest()->value.get());
+    return *static_cast<const T*>(newest()->value.read().get());
   }
 
   /// Seeds the box with an initial version-0 value. Not thread-safe; call

@@ -12,6 +12,10 @@
 #include <thread>
 #include <vector>
 
+#if defined(AUTOPN_MC) && AUTOPN_MC
+#include "mc/scheduler.hpp"
+#endif
+
 namespace autopn::util {
 
 /// Upper bound for destructive interference. std::hardware_destructive_
@@ -30,6 +34,15 @@ struct alignas(kCacheLineSize) Padded {
 /// (0, 1, 2, ...) beat hashed thread ids: with S shards and <= S threads every
 /// thread lands on its own shard instead of colliding at random.
 [[nodiscard]] inline std::size_t thread_shard_token() noexcept {
+#if defined(AUTOPN_MC) && AUTOPN_MC
+  // Under the model checker the token must be a pure function of the model
+  // thread id: the process-global counter below keeps growing across
+  // schedules (every schedule spawns fresh OS threads), so shard/slot
+  // selection would drift between a recorded failure and its --replay.
+  if (mc::Execution* ex = mc::Execution::current(); ex != nullptr) {
+    return static_cast<std::size_t>(ex->self());
+  }
+#endif
   static std::atomic<std::size_t> next{0};
   thread_local const std::size_t token =
       next.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,77 @@
+#pragma once
+// The virtualized synchronization seam (docs/MODEL_CHECKING.md). Components
+// on the model-checking port list (tools/lint/mc_ported.txt) spell every
+// synchronization primitive through these names instead of std:: directly:
+//
+//   sync::Atomic<T>    — std::atomic<T>
+//   sync::Mutex        — std::mutex
+//   sync::CondVar      — std::condition_variable
+//   sync::UniqueLock   — std::unique_lock<sync::Mutex>
+//   sync::ScopedLock   — std::scoped_lock<sync::Mutex>
+//   sync::Shared<T>    — a plain T cell whose cross-thread accesses are
+//                        ordered by some *other* primitive (a release store,
+//                        a mutex). read()/write() return references.
+//
+// Production builds: every alias IS the raw std primitive (verified by
+// static_asserts in tests/util_sync_test.cpp) and Shared<T> is a transparent
+// zero-size-overhead wrapper — the seam costs nothing and changes no codegen.
+//
+// AUTOPN_MC builds (cmake -DAUTOPN_MC=ON, the `mc` preset): the aliases
+// resolve to the model-checker primitives in src/mc/model_sync.hpp instead.
+// Every operation becomes a scheduling point of the cooperative exhaustive
+// scheduler, the spelled memory order feeds a vector-clock happens-before
+// engine, and Shared<T> accesses are race-checked against it — so an
+// annotation that is too weak surfaces as a reported race with a replayable
+// schedule, not as a once-in-a-million production hang.
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(AUTOPN_MC) && AUTOPN_MC
+#include "mc/model_sync.hpp"
+#else
+#include <atomic>
+#include <utility>
+#endif
+
+namespace autopn::sync {
+
+#if defined(AUTOPN_MC) && AUTOPN_MC
+
+template <typename T>
+using Atomic = mc::ModelAtomic<T>;
+using Mutex = mc::ModelMutex;
+using CondVar = mc::ModelCondVar;
+template <typename T>
+using Shared = mc::ModelShared<T>;
+
+#else
+
+template <typename T>
+using Atomic = std::atomic<T>;
+using Mutex = std::mutex;
+using CondVar = std::condition_variable;
+
+/// Transparent cell for non-atomic state shared across threads under some
+/// external ordering discipline. In production it is layout-identical to a
+/// bare T; under AUTOPN_MC each read()/write() is checked for a
+/// happens-before edge to the last conflicting access.
+template <typename T>
+class Shared {
+ public:
+  constexpr Shared() = default;
+  constexpr Shared(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] constexpr const T& read() const noexcept { return value_; }
+  [[nodiscard]] constexpr T& write() noexcept { return value_; }
+
+ private:
+  T value_;
+};
+
+#endif
+
+using UniqueLock = std::unique_lock<Mutex>;
+using ScopedLock = std::scoped_lock<Mutex>;
+
+}  // namespace autopn::sync

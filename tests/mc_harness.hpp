@@ -1,0 +1,119 @@
+#pragma once
+// Shared command-line driver for the mc_* model-checking harnesses
+// (docs/MODEL_CHECKING.md). Each harness supplies a body that builds fresh
+// component state and spawns mc::Threads; this driver owns flag parsing, the
+// exploration run, reporting, and the process exit code, so every harness
+// speaks the same CLI:
+//
+//   (no flags)          exhaustive exploration at the default budget
+//   --smoke             reduced budget (preemption bound 1, capped schedules)
+//                       for the run_all.sh mc-smoke gate
+//   --pct[=N]           PCT random walk, N schedules (default 2000)
+//   --seed=N            PCT seed
+//   --replay=SCHED      run exactly one schedule (a Failure's schedule
+//                       string, e.g. --replay=0,1,1,0) and dump its trace
+//   --preemption-bound=N / --max-schedules=N / --max-steps=N
+//                       budget overrides
+//   --expect-failure    fixture mode: exit 0 iff a failure IS found AND
+//                       replaying its schedule reproduces a failure of the
+//                       same kind — how the weakened-annotation fixtures
+//                       prove the checker actually detects and replays.
+//
+// Exit codes: 0 verdict met, 1 verdict missed, 2 bad usage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "mc/explore.hpp"
+
+namespace autopn::mc_harness {
+
+struct Config {
+  mc::Options options;
+  bool expect_failure = false;
+};
+
+inline bool parse_flag(const std::string& arg, const char* name,
+                       std::string* value) {
+  const std::string prefix = std::string{name} + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *value = arg.substr(prefix.size());
+  return true;
+}
+
+inline int run(int argc, char** argv, const char* name,
+               const std::function<void()>& body) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    try {
+      if (arg == "--smoke") {
+        cfg.options.preemption_bound = 1;
+        cfg.options.max_schedules = 4000;
+      } else if (arg == "--pct") {
+        cfg.options.mode = mc::Mode::kPct;
+        cfg.options.max_schedules = 2000;
+      } else if (parse_flag(arg, "--pct", &value)) {
+        cfg.options.mode = mc::Mode::kPct;
+        cfg.options.max_schedules = std::stoull(value);
+      } else if (parse_flag(arg, "--seed", &value)) {
+        cfg.options.seed = std::stoull(value);
+      } else if (parse_flag(arg, "--replay", &value)) {
+        cfg.options.mode = mc::Mode::kReplay;
+        cfg.options.replay = mc::parse_schedule(value);
+      } else if (parse_flag(arg, "--preemption-bound", &value)) {
+        cfg.options.preemption_bound = std::stoi(value);
+      } else if (parse_flag(arg, "--max-schedules", &value)) {
+        cfg.options.max_schedules = std::stoull(value);
+      } else if (parse_flag(arg, "--max-steps", &value)) {
+        cfg.options.max_steps = std::stoi(value);
+      } else if (arg == "--expect-failure") {
+        cfg.expect_failure = true;
+      } else {
+        std::fprintf(stderr, "%s: unknown flag %s\n", name, arg.c_str());
+        return 2;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: bad value in %s: %s\n", name, arg.c_str(),
+                   e.what());
+      return 2;
+    }
+  }
+
+  const mc::Result result = mc::explore(cfg.options, body);
+  std::printf("%s: %s\n", name, result.summary().c_str());
+
+  if (cfg.expect_failure) {
+    if (result.ok()) {
+      std::fprintf(stderr,
+                   "%s: FIXTURE FAILED — expected the checker to report a "
+                   "failure, but every schedule was clean\n",
+                   name);
+      return 1;
+    }
+    // The reported schedule must replay to the same failure kind — the
+    // other half of the detect-and-replay contract.
+    mc::Options replay_opts;
+    replay_opts.mode = mc::Mode::kReplay;
+    replay_opts.replay = mc::parse_schedule(result.failures.front().schedule);
+    const mc::Result replayed = mc::explore(replay_opts, body);
+    if (replayed.ok() ||
+        replayed.failures.front().kind != result.failures.front().kind) {
+      std::fprintf(stderr,
+                   "%s: FIXTURE FAILED — failure found but --replay=%s did "
+                   "not reproduce it\n",
+                   name, result.failures.front().schedule.c_str());
+      return 1;
+    }
+    std::printf("%s: expected failure found and replayed (%s)\n", name,
+                mc::failure_kind_name(result.failures.front().kind));
+    return 0;
+  }
+  return result.ok() ? 0 : 1;
+}
+
+}  // namespace autopn::mc_harness

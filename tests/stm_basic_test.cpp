@@ -31,10 +31,10 @@ TEST(VBoxTest, BodyAtSelectsVersion) {
   VBox<int> box{1};
   box.install(std::make_shared<const int>(2), 5, 0);
   box.install(std::make_shared<const int>(3), 9, 0);
-  EXPECT_EQ(*static_cast<const int*>(box.body_at(0)->value.get()), 1);
-  EXPECT_EQ(*static_cast<const int*>(box.body_at(5)->value.get()), 2);
-  EXPECT_EQ(*static_cast<const int*>(box.body_at(7)->value.get()), 2);
-  EXPECT_EQ(*static_cast<const int*>(box.body_at(100)->value.get()), 3);
+  EXPECT_EQ(*static_cast<const int*>(box.body_at(0)->value.read().get()), 1);
+  EXPECT_EQ(*static_cast<const int*>(box.body_at(5)->value.read().get()), 2);
+  EXPECT_EQ(*static_cast<const int*>(box.body_at(7)->value.read().get()), 2);
+  EXPECT_EQ(*static_cast<const int*>(box.body_at(100)->value.read().get()), 3);
   EXPECT_EQ(box.newest_version(), 9u);
 }
 
@@ -49,7 +49,7 @@ TEST(VBoxTest, PruneKeepsReachableBodies) {
   box.install(std::make_shared<const int>(4), 4, 3);
   // Bodies with version < 3 are gone except the newest <= 3.
   EXPECT_EQ(box.chain_length(), 2u);
-  EXPECT_EQ(*static_cast<const int*>(box.body_at(3)->value.get()), 3);
+  EXPECT_EQ(*static_cast<const int*>(box.body_at(3)->value.read().get()), 3);
 }
 
 TEST(VBoxTest, PruneAllWhenNoReaders) {

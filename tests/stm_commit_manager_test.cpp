@@ -153,7 +153,7 @@ TEST_P(CommitManagerTest, PruningRespectsRegistryMinimum) {
   // The pinned snapshot must still resolve: version 1's body survived.
   const Body* body = box.body_at(1);
   ASSERT_NE(body, nullptr);
-  EXPECT_EQ(*static_cast<const int*>(body->value.get()), 1);
+  EXPECT_EQ(*static_cast<const int*>(body->value.read().get()), 1);
 
   // While the pin was held the chain had to retain every body back to
   // version 1.

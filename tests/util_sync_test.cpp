@@ -1,0 +1,115 @@
+// Proves the sync seam (util/sync.hpp) is free in production builds: every
+// alias IS the raw std primitive (type identity, not a lookalike wrapper —
+// so codegen through the seam is the codegen of the primitive), and
+// sync::Shared<T> is layout-identical to a bare T. These are the compile-time
+// guarantees docs/MODEL_CHECKING.md relies on when it says the seam "costs
+// nothing when AUTOPN_MC is off".
+
+#include "util/sync.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace autopn::sync {
+namespace {
+
+#if !defined(AUTOPN_MC) || !AUTOPN_MC
+// Type identity: the production aliases are the std primitives themselves.
+// A seam that merely behaved like std::atomic could still pessimize codegen
+// or break ABI expectations; is_same proves there is nothing to pessimize.
+static_assert(std::is_same_v<Atomic<std::uint64_t>, std::atomic<std::uint64_t>>);
+static_assert(std::is_same_v<Atomic<bool>, std::atomic<bool>>);
+static_assert(std::is_same_v<Atomic<int*>, std::atomic<int*>>);
+static_assert(
+    std::is_same_v<Atomic<std::shared_ptr<int>>, std::atomic<std::shared_ptr<int>>>);
+static_assert(std::is_same_v<Mutex, std::mutex>);
+static_assert(std::is_same_v<CondVar, std::condition_variable>);
+static_assert(std::is_same_v<UniqueLock, std::unique_lock<std::mutex>>);
+static_assert(std::is_same_v<ScopedLock, std::scoped_lock<std::mutex>>);
+
+// Shared<T> is a transparent cell: same size and alignment as T, trivially
+// destructible when T is — the wrapper adds no storage and no vtable.
+static_assert(sizeof(Shared<std::uint64_t>) == sizeof(std::uint64_t));
+static_assert(alignof(Shared<std::uint64_t>) == alignof(std::uint64_t));
+static_assert(sizeof(Shared<std::shared_ptr<int>>) == sizeof(std::shared_ptr<int>));
+static_assert(sizeof(Shared<std::vector<int>>) == sizeof(std::vector<int>));
+static_assert(std::is_trivially_destructible_v<Shared<int>>);
+static_assert(std::is_trivially_copyable_v<Shared<int>>);
+#endif
+
+TEST(SyncSeam, SharedReadWriteRoundTrip) {
+  Shared<int> cell{7};
+  EXPECT_EQ(cell.read(), 7);
+  cell.write() = 11;
+  EXPECT_EQ(cell.read(), 11);
+  ++cell.write();
+  EXPECT_EQ(cell.read(), 12);
+}
+
+TEST(SyncSeam, SharedHoldsMoveOnlyFriendlyTypes) {
+  Shared<std::string> cell{std::string{"a"}};
+  cell.write() += "b";
+  EXPECT_EQ(cell.read(), "ab");
+
+  Shared<std::vector<int>> vec;
+  vec.write().push_back(3);
+  vec.write().push_back(4);
+  EXPECT_EQ(vec.read().size(), 2u);
+  EXPECT_EQ(vec.read()[1], 4);
+}
+
+TEST(SyncSeam, SharedDefaultConstructsValue) {
+  Shared<std::uint64_t> cell;
+  cell.write() = 0;  // default ctor leaves scalars uninitialized, like bare T
+  EXPECT_EQ(cell.read(), 0u);
+  Shared<std::string> str;
+  EXPECT_TRUE(str.read().empty());
+}
+
+TEST(SyncSeam, AtomicAndMutexBehaveLikePrimitives) {
+  Atomic<std::uint64_t> counter{0};
+  Mutex mutex;
+  Shared<std::uint64_t> guarded = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        counter.fetch_add(1, std::memory_order_relaxed);
+        ScopedLock lock{mutex};
+        ++guarded.write();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.load(std::memory_order_acquire), 4000u);
+  EXPECT_EQ(guarded.read(), 4000u);
+}
+
+TEST(SyncSeam, CondVarWakesWaiter) {
+  Mutex mutex;
+  CondVar cv;
+  Shared<bool> ready = false;
+  std::thread waker{[&] {
+    ScopedLock lock{mutex};
+    ready.write() = true;
+    cv.notify_one();
+  }};
+  {
+    UniqueLock lock{mutex};
+    cv.wait(lock, [&] { return ready.read(); });
+  }
+  waker.join();
+  EXPECT_TRUE(ready.read());
+}
+
+}  // namespace
+}  // namespace autopn::sync

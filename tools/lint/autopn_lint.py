@@ -2,7 +2,7 @@
 """autopn-lint — concurrency-invariant static analysis for the autopn tree.
 
 Enforces the project's hand-maintained concurrency discipline at build time
-(see docs/STATIC_ANALYSIS.md). Four rule families:
+(see docs/STATIC_ANALYSIS.md). The rule families:
 
   atomic-order      every std::atomic load/store/RMW spells an explicit
                     std::memory_order; every memory_order_relaxed site is
@@ -17,8 +17,19 @@ Enforces the project's hand-maintained concurrency discipline at build time
                     std::this_thread::sleep_for in src/, no
                     #include <iostream> in headers — unless justified in
                     allow_banned.txt.
+  lock-order        every nested mutex acquisition (a guard taken while
+                    another is textually held) must be a registered edge in
+                    lock_order.txt, and the registered edges must form a
+                    DAG — so two-lock deadlocks cannot be introduced without
+                    declaring (and justifying) the order.
+  mc-seam           files listed in mc_ported.txt are model-checked through
+                    the sync seam (util/sync.hpp, docs/MODEL_CHECKING.md);
+                    raw std:: primitives there would silently escape the
+                    checker, so they are rejected outright.
   stale-allow       allowlist entries that no longer match any site fail the
-                    lint, so the justification files never rot.
+                    lint, so the justification files never rot. lock_order
+                    edges and mc_ported entries that match nothing fail the
+                    same way (reported under their own rule names).
 
 This is a textual analyzer, not a compiler: it resolves atomic-ness by
 harvesting every declaration whose type mentions std::atomic and matching
@@ -66,11 +77,16 @@ SELF_SYNC_TYPE_TOKENS = (
     "std::condition_variable",
     "std::once_flag",
     "std::stop_source",
+    # Virtualized seam aliases (util/sync.hpp): identical to the std
+    # primitives in production, model-checker primitives under AUTOPN_MC.
+    "sync::Atomic",
+    "sync::Mutex",
+    "sync::CondVar",
 )
 
 MUTEX_TYPE_RE = re.compile(
-    r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
-    r"recursive_timed_mutex)\b"
+    r"\b(?:std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex)|(?:autopn::)?sync::Mutex)\b"
 )
 
 FAILPOINT_NAME_PREFIXES = ("stm.", "serve.", "net.", "runtime.")
@@ -262,14 +278,16 @@ def allow_match(entries, path: str, text: str):
 # ------------------------------------------------------------- atomic-order
 
 ATOMIC_DECL_RE = re.compile(
-    r"\bstd::atomic(?:_flag|_bool|_int|_uint|_long|_size_t)?\b"
+    r"\b(?:std::atomic(?:_flag|_bool|_int|_uint|_long|_size_t)?"
+    r"|(?:autopn::)?sync::Atomic)\b"
     r"(?:<(?:[^<>;]|<(?:[^<>;]|<[^<>;]*>)*>)*>)?"  # template args, <=3 deep
     r"[\s&*>]*?"
     r"([A-Za-z_]\w*)\s*(?:[;,={()\[]|$)",
     re.M,
 )
 ATOMIC_CONTAINER_DECL_RE = re.compile(
-    r"\bstd::(?:vector|array|deque)\s*<[^;()]*std::atomic[^;()]*>\s*"
+    r"\bstd::(?:vector|array|deque)\s*"
+    r"<[^;()]*(?:std::atomic|sync::Atomic)[^;()]*>\s*"
     r"([A-Za-z_]\w*)\s*[;={]"
 )
 
@@ -357,7 +375,7 @@ def harvest_atomic_scopes(sources, subdirs):
             code = annotation_re.sub(lambda m: " " * len(m.group(0)), sf.code)
             for m in shadow_re.finditer(code):
                 typ = m.group(1)
-                if "atomic" in typ or typ in NOT_A_TYPE:
+                if "atomic" in typ or "Atomic" in typ or typ in NOT_A_TYPE:
                     continue
                 shadows.add(m.group(2))
             per_file_shadows[sf.path] = shadows
@@ -913,6 +931,336 @@ def check_banned(sources, allow_banned, diags):
 # ----------------------------------------------------------------- driver
 
 
+# --------------------------------------------------------------- lock-order
+#
+# Textual two-lock discipline: a RAII guard (or a manual .lock()) taken while
+# another guard is still alive in the same scope is a "nested acquisition
+# edge" holder -> acquired. Every observed edge must be registered in
+# lock_order.txt, and the registered edges must be acyclic — so any global
+# acquisition order that could deadlock has to be declared, justified, and
+# DAG-checked before it compiles past CI. Like the atomic harvest this is
+# textual: it sees nesting within one function body, not across calls
+# (-Wthread-safety covers cross-function when clang is present), and it
+# deliberately ignores same-name re-acquisition (recursive locking is a
+# different bug class with loud runtime symptoms).
+
+GUARD_DECL_RE = re.compile(
+    r"\b(?:std::(?:scoped_lock|unique_lock|lock_guard|shared_lock)|"
+    r"(?:autopn::)?sync::(?:ScopedLock|UniqueLock))"
+    r"(?:\s*<[^<>;(){}]*>)?\s+([A-Za-z_]\w*)\s*([{(])"
+)
+LOCK_CALL_RE = re.compile(
+    r"((?:[A-Za-z_]\w*\s*(?:\.|->)\s*)*[A-Za-z_]\w*)\s*(?:\.|->)\s*"
+    r"(lock|unlock)\s*\(\s*\)"
+)
+LOCK_TAG_RE = re.compile(r"\bstd::(?:defer_lock|adopt_lock|try_to_lock)\b")
+
+
+@dataclass
+class LockEdge:
+    holder: str
+    acquired: str
+    file: str
+    line: int
+    used: bool = False
+
+
+def parse_lock_order(path: str) -> list:
+    """Entries: `<holder> -> <acquired> -- <justification>`."""
+    edges = []
+    if not os.path.exists(path):
+        return edges
+    for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if " -- " not in line or " -> " not in line.split(" -- ", 1)[0]:
+            print(
+                f"{path}:{lineno}: malformed lock-order entry (want"
+                f" '<holder> -> <acquired> -- <why>'): {line}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        head, why = line.split(" -- ", 1)
+        holder, acquired = (p.strip() for p in head.split(" -> ", 1))
+        if not holder or not acquired or not why.strip():
+            print(
+                f"{path}:{lineno}: malformed lock-order entry (want"
+                f" '<holder> -> <acquired> -- <why>'): {line}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        edges.append(LockEdge(holder, acquired, path, lineno))
+    return edges
+
+
+def _last_ident(expr: str):
+    ids = re.findall(r"[A-Za-z_]\w*", expr)
+    return ids[-1] if ids else None
+
+
+def _balanced_close(code: str, open_idx: int) -> int:
+    close = {"{": "}", "(": ")"}[code[open_idx]]
+    depth = 0
+    for j in range(open_idx, min(len(code), open_idx + 500)):
+        if code[j] == code[open_idx]:
+            depth += 1
+        elif code[j] == close:
+            depth -= 1
+            if depth == 0:
+                return j
+    return -1
+
+
+def _split_args(arglist: str) -> list:
+    args, depth, start = [], 0, 0
+    for i, ch in enumerate(arglist):
+        if ch in "({[<":
+            depth += 1
+        elif ch in ")}]>":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            args.append(arglist[start:i])
+            start = i + 1
+    args.append(arglist[start:])
+    return [a for a in (a.strip() for a in args) if a]
+
+
+def _scope_ends(code: str, offsets) -> dict:
+    """offset -> offset of the `}` closing its innermost scope (or EOF)."""
+    ends = {off: len(code) for off in offsets}
+    stack = []
+    for i, ch in enumerate(code):
+        if ch == "{":
+            stack.append(i)
+        elif ch == "}" and stack:
+            start = stack.pop()
+            for off in offsets:
+                if start < off < i and ends[off] == len(code):
+                    ends[off] = i
+    return ends
+
+
+def _lock_intervals(sf) -> list:
+    """(start, end, mutex_name) for every textual hold in this file."""
+    code = sf.code
+    decls = []  # (offset, guard var, [mutex names], deferred)
+    for m in GUARD_DECL_RE.finditer(code):
+        open_idx = m.end() - 1
+        close_idx = _balanced_close(code, open_idx)
+        if close_idx < 0:
+            continue
+        names, deferred = [], False
+        for arg in _split_args(code[open_idx + 1 : close_idx]):
+            if LOCK_TAG_RE.search(arg):
+                deferred = deferred or "defer_lock" in arg
+                continue
+            name = _last_ident(arg)
+            if name:
+                names.append(name)
+        if names:
+            decls.append((m.start(), m.group(1), names, deferred))
+    calls = [
+        (m.start(), _last_ident(m.group(1)), m.group(2))
+        for m in LOCK_CALL_RE.finditer(code)
+    ]
+    offsets = [d[0] for d in decls] + [c[0] for c in calls]
+    ends = _scope_ends(code, offsets)
+    guard_vars = {}
+    for _, var, names, _ in decls:
+        guard_vars.setdefault(var, names)
+
+    def unlock_after(var, start, limit):
+        for off, name, op in calls:
+            if op == "unlock" and name == var and start < off < limit:
+                return off
+        return limit
+
+    intervals = []
+    for off, var, names, deferred in decls:
+        if deferred:
+            continue  # held only from a later explicit var.lock()
+        end = unlock_after(var, off, ends[off])
+        for name in names:
+            intervals.append((off, end, name))
+    for off, name, op in calls:
+        if op != "lock":
+            continue
+        end = unlock_after(name, off, ends[off])
+        for mutex in guard_vars.get(name, [name]):
+            intervals.append((off, end, mutex))
+    return intervals
+
+
+def _registered_cycle(edges) -> list:
+    adj = {}
+    for e in edges:
+        adj.setdefault(e.holder, set()).add(e.acquired)
+        adj.setdefault(e.acquired, set())
+    color, stack = {n: 0 for n in adj}, []
+
+    def dfs(n):
+        color[n] = 1
+        stack.append(n)
+        for m in sorted(adj[n]):
+            if color[m] == 1:
+                return stack[stack.index(m) :] + [m]
+            if color[m] == 0:
+                cyc = dfs(m)
+                if cyc:
+                    return cyc
+        stack.pop()
+        color[n] = 2
+        return None
+
+    for n in sorted(adj):
+        if color[n] == 0:
+            cyc = dfs(n)
+            if cyc:
+                return cyc
+    return None
+
+
+def check_lock_order(sources, registry_path, diags):
+    edges = parse_lock_order(registry_path)
+    registry_rel = registry_path.replace(os.sep, "/")
+    registry_name = os.path.basename(registry_path)
+
+    cycle = _registered_cycle(edges)
+    if cycle:
+        first = next(
+            e for e in edges if e.holder == cycle[0] and e.acquired == cycle[1]
+        )
+        diags.append(
+            Diagnostic(
+                registry_rel,
+                first.line,
+                "lock-order",
+                "registered edges form a cycle: "
+                + " -> ".join(cycle)
+                + " — the lock hierarchy must be a DAG.",
+            )
+        )
+
+    by_key = {(e.holder, e.acquired): e for e in edges}
+    seen_sites = set()
+    for sf in sources:
+        intervals = _lock_intervals(sf)
+        for s1, e1, held in intervals:
+            for s2, _, taken in intervals:
+                if not (s1 < s2 < e1) or held == taken:
+                    continue
+                edge = by_key.get((held, taken))
+                if edge is not None:
+                    edge.used = True
+                    continue
+                site = (sf.path, sf.line_of(s2), held, taken)
+                if site in seen_sites:
+                    continue
+                seen_sites.add(site)
+                diags.append(
+                    Diagnostic(
+                        sf.path,
+                        sf.line_of(s2),
+                        "lock-order",
+                        f"acquiring `{taken}` while `{held}` is held is not a"
+                        f" registered edge — add `{held} -> {taken} -- <why"
+                        f" this order>` to {registry_name} (the hierarchy"
+                        " must stay a DAG).",
+                    )
+                )
+    for e in edges:
+        if not e.used:
+            diags.append(
+                Diagnostic(
+                    registry_rel,
+                    e.line,
+                    "lock-order",
+                    f"registered edge `{e.holder} -> {e.acquired}` matches no"
+                    " nested acquisition — remove it or fix the names.",
+                )
+            )
+
+
+# ------------------------------------------------------------------ mc-seam
+#
+# Files ported onto the sync seam (util/sync.hpp) are the ones the mc_*
+# harnesses model-check under AUTOPN_MC. A raw std:: primitive in such a file
+# compiles and runs fine in production — and silently escapes the checker,
+# turning "exhaustively verified" into a lie. So the ported set is an
+# explicit registry and raw primitives there are rejected with no allowlist:
+# the fix is always to use the sync:: alias (or argue the file out of
+# mc_ported.txt in review).
+
+RAW_SYNC_RE = re.compile(
+    r"\bstd::(?:atomic_thread_fence|atomic_signal_fence|atomic_flag|"
+    r"atomic_ref|atomic|mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"condition_variable_any|condition_variable|scoped_lock|unique_lock|"
+    r"lock_guard|shared_lock|counting_semaphore|binary_semaphore|latch|"
+    r"barrier)\b"
+)
+
+
+def parse_ported_registry(path: str) -> list:
+    """Entries: `<path> -- <what the mc harness for it proves>`."""
+    entries = []
+    if not os.path.exists(path):
+        return entries
+    for lineno, line in enumerate(open(path, encoding="utf-8"), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if " -- " not in line:
+            print(
+                f"{path}:{lineno}: malformed mc_ported entry (want"
+                f" '<path> -- <why>'): {line}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        rel, why = line.split(" -- ", 1)
+        if not rel.strip() or not why.strip():
+            print(
+                f"{path}:{lineno}: malformed mc_ported entry (want"
+                f" '<path> -- <why>'): {line}",
+                file=sys.stderr,
+            )
+            sys.exit(2)
+        entries.append((rel.strip(), lineno))
+    return entries
+
+
+def check_mc_seam(sources, registry_path, diags):
+    entries = parse_ported_registry(registry_path)
+    if not entries:
+        return
+    registry_rel = registry_path.replace(os.sep, "/")
+    by_path = {sf.path: sf for sf in sources}
+    for rel, lineno in entries:
+        sf = by_path.get(rel)
+        if sf is None:
+            diags.append(
+                Diagnostic(
+                    registry_rel,
+                    lineno,
+                    "mc-seam",
+                    f"mc_ported.txt lists `{rel}`, which is not in the"
+                    " scanned tree — remove the entry or fix the path.",
+                )
+            )
+            continue
+        for m in RAW_SYNC_RE.finditer(sf.code):
+            diags.append(
+                Diagnostic(
+                    sf.path,
+                    sf.line_of(m.start()),
+                    "mc-seam",
+                    f"`{m.group(0)}` in a seam-ported file — use the sync::"
+                    " alias from util/sync.hpp so AUTOPN_MC model-checks this"
+                    " primitive (docs/MODEL_CHECKING.md).",
+                )
+            )
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument(
@@ -987,6 +1335,8 @@ def main(argv=None) -> int:
     check_failpoint_references(root, sources, registry_path, doc_rels, diags)
 
     check_banned(sources, allow_banned, diags)
+    check_lock_order(sources, os.path.join(allow_dir, "lock_order.txt"), diags)
+    check_mc_seam(sources, os.path.join(allow_dir, "mc_ported.txt"), diags)
 
     if not args.no_stale_allow:
         for e in allow_relaxed + allow_unguarded + allow_banned:

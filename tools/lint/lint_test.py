@@ -4,7 +4,9 @@
 Three assertions:
   1. The seeded-violation tree produces exactly the golden diagnostics in
      testdata/expected.txt (exit 1), and every rule family fires at least
-     once — atomic-order, guarded-by, failpoint, banned-pattern, stale-allow.
+     once — atomic-order, guarded-by, failpoint, banned-pattern, lock-order,
+     mc-seam, stale-allow. The stale coverage includes both flavours: an
+     entry whose file is gone, and an entry whose receiver was renamed.
   2. The clean tree passes (exit 0).
   3. A malformed allowlist entry is a usage error (exit 2), not a silent skip.
 """
@@ -17,7 +19,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 LINT = os.path.join(HERE, "autopn_lint.py")
 
 RULES = ("atomic-order", "guarded-by", "failpoint", "banned-pattern",
-         "stale-allow")
+         "lock-order", "mc-seam", "stale-allow")
 
 
 def run_lint(*args):

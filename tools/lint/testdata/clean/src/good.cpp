@@ -22,3 +22,17 @@ class Tidy {
   std::mutex mutex_;
   int value_ AUTOPN_GUARDED_BY(mutex_) = 0;
 };
+
+// Nested acquisition whose edge IS registered in lock_order.txt — the
+// lock-order rule must accept it (and the entry must not go stale).
+class Ordered {
+ public:
+  void nested() {
+    std::scoped_lock outer{first_};
+    std::scoped_lock inner{second_};
+  }
+
+ private:
+  std::mutex first_;
+  std::mutex second_;
+};

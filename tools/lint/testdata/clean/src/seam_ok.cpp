@@ -1,0 +1,14 @@
+// Clean fixture for mc-seam: listed in mc_ported.txt and uses only the
+// sync:: seam aliases — no raw std:: primitives, so the rule passes.
+namespace sync {
+struct Mutex {};
+template <typename T>
+struct Atomic {
+  T v;
+};
+}  // namespace sync
+
+struct OnSeam {
+  sync::Atomic<int> counter{0};
+  sync::Mutex m;
+};

@@ -1,0 +1,13 @@
+// Seeded lock-order violation: `b_` is acquired while `a_` is still held,
+// but the edge `a_ -> b_` is not registered in lock_order.txt.
+#include <mutex>
+
+struct TwoLocks {
+  void both() {
+    std::scoped_lock outer{a_};
+    std::scoped_lock inner{b_};
+  }
+
+  std::mutex a_;
+  std::mutex b_;
+};

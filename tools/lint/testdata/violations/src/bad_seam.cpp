@@ -1,0 +1,9 @@
+// Seeded mc-seam violations: this file is listed in mc_ported.txt, so raw
+// std:: primitives must be rejected in favour of the sync:: seam aliases.
+#include <atomic>
+#include <mutex>
+
+struct SeamBreaker {
+  std::atomic<int> counter{0};
+  std::mutex m_;
+};
